@@ -1,0 +1,122 @@
+//! Ablation benches: switch individual model ingredients off and show which
+//! paper phenomenon each one produces (the design-choice audit DESIGN.md
+//! promises).
+//!
+//! * **queueing off** → Table 1's 32-thread block-placement collapse
+//!   disappears;
+//! * **scalar stream penalty off** → Figure 2's stream-class vectorisation
+//!   benefit disappears;
+//! * **slow-L3 off** (L3 as fast as x86 LLCs) → the SG2042's cache-resident
+//!   kernels stop trailing x86.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc::compiler::VectorMode;
+use rvhpc::kernels::KernelName;
+use rvhpc::machines::{machine, MachineId, PlacementPolicy};
+use rvhpc::perfmodel::{calibration, estimate_with, Calibration, Precision, RunConfig, Toolchain};
+use rvhpc_bench::{banner, quick_criterion};
+use std::hint::black_box;
+
+fn cfg(placement: PlacementPolicy, threads: usize, vectorize: bool) -> RunConfig {
+    RunConfig {
+        precision: Precision::Fp32,
+        vectorize,
+        toolchain: Toolchain::XuanTieGcc,
+        mode: VectorMode::Vls,
+        placement,
+        threads,
+    }
+}
+
+fn block_speedup(cal: &Calibration, threads: usize) -> f64 {
+    let sg = machine(MachineId::Sg2042);
+    let k = KernelName::STREAM_TRIAD;
+    let t1 = estimate_with(&sg, k, &cfg(PlacementPolicy::Block, 1, true), cal).seconds;
+    let tn = estimate_with(&sg, k, &cfg(PlacementPolicy::Block, threads, true), cal).seconds;
+    t1 / tn
+}
+
+fn vector_benefit(cal: &Calibration) -> f64 {
+    let sg = machine(MachineId::Sg2042);
+    let k = KernelName::STREAM_TRIAD;
+    let on = estimate_with(&sg, k, &cfg(PlacementPolicy::Block, 1, true), cal).seconds;
+    let off = estimate_with(&sg, k, &cfg(PlacementPolicy::Block, 1, false), cal).seconds;
+    off / on
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let base = calibration(MachineId::Sg2042);
+
+    banner("ablation: memory-controller queueing");
+    let no_queue = Calibration { queue_sensitivity: 0.0, ..base };
+    println!(
+        "STREAM_TRIAD block-placement speedup 16 -> 32 threads:\n\
+         \twith queueing    : {:.2} -> {:.2}  (the paper's Table 1 collapse)\n\
+         \twithout queueing : {:.2} -> {:.2}  (collapse gone)",
+        block_speedup(&base, 16),
+        block_speedup(&base, 32),
+        block_speedup(&no_queue, 16),
+        block_speedup(&no_queue, 32),
+    );
+    c.bench_function("ablation_queueing", |b| {
+        b.iter(|| black_box(block_speedup(&no_queue, 32)))
+    });
+
+    banner("ablation: scalar memory-issue penalty");
+    let no_scalar_penalty =
+        Calibration { scalar_stream_fraction: 1.0, scalar_store_penalty: 1.0, ..base };
+    println!(
+        "STREAM_TRIAD vector-over-scalar speedup (single core):\n\
+         \twith penalty    : {:.2}x  (Figure 2's stream-class benefit)\n\
+         \twithout penalty : {:.2}x  (benefit gone)",
+        vector_benefit(&base),
+        vector_benefit(&no_scalar_penalty),
+    );
+    c.bench_function("ablation_scalar_stream", |b| {
+        b.iter(|| black_box(vector_benefit(&no_scalar_penalty)))
+    });
+
+    banner("ablation: in-order stall model (V2)");
+    // The V2's compute+memory additive combine explains its small
+    // FP32-vs-FP64 gap; compare the two precisions on a stream kernel.
+    let v2 = machine(MachineId::VisionFiveV2);
+    let v2cal = calibration(MachineId::VisionFiveV2);
+    let t64 = estimate_with(
+        &v2,
+        KernelName::STREAM_TRIAD,
+        &RunConfig { precision: Precision::Fp64, ..cfg(PlacementPolicy::Block, 1, true) },
+        &v2cal,
+    )
+    .seconds;
+    let t32 = estimate_with(
+        &v2,
+        KernelName::STREAM_TRIAD,
+        &cfg(PlacementPolicy::Block, 1, true),
+        &v2cal,
+    )
+    .seconds;
+    println!(
+        "V2 STREAM_TRIAD FP64/FP32 time ratio: {:.2} (paper: 'far less' than the SG2042's)",
+        t64 / t32
+    );
+    c.bench_function("ablation_inorder_v2", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_with(
+                    &v2,
+                    KernelName::STREAM_TRIAD,
+                    &cfg(PlacementPolicy::Block, 1, true),
+                    &v2cal,
+                )
+                .seconds,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = quick_criterion();
+    targets = bench_ablations
+}
+criterion_main!(ablations);

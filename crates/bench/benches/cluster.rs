@@ -1,0 +1,65 @@
+//! Bench + regeneration for the further-work cluster study: weak- and
+//! strong-scaling projections of SG2042 clusters by interconnect.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc::cluster::{strong_scaling, weak_scaling, NetworkKind};
+use rvhpc::kernels::KernelName;
+use rvhpc::machines::MachineId;
+use rvhpc::perfmodel::Precision;
+use rvhpc_bench::{banner, quick_criterion};
+use std::hint::black_box;
+
+const NODES: [u32; 6] = [1, 2, 4, 16, 64, 256];
+
+fn bench_cluster(c: &mut Criterion) {
+    banner("Extension: cluster weak scaling (HEAT_3D FP64, SG2042 nodes)");
+    println!("| nodes | 1GbE eff | IB-HDR eff |");
+    println!("|---|---|---|");
+    let gbe = weak_scaling(
+        MachineId::Sg2042,
+        &NetworkKind::GigabitEthernet.network(),
+        KernelName::HEAT_3D,
+        Precision::Fp64,
+        &NODES,
+    );
+    let ib = weak_scaling(
+        MachineId::Sg2042,
+        &NetworkKind::InfinibandHdr.network(),
+        KernelName::HEAT_3D,
+        Precision::Fp64,
+        &NODES,
+    );
+    for i in 0..NODES.len() {
+        println!("| {} | {:.2} | {:.2} |", NODES[i], gbe[i].efficiency, ib[i].efficiency);
+    }
+
+    c.bench_function("cluster_weak_scaling_sweep", |b| {
+        b.iter(|| {
+            black_box(weak_scaling(
+                MachineId::Sg2042,
+                &NetworkKind::InfinibandHdr.network(),
+                KernelName::HEAT_3D,
+                Precision::Fp64,
+                &NODES,
+            ))
+        })
+    });
+    c.bench_function("cluster_strong_scaling_sweep", |b| {
+        b.iter(|| {
+            black_box(strong_scaling(
+                MachineId::Sg2042,
+                &NetworkKind::Slingshot.network(),
+                KernelName::JACOBI_2D,
+                Precision::Fp32,
+                &NODES,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = cluster;
+    config = quick_criterion();
+    targets = bench_cluster
+}
+criterion_main!(cluster);

@@ -1,0 +1,47 @@
+//! Regenerate (and time) every *figure* of the paper: Figures 1–7.
+//!
+//! `cargo bench -p rvhpc-bench --bench figures` prints each figure as a
+//! markdown table and reports how long the simulation pipeline takes to
+//! produce it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc::experiments::{fig1, fig2, fig3, x86};
+use rvhpc_bench::{banner, quick_criterion};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    banner("Figure 1 (RISC-V single-core comparison)");
+    println!("{}", fig1::run().to_markdown());
+    c.bench_function("fig1_riscv_single_core", |b| b.iter(|| black_box(fig1::run())));
+
+    banner("Figure 2 (vectorisation speedup on the C920)");
+    println!("{}", fig2::run().to_markdown());
+    c.bench_function("fig2_vectorisation", |b| b.iter(|| black_box(fig2::run())));
+
+    banner("Figure 3 (Clang VLA/VLS vs GCC, selected Polybench)");
+    println!("{}", fig3::report().to_markdown());
+    c.bench_function("fig3_clang_vla_vls", |b| b.iter(|| black_box(fig3::run())));
+
+    banner("Figure 4 (FP64 single-core x86 comparison)");
+    println!("{}", x86::fig4().to_markdown());
+    c.bench_function("fig4_x86_single_fp64", |b| b.iter(|| black_box(x86::fig4())));
+
+    banner("Figure 5 (FP32 single-core x86 comparison)");
+    println!("{}", x86::fig5().to_markdown());
+    c.bench_function("fig5_x86_single_fp32", |b| b.iter(|| black_box(x86::fig5())));
+
+    banner("Figure 6 (FP64 multithreaded x86 comparison)");
+    println!("{}", x86::fig6().to_markdown());
+    c.bench_function("fig6_x86_multi_fp64", |b| b.iter(|| black_box(x86::fig6())));
+
+    banner("Figure 7 (FP32 multithreaded x86 comparison)");
+    println!("{}", x86::fig7().to_markdown());
+    c.bench_function("fig7_x86_multi_fp32", |b| b.iter(|| black_box(x86::fig7())));
+}
+
+criterion_group! {
+    name = figures;
+    config = quick_criterion();
+    targets = bench_figures
+}
+criterion_main!(figures);

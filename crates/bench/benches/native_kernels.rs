@@ -1,0 +1,55 @@
+//! Native kernel benchmarks: really execute a representative kernel from
+//! each class on the host, serial and parallel, at FP32 and FP64.
+//!
+//! These are the ground-truth measurements behind the suite — the
+//! simulator predicts the paper's machines, while these numbers are
+//! whatever the host is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvhpc::kernels::{make_kernel, KernelName, Real};
+use rvhpc::threads::Team;
+
+/// One representative kernel per class (cheap enough to bench tightly).
+const REPRESENTATIVES: [KernelName; 6] = [
+    KernelName::MEMSET,        // algorithm
+    KernelName::FIR,           // apps
+    KernelName::DAXPY,         // basic
+    KernelName::HYDRO_1D,      // lcals
+    KernelName::JACOBI_2D,     // polybench
+    KernelName::STREAM_TRIAD,  // stream
+];
+
+const BENCH_SIZE: usize = 262_144;
+
+fn bench_precision<T: Real>(c: &mut Criterion, label: &str) {
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(2);
+    let team = Team::new(threads);
+    let mut group = c.benchmark_group(format!("native_{label}"));
+    for kernel in REPRESENTATIVES {
+        let mut serial = make_kernel::<T>(kernel, BENCH_SIZE);
+        group.bench_with_input(BenchmarkId::new("serial", kernel), &kernel, |b, _| {
+            b.iter(|| serial.run_serial());
+        });
+        let mut parallel = make_kernel::<T>(kernel, BENCH_SIZE);
+        group.bench_with_input(
+            BenchmarkId::new(format!("parallel_t{threads}"), kernel),
+            &kernel,
+            |b, _| {
+                b.iter(|| parallel.run(&team));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_native(c: &mut Criterion) {
+    bench_precision::<f32>(c, "fp32");
+    bench_precision::<f64>(c, "fp64");
+}
+
+criterion_group! {
+    name = native;
+    config = rvhpc_bench::quick_criterion();
+    targets = bench_native
+}
+criterion_main!(native);

@@ -1,0 +1,82 @@
+//! Substrate micro-benchmarks: the building blocks' own performance —
+//! spin-barrier round-trips, parallel_for dispatch overhead, cache
+//! simulator throughput, RVV interpreter throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rvhpc::cachesim::{AccessKind, Cache, CacheConfig};
+use rvhpc::compiler::codegen::{generate, setup_machine, VectorMode};
+use rvhpc::kernels::KernelName;
+use rvhpc::rvv::{Dialect, Machine, Sew};
+use rvhpc::threads::Team;
+use std::hint::black_box;
+
+fn bench_threads(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(2).min(8);
+    let team = Team::new(threads);
+
+    c.bench_function("team_fork_join_empty", |b| {
+        b.iter(|| team.run(|_| {}));
+    });
+
+    c.bench_function("team_barrier_x100", |b| {
+        b.iter(|| {
+            team.run(|ctx| {
+                for _ in 0..100 {
+                    ctx.barrier();
+                }
+            })
+        });
+    });
+
+    let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+    c.bench_function("team_parallel_reduce_100k", |b| {
+        b.iter(|| {
+            team.parallel_reduce(
+                0..data.len(),
+                |chunk| chunk.map(|i| data[i]).sum::<f64>(),
+                |a, b| a + b,
+            )
+        });
+    });
+}
+
+fn bench_cachesim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("trace_sequential_100k", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            line_bytes: 64,
+            associativity: 8,
+        });
+        b.iter(|| {
+            for i in 0..100_000u64 {
+                black_box(cache.access(i * 8, AccessKind::Load));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_rvv(c: &mut Criterion) {
+    let program = generate(KernelName::STREAM_TRIAD, VectorMode::Vla, Sew::E32).expect("codegen");
+    let n = 4096;
+    let mut group = c.benchmark_group("rvv_interp");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("triad_vla_4096", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Dialect::V10, 64 * 1024);
+            setup_machine(&mut m, KernelName::STREAM_TRIAD, Sew::E32, n);
+            m.run(&program, 10_000_000).expect("runs");
+            black_box(m.executed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = substrates;
+    config = rvhpc_bench::quick_criterion();
+    targets = bench_threads, bench_cachesim, bench_rvv
+}
+criterion_main!(substrates);

@@ -1,0 +1,39 @@
+//! Regenerate (and time) every *table* of the paper: Tables 1–4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvhpc::experiments::{scaling, x86};
+use rvhpc_bench::{banner, quick_criterion};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    banner("Table 1 (block placement scaling)");
+    println!("{}", scaling::table1().report("Table 1", "block placement scaling (FP32)").to_markdown());
+    c.bench_function("table1_block_scaling", |b| b.iter(|| black_box(scaling::table1())));
+
+    banner("Table 2 (NUMA-cyclic placement scaling)");
+    println!(
+        "{}",
+        scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)").to_markdown()
+    );
+    c.bench_function("table2_cyclic_scaling", |b| b.iter(|| black_box(scaling::table2())));
+
+    banner("Table 3 (cluster-cyclic placement scaling)");
+    println!(
+        "{}",
+        scaling::table3()
+            .report("Table 3", "cluster-cyclic placement scaling (FP32)")
+            .to_markdown()
+    );
+    c.bench_function("table3_cluster_scaling", |b| b.iter(|| black_box(scaling::table3())));
+
+    banner("Table 4 (x86 CPU inventory)");
+    println!("{}", x86::table4().to_markdown());
+    c.bench_function("table4_x86_inventory", |b| b.iter(|| black_box(x86::table4())));
+}
+
+criterion_group! {
+    name = tables;
+    config = quick_criterion();
+    targets = bench_tables
+}
+criterion_main!(tables);

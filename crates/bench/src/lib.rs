@@ -1,0 +1,25 @@
+//! Shared plumbing for the Criterion benchmark harness.
+//!
+//! Every table and figure of the paper has a bench target that regenerates
+//! it (`cargo bench -p rvhpc-bench`); the regenerated artefact is printed
+//! once per bench run so `bench_output.txt` doubles as the reproduction
+//! record. Criterion then times the regeneration itself — useful for
+//! tracking the cost of the simulation pipeline.
+
+use criterion::Criterion;
+
+/// Criterion configured for artefact regeneration: few samples, short
+/// measurement window (the interesting output is the artefact, not
+/// nanosecond precision).
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .configure_from_args()
+}
+
+/// Print an artefact header once.
+pub fn banner(id: &str) {
+    println!("\n================ regenerating {id} ================");
+}

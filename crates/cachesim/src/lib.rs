@@ -1,0 +1,31 @@
+//! Cache hierarchy simulation for the rvhpc performance model.
+//!
+//! Two cooperating models live here:
+//!
+//! * a **trace-driven** set-associative LRU simulator ([`Cache`],
+//!   [`Hierarchy`]) that replays explicit address streams — exact, used for
+//!   validation, unit tests and small problem sizes;
+//! * an **analytic** working-set model ([`analytic`]) that predicts the same
+//!   per-level traffic from stream descriptors (footprint, stride, pass
+//!   count) without replaying addresses — fast, used by `rvhpc-perfmodel`
+//!   for the paper-scale problem sizes (RAJAPerf default arrays are millions
+//!   of elements; tracing them for every (machine × kernel × config) point
+//!   would dominate the harness).
+//!
+//! The analytic model is cross-validated against the trace simulator by
+//! tests in this crate and in the workspace integration tests.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod cache;
+pub mod hierarchy;
+pub mod pattern;
+
+#[cfg(test)]
+mod proptests;
+
+pub use analytic::{AccessSpec, LevelTraffic, TrafficModel};
+pub use cache::{AccessKind, AccessOutcome, Cache, CacheConfig, CacheStats};
+pub use hierarchy::{Hierarchy, HierarchyStats, LevelConfig};
+pub use pattern::{AddressStream, Pattern};

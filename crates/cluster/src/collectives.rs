@@ -1,0 +1,74 @@
+//! MPI collective cost models over the Hockney network.
+
+use crate::network::Network;
+
+/// Point-to-point message: `α + m/β`.
+pub fn point_to_point_seconds(net: &Network, bytes: f64) -> f64 {
+    net.message_seconds(bytes)
+}
+
+/// Nearest-neighbour halo exchange: every rank sends and receives
+/// `n_neighbors` messages of `bytes_per_face`. Sends to distinct neighbours
+/// overlap on modern NICs, but each face still pays α and the injection
+/// port serialises the payload bytes.
+pub fn halo_exchange_seconds(net: &Network, n_neighbors: u32, bytes_per_face: f64) -> f64 {
+    let alpha = net.latency_s * n_neighbors as f64;
+    // send + receive share the injection bandwidth (full duplex assumed,
+    // so one direction's payload is the serialised cost).
+    let payload = n_neighbors as f64 * bytes_per_face / net.bandwidth_bytes_per_s;
+    alpha + payload
+}
+
+/// Allreduce of `bytes` over `ranks`, Rabenseifner-style:
+/// `2·log2(P)·α + 2·((P−1)/P)·m/β` (reduce-scatter + allgather).
+pub fn allreduce_seconds(net: &Network, ranks: u32, bytes: f64) -> f64 {
+    if ranks <= 1 {
+        return 0.0;
+    }
+    let p = ranks as f64;
+    2.0 * p.log2().ceil() * net.latency_s
+        + 2.0 * ((p - 1.0) / p) * bytes / net.bandwidth_bytes_per_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkKind;
+
+    #[test]
+    fn allreduce_is_zero_on_one_rank() {
+        let n = NetworkKind::InfinibandHdr.network();
+        assert_eq!(allreduce_seconds(&n, 1, 8.0), 0.0);
+    }
+
+    #[test]
+    fn allreduce_grows_logarithmically_in_latency_term() {
+        let n = NetworkKind::InfinibandHdr.network();
+        // Tiny payload: latency dominated.
+        let t4 = allreduce_seconds(&n, 4, 8.0);
+        let t16 = allreduce_seconds(&n, 16, 8.0);
+        let t256 = allreduce_seconds(&n, 256, 8.0);
+        assert!((t16 - t4) > 0.0);
+        // log2 growth: equal increments per 4× rank growth... 4→16 adds
+        // 2 levels, 16→256 adds 4 levels.
+        assert!((t256 - t16) > (t16 - t4) * 1.5);
+    }
+
+    #[test]
+    fn allreduce_bandwidth_term_saturates_with_ranks() {
+        let n = NetworkKind::Slingshot.network();
+        // Large payload: bandwidth dominated; (P-1)/P → 1, so doubling
+        // ranks barely moves the cost.
+        let t64 = allreduce_seconds(&n, 64, 1e9);
+        let t128 = allreduce_seconds(&n, 128, 1e9);
+        assert!((t128 - t64) / t64 < 0.02);
+    }
+
+    #[test]
+    fn halo_exchange_scales_with_faces() {
+        let n = NetworkKind::GigabitEthernet.network();
+        let t2 = halo_exchange_seconds(&n, 2, 1e6);
+        let t6 = halo_exchange_seconds(&n, 6, 1e6);
+        assert!(t6 > 2.5 * t2 && t6 < 3.5 * t2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Distributed-memory scaling model — the paper's further work, implemented.
+//!
+//! The paper closes with: *"For further work we believe that it would be
+//! instructive to explore distributed memory performance on systems built
+//! around the SG2042, especially the performance that can be delivered
+//! using MPI ... Whilst networking performance would also be driven by the
+//! auxiliaries coupled with the CPU, not least the network adaptor,
+//! understanding what the options are in this regard would be beneficial."*
+//!
+//! This crate does exactly that exploration, on top of the same node model
+//! the rest of the workspace uses:
+//!
+//! * [`network`] — Hockney-style interconnect models (α–β), with presets
+//!   from commodity Gigabit Ethernet (what a Pioneer-box cluster would
+//!   realistically use today) up to the Slingshot-class fabric of the
+//!   ARCHER2 comparison system;
+//! * [`collectives`] — cost models for the MPI operations the suite's
+//!   kernels need: point-to-point, halo exchange, allreduce;
+//! * [`scaling`] — weak- and strong-scaling projections for representative
+//!   kernels across a cluster of modelled nodes, combining per-node times
+//!   from `rvhpc-perfmodel` with communication costs.
+//!
+//! The headline finding (see `scaling::tests` and the `cluster_study`
+//! example): an SG2042 cluster on commodity Ethernet loses most of its
+//! scaling to communication, but behind an HPC-class fabric the CPU itself
+//! — not the network — is again the limit, supporting the paper's view
+//! that such clusters are worth building for evaluation.
+
+#![warn(missing_docs)]
+
+pub mod collectives;
+pub mod network;
+pub mod scaling;
+
+pub use collectives::{allreduce_seconds, halo_exchange_seconds, point_to_point_seconds};
+pub use network::{Network, NetworkKind};
+pub use scaling::{strong_scaling, weak_scaling, ClusterPoint, ScalingMode};

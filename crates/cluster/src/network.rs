@@ -1,0 +1,113 @@
+//! Interconnect models (Hockney α–β with an injection cap).
+
+use serde::{Deserialize, Serialize};
+
+/// Interconnect presets, bracketing what an SG2042 cluster could use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// Commodity Gigabit Ethernet — what the Pioneer box ships with.
+    GigabitEthernet,
+    /// 10/25G Ethernet with kernel-bypass (a realistic near-term upgrade).
+    FastEthernet25G,
+    /// InfiniBand HDR class.
+    InfinibandHdr,
+    /// Slingshot-class fabric (the ARCHER2 Cray EX the paper's Rome CPUs
+    /// live in).
+    Slingshot,
+}
+
+impl NetworkKind {
+    /// All presets, slowest first.
+    pub const ALL: [NetworkKind; 4] = [
+        NetworkKind::GigabitEthernet,
+        NetworkKind::FastEthernet25G,
+        NetworkKind::InfinibandHdr,
+        NetworkKind::Slingshot,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NetworkKind::GigabitEthernet => "1GbE",
+            NetworkKind::FastEthernet25G => "25GbE",
+            NetworkKind::InfinibandHdr => "IB-HDR",
+            NetworkKind::Slingshot => "Slingshot",
+        }
+    }
+
+    /// The parameterised model.
+    pub fn network(self) -> Network {
+        match self {
+            // TCP stack latency dominates; ~118 MB/s effective.
+            NetworkKind::GigabitEthernet => Network {
+                kind: self,
+                latency_s: 50e-6,
+                bandwidth_bytes_per_s: 0.118e9,
+            },
+            NetworkKind::FastEthernet25G => Network {
+                kind: self,
+                latency_s: 8e-6,
+                bandwidth_bytes_per_s: 2.8e9,
+            },
+            NetworkKind::InfinibandHdr => Network {
+                kind: self,
+                latency_s: 1.2e-6,
+                bandwidth_bytes_per_s: 23e9,
+            },
+            NetworkKind::Slingshot => Network {
+                kind: self,
+                latency_s: 1.8e-6,
+                bandwidth_bytes_per_s: 22e9,
+            },
+        }
+    }
+}
+
+/// A Hockney-model interconnect: message time ≈ α + m/β.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Network {
+    /// Preset this came from.
+    pub kind: NetworkKind,
+    /// Per-message latency α in seconds (software + switch).
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth β in bytes/second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl Network {
+    /// Time to move one `bytes`-sized message.
+    pub fn message_seconds(&self, bytes: f64) -> f64 {
+        self.latency_s + bytes / self.bandwidth_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        // The Ethernet tiers are strictly ordered; the two HPC fabrics are
+        // peers (Slingshot trades a little latency for Ethernet-compatible
+        // framing), so compare them with a tolerance.
+        let t = |k: NetworkKind| k.network().message_seconds(1e6);
+        assert!(t(NetworkKind::FastEthernet25G) < t(NetworkKind::GigabitEthernet));
+        assert!(t(NetworkKind::InfinibandHdr) < t(NetworkKind::FastEthernet25G));
+        let (ib, ss) = (t(NetworkKind::InfinibandHdr), t(NetworkKind::Slingshot));
+        assert!(ss < ib * 1.2 && ss < t(NetworkKind::FastEthernet25G));
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        let n = NetworkKind::InfinibandHdr.network();
+        let t8 = n.message_seconds(8.0);
+        assert!((t8 - n.latency_s) / n.latency_s < 0.01, "8B ≈ α");
+    }
+
+    #[test]
+    fn large_messages_are_bandwidth_bound() {
+        let n = NetworkKind::GigabitEthernet.network();
+        let t = n.message_seconds(100e6);
+        assert!((t - 100e6 / n.bandwidth_bytes_per_s).abs() / t < 0.01);
+    }
+}

@@ -1,0 +1,215 @@
+//! Weak- and strong-scaling projections for a cluster of modelled nodes.
+//!
+//! Decomposition follows the standard practice for each kernel shape:
+//! stencils get a 1D slab decomposition (two halo faces per rank, except
+//! HEAT_3D's slabs which also exchange two faces — the faces are just
+//! bigger), reductions add an allreduce per repetition.
+
+use crate::collectives::{allreduce_seconds, halo_exchange_seconds};
+use crate::network::Network;
+use rvhpc_kernels::KernelName;
+use rvhpc_machines::{machine, MachineId};
+use rvhpc_perfmodel::{calibration, estimate_sized, sim_size, Precision, RunConfig};
+use serde::{Deserialize, Serialize};
+
+/// Weak or strong scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingMode {
+    /// Constant per-node problem; ideal time is flat.
+    Weak,
+    /// Constant global problem; ideal time is T(1)/N.
+    Strong,
+}
+
+/// One point of a scaling curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterPoint {
+    /// Node count.
+    pub nodes: u32,
+    /// Seconds per repetition (compute + communication).
+    pub seconds: f64,
+    /// Compute-only component.
+    pub compute_seconds: f64,
+    /// Communication component.
+    pub comm_seconds: f64,
+    /// Parallel efficiency against the single-node point.
+    pub efficiency: f64,
+}
+
+/// Halo bytes per face for a slab decomposition of the kernel's domain at a
+/// local problem size, plus whether a per-rep allreduce is needed.
+fn comm_shape(kernel: KernelName, local_size: usize, elem_bytes: f64) -> (u32, f64, bool) {
+    use KernelName::*;
+    match kernel {
+        // 2D grid, slab of rows: face = one row = √n elements.
+        JACOBI_2D | FDTD_2D | HYDRO_2D => {
+            (2, (local_size as f64).sqrt() * elem_bytes, false)
+        }
+        // 3D grid, slab of planes: face = n^(2/3) elements.
+        HEAT_3D => (2, (local_size as f64).powf(2.0 / 3.0) * elem_bytes, false),
+        // 1D stencils: face = a handful of elements.
+        JACOBI_1D | HYDRO_1D | FIR => (2, 16.0 * elem_bytes, false),
+        // Dot products / reductions: allreduce only.
+        STREAM_DOT | REDUCE_SUM | PI_REDUCE => (0, 0.0, true),
+        // Embarrassingly parallel: no communication.
+        _ => (0, 0.0, false),
+    }
+}
+
+/// Project a scaling curve for a kernel on a homogeneous cluster.
+///
+/// `node` is the per-node machine, `threads` the threads per node,
+/// `nodes_list` the cluster sizes to evaluate.
+pub fn scaling_curve(
+    node: MachineId,
+    net: &Network,
+    kernel: KernelName,
+    mode: ScalingMode,
+    precision: Precision,
+    nodes_list: &[u32],
+) -> Vec<ClusterPoint> {
+    let m = machine(node);
+    let cal = calibration(node);
+    let threads = m.n_cores();
+    let cfg = if node.is_riscv() {
+        RunConfig::sg2042_best(precision, threads)
+    } else {
+        RunConfig::x86(precision, threads)
+    };
+    let base_size = sim_size(kernel);
+    let elem_bytes = f64::from(precision.bytes());
+
+    let single = estimate_sized(&m, kernel, &cfg, &cal, base_size).seconds;
+    nodes_list
+        .iter()
+        .map(|&nodes| {
+            let local_size = match mode {
+                ScalingMode::Weak => base_size,
+                ScalingMode::Strong => (base_size / nodes as usize).max(64),
+            };
+            let compute = estimate_sized(&m, kernel, &cfg, &cal, local_size).seconds;
+            let (faces, face_bytes, needs_allreduce) = comm_shape(kernel, local_size, elem_bytes);
+            let mut comm = 0.0;
+            if nodes > 1 {
+                if faces > 0 {
+                    comm += halo_exchange_seconds(net, faces, face_bytes);
+                }
+                if needs_allreduce {
+                    comm += allreduce_seconds(net, nodes, elem_bytes);
+                }
+            }
+            let seconds = compute + comm;
+            let ideal = match mode {
+                ScalingMode::Weak => single,
+                ScalingMode::Strong => single / nodes as f64,
+            };
+            ClusterPoint {
+                nodes,
+                seconds,
+                compute_seconds: compute,
+                comm_seconds: comm,
+                efficiency: ideal / seconds,
+            }
+        })
+        .collect()
+}
+
+/// Weak-scaling curve (constant per-node work).
+pub fn weak_scaling(
+    node: MachineId,
+    net: &Network,
+    kernel: KernelName,
+    precision: Precision,
+    nodes_list: &[u32],
+) -> Vec<ClusterPoint> {
+    scaling_curve(node, net, kernel, ScalingMode::Weak, precision, nodes_list)
+}
+
+/// Strong-scaling curve (constant global work).
+pub fn strong_scaling(
+    node: MachineId,
+    net: &Network,
+    kernel: KernelName,
+    precision: Precision,
+    nodes_list: &[u32],
+) -> Vec<ClusterPoint> {
+    scaling_curve(node, net, kernel, ScalingMode::Strong, precision, nodes_list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkKind;
+
+    const NODES: [u32; 5] = [1, 2, 4, 16, 64];
+
+    #[test]
+    fn weak_scaling_stencil_is_near_ideal_on_hpc_fabric() {
+        let net = NetworkKind::Slingshot.network();
+        let pts = weak_scaling(MachineId::Sg2042, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
+        let last = pts.last().unwrap();
+        assert!(
+            last.efficiency > 0.8,
+            "SG2042 + Slingshot should weak-scale a stencil: {last:?}"
+        );
+    }
+
+    #[test]
+    fn gigabit_ethernet_hurts_weak_scaling_more_than_ib() {
+        let gbe = NetworkKind::GigabitEthernet.network();
+        let ib = NetworkKind::InfinibandHdr.network();
+        let e = |net| {
+            weak_scaling(MachineId::Sg2042, &net, KernelName::HEAT_3D, Precision::Fp64, &NODES)
+                .last()
+                .unwrap()
+                .efficiency
+        };
+        assert!(e(gbe) < e(ib), "GbE must trail InfiniBand");
+    }
+
+    #[test]
+    fn strong_scaling_eventually_goes_communication_bound() {
+        // On slow Ethernet, shrinking local domains make halo cost dominate.
+        let net = NetworkKind::GigabitEthernet.network();
+        let pts = strong_scaling(
+            MachineId::Sg2042,
+            &net,
+            KernelName::JACOBI_2D,
+            Precision::Fp32,
+            &[1, 2, 4, 16, 64, 256],
+        );
+        let last = pts.last().unwrap();
+        assert!(
+            last.comm_seconds > last.compute_seconds,
+            "256 nodes on GbE must be communication bound: {last:?}"
+        );
+        assert!(last.efficiency < 0.5);
+    }
+
+    #[test]
+    fn allreduce_kernels_scale_weakly_even_on_slow_networks() {
+        // DOT's 8-byte allreduce is cheap even on Ethernet.
+        let net = NetworkKind::GigabitEthernet.network();
+        let pts = weak_scaling(MachineId::Sg2042, &net, KernelName::STREAM_DOT, Precision::Fp64, &NODES);
+        assert!(pts.last().unwrap().efficiency > 0.7, "{:?}", pts.last());
+    }
+
+    #[test]
+    fn single_node_has_no_communication() {
+        let net = NetworkKind::GigabitEthernet.network();
+        for kernel in [KernelName::JACOBI_2D, KernelName::STREAM_DOT] {
+            let pts = weak_scaling(MachineId::Sg2042, &net, kernel, Precision::Fp32, &[1]);
+            assert_eq!(pts[0].comm_seconds, 0.0, "{kernel}");
+            assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rome_nodes_need_fewer_nodes_for_the_same_strong_scaled_time() {
+        // Per-node performance differences carry over to the cluster.
+        let net = NetworkKind::Slingshot.network();
+        let sg = strong_scaling(MachineId::Sg2042, &net, KernelName::HEAT_3D, Precision::Fp64, &[16]);
+        let rome = strong_scaling(MachineId::AmdRome, &net, KernelName::HEAT_3D, Precision::Fp64, &[16]);
+        assert!(rome[0].seconds < sg[0].seconds);
+    }
+}

@@ -1,0 +1,56 @@
+//! Scratch debugging dump for calibration work: per-kernel times on two
+//! machines with component breakdowns.
+
+use rvhpc::kernels::KernelName;
+use rvhpc::machines::{machine, MachineId};
+use rvhpc::perfmodel::{estimate, Precision, RunConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let a_id = args
+        .get(1)
+        .and_then(|s| MachineId::from_token(s))
+        .unwrap_or(MachineId::Sg2042);
+    let b_id = args
+        .get(2)
+        .and_then(|s| MachineId::from_token(s))
+        .unwrap_or(MachineId::AmdRome);
+    let precision = match args.get(3).map(String::as_str) {
+        Some("fp32") => Precision::Fp32,
+        _ => Precision::Fp64,
+    };
+    let threads_a: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let threads_b: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let ma = machine(a_id);
+    let mb = machine(b_id);
+    println!(
+        "{:<28} {:>11} {:>11} {:>7}  a(c/m) b(c/m)  [a={a_id} t={threads_a}, b={b_id} t={threads_b}, {precision:?}]",
+        "kernel", "a_s", "b_s", "a/b"
+    );
+    for k in KernelName::ALL {
+        let ca = if a_id.is_riscv() {
+            RunConfig::sg2042_best(precision, threads_a)
+        } else {
+            RunConfig::x86(precision, threads_a)
+        };
+        let cb = if b_id.is_riscv() {
+            RunConfig::sg2042_best(precision, threads_b)
+        } else {
+            RunConfig::x86(precision, threads_b)
+        };
+        let a = estimate(&ma, k, &ca);
+        let b = estimate(&mb, k, &cb);
+        println!(
+            "{:<28} {:>11.6} {:>11.6} {:>7.2}  {:.4}/{:.4} {:.4}/{:.4}",
+            k.label(),
+            a.seconds,
+            b.seconds,
+            a.seconds / b.seconds,
+            a.compute_seconds,
+            a.memory_seconds,
+            b.compute_seconds,
+            b.memory_seconds
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                  # every artefact, markdown to stdout
+//! repro fig1|fig2|...|fig7   # one figure
+//! repro table1|...|table4    # one table
+//! repro nextgen              # the conclusion's what-if machine
+//! repro machines             # modelled machine inventory
+//! repro kernel Basic_DAXPY   # one kernel's model view
+//! repro calibrate            # headline ratios vs the paper's quoted numbers
+//! repro native [scale]       # run the real kernels on this host
+//! repro --csv <artefact>     # CSV instead of markdown
+//! repro --chart <figure>     # ASCII bar chart
+//! repro --json <artefact>    # JSON
+//! ```
+
+use rvhpc::experiments::{fig1, fig2, fig3, next_gen, scaling, x86};
+use rvhpc::kernels::KernelClass;
+use rvhpc::machines::MachineId;
+use rvhpc::perfmodel::Precision;
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let cmd = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match cmd {
+        "fig1" => emit_fig(fig1::run(), csv),
+        "fig2" => emit_fig(fig2::run(), csv),
+        "fig3" => emit_table(fig3::report(), csv),
+        "fig4" => emit_fig(x86::fig4(), csv),
+        "fig5" => emit_fig(x86::fig5(), csv),
+        "fig6" => emit_fig(x86::fig6(), csv),
+        "fig7" => emit_fig(x86::fig7(), csv),
+        "table1" => emit_table(
+            scaling::table1().report("Table 1", "block placement scaling (FP32)"),
+            csv,
+        ),
+        "table2" => emit_table(
+            scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)"),
+            csv,
+        ),
+        "table3" => emit_table(
+            scaling::table3().report("Table 3", "cluster-cyclic placement scaling (FP32)"),
+            csv,
+        ),
+        "table4" => emit_table(x86::table4(), csv),
+        "nextgen" => {
+            emit_fig(next_gen::run(Precision::Fp64), csv);
+            emit_fig(next_gen::run(Precision::Fp32), csv);
+        }
+        "machines" => emit_table(rvhpc::inspect::machines_table(), csv),
+        "kernel" => {
+            let label = args
+                .iter()
+                .skip_while(|a| a.as_str() != "kernel")
+                .nth(1)
+                .cloned()
+                .unwrap_or_default();
+            match rvhpc::kernels::KernelName::from_label(&label) {
+                Some(k) => emit_table(rvhpc::inspect::kernel_table(k), csv),
+                None => {
+                    eprintln!("unknown kernel `{label}`; labels are e.g. Basic_DAXPY, Stream_TRIAD");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "calibrate" => calibrate(),
+        "native" => native(&args),
+        "all" => {
+            emit_fig(fig1::run(), csv);
+            emit_table(
+                scaling::table1().report("Table 1", "block placement scaling (FP32)"),
+                csv,
+            );
+            emit_table(
+                scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)"),
+                csv,
+            );
+            emit_table(
+                scaling::table3().report("Table 3", "cluster-cyclic placement scaling (FP32)"),
+                csv,
+            );
+            emit_fig(fig2::run(), csv);
+            emit_table(fig3::report(), csv);
+            emit_table(x86::table4(), csv);
+            emit_fig(x86::fig4(), csv);
+            emit_fig(x86::fig5(), csv);
+            emit_fig(x86::fig6(), csv);
+            emit_fig(x86::fig7(), csv);
+            emit_fig(next_gen::run(Precision::Fp64), csv);
+        }
+        other => {
+            eprintln!("unknown artefact `{other}`");
+            eprintln!("usage: repro [--csv|--json] [all|fig1..fig7|table1..table4|nextgen|machines|kernel <label>|calibrate|native]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn emit_fig(fig: rvhpc::FigureReport, csv: bool) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&fig).expect("figure serialises"));
+    } else if std::env::args().any(|a| a == "--chart") {
+        println!("{}", fig.to_ascii_chart());
+    } else if csv {
+        print!("{}", fig.to_csv());
+    } else {
+        println!("{}", fig.to_markdown());
+    }
+}
+
+fn emit_table(t: rvhpc::TableReport, csv: bool) {
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(&t).expect("table serialises"));
+    } else if csv {
+        print!("{}", t.to_csv());
+    } else {
+        println!("{}", t.to_markdown());
+    }
+}
+
+/// Print the headline averages the paper quotes, next to its numbers, so
+/// calibration drift is visible at a glance.
+fn calibrate() {
+    println!("## Headline ratios: paper vs model\n");
+
+    // Section 3.1 / conclusions: C920 vs U74 (V2) single-core.
+    for (p, lo, hi) in [(Precision::Fp64, 4.3, 6.5), (Precision::Fp32, 5.6, 11.8)] {
+        let ratios = fig1::speedup_ratios(MachineId::Sg2042, p);
+        let mut per_class: Vec<(KernelClass, f64)> = KernelClass::ALL
+            .into_iter()
+            .map(|c| {
+                let ks: Vec<f64> = ratios
+                    .iter()
+                    .filter(|(k, _)| k.class() == c)
+                    .map(|(_, &r)| r)
+                    .collect();
+                (c, ks.iter().sum::<f64>() / ks.len() as f64)
+            })
+            .collect();
+        per_class.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        let min = per_class.first().expect("classes").1;
+        let max = per_class.last().expect("classes").1;
+        println!(
+            "SG2042 vs V2 {p:?}: paper class means {lo:.1}–{hi:.1}x | model {min:.1}–{max:.1}x"
+        );
+        for (c, v) in &per_class {
+            println!("    {c:<10} {v:.1}x");
+        }
+    }
+
+    // Conclusions: x86 vs SG2042 single core.
+    println!("\nx86 vs SG2042 single core (paper: FP32 Rome 3x, Broadwell 4x, Icelake 4x, SNB 2x;");
+    println!("                            FP64 Rome 4x, Broadwell 4x, Icelake 5x, SNB 1.2x)");
+    for (fig, label) in [(x86::fig5(), "FP32"), (x86::fig4(), "FP64")] {
+        print!("  {label}: ");
+        for s in &fig.series {
+            print!("{} {:+.1} | ", s.label, s.overall_mean());
+        }
+        println!();
+    }
+
+    // Conclusions: multithreaded.
+    println!("\nx86 vs SG2042 multithreaded (paper: FP32 Rome 8x, Broadwell 6x, Icelake 6x;");
+    println!("                              FP64 Rome 5x, Broadwell 4x, Icelake 8x; SNB loses)");
+    for (fig, label) in [(x86::fig7(), "FP32"), (x86::fig6(), "FP64")] {
+        print!("  {label}: ");
+        for s in &fig.series {
+            print!("{} {:+.1} | ", s.label, s.overall_mean());
+        }
+        println!();
+    }
+}
+
+fn native(args: &[String]) {
+    let scale: f64 = args
+        .iter()
+        .skip_while(|a| a.as_str() != "native")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+    println!("running the 64-kernel suite natively: scale={scale}, threads={threads}\n");
+    println!("| kernel | class | size | s/rep | checksum |");
+    println!("|---|---|---|---|---|");
+    for t in rvhpc::native::run_suite(scale, threads, 3) {
+        println!(
+            "| {} | {} | {} | {:.6} | {:.6e} |",
+            t.kernel, t.class, t.size, t.seconds_per_rep, t.checksum
+        );
+    }
+}

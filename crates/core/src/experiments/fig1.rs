@@ -1,0 +1,123 @@
+//! Figure 1: single-core comparison of the VisionFive V1, VisionFive V2 and
+//! SG2042 at FP32 and FP64, baselined to the V2 at FP64.
+
+use crate::report::{ClassStat, FigureReport, SeriesStat};
+use crate::suite::{suite_times, times_faster};
+use rvhpc_kernels::{KernelClass, KernelName};
+use rvhpc_machines::{machine, MachineId};
+use rvhpc_perfmodel::{Precision, RunConfig};
+use std::collections::HashMap;
+
+/// The per-kernel baseline: VisionFive V2 at FP64, one core, best config.
+fn baseline() -> HashMap<KernelName, f64> {
+    let v2 = machine(MachineId::VisionFiveV2);
+    suite_times(&v2, &RunConfig::sg2042_best(Precision::Fp64, 1))
+        .into_iter()
+        .map(|t| (t.kernel, t.estimate.seconds))
+        .collect()
+}
+
+fn series(label: &str, id: MachineId, precision: Precision, base: &HashMap<KernelName, f64>) -> SeriesStat {
+    let m = machine(id);
+    let times = suite_times(&m, &RunConfig::sg2042_best(precision, 1));
+    let classes = KernelClass::ALL
+        .into_iter()
+        .map(|class| {
+            let vals: Vec<f64> = times
+                .iter()
+                .filter(|t| t.class == class)
+                .map(|t| times_faster(base[&t.kernel], t.estimate.seconds))
+                .collect();
+            ClassStat::from_values(class, &vals)
+        })
+        .collect();
+    SeriesStat { label: label.into(), classes }
+}
+
+/// Regenerate Figure 1.
+pub fn run() -> FigureReport {
+    let base = baseline();
+    FigureReport {
+        id: "Figure 1".into(),
+        title: "Single core comparison baselined against StarFive VisionFive V2 \
+                running in double precision (FP64), against V1 and SG2042"
+            .into(),
+        value_label: "times faster than V2 FP64 (0 = parity, negative = slower)".into(),
+        series: vec![
+            series("V1 FP64", MachineId::VisionFiveV1, Precision::Fp64, &base),
+            series("V1 FP32", MachineId::VisionFiveV1, Precision::Fp32, &base),
+            series("V2 FP32", MachineId::VisionFiveV2, Precision::Fp32, &base),
+            series("SG2042 FP64", MachineId::Sg2042, Precision::Fp64, &base),
+            series("SG2042 FP32", MachineId::Sg2042, Precision::Fp32, &base),
+        ],
+    }
+}
+
+/// The raw per-kernel speedup (plain ratio, not the plot transform) of one
+/// machine/precision against the V2-FP64 baseline — used by tests and
+/// EXPERIMENTS.md.
+pub fn speedup_ratios(id: MachineId, precision: Precision) -> HashMap<KernelName, f64> {
+    let base = baseline();
+    let m = machine(id);
+    suite_times(&m, &RunConfig::sg2042_best(precision, 1))
+        .into_iter()
+        .map(|t| (t.kernel, base[&t.kernel] / t.estimate.seconds))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sg2042_outperforms_v2_in_every_class_at_both_precisions() {
+        let fig = run();
+        for label in ["SG2042 FP64", "SG2042 FP32"] {
+            let s = fig.series.iter().find(|s| s.label == label).unwrap();
+            for c in &s.classes {
+                assert!(c.mean > 0.0, "{label}/{}: {}", c.class, c.mean);
+            }
+        }
+    }
+
+    #[test]
+    fn no_kernel_runs_slower_on_the_c920_than_the_u74() {
+        // Paper: "there were no kernels that ran slower on the C920 core
+        // than the U74".
+        for p in [Precision::Fp32, Precision::Fp64] {
+            for (k, r) in speedup_ratios(MachineId::Sg2042, p) {
+                assert!(r > 1.0, "{k} at {p:?}: ratio {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp32_gap_exceeds_fp64_gap_on_sg2042() {
+        // The C920 vectorises FP32 but not FP64, so its advantage over the
+        // (vectorless) U74 must be larger at FP32.
+        let fig = run();
+        let fp64 = fig.series.iter().find(|s| s.label == "SG2042 FP64").unwrap();
+        let fp32 = fig.series.iter().find(|s| s.label == "SG2042 FP32").unwrap();
+        assert!(fp32.overall_mean() > fp64.overall_mean());
+    }
+
+    #[test]
+    fn v1_is_slower_than_v2() {
+        let fig = run();
+        let v1 = fig.series.iter().find(|s| s.label == "V1 FP64").unwrap();
+        for c in &v1.classes {
+            assert!(c.mean < 0.0, "{}: {}", c.class, c.mean);
+        }
+    }
+
+    #[test]
+    fn memset_is_the_standout_kernel() {
+        // Paper: MEMSET ran 40× faster in FP32 and 18× in FP64 than on the
+        // U74 — the largest speedups in the algorithm class.
+        let r = speedup_ratios(MachineId::Sg2042, Precision::Fp32);
+        let memset = r[&KernelName::MEMSET];
+        for k in KernelName::in_class(KernelClass::Algorithm) {
+            assert!(memset >= r[&k], "{k}: {} > memset {memset}", r[&k]);
+        }
+    }
+}

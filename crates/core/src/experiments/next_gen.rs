@@ -1,0 +1,129 @@
+//! Extension experiment (not in the paper, but specified by it): the
+//! paper's conclusion lists what the next high-performance RISC-V part
+//! needs — RVV v1.0, FP64 vectorisation, wider vector registers, larger L1
+//! and more memory controllers per NUMA region. This experiment configures
+//! exactly that machine and asks how far it closes the gap to the x86
+//! parts.
+
+use crate::report::{ClassStat, FigureReport, SeriesStat};
+use crate::suite::{suite_times, times_faster};
+use rvhpc_compiler::VectorMode;
+use rvhpc_kernels::{KernelClass, KernelName};
+use rvhpc_machines::{machine, MachineId, PlacementPolicy};
+use rvhpc_perfmodel::{Precision, RunConfig, Toolchain};
+use std::collections::HashMap;
+
+/// Configuration for the what-if machine: mainline Clang targeting RVV
+/// v1.0 natively (no rollback needed), cluster placement.
+fn ng_config(precision: Precision, threads: usize) -> RunConfig {
+    RunConfig {
+        precision,
+        vectorize: true,
+        toolchain: Toolchain::ClangRvv,
+        mode: VectorMode::Vls,
+        placement: PlacementPolicy::ClusterCyclic,
+        threads,
+    }
+}
+
+/// The what-if comparison: SG2042-NG and the x86 parts, baselined against
+/// today's SG2042, multithreaded, at a given precision.
+pub fn run(precision: Precision) -> FigureReport {
+    let sg = machine(MachineId::Sg2042);
+    let base: HashMap<KernelName, f64> = {
+        let t32 = suite_times(&sg, &RunConfig::sg2042_best(precision, 32));
+        let t64 = suite_times(&sg, &RunConfig::sg2042_best(precision, 64));
+        t32.into_iter()
+            .zip(t64)
+            .map(|(a, b)| (a.kernel, a.estimate.seconds.min(b.estimate.seconds)))
+            .collect()
+    };
+
+    let mut series = Vec::new();
+    // The what-if machine at its best thread count.
+    {
+        let ng = machine(MachineId::Sg2042NextGen);
+        let t32 = suite_times(&ng, &ng_config(precision, 32));
+        let t64 = suite_times(&ng, &ng_config(precision, 64));
+        let best: HashMap<KernelName, f64> = t32
+            .into_iter()
+            .zip(t64)
+            .map(|(a, b)| (a.kernel, a.estimate.seconds.min(b.estimate.seconds)))
+            .collect();
+        series.push(class_series("SG2042-NG (what-if)", &best, &base));
+    }
+    for id in [MachineId::AmdRome, MachineId::IntelIcelake] {
+        let m = machine(id);
+        let times: HashMap<KernelName, f64> =
+            suite_times(&m, &RunConfig::x86(precision, m.n_cores()))
+                .into_iter()
+                .map(|t| (t.kernel, t.estimate.seconds))
+                .collect();
+        series.push(class_series(&m.name, &times, &base));
+    }
+
+    FigureReport {
+        id: "Extension".into(),
+        title: format!(
+            "What-if: the conclusion's next-gen SG2042 vs today's SG2042 and x86, \
+             multithreaded {}",
+            precision.label()
+        ),
+        value_label: "times faster than today's SG2042".into(),
+        series,
+    }
+}
+
+fn class_series(
+    label: &str,
+    times: &HashMap<KernelName, f64>,
+    base: &HashMap<KernelName, f64>,
+) -> SeriesStat {
+    let classes = KernelClass::ALL
+        .into_iter()
+        .map(|class| {
+            let vals: Vec<f64> = KernelName::in_class(class)
+                .into_iter()
+                .map(|k| times_faster(base[&k], times[&k]))
+                .collect();
+            ClassStat::from_values(class, &vals)
+        })
+        .collect();
+    SeriesStat { label: label.into(), classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_gen_improves_on_todays_part_everywhere() {
+        let fig = run(Precision::Fp64);
+        let ng = &fig.series[0];
+        for c in &ng.classes {
+            assert!(c.mean > 0.0, "{}: next-gen must beat today's SG2042, got {}", c.class, c.mean);
+        }
+    }
+
+    #[test]
+    fn fp64_gains_more_than_fp32() {
+        // FP64 vectorisation is the headline addition, so the what-if part
+        // gains more at FP64 (where today's C920 runs scalar) than at FP32.
+        let fp64 = run(Precision::Fp64).series[0].overall_mean();
+        let fp32 = run(Precision::Fp32).series[0].overall_mean();
+        assert!(fp64 > fp32, "fp64 gain {fp64} vs fp32 gain {fp32}");
+    }
+
+    #[test]
+    fn next_gen_narrows_but_does_not_close_the_x86_gap() {
+        // The what-if experiment's finding: the conclusion's wishlist wins
+        // back a large multiple over today's part (FP64 vectors + memory
+        // fixes), yet the per-core compute gap to Zen 2 remains — the
+        // redesign narrows the x86 gap without closing it.
+        let fig = run(Precision::Fp64);
+        let ng = fig.series[0].overall_mean();
+        let rome = fig.series[1].overall_mean();
+        assert!(ng > 1.0, "wishlist must at least double performance: {ng}");
+        assert!(ng < rome, "core microarchitecture still trails Zen 2: {ng} vs {rome}");
+    }
+}

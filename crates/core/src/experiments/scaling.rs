@@ -1,0 +1,192 @@
+//! Tables 1–3: speed-up and parallel efficiency on the SG2042 as threads
+//! scale under the three placement policies (FP32, vectorised).
+
+use crate::report::TableReport;
+use crate::suite::{class_mean, suite_times};
+use rvhpc_compiler::VectorMode;
+use rvhpc_kernels::KernelClass;
+use rvhpc_machines::{machine, MachineId, PlacementPolicy};
+use rvhpc_perfmodel::{Precision, RunConfig, Toolchain};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Thread counts the paper sweeps.
+pub const THREADS: [usize; 6] = [2, 4, 8, 16, 32, 64];
+
+/// One (class, thread-count) cell.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ScalingCell {
+    /// T(1)/T(t), averaged per class.
+    pub speedup: f64,
+    /// Speedup / threads.
+    pub efficiency: f64,
+}
+
+/// A whole scaling table for one placement policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingTable {
+    /// The placement policy.
+    pub policy: PlacementPolicy,
+    /// `cells[threads][class]`.
+    pub cells: HashMap<usize, HashMap<KernelClass, ScalingCell>>,
+}
+
+fn cfg(policy: PlacementPolicy, threads: usize) -> RunConfig {
+    RunConfig {
+        precision: Precision::Fp32, // "multi-threaded runs are undertaken in single precision"
+        vectorize: true,
+        toolchain: Toolchain::XuanTieGcc,
+        mode: VectorMode::Vls,
+        placement: policy,
+        threads,
+    }
+}
+
+/// Compute a scaling table for one policy.
+pub fn run(policy: PlacementPolicy) -> ScalingTable {
+    let m = machine(MachineId::Sg2042);
+    let t1: HashMap<_, _> = suite_times(&m, &cfg(policy, 1))
+        .into_iter()
+        .map(|t| (t.kernel, t.estimate.seconds))
+        .collect();
+
+    let mut cells: HashMap<usize, HashMap<KernelClass, ScalingCell>> = HashMap::new();
+    for threads in THREADS {
+        let times = suite_times(&m, &cfg(policy, threads));
+        let mut by_class: HashMap<KernelClass, Vec<f64>> = HashMap::new();
+        for t in &times {
+            by_class
+                .entry(t.class)
+                .or_default()
+                .push(t1[&t.kernel] / t.estimate.seconds);
+        }
+        let row = by_class
+            .into_iter()
+            .map(|(class, speedups)| {
+                let speedup = class_mean(&speedups);
+                (class, ScalingCell { speedup, efficiency: speedup / threads as f64 })
+            })
+            .collect();
+        cells.insert(threads, row);
+    }
+    ScalingTable { policy, cells }
+}
+
+impl ScalingTable {
+    /// Cell lookup.
+    pub fn cell(&self, threads: usize, class: KernelClass) -> ScalingCell {
+        self.cells[&threads][&class]
+    }
+
+    /// Render in the paper's layout: one row per thread count, speedup and
+    /// PE columns per class.
+    pub fn report(&self, id: &str, title: &str) -> TableReport {
+        let mut headers = vec!["Threads".to_string()];
+        for class in KernelClass::ALL {
+            headers.push(format!("{class} speedup"));
+            headers.push(format!("{class} PE"));
+        }
+        let rows = THREADS
+            .iter()
+            .map(|&t| {
+                let mut row = vec![t.to_string()];
+                for class in KernelClass::ALL {
+                    let c = self.cell(t, class);
+                    row.push(format!("{:.2}", c.speedup));
+                    row.push(format!("{:.2}", c.efficiency));
+                }
+                row
+            })
+            .collect();
+        TableReport { id: id.into(), title: title.into(), headers, rows }
+    }
+}
+
+/// Table 1: block placement.
+pub fn table1() -> ScalingTable {
+    run(PlacementPolicy::Block)
+}
+
+/// Table 2: NUMA-cyclic placement.
+pub fn table2() -> ScalingTable {
+    run(PlacementPolicy::NumaCyclic)
+}
+
+/// Table 3: cluster-aware cyclic placement.
+pub fn table3() -> ScalingTable {
+    run(PlacementPolicy::ClusterCyclic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polybench_scales_best() {
+        // Paper Table 2: polybench reaches PE ≈ 0.9 at 64 threads while
+        // stream collapses.
+        let t = table2();
+        let poly = t.cell(64, KernelClass::Polybench);
+        let stream = t.cell(64, KernelClass::Stream);
+        assert!(poly.speedup > 3.0 * stream.speedup, "poly {poly:?} stream {stream:?}");
+        assert!(poly.efficiency > 0.4);
+    }
+
+    #[test]
+    fn cyclic_beats_block_at_32_threads() {
+        let block = table1();
+        let cyclic = table2();
+        let mut wins = 0;
+        for class in KernelClass::ALL {
+            if cyclic.cell(32, class).speedup > block.cell(32, class).speedup {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 5, "cyclic should beat block in ≥5/6 classes at 32 threads: {wins}");
+    }
+
+    #[test]
+    fn cluster_beats_cyclic_up_to_32_threads() {
+        // Paper: "up to and including 32 threads such a policy delivers a
+        // noticeable improvement compared to the previous cyclic policy".
+        let cyclic = table2();
+        let cluster = table3();
+        for threads in [8usize, 16, 32] {
+            let mut wins = 0;
+            for class in KernelClass::ALL {
+                if cluster.cell(threads, class).speedup >= cyclic.cell(threads, class).speedup * 0.99
+                {
+                    wins += 1;
+                }
+            }
+            assert!(wins >= 4, "cluster should not lose at {threads} threads: {wins}/6");
+        }
+    }
+
+    #[test]
+    fn block_placement_stream_collapses_at_32() {
+        // Paper Table 1: stream speedup 4.31 @16 drops to 0.82 @32.
+        let t = table1();
+        let s16 = t.cell(16, KernelClass::Stream).speedup;
+        let s32 = t.cell(32, KernelClass::Stream).speedup;
+        assert!(s32 < s16, "block stream scaling must collapse: {s16} → {s32}");
+    }
+
+    #[test]
+    fn efficiency_equals_speedup_over_threads() {
+        let t = table3();
+        for threads in THREADS {
+            for class in KernelClass::ALL {
+                let c = t.cell(threads, class);
+                assert!((c.efficiency - c.speedup / threads as f64).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn report_shape_matches_paper_tables() {
+        let r = table1().report("Table 1", "block placement");
+        assert_eq!(r.headers.len(), 13, "threads + 6 × (speedup, PE)");
+        assert_eq!(r.rows.len(), THREADS.len());
+    }
+}

@@ -1,0 +1,230 @@
+//! Table 4 and Figures 4–7: the x86 comparison.
+
+use crate::report::{ClassStat, FigureReport, SeriesStat, TableReport};
+use crate::suite::{suite_times, times_faster};
+use rvhpc_kernels::{KernelClass, KernelName};
+use rvhpc_machines::{machine, x86_machines, MachineId};
+use rvhpc_perfmodel::{Precision, RunConfig};
+use std::collections::HashMap;
+
+/// Table 4: the x86 CPU inventory, straight from the machine descriptors.
+pub fn table4() -> TableReport {
+    TableReport {
+        id: "Table 4".into(),
+        title: "Summary of x86 CPUs used to compare against the SG2042".into(),
+        headers: vec![
+            "CPU".into(),
+            "Part".into(),
+            "Clock".into(),
+            "Cores".into(),
+            "Vector".into(),
+        ],
+        rows: x86_machines()
+            .iter()
+            .map(|m| {
+                let vec_label = match m.vector.as_ref().map(|v| v.family) {
+                    Some(rvhpc_machines::vector::VectorFamily::Avx) => "AVX",
+                    Some(rvhpc_machines::vector::VectorFamily::Avx2) => "AVX2",
+                    Some(rvhpc_machines::vector::VectorFamily::Avx512) => "AVX512",
+                    _ => "-",
+                };
+                vec![
+                    m.name.clone(),
+                    m.part.clone(),
+                    format!("{}GHz", m.clock_ghz),
+                    m.n_cores().to_string(),
+                    vec_label.to_string(),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Per-kernel SG2042 baseline times (best config) at a precision and
+/// thread count ("best" multithreaded = min over 32/64 threads, as the
+/// paper found 32 better for some classes).
+fn sg2042_times(precision: Precision, multithreaded: bool) -> HashMap<KernelName, f64> {
+    let m = machine(MachineId::Sg2042);
+    if multithreaded {
+        let t32 = suite_times(&m, &RunConfig::sg2042_best(precision, 32));
+        let t64 = suite_times(&m, &RunConfig::sg2042_best(precision, 64));
+        t32.into_iter()
+            .zip(t64)
+            .map(|(a, b)| (a.kernel, a.estimate.seconds.min(b.estimate.seconds)))
+            .collect()
+    } else {
+        suite_times(&m, &RunConfig::sg2042_best(precision, 1))
+            .into_iter()
+            .map(|t| (t.kernel, t.estimate.seconds))
+            .collect()
+    }
+}
+
+fn x86_series(
+    id: MachineId,
+    precision: Precision,
+    threads: usize,
+    base: &HashMap<KernelName, f64>,
+) -> SeriesStat {
+    let m = machine(id);
+    let times = suite_times(&m, &RunConfig::x86(precision, threads));
+    let classes = KernelClass::ALL
+        .into_iter()
+        .map(|class| {
+            let vals: Vec<f64> = times
+                .iter()
+                .filter(|t| t.class == class)
+                .map(|t| times_faster(base[&t.kernel], t.estimate.seconds))
+                .collect();
+            ClassStat::from_values(class, &vals)
+        })
+        .collect();
+    SeriesStat { label: m.name, classes }
+}
+
+fn comparison(id: &str, title: &str, precision: Precision, multithreaded: bool) -> FigureReport {
+    let base = sg2042_times(precision, multithreaded);
+    let series = x86_machines()
+        .iter()
+        .map(|m| {
+            let threads = if multithreaded { m.n_cores() } else { 1 };
+            x86_series(m.id, precision, threads, &base)
+        })
+        .collect();
+    FigureReport {
+        id: id.into(),
+        title: title.into(),
+        value_label: "times faster (+) or slower (−) than the SG2042 baseline".into(),
+        series,
+    }
+}
+
+/// Figure 4: FP64 single-core comparison.
+pub fn fig4() -> FigureReport {
+    comparison(
+        "Figure 4",
+        "FP64 single core comparison against x86, baselined to SG2042",
+        Precision::Fp64,
+        false,
+    )
+}
+
+/// Figure 5: FP32 single-core comparison.
+pub fn fig5() -> FigureReport {
+    comparison(
+        "Figure 5",
+        "FP32 single core comparison against x86, baselined to SG2042",
+        Precision::Fp32,
+        false,
+    )
+}
+
+/// Figure 6: FP64 multithreaded comparison (each machine at its best
+/// thread count).
+pub fn fig6() -> FigureReport {
+    comparison(
+        "Figure 6",
+        "FP64 multithreaded comparison against x86, baselined to SG2042",
+        Precision::Fp64,
+        true,
+    )
+}
+
+/// Figure 7: FP32 multithreaded comparison.
+pub fn fig7() -> FigureReport {
+    comparison(
+        "Figure 7",
+        "FP32 multithreaded comparison against x86, baselined to SG2042",
+        Precision::Fp32,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series<'a>(fig: &'a FigureReport, name: &str) -> &'a SeriesStat {
+        fig.series
+            .iter()
+            .find(|s| s.label.contains(name))
+            .unwrap_or_else(|| panic!("{name} missing"))
+    }
+
+    #[test]
+    fn table4_matches_paper() {
+        let t = table4();
+        assert_eq!(t.rows.len(), 4);
+        let flat: Vec<String> = t.rows.concat();
+        for needle in ["EPYC 7742", "Xeon E5-2695", "Xeon 6330", "Xeon E5-2609", "AVX512"] {
+            assert!(flat.iter().any(|c| c.contains(needle)), "{needle}");
+        }
+    }
+
+    #[test]
+    fn fig4_modern_x86_beats_sg2042_single_core_fp64() {
+        let fig = fig4();
+        for name in ["Rome", "Broadwell", "Icelake"] {
+            let s = series(&fig, name);
+            assert!(
+                s.overall_mean() > 1.0,
+                "{name} should be clearly faster at FP64: {}",
+                s.overall_mean()
+            );
+        }
+    }
+
+    #[test]
+    fn fig4_sandybridge_loses_stream_and_algorithm() {
+        // Paper: "the Sandybridge core ... on average performs slower for
+        // stream and algorithm benchmark classes".
+        let fig = fig4();
+        let snb = series(&fig, "Sandybridge");
+        assert!(snb.class(KernelClass::Stream).unwrap().mean < 0.0);
+        assert!(snb.class(KernelClass::Algorithm).unwrap().mean < 0.0);
+    }
+
+    #[test]
+    fn fig5_rome_gains_less_from_fp32_than_icelake() {
+        // Paper: "the AMD Rome CPU is fairly lacklustre when executing at
+        // single precision compared to double, whereas the Intel processors
+        // on average perform just as well". We assert the relative version:
+        // Rome's FP32-over-FP64 improvement trails Icelake's.
+        let rome_delta =
+            series(&fig5(), "Rome").overall_mean() - series(&fig4(), "Rome").overall_mean();
+        let icx_delta = series(&fig5(), "Icelake").overall_mean()
+            - series(&fig4(), "Icelake").overall_mean();
+        assert!(
+            rome_delta < icx_delta + 0.1,
+            "Rome Δ{rome_delta} should not exceed Icelake Δ{icx_delta}"
+        );
+    }
+
+    #[test]
+    fn fig6_sg2042_beats_sandybridge_multithreaded() {
+        // 64 C920 cores vs 4 Sandybridge cores.
+        let fig = fig6();
+        let snb = series(&fig, "Sandybridge");
+        for c in &snb.classes {
+            assert!(c.mean < 0.0, "{}: SNB should lose multithreaded: {}", c.class, c.mean);
+        }
+    }
+
+    #[test]
+    fn fig6_modern_x86_still_wins_multithreaded() {
+        let fig = fig6();
+        for name in ["Rome", "Broadwell", "Icelake"] {
+            let s = series(&fig, name);
+            assert!(s.overall_mean() > 0.5, "{name}: {}", s.overall_mean());
+        }
+    }
+
+    #[test]
+    fn fig7_exists_with_all_series() {
+        let fig = fig7();
+        assert_eq!(fig.series.len(), 4);
+        for s in &fig.series {
+            assert_eq!(s.classes.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Report structures for figures and tables, with markdown/CSV rendering.
+
+use rvhpc_kernels::KernelClass;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Mean + whisker statistics for one benchmark class (one bar of a paper
+/// figure).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassStat {
+    /// The class.
+    pub class: KernelClass,
+    /// Mean of the per-kernel values.
+    pub mean: f64,
+    /// Minimum (bottom whisker).
+    pub min: f64,
+    /// Maximum (top whisker).
+    pub max: f64,
+}
+
+impl ClassStat {
+    /// Aggregate per-kernel values into a bar.
+    pub fn from_values(class: KernelClass, values: &[f64]) -> Self {
+        let mean = crate::suite::class_mean(values);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ClassStat { class, mean, min, max }
+    }
+}
+
+/// One plotted series (one machine/configuration across the six classes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesStat {
+    /// Legend label.
+    pub label: String,
+    /// One bar per class.
+    pub classes: Vec<ClassStat>,
+}
+
+impl SeriesStat {
+    /// The bar for a class.
+    pub fn class(&self, class: KernelClass) -> Option<&ClassStat> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+
+    /// Mean across all classes (the "on average" numbers the paper quotes).
+    pub fn overall_mean(&self) -> f64 {
+        crate::suite::class_mean(&self.classes.iter().map(|c| c.mean).collect::<Vec<_>>())
+    }
+}
+
+/// A figure: several series over the six classes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureReport {
+    /// Figure identifier, e.g. "Figure 1".
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Value axis label.
+    pub value_label: String,
+    /// The series.
+    pub series: Vec<SeriesStat>,
+}
+
+impl FigureReport {
+    /// Render as a markdown table (classes × series, `mean [min, max]`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out, "*{}*", self.value_label);
+        let _ = write!(out, "\n| class |");
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.label);
+        }
+        let _ = write!(out, "\n|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for class in KernelClass::ALL {
+            let _ = write!(out, "| {class} |");
+            for s in &self.series {
+                match s.class(class) {
+                    Some(c) => {
+                        let _ = write!(out, " {:+.2} [{:+.2}, {:+.2}] |", c.mean, c.min, c.max);
+                    }
+                    None => {
+                        let _ = write!(out, " – |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as an ASCII bar chart with whiskers — the closest terminal
+    /// analogue of the paper's figures. Bars are scaled symmetrically
+    /// around zero (the baseline) to the largest |mean|.
+    pub fn to_ascii_chart(&self) -> String {
+        const HALF: usize = 30; // columns each side of the zero axis
+        let scale = self
+            .series
+            .iter()
+            .flat_map(|s| s.classes.iter())
+            .map(|c| c.mean.abs())
+            .fold(1e-9, f64::max);
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        let _ = writeln!(out, "({}; axis spans ±{scale:.2})\n", self.value_label);
+        for s in &self.series {
+            let _ = writeln!(out, "{}", s.label);
+            for c in &s.classes {
+                let n = ((c.mean.abs() / scale) * HALF as f64).round() as usize;
+                let n = n.min(HALF);
+                let (neg, pos) = if c.mean >= 0.0 {
+                    (" ".repeat(HALF), format!("{}{}", "█".repeat(n), " ".repeat(HALF - n)))
+                } else {
+                    (
+                        format!("{}{}", " ".repeat(HALF - n), "█".repeat(n)),
+                        " ".repeat(HALF),
+                    )
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {neg}|{pos} {:+.2} [{:+.2}, {:+.2}]",
+                    c.class.label(),
+                    c.mean,
+                    c.min,
+                    c.max
+                );
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV (`series,class,mean,min,max`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,class,mean,min,max\n");
+        for s in &self.series {
+            for c in &s.classes {
+                let _ = writeln!(out, "{},{},{:.4},{:.4},{:.4}", s.label, c.class, c.mean, c.min, c.max);
+            }
+        }
+        out
+    }
+}
+
+/// A generic table: header row plus string rows (used for Tables 1–4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableReport {
+    /// Table identifier, e.g. "Table 1".
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// Render as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = write!(out, "\n|");
+        for h in &self.headers {
+            let _ = write!(out, " {h} |");
+        }
+        let _ = write!(out, "\n|");
+        for _ in &self.headers {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            let _ = write!(out, "|");
+            for cell in row {
+                let _ = write!(out, " {cell} |");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_stat_aggregates() {
+        let s = ClassStat::from_values(KernelClass::Stream, &[1.0, 3.0, -1.0]);
+        assert_eq!(s.mean, 1.0);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 3.0);
+    }
+
+    #[test]
+    fn markdown_has_all_classes() {
+        let fig = FigureReport {
+            id: "Figure X".into(),
+            title: "test".into(),
+            value_label: "times faster".into(),
+            series: vec![SeriesStat {
+                label: "a".into(),
+                classes: KernelClass::ALL
+                    .into_iter()
+                    .map(|c| ClassStat { class: c, mean: 0.0, min: -1.0, max: 1.0 })
+                    .collect(),
+            }],
+        };
+        let md = fig.to_markdown();
+        for c in KernelClass::ALL {
+            assert!(md.contains(c.label()), "{md}");
+        }
+    }
+
+    #[test]
+    fn ascii_chart_renders_all_series_and_classes() {
+        let fig = FigureReport {
+            id: "Figure X".into(),
+            title: "test".into(),
+            value_label: "times faster".into(),
+            series: vec![SeriesStat {
+                label: "series-a".into(),
+                classes: vec![
+                    ClassStat { class: KernelClass::Stream, mean: 2.0, min: 1.0, max: 3.0 },
+                    ClassStat { class: KernelClass::Basic, mean: -1.0, min: -2.0, max: 0.0 },
+                ],
+            }],
+        };
+        let chart = fig.to_ascii_chart();
+        assert!(chart.contains("series-a"));
+        assert!(chart.contains("stream"));
+        assert!(chart.contains("█"), "bars must render");
+        // The negative bar sits left of the axis: its line has bars before '|'.
+        let basic_line = chart.lines().find(|l| l.contains("basic")).unwrap();
+        let axis = basic_line.find('|').unwrap();
+        assert!(basic_line[..axis].contains('█'), "{basic_line}");
+    }
+
+    #[test]
+    fn csv_row_counts() {
+        let t = TableReport {
+            id: "Table X".into(),
+            title: "t".into(),
+            headers: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        assert_eq!(t.to_csv().lines().count(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! The simulated suite runner and ratio conventions.
+
+use rvhpc_kernels::{KernelClass, KernelName};
+use rvhpc_machines::Machine;
+use rvhpc_perfmodel::{estimate_averaged, RunConfig, TimeEstimate};
+use serde::{Deserialize, Serialize};
+
+/// One kernel's simulated time under one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KernelTime {
+    /// Which kernel.
+    pub kernel: KernelName,
+    /// Its class.
+    pub class: KernelClass,
+    /// Estimate (per repetition, averaged over the paper's 5 runs).
+    pub estimate: TimeEstimate,
+}
+
+/// Run the whole 64-kernel suite on a simulated machine. The per-kernel
+/// estimates are independent, so the sweep fans out across the host with
+/// rayon (the estimator is pure apart from an internal memoisation cache).
+pub fn suite_times(machine: &Machine, cfg: &RunConfig) -> Vec<KernelTime> {
+    use rayon::prelude::*;
+    KernelName::ALL
+        .into_par_iter()
+        .map(|kernel| KernelTime {
+            kernel,
+            class: kernel.class(),
+            estimate: estimate_averaged(machine, kernel, cfg),
+        })
+        .collect()
+}
+
+/// The paper's "number of times faster" convention for its figures:
+/// `0` means parity, `+1` means twice as fast as the baseline, `-1` means
+/// twice as slow (the transform is symmetric around zero).
+pub fn times_faster(baseline_seconds: f64, this_seconds: f64) -> f64 {
+    let ratio = baseline_seconds / this_seconds;
+    if ratio >= 1.0 {
+        ratio - 1.0
+    } else {
+        -(1.0 / ratio - 1.0)
+    }
+}
+
+/// Mean of a slice.
+pub fn class_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_machines::{machine, MachineId};
+    use rvhpc_perfmodel::Precision;
+
+    #[test]
+    fn suite_covers_all_64_kernels() {
+        let m = machine(MachineId::Sg2042);
+        let times = suite_times(&m, &RunConfig::sg2042_best(Precision::Fp32, 1));
+        assert_eq!(times.len(), 64);
+        assert!(times.iter().all(|t| t.estimate.seconds > 0.0));
+    }
+
+    #[test]
+    fn times_faster_convention_matches_paper_text() {
+        // "zero ... same performance"
+        assert_eq!(times_faster(1.0, 1.0), 0.0);
+        // "one means ... one time faster (e.g. double)"
+        assert_eq!(times_faster(2.0, 1.0), 1.0);
+        // "minus one indicates it is twice as slow"
+        assert_eq!(times_faster(1.0, 2.0), -1.0);
+        // Symmetry.
+        assert_eq!(times_faster(3.0, 1.0), -times_faster(1.0, 3.0));
+    }
+
+    #[test]
+    fn class_mean_handles_empty() {
+        assert_eq!(class_mean(&[]), 0.0);
+        assert_eq!(class_mean(&[2.0, 4.0]), 3.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Atomic floating-point addition (the `DAXPY_ATOMIC` / `PI_ATOMIC`
+//! substrate).
+//!
+//! Rust has no `AtomicF32`/`AtomicF64`; the standard construction is a
+//! compare-exchange loop over the bit pattern, which is also exactly what
+//! `omp atomic` lowers to on targets without FP atomics — including the
+//! C920. The CAS-loop cost is what makes the atomic kernels slower than
+//! their reduction twins, and the descriptor tables charge for it.
+
+use crate::real::Real;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Atomically `*slot += val` for `f32`/`f64` elements of a shared slice.
+///
+/// # Safety
+/// `ptr` must point into a live allocation of `T` that outlives the call,
+/// properly aligned for `T`; concurrent access to the same element is only
+/// allowed through this function (mixing with plain writes is a data race).
+pub unsafe fn atomic_add<T: Real>(ptr: *mut T, val: T) {
+    match T::BITS {
+        32 => {
+            // SAFETY: T is f32 (BITS == 32); alignment of AtomicU32 equals
+            // f32's; caller guarantees liveness and exclusive atomic use.
+            let a = unsafe { &*(ptr as *const AtomicU32) };
+            let mut cur = a.load(Ordering::Relaxed);
+            loop {
+                let new = (f32::from_bits(cur) + val.to_f64() as f32).to_bits();
+                match a.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        64 => {
+            // SAFETY: as above for f64/AtomicU64.
+            let a = unsafe { &*(ptr as *const AtomicU64) };
+            let mut cur = a.load(Ordering::Relaxed);
+            loop {
+                let new = (f64::from_bits(cur) + val.to_f64()).to_bits();
+                match a.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+                    Ok(_) => return,
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        bits => unreachable!("Real with {bits} bits"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_threads::Team;
+
+    fn hammer<T: Real>(threads: usize, adds_per_thread: usize) -> f64 {
+        let team = Team::new(threads);
+        let mut slot = vec![T::ZERO; 1];
+        let ptr = slot.as_mut_ptr();
+        let shared = rvhpc_threads::SharedSlice::new(&mut slot);
+        team.run(|_| {
+            for _ in 0..adds_per_thread {
+                // SAFETY: atomic_add is the only accessor during the region.
+                unsafe { atomic_add(shared.index_mut(0) as *mut T, T::ONE) };
+            }
+        });
+        let _ = ptr;
+        slot[0].to_f64()
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates_f64() {
+        assert_eq!(hammer::<f64>(8, 10_000), 80_000.0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates_f32() {
+        // 8×1000 = 8000 is exactly representable in f32.
+        assert_eq!(hammer::<f32>(8, 1_000), 8_000.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic data initialisation, RAJAPerf-style.
+//!
+//! RAJAPerf initialises arrays with fixed patterns so checksums are
+//! reproducible across variants; we do the same. No external RNG is used in
+//! the kernels themselves — `splitmix64` keeps "random" inputs deterministic
+//! and platform-independent.
+
+use crate::real::Real;
+
+/// splitmix64 step — the standard 64-bit mixer.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fill with a constant.
+pub fn init_const<T: Real>(v: &mut [T], c: f64) {
+    let c = T::from_f64(c);
+    for x in v {
+        *x = c;
+    }
+}
+
+/// Fill with `factor * (i % 17 + 1)` — RAJAPerf's cyclic pattern keeps
+/// values in a narrow range so FP32 and FP64 stay comparable.
+pub fn init_cyclic<T: Real>(v: &mut [T], factor: f64) {
+    for (i, x) in v.iter_mut().enumerate() {
+        *x = T::from_f64(factor * ((i % 17) as f64 + 1.0));
+    }
+}
+
+/// Fill with deterministic pseudo-random values in `[lo, hi)`.
+pub fn init_rand<T: Real>(v: &mut [T], seed: u64, lo: f64, hi: f64) {
+    let mut s = seed;
+    for x in v.iter_mut() {
+        let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+        *x = T::from_f64(lo + u * (hi - lo));
+    }
+}
+
+/// Fill an integer slice with deterministic pseudo-random values in
+/// `[0, bound)`.
+pub fn init_rand_i32(v: &mut [i32], seed: u64, bound: i32) {
+    let mut s = seed;
+    for x in v.iter_mut() {
+        *x = (splitmix64(&mut s) % bound as u64) as i32;
+    }
+}
+
+/// Kahan-free plain checksum: Σ (i%8 + 1)⁻¹-weighted values in `f64`.
+/// Weighting makes permutation bugs visible (a plain sum would hide them).
+pub fn checksum<T: Real>(v: &[T]) -> f64 {
+    v.iter()
+        .enumerate()
+        .map(|(i, x)| x.to_f64() / ((i % 8) as f64 + 1.0))
+        .sum()
+}
+
+/// Checksum for integer data.
+pub fn checksum_i32(v: &[i32]) -> f64 {
+    v.iter()
+        .enumerate()
+        .map(|(i, &x)| x as f64 / ((i % 8) as f64 + 1.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_pattern_repeats_every_17() {
+        let mut v = vec![0f64; 40];
+        init_cyclic(&mut v, 0.5);
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[16], 8.5);
+        assert_eq!(v[17], 0.5);
+    }
+
+    #[test]
+    fn rand_is_deterministic_and_bounded() {
+        let mut a = vec![0f32; 100];
+        let mut b = vec![0f32; 100];
+        init_rand(&mut a, 7, -1.0, 1.0);
+        init_rand(&mut b, 7, -1.0, 1.0);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|x| (-1.0..1.0).contains(x)));
+        let mut c = vec![0f32; 100];
+        init_rand(&mut c, 8, -1.0, 1.0);
+        assert_ne!(a, c, "different seed, different data");
+    }
+
+    #[test]
+    fn checksum_detects_permutation() {
+        let v = [1.0f64, 2.0, 3.0, 4.0];
+        let w = [4.0f64, 3.0, 2.0, 1.0];
+        assert_ne!(checksum(&v), checksum(&w));
+    }
+
+    #[test]
+    fn rand_i32_bounded() {
+        let mut v = vec![0i32; 1000];
+        init_rand_i32(&mut v, 3, 50);
+        assert!(v.iter().all(|&x| (0..50).contains(&x)));
+    }
+}

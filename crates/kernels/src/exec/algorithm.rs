@@ -1,0 +1,487 @@
+//! The six Algorithm-class kernels: MEMCPY, MEMSET, REDUCE_SUM, SCAN, SORT,
+//! SORTPAIRS.
+
+use crate::data::{checksum, init_cyclic, init_rand};
+use crate::ids::KernelName;
+use crate::real::Real;
+use crate::runner::KernelExec;
+use rvhpc_threads::{SharedSlice, Team};
+
+/// Bulk copy `dst = src`.
+pub struct Memcpy<T: Real> {
+    n: usize,
+    src: Vec<T>,
+    dst: Vec<T>,
+}
+
+impl<T: Real> Memcpy<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Memcpy { n, src: vec![T::ZERO; n], dst: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Memcpy<T> {
+    fn name(&self) -> KernelName {
+        KernelName::MEMCPY
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let src = &self.src;
+        let dst = SharedSlice::new(&mut self.dst);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            unsafe { dst.slice_mut(chunk.clone()) }.copy_from_slice(&src[chunk]);
+        });
+    }
+
+    fn run_serial(&mut self) {
+        self.dst.copy_from_slice(&self.src);
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.dst)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.src, 0.7);
+        self.dst.fill(T::ZERO);
+    }
+}
+
+/// Bulk fill `dst = value` — the paper's standout vector kernel (40× on the
+/// C920 vs the U74 at FP32).
+pub struct Memset<T: Real> {
+    n: usize,
+    dst: Vec<T>,
+    value: T,
+}
+
+impl<T: Real> Memset<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Memset { n, dst: vec![T::ZERO; n], value: T::from_f64(0.5) };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Memset<T> {
+    fn name(&self) -> KernelName {
+        KernelName::MEMSET
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let value = self.value;
+        let dst = SharedSlice::new(&mut self.dst);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            unsafe { dst.slice_mut(chunk) }.fill(value);
+        });
+    }
+
+    fn run_serial(&mut self) {
+        self.dst.fill(self.value);
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.dst)
+    }
+
+    fn reset(&mut self) {
+        self.dst.fill(T::ZERO);
+    }
+}
+
+/// Sum reduction over one array.
+pub struct ReduceSum<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    sum: T,
+}
+
+impl<T: Real> ReduceSum<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = ReduceSum { n, x: vec![T::ZERO; n], sum: T::ZERO };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for ReduceSum<T> {
+    fn name(&self) -> KernelName {
+        KernelName::REDUCE_SUM
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let x = &self.x;
+        self.sum = team
+            .parallel_reduce(
+                0..self.n,
+                |chunk| {
+                    let mut s = T::ZERO;
+                    for i in chunk {
+                        s += x[i];
+                    }
+                    s
+                },
+                |a, b| a + b,
+            )
+            .expect("non-empty team");
+    }
+
+    fn run_serial(&mut self) {
+        let mut s = T::ZERO;
+        for &v in &self.x {
+            s += v;
+        }
+        self.sum = s;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.sum.to_f64()
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.x, 0.05);
+        self.sum = T::ZERO;
+    }
+}
+
+/// Exclusive prefix sum, `y[i] = Σ_{j<i} x[j]`.
+///
+/// The parallel variant is the classic three-phase blocked scan: per-chunk
+/// partial sums, an exclusive scan of the partials on thread 0, then a
+/// per-chunk rescan with the offsets — the same structure an OpenMP
+/// implementation uses.
+pub struct Scan<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+}
+
+impl<T: Real> Scan<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Scan { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Scan<T> {
+    fn name(&self) -> KernelName {
+        KernelName::SCAN
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let nt = team.n_threads();
+        let x = &self.x;
+        let y = SharedSlice::new(&mut self.y);
+        let mut partials = vec![T::ZERO; nt + 1];
+        let partials_shared = SharedSlice::new(&mut partials);
+        team.run(|ctx| {
+            let chunk = ctx.chunk(0..x.len());
+            // Phase 1: per-chunk sums.
+            let mut s = T::ZERO;
+            for i in chunk.clone() {
+                s += x[i];
+            }
+            // SAFETY: each thread writes its own slot.
+            unsafe { *partials_shared.index_mut(ctx.tid() + 1) = s };
+            ctx.barrier();
+            // Phase 2: thread 0 scans the partials.
+            if ctx.tid() == 0 {
+                for t in 1..=ctx.n_threads() {
+                    // SAFETY: only thread 0 touches partials between barriers.
+                    unsafe {
+                        let prev = *partials_shared.get(t - 1);
+                        *partials_shared.index_mut(t) = *partials_shared.get(t) + prev;
+                    }
+                }
+            }
+            ctx.barrier();
+            // Phase 3: rescan with offsets.
+            // SAFETY: partials are read-only now; chunk writes are disjoint.
+            let mut acc = unsafe { *partials_shared.get(ctx.tid()) };
+            let out = unsafe { y.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = acc;
+                acc += x[i];
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        let mut acc = T::ZERO;
+        for i in 0..self.n {
+            self.y[i] = acc;
+            acc += self.x[i];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.y)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.x, 0.01);
+        self.y.fill(T::ZERO);
+    }
+}
+
+/// Sort values ascending. The parallel variant sorts chunks and merges
+/// (RAJAPerf's OpenMP variant similarly delegates to a parallel sort).
+pub struct Sort<T: Real> {
+    n: usize,
+    x: Vec<T>,
+}
+
+impl<T: Real> Sort<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Sort { n, x: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Sort<T> {
+    fn name(&self) -> KernelName {
+        KernelName::SORT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        // Sort each chunk in parallel...
+        let chunks = rvhpc_threads::static_chunks(0..self.n, team.n_threads());
+        {
+            let x = SharedSlice::new(&mut self.x);
+            team.run(|ctx| {
+                let chunk = ctx.chunk(0..x.len());
+                // SAFETY: static chunks are disjoint.
+                let part = unsafe { x.slice_mut(chunk) };
+                part.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+            });
+        }
+        // ...then k-way merge on the caller (merge cost is O(n log t)).
+        let mut out = Vec::with_capacity(self.n);
+        let mut cursors: Vec<usize> = chunks.iter().map(|c| c.start).collect();
+        while out.len() < self.n {
+            let mut best: Option<(usize, T)> = None;
+            for (ci, c) in chunks.iter().enumerate() {
+                if cursors[ci] < c.end {
+                    let v = self.x[cursors[ci]];
+                    if best.map_or(true, |(_, bv)| v < bv) {
+                        best = Some((ci, v));
+                    }
+                }
+            }
+            let (ci, v) = best.expect("cursors not exhausted");
+            cursors[ci] += 1;
+            out.push(v);
+        }
+        self.x = out;
+    }
+
+    fn run_serial(&mut self) {
+        self.x
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.x, 0xD00D, 0.0, 1.0);
+    }
+}
+
+/// Sort key/value pairs by key.
+pub struct SortPairs<T: Real> {
+    n: usize,
+    keys: Vec<T>,
+    vals: Vec<T>,
+}
+
+impl<T: Real> SortPairs<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = SortPairs { n, keys: vec![T::ZERO; n], vals: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+
+    fn sort_pairs(keys: &mut [T], vals: &mut [T]) {
+        let mut idx: Vec<usize> = (0..keys.len()).collect();
+        idx.sort_unstable_by(|&a, &b| keys[a].partial_cmp(&keys[b]).expect("no NaNs"));
+        let old_k: Vec<T> = keys.to_vec();
+        let old_v: Vec<T> = vals.to_vec();
+        for (pos, &i) in idx.iter().enumerate() {
+            keys[pos] = old_k[i];
+            vals[pos] = old_v[i];
+        }
+    }
+}
+
+impl<T: Real> KernelExec<T> for SortPairs<T> {
+    fn name(&self) -> KernelName {
+        KernelName::SORTPAIRS
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        // Chunk-local pair sorts in parallel, then a serial stable merge by
+        // key (same structure as Sort).
+        {
+            let keys = SharedSlice::new(&mut self.keys);
+            let vals = SharedSlice::new(&mut self.vals);
+            team.run(|ctx| {
+                let chunk = ctx.chunk(0..keys.len());
+                // SAFETY: static chunks are disjoint.
+                let (k, v) = unsafe { (keys.slice_mut(chunk.clone()), vals.slice_mut(chunk)) };
+                Self::sort_pairs(k, v);
+            });
+        }
+        let chunks = rvhpc_threads::static_chunks(0..self.n, team.n_threads());
+        let mut out_k = Vec::with_capacity(self.n);
+        let mut out_v = Vec::with_capacity(self.n);
+        let mut cursors: Vec<usize> = chunks.iter().map(|c| c.start).collect();
+        while out_k.len() < self.n {
+            let mut best: Option<(usize, T)> = None;
+            for (ci, c) in chunks.iter().enumerate() {
+                if cursors[ci] < c.end {
+                    let v = self.keys[cursors[ci]];
+                    if best.map_or(true, |(_, bv)| v < bv) {
+                        best = Some((ci, v));
+                    }
+                }
+            }
+            let (ci, _) = best.expect("cursors not exhausted");
+            out_k.push(self.keys[cursors[ci]]);
+            out_v.push(self.vals[cursors[ci]]);
+            cursors[ci] += 1;
+        }
+        self.keys = out_k;
+        self.vals = out_v;
+    }
+
+    fn run_serial(&mut self) {
+        Self::sort_pairs(&mut self.keys, &mut self.vals);
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.keys) + 0.5 * checksum(&self.vals)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.keys, 0xBEEF, 0.0, 1.0);
+        init_cyclic(&mut self.vals, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_matches_closed_form() {
+        let mut k = Scan::<f64>::new(20);
+        k.run_serial();
+        let mut acc = 0.0;
+        for i in 0..20 {
+            assert!((k.y[i] - acc).abs() < 1e-12, "i={i}");
+            acc += 0.01 * ((i % 17) as f64 + 1.0);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_equals_serial_scan() {
+        for threads in [1, 2, 5, 8] {
+            let team = Team::new(threads);
+            let mut s = Scan::<f64>::new(1003);
+            s.run_serial();
+            let mut p = Scan::<f64>::new(1003);
+            p.run(&team);
+            for (i, (a, b)) in s.y.iter().zip(&p.y).enumerate() {
+                // Thread-boundary partials re-associate the FP sum.
+                assert!(
+                    (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                    "threads={threads} i={i}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sort_is_sorted_and_is_a_permutation() {
+        let team = Team::new(7);
+        let mut k = Sort::<f64>::new(5000);
+        let mut reference = k.x.clone();
+        k.run(&team);
+        assert!(k.x.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        reference.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(k.x, reference, "same multiset");
+    }
+
+    #[test]
+    fn sortpairs_keeps_pairs_together() {
+        let team = Team::new(4);
+        let mut k = SortPairs::<f64>::new(300);
+        // Record the original pairing.
+        let pairs: std::collections::BTreeMap<u64, u64> = k
+            .keys
+            .iter()
+            .zip(&k.vals)
+            .map(|(a, b)| (a.to_bits(), b.to_bits()))
+            .collect();
+        k.run(&team);
+        assert!(k.keys.windows(2).all(|w| w[0] <= w[1]));
+        for (key, val) in k.keys.iter().zip(&k.vals) {
+            assert_eq!(pairs[&key.to_bits()], val.to_bits(), "pair broken");
+        }
+    }
+
+    #[test]
+    fn memset_fills_value() {
+        let team = Team::new(3);
+        let mut k = Memset::<f32>::new(1000);
+        k.run(&team);
+        assert!(k.dst.iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn reduce_sum_closed_form() {
+        let n = 17 * 4;
+        let mut k = ReduceSum::<f64>::new(n);
+        k.run_serial();
+        let expect: f64 = (0..n).map(|i| 0.05 * ((i % 17) as f64 + 1.0)).sum();
+        assert!((k.sum - expect).abs() < 1e-12);
+    }
+}

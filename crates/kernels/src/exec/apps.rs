@@ -1,0 +1,1019 @@
+//! The thirteen Apps-class kernels: representative fragments of real HPC
+//! applications (hydrodynamics, transport, finite elements, filters, halo
+//! exchange).
+
+use crate::atomicf::atomic_add;
+use crate::data::{checksum, init_cyclic, init_rand};
+use crate::ids::KernelName;
+use crate::real::Real;
+use crate::runner::KernelExec;
+use rvhpc_threads::{SharedSlice, Team};
+
+/// Partial-assembly element kernel shared by CONVECTION3DPA, DIFFUSION3DPA
+/// and MASS3DPA: per element, contract the input vector with a dense basis
+/// matrix (Q×D), apply a pointwise factor, and contract back.
+struct PartialAssembly<T: Real> {
+    ne: usize,
+    q: usize,
+    d: usize,
+    basis: Vec<T>, // Q × D
+    input: Vec<T>, // NE × D
+    out: Vec<T>,   // NE × D
+    factor: Vec<T>, // NE × Q pointwise weights
+}
+
+impl<T: Real> PartialAssembly<T> {
+    fn new(n: usize, q: usize, d: usize, seed: u64) -> Self {
+        let ne = (n / d).max(1);
+        let mut pa = PartialAssembly {
+            ne,
+            q,
+            d,
+            basis: vec![T::ZERO; q * d],
+            input: vec![T::ZERO; ne * d],
+            out: vec![T::ZERO; ne * d],
+            factor: vec![T::ZERO; ne * q],
+        };
+        init_rand(&mut pa.basis, seed, -0.5, 0.5);
+        init_cyclic(&mut pa.input, 0.1);
+        init_rand(&mut pa.factor, seed + 1, 0.5, 1.5);
+        pa
+    }
+
+    #[inline]
+    fn element(
+        basis: &[T],
+        input: &[T],
+        factor: &[T],
+        q: usize,
+        d: usize,
+        e: usize,
+        out: &mut [T],
+    ) {
+        let x = &input[e * d..(e + 1) * d];
+        let w = &factor[e * q..(e + 1) * q];
+        // qv = B · x  (Q×D · D)
+        let mut qv = vec![T::ZERO; q];
+        for (qi, qvv) in qv.iter_mut().enumerate() {
+            let row = &basis[qi * d..(qi + 1) * d];
+            let mut s = T::ZERO;
+            for (bb, xx) in row.iter().zip(x) {
+                s = bb.mul_add(*xx, s);
+            }
+            *qvv = s * w[qi];
+        }
+        // out = Bᵀ · qv
+        for (di, o) in out.iter_mut().enumerate() {
+            let mut s = T::ZERO;
+            for (qi, qvv) in qv.iter().enumerate() {
+                s = basis[qi * d + di].mul_add(*qvv, s);
+            }
+            *o = s;
+        }
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (ne, q, d) = (self.ne, self.q, self.d);
+        let (basis, input, factor) = (&self.basis, &self.input, &self.factor);
+        let out = SharedSlice::new(&mut self.out);
+        team.parallel_for_chunks(0..ne, |es| {
+            for e in es {
+                // SAFETY: element ranges are disjoint.
+                let o = unsafe { out.slice_mut(e * d..(e + 1) * d) };
+                Self::element(basis, input, factor, q, d, e, o);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for e in 0..self.ne {
+            let mut tmp = vec![T::ZERO; self.d];
+            Self::element(&self.basis, &self.input, &self.factor, self.q, self.d, e, &mut tmp);
+            self.out[e * self.d..(e + 1) * self.d].copy_from_slice(&tmp);
+        }
+    }
+}
+
+macro_rules! pa_kernel {
+    ($(#[$doc:meta])* $name:ident, $kname:ident, $q:expr, $d:expr, $seed:expr) => {
+        $(#[$doc])*
+        pub struct $name<T: Real> {
+            pa: PartialAssembly<T>,
+        }
+
+        impl<T: Real> $name<T> {
+            /// New instance at problem size `n` (total degrees of freedom).
+            pub fn new(n: usize) -> Self {
+                $name { pa: PartialAssembly::new(n, $q, $d, $seed) }
+            }
+        }
+
+        impl<T: Real> KernelExec<T> for $name<T> {
+            fn name(&self) -> KernelName {
+                KernelName::$kname
+            }
+
+            fn size(&self) -> usize {
+                self.pa.ne * self.pa.d
+            }
+
+            fn run(&mut self, team: &Team) {
+                self.pa.run(team);
+            }
+
+            fn run_serial(&mut self) {
+                self.pa.run_serial();
+            }
+
+            fn checksum(&self) -> f64 {
+                checksum(&self.pa.out)
+            }
+
+            fn reset(&mut self) {
+                let n = self.pa.ne * self.pa.d;
+                *self = Self::new(n);
+            }
+        }
+    };
+}
+
+pa_kernel!(
+    /// 3D convection by partial assembly (Q=20 quadrature, D=16 dofs).
+    Convection3dpa, CONVECTION3DPA, 20, 16, 0x101
+);
+pa_kernel!(
+    /// 3D diffusion by partial assembly (Q=24, D=16: more contraction work).
+    Diffusion3dpa, DIFFUSION3DPA, 24, 16, 0x202
+);
+pa_kernel!(
+    /// 3D mass matrix by partial assembly (Q=16, D=16).
+    Mass3dpa, MASS3DPA, 16, 16, 0x303
+);
+
+/// Divergence of a velocity field on a 2D structured mesh with an
+/// indirection list of "real" zones.
+pub struct DelDotVec2d<T: Real> {
+    dim: usize, // zones per side; nodes are (dim+1)²
+    xdot: Vec<T>,
+    ydot: Vec<T>,
+    div: Vec<T>,
+    real_zones: Vec<i32>,
+}
+
+impl<T: Real> DelDotVec2d<T> {
+    /// New instance with `n` zones.
+    pub fn new(n: usize) -> Self {
+        let dim = ((n as f64).sqrt() as usize).max(2);
+        let nn = (dim + 1) * (dim + 1);
+        let mut k = DelDotVec2d {
+            dim,
+            xdot: vec![T::ZERO; nn],
+            ydot: vec![T::ZERO; nn],
+            div: vec![T::ZERO; dim * dim],
+            real_zones: (0..(dim * dim) as i32).collect(),
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn zone_div(dim: usize, xdot: &[T], ydot: &[T], z: usize) -> T {
+        let (zi, zj) = (z / dim, z % dim);
+        let np = dim + 1;
+        let n1 = zi * np + zj;
+        let n2 = n1 + 1;
+        let n3 = n1 + np;
+        let n4 = n3 + 1;
+        let half = T::from_f64(0.5);
+        let dx = half * (xdot[n2] + xdot[n4] - xdot[n1] - xdot[n3]);
+        let dy = half * (ydot[n3] + ydot[n4] - ydot[n1] - ydot[n2]);
+        dx + dy
+    }
+}
+
+impl<T: Real> KernelExec<T> for DelDotVec2d<T> {
+    fn name(&self) -> KernelName {
+        KernelName::DEL_DOT_VEC_2D
+    }
+
+    fn size(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    fn run(&mut self, team: &Team) {
+        let dim = self.dim;
+        let (xdot, ydot, zones) = (&self.xdot, &self.ydot, &self.real_zones);
+        let div = SharedSlice::new(&mut self.div);
+        team.parallel_for(0..zones.len(), |ii| {
+            let z = zones[ii] as usize;
+            // SAFETY: real_zones holds unique indices.
+            unsafe { *div.index_mut(z) = Self::zone_div(dim, xdot, ydot, z) };
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for ii in 0..self.real_zones.len() {
+            let z = self.real_zones[ii] as usize;
+            self.div[z] = Self::zone_div(self.dim, &self.xdot, &self.ydot, z);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.div)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.xdot, 0x404, -1.0, 1.0);
+        init_rand(&mut self.ydot, 0x405, -1.0, 1.0);
+        self.div.fill(T::ZERO);
+    }
+}
+
+/// Hydrodynamics energy update: three dependent sweeps with branches.
+pub struct Energy<T: Real> {
+    n: usize,
+    e_new: Vec<T>,
+    e_old: Vec<T>,
+    delvc: Vec<T>,
+    p_old: Vec<T>,
+    q_old: Vec<T>,
+    work: Vec<T>,
+    q_new: Vec<T>,
+}
+
+impl<T: Real> Energy<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Energy {
+            n,
+            e_new: vec![T::ZERO; n],
+            e_old: vec![T::ZERO; n],
+            delvc: vec![T::ZERO; n],
+            p_old: vec![T::ZERO; n],
+            q_old: vec![T::ZERO; n],
+            work: vec![T::ZERO; n],
+            q_new: vec![T::ZERO; n],
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn pass1(e_old: T, delvc: T, p_old: T, q_old: T) -> T {
+        let half = T::from_f64(0.5);
+        e_old - half * delvc * (p_old + q_old)
+    }
+
+    #[inline]
+    fn pass2(e_new: T, work: T, delvc: T) -> (T, T) {
+        let emin = T::from_f64(-1.0e2);
+        let mut e = e_new + work;
+        if e < emin {
+            e = emin;
+        }
+        let q = if delvc > T::ZERO { T::ZERO } else { -delvc * e.abs().sqrt() };
+        (e, q)
+    }
+}
+
+impl<T: Real> KernelExec<T> for Energy<T> {
+    fn name(&self) -> KernelName {
+        KernelName::ENERGY
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        {
+            let (e_old, delvc, p_old, q_old) = (&self.e_old, &self.delvc, &self.p_old, &self.q_old);
+            let e_new = SharedSlice::new(&mut self.e_new);
+            team.parallel_for_chunks(0..self.n, |chunk| {
+                // SAFETY: disjoint chunks.
+                let out = unsafe { e_new.slice_mut(chunk.clone()) };
+                for (o, i) in out.iter_mut().zip(chunk) {
+                    *o = Self::pass1(e_old[i], delvc[i], p_old[i], q_old[i]);
+                }
+            });
+        }
+        {
+            let (work, delvc) = (&self.work, &self.delvc);
+            let e_new = SharedSlice::new(&mut self.e_new);
+            let q_new = SharedSlice::new(&mut self.q_new);
+            team.parallel_for_chunks(0..self.n, |chunk| {
+                for i in chunk {
+                    // SAFETY: disjoint chunks.
+                    unsafe {
+                        let (e, q) = Self::pass2(*e_new.get(i), work[i], delvc[i]);
+                        *e_new.index_mut(i) = e;
+                        *q_new.index_mut(i) = q;
+                    }
+                }
+            });
+        }
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.e_new[i] =
+                Self::pass1(self.e_old[i], self.delvc[i], self.p_old[i], self.q_old[i]);
+        }
+        for i in 0..self.n {
+            let (e, q) = Self::pass2(self.e_new[i], self.work[i], self.delvc[i]);
+            self.e_new[i] = e;
+            self.q_new[i] = q;
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.e_new) + 0.5 * checksum(&self.q_new)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.e_old, 0x501, 0.0, 10.0);
+        init_rand(&mut self.delvc, 0x502, -1.0, 1.0);
+        init_rand(&mut self.p_old, 0x503, 0.0, 5.0);
+        init_rand(&mut self.q_old, 0x504, 0.0, 2.0);
+        init_rand(&mut self.work, 0x505, -0.5, 0.5);
+        self.e_new.fill(T::ZERO);
+        self.q_new.fill(T::ZERO);
+    }
+}
+
+/// 16-tap finite impulse response filter.
+pub struct Fir<T: Real> {
+    n: usize,
+    input: Vec<T>, // n + 16
+    out: Vec<T>,
+    coeff: [T; 16],
+}
+
+impl<T: Real> Fir<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut coeff = [T::ZERO; 16];
+        for (j, c) in coeff.iter_mut().enumerate() {
+            *c = T::from_f64(((j % 4) as f64 - 1.5) * 0.25);
+        }
+        let mut k = Fir { n, input: vec![T::ZERO; n + 16], out: vec![T::ZERO; n], coeff };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Fir<T> {
+    fn name(&self) -> KernelName {
+        KernelName::FIR
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (input, coeff) = (&self.input, self.coeff);
+        let out = SharedSlice::new(&mut self.out);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: disjoint chunks.
+            let o = unsafe { out.slice_mut(chunk.clone()) };
+            for (v, i) in o.iter_mut().zip(chunk) {
+                let mut s = T::ZERO;
+                for (j, c) in coeff.iter().enumerate() {
+                    s = c.mul_add(input[i + j], s);
+                }
+                *v = s;
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            let mut s = T::ZERO;
+            for (j, c) in self.coeff.iter().enumerate() {
+                s = c.mul_add(self.input[i + j], s);
+            }
+            self.out[i] = s;
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.out)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.input, 0x606, -1.0, 1.0);
+        self.out.fill(T::ZERO);
+    }
+}
+
+/// Halo-exchange buffer packing and unpacking through index lists.
+pub struct HaloPacking<T: Real> {
+    n: usize,
+    var: Vec<T>,
+    buffer: Vec<T>,
+    pack_idx: Vec<i32>,
+}
+
+impl<T: Real> HaloPacking<T> {
+    /// New instance: `n` total variable elements; the halo is every 8th.
+    pub fn new(n: usize) -> Self {
+        let halo: Vec<i32> = (0..n as i32).step_by(8).collect();
+        let mut k = HaloPacking {
+            n,
+            var: vec![T::ZERO; n],
+            buffer: vec![T::ZERO; halo.len()],
+            pack_idx: halo,
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for HaloPacking<T> {
+    fn name(&self) -> KernelName {
+        KernelName::HALO_PACKING
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        // Pack (gather)...
+        {
+            let (var, idx) = (&self.var, &self.pack_idx);
+            let buffer = SharedSlice::new(&mut self.buffer);
+            team.parallel_for(0..idx.len(), |b| {
+                // SAFETY: one buffer slot per b.
+                unsafe { *buffer.index_mut(b) = var[idx[b] as usize] };
+            });
+        }
+        // ...then unpack (scatter back, doubled so the effect is visible).
+        {
+            let (buffer, idx) = (&self.buffer, &self.pack_idx);
+            let two = T::from_f64(2.0);
+            let var = SharedSlice::new(&mut self.var);
+            team.parallel_for(0..idx.len(), |b| {
+                // SAFETY: pack_idx holds unique indices.
+                unsafe { *var.index_mut(idx[b] as usize) = two * buffer[b] };
+            });
+        }
+    }
+
+    fn run_serial(&mut self) {
+        for b in 0..self.pack_idx.len() {
+            self.buffer[b] = self.var[self.pack_idx[b] as usize];
+        }
+        let two = T::from_f64(2.0);
+        for b in 0..self.pack_idx.len() {
+            self.var[self.pack_idx[b] as usize] = two * self.buffer[b];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.var) + 0.5 * checksum(&self.buffer)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.var, 0.1);
+        self.buffer.fill(T::ZERO);
+    }
+}
+
+/// Discrete-ordinates scattering source: `phi[z][m] += ell[m][d] · psi[z][d]`.
+/// The `view` flag only changes index-arithmetic bookkeeping (LTIMES vs
+/// LTIMES_NOVIEW measure abstraction overhead; the math is identical).
+pub struct Ltimes<T: Real> {
+    nz: usize,
+    nm: usize,
+    nd: usize,
+    ell: Vec<T>,
+    psi: Vec<T>,
+    phi: Vec<T>,
+    view: bool,
+}
+
+impl<T: Real> Ltimes<T> {
+    /// New instance: `n` = total psi elements; D=32 directions, M=16
+    /// moments.
+    pub fn new(n: usize, view: bool) -> Self {
+        let (nm, nd) = (16, 32);
+        let nz = (n / nd).max(1);
+        let mut k = Ltimes {
+            nz,
+            nm,
+            nd,
+            ell: vec![T::ZERO; nm * nd],
+            psi: vec![T::ZERO; nz * nd],
+            phi: vec![T::ZERO; nz * nm],
+            view,
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Ltimes<T> {
+    fn name(&self) -> KernelName {
+        if self.view {
+            KernelName::LTIMES
+        } else {
+            KernelName::LTIMES_NOVIEW
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.nz * self.nd
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (nm, nd) = (self.nm, self.nd);
+        let (ell, psi) = (&self.ell, &self.psi);
+        let phi = SharedSlice::new(&mut self.phi);
+        team.parallel_for_chunks(0..self.nz, |zs| {
+            for z in zs {
+                // SAFETY: zone rows of phi are disjoint.
+                let ph = unsafe { phi.slice_mut(z * nm..(z + 1) * nm) };
+                let ps = &psi[z * nd..(z + 1) * nd];
+                for (m, phm) in ph.iter_mut().enumerate() {
+                    let row = &ell[m * nd..(m + 1) * nd];
+                    let mut s = *phm;
+                    for (l, p) in row.iter().zip(ps) {
+                        s = l.mul_add(*p, s);
+                    }
+                    *phm = s;
+                }
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for z in 0..self.nz {
+            for m in 0..self.nm {
+                let mut s = self.phi[z * self.nm + m];
+                for d in 0..self.nd {
+                    s = self.ell[m * self.nd + d].mul_add(self.psi[z * self.nd + d], s);
+                }
+                self.phi[z * self.nm + m] = s;
+            }
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.phi)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.ell, 0x707, 0.0, 1.0);
+        init_cyclic(&mut self.psi, 0.1);
+        self.phi.fill(T::ZERO);
+    }
+}
+
+/// 3D zone-to-node scatter-add (atomic in parallel).
+pub struct NodalAccumulation3d<T: Real> {
+    dim: usize, // zones per side
+    vol: Vec<T>,
+    x: Vec<T>, // nodal, (dim+1)³
+}
+
+impl<T: Real> NodalAccumulation3d<T> {
+    /// New instance with `n` zones.
+    pub fn new(n: usize) -> Self {
+        let dim = ((n as f64).cbrt() as usize).max(2);
+        let np = dim + 1;
+        let mut k = NodalAccumulation3d {
+            dim,
+            vol: vec![T::ZERO; dim * dim * dim],
+            x: vec![T::ZERO; np * np * np],
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn corners(dim: usize, z: usize) -> [usize; 8] {
+        let np = dim + 1;
+        let zi = z / (dim * dim);
+        let zj = (z / dim) % dim;
+        let zk = z % dim;
+        let base = (zi * np + zj) * np + zk;
+        [
+            base,
+            base + 1,
+            base + np,
+            base + np + 1,
+            base + np * np,
+            base + np * np + 1,
+            base + np * np + np,
+            base + np * np + np + 1,
+        ]
+    }
+}
+
+impl<T: Real> KernelExec<T> for NodalAccumulation3d<T> {
+    fn name(&self) -> KernelName {
+        KernelName::NODAL_ACCUMULATION_3D
+    }
+
+    fn size(&self) -> usize {
+        self.dim * self.dim * self.dim
+    }
+
+    fn run(&mut self, team: &Team) {
+        let dim = self.dim;
+        let vol = &self.vol;
+        let eighth = T::from_f64(0.125);
+        let x = SharedSlice::new(&mut self.x);
+        team.parallel_for(0..dim * dim * dim, |z| {
+            let val = eighth * vol[z];
+            for c in Self::corners(dim, z) {
+                // SAFETY: corners may collide across zones; atomic_add is
+                // the only writer during the region.
+                unsafe { atomic_add(x.index_mut(c) as *mut T, val) };
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        let eighth = T::from_f64(0.125);
+        for z in 0..self.dim * self.dim * self.dim {
+            let val = eighth * self.vol[z];
+            for c in Self::corners(self.dim, z) {
+                self.x[c] += val;
+            }
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.vol, 0.1);
+        self.x.fill(T::ZERO);
+    }
+}
+
+/// Equation-of-state pressure update with cutoff branches.
+pub struct Pressure<T: Real> {
+    n: usize,
+    compression: Vec<T>,
+    bvc: Vec<T>,
+    p_new: Vec<T>,
+    e_old: Vec<T>,
+    vnewc: Vec<T>,
+}
+
+impl<T: Real> Pressure<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Pressure {
+            n,
+            compression: vec![T::ZERO; n],
+            bvc: vec![T::ZERO; n],
+            p_new: vec![T::ZERO; n],
+            e_old: vec![T::ZERO; n],
+            vnewc: vec![T::ZERO; n],
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Pressure<T> {
+    fn name(&self) -> KernelName {
+        KernelName::PRESSURE
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let cls = T::from_f64(2.0 / 3.0);
+        {
+            let compression = &self.compression;
+            let bvc = SharedSlice::new(&mut self.bvc);
+            team.parallel_for_chunks(0..self.n, |chunk| {
+                // SAFETY: disjoint chunks.
+                let out = unsafe { bvc.slice_mut(chunk.clone()) };
+                for (o, i) in out.iter_mut().zip(chunk) {
+                    *o = cls * (compression[i] + T::ONE);
+                }
+            });
+        }
+        {
+            let (bvc, e_old, vnewc) = (&self.bvc, &self.e_old, &self.vnewc);
+            let p_cut = T::from_f64(1.0e-7);
+            let eosvmax = T::from_f64(1.2);
+            let pmin = T::ZERO;
+            let p_new = SharedSlice::new(&mut self.p_new);
+            team.parallel_for_chunks(0..self.n, |chunk| {
+                // SAFETY: disjoint chunks.
+                let out = unsafe { p_new.slice_mut(chunk.clone()) };
+                for (o, i) in out.iter_mut().zip(chunk) {
+                    let mut p = bvc[i] * e_old[i];
+                    if p.abs() < p_cut {
+                        p = T::ZERO;
+                    }
+                    if vnewc[i] >= eosvmax {
+                        p = T::ZERO;
+                    }
+                    if p < pmin {
+                        p = pmin;
+                    }
+                    *o = p;
+                }
+            });
+        }
+    }
+
+    fn run_serial(&mut self) {
+        let cls = T::from_f64(2.0 / 3.0);
+        for i in 0..self.n {
+            self.bvc[i] = cls * (self.compression[i] + T::ONE);
+        }
+        let p_cut = T::from_f64(1.0e-7);
+        let eosvmax = T::from_f64(1.2);
+        for i in 0..self.n {
+            let mut p = self.bvc[i] * self.e_old[i];
+            if p.abs() < p_cut {
+                p = T::ZERO;
+            }
+            if self.vnewc[i] >= eosvmax {
+                p = T::ZERO;
+            }
+            if p < T::ZERO {
+                p = T::ZERO;
+            }
+            self.p_new[i] = p;
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.p_new)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.compression, 0x808, -0.5, 0.5);
+        init_rand(&mut self.e_old, 0x809, -1.0, 5.0);
+        init_rand(&mut self.vnewc, 0x80A, 0.8, 1.4);
+        self.bvc.fill(T::ZERO);
+        self.p_new.fill(T::ZERO);
+    }
+}
+
+/// Hexahedral cell volumes from nodal coordinates (72-flop corner formula).
+pub struct Vol3d<T: Real> {
+    dim: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    z: Vec<T>,
+    vol: Vec<T>,
+}
+
+impl<T: Real> Vol3d<T> {
+    /// New instance with `n` zones.
+    pub fn new(n: usize) -> Self {
+        let dim = ((n as f64).cbrt() as usize).max(2);
+        let np = dim + 1;
+        let nn = np * np * np;
+        let mut k = Vol3d {
+            dim,
+            x: vec![T::ZERO; nn],
+            y: vec![T::ZERO; nn],
+            z: vec![T::ZERO; nn],
+            vol: vec![T::ZERO; dim * dim * dim],
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn zone_volume(dim: usize, x: &[T], y: &[T], z: &[T], zone: usize) -> T {
+        let c = NodalAccumulation3d::<T>::corners(dim, zone);
+        // Diagonal-difference volume estimate over the four main diagonals.
+        let quarter = T::from_f64(0.25);
+        let mut v = T::ZERO;
+        for (a, b) in [(0usize, 7usize), (1, 6), (2, 5), (3, 4)] {
+            let dx = x[c[b]] - x[c[a]];
+            let dy = y[c[b]] - y[c[a]];
+            let dz = z[c[b]] - z[c[a]];
+            v += (dx * dy * dz).abs();
+        }
+        quarter * v
+    }
+}
+
+impl<T: Real> KernelExec<T> for Vol3d<T> {
+    fn name(&self) -> KernelName {
+        KernelName::VOL3D
+    }
+
+    fn size(&self) -> usize {
+        self.dim * self.dim * self.dim
+    }
+
+    fn run(&mut self, team: &Team) {
+        let dim = self.dim;
+        let nz = dim * dim * dim;
+        let (x, y, z) = (&self.x, &self.y, &self.z);
+        let vol = SharedSlice::new(&mut self.vol);
+        team.parallel_for(0..nz, |zone| {
+            // SAFETY: one slot per zone.
+            unsafe { *vol.index_mut(zone) = Self::zone_volume(dim, x, y, z, zone) };
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for zone in 0..self.dim * self.dim * self.dim {
+            self.vol[zone] = Self::zone_volume(self.dim, &self.x, &self.y, &self.z, zone);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.vol)
+    }
+
+    fn reset(&mut self) {
+        // Perturbed unit lattice coordinates.
+        let np = self.dim + 1;
+        let mut s = 0x90Bu64;
+        for i in 0..np {
+            for j in 0..np {
+                for k in 0..np {
+                    let idx = (i * np + j) * np + k;
+                    let jitter = ((crate::data::splitmix64(&mut s) >> 11) as f64
+                        / (1u64 << 53) as f64
+                        - 0.5)
+                        * 0.2;
+                    self.x[idx] = T::from_f64(i as f64 + jitter);
+                    self.y[idx] = T::from_f64(j as f64 + jitter * 0.5);
+                    self.z[idx] = T::from_f64(k as f64 - jitter * 0.3);
+                }
+            }
+        }
+        self.vol.fill(T::ZERO);
+    }
+}
+
+/// 3D node-to-zone gather (the read-direction twin of
+/// NODAL_ACCUMULATION_3D; no atomics needed).
+pub struct ZonalAccumulation3d<T: Real> {
+    dim: usize,
+    x: Vec<T>, // nodal
+    zonal: Vec<T>,
+}
+
+impl<T: Real> ZonalAccumulation3d<T> {
+    /// New instance with `n` zones.
+    pub fn new(n: usize) -> Self {
+        let dim = ((n as f64).cbrt() as usize).max(2);
+        let np = dim + 1;
+        let mut k = ZonalAccumulation3d {
+            dim,
+            x: vec![T::ZERO; np * np * np],
+            zonal: vec![T::ZERO; dim * dim * dim],
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for ZonalAccumulation3d<T> {
+    fn name(&self) -> KernelName {
+        KernelName::ZONAL_ACCUMULATION_3D
+    }
+
+    fn size(&self) -> usize {
+        self.dim * self.dim * self.dim
+    }
+
+    fn run(&mut self, team: &Team) {
+        let dim = self.dim;
+        let x = &self.x;
+        let eighth = T::from_f64(0.125);
+        let zonal = SharedSlice::new(&mut self.zonal);
+        team.parallel_for(0..dim * dim * dim, |z| {
+            let mut s = T::ZERO;
+            for c in NodalAccumulation3d::<T>::corners(dim, z) {
+                s += x[c];
+            }
+            // SAFETY: one slot per zone.
+            unsafe { *zonal.index_mut(z) = eighth * s };
+        });
+    }
+
+    fn run_serial(&mut self) {
+        let eighth = T::from_f64(0.125);
+        for z in 0..self.dim * self.dim * self.dim {
+            let mut s = T::ZERO;
+            for c in NodalAccumulation3d::<T>::corners(self.dim, z) {
+                s += self.x[c];
+            }
+            self.zonal[z] = eighth * s;
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.zonal)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.x, 0.1);
+        self.zonal.fill(T::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_impulse_response_recovers_coefficients() {
+        let mut k = Fir::<f64>::new(64);
+        k.input.fill(0.0);
+        k.input[20] = 1.0; // unit impulse
+        k.run_serial();
+        // out[i] = coeff[20 - i] for i in 5..=20.
+        for i in 5..=20 {
+            let j = 20 - i;
+            assert_eq!(k.out[i], k.coeff[j], "i={i}");
+        }
+        assert_eq!(k.out[0], 0.0);
+    }
+
+    #[test]
+    fn nodal_accumulation_conserves_volume() {
+        let team = Team::new(4);
+        let mut k = NodalAccumulation3d::<f64>::new(8 * 8 * 8);
+        k.run(&team);
+        let total_nodal: f64 = k.x.iter().sum();
+        let total_vol: f64 = k.vol.iter().sum();
+        assert!(
+            (total_nodal - total_vol).abs() < 1e-9 * total_vol.abs().max(1.0),
+            "scatter must conserve: {total_nodal} vs {total_vol}"
+        );
+    }
+
+    #[test]
+    fn zonal_accumulation_on_constant_field_is_identity() {
+        let mut k = ZonalAccumulation3d::<f64>::new(4 * 4 * 4);
+        k.x.fill(3.0);
+        k.run_serial();
+        assert!(k.zonal.iter().all(|&v| (v - 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn vol3d_unit_lattice_volume_near_one() {
+        let mut k = Vol3d::<f64>::new(6 * 6 * 6);
+        k.run_serial();
+        let mean: f64 = k.vol.iter().sum::<f64>() / k.vol.len() as f64;
+        assert!((mean - 1.0).abs() < 0.2, "mean zone volume {mean}");
+    }
+
+    #[test]
+    fn halo_packing_round_trip_doubles_halo() {
+        let mut k = HaloPacking::<f64>::new(128);
+        let before = k.var.clone();
+        k.run_serial();
+        for i in 0..128 {
+            if i % 8 == 0 {
+                assert_eq!(k.var[i], 2.0 * before[i], "halo {i}");
+            } else {
+                assert_eq!(k.var[i], before[i], "interior {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ltimes_view_and_noview_agree() {
+        let team = Team::new(3);
+        let mut a = Ltimes::<f64>::new(4096, true);
+        a.run(&team);
+        let mut b = Ltimes::<f64>::new(4096, false);
+        b.run_serial();
+        assert_eq!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn partial_assembly_parallel_matches_serial() {
+        let team = Team::new(6);
+        let mut s = Mass3dpa::<f64>::new(4096);
+        s.run_serial();
+        let mut p = Mass3dpa::<f64>::new(4096);
+        p.run(&team);
+        assert_eq!(s.checksum(), p.checksum());
+    }
+
+    #[test]
+    fn pressure_is_clamped_nonnegative() {
+        let mut k = Pressure::<f64>::new(2000);
+        k.run_serial();
+        assert!(k.p_new.iter().all(|&p| p >= 0.0));
+        assert!(k.p_new.iter().any(|&p| p > 0.0), "not all clamped away");
+        assert!(k.p_new.iter().any(|&p| p == 0.0), "branches must fire");
+    }
+}

@@ -1,0 +1,1207 @@
+//! The sixteen Basic-class kernels.
+
+use crate::atomicf::atomic_add;
+use crate::data::{checksum, checksum_i32, init_cyclic, init_rand, init_rand_i32};
+use crate::ids::KernelName;
+use crate::real::Real;
+use crate::runner::KernelExec;
+use rvhpc_threads::{SharedSlice, Team};
+use std::marker::PhantomData;
+
+/// `y[i] += a * x[i]`.
+pub struct Daxpy<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    a: T,
+}
+
+impl<T: Real> Daxpy<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Daxpy { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n], a: T::from_f64(2.5) };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Daxpy<T> {
+    fn name(&self) -> KernelName {
+        KernelName::DAXPY
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (x, a) = (&self.x, self.a);
+        let y = SharedSlice::new(&mut self.y);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            let out = unsafe { y.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = a.mul_add(x[i], *o);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.y[i] = self.a.mul_add(self.x[i], self.y[i]);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.y)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.x, 0.1);
+        init_cyclic(&mut self.y, 0.2);
+    }
+}
+
+/// DAXPY with atomic accumulation into `y` (the OpenMP `omp atomic`
+/// variant).
+pub struct DaxpyAtomic<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    a: T,
+}
+
+impl<T: Real> DaxpyAtomic<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k =
+            DaxpyAtomic { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n], a: T::from_f64(2.5) };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for DaxpyAtomic<T> {
+    fn name(&self) -> KernelName {
+        KernelName::DAXPY_ATOMIC
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (x, a) = (&self.x, self.a);
+        let y = SharedSlice::new(&mut self.y);
+        team.parallel_for(0..self.n, |i| {
+            // SAFETY: atomic_add is the only writer during the region.
+            unsafe { atomic_add(y.index_mut(i) as *mut T, a * x[i]) };
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.y[i] += self.a * self.x[i];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.y)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.x, 0.1);
+        init_cyclic(&mut self.y, 0.2);
+    }
+}
+
+/// Quadratic roots with a discriminant branch.
+pub struct IfQuad<T: Real> {
+    n: usize,
+    a: Vec<T>,
+    b: Vec<T>,
+    c: Vec<T>,
+    x1: Vec<T>,
+    x2: Vec<T>,
+}
+
+impl<T: Real> IfQuad<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = IfQuad {
+            n,
+            a: vec![T::ZERO; n],
+            b: vec![T::ZERO; n],
+            c: vec![T::ZERO; n],
+            x1: vec![T::ZERO; n],
+            x2: vec![T::ZERO; n],
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn body(a: T, b: T, c: T) -> (T, T) {
+        let four = T::from_f64(4.0);
+        let two = T::from_f64(2.0);
+        let d = b * b - four * a * c;
+        if d.to_f64() >= 0.0 {
+            let s = d.sqrt();
+            let r1 = (-b + s) / (two * a);
+            let r2 = (-b - s) / (two * a);
+            (r1, r2)
+        } else {
+            (T::ZERO, T::ZERO)
+        }
+    }
+}
+
+impl<T: Real> KernelExec<T> for IfQuad<T> {
+    fn name(&self) -> KernelName {
+        KernelName::IF_QUAD
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (a, b, c) = (&self.a, &self.b, &self.c);
+        let x1 = SharedSlice::new(&mut self.x1);
+        let x2 = SharedSlice::new(&mut self.x2);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            let (o1, o2) = unsafe { (x1.slice_mut(chunk.clone()), x2.slice_mut(chunk.clone())) };
+            for ((r1, r2), i) in o1.iter_mut().zip(o2.iter_mut()).zip(chunk) {
+                let (v1, v2) = Self::body(a[i], b[i], c[i]);
+                (*r1, *r2) = (v1, v2);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            let (v1, v2) = Self::body(self.a[i], self.b[i], self.c[i]);
+            self.x1[i] = v1;
+            self.x2[i] = v2;
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x1) + 0.5 * checksum(&self.x2)
+    }
+
+    fn reset(&mut self) {
+        // Half the elements get real roots, half complex (divergence).
+        init_rand(&mut self.a, 1, 1.0, 2.0);
+        init_rand(&mut self.b, 2, -4.0, 4.0);
+        init_rand(&mut self.c, 3, 0.5, 1.5);
+        self.x1.fill(T::ZERO);
+        self.x2.fill(T::ZERO);
+    }
+}
+
+/// Single-loop conditional index-list (serial counter dependence).
+pub struct IndexList<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    list: Vec<i32>,
+    count: usize,
+}
+
+impl<T: Real> IndexList<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = IndexList { n, x: vec![T::ZERO; n], list: vec![0; n], count: 0 };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for IndexList<T> {
+    fn name(&self) -> KernelName {
+        KernelName::INDEXLIST
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        // Parallelised as count/scan/fill, like an OpenMP implementation.
+        let nt = team.n_threads();
+        let x = &self.x;
+        let mut offsets = vec![0usize; nt + 1];
+        let off = SharedSlice::new(&mut offsets);
+        let list = SharedSlice::new(&mut self.list);
+        team.run(|ctx| {
+            let chunk = ctx.chunk(0..x.len());
+            let mine = chunk.clone().filter(|&i| x[i].to_f64() < 0.0).count();
+            // SAFETY: one slot per thread.
+            unsafe { *off.index_mut(ctx.tid() + 1) = mine };
+            ctx.barrier();
+            if ctx.tid() == 0 {
+                for t in 1..=ctx.n_threads() {
+                    // SAFETY: only thread 0 between barriers.
+                    unsafe { *off.index_mut(t) += *off.get(t - 1) };
+                }
+            }
+            ctx.barrier();
+            // SAFETY: each thread's output range [off[tid], off[tid+1]) is
+            // disjoint by construction.
+            let mut pos = unsafe { *off.get(ctx.tid()) };
+            for i in chunk {
+                if x[i].to_f64() < 0.0 {
+                    unsafe { *list.index_mut(pos) = i as i32 };
+                    pos += 1;
+                }
+            }
+        });
+        self.count = offsets[nt];
+    }
+
+    fn run_serial(&mut self) {
+        let mut count = 0;
+        for i in 0..self.n {
+            if self.x[i].to_f64() < 0.0 {
+                self.list[count] = i as i32;
+                count += 1;
+            }
+        }
+        self.count = count;
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum_i32(&self.list[..self.count]) + self.count as f64
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.x, 11, -1.0, 1.0);
+        self.list.fill(0);
+        self.count = 0;
+    }
+}
+
+/// Three-loop index-list: flag counts, exclusive scan, fill.
+pub struct IndexList3Loop<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    counts: Vec<i32>,
+    list: Vec<i32>,
+    count: usize,
+}
+
+impl<T: Real> IndexList3Loop<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = IndexList3Loop {
+            n,
+            x: vec![T::ZERO; n],
+            counts: vec![0; n + 1],
+            list: vec![0; n],
+            count: 0,
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for IndexList3Loop<T> {
+    fn name(&self) -> KernelName {
+        KernelName::INDEXLIST_3LOOP
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let n = self.n;
+        // Loop 1 (parallel): flags.
+        {
+            let x = &self.x;
+            let counts = SharedSlice::new(&mut self.counts);
+            team.parallel_for(0..n, |i| {
+                // SAFETY: one index per iteration.
+                unsafe { *counts.index_mut(i) = i32::from(x[i].to_f64() < 0.0) };
+            });
+        }
+        // Loop 2 (serial dependence): exclusive scan of flags.
+        let mut acc = 0i32;
+        for i in 0..=n {
+            let c = if i < n { self.counts[i] } else { 0 };
+            self.counts[i] = acc;
+            acc += c;
+        }
+        self.count = self.counts[n] as usize;
+        // Loop 3 (parallel): fill.
+        {
+            let (x, counts) = (&self.x, &self.counts);
+            let list = SharedSlice::new(&mut self.list);
+            team.parallel_for(0..n, |i| {
+                if x[i].to_f64() < 0.0 {
+                    // SAFETY: scan offsets are unique per flagged element.
+                    unsafe { *list.index_mut(counts[i] as usize) = i as i32 };
+                }
+            });
+        }
+    }
+
+    fn run_serial(&mut self) {
+        let n = self.n;
+        for i in 0..n {
+            self.counts[i] = i32::from(self.x[i].to_f64() < 0.0);
+        }
+        let mut acc = 0i32;
+        for i in 0..=n {
+            let c = if i < n { self.counts[i] } else { 0 };
+            self.counts[i] = acc;
+            acc += c;
+        }
+        self.count = self.counts[n] as usize;
+        for i in 0..n {
+            if self.x[i].to_f64() < 0.0 {
+                self.list[self.counts[i] as usize] = i as i32;
+            }
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum_i32(&self.list[..self.count]) + self.count as f64
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.x, 11, -1.0, 1.0);
+        self.counts.fill(0);
+        self.list.fill(0);
+        self.count = 0;
+    }
+}
+
+macro_rules! elementwise_outputs {
+    ($(#[$doc:meta])* $name:ident, $kname:ident,
+     inputs: [$($in:ident: $factor:expr),*],
+     outputs: [$($out:ident),+],
+     body: |$i:ident, $($inv:ident),*| -> ($($outv:ident),+) $body:block) => {
+        $(#[$doc])*
+        pub struct $name<T: Real> {
+            n: usize,
+            $($in: Vec<T>,)*
+            $($out: Vec<T>,)+
+        }
+
+        impl<T: Real> $name<T> {
+            /// New instance at problem size `n`.
+            pub fn new(n: usize) -> Self {
+                let mut k = $name {
+                    n,
+                    $($in: vec![T::ZERO; n],)*
+                    $($out: vec![T::ZERO; n],)+
+                };
+                k.reset();
+                k
+            }
+
+            #[inline]
+            #[allow(unused_variables, unused_parens)]
+            fn body($i: usize, $($inv: T),*) -> ($(replace_ty!($outv T)),+) $body
+        }
+
+        impl<T: Real> KernelExec<T> for $name<T> {
+            fn name(&self) -> KernelName {
+                KernelName::$kname
+            }
+
+            fn size(&self) -> usize {
+                self.n
+            }
+
+            #[allow(unused_parens)]
+            fn run(&mut self, team: &Team) {
+                $(let $in = &self.$in;)*
+                $(let $out = SharedSlice::new(&mut self.$out);)+
+                team.parallel_for_chunks(0..self.n, |chunk| {
+                    for i in chunk {
+                        let ($($outv),+) = Self::body(i, $($in[i]),*);
+                        // SAFETY: each index visited exactly once.
+                        unsafe {
+                            $(*$out.index_mut(i) = $outv;)+
+                        }
+                    }
+                });
+            }
+
+            #[allow(unused_parens)]
+            fn run_serial(&mut self) {
+                for i in 0..self.n {
+                    let ($($outv),+) = Self::body(i, $(self.$in[i]),*);
+                    $(self.$out[i] = $outv;)+
+                }
+            }
+
+            fn checksum(&self) -> f64 {
+                let mut cs = 0.0;
+                let mut w = 1.0;
+                $(cs += w * checksum(&self.$out); w *= 0.5;)+
+                let _ = w;
+                cs
+            }
+
+            fn reset(&mut self) {
+                $(init_cyclic(&mut self.$in, $factor);)*
+                $(self.$out.fill(T::ZERO);)+
+            }
+        }
+    };
+}
+
+macro_rules! replace_ty {
+    ($id:ident $t:ty) => {
+        $t
+    };
+}
+
+elementwise_outputs!(
+    /// `out1 = out2 = out3 = -in1[i] - in2[i]`.
+    Init3, INIT3,
+    inputs: [in1: 0.1, in2: 0.2],
+    outputs: [out1, out2, out3],
+    body: |i, a, b| -> (v1, v2, v3) {
+        let v = -a - b;
+        (v, v, v)
+    }
+);
+
+elementwise_outputs!(
+    /// `out1 = in1*in2; out2 = in1+in2; out3 = in1-in2`.
+    MulAddSub, MULADDSUB,
+    inputs: [in1: 0.1, in2: 0.3],
+    outputs: [out1, out2, out3],
+    body: |i, a, b| -> (v1, v2, v3) { (a * b, a + b, a - b) }
+);
+
+elementwise_outputs!(
+    /// `a[i] = c * (i+1)` through a 1D view.
+    InitView1d, INIT_VIEW1D,
+    inputs: [],
+    outputs: [a],
+    body: |i, | -> (v) { (T::from_f64(0.000_000_01) * T::from_usize(i + 1)) }
+);
+
+elementwise_outputs!(
+    /// `a[i] = c * i` through an offset 1D view (indices 1..=n).
+    InitView1dOffset, INIT_VIEW1D_OFFSET,
+    inputs: [],
+    outputs: [a],
+    body: |i, | -> (v) { (T::from_f64(0.000_000_01) * T::from_usize(i + 1)) }
+);
+
+/// Tiled matrix multiply with 16×16 shared tiles, `C = A·B`.
+pub struct MatMatShared<T: Real> {
+    dim: usize,
+    a: Vec<T>,
+    b: Vec<T>,
+    c: Vec<T>,
+}
+
+const TILE: usize = 16;
+
+impl<T: Real> MatMatShared<T> {
+    /// `n` is the number of result elements; the matrix is `√n × √n`,
+    /// rounded up to a whole number of tiles.
+    pub fn new(n: usize) -> Self {
+        let dim = ((n as f64).sqrt() as usize).max(TILE).next_multiple_of(TILE);
+        let mut k = MatMatShared {
+            dim,
+            a: vec![T::ZERO; dim * dim],
+            b: vec![T::ZERO; dim * dim],
+            c: vec![T::ZERO; dim * dim],
+        };
+        k.reset();
+        k
+    }
+
+    fn tile_row(
+        dim: usize,
+        a: &[T],
+        b: &[T],
+        c: &mut [T],
+        row_tile: usize,
+    ) {
+        // One horizontal band of result tiles, using local tile buffers —
+        // the CPU analogue of the GPU shared-memory formulation.
+        let mut at = [[T::ZERO; TILE]; TILE];
+        let mut bt = [[T::ZERO; TILE]; TILE];
+        let r0 = row_tile * TILE;
+        for col_tile in 0..dim / TILE {
+            let c0 = col_tile * TILE;
+            let mut acc = [[T::ZERO; TILE]; TILE];
+            for k_tile in 0..dim / TILE {
+                let k0 = k_tile * TILE;
+                for i in 0..TILE {
+                    for j in 0..TILE {
+                        at[i][j] = a[(r0 + i) * dim + k0 + j];
+                        bt[i][j] = b[(k0 + i) * dim + c0 + j];
+                    }
+                }
+                for i in 0..TILE {
+                    for kk in 0..TILE {
+                        let aik = at[i][kk];
+                        for j in 0..TILE {
+                            acc[i][j] = aik.mul_add(bt[kk][j], acc[i][j]);
+                        }
+                    }
+                }
+            }
+            for i in 0..TILE {
+                for j in 0..TILE {
+                    c[(r0 + i) * dim + c0 + j] = acc[i][j];
+                }
+            }
+        }
+    }
+}
+
+impl<T: Real> KernelExec<T> for MatMatShared<T> {
+    fn name(&self) -> KernelName {
+        KernelName::MAT_MAT_SHARED
+    }
+
+    fn size(&self) -> usize {
+        self.dim * self.dim
+    }
+
+    fn run(&mut self, team: &Team) {
+        let dim = self.dim;
+        let (a, b) = (&self.a, &self.b);
+        let c = SharedSlice::new(&mut self.c);
+        team.parallel_for_chunks(0..dim / TILE, |tiles| {
+            for row_tile in tiles {
+                // SAFETY: each row band [r0*dim, (r0+TILE)*dim) is disjoint
+                // across row_tile values.
+                let band =
+                    unsafe { c.slice_mut(row_tile * TILE * dim..(row_tile + 1) * TILE * dim) };
+                // Re-base the band as a full-matrix view for indexing.
+                Self::tile_row_band(dim, a, b, band, row_tile);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for row_tile in 0..self.dim / TILE {
+            Self::tile_row(self.dim, &self.a, &self.b, &mut self.c, row_tile);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.c)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.a, 0.01);
+        init_cyclic(&mut self.b, 0.02);
+        self.c.fill(T::ZERO);
+    }
+}
+
+impl<T: Real> MatMatShared<T> {
+    /// Like [`Self::tile_row`] but writing into a band slice starting at the
+    /// band's first row.
+    fn tile_row_band(dim: usize, a: &[T], b: &[T], band: &mut [T], row_tile: usize) {
+        let mut at = [[T::ZERO; TILE]; TILE];
+        let mut bt = [[T::ZERO; TILE]; TILE];
+        let r0 = row_tile * TILE;
+        for col_tile in 0..dim / TILE {
+            let c0 = col_tile * TILE;
+            let mut acc = [[T::ZERO; TILE]; TILE];
+            for k_tile in 0..dim / TILE {
+                let k0 = k_tile * TILE;
+                for i in 0..TILE {
+                    for j in 0..TILE {
+                        at[i][j] = a[(r0 + i) * dim + k0 + j];
+                        bt[i][j] = b[(k0 + i) * dim + c0 + j];
+                    }
+                }
+                for i in 0..TILE {
+                    for kk in 0..TILE {
+                        let aik = at[i][kk];
+                        for j in 0..TILE {
+                            acc[i][j] = aik.mul_add(bt[kk][j], acc[i][j]);
+                        }
+                    }
+                }
+            }
+            for i in 0..TILE {
+                for j in 0..TILE {
+                    band[i * dim + c0 + j] = acc[i][j];
+                }
+            }
+        }
+    }
+}
+
+/// Triply-nested initialisation `array[i,j,k] = i*j*k`.
+pub struct NestedInit<T: Real> {
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    array: Vec<T>,
+}
+
+impl<T: Real> NestedInit<T> {
+    /// `n` is the total number of points; dims are `∛n` each.
+    pub fn new(n: usize) -> Self {
+        let d = (n as f64).cbrt().round().max(2.0) as usize;
+        let mut k = NestedInit { ni: d, nj: d, nk: d, array: vec![T::ZERO; d * d * d] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for NestedInit<T> {
+    fn name(&self) -> KernelName {
+        KernelName::NESTED_INIT
+    }
+
+    fn size(&self) -> usize {
+        self.ni * self.nj * self.nk
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (ni, nj) = (self.ni, self.nj);
+        let array = SharedSlice::new(&mut self.array);
+        team.parallel_for_chunks(0..self.nk, |ks| {
+            for k in ks {
+                for j in 0..nj {
+                    // SAFETY: (j, k) rows are disjoint across k chunks.
+                    let row = unsafe { array.slice_mut((k * nj + j) * ni..(k * nj + j + 1) * ni) };
+                    for (i, v) in row.iter_mut().enumerate() {
+                        *v = T::from_f64((i * j * k) as f64 * 1e-9);
+                    }
+                }
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for k in 0..self.nk {
+            for j in 0..self.nj {
+                for i in 0..self.ni {
+                    self.array[(k * self.nj + j) * self.ni + i] =
+                        T::from_f64((i * j * k) as f64 * 1e-9);
+                }
+            }
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.array)
+    }
+
+    fn reset(&mut self) {
+        self.array.fill(T::ZERO);
+    }
+}
+
+/// π by atomic accumulation.
+pub struct PiAtomic<T: Real> {
+    n: usize,
+    pi: Vec<T>, // single shared slot, heap-placed for atomic access
+}
+
+impl<T: Real> PiAtomic<T> {
+    /// New instance with `n` integration slices.
+    pub fn new(n: usize) -> Self {
+        PiAtomic { n, pi: vec![T::ZERO] }
+    }
+
+    #[inline]
+    fn term(i: usize, dx: f64) -> f64 {
+        let x = (i as f64 + 0.5) * dx;
+        dx * 4.0 / (1.0 + x * x)
+    }
+}
+
+impl<T: Real> KernelExec<T> for PiAtomic<T> {
+    fn name(&self) -> KernelName {
+        KernelName::PI_ATOMIC
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let dx = 1.0 / self.n as f64;
+        let pi = SharedSlice::new(&mut self.pi);
+        team.parallel_for(0..self.n, |i| {
+            // SAFETY: atomic_add is the only writer during the region.
+            unsafe { atomic_add(pi.index_mut(0) as *mut T, T::from_f64(Self::term(i, dx))) };
+        });
+    }
+
+    fn run_serial(&mut self) {
+        let dx = 1.0 / self.n as f64;
+        let mut acc = T::ZERO;
+        for i in 0..self.n {
+            acc += T::from_f64(Self::term(i, dx));
+        }
+        self.pi[0] = acc;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.pi[0].to_f64()
+    }
+
+    fn reset(&mut self) {
+        self.pi[0] = T::ZERO;
+    }
+}
+
+/// π by reduction.
+pub struct PiReduce<T: Real> {
+    n: usize,
+    pi: T,
+}
+
+impl<T: Real> PiReduce<T> {
+    /// New instance with `n` integration slices.
+    pub fn new(n: usize) -> Self {
+        PiReduce { n, pi: T::ZERO }
+    }
+}
+
+impl<T: Real> KernelExec<T> for PiReduce<T> {
+    fn name(&self) -> KernelName {
+        KernelName::PI_REDUCE
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let n = self.n;
+        let dx = 1.0 / n as f64;
+        self.pi = team
+            .parallel_reduce(
+                0..n,
+                |chunk| {
+                    let mut s = T::ZERO;
+                    for i in chunk {
+                        s += T::from_f64(PiAtomic::<T>::term(i, dx));
+                    }
+                    s
+                },
+                |a, b| a + b,
+            )
+            .expect("non-empty team");
+    }
+
+    fn run_serial(&mut self) {
+        let dx = 1.0 / self.n as f64;
+        let mut acc = T::ZERO;
+        for i in 0..self.n {
+            acc += T::from_f64(PiAtomic::<T>::term(i, dx));
+        }
+        self.pi = acc;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.pi.to_f64()
+    }
+
+    fn reset(&mut self) {
+        self.pi = T::ZERO;
+    }
+}
+
+/// Integer sum/min/max triple reduction (integer data vectorises on the
+/// C920 even in "FP64" runs — the paper's Figure 2 outlier).
+pub struct Reduce3Int<T: Real> {
+    n: usize,
+    vec: Vec<i32>,
+    vsum: i64,
+    vmin: i32,
+    vmax: i32,
+    _t: PhantomData<T>,
+}
+
+impl<T: Real> Reduce3Int<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Reduce3Int { n, vec: vec![0; n], vsum: 0, vmin: 0, vmax: 0, _t: PhantomData };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Reduce3Int<T> {
+    fn name(&self) -> KernelName {
+        KernelName::REDUCE3_INT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let v = &self.vec;
+        let (s, mn, mx) = team
+            .parallel_reduce(
+                0..self.n,
+                |chunk| {
+                    let mut s = 0i64;
+                    let mut mn = i32::MAX;
+                    let mut mx = i32::MIN;
+                    for i in chunk {
+                        s += v[i] as i64;
+                        mn = mn.min(v[i]);
+                        mx = mx.max(v[i]);
+                    }
+                    (s, mn, mx)
+                },
+                |a, b| (a.0 + b.0, a.1.min(b.1), a.2.max(b.2)),
+            )
+            .expect("non-empty team");
+        (self.vsum, self.vmin, self.vmax) = (s, mn, mx);
+    }
+
+    fn run_serial(&mut self) {
+        let mut s = 0i64;
+        let mut mn = i32::MAX;
+        let mut mx = i32::MIN;
+        for &x in &self.vec {
+            s += x as i64;
+            mn = mn.min(x);
+            mx = mx.max(x);
+        }
+        (self.vsum, self.vmin, self.vmax) = (s, mn, mx);
+    }
+
+    fn checksum(&self) -> f64 {
+        self.vsum as f64 + 2.0 * self.vmin as f64 + 3.0 * self.vmax as f64
+    }
+
+    fn reset(&mut self) {
+        init_rand_i32(&mut self.vec, 0xACE, 1000);
+        (self.vsum, self.vmin, self.vmax) = (0, 0, 0);
+    }
+}
+
+/// Struct-of-arrays centroid/extent reduction over 2D points.
+pub struct ReduceStruct<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    out: [T; 6], // xsum, xmin, xmax, ysum, ymin, ymax
+}
+
+impl<T: Real> ReduceStruct<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k =
+            ReduceStruct { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n], out: [T::ZERO; 6] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for ReduceStruct<T> {
+    fn name(&self) -> KernelName {
+        KernelName::REDUCE_STRUCT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (x, y) = (&self.x, &self.y);
+        let r = team
+            .parallel_reduce(
+                0..self.n,
+                |chunk| {
+                    let mut acc = [
+                        T::ZERO,
+                        T::from_f64(f64::INFINITY),
+                        T::from_f64(f64::NEG_INFINITY),
+                        T::ZERO,
+                        T::from_f64(f64::INFINITY),
+                        T::from_f64(f64::NEG_INFINITY),
+                    ];
+                    for i in chunk {
+                        acc[0] += x[i];
+                        acc[1] = acc[1].min2(x[i]);
+                        acc[2] = acc[2].max2(x[i]);
+                        acc[3] += y[i];
+                        acc[4] = acc[4].min2(y[i]);
+                        acc[5] = acc[5].max2(y[i]);
+                    }
+                    acc
+                },
+                |a, b| {
+                    [
+                        a[0] + b[0],
+                        a[1].min2(b[1]),
+                        a[2].max2(b[2]),
+                        a[3] + b[3],
+                        a[4].min2(b[4]),
+                        a[5].max2(b[5]),
+                    ]
+                },
+            )
+            .expect("non-empty team");
+        self.out = r;
+    }
+
+    fn run_serial(&mut self) {
+        let mut acc = [
+            T::ZERO,
+            T::from_f64(f64::INFINITY),
+            T::from_f64(f64::NEG_INFINITY),
+            T::ZERO,
+            T::from_f64(f64::INFINITY),
+            T::from_f64(f64::NEG_INFINITY),
+        ];
+        for i in 0..self.n {
+            acc[0] += self.x[i];
+            acc[1] = acc[1].min2(self.x[i]);
+            acc[2] = acc[2].max2(self.x[i]);
+            acc[3] += self.y[i];
+            acc[4] = acc[4].min2(self.y[i]);
+            acc[5] = acc[5].max2(self.y[i]);
+        }
+        self.out = acc;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.out
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.to_f64() / (i as f64 + 1.0))
+            .sum()
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.x, 21, -10.0, 10.0);
+        init_rand(&mut self.y, 22, -5.0, 15.0);
+        self.out = [T::ZERO; 6];
+    }
+}
+
+/// Trapezoidal integration of a smooth integrand.
+pub struct TrapInt<T: Real> {
+    n: usize,
+    sum: T,
+}
+
+impl<T: Real> TrapInt<T> {
+    /// New instance with `n` slices.
+    pub fn new(n: usize) -> Self {
+        TrapInt { n, sum: T::ZERO }
+    }
+
+    #[inline]
+    fn integrand(x: f64) -> f64 {
+        // RAJAPerf's trap_int_func shape: a well-conditioned rational.
+        let num = x + 1.0;
+        let den = (x * x + x + 1.0).sqrt();
+        num / den
+    }
+}
+
+impl<T: Real> KernelExec<T> for TrapInt<T> {
+    fn name(&self) -> KernelName {
+        KernelName::TRAP_INT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let n = self.n;
+        let h = 1.0 / n as f64;
+        self.sum = team
+            .parallel_reduce(
+                0..n,
+                |chunk| {
+                    let mut s = T::ZERO;
+                    for i in chunk {
+                        let x = (i as f64 + 0.5) * h;
+                        s += T::from_f64(h * Self::integrand(x));
+                    }
+                    s
+                },
+                |a, b| a + b,
+            )
+            .expect("non-empty team");
+    }
+
+    fn run_serial(&mut self) {
+        let h = 1.0 / self.n as f64;
+        let mut s = T::ZERO;
+        for i in 0..self.n {
+            let x = (i as f64 + 0.5) * h;
+            s += T::from_f64(h * Self::integrand(x));
+        }
+        self.sum = s;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.sum.to_f64()
+    }
+
+    fn reset(&mut self) {
+        self.sum = T::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daxpy_closed_form() {
+        let mut k = Daxpy::<f64>::new(50);
+        k.run_serial();
+        for (i, v) in k.y.iter().enumerate() {
+            let base = (i % 17) as f64 + 1.0;
+            let expect = 0.2 * base + 2.5 * 0.1 * base;
+            assert!((v - expect).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn daxpy_atomic_matches_daxpy() {
+        let team = Team::new(6);
+        let mut plain = Daxpy::<f64>::new(10_000);
+        plain.run_serial();
+        let mut atomic = DaxpyAtomic::<f64>::new(10_000);
+        atomic.run(&team);
+        assert!((plain.checksum() - atomic.checksum()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn if_quad_roots_satisfy_equation() {
+        let mut k = IfQuad::<f64>::new(200);
+        k.run_serial();
+        let mut real_roots = 0;
+        for i in 0..200 {
+            let (a, b, c) = (k.a[i], k.b[i], k.c[i]);
+            if b * b - 4.0 * a * c >= 0.0 {
+                real_roots += 1;
+                let r = k.x1[i];
+                assert!((a * r * r + b * r + c).abs() < 1e-9, "i={i}");
+            } else {
+                assert_eq!(k.x1[i], 0.0);
+            }
+        }
+        assert!(real_roots > 10, "branch must actually diverge");
+        assert!(real_roots < 190, "branch must actually diverge");
+    }
+
+    #[test]
+    fn indexlist_variants_agree() {
+        let team = Team::new(5);
+        let mut a = IndexList::<f64>::new(3000);
+        a.run_serial();
+        let mut b = IndexList::<f64>::new(3000);
+        b.run(&team);
+        let mut c = IndexList3Loop::<f64>::new(3000);
+        c.run(&team);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.count, c.count);
+        assert_eq!(a.list[..a.count], b.list[..b.count]);
+        assert_eq!(a.list[..a.count], c.list[..c.count]);
+        assert!(a.count > 100, "predicate must fire");
+    }
+
+    #[test]
+    fn mat_mat_shared_matches_naive() {
+        let mut k = MatMatShared::<f64>::new(32 * 32);
+        k.run_serial();
+        let dim = k.dim;
+        // Naive reference.
+        for i in (0..dim).step_by(7) {
+            for j in (0..dim).step_by(5) {
+                let mut acc = 0.0;
+                for kk in 0..dim {
+                    acc += k.a[i * dim + kk] * k.b[kk * dim + j];
+                }
+                let got = k.c[i * dim + j];
+                assert!((got - acc).abs() < 1e-9 * acc.abs().max(1.0), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn mat_mat_shared_parallel_matches_serial() {
+        let team = Team::new(3);
+        let mut s = MatMatShared::<f64>::new(48 * 48);
+        s.run_serial();
+        let mut p = MatMatShared::<f64>::new(48 * 48);
+        p.run(&team);
+        assert_eq!(s.c, p.c);
+    }
+
+    #[test]
+    fn pi_kernels_approximate_pi() {
+        let mut a = PiReduce::<f64>::new(100_000);
+        a.run_serial();
+        assert!((a.pi - std::f64::consts::PI).abs() < 1e-8);
+        let team = Team::new(4);
+        let mut b = PiAtomic::<f64>::new(10_000);
+        b.run(&team);
+        assert!((b.pi[0] - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce3_int_bounds() {
+        let team = Team::new(4);
+        let mut k = Reduce3Int::<f64>::new(10_000);
+        k.run(&team);
+        assert!(k.vmin >= 0 && k.vmax < 1000 && k.vmin <= k.vmax);
+        assert!(k.vsum >= k.vmin as i64 * 10_000);
+        let mut s = Reduce3Int::<f64>::new(10_000);
+        s.run_serial();
+        assert_eq!((s.vsum, s.vmin, s.vmax), (k.vsum, k.vmin, k.vmax));
+    }
+
+    #[test]
+    fn trap_int_converges() {
+        // ∫₀¹ (x+1)/√(x²+x+1) dx = [√(x²+x+1) + asinh-type term]…
+        // Compare against a fine Simpson reference instead of a closed form.
+        let fine: f64 = {
+            let n = 1_000_001;
+            let h = 1.0 / (n - 1) as f64;
+            (0..n)
+                .map(|i| {
+                    let x = i as f64 * h;
+                    let w = if i == 0 || i == n - 1 {
+                        1.0
+                    } else if i % 2 == 1 {
+                        4.0
+                    } else {
+                        2.0
+                    };
+                    w * TrapInt::<f64>::integrand(x)
+                })
+                .sum::<f64>()
+                * h
+                / 3.0
+        };
+        let mut k = TrapInt::<f64>::new(200_000);
+        k.run_serial();
+        assert!((k.sum - fine).abs() < 1e-6, "{} vs {fine}", k.sum);
+    }
+
+    #[test]
+    fn nested_init_values() {
+        let mut k = NestedInit::<f64>::new(1000);
+        k.run_serial();
+        let (ni, nj) = (k.ni, k.nj);
+        assert_eq!(k.array[(3 * nj + 2) * ni + 5], (5 * 2 * 3) as f64 * 1e-9);
+    }
+}

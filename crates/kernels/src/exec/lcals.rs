@@ -1,0 +1,920 @@
+//! The eleven Lcals (Livermore Compiler Analysis Loop Suite) kernels.
+
+use crate::data::{checksum, init_cyclic, init_rand};
+use crate::ids::KernelName;
+use crate::real::Real;
+use crate::runner::KernelExec;
+use rvhpc_threads::{SharedSlice, Team};
+
+/// Difference predictor over 14 planes (LFK 5-style plane chain).
+pub struct DiffPredict<T: Real> {
+    n: usize,
+    px: Vec<T>, // 14 planes × n
+    cx: Vec<T>, // 14 planes × n
+}
+
+impl<T: Real> DiffPredict<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = DiffPredict { n, px: vec![T::ZERO; 14 * n], cx: vec![T::ZERO; 14 * n] };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn body(px: &mut [T], cx: &[T], n: usize, i: usize) {
+        // The RAJAPerf chain: successive differences ripple through planes
+        // 4..=13.
+        let mut ar = cx[4 * n + i];
+        for p in 4..14 {
+            let br = ar - px[p * n + i];
+            px[p * n + i] = ar;
+            ar = br;
+        }
+    }
+}
+
+impl<T: Real> KernelExec<T> for DiffPredict<T> {
+    fn name(&self) -> KernelName {
+        KernelName::DIFF_PREDICT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let n = self.n;
+        let cx = &self.cx;
+        let px = SharedSlice::new(&mut self.px);
+        team.parallel_for_chunks(0..n, |chunk| {
+            for i in chunk {
+                // SAFETY: element i touches only indices p*n+i, and i-chunks
+                // are disjoint.
+                let px_all = unsafe { px.slice_mut(0..14 * n) };
+                Self::body(px_all, cx, n, i);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            Self::body(&mut self.px, &self.cx, self.n, i);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.px)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.px, 0.1);
+        init_cyclic(&mut self.cx, 0.3);
+    }
+}
+
+/// Equation-of-state fragment (LFK 7).
+pub struct Eos<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    z: Vec<T>,
+    u: Vec<T>, // length n + 7
+    q: T,
+    r: T,
+    t: T,
+}
+
+impl<T: Real> Eos<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Eos {
+            n,
+            x: vec![T::ZERO; n],
+            y: vec![T::ZERO; n],
+            z: vec![T::ZERO; n],
+            u: vec![T::ZERO; n + 7],
+            q: T::from_f64(0.5),
+            r: T::from_f64(0.25),
+            t: T::from_f64(0.125),
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn body(y: &[T], z: &[T], u: &[T], q: T, r: T, t: T, i: usize) -> T {
+        u[i] + r * (z[i] + r * y[i])
+            + t * (u[i + 3] + r * (u[i + 2] + r * u[i + 1])
+                + t * (u[i + 6] + q * (u[i + 5] + q * u[i + 4])))
+    }
+}
+
+impl<T: Real> KernelExec<T> for Eos<T> {
+    fn name(&self) -> KernelName {
+        KernelName::EOS
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (y, z, u) = (&self.y, &self.z, &self.u);
+        let (q, r, t) = (self.q, self.r, self.t);
+        let x = SharedSlice::new(&mut self.x);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: disjoint chunks.
+            let out = unsafe { x.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = Self::body(y, z, u, q, r, t, i);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.x[i] = Self::body(&self.y, &self.z, &self.u, self.q, self.r, self.t, i);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.y, 0.1);
+        init_cyclic(&mut self.z, 0.2);
+        init_cyclic(&mut self.u, 0.05);
+        self.x.fill(T::ZERO);
+    }
+}
+
+/// First difference `x[i] = y[i+1] - y[i]` (LFK 12).
+pub struct FirstDiff<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>, // length n + 1
+}
+
+impl<T: Real> FirstDiff<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = FirstDiff { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n + 1] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for FirstDiff<T> {
+    fn name(&self) -> KernelName {
+        KernelName::FIRST_DIFF
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let y = &self.y;
+        let x = SharedSlice::new(&mut self.x);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: disjoint chunks.
+            let out = unsafe { x.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = y[i + 1] - y[i];
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.x[i] = self.y[i + 1] - self.y[i];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.y, 31, 0.0, 1.0);
+        self.x.fill(T::ZERO);
+    }
+}
+
+/// First minimum with location (LFK 24).
+pub struct FirstMin<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    min_val: T,
+    min_loc: usize,
+}
+
+impl<T: Real> FirstMin<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = FirstMin { n, x: vec![T::ZERO; n], min_val: T::ZERO, min_loc: 0 };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for FirstMin<T> {
+    fn name(&self) -> KernelName {
+        KernelName::FIRST_MIN
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let x = &self.x;
+        let (v, loc) = team
+            .parallel_reduce(
+                0..self.n,
+                |chunk| {
+                    let mut best = (T::from_f64(f64::INFINITY), usize::MAX);
+                    for i in chunk {
+                        if x[i] < best.0 {
+                            best = (x[i], i);
+                        }
+                    }
+                    best
+                },
+                // First-occurrence semantics: strictly-smaller wins; ties keep
+                // the earlier (lower-tid, hence lower-index) candidate.
+                |a, b| if b.0 < a.0 { b } else { a },
+            )
+            .expect("non-empty team");
+        self.min_val = v;
+        self.min_loc = loc;
+    }
+
+    fn run_serial(&mut self) {
+        let mut best = (T::from_f64(f64::INFINITY), usize::MAX);
+        for i in 0..self.n {
+            if self.x[i] < best.0 {
+                best = (self.x[i], i);
+            }
+        }
+        (self.min_val, self.min_loc) = best;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.min_val.to_f64() + self.min_loc as f64
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.x, 41, 0.0, 1.0);
+        // Plant a unique minimum off-centre, like RAJAPerf does.
+        let loc = self.n / 2;
+        self.x[loc] = T::from_f64(-100.0);
+        self.min_val = T::ZERO;
+        self.min_loc = 0;
+    }
+}
+
+/// First sum `x[i] = y[i-1] + y[i]` (LFK 11 companion).
+pub struct FirstSum<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+}
+
+impl<T: Real> FirstSum<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = FirstSum { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for FirstSum<T> {
+    fn name(&self) -> KernelName {
+        KernelName::FIRST_SUM
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let y = &self.y;
+        let x = SharedSlice::new(&mut self.x);
+        team.parallel_for_chunks(1..self.n, |chunk| {
+            // SAFETY: disjoint chunks.
+            let out = unsafe { x.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = y[i - 1] + y[i];
+            }
+        });
+        self.x[0] = self.y[0];
+    }
+
+    fn run_serial(&mut self) {
+        self.x[0] = self.y[0];
+        for i in 1..self.n {
+            self.x[i] = self.y[i - 1] + self.y[i];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.y, 0.15);
+        self.x.fill(T::ZERO);
+    }
+}
+
+/// General linear recurrence (LFK 6): inherently serial — the runtime
+/// executes it unpartitioned regardless of team size, as OpenMP would a
+/// loop that cannot be workshared.
+pub struct GenLinRecur<T: Real> {
+    n: usize,
+    b5: Vec<T>,
+    sa: Vec<T>,
+    sb: Vec<T>,
+    stb5: T,
+}
+
+impl<T: Real> GenLinRecur<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = GenLinRecur {
+            n,
+            b5: vec![T::ZERO; n],
+            sa: vec![T::ZERO; n],
+            sb: vec![T::ZERO; n],
+            stb5: T::from_f64(0.01),
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for GenLinRecur<T> {
+    fn name(&self) -> KernelName {
+        KernelName::GEN_LIN_RECUR
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, _team: &Team) {
+        // Loop-carried scalar: no worksharing possible.
+        self.run_serial();
+    }
+
+    fn run_serial(&mut self) {
+        let mut stb5 = self.stb5;
+        for k in 0..self.n {
+            self.b5[k] = self.sa[k] + stb5 * self.sb[k];
+            stb5 = self.b5[k] - stb5;
+        }
+        for i in 1..=self.n {
+            let k = self.n - i;
+            self.b5[k] = self.sa[k] + stb5 * self.sb[k];
+            stb5 = self.b5[k] - stb5;
+        }
+        self.stb5 = stb5;
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.b5) + self.stb5.to_f64()
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.sa, 0.01);
+        init_cyclic(&mut self.sb, 0.02);
+        self.b5.fill(T::ZERO);
+        self.stb5 = T::from_f64(0.01);
+    }
+}
+
+/// 1D hydrodynamics fragment (LFK 1).
+pub struct Hydro1d<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    z: Vec<T>, // length n + 12
+    q: T,
+    r: T,
+    t: T,
+}
+
+impl<T: Real> Hydro1d<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Hydro1d {
+            n,
+            x: vec![T::ZERO; n],
+            y: vec![T::ZERO; n],
+            z: vec![T::ZERO; n + 12],
+            q: T::from_f64(0.5),
+            r: T::from_f64(0.25),
+            t: T::from_f64(0.125),
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Hydro1d<T> {
+    fn name(&self) -> KernelName {
+        KernelName::HYDRO_1D
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (y, z, q, r, t) = (&self.y, &self.z, self.q, self.r, self.t);
+        let x = SharedSlice::new(&mut self.x);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: disjoint chunks.
+            let out = unsafe { x.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = q + y[i] * (r * z[i + 10] + t * z[i + 11]);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.x[i] =
+                self.q + self.y[i] * (self.r * self.z[i + 10] + self.t * self.z[i + 11]);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.y, 0.1);
+        init_cyclic(&mut self.z, 0.2);
+        self.x.fill(T::ZERO);
+    }
+}
+
+/// 2D hydrodynamics fragment (LFK 18): three stencil nests on a √n × √n
+/// grid.
+pub struct Hydro2d<T: Real> {
+    jn: usize,
+    kn: usize,
+    za: Vec<T>,
+    zb: Vec<T>,
+    zp: Vec<T>,
+    zq: Vec<T>,
+    zr: Vec<T>,
+    zu: Vec<T>,
+    zv: Vec<T>,
+    zz: Vec<T>,
+    s: T,
+    t: T,
+}
+
+impl<T: Real> Hydro2d<T> {
+    /// `n` total grid points.
+    pub fn new(n: usize) -> Self {
+        let d = ((n as f64).sqrt() as usize).max(4);
+        let sz = d * d;
+        let mut k = Hydro2d {
+            jn: d,
+            kn: d,
+            za: vec![T::ZERO; sz],
+            zb: vec![T::ZERO; sz],
+            zp: vec![T::ZERO; sz],
+            zq: vec![T::ZERO; sz],
+            zr: vec![T::ZERO; sz],
+            zu: vec![T::ZERO; sz],
+            zv: vec![T::ZERO; sz],
+            zz: vec![T::ZERO; sz],
+            s: T::from_f64(0.0041),
+            t: T::from_f64(0.0037),
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn at(&self, j: usize, k: usize) -> usize {
+        j * self.kn + k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Hydro2d<T> {
+    fn name(&self) -> KernelName {
+        KernelName::HYDRO_2D
+    }
+
+    fn size(&self) -> usize {
+        self.jn * self.kn
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (jn, kn) = (self.jn, self.kn);
+        // Nest 1: za, zb from zp, zq, zr.
+        {
+            let (zp, zq, zr) = (&self.zp, &self.zq, &self.zr);
+            let za = SharedSlice::new(&mut self.za);
+            let zb = SharedSlice::new(&mut self.zb);
+            team.parallel_for_chunks(1..jn - 1, |rows| {
+                for j in rows {
+                    for k in 1..kn - 1 {
+                        let idx = j * kn + k;
+                        let va = (zp[(j + 1) * kn + k] + zq[(j + 1) * kn + k]
+                            - zp[(j - 1) * kn + k]
+                            - zq[(j - 1) * kn + k])
+                            * zr[idx];
+                        let vb = (zp[j * kn + k - 1] + zq[j * kn + k - 1] - zp[idx] - zq[idx])
+                            * zr[idx];
+                        // SAFETY: row-disjoint writes.
+                        unsafe {
+                            *za.index_mut(idx) = va;
+                            *zb.index_mut(idx) = vb;
+                        }
+                    }
+                }
+            });
+        }
+        // Nest 2: zu, zv from za, zb, zz.
+        {
+            let (za, zb, zz, s) = (&self.za, &self.zb, &self.zz, self.s);
+            let zu = SharedSlice::new(&mut self.zu);
+            let zv = SharedSlice::new(&mut self.zv);
+            team.parallel_for_chunks(1..jn - 1, |rows| {
+                for j in rows {
+                    for k in 1..kn - 1 {
+                        let idx = j * kn + k;
+                        let du = s * (za[idx] * (zz[idx] - zz[idx + 1])
+                            - zb[idx] * (zz[idx] - zz[(j - 1) * kn + k]));
+                        let dv = s * (za[idx] * (zz[idx] - zz[idx - 1])
+                            - zb[idx] * (zz[idx] - zz[(j + 1) * kn + k]));
+                        // SAFETY: row-disjoint writes.
+                        unsafe {
+                            *zu.index_mut(idx) = *zu.get(idx) + du;
+                            *zv.index_mut(idx) = *zv.get(idx) + dv;
+                        }
+                    }
+                }
+            });
+        }
+        // Nest 3: zr, zz integrate zu, zv.
+        {
+            let (zu, zv, t) = (&self.zu, &self.zv, self.t);
+            let zr = SharedSlice::new(&mut self.zr);
+            let zz = SharedSlice::new(&mut self.zz);
+            team.parallel_for_chunks(1..jn - 1, |rows| {
+                for j in rows {
+                    for k in 1..kn - 1 {
+                        let idx = j * kn + k;
+                        // SAFETY: row-disjoint writes.
+                        unsafe {
+                            *zr.index_mut(idx) = *zr.get(idx) + t * zu[idx];
+                            *zz.index_mut(idx) = *zz.get(idx) + t * zv[idx];
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    fn run_serial(&mut self) {
+        let (jn, kn) = (self.jn, self.kn);
+        for j in 1..jn - 1 {
+            for k in 1..kn - 1 {
+                let idx = self.at(j, k);
+                self.za[idx] = (self.zp[self.at(j + 1, k)] + self.zq[self.at(j + 1, k)]
+                    - self.zp[self.at(j - 1, k)]
+                    - self.zq[self.at(j - 1, k)])
+                    * self.zr[idx];
+                self.zb[idx] = (self.zp[self.at(j, k - 1)] + self.zq[self.at(j, k - 1)]
+                    - self.zp[idx]
+                    - self.zq[idx])
+                    * self.zr[idx];
+            }
+        }
+        for j in 1..jn - 1 {
+            for k in 1..kn - 1 {
+                let idx = self.at(j, k);
+                let du = self.s
+                    * (self.za[idx] * (self.zz[idx] - self.zz[self.at(j, k + 1)])
+                        - self.zb[idx] * (self.zz[idx] - self.zz[self.at(j - 1, k)]));
+                let dv = self.s
+                    * (self.za[idx] * (self.zz[idx] - self.zz[self.at(j, k - 1)])
+                        - self.zb[idx] * (self.zz[idx] - self.zz[self.at(j + 1, k)]));
+                self.zu[idx] += du;
+                self.zv[idx] += dv;
+            }
+        }
+        for j in 1..jn - 1 {
+            for k in 1..kn - 1 {
+                let idx = self.at(j, k);
+                self.zr[idx] = self.zr[idx] + self.t * self.zu[idx];
+                self.zz[idx] = self.zz[idx] + self.t * self.zv[idx];
+            }
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.zr) + 0.5 * checksum(&self.zz)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.zp, 0.1);
+        init_cyclic(&mut self.zq, 0.2);
+        init_cyclic(&mut self.zr, 0.05);
+        init_cyclic(&mut self.zz, 0.07);
+        self.za.fill(T::ZERO);
+        self.zb.fill(T::ZERO);
+        self.zu.fill(T::ZERO);
+        self.zv.fill(T::ZERO);
+    }
+}
+
+/// Integrate predictors (LFK 9): a 13-plane polynomial predictor.
+pub struct IntPredict<T: Real> {
+    n: usize,
+    px: Vec<T>, // 13 planes × n
+    dm: [T; 7],
+    c0: T,
+}
+
+impl<T: Real> IntPredict<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = IntPredict {
+            n,
+            px: vec![T::ZERO; 13 * n],
+            dm: [
+                T::from_f64(0.25),
+                T::from_f64(0.1875),
+                T::from_f64(0.125),
+                T::from_f64(0.0625),
+                T::from_f64(0.03125),
+                T::from_f64(0.015625),
+                T::from_f64(0.0078125),
+            ],
+            c0: T::from_f64(0.5),
+        };
+        k.reset();
+        k
+    }
+
+    #[inline]
+    fn body(px: &[T], n: usize, i: usize, dm: &[T; 7], c0: T) -> T {
+        dm[6] * px[12 * n + i]
+            + dm[5] * px[11 * n + i]
+            + dm[4] * px[10 * n + i]
+            + dm[3] * px[9 * n + i]
+            + dm[2] * px[8 * n + i]
+            + dm[1] * px[7 * n + i]
+            + dm[0] * px[6 * n + i]
+            + c0 * (px[4 * n + i] + px[5 * n + i])
+            + px[2 * n + i]
+    }
+}
+
+impl<T: Real> KernelExec<T> for IntPredict<T> {
+    fn name(&self) -> KernelName {
+        KernelName::INT_PREDICT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let n = self.n;
+        let (dm, c0) = (self.dm, self.c0);
+        let px = SharedSlice::new(&mut self.px);
+        team.parallel_for_chunks(0..n, |chunk| {
+            for i in chunk {
+                // SAFETY: i-chunks are disjoint; plane 0 write for index i
+                // only conflicts with reads of plane ≥ 2 — never plane 0.
+                unsafe {
+                    let all = px.slice_mut(0..13 * n);
+                    all[i] = Self::body(all, n, i, &dm, c0);
+                }
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.px[i] = Self::body(&self.px, self.n, i, &self.dm, self.c0);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.px[..self.n])
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.px, 0.025);
+    }
+}
+
+/// Planckian distribution (LFK 15): exp-dominated.
+pub struct Planckian<T: Real> {
+    n: usize,
+    u: Vec<T>,
+    v: Vec<T>,
+    x: Vec<T>,
+    y: Vec<T>,
+    w: Vec<T>,
+}
+
+impl<T: Real> Planckian<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Planckian {
+            n,
+            u: vec![T::ZERO; n],
+            v: vec![T::ZERO; n],
+            x: vec![T::ZERO; n],
+            y: vec![T::ZERO; n],
+            w: vec![T::ZERO; n],
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Planckian<T> {
+    fn name(&self) -> KernelName {
+        KernelName::PLANCKIAN
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (u, v, x) = (&self.u, &self.v, &self.x);
+        let y = SharedSlice::new(&mut self.y);
+        let w = SharedSlice::new(&mut self.w);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            for i in chunk {
+                let yy = u[i] / v[i];
+                // SAFETY: disjoint chunks.
+                unsafe {
+                    *y.index_mut(i) = yy;
+                    *w.index_mut(i) = x[i] / (yy.exp() - T::ONE);
+                }
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.y[i] = self.u[i] / self.v[i];
+            self.w[i] = self.x[i] / (self.y[i].exp() - T::ONE);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.w)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.u, 51, 0.5, 2.0);
+        init_rand(&mut self.v, 52, 1.0, 3.0);
+        init_rand(&mut self.x, 53, 0.1, 1.0);
+        self.y.fill(T::ZERO);
+        self.w.fill(T::ZERO);
+    }
+}
+
+/// Tridiagonal elimination below diagonal (LFK 2): loop-carried.
+pub struct TridiagElim<T: Real> {
+    n: usize,
+    x: Vec<T>,
+    y: Vec<T>,
+    z: Vec<T>,
+}
+
+impl<T: Real> TridiagElim<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = TridiagElim {
+            n,
+            x: vec![T::ZERO; n],
+            y: vec![T::ZERO; n],
+            z: vec![T::ZERO; n],
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for TridiagElim<T> {
+    fn name(&self) -> KernelName {
+        KernelName::TRIDIAG_ELIM
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, _team: &Team) {
+        // x[i] depends on x[i-1]: inherently serial.
+        self.run_serial();
+    }
+
+    fn run_serial(&mut self) {
+        for i in 1..self.n {
+            self.x[i] = self.z[i] * (self.y[i] - self.x[i - 1]);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.x)
+    }
+
+    fn reset(&mut self) {
+        init_rand(&mut self.y, 61, 0.0, 1.0);
+        init_rand(&mut self.z, 62, 0.0, 0.9);
+        self.x.fill(T::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_diff_closed_form() {
+        let mut k = FirstDiff::<f64>::new(100);
+        k.run_serial();
+        for i in 0..100 {
+            assert_eq!(k.x[i], k.y[i + 1] - k.y[i]);
+        }
+    }
+
+    #[test]
+    fn first_min_finds_planted_minimum() {
+        let team = Team::new(6);
+        let mut k = FirstMin::<f64>::new(10_000);
+        k.run(&team);
+        assert_eq!(k.min_loc, 5_000);
+        assert_eq!(k.min_val, -100.0);
+        let mut s = FirstMin::<f64>::new(10_000);
+        s.run_serial();
+        assert_eq!((s.min_val, s.min_loc), (k.min_val, k.min_loc));
+    }
+
+    #[test]
+    fn tridiag_is_deterministic_and_damped() {
+        let mut k = TridiagElim::<f64>::new(10_000);
+        k.run_serial();
+        // z ∈ [0, 0.9), y ∈ [0,1): the recurrence stays bounded.
+        assert!(k.x.iter().all(|v| v.abs() < 10.0));
+    }
+
+    #[test]
+    fn hydro2d_parallel_matches_serial() {
+        let team = Team::new(4);
+        let mut s = Hydro2d::<f64>::new(64 * 64);
+        s.run_serial();
+        let mut p = Hydro2d::<f64>::new(64 * 64);
+        p.run(&team);
+        assert_eq!(s.zr, p.zr);
+        assert_eq!(s.zz, p.zz);
+    }
+
+    #[test]
+    fn diff_predict_chain_progresses() {
+        let mut k = DiffPredict::<f64>::new(64);
+        let before = k.px.clone();
+        k.run_serial();
+        assert_ne!(k.px, before, "planes 4..14 must update");
+        // Planes 0..4 untouched.
+        assert_eq!(k.px[..4 * 64], before[..4 * 64]);
+    }
+
+    #[test]
+    fn planckian_outputs_finite() {
+        let mut k = Planckian::<f64>::new(1000);
+        k.run_serial();
+        assert!(k.w.iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    #[test]
+    fn eos_parallel_matches_serial() {
+        let team = Team::new(5);
+        let mut s = Eos::<f64>::new(5000);
+        s.run_serial();
+        let mut p = Eos::<f64>::new(5000);
+        p.run(&team);
+        assert_eq!(s.x, p.x);
+    }
+}

@@ -1,0 +1,13 @@
+//! Native (really-executing) kernel implementations, one module per class.
+//!
+//! Every kernel offers a serial reference loop and a parallel loop built on
+//! the `rvhpc-threads` runtime with OpenMP-static semantics. Correctness is
+//! asserted two ways in each module's tests: parallel-vs-serial checksum
+//! agreement and, where a closed form exists, agreement with it.
+
+pub mod algorithm;
+pub mod apps;
+pub mod basic;
+pub mod lcals;
+pub mod polybench;
+pub mod stream;

@@ -1,0 +1,344 @@
+//! The five STREAM-style kernels: COPY, MUL, ADD, TRIAD, DOT.
+
+use crate::data::{checksum, init_cyclic};
+use crate::ids::KernelName;
+use crate::real::Real;
+use crate::runner::KernelExec;
+use rvhpc_threads::{SharedSlice, Team};
+
+/// `c[i] = a[i]` — pure bandwidth.
+pub struct Copy<T: Real> {
+    n: usize,
+    a: Vec<T>,
+    c: Vec<T>,
+}
+
+impl<T: Real> Copy<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Copy { n, a: vec![T::ZERO; n], c: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Copy<T> {
+    fn name(&self) -> KernelName {
+        KernelName::STREAM_COPY
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let a = &self.a;
+        let c = SharedSlice::new(&mut self.c);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            let out = unsafe { c.slice_mut(chunk.clone()) };
+            out.copy_from_slice(&a[chunk]);
+        });
+    }
+
+    fn run_serial(&mut self) {
+        self.c.copy_from_slice(&self.a);
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.c)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.a, 0.1);
+        self.c.fill(T::ZERO);
+    }
+}
+
+/// `b[i] = alpha * c[i]`.
+pub struct Mul<T: Real> {
+    n: usize,
+    b: Vec<T>,
+    c: Vec<T>,
+    alpha: T,
+}
+
+impl<T: Real> Mul<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Mul { n, b: vec![T::ZERO; n], c: vec![T::ZERO; n], alpha: T::from_f64(1.5) };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Mul<T> {
+    fn name(&self) -> KernelName {
+        KernelName::STREAM_MUL
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let c = &self.c;
+        let alpha = self.alpha;
+        let b = SharedSlice::new(&mut self.b);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            let out = unsafe { b.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = alpha * c[i];
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.b[i] = self.alpha * self.c[i];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.b)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.c, 0.2);
+        self.b.fill(T::ZERO);
+    }
+}
+
+/// `c[i] = a[i] + b[i]`.
+pub struct Add<T: Real> {
+    n: usize,
+    a: Vec<T>,
+    b: Vec<T>,
+    c: Vec<T>,
+}
+
+impl<T: Real> Add<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Add { n, a: vec![T::ZERO; n], b: vec![T::ZERO; n], c: vec![T::ZERO; n] };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Add<T> {
+    fn name(&self) -> KernelName {
+        KernelName::STREAM_ADD
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (a, b) = (&self.a, &self.b);
+        let c = SharedSlice::new(&mut self.c);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            let out = unsafe { c.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = a[i] + b[i];
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.c[i] = self.a[i] + self.b[i];
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.c)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.a, 0.1);
+        init_cyclic(&mut self.b, 0.3);
+        self.c.fill(T::ZERO);
+    }
+}
+
+/// `a[i] = b[i] + alpha * c[i]` — the classic TRIAD.
+pub struct Triad<T: Real> {
+    n: usize,
+    a: Vec<T>,
+    b: Vec<T>,
+    c: Vec<T>,
+    alpha: T,
+}
+
+impl<T: Real> Triad<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Triad {
+            n,
+            a: vec![T::ZERO; n],
+            b: vec![T::ZERO; n],
+            c: vec![T::ZERO; n],
+            alpha: T::from_f64(1.5),
+        };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Triad<T> {
+    fn name(&self) -> KernelName {
+        KernelName::STREAM_TRIAD
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (b, c, alpha) = (&self.b, &self.c, self.alpha);
+        let a = SharedSlice::new(&mut self.a);
+        team.parallel_for_chunks(0..self.n, |chunk| {
+            // SAFETY: static chunks are disjoint.
+            let out = unsafe { a.slice_mut(chunk.clone()) };
+            for (o, i) in out.iter_mut().zip(chunk) {
+                *o = alpha.mul_add(c[i], b[i]);
+            }
+        });
+    }
+
+    fn run_serial(&mut self) {
+        for i in 0..self.n {
+            self.a[i] = self.alpha.mul_add(self.c[i], self.b[i]);
+        }
+    }
+
+    fn checksum(&self) -> f64 {
+        checksum(&self.a)
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.b, 0.1);
+        init_cyclic(&mut self.c, 0.2);
+        self.a.fill(T::ZERO);
+    }
+}
+
+/// `dot += a[i] * b[i]` — bandwidth-bound reduction.
+pub struct Dot<T: Real> {
+    n: usize,
+    a: Vec<T>,
+    b: Vec<T>,
+    dot: T,
+}
+
+impl<T: Real> Dot<T> {
+    /// New instance at problem size `n`.
+    pub fn new(n: usize) -> Self {
+        let mut k = Dot { n, a: vec![T::ZERO; n], b: vec![T::ZERO; n], dot: T::ZERO };
+        k.reset();
+        k
+    }
+}
+
+impl<T: Real> KernelExec<T> for Dot<T> {
+    fn name(&self) -> KernelName {
+        KernelName::STREAM_DOT
+    }
+
+    fn size(&self) -> usize {
+        self.n
+    }
+
+    fn run(&mut self, team: &Team) {
+        let (a, b) = (&self.a, &self.b);
+        let total = team
+            .parallel_reduce(
+                0..self.n,
+                |chunk| {
+                    let mut s = T::ZERO;
+                    for i in chunk {
+                        s = a[i].mul_add(b[i], s);
+                    }
+                    s
+                },
+                |x, y| x + y,
+            )
+            .expect("non-empty team");
+        self.dot = total;
+    }
+
+    fn run_serial(&mut self) {
+        let mut s = T::ZERO;
+        for i in 0..self.n {
+            s = self.a[i].mul_add(self.b[i], s);
+        }
+        self.dot = s;
+    }
+
+    fn checksum(&self) -> f64 {
+        self.dot.to_f64()
+    }
+
+    fn reset(&mut self) {
+        init_cyclic(&mut self.a, 0.1);
+        init_cyclic(&mut self.b, 0.2);
+        self.dot = T::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triad_matches_closed_form() {
+        let mut k = Triad::<f64>::new(100);
+        k.run_serial();
+        // b = 0.1*(i%17+1), c = 0.2*(i%17+1): a = (0.1 + 1.5*0.2)*(i%17+1).
+        for (i, v) in k.a.iter().enumerate() {
+            let expect = 0.4 * ((i % 17) as f64 + 1.0);
+            assert!((v - expect).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dot_matches_closed_form() {
+        let n = 34; // two full cycles of 17
+        let mut k = Dot::<f64>::new(n);
+        k.run_serial();
+        let expect: f64 = (0..n).map(|i| 0.02 * ((i % 17) as f64 + 1.0).powi(2)).sum();
+        assert!((k.dot - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn copy_and_mul_agree_between_modes() {
+        let team = Team::new(3);
+        for n in [1usize, 17, 1000] {
+            let mut s = Copy::<f32>::new(n);
+            s.run_serial();
+            let mut p = Copy::<f32>::new(n);
+            p.run(&team);
+            assert_eq!(s.checksum(), p.checksum(), "copy n={n}");
+
+            let mut s = Mul::<f32>::new(n);
+            s.run_serial();
+            let mut p = Mul::<f32>::new(n);
+            p.run(&team);
+            assert_eq!(s.checksum(), p.checksum(), "mul n={n}");
+        }
+    }
+
+    #[test]
+    fn add_parallel_equals_serial_elementwise() {
+        let team = Team::new(8);
+        let mut s = Add::<f64>::new(12345);
+        s.run_serial();
+        let mut p = Add::<f64>::new(12345);
+        p.run(&team);
+        assert_eq!(s.c, p.c);
+    }
+}

@@ -1,0 +1,118 @@
+//! The floating-point element abstraction.
+//!
+//! Every kernel is generic over [`Real`], so the suite runs at both
+//! precisions the paper studies (FP32 and FP64) from a single source.
+
+/// A floating-point element type (`f32` or `f64`).
+pub trait Real:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + std::fmt::Debug
+    + std::fmt::Display
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + 'static
+{
+    /// Element width in bits (32 or 64).
+    const BITS: u32;
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Lossy conversion from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Conversion from a loop index.
+    fn from_usize(v: usize) -> Self {
+        Self::from_f64(v as f64)
+    }
+    /// Fused multiply-add `self * a + b`.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Elementwise minimum.
+    fn min2(self, other: Self) -> Self;
+    /// Elementwise maximum.
+    fn max2(self, other: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $bits:expr) => {
+        impl Real for $t {
+            const BITS: u32 = $bits;
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn min2(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline]
+            fn max2(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+        }
+    };
+}
+
+impl_real!(f32, 32);
+impl_real!(f64, 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Real>() {
+        assert_eq!(T::from_f64(2.5).to_f64(), 2.5);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert_eq!(T::ONE.mul_add(T::from_f64(3.0), T::ONE).to_f64(), 4.0);
+        assert_eq!(T::from_f64(9.0).sqrt().to_f64(), 3.0);
+        assert_eq!(T::from_f64(-1.5).abs().to_f64(), 1.5);
+        assert_eq!(T::from_f64(1.0).min2(T::from_f64(2.0)).to_f64(), 1.0);
+        assert_eq!(T::from_f64(1.0).max2(T::from_f64(2.0)).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn f32_and_f64_behave() {
+        generic_roundtrip::<f32>();
+        generic_roundtrip::<f64>();
+        assert_eq!(<f32 as Real>::BITS, 32);
+        assert_eq!(<f64 as Real>::BITS, 64);
+    }
+}

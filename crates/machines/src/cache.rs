@@ -1,0 +1,124 @@
+//! Cache level descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// Which cores share one instance of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheSharing {
+    /// Private to a single core (e.g. C920 L1, x86 L1/L2).
+    PerCore,
+    /// Shared by the cores of one cluster (e.g. C920 1 MB L2 per 4-core
+    /// cluster, Rome 16 MB L3 per CCX).
+    PerCluster,
+    /// Shared by the whole package (e.g. SG2042 64 MB L3, Broadwell L3).
+    Package,
+}
+
+/// One level of the cache hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// 1 = L1D, 2 = L2, 3 = L3. (We only model data caches; the suite's
+    /// kernels are small loops whose instruction footprints fit any L1I.)
+    pub level: u8,
+    /// Capacity in bytes of one instance of this level.
+    pub size_bytes: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Set associativity (ways).
+    pub associativity: usize,
+    /// Sharing domain of one instance.
+    pub sharing: CacheSharing,
+    /// Sustainable bandwidth from this level to one consuming core, in
+    /// bytes per cycle.
+    pub bandwidth_bytes_per_cycle: f64,
+    /// Load-to-use latency in core cycles.
+    pub latency_cycles: f64,
+}
+
+impl CacheLevel {
+    /// Convenience constructor for a private cache level.
+    pub fn private(level: u8, size_bytes: usize, assoc: usize, bw: f64, lat: f64) -> Self {
+        CacheLevel {
+            level,
+            size_bytes,
+            line_bytes: 64,
+            associativity: assoc,
+            sharing: CacheSharing::PerCore,
+            bandwidth_bytes_per_cycle: bw,
+            latency_cycles: lat,
+        }
+    }
+
+    /// Convenience constructor for a cluster-shared level.
+    pub fn per_cluster(level: u8, size_bytes: usize, assoc: usize, bw: f64, lat: f64) -> Self {
+        CacheLevel {
+            sharing: CacheSharing::PerCluster,
+            ..CacheLevel::private(level, size_bytes, assoc, bw, lat)
+        }
+    }
+
+    /// Convenience constructor for a package-shared level.
+    pub fn package(level: u8, size_bytes: usize, assoc: usize, bw: f64, lat: f64) -> Self {
+        CacheLevel {
+            sharing: CacheSharing::Package,
+            ..CacheLevel::private(level, size_bytes, assoc, bw, lat)
+        }
+    }
+
+    /// Number of sets in one instance.
+    pub fn n_sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Structural sanity check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.level == 0 || self.level > 4 {
+            return Err(format!("cache level {} out of range", self.level));
+        }
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size {} not a power of two", self.line_bytes));
+        }
+        if self.associativity == 0 {
+            return Err("zero associativity".into());
+        }
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0 {
+            return Err(format!(
+                "size {} not divisible by line×ways ({}×{})",
+                self.size_bytes, self.line_bytes, self.associativity
+            ));
+        }
+        if !self.n_sets().is_power_of_two() {
+            return Err(format!("set count {} not a power of two", self.n_sets()));
+        }
+        if self.bandwidth_bytes_per_cycle <= 0.0 || self.latency_cycles < 0.0 {
+            return Err("non-positive bandwidth or negative latency".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c920_l1_shape() {
+        // 64 KB, 64 B lines, 4-way → 256 sets.
+        let l1 = CacheLevel::private(1, 64 * 1024, 4, 32.0, 3.0);
+        l1.validate().unwrap();
+        assert_eq!(l1.n_sets(), 256);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        let bad = CacheLevel::private(1, 3 * 1024, 4, 32.0, 3.0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_ways() {
+        let mut c = CacheLevel::private(1, 64 * 1024, 4, 32.0, 3.0);
+        c.associativity = 0;
+        assert!(c.validate().is_err());
+    }
+}

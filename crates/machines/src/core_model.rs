@@ -1,0 +1,129 @@
+//! Per-core micro-architecture descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// Micro-architectural facts about one core, as published in datasheets.
+///
+/// The paper quotes the C920 as "a 12-stage out-of-order multiple issue
+/// superscalar pipeline … three decode, four rename/dispatch, eight
+/// issue/execute and two load/store execution units"; those numbers appear
+/// verbatim below for the SG2042.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Marketing name of the core IP, e.g. "XuanTie C920".
+    pub name: String,
+    /// Out-of-order execution (false for the in-order U74).
+    pub out_of_order: bool,
+    /// Pipeline depth in stages.
+    pub pipeline_stages: u32,
+    /// Instructions decoded per cycle.
+    pub decode_width: u32,
+    /// Maximum instructions issued per cycle.
+    pub issue_width: u32,
+    /// Load/store pipes.
+    pub load_store_units: u32,
+    /// Scalar floating-point pipes.
+    pub fp_units: u32,
+}
+
+impl CoreModel {
+    /// T-Head XuanTie C920 (SG2042).
+    pub fn xuantie_c920() -> Self {
+        CoreModel {
+            name: "XuanTie C920".into(),
+            out_of_order: true,
+            pipeline_stages: 12,
+            decode_width: 3,
+            issue_width: 8,
+            load_store_units: 2,
+            fp_units: 2,
+        }
+    }
+
+    /// SiFive U74 (VisionFive V1/V2): dual-issue in-order.
+    pub fn sifive_u74() -> Self {
+        CoreModel {
+            name: "SiFive U74".into(),
+            out_of_order: false,
+            pipeline_stages: 8,
+            decode_width: 2,
+            issue_width: 2,
+            load_store_units: 1,
+            fp_units: 1,
+        }
+    }
+
+    /// AMD Zen 2 (Rome EPYC 7742).
+    pub fn zen2() -> Self {
+        CoreModel {
+            name: "Zen 2".into(),
+            out_of_order: true,
+            pipeline_stages: 19,
+            decode_width: 4,
+            issue_width: 10,
+            load_store_units: 3,
+            fp_units: 4,
+        }
+    }
+
+    /// Intel Broadwell (Xeon E5-2695 v4 class).
+    pub fn broadwell() -> Self {
+        CoreModel {
+            name: "Broadwell".into(),
+            out_of_order: true,
+            pipeline_stages: 16,
+            decode_width: 4,
+            issue_width: 8,
+            load_store_units: 3,
+            fp_units: 2,
+        }
+    }
+
+    /// Intel Icelake-SP (Xeon 6330).
+    pub fn icelake() -> Self {
+        CoreModel {
+            name: "Icelake-SP".into(),
+            out_of_order: true,
+            pipeline_stages: 16,
+            decode_width: 5,
+            issue_width: 10,
+            load_store_units: 4,
+            fp_units: 2,
+        }
+    }
+
+    /// Intel Sandybridge (Xeon E5-2609, 2012).
+    pub fn sandybridge() -> Self {
+        CoreModel {
+            name: "Sandybridge".into(),
+            out_of_order: true,
+            pipeline_stages: 14,
+            decode_width: 4,
+            issue_width: 6,
+            load_store_units: 2,
+            fp_units: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c920_matches_paper_quote() {
+        let c = CoreModel::xuantie_c920();
+        assert!(c.out_of_order);
+        assert_eq!(c.pipeline_stages, 12);
+        assert_eq!(c.decode_width, 3);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.load_store_units, 2);
+    }
+
+    #[test]
+    fn u74_is_in_order_dual_issue() {
+        let c = CoreModel::sifive_u74();
+        assert!(!c.out_of_order);
+        assert_eq!(c.decode_width, 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! DRAM subsystem descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM subsystem of a package.
+///
+/// The paper ties its scaling results directly to memory controllers: the
+/// SG2042 has "four DDR4-3200 memory controllers", one per NUMA region, and
+/// the placement experiments of Section 3.2 are explained by contention on
+/// individual controllers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemorySystem {
+    /// Number of memory controllers (channels) on the package.
+    pub controllers: usize,
+    /// Peak bandwidth of one controller in GB/s (e.g. DDR4-3200 = 25.6).
+    pub bw_per_controller_gbs: f64,
+    /// Idle DRAM access latency in nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Multiplier applied to accesses that cross NUMA regions. 1.0 for
+    /// single-region machines.
+    pub numa_remote_penalty: f64,
+}
+
+impl MemorySystem {
+    /// Construct a memory system with a given channel count and speed.
+    pub fn new(controllers: usize, bw_per_controller_gbs: f64, dram_latency_ns: f64) -> Self {
+        MemorySystem {
+            controllers,
+            bw_per_controller_gbs,
+            dram_latency_ns,
+            numa_remote_penalty: 1.0,
+        }
+    }
+
+    /// Set the remote-access penalty for multi-region machines.
+    pub fn with_remote_penalty(mut self, penalty: f64) -> Self {
+        self.numa_remote_penalty = penalty;
+        self
+    }
+
+    /// Peak package bandwidth in bytes/second.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.controllers as f64 * self.bw_per_controller_gbs * 1e9
+    }
+
+    /// Peak bandwidth of a single controller in bytes/second.
+    pub fn controller_bandwidth(&self) -> f64 {
+        self.bw_per_controller_gbs * 1e9
+    }
+
+    /// Structural sanity check.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.controllers == 0 {
+            return Err("no memory controllers".into());
+        }
+        if self.bw_per_controller_gbs <= 0.0 {
+            return Err("non-positive controller bandwidth".into());
+        }
+        if self.dram_latency_ns <= 0.0 {
+            return Err("non-positive DRAM latency".into());
+        }
+        if self.numa_remote_penalty < 1.0 {
+            return Err("remote penalty below 1.0".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_3200_peak() {
+        let m = MemorySystem::new(4, 25.6, 100.0);
+        assert!((m.peak_bandwidth() - 102.4e9).abs() < 1.0);
+        assert!((m.controller_bandwidth() - 25.6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate() {
+        assert!(MemorySystem::new(0, 25.6, 100.0).validate().is_err());
+        assert!(MemorySystem::new(4, 0.0, 100.0).validate().is_err());
+        let bad = MemorySystem::new(4, 25.6, 100.0).with_remote_penalty(0.5);
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for topologies and placement policies.
+
+#![cfg(test)]
+
+use crate::placement::PlacementPolicy;
+use crate::topology::Topology;
+use proptest::prelude::*;
+
+/// Strategy: valid contiguous topologies (cores divisible by regions and
+/// clusters, clusters not spanning regions).
+fn topologies() -> impl Strategy<Value = Topology> {
+    (1usize..5, 1usize..5, prop::sample::select(vec![1usize, 2, 4]))
+        .prop_map(|(regions, clusters_per_region, cluster_size)| {
+            let per_region = clusters_per_region * cluster_size;
+            Topology::contiguous(regions * per_region, regions, 1, cluster_size)
+        })
+}
+
+proptest! {
+    /// Any policy on any topology: the thread→core map is injective, within
+    /// bounds, and its occupancy statistics are consistent.
+    #[test]
+    fn placements_are_injective_and_consistent(
+        topo in topologies(),
+        policy in prop::sample::select(PlacementPolicy::ALL.to_vec()),
+        frac in 0.01f64..1.0,
+    ) {
+        let n_threads = ((topo.n_cores() as f64 * frac).ceil() as usize).clamp(1, topo.n_cores());
+        let p = policy.map(&topo, n_threads);
+        prop_assert_eq!(p.n_threads(), n_threads);
+
+        let mut seen = vec![false; topo.n_cores()];
+        for &c in &p.cores {
+            prop_assert!(c < topo.n_cores(), "core {} out of range", c);
+            prop_assert!(!seen[c], "core {} assigned twice", c);
+            seen[c] = true;
+        }
+        prop_assert_eq!(p.threads_per_region.iter().sum::<usize>(), n_threads);
+        prop_assert_eq!(p.threads_per_cluster.iter().sum::<usize>(), n_threads);
+    }
+
+    /// The cyclic policies never load one region with two more threads than
+    /// another (balance property the contention model relies on).
+    #[test]
+    fn cyclic_policies_balance_regions(
+        topo in topologies(),
+        frac in 0.01f64..1.0,
+    ) {
+        let n_threads = ((topo.n_cores() as f64 * frac).ceil() as usize).clamp(1, topo.n_cores());
+        for policy in [PlacementPolicy::NumaCyclic, PlacementPolicy::ClusterCyclic] {
+            let p = policy.map(&topo, n_threads);
+            let max = p.threads_per_region.iter().max().copied().unwrap_or(0);
+            let min = p.threads_per_region.iter().min().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1, "{policy}: regions {:?}", p.threads_per_region);
+        }
+    }
+
+    /// Cluster-cyclic never packs a cluster tighter than NUMA-cyclic does
+    /// (the L2-sharing advantage the paper's Table 3 measures).
+    #[test]
+    fn cluster_cyclic_spreads_at_least_as_well(
+        topo in topologies(),
+        frac in 0.01f64..1.0,
+    ) {
+        let n_threads = ((topo.n_cores() as f64 * frac).ceil() as usize).clamp(1, topo.n_cores());
+        let cyclic = PlacementPolicy::NumaCyclic.map(&topo, n_threads);
+        let cluster = PlacementPolicy::ClusterCyclic.map(&topo, n_threads);
+        prop_assert!(
+            cluster.max_threads_per_cluster() <= cyclic.max_threads_per_cluster(),
+            "cluster {:?} vs cyclic {:?}",
+            cluster.threads_per_cluster,
+            cyclic.threads_per_cluster
+        );
+    }
+
+    /// On the SG2042's real (interleaved) topology, all of the above hold
+    /// at every thread count, and full occupancy covers every core.
+    #[test]
+    fn sg2042_placements_hold_at_every_thread_count(n_threads in 1usize..=64) {
+        let topo = Topology::sg2042();
+        for policy in PlacementPolicy::ALL {
+            let p = policy.map(&topo, n_threads);
+            let mut cores = p.cores.clone();
+            cores.sort_unstable();
+            cores.dedup();
+            prop_assert_eq!(cores.len(), n_threads, "{} duplicates", policy);
+        }
+    }
+}

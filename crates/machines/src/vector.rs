@@ -1,0 +1,139 @@
+//! Vector ISA descriptors.
+
+use serde::{Deserialize, Serialize};
+
+/// Which vector instruction-set family a machine implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectorFamily {
+    /// RISC-V Vector extension, version 0.7.1 (XuanTie C920).
+    Rvv071,
+    /// RISC-V Vector extension, version 1.0 (ratified; no machine in the
+    /// paper implements it, but the compiler pipeline targets it before the
+    /// rollback pass).
+    Rvv10,
+    /// x86 AVX (Sandybridge).
+    Avx,
+    /// x86 AVX2 (Rome, Broadwell).
+    Avx2,
+    /// x86 AVX-512 (Icelake).
+    Avx512,
+}
+
+impl VectorFamily {
+    /// Architectural register width in bits.
+    pub fn width_bits(self) -> u32 {
+        match self {
+            VectorFamily::Rvv071 | VectorFamily::Rvv10 => 128, // C920 VLEN
+            VectorFamily::Avx | VectorFamily::Avx2 => 256,
+            VectorFamily::Avx512 => 512,
+        }
+    }
+}
+
+/// Description of a machine's vector capability.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorIsa {
+    /// ISA family.
+    pub family: VectorFamily,
+    /// Implemented register width in bits (may differ from the family
+    /// default, e.g. AVX on Sandybridge executes FP as 2×128-bit halves).
+    pub width_bits: u32,
+    /// FP32 vector arithmetic supported.
+    pub supports_fp32: bool,
+    /// FP64 vector arithmetic supported. The paper's evidence is that the
+    /// C920 does *not* vectorise FP64 despite conflicting datasheets.
+    pub supports_fp64: bool,
+    /// Integer vector arithmetic supported.
+    pub supports_int: bool,
+    /// Fused multiply-add available.
+    pub fma: bool,
+}
+
+impl VectorIsa {
+    /// The C920's RVV v0.7.1 configuration: 128-bit, FP32/int only, FMA.
+    pub fn rvv071_c920() -> Self {
+        VectorIsa {
+            family: VectorFamily::Rvv071,
+            width_bits: 128,
+            supports_fp32: true,
+            supports_fp64: false,
+            supports_int: true,
+            fma: true,
+        }
+    }
+
+    /// AVX as on the Sandybridge Xeon E5-2609: no FMA, and the FP64 path is
+    /// effectively 128-bit with GCC 8.3 deriving no FP64 vector benefit in
+    /// practice — the paper's own data shows the SG2042 *beating* this CPU
+    /// on the bandwidth classes at FP64 while losing everywhere at FP32,
+    /// which is only consistent with FP32-only vectorisation. We encode
+    /// 128-bit effective width, FP32/int lanes only.
+    pub fn avx_sandybridge() -> Self {
+        VectorIsa {
+            family: VectorFamily::Avx,
+            width_bits: 128,
+            supports_fp32: true,
+            supports_fp64: false,
+            supports_int: true,
+            fma: false,
+        }
+    }
+
+    /// AVX2 with FMA (Rome, Broadwell): 256-bit, all types.
+    pub fn avx2() -> Self {
+        VectorIsa {
+            family: VectorFamily::Avx2,
+            width_bits: 256,
+            supports_fp32: true,
+            supports_fp64: true,
+            supports_int: true,
+            fma: true,
+        }
+    }
+
+    /// AVX-512 (Icelake): 512-bit, all types, FMA.
+    pub fn avx512() -> Self {
+        VectorIsa {
+            family: VectorFamily::Avx512,
+            width_bits: 512,
+            supports_fp32: true,
+            supports_fp64: true,
+            supports_int: true,
+            fma: true,
+        }
+    }
+
+    /// Lanes for an element width in bits; 0 if the type is unsupported.
+    pub fn lanes(&self, elem_bits: u32) -> u32 {
+        let ok = match elem_bits {
+            32 => self.supports_fp32,
+            64 => self.supports_fp64,
+            _ => self.supports_int,
+        };
+        if ok {
+            self.width_bits / elem_bits
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_counts() {
+        assert_eq!(VectorIsa::rvv071_c920().lanes(32), 4);
+        assert_eq!(VectorIsa::rvv071_c920().lanes(64), 0);
+        assert_eq!(VectorIsa::avx2().lanes(64), 4);
+        assert_eq!(VectorIsa::avx512().lanes(32), 16);
+        assert_eq!(VectorIsa::avx_sandybridge().lanes(64), 0);
+    }
+
+    #[test]
+    fn family_widths() {
+        assert_eq!(VectorFamily::Rvv071.width_bits(), 128);
+        assert_eq!(VectorFamily::Avx512.width_bits(), 512);
+    }
+}

@@ -1,0 +1,144 @@
+//! Run configuration: the knobs the paper turns.
+
+use rvhpc_compiler::{Compiler, VectorMode};
+use rvhpc_machines::PlacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// Floating-point precision of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// Single precision.
+    Fp32,
+    /// Double precision.
+    Fp64,
+}
+
+impl Precision {
+    /// Element width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::Fp32 => 32,
+            Precision::Fp64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Fp32 => "fp32",
+            Precision::Fp64 => "fp64",
+        }
+    }
+}
+
+/// Which toolchain compiled the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Toolchain {
+    /// XuanTie GCC 8.4 on RISC-V (VLS RVV v0.7.1). Also stands in for the
+    /// plain upstream GCC scalar-only path when vectorisation is off.
+    XuanTieGcc,
+    /// Clang on RISC-V via the rollback pass.
+    ClangRvv,
+    /// Mature GCC on x86 (the paper used 8.3 / 11.2): auto-vectorises every
+    /// inherently vectorisable kernel for AVX/AVX2/AVX-512.
+    X86Gcc,
+}
+
+impl Toolchain {
+    /// The RISC-V compiler-model equivalent, if any.
+    pub fn riscv_compiler(self) -> Option<Compiler> {
+        match self {
+            Toolchain::XuanTieGcc => Some(Compiler::XuanTieGcc),
+            Toolchain::ClangRvv => Some(Compiler::Clang),
+            Toolchain::X86Gcc => None,
+        }
+    }
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Toolchain::XuanTieGcc => "xuantie-gcc",
+            Toolchain::ClangRvv => "clang+rollback",
+            Toolchain::X86Gcc => "x86-gcc",
+        }
+    }
+}
+
+/// Full configuration of one measured run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// FP32 or FP64.
+    pub precision: Precision,
+    /// Vectorisation enabled at compile time.
+    pub vectorize: bool,
+    /// Toolchain.
+    pub toolchain: Toolchain,
+    /// VLS or VLA code generation (RISC-V only; ignored on x86).
+    pub mode: VectorMode,
+    /// Thread placement policy.
+    pub placement: PlacementPolicy,
+    /// Thread count (1 = serial).
+    pub threads: usize,
+}
+
+impl RunConfig {
+    /// The paper's default best configuration on the SG2042: vectorised
+    /// XuanTie GCC VLS, cluster-aware placement.
+    pub fn sg2042_best(precision: Precision, threads: usize) -> Self {
+        RunConfig {
+            precision,
+            vectorize: true,
+            toolchain: Toolchain::XuanTieGcc,
+            mode: VectorMode::Vls,
+            placement: PlacementPolicy::ClusterCyclic,
+            threads,
+        }
+    }
+
+    /// Scalar single-thread baseline.
+    pub fn scalar_single(precision: Precision) -> Self {
+        RunConfig {
+            precision,
+            vectorize: false,
+            toolchain: Toolchain::XuanTieGcc,
+            mode: VectorMode::Vls,
+            placement: PlacementPolicy::Block,
+            threads: 1,
+        }
+    }
+
+    /// Default x86 configuration (vectorised, block placement — the paper
+    /// binds threads to physical cores in order).
+    pub fn x86(precision: Precision, threads: usize) -> Self {
+        RunConfig {
+            precision,
+            vectorize: true,
+            toolchain: Toolchain::X86Gcc,
+            mode: VectorMode::Vls,
+            placement: PlacementPolicy::Block,
+            threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_widths() {
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Fp64.bytes(), 8);
+    }
+
+    #[test]
+    fn toolchain_mapping() {
+        assert!(Toolchain::XuanTieGcc.riscv_compiler().is_some());
+        assert!(Toolchain::X86Gcc.riscv_compiler().is_none());
+    }
+}

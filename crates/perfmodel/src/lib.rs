@@ -1,0 +1,38 @@
+//! The analytic timing engine: predicts kernel execution times on the
+//! paper's machines from architecture descriptors and kernel workload
+//! descriptors.
+//!
+//! The model is deliberately structural — every paper phenomenon should
+//! *emerge* from an architectural parameter rather than be painted on:
+//!
+//! * the C920-vs-U74 gap comes from issue width/out-of-order calibration
+//!   and the memory subsystem;
+//! * the FP32-vs-FP64 gap on the SG2042 comes from the vector model
+//!   refusing FP64 lanes (via `rvhpc-compiler`);
+//! * Table 1's 32-thread collapse comes from the [`memory`] module's
+//!   memory-controller queueing once block placement parks 32 threads on
+//!   two of four controllers;
+//! * cluster-cyclic placement wins at ≤ 32 threads because the shared-L2
+//!   capacity and bandwidth shares in [`memory`] depend on how many
+//!   threads land in each four-core cluster;
+//! * VLS-vs-VLA comes from instruction counts of actually-generated RVV
+//!   loops (`rvhpc-compiler::codegen::measure`).
+//!
+//! Constants that cannot be derived from datasheets live in
+//! [`calibration`], one commented block per machine.
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod compute;
+pub mod config;
+pub mod estimate;
+pub mod memory;
+pub mod scaling;
+
+#[cfg(test)]
+mod proptests;
+
+pub use calibration::{calibration, Calibration};
+pub use config::{Precision, RunConfig, Toolchain};
+pub use estimate::{estimate, estimate_averaged, estimate_sized, estimate_with, sim_size, TimeEstimate};

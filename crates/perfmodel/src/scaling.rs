@@ -1,0 +1,102 @@
+//! Per-kernel thread-scaling limits (Amdahl fractions).
+//!
+//! Worksharing cannot parallelise everything: recurrences run serially,
+//! scans and compactions keep a serial phase, sorts merge serially, and
+//! contended atomics serialise at the cache line. These fractions bound the
+//! speedup the threading model can produce, and are what makes the *apps*
+//! class scale poorly in Tables 1–3 (the paper sees apps lose to serial at
+//! two threads).
+
+use rvhpc_kernels::KernelName;
+
+/// Fraction of a kernel's work that parallelises (Amdahl's p).
+pub fn parallel_fraction(kernel: KernelName) -> f64 {
+    use KernelName::*;
+    match kernel {
+        // Pure loop-carried recurrences: essentially serial.
+        TRIDIAG_ELIM | GEN_LIN_RECUR => 0.05,
+        // Blocked scan: two parallel sweeps around a serial offset pass.
+        SCAN => 0.66,
+        // Compaction with a serial counter (single-loop variant).
+        INDEXLIST => 0.55,
+        // Three-loop variant: the scan phase stays serial.
+        INDEXLIST_3LOOP => 0.7,
+        // Local sorts parallelise; the merge does not.
+        SORT | SORTPAIRS => 0.7,
+        // One cache line of contended atomics.
+        PI_ATOMIC => 0.25,
+        // Distinct-element atomics: nearly free.
+        DAXPY_ATOMIC => 0.95,
+        // Scatter-add with corner collisions.
+        NODAL_ACCUMULATION_3D => 0.85,
+        // Line sweeps parallelise across lines.
+        ADI => 0.92,
+        // Pack/unpack with gather indices and buffer handoff.
+        HALO_PACKING => 0.8,
+        // Multi-pass apps kernels keep sequential inter-pass glue: this is
+        // why the paper's *apps* class scales worst (slower on 2 threads
+        // than 1 at small sizes).
+        ENERGY | PRESSURE => 0.82,
+        DEL_DOT_VEC_2D | ZONAL_ACCUMULATION_3D => 0.9,
+        CONVECTION3DPA | DIFFUSION3DPA | MASS3DPA => 0.93,
+        LTIMES | LTIMES_NOVIEW => 0.92,
+        VOL3D | FIR => 0.97,
+        // Everything else is an embarrassingly parallel loop.
+        _ => 0.995,
+    }
+}
+
+/// The effective thread count after Amdahl's law: dividing serial work by
+/// `effective_threads(k, t)` equals running `(1-p)` serial and `p/t`
+/// parallel.
+pub fn effective_threads(kernel: KernelName, threads: usize) -> f64 {
+    let p = parallel_fraction(kernel);
+    1.0 / ((1.0 - p) + p / threads as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_kernels::KernelClass;
+
+    #[test]
+    fn fractions_in_range() {
+        for k in KernelName::ALL {
+            let p = parallel_fraction(k);
+            assert!((0.0..=1.0).contains(&p), "{k}");
+        }
+    }
+
+    #[test]
+    fn recurrences_bound_speedup_near_one() {
+        let s = effective_threads(KernelName::TRIDIAG_ELIM, 64);
+        assert!(s < 1.1, "{s}");
+    }
+
+    #[test]
+    fn clean_loops_scale_nearly_linearly() {
+        let s = effective_threads(KernelName::STREAM_TRIAD, 64);
+        assert!(s > 48.0, "{s}");
+    }
+
+    #[test]
+    fn apps_class_scales_worse_than_stream_class() {
+        let avg = |class: KernelClass| {
+            let ks = KernelName::in_class(class);
+            ks.iter().map(|&k| effective_threads(k, 16)).sum::<f64>() / ks.len() as f64
+        };
+        assert!(avg(KernelClass::Apps) < avg(KernelClass::Stream));
+    }
+
+    #[test]
+    fn effective_threads_monotone() {
+        for k in [KernelName::SCAN, KernelName::DAXPY, KernelName::SORT] {
+            let mut prev = 0.0;
+            for t in [1usize, 2, 4, 8, 16, 32, 64] {
+                let e = effective_threads(k, t);
+                assert!(e >= prev, "{k} t={t}");
+                prev = e;
+            }
+        }
+    }
+}

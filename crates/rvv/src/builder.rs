@@ -1,0 +1,176 @@
+//! A fluent builder for assembling programs (used by the code generator in
+//! `rvhpc-compiler`).
+
+use crate::dialect::{Lmul, Sew};
+use crate::inst::{BranchCond, FReg, Inst, Program, VReg, VfBinOp, ViBinOp, XReg};
+
+/// Incrementally builds a [`Program`], with fresh-label allocation.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    next_label: usize,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Allocate a unique label name with a prefix.
+    pub fn fresh_label(&mut self, prefix: &str) -> String {
+        let l = format!(".{prefix}{}", self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    /// Append any instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Place a label here.
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.push(Inst::Label(name.to_string()))
+    }
+
+    /// `li rd, imm`
+    pub fn li(&mut self, rd: XReg, imm: i64) -> &mut Self {
+        self.push(Inst::Li { rd, imm })
+    }
+
+    /// `mv rd, rs`
+    pub fn mv(&mut self, rd: XReg, rs: XReg) -> &mut Self {
+        self.push(Inst::Mv { rd, rs })
+    }
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
+        self.push(Inst::Add { rd, rs1, rs2 })
+    }
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i64) -> &mut Self {
+        self.push(Inst::Addi { rd, rs1, imm })
+    }
+
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Self {
+        self.push(Inst::Sub { rd, rs1, rs2 })
+    }
+
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: XReg, rs1: XReg, shamt: u8) -> &mut Self {
+        self.push(Inst::Slli { rd, rs1, shamt })
+    }
+
+    /// `bne rs1, rs2, target`
+    pub fn bne(&mut self, rs1: XReg, rs2: XReg, target: &str) -> &mut Self {
+        self.push(Inst::Branch { cond: BranchCond::Ne, rs1, rs2, target: target.to_string() })
+    }
+
+    /// `vsetvli rd, rs1, sew, lmul, ta, ma`
+    pub fn vsetvli(&mut self, rd: XReg, rs1: XReg, sew: Sew, lmul: Lmul) -> &mut Self {
+        self.push(Inst::Vsetvli { rd, rs1, sew, lmul, tail_agnostic: true, mask_agnostic: true })
+    }
+
+    /// Unit-stride vector load.
+    pub fn vle(&mut self, vd: VReg, rs1: XReg, eew: Sew) -> &mut Self {
+        self.push(Inst::Vle { vd, rs1, eew })
+    }
+
+    /// Unit-stride vector store.
+    pub fn vse(&mut self, vs: VReg, rs1: XReg, eew: Sew) -> &mut Self {
+        self.push(Inst::Vse { vs, rs1, eew })
+    }
+
+    /// Strided vector load.
+    pub fn vlse(&mut self, vd: VReg, rs1: XReg, stride: XReg, eew: Sew) -> &mut Self {
+        self.push(Inst::Vlse { vd, rs1, stride, eew })
+    }
+
+    /// FP vector-vector op.
+    pub fn vf_vv(&mut self, op: VfBinOp, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.push(Inst::VfVV { op, vd, vs1, vs2 })
+    }
+
+    /// FP vector-scalar op.
+    pub fn vf_vf(&mut self, op: VfBinOp, vd: VReg, vs1: VReg, fs2: FReg) -> &mut Self {
+        self.push(Inst::VfVF { op, vd, vs1, fs2 })
+    }
+
+    /// `vfmacc.vv vd, vs1, vs2`
+    pub fn vfmacc_vv(&mut self, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.push(Inst::VfmaccVV { vd, vs1, vs2 })
+    }
+
+    /// `vfmacc.vf vd, fs1, vs2`
+    pub fn vfmacc_vf(&mut self, vd: VReg, fs1: FReg, vs2: VReg) -> &mut Self {
+        self.push(Inst::VfmaccVF { vd, fs1, vs2 })
+    }
+
+    /// Integer vector-vector op.
+    pub fn vi_vv(&mut self, op: ViBinOp, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.push(Inst::ViVV { op, vd, vs1, vs2 })
+    }
+
+    /// Splat an f register.
+    pub fn vfmv_vf(&mut self, vd: VReg, fs1: FReg) -> &mut Self {
+        self.push(Inst::VfmvVF { vd, fs1 })
+    }
+
+    /// Extract element 0 to an f register.
+    pub fn vfmv_fs(&mut self, fd: FReg, vs1: VReg) -> &mut Self {
+        self.push(Inst::VfmvFS { fd, vs1 })
+    }
+
+    /// Unordered sum reduction.
+    pub fn vfredusum(&mut self, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.push(Inst::Vfredusum { vd, vs1, vs2 })
+    }
+
+    /// `ret`
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Ret)
+    }
+
+    /// Finish building.
+    pub fn build(&mut self) -> Program {
+        Program { insts: std::mem::take(&mut self.insts) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+    use crate::print::print_program;
+
+    #[test]
+    fn builder_produces_valid_program() {
+        let mut b = ProgramBuilder::new();
+        let loop_l = b.fresh_label("loop");
+        b.label(&loop_l)
+            .vsetvli(XReg::new(5), XReg::new(10), Sew::E32, Lmul::M1)
+            .vle(VReg::new(0), XReg::new(11), Sew::E32)
+            .vf_vv(VfBinOp::Add, VReg::new(1), VReg::new(0), VReg::new(0))
+            .vse(VReg::new(1), XReg::new(12), Sew::E32)
+            .sub(XReg::new(10), XReg::new(10), XReg::new(5))
+            .bne(XReg::new(10), XReg::new(0), &loop_l)
+            .ret();
+        let p = b.build();
+        assert_eq!(p.len_insts(), 7);
+        let text = print_program(&p, Dialect::V10);
+        let reparsed = crate::parse::parse_program(&text, Dialect::V10).unwrap();
+        assert_eq!(p, reparsed);
+    }
+
+    #[test]
+    fn fresh_labels_are_unique() {
+        let mut b = ProgramBuilder::new();
+        let a = b.fresh_label("l");
+        let c = b.fresh_label("l");
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,179 @@
+//! The two RVV dialects and the `vtype` vocabulary.
+
+use std::fmt;
+
+/// Which vector specification a program targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// RVV v0.7.1 — what the XuanTie C920 implements. Unit-stride loads are
+    /// SEW-typed (`vle.v`), there are no tail/mask policy flags, and LMUL is
+    /// integral only.
+    V071,
+    /// RVV v1.0 — the ratified spec upstream Clang targets. Loads encode the
+    /// element width in the mnemonic (`vle32.v`), `vsetvli` takes `ta`/`ma`
+    /// flags, fractional LMUL exists.
+    V10,
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dialect::V071 => f.write_str("rvv0.7.1"),
+            Dialect::V10 => f.write_str("rvv1.0"),
+        }
+    }
+}
+
+/// Selected element width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements.
+    E32,
+    /// 64-bit elements.
+    E64,
+}
+
+impl Sew {
+    /// Element width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Sew::E8 => 8,
+            Sew::E16 => 16,
+            Sew::E32 => 32,
+            Sew::E64 => 64,
+        }
+    }
+
+    /// Element width in bytes.
+    pub fn bytes(self) -> usize {
+        (self.bits() / 8) as usize
+    }
+
+    /// From a bit width.
+    pub fn from_bits(bits: u32) -> Option<Sew> {
+        Some(match bits {
+            8 => Sew::E8,
+            16 => Sew::E16,
+            32 => Sew::E32,
+            64 => Sew::E64,
+            _ => return None,
+        })
+    }
+
+    /// The `vtype` token, e.g. `e32`.
+    pub fn token(self) -> &'static str {
+        match self {
+            Sew::E8 => "e8",
+            Sew::E16 => "e16",
+            Sew::E32 => "e32",
+            Sew::E64 => "e64",
+        }
+    }
+}
+
+impl fmt::Display for Sew {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Register grouping factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lmul {
+    /// Fractional grouping (v1.0 only): 1/8.
+    F8,
+    /// Fractional grouping (v1.0 only): 1/4.
+    F4,
+    /// Fractional grouping (v1.0 only): 1/2.
+    F2,
+    /// One register per group.
+    M1,
+    /// Two registers.
+    M2,
+    /// Four registers.
+    M4,
+    /// Eight registers.
+    M8,
+}
+
+impl Lmul {
+    /// Whole registers per group for integral LMUL; `None` for fractional.
+    pub fn whole(self) -> Option<u32> {
+        match self {
+            Lmul::M1 => Some(1),
+            Lmul::M2 => Some(2),
+            Lmul::M4 => Some(4),
+            Lmul::M8 => Some(8),
+            _ => None,
+        }
+    }
+
+    /// LMUL as a rational multiplier.
+    pub fn ratio(self) -> f64 {
+        match self {
+            Lmul::F8 => 0.125,
+            Lmul::F4 => 0.25,
+            Lmul::F2 => 0.5,
+            Lmul::M1 => 1.0,
+            Lmul::M2 => 2.0,
+            Lmul::M4 => 4.0,
+            Lmul::M8 => 8.0,
+        }
+    }
+
+    /// Whether this grouping exists in v0.7.1 (fractional LMUL does not).
+    pub fn valid_in_v071(self) -> bool {
+        self.whole().is_some()
+    }
+
+    /// The `vtype` token, e.g. `m1` or `mf2`.
+    pub fn token(self) -> &'static str {
+        match self {
+            Lmul::F8 => "mf8",
+            Lmul::F4 => "mf4",
+            Lmul::F2 => "mf2",
+            Lmul::M1 => "m1",
+            Lmul::M2 => "m2",
+            Lmul::M4 => "m4",
+            Lmul::M8 => "m8",
+        }
+    }
+}
+
+impl fmt::Display for Lmul {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sew_round_trips_bits() {
+        for s in [Sew::E8, Sew::E16, Sew::E32, Sew::E64] {
+            assert_eq!(Sew::from_bits(s.bits()), Some(s));
+        }
+        assert_eq!(Sew::from_bits(128), None);
+    }
+
+    #[test]
+    fn fractional_lmul_invalid_in_v071() {
+        assert!(!Lmul::F2.valid_in_v071());
+        assert!(Lmul::M1.valid_in_v071());
+        assert_eq!(Lmul::M4.whole(), Some(4));
+        assert_eq!(Lmul::F4.whole(), None);
+    }
+
+    #[test]
+    fn tokens() {
+        assert_eq!(Sew::E32.token(), "e32");
+        assert_eq!(Lmul::F2.token(), "mf2");
+        assert_eq!(format!("{}", Dialect::V071), "rvv0.7.1");
+    }
+}

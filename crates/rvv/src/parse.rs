@@ -1,0 +1,495 @@
+//! Assembly parsing for both dialects.
+//!
+//! The parser accepts the printer's output (round-trip property-tested) plus
+//! the usual freedoms: comments (`#`), blank lines, flexible whitespace.
+//! For v0.7.1, unit-stride loads/stores carry no element width in the
+//! mnemonic; the parser tracks the active `vsetvli` SEW, exactly as the
+//! hardware (and the RVV-Rollback tool) must.
+
+use crate::dialect::{Dialect, Lmul, Sew};
+use crate::inst::{BranchCond, FReg, Inst, Program, VReg, VfBinOp, ViBinOp, XReg};
+
+/// A parse failure with its line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse assembly text in the given dialect.
+pub fn parse_program(text: &str, dialect: Dialect) -> Result<Program, ParseError> {
+    let mut insts = Vec::new();
+    let mut sew: Option<Sew> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError { line: lineno + 1, message };
+        if let Some(label) = line.strip_suffix(':') {
+            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+                return Err(err(format!("bad label `{label}`")));
+            }
+            insts.push(Inst::Label(label.to_string()));
+            continue;
+        }
+        let inst = parse_inst(line, dialect, &mut sew).map_err(err)?;
+        insts.push(inst);
+    }
+    Ok(Program { insts })
+}
+
+fn split_mnemonic(line: &str) -> (&str, Vec<&str>) {
+    let mut parts = line.splitn(2, char::is_whitespace);
+    let mn = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("");
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    (mn, ops)
+}
+
+fn xreg(tok: &str) -> Result<XReg, String> {
+    parse_reg(tok, 'x').map(XReg)
+}
+
+fn freg(tok: &str) -> Result<FReg, String> {
+    parse_reg(tok, 'f').map(FReg)
+}
+
+fn vreg(tok: &str) -> Result<VReg, String> {
+    parse_reg(tok, 'v').map(VReg)
+}
+
+fn parse_reg(tok: &str, prefix: char) -> Result<u8, String> {
+    let body = tok
+        .strip_prefix(prefix)
+        .ok_or_else(|| format!("expected {prefix}-register, got `{tok}`"))?;
+    let n: u8 = body.parse().map_err(|_| format!("bad register `{tok}`"))?;
+    if n >= 32 {
+        return Err(format!("register `{tok}` out of range"));
+    }
+    Ok(n)
+}
+
+fn imm(tok: &str) -> Result<i64, String> {
+    tok.parse().map_err(|_| format!("bad immediate `{tok}`"))
+}
+
+/// `imm(xN)` address form.
+fn mem_operand(tok: &str) -> Result<(i64, XReg), String> {
+    let open = tok.find('(').ok_or_else(|| format!("expected imm(reg), got `{tok}`"))?;
+    let close = tok.rfind(')').ok_or_else(|| format!("expected imm(reg), got `{tok}`"))?;
+    let off = tok[..open].trim();
+    let off = if off.is_empty() { 0 } else { imm(off)? };
+    let reg = xreg(tok[open + 1..close].trim())?;
+    Ok((off, reg))
+}
+
+/// `(xN)` address form for vector memory ops.
+fn vmem_operand(tok: &str) -> Result<XReg, String> {
+    let (off, reg) = mem_operand(tok)?;
+    if off != 0 {
+        return Err("vector memory operands take no offset".into());
+    }
+    Ok(reg)
+}
+
+fn parse_sew_token(tok: &str) -> Result<Sew, String> {
+    match tok {
+        "e8" => Ok(Sew::E8),
+        "e16" => Ok(Sew::E16),
+        "e32" => Ok(Sew::E32),
+        "e64" => Ok(Sew::E64),
+        _ => Err(format!("bad SEW `{tok}`")),
+    }
+}
+
+fn parse_lmul_token(tok: &str) -> Result<Lmul, String> {
+    match tok {
+        "mf8" => Ok(Lmul::F8),
+        "mf4" => Ok(Lmul::F4),
+        "mf2" => Ok(Lmul::F2),
+        "m1" => Ok(Lmul::M1),
+        "m2" => Ok(Lmul::M2),
+        "m4" => Ok(Lmul::M4),
+        "m8" => Ok(Lmul::M8),
+        _ => Err(format!("bad LMUL `{tok}`")),
+    }
+}
+
+fn need(ops: &[&str], n: usize, mn: &str) -> Result<(), String> {
+    if ops.len() != n {
+        Err(format!("{mn} expects {n} operands, got {}", ops.len()))
+    } else {
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_inst(line: &str, dialect: Dialect, sew: &mut Option<Sew>) -> Result<Inst, String> {
+    let (mn, ops) = split_mnemonic(line);
+    // Vector FP binary ops: <stem>.vv / <stem>.vf
+    for op in [VfBinOp::Add, VfBinOp::Sub, VfBinOp::Mul, VfBinOp::Div, VfBinOp::Min, VfBinOp::Max] {
+        if mn == format!("{}.vv", op.stem()) {
+            need(&ops, 3, mn)?;
+            return Ok(Inst::VfVV { op, vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? });
+        }
+        if mn == format!("{}.vf", op.stem()) {
+            need(&ops, 3, mn)?;
+            return Ok(Inst::VfVF { op, vd: vreg(ops[0])?, vs1: vreg(ops[1])?, fs2: freg(ops[2])? });
+        }
+    }
+    for op in [ViBinOp::Add, ViBinOp::Sub, ViBinOp::Mul, ViBinOp::And, ViBinOp::Or, ViBinOp::Xor] {
+        if mn == format!("{}.vv", op.stem()) {
+            need(&ops, 3, mn)?;
+            return Ok(Inst::ViVV { op, vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? });
+        }
+    }
+    // v1.0 unit-stride/strided with EEW suffix, e.g. vle32.v / vlse64.v.
+    if dialect == Dialect::V10 {
+        for bits in [8u32, 16, 32, 64] {
+            let eew = Sew::from_bits(bits).expect("valid bits");
+            if mn == format!("vle{bits}.v") {
+                need(&ops, 2, mn)?;
+                return Ok(Inst::Vle { vd: vreg(ops[0])?, rs1: vmem_operand(ops[1])?, eew });
+            }
+            if mn == format!("vse{bits}.v") {
+                need(&ops, 2, mn)?;
+                return Ok(Inst::Vse { vs: vreg(ops[0])?, rs1: vmem_operand(ops[1])?, eew });
+            }
+            if mn == format!("vlse{bits}.v") {
+                need(&ops, 3, mn)?;
+                return Ok(Inst::Vlse {
+                    vd: vreg(ops[0])?,
+                    rs1: vmem_operand(ops[1])?,
+                    stride: xreg(ops[2])?,
+                    eew,
+                });
+            }
+            if mn == format!("vsse{bits}.v") {
+                need(&ops, 3, mn)?;
+                return Ok(Inst::Vsse {
+                    vs: vreg(ops[0])?,
+                    rs1: vmem_operand(ops[1])?,
+                    stride: xreg(ops[2])?,
+                    eew,
+                });
+            }
+        }
+    }
+    match mn {
+        "ret" => {
+            need(&ops, 0, mn)?;
+            Ok(Inst::Ret)
+        }
+        "li" => {
+            need(&ops, 2, mn)?;
+            Ok(Inst::Li { rd: xreg(ops[0])?, imm: imm(ops[1])? })
+        }
+        "mv" => {
+            need(&ops, 2, mn)?;
+            Ok(Inst::Mv { rd: xreg(ops[0])?, rs: xreg(ops[1])? })
+        }
+        "add" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Add { rd: xreg(ops[0])?, rs1: xreg(ops[1])?, rs2: xreg(ops[2])? })
+        }
+        "addi" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Addi { rd: xreg(ops[0])?, rs1: xreg(ops[1])?, imm: imm(ops[2])? })
+        }
+        "sub" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Sub { rd: xreg(ops[0])?, rs1: xreg(ops[1])?, rs2: xreg(ops[2])? })
+        }
+        "mul" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Mul { rd: xreg(ops[0])?, rs1: xreg(ops[1])?, rs2: xreg(ops[2])? })
+        }
+        "slli" => {
+            need(&ops, 3, mn)?;
+            let sh: u8 = ops[2].parse().map_err(|_| format!("bad shamt `{}`", ops[2]))?;
+            Ok(Inst::Slli { rd: xreg(ops[0])?, rs1: xreg(ops[1])?, shamt: sh })
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            need(&ops, 3, mn)?;
+            let cond = match mn {
+                "beq" => BranchCond::Eq,
+                "bne" => BranchCond::Ne,
+                "blt" => BranchCond::Lt,
+                _ => BranchCond::Ge,
+            };
+            Ok(Inst::Branch {
+                cond,
+                rs1: xreg(ops[0])?,
+                rs2: xreg(ops[1])?,
+                target: ops[2].to_string(),
+            })
+        }
+        "j" => {
+            need(&ops, 1, mn)?;
+            Ok(Inst::Jump { target: ops[0].to_string() })
+        }
+        "flw" | "fld" => {
+            need(&ops, 2, mn)?;
+            let (off, rs1) = mem_operand(ops[1])?;
+            let fd = freg(ops[0])?;
+            Ok(if mn == "flw" {
+                Inst::Flw { fd, rs1, imm: off }
+            } else {
+                Inst::Fld { fd, rs1, imm: off }
+            })
+        }
+        "vsetvli" => {
+            match dialect {
+                Dialect::V10 => {
+                    need(&ops, 6, mn)?;
+                    let s = parse_sew_token(ops[2])?;
+                    let l = parse_lmul_token(ops[3])?;
+                    let ta = match ops[4] {
+                        "ta" => true,
+                        "tu" => false,
+                        o => return Err(format!("bad tail policy `{o}`")),
+                    };
+                    let ma = match ops[5] {
+                        "ma" => true,
+                        "mu" => false,
+                        o => return Err(format!("bad mask policy `{o}`")),
+                    };
+                    *sew = Some(s);
+                    Ok(Inst::Vsetvli {
+                        rd: xreg(ops[0])?,
+                        rs1: xreg(ops[1])?,
+                        sew: s,
+                        lmul: l,
+                        tail_agnostic: ta,
+                        mask_agnostic: ma,
+                    })
+                }
+                Dialect::V071 => {
+                    need(&ops, 4, mn)?;
+                    let s = parse_sew_token(ops[2])?;
+                    let l = parse_lmul_token(ops[3])?;
+                    if !l.valid_in_v071() {
+                        return Err(format!("fractional LMUL `{l}` invalid in v0.7.1"));
+                    }
+                    *sew = Some(s);
+                    Ok(Inst::Vsetvli {
+                        rd: xreg(ops[0])?,
+                        rs1: xreg(ops[1])?,
+                        sew: s,
+                        lmul: l,
+                        tail_agnostic: false,
+                        mask_agnostic: false,
+                    })
+                }
+            }
+        }
+        // v0.7.1 SEW-typed memory ops.
+        "vle.v" | "vse.v" | "vlse.v" | "vsse.v" if dialect == Dialect::V071 => {
+            let eew = sew.ok_or("vector memory op before any vsetvli")?;
+            match mn {
+                "vle.v" => {
+                    need(&ops, 2, mn)?;
+                    Ok(Inst::Vle { vd: vreg(ops[0])?, rs1: vmem_operand(ops[1])?, eew })
+                }
+                "vse.v" => {
+                    need(&ops, 2, mn)?;
+                    Ok(Inst::Vse { vs: vreg(ops[0])?, rs1: vmem_operand(ops[1])?, eew })
+                }
+                "vlse.v" => {
+                    need(&ops, 3, mn)?;
+                    Ok(Inst::Vlse {
+                        vd: vreg(ops[0])?,
+                        rs1: vmem_operand(ops[1])?,
+                        stride: xreg(ops[2])?,
+                        eew,
+                    })
+                }
+                _ => {
+                    need(&ops, 3, mn)?;
+                    Ok(Inst::Vsse {
+                        vs: vreg(ops[0])?,
+                        rs1: vmem_operand(ops[1])?,
+                        stride: xreg(ops[2])?,
+                        eew,
+                    })
+                }
+            }
+        }
+        "vfmacc.vv" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::VfmaccVV { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? })
+        }
+        "vfmacc.vf" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::VfmaccVF { vd: vreg(ops[0])?, fs1: freg(ops[1])?, vs2: vreg(ops[2])? })
+        }
+        "vadd.vi" => {
+            need(&ops, 3, mn)?;
+            let i: i8 = ops[2].parse().map_err(|_| format!("bad vi immediate `{}`", ops[2]))?;
+            Ok(Inst::VaddVI { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, imm: i })
+        }
+        "vmflt.vf" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::VmfltVF { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, fs2: freg(ops[2])? })
+        }
+        "vmfge.vf" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::VmfgeVF { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, fs2: freg(ops[2])? })
+        }
+        "vmerge.vvm" => {
+            need(&ops, 4, mn)?;
+            if ops[3] != "v0" {
+                return Err("vmerge mask operand must be v0".into());
+            }
+            Ok(Inst::VmergeVVM { vd: vreg(ops[0])?, vs2: vreg(ops[1])?, vs1: vreg(ops[2])? })
+        }
+        "vfsqrt.v" => {
+            if ops.len() == 3 && ops[2] == "v0.t" {
+                Ok(Inst::VfsqrtV { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, masked: true })
+            } else {
+                need(&ops, 2, mn)?;
+                Ok(Inst::VfsqrtV { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, masked: false })
+            }
+        }
+        "vmv.v.x" => {
+            need(&ops, 2, mn)?;
+            Ok(Inst::VmvVX { vd: vreg(ops[0])?, rs1: xreg(ops[1])? })
+        }
+        "vfmv.v.f" => {
+            need(&ops, 2, mn)?;
+            Ok(Inst::VfmvVF { vd: vreg(ops[0])?, fs1: freg(ops[1])? })
+        }
+        "vfmv.f.s" => {
+            need(&ops, 2, mn)?;
+            Ok(Inst::VfmvFS { fd: freg(ops[0])?, vs1: vreg(ops[1])? })
+        }
+        "vfredusum.vs" if dialect == Dialect::V10 => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Vfredusum { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? })
+        }
+        "vfredsum.vs" if dialect == Dialect::V071 => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Vfredusum { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? })
+        }
+        "vfredosum.vs" => {
+            need(&ops, 3, mn)?;
+            Ok(Inst::Vfredosum { vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? })
+        }
+        other => Err(format!("unknown mnemonic `{other}` for dialect {dialect}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_program;
+
+    #[test]
+    fn parses_v10_daxpy_loop() {
+        let text = r"
+# a0 = n, a1 = x ptr, a2 = y ptr, f0 = alpha
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v0, (x11)
+    vle32.v v1, (x12)
+    vfmacc.vf v1, f0, v0
+    vse32.v v1, (x12)
+    slli x6, x5, 2
+    add x11, x11, x6
+    add x12, x12, x6
+    sub x10, x10, x5
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        assert_eq!(p.len_insts(), 11);
+        assert_eq!(p.len_vector_insts(), 5);
+    }
+
+    #[test]
+    fn parses_v071_with_sew_tracking() {
+        let text = "\
+    vsetvli x5, x10, e64, m2
+    vle.v v0, (x11)
+    vse.v v0, (x12)
+    ret
+";
+        let p = parse_program(text, Dialect::V071).unwrap();
+        assert!(matches!(p.insts[1], Inst::Vle { eew: Sew::E64, .. }));
+    }
+
+    #[test]
+    fn v071_memory_before_vsetvli_is_error() {
+        let e = parse_program("    vle.v v0, (x11)\n", Dialect::V071).unwrap_err();
+        assert!(e.message.contains("before any vsetvli"), "{e}");
+    }
+
+    #[test]
+    fn v10_mnemonics_rejected_in_v071() {
+        let text = "    vsetvli x5, x10, e32, m1, ta, ma\n";
+        assert!(parse_program(text, Dialect::V071).is_err());
+        let text2 = "    vsetvli x5, x10, e32, m1\n    vle32.v v0, (x11)\n";
+        assert!(parse_program(text2, Dialect::V071).is_err());
+    }
+
+    #[test]
+    fn fractional_lmul_rejected_in_v071() {
+        let e = parse_program("    vsetvli x5, x10, e32, mf2\n", Dialect::V071).unwrap_err();
+        assert!(e.message.contains("fractional"), "{e}");
+    }
+
+    #[test]
+    fn round_trip_v10() {
+        let text = "\
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v0, (x11)
+    vfadd.vv v2, v0, v0
+    vfredusum.vs v3, v2, v4
+    vse32.v v2, (x12)
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let printed = print_program(&p, Dialect::V10);
+        let p2 = parse_program(&printed, Dialect::V10).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let text = "    li x1, 5\n    bogus x1, x2\n";
+        let e = parse_program(text, Dialect::V10).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn reduction_rename_parses_per_dialect() {
+        let v10 = parse_program(
+            "    vsetvli x5, x10, e32, m1, ta, ma\n    vfredusum.vs v1, v2, v3\n",
+            Dialect::V10,
+        )
+        .unwrap();
+        let v071 = parse_program(
+            "    vsetvli x5, x10, e32, m1\n    vfredsum.vs v1, v2, v3\n",
+            Dialect::V071,
+        )
+        .unwrap();
+        assert_eq!(v10.insts[1], v071.insts[1]);
+    }
+}

@@ -1,0 +1,391 @@
+//! The persistent worker team (the `parallel` region substrate).
+//!
+//! A [`Team`] owns `n` worker threads for its whole lifetime, mirroring an
+//! OpenMP runtime's thread pool with `OMP_PROC_BIND=true`: the team shape
+//! and the logical core binding of each thread never change. SPMD regions
+//! are dispatched to the workers by reference — the closure is *not* boxed
+//! per call and may borrow from the caller's stack, because [`Team::run`]
+//! does not return until every worker has finished with it (the same
+//! lifetime-erasure technique used by scoped thread pools).
+
+use crate::barrier::{BarrierToken, SpinBarrier};
+use crate::schedule::static_chunk;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A lifetime-erased SPMD job: a wide pointer to a `Fn(&mut ThreadCtx)`
+/// living on the dispatcher's stack. Safe to use because the dispatcher
+/// blocks until all workers acknowledge completion.
+struct Job {
+    f: *const (dyn Fn(&mut ThreadCtx<'_>) + Sync),
+}
+// SAFETY: the pointee is Sync, and the dispatch protocol guarantees the
+// pointer outlives every use (Team::run joins all workers before returning).
+unsafe impl Send for Job {}
+
+enum Message {
+    Run(Job),
+    Shutdown,
+}
+
+/// Per-thread context handed to SPMD regions.
+pub struct ThreadCtx<'a> {
+    tid: usize,
+    n_threads: usize,
+    core: usize,
+    barrier: &'a SpinBarrier,
+    token: BarrierToken,
+}
+
+impl ThreadCtx<'_> {
+    /// This thread's index within the team, `0..n_threads`.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Team size.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Logical core id this thread is bound to (placement-policy output).
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// Team-wide barrier (`#pragma omp barrier`).
+    pub fn barrier(&mut self) {
+        self.barrier.wait(&mut self.token);
+    }
+
+    /// This thread's static chunk of an iteration range
+    /// (`#pragma omp for schedule(static)`).
+    pub fn chunk(&self, range: Range<usize>) -> Range<usize> {
+        static_chunk(range, self.n_threads, self.tid)
+    }
+}
+
+struct Worker {
+    tx: Sender<Message>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A fixed team of bound worker threads.
+///
+/// ```
+/// use rvhpc_threads::Team;
+///
+/// let team = Team::with_cores(vec![0, 8, 32, 40]); // a placement policy's output
+/// let sum = team
+///     .parallel_reduce(0..1000, |chunk| chunk.sum::<usize>(), |a, b| a + b)
+///     .unwrap();
+/// assert_eq!(sum, 999 * 1000 / 2);
+/// ```
+pub struct Team {
+    n_threads: usize,
+    cores: Vec<usize>,
+    workers: Vec<Worker>,
+    done_rx: Receiver<()>,
+    panicked: Arc<AtomicBool>,
+}
+
+impl Team {
+    /// A team of `n` threads bound to logical cores `0..n`.
+    pub fn new(n: usize) -> Self {
+        Team::with_cores((0..n).collect())
+    }
+
+    /// A team with one thread per entry of `cores`, thread `i` bound to
+    /// logical core `cores[i]` (the output of a placement policy).
+    ///
+    /// # Panics
+    /// Panics if `cores` is empty.
+    pub fn with_cores(cores: Vec<usize>) -> Self {
+        assert!(!cores.is_empty(), "team needs at least one thread");
+        let n_threads = cores.len();
+        let barrier = Arc::new(SpinBarrier::new(n_threads));
+        let (done_tx, done_rx) = bounded::<()>(n_threads);
+        let panicked = Arc::new(AtomicBool::new(false));
+
+        let workers = cores
+            .iter()
+            .enumerate()
+            .map(|(tid, &core)| {
+                let (tx, rx) = bounded::<Message>(1);
+                let barrier = Arc::clone(&barrier);
+                let done_tx = done_tx.clone();
+                let panicked = Arc::clone(&panicked);
+                let handle = std::thread::Builder::new()
+                    .name(format!("rvhpc-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, core, n_threads, barrier, rx, done_tx, panicked))
+                    .expect("failed to spawn worker thread");
+                Worker { tx, handle: Some(handle) }
+            })
+            .collect();
+
+        Team { n_threads, cores, workers, done_rx, panicked }
+    }
+
+    /// Team size.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Logical core of each thread.
+    pub fn cores(&self) -> &[usize] {
+        &self.cores
+    }
+
+    /// Execute an SPMD region on every team thread and wait for completion.
+    ///
+    /// The closure may borrow from the caller; it runs once per thread with
+    /// that thread's [`ThreadCtx`]. Panics in any worker are re-raised here
+    /// after the region drains.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&mut ThreadCtx<'_>) + Sync,
+    {
+        let wide: &(dyn Fn(&mut ThreadCtx<'_>) + Sync) = &f;
+        // SAFETY: we erase the lifetime of `wide` to send it to workers; the
+        // loop below blocks until every worker has sent its completion
+        // token, so the reference cannot dangle.
+        let job_ptr: *const (dyn Fn(&mut ThreadCtx<'_>) + Sync) =
+            unsafe { std::mem::transmute(wide) };
+        for w in &self.workers {
+            w.tx.send(Message::Run(Job { f: job_ptr })).expect("worker hung up");
+        }
+        for _ in 0..self.n_threads {
+            self.done_rx.recv().expect("worker hung up");
+        }
+        if self.panicked.swap(false, Ordering::SeqCst) {
+            panic!("a worker thread panicked inside Team::run");
+        }
+    }
+
+    /// Worksharing loop: apply `f(i)` for every `i` in `range`, split into
+    /// static contiguous chunks (`#pragma omp parallel for schedule(static)`).
+    pub fn parallel_for<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run(|ctx| {
+            for i in ctx.chunk(range.clone()) {
+                f(i);
+            }
+        });
+    }
+
+    /// Worksharing loop over chunks: `f` receives each thread's contiguous
+    /// chunk once. Useful when per-chunk setup matters.
+    pub fn parallel_for_chunks<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        self.run(|ctx| f(ctx.chunk(range.clone())));
+    }
+
+    /// Parallel reduction: each thread maps its static chunk to a partial
+    /// with `map`, partials are combined in thread order with `combine`
+    /// (deterministic for a fixed team size).
+    pub fn parallel_reduce<T, M, C>(&self, range: Range<usize>, map: M, combine: C) -> Option<T>
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        C: Fn(T, T) -> T,
+    {
+        let slots: Vec<Mutex<Option<T>>> = (0..self.n_threads).map(|_| Mutex::new(None)).collect();
+        self.run(|ctx| {
+            let part = map(ctx.chunk(range.clone()));
+            *slots[ctx.tid()].lock() = Some(part);
+        });
+        slots
+            .into_iter()
+            .filter_map(|m| m.into_inner())
+            .reduce(combine)
+    }
+}
+
+impl Drop for Team {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // Ignore send errors: a worker that already died cannot receive.
+            let _ = w.tx.send(Message::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    tid: usize,
+    core: usize,
+    n_threads: usize,
+    barrier: Arc<SpinBarrier>,
+    rx: Receiver<Message>,
+    done_tx: Sender<()>,
+    panicked: Arc<AtomicBool>,
+) {
+    let mut ctx = ThreadCtx {
+        tid,
+        n_threads,
+        core,
+        barrier: &barrier,
+        token: BarrierToken::new(),
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Message::Run(job) => {
+                // SAFETY: the dispatcher keeps the closure alive until we
+                // send the completion token below.
+                let f = unsafe { &*job.f };
+                let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+                if result.is_err() {
+                    panicked.store(true, Ordering::SeqCst);
+                }
+                // Always report completion, even on panic, so the
+                // dispatcher can drain and re-raise instead of hanging.
+                let _ = done_tx.send(());
+            }
+            Message::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn run_executes_once_per_thread() {
+        let team = Team::new(4);
+        let count = AtomicUsize::new(0);
+        team.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn ctx_reports_team_shape_and_cores() {
+        let team = Team::with_cores(vec![0, 8, 32, 40]);
+        let seen = Mutex::new(Vec::new());
+        team.run(|ctx| {
+            seen.lock().push((ctx.tid(), ctx.core(), ctx.n_threads()));
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, vec![(0, 0, 4), (1, 8, 4), (2, 32, 4), (3, 40, 4)]);
+    }
+
+    #[test]
+    fn parallel_for_covers_range_exactly_once() {
+        let team = Team::new(5);
+        let n = 1237;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for(0..n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_reduce_sums_correctly() {
+        let team = Team::new(7);
+        let n = 10_000usize;
+        let total = team
+            .parallel_reduce(0..n, |chunk| chunk.sum::<usize>(), |a, b| a + b)
+            .unwrap();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_in_thread_order() {
+        // Subtraction is not commutative; determinism means repeated runs
+        // agree because partials combine in tid order.
+        let team = Team::new(3);
+        let first = team
+            .parallel_reduce(0..100, |c| c.map(|i| i as i64).sum::<i64>(), |a, b| a - b)
+            .unwrap();
+        for _ in 0..20 {
+            let again = team
+                .parallel_reduce(0..100, |c| c.map(|i| i as i64).sum::<i64>(), |a, b| a - b)
+                .unwrap();
+            assert_eq!(first, again);
+        }
+    }
+
+    #[test]
+    fn barrier_inside_region_synchronises_phases() {
+        let team = Team::new(6);
+        let phase1 = AtomicUsize::new(0);
+        team.run(|ctx| {
+            phase1.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+            assert_eq!(phase1.load(Ordering::Relaxed), 6);
+        });
+    }
+
+    #[test]
+    fn region_can_borrow_caller_stack() {
+        let team = Team::new(4);
+        let mut data = vec![0usize; 1000];
+        let shared: Vec<AtomicUsize> = data.iter().map(|_| AtomicUsize::new(0)).collect();
+        team.run(|ctx| {
+            for i in ctx.chunk(0..shared.len()) {
+                shared[i].store(i * 2, Ordering::Relaxed);
+            }
+        });
+        for (i, s) in shared.iter().enumerate() {
+            data[i] = s.load(Ordering::Relaxed);
+        }
+        assert_eq!(data[499], 998);
+    }
+
+    #[test]
+    fn team_is_reusable_many_times() {
+        let team = Team::new(3);
+        let count = AtomicUsize::new(0);
+        for _ in 0..500 {
+            team.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::Relaxed), 1500);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let team = Team::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|ctx| {
+                if ctx.tid() == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Team remains usable after a panic.
+        let count = AtomicUsize::new(0);
+        team.run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn empty_team_rejected() {
+        let _ = Team::with_cores(vec![]);
+    }
+}

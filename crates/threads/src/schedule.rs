@@ -1,0 +1,102 @@
+//! OpenMP-style static loop scheduling.
+//!
+//! `schedule(static)` with no chunk size divides the iteration space into
+//! `n_threads` contiguous blocks, with the remainder spread one extra
+//! iteration at a time over the lowest-numbered threads. The kernels and the
+//! performance model both rely on this exact shape (contiguous blocks keep
+//! each thread's memory streams unit-stride, which is what makes placement
+//! matter on the SG2042).
+
+use std::ops::Range;
+
+/// The contiguous chunk of `range` assigned to thread `tid` out of
+/// `n_threads`, OpenMP `schedule(static)` semantics.
+///
+/// # Panics
+/// Panics if `tid >= n_threads` or `n_threads == 0`.
+pub fn static_chunk(range: Range<usize>, n_threads: usize, tid: usize) -> Range<usize> {
+    assert!(n_threads > 0, "n_threads must be positive");
+    assert!(tid < n_threads, "tid {tid} out of range 0..{n_threads}");
+    let n = range.end.saturating_sub(range.start);
+    let base = n / n_threads;
+    let rem = n % n_threads;
+    // Threads [0, rem) get base+1 iterations, the rest get base.
+    let start = range.start + tid * base + tid.min(rem);
+    let len = base + usize::from(tid < rem);
+    start..(start + len)
+}
+
+/// All chunks for a team, in thread order. The chunks are disjoint, ordered
+/// and exactly cover `range`.
+pub fn static_chunks(range: Range<usize>, n_threads: usize) -> Vec<Range<usize>> {
+    (0..n_threads)
+        .map(|tid| static_chunk(range.clone(), n_threads, tid))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn even_split() {
+        assert_eq!(static_chunks(0..8, 4), vec![0..2, 2..4, 4..6, 6..8]);
+    }
+
+    #[test]
+    fn remainder_goes_to_low_threads() {
+        // 10 items over 4 threads: 3,3,2,2.
+        assert_eq!(static_chunks(0..10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let chunks = static_chunks(0..2, 4);
+        assert_eq!(chunks, vec![0..1, 1..2, 2..2, 2..2]);
+    }
+
+    #[test]
+    fn empty_range() {
+        for c in static_chunks(5..5, 3) {
+            assert!(c.is_empty());
+        }
+    }
+
+    #[test]
+    fn offset_range() {
+        assert_eq!(static_chunks(100..107, 3), vec![100..103, 103..105, 105..107]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tid_out_of_range_panics() {
+        static_chunk(0..10, 2, 2);
+    }
+
+    proptest! {
+        /// Chunks partition the range: disjoint, ordered, exactly covering.
+        #[test]
+        fn chunks_partition_range(start in 0usize..1000, len in 0usize..10_000, t in 1usize..128) {
+            let range = start..start + len;
+            let chunks = static_chunks(range.clone(), t);
+            prop_assert_eq!(chunks.len(), t);
+            let mut cursor = range.start;
+            for c in &chunks {
+                prop_assert_eq!(c.start, cursor);
+                prop_assert!(c.end >= c.start);
+                cursor = c.end;
+            }
+            prop_assert_eq!(cursor, range.end);
+        }
+
+        /// Chunk sizes differ by at most one (static balance property).
+        #[test]
+        fn chunks_are_balanced(len in 0usize..10_000, t in 1usize..128) {
+            let sizes: Vec<usize> = static_chunks(0..len, t).iter().map(|c| c.len()).collect();
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1, "sizes {:?}", sizes);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Disjoint shared mutable access to slices across a team.
+//!
+//! HPC kernels write disjoint chunks of the same output array from every
+//! thread (`a[i] = b[i] + c[i]` under a static schedule). Safe Rust cannot
+//! express "these `&mut` borrows are disjoint because the schedule says so",
+//! so this module provides the standard wrapper: a [`SharedSlice`] that is
+//! `Sync` and hands out raw disjoint sub-slices under an explicit safety
+//! contract. Kernels only ever pair it with [`crate::static_chunk`], whose
+//! chunks are proven disjoint by a property test, keeping the unsafety in
+//! one audited place.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A `Sync` view over a mutable slice permitting disjoint concurrent writes.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: SharedSlice only yields aliasing access through `unsafe` methods
+// whose contract requires disjointness; with that contract upheld, sharing
+// the wrapper across threads is sound for Send element types.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice for team-wide disjoint access.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Slice length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to one element.
+    ///
+    /// # Safety
+    /// No two concurrent calls (nor a concurrent [`Self::slice_mut`]) may
+    /// touch the same index while either borrow lives.
+    #[inline]
+    pub unsafe fn index_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
+        // SAFETY: bounds asserted above; disjointness is the caller's
+        // contract.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// Mutable access to a sub-range.
+    ///
+    /// # Safety
+    /// Concurrent calls must use pairwise disjoint ranges (e.g. the chunks
+    /// of a static schedule), and no element may simultaneously be borrowed
+    /// via [`Self::index_mut`].
+    #[inline]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: bounds asserted above; disjointness is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+
+    /// Read one element (requires no concurrent writer for that index).
+    ///
+    /// # Safety
+    /// The index must not be concurrently written.
+    #[inline]
+    pub unsafe fn get(&self, i: usize) -> &T {
+        debug_assert!(i < self.len);
+        // SAFETY: bounds asserted above; absence of writers is the caller's
+        // contract.
+        unsafe { &*self.ptr.add(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::Team;
+
+    #[test]
+    fn disjoint_chunk_writes_compose() {
+        let team = Team::new(8);
+        let n = 4096;
+        let mut data = vec![0u64; n];
+        let shared = SharedSlice::new(&mut data);
+        team.run(|ctx| {
+            let chunk = ctx.chunk(0..n);
+            // SAFETY: static chunks are pairwise disjoint.
+            let view = unsafe { shared.slice_mut(chunk.clone()) };
+            for (off, v) in view.iter_mut().enumerate() {
+                *v = (chunk.start + off) as u64 * 3;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn per_index_writes_compose() {
+        let team = Team::new(4);
+        let n = 1000;
+        let mut data = vec![0u32; n];
+        let shared = SharedSlice::new(&mut data);
+        team.parallel_for(0..n, |i| {
+            // SAFETY: parallel_for visits each index exactly once.
+            unsafe { *shared.index_mut(i) = i as u32 + 1 };
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+    }
+
+    #[test]
+    fn empty_slice() {
+        let mut data: Vec<u8> = vec![];
+        let shared = SharedSlice::new(&mut data);
+        assert!(shared.is_empty());
+        assert_eq!(shared.len(), 0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Cluster study — the paper's "further work", runnable: would clusters of
+//! SG2042 machines be capable of large-scale HPC workloads, and how much
+//! does the network adaptor matter?
+//!
+//! ```text
+//! cargo run --release -p rvhpc-examples --bin cluster_study
+//! ```
+
+use rvhpc::cluster::{strong_scaling, weak_scaling, NetworkKind};
+use rvhpc::kernels::KernelName;
+use rvhpc::machines::MachineId;
+use rvhpc::perfmodel::Precision;
+
+const NODES: [u32; 7] = [1, 2, 4, 8, 16, 64, 256];
+
+fn main() {
+    println!("== weak scaling: HEAT_3D (FP64) on SG2042 nodes, by interconnect ==");
+    println!("(parallel efficiency; 1.0 = perfect)\n");
+    print!("{:>7}", "nodes");
+    for kind in NetworkKind::ALL {
+        print!("{:>11}", kind.label());
+    }
+    println!();
+    let curves: Vec<_> = NetworkKind::ALL
+        .iter()
+        .map(|k| {
+            weak_scaling(
+                MachineId::Sg2042,
+                &k.network(),
+                KernelName::HEAT_3D,
+                Precision::Fp64,
+                &NODES,
+            )
+        })
+        .collect();
+    for (i, &nodes) in NODES.iter().enumerate() {
+        print!("{nodes:>7}");
+        for curve in &curves {
+            print!("{:>11.2}", curve[i].efficiency);
+        }
+        println!();
+    }
+
+    println!("\n== strong scaling: JACOBI_2D (FP32), SG2042 vs AMD Rome nodes on Slingshot ==");
+    println!("(seconds per repetition; communication share in parentheses)\n");
+    let net = NetworkKind::Slingshot.network();
+    let sg = strong_scaling(MachineId::Sg2042, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
+    let rome = strong_scaling(MachineId::AmdRome, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
+    println!("{:>7} {:>22} {:>22}", "nodes", "SG2042 cluster", "Rome cluster");
+    for i in 0..NODES.len() {
+        let f = |p: &rvhpc::cluster::ClusterPoint| {
+            format!("{:.3e}s ({:>4.1}%)", p.seconds, 100.0 * p.comm_seconds / p.seconds)
+        };
+        println!("{:>7} {:>22} {:>22}", NODES[i], f(&sg[i]), f(&rome[i]));
+    }
+
+    println!(
+        "\nReading: behind an HPC-class fabric the SG2042 cluster weak-scales well —\n\
+         the CPU, not the network, stays the limit — while commodity Gigabit\n\
+         Ethernet (today's Pioneer-box reality) forfeits most of the scaling.\n\
+         This is the quantitative version of the paper's closing question."
+    );
+}

@@ -1,0 +1,31 @@
+//! Shared helpers for the rvhpc example binaries.
+
+use rvhpc::kernels::KernelClass;
+
+/// Render a simple horizontal bar for terminal output: `value` scaled so
+/// that `full` is `width` characters.
+pub fn bar(value: f64, full: f64, width: usize) -> String {
+    let n = ((value / full) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push('█');
+    }
+    s
+}
+
+/// Fixed-width class label column.
+pub fn class_label(class: KernelClass) -> String {
+    format!("{:<10}", class.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(2.0, 1.0, 10).chars().count(), 10);
+        assert_eq!(bar(-1.0, 1.0, 10), "");
+        assert_eq!(bar(0.5, 1.0, 10).chars().count(), 5);
+    }
+}

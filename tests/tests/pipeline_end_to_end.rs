@@ -1,0 +1,132 @@
+//! End-to-end pipeline tests: descriptors → compiler model → RVV codegen →
+//! rollback → interpreter → performance model, crossing every crate.
+
+use rvhpc::compiler::codegen::{generate, setup_machine};
+use rvhpc::compiler::{compile, Compiler, VectorMode};
+use rvhpc::kernels::{make_kernel, workload, KernelName};
+use rvhpc::machines::{machine, MachineId, PlacementPolicy};
+use rvhpc::perfmodel::{estimate, Precision, RunConfig, Toolchain};
+use rvhpc::rvv::{parse_program, rollback, Dialect, Machine, Sew};
+use rvhpc::threads::Team;
+
+/// The central paper finding, end to end: a vectorisable FP32 kernel goes
+/// through the full Clang pipeline (codegen → rollback → v0.7.1 text →
+/// reparse → interpret) and the result matches the *native Rust kernel's*
+/// semantics.
+#[test]
+fn clang_pipeline_matches_native_kernel_semantics() {
+    let n = 256usize;
+
+    // Native DAXPY (f32) via the real kernel implementation.
+    let team = Team::new(1);
+    let mut native = make_kernel::<f32>(KernelName::DAXPY, n);
+    native.run(&team);
+    let native_checksum = native.checksum();
+
+    // Compiled DAXPY through the full toolchain path.
+    let compiled = compile(KernelName::DAXPY, Compiler::Clang, VectorMode::Vla, Sew::E32);
+    assert!(compiled.vector_path);
+    let asm = compiled.assembly_v071.expect("codegen covers DAXPY");
+    let program = parse_program(&asm, Dialect::V071).expect("valid v0.7.1 text");
+
+    let mut m = Machine::new(Dialect::V071, 64 * 1024);
+    // Match the native kernel's data: x = 0.1*(i%17+1), y = 0.2*(i%17+1),
+    // a = 2.5 (setup_machine uses the same cyclic pattern with alpha=1.5;
+    // override alpha to the kernel's 2.5).
+    setup_machine(&mut m, KernelName::DAXPY, Sew::E32, n);
+    m.set_f(0, 2.5);
+    m.run(&program, 1_000_000).expect("executes");
+
+    let y = m.read_f32s(n * 4, n);
+    let interp_checksum: f64 = y
+        .iter()
+        .enumerate()
+        .map(|(i, v)| *v as f64 / ((i % 8) as f64 + 1.0))
+        .sum();
+    let tol = native_checksum.abs() * 1e-5;
+    assert!(
+        (interp_checksum - native_checksum).abs() < tol,
+        "interpreter {interp_checksum} vs native {native_checksum}"
+    );
+}
+
+/// The FP64 story crosses four crates consistently: machine descriptor
+/// (no FP64 lanes), compiler (rollback refusal), perf model (no vector
+/// path), and the resulting times.
+#[test]
+fn fp64_constraint_is_consistent_across_crates() {
+    let sg = machine(MachineId::Sg2042);
+    // Machine level.
+    assert!(!sg.vectorises_fp(64));
+    assert_eq!(sg.vector_lanes(64), 1);
+    // Compiler level.
+    let c = compile(KernelName::STREAM_TRIAD, Compiler::XuanTieGcc, VectorMode::Vls, Sew::E64);
+    assert!(!c.vector_path);
+    // Performance-model level.
+    let e64 = estimate(&sg, KernelName::STREAM_TRIAD, &RunConfig::sg2042_best(Precision::Fp64, 1));
+    let e32 = estimate(&sg, KernelName::STREAM_TRIAD, &RunConfig::sg2042_best(Precision::Fp32, 1));
+    assert!(!e64.vector_path);
+    assert!(e32.vector_path);
+    assert!(e32.seconds < e64.seconds);
+}
+
+/// Every kernel has a consistent descriptor/implementation pair: the
+/// implementation really runs, and the descriptor yields a finite positive
+/// estimate on every machine.
+#[test]
+fn all_64_kernels_flow_through_both_paths() {
+    let team = Team::new(2);
+    for kernel in KernelName::ALL {
+        // Native path (small size for speed).
+        let mut k = make_kernel::<f32>(kernel, 1024);
+        k.run(&team);
+        assert!(k.checksum().is_finite(), "{kernel} native");
+        // Simulated path on two very different machines.
+        for id in [MachineId::Sg2042, MachineId::IntelIcelake] {
+            let m = machine(id);
+            let cfg = if id.is_riscv() {
+                RunConfig::sg2042_best(Precision::Fp32, 4)
+            } else {
+                RunConfig::x86(Precision::Fp32, 4)
+            };
+            let e = estimate(&m, kernel, &cfg);
+            assert!(e.seconds.is_finite() && e.seconds > 0.0, "{kernel} on {id}");
+        }
+        // Descriptor sanity.
+        let w = workload(kernel, 10_000);
+        assert!(w.iterations > 0.0, "{kernel} workload");
+    }
+}
+
+/// VLS beats VLA end to end: generated code retires fewer instructions and
+/// the performance model orders the two the same way (paper Section 3.2).
+#[test]
+fn vls_beats_vla_in_codegen_and_model() {
+    let sg = machine(MachineId::Sg2042);
+    let mk = |mode| RunConfig {
+        precision: Precision::Fp32,
+        vectorize: true,
+        toolchain: Toolchain::ClangRvv,
+        mode,
+        placement: PlacementPolicy::Block,
+        threads: 1,
+    };
+    for kernel in [KernelName::STREAM_TRIAD, KernelName::DAXPY, KernelName::STREAM_ADD] {
+        let vls = estimate(&sg, kernel, &mk(VectorMode::Vls));
+        let vla = estimate(&sg, kernel, &mk(VectorMode::Vla));
+        assert!(vls.seconds <= vla.seconds, "{kernel}: VLS must not lose to VLA");
+    }
+}
+
+/// Rollback refusal and interpreter trap agree about FP64 vector code.
+#[test]
+fn rollback_and_interpreter_agree_on_fp64() {
+    let program = generate(KernelName::STREAM_ADD, VectorMode::Vla, Sew::E64).expect("codegen");
+    // Rollback refuses...
+    assert!(rollback(&program).is_err());
+    // ...and the v0.7.1 interpreter would trap on the same construct (run
+    // the v1.0 program under v0.7.1 semantics).
+    let mut m = Machine::new(Dialect::V071, 64 * 1024);
+    setup_machine(&mut m, KernelName::STREAM_ADD, Sew::E64, 64);
+    assert!(m.run(&program, 1_000_000).is_err());
+}
