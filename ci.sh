@@ -1,0 +1,8 @@
+#!/bin/sh
+# Offline-safe CI: everything here runs without network access.
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings

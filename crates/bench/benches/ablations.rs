@@ -9,12 +9,12 @@
 //! * **slow-L3 off** (L3 as fast as x86 LLCs) → the SG2042's cache-resident
 //!   kernels stop trailing x86.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rvhpc::compiler::VectorMode;
 use rvhpc::kernels::KernelName;
 use rvhpc::machines::{machine, MachineId, PlacementPolicy};
 use rvhpc::perfmodel::{calibration, estimate_with, Calibration, Precision, RunConfig, Toolchain};
 use rvhpc_bench::{banner, quick_criterion};
+use rvhpc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn cfg(placement: PlacementPolicy, threads: usize, vectorize: bool) -> RunConfig {
@@ -58,9 +58,7 @@ fn bench_ablations(c: &mut Criterion) {
         block_speedup(&no_queue, 16),
         block_speedup(&no_queue, 32),
     );
-    c.bench_function("ablation_queueing", |b| {
-        b.iter(|| black_box(block_speedup(&no_queue, 32)))
-    });
+    c.bench_function("ablation_queueing", |b| b.iter(|| black_box(block_speedup(&no_queue, 32))));
 
     banner("ablation: scalar memory-issue penalty");
     let no_scalar_penalty =
@@ -88,13 +86,9 @@ fn bench_ablations(c: &mut Criterion) {
         &v2cal,
     )
     .seconds;
-    let t32 = estimate_with(
-        &v2,
-        KernelName::STREAM_TRIAD,
-        &cfg(PlacementPolicy::Block, 1, true),
-        &v2cal,
-    )
-    .seconds;
+    let t32 =
+        estimate_with(&v2, KernelName::STREAM_TRIAD, &cfg(PlacementPolicy::Block, 1, true), &v2cal)
+            .seconds;
     println!(
         "V2 STREAM_TRIAD FP64/FP32 time ratio: {:.2} (paper: 'far less' than the SG2042's)",
         t64 / t32

@@ -1,12 +1,12 @@
 //! Bench + regeneration for the further-work cluster study: weak- and
 //! strong-scaling projections of SG2042 clusters by interconnect.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rvhpc::cluster::{strong_scaling, weak_scaling, NetworkKind};
 use rvhpc::kernels::KernelName;
 use rvhpc::machines::MachineId;
 use rvhpc::perfmodel::Precision;
 use rvhpc_bench::{banner, quick_criterion};
+use rvhpc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 const NODES: [u32; 6] = [1, 2, 4, 16, 64, 256];

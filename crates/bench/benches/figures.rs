@@ -4,9 +4,9 @@
 //! markdown table and reports how long the simulation pipeline takes to
 //! produce it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rvhpc::experiments::{fig1, fig2, fig3, x86};
 use rvhpc_bench::{banner, quick_criterion};
+use rvhpc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_figures(c: &mut Criterion) {

@@ -5,18 +5,18 @@
 //! simulator predicts the paper's machines, while these numbers are
 //! whatever the host is.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rvhpc::kernels::{make_kernel, KernelName, Real};
 use rvhpc::threads::Team;
+use rvhpc_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// One representative kernel per class (cheap enough to bench tightly).
 const REPRESENTATIVES: [KernelName; 6] = [
-    KernelName::MEMSET,        // algorithm
-    KernelName::FIR,           // apps
-    KernelName::DAXPY,         // basic
-    KernelName::HYDRO_1D,      // lcals
-    KernelName::JACOBI_2D,     // polybench
-    KernelName::STREAM_TRIAD,  // stream
+    KernelName::MEMSET,       // algorithm
+    KernelName::FIR,          // apps
+    KernelName::DAXPY,        // basic
+    KernelName::HYDRO_1D,     // lcals
+    KernelName::JACOBI_2D,    // polybench
+    KernelName::STREAM_TRIAD, // stream
 ];
 
 const BENCH_SIZE: usize = 262_144;

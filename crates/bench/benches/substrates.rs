@@ -2,12 +2,12 @@
 //! spin-barrier round-trips, parallel_for dispatch overhead, cache
 //! simulator throughput, RVV interpreter throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rvhpc::cachesim::{AccessKind, Cache, CacheConfig};
 use rvhpc::compiler::codegen::{generate, setup_machine, VectorMode};
 use rvhpc::kernels::KernelName;
 use rvhpc::rvv::{Dialect, Machine, Sew};
 use rvhpc::threads::Team;
+use rvhpc_bench::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_threads(c: &mut Criterion) {
@@ -44,11 +44,8 @@ fn bench_cachesim(c: &mut Criterion) {
     let mut group = c.benchmark_group("cachesim");
     group.throughput(Throughput::Elements(100_000));
     group.bench_function("trace_sequential_100k", |b| {
-        let mut cache = Cache::new(CacheConfig {
-            size_bytes: 32 * 1024,
-            line_bytes: 64,
-            associativity: 8,
-        });
+        let mut cache =
+            Cache::new(CacheConfig { size_bytes: 32 * 1024, line_bytes: 64, associativity: 8 });
         b.iter(|| {
             for i in 0..100_000u64 {
                 black_box(cache.access(i * 8, AccessKind::Load));

@@ -1,13 +1,16 @@
 //! Regenerate (and time) every *table* of the paper: Tables 1–4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rvhpc::experiments::{scaling, x86};
 use rvhpc_bench::{banner, quick_criterion};
+use rvhpc_bench::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_tables(c: &mut Criterion) {
     banner("Table 1 (block placement scaling)");
-    println!("{}", scaling::table1().report("Table 1", "block placement scaling (FP32)").to_markdown());
+    println!(
+        "{}",
+        scaling::table1().report("Table 1", "block placement scaling (FP32)").to_markdown()
+    );
     c.bench_function("table1_block_scaling", |b| b.iter(|| black_box(scaling::table1())));
 
     banner("Table 2 (NUMA-cyclic placement scaling)");

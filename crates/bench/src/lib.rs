@@ -1,16 +1,267 @@
-//! Shared plumbing for the Criterion benchmark harness.
+//! Shared plumbing for the benchmark harness.
 //!
 //! Every table and figure of the paper has a bench target that regenerates
 //! it (`cargo bench -p rvhpc-bench`); the regenerated artefact is printed
 //! once per bench run so `bench_output.txt` doubles as the reproduction
-//! record. Criterion then times the regeneration itself — useful for
+//! record. The harness then times the regeneration itself — useful for
 //! tracking the cost of the simulation pipeline.
+//!
+//! The harness is hand-rolled (the build must work with no registry
+//! access) but keeps the familiar shape: a [`Criterion`] driver,
+//! `bench_function(name, |b| b.iter(|| ...))`, benchmark groups with
+//! optional [`Throughput`], and the `criterion_group!`/`criterion_main!`
+//! entry-point macros. Timing is median-of-samples with an adaptive
+//! per-sample iteration count.
 
-use criterion::Criterion;
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-/// Criterion configured for artefact regeneration: few samples, short
-/// measurement window (the interesting output is the artefact, not
-/// nanosecond precision).
+/// Benchmark driver: times closures and prints one summary line each.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    group: Option<String>,
+    throughput: Option<Throughput>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+            group: None,
+            throughput: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Time spent running the closure before measurement starts.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Kept for call-site compatibility; this harness takes no CLI args.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Time one benchmark and print its summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            result: None,
+        };
+        f(&mut b);
+        let full_name = match &self.group {
+            Some(g) => format!("{g}/{name}"),
+            None => name.to_string(),
+        };
+        match b.result {
+            Some(m) => report(&full_name, &m, self.throughput),
+            None => println!("{full_name:<44} (no iterations recorded)"),
+        }
+        self
+    }
+
+    /// Open a named group; benchmarks report as `group/name` and may share
+    /// a throughput annotation.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+}
+
+/// Measured timing for one benchmark.
+struct Measurement {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+fn report(name: &str, m: &Measurement, throughput: Option<Throughput>) {
+    let rate = throughput.map(|t| t.per_second(m.median)).unwrap_or_default();
+    println!(
+        "{name:<44} median {:>12} (min {}, max {}) [{} x {} iters]{rate}",
+        fmt_duration(m.median),
+        fmt_duration(m.min),
+        fmt_duration(m.max),
+        m.samples,
+        m.iters_per_sample,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times a closure: warm-up, then `sample_size` samples of an adaptive
+/// iteration count filling the measurement budget.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration timing statistics.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, which also calibrates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(start.elapsed() / iters as u32);
+        }
+        samples.sort();
+        self.result = Some(Measurement {
+            median: samples[samples.len() / 2],
+            min: samples[0],
+            max: *samples.last().expect("at least one sample"),
+            iters_per_sample: iters,
+            samples: samples.len(),
+        });
+    }
+}
+
+/// A named benchmark group with an optional throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with an element/byte rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.c.throughput = Some(t);
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.c.group = Some(self.name.clone());
+        self.c.bench_function(name, f);
+        self.c.group = None;
+        self
+    }
+
+    /// Time one benchmark parameterised by an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(&id.0, |b| f(b, input))
+    }
+
+    /// Close the group (clears the throughput annotation).
+    pub fn finish(&mut self) {
+        self.c.throughput = None;
+    }
+}
+
+/// `function/parameter` display name for parameterised benchmarks.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Work per iteration, for rate reporting.
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+impl Throughput {
+    fn per_second(self, per_iter: Duration) -> String {
+        let secs = per_iter.as_secs_f64();
+        if secs <= 0.0 {
+            return String::new();
+        }
+        match self {
+            Throughput::Elements(n) => format!("  {:.1} Melem/s", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("  {:.1} MiB/s", n as f64 / secs / (1 << 20) as f64),
+        }
+    }
+}
+
+/// Bundle target functions into one named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point invoking one or more group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// The default bench configuration: few samples, short measurement window
+/// (the interesting output is the artefact, not nanosecond precision).
 pub fn quick_criterion() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -22,4 +273,49 @@ pub fn quick_criterion() -> Criterion {
 /// Print an artefact header once.
 pub fn banner(id: &str) {
     println!("\n================ regenerating {id} ================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+            result: None,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        let m = b.result.expect("measured");
+        assert!(count > 0);
+        assert!(m.min <= m.median && m.median <= m.max);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("serial", 42).0, "serial/42");
+    }
+
+    #[test]
+    fn throughput_rates_are_labelled() {
+        let e = Throughput::Elements(1_000_000).per_second(Duration::from_millis(10));
+        assert!(e.contains("Melem/s"), "{e}");
+        let b = Throughput::Bytes(1 << 20).per_second(Duration::from_secs(1));
+        assert!(b.contains("MiB/s"), "{b}");
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
 }

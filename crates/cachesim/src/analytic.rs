@@ -13,10 +13,8 @@
 //! The first pass is compulsory traffic through every boundary; writes add
 //! write-back traffic to DRAM.
 
-use serde::{Deserialize, Serialize};
-
 /// Spatial/temporal shape of one stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Locality {
     /// Unit-ish stride sweep over the footprint.
     Sequential,
@@ -27,7 +25,7 @@ pub enum Locality {
 }
 
 /// One memory stream of a kernel, per thread, per kernel repetition.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct AccessSpec {
     /// Distinct bytes touched by this thread (its chunk of the array).
     pub footprint_bytes: f64,
@@ -80,7 +78,7 @@ impl AccessSpec {
 }
 
 /// Predicted traffic for one stream.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LevelTraffic {
     /// Element-granular bytes the core requested (all served by L1 at L1
     /// bandwidth).
@@ -103,7 +101,7 @@ impl LevelTraffic {
 }
 
 /// The per-thread capacity shares and line size of a hierarchy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TrafficModel {
     /// Effective capacity available to the thread at each level, L1 first.
     /// (For shared levels the caller divides the physical capacity by the
@@ -135,6 +133,12 @@ impl TrafficModel {
 
     /// Predict boundary traffic for one stream.
     pub fn traffic(&self, spec: &AccessSpec) -> LevelTraffic {
+        let _span = rvhpc_trace::span!(
+            "cachesim.traffic",
+            footprint_bytes = spec.footprint_bytes,
+            passes = spec.passes,
+        );
+        rvhpc_trace::counter!("cachesim.analytic.streams", 1);
         let n = self.level_capacities.len();
         if spec.footprint_bytes <= 0.0 || spec.passes <= 0.0 {
             return LevelTraffic {
@@ -197,8 +201,7 @@ impl TrafficModel {
                     fetch_bytes[i] = misses * self.line_bytes;
                     reaching = misses;
                 }
-                let dram_writeback_bytes =
-                    spec.write_fraction * fetch_bytes[n - 1];
+                let dram_writeback_bytes = spec.write_fraction * fetch_bytes[n - 1];
                 LevelTraffic { requested_bytes: requested, fetch_bytes, dram_writeback_bytes }
             }
         }
@@ -327,8 +330,8 @@ mod tests {
             h.replay(pat.stream());
             let s = h.stats();
 
-            let spec = AccessSpec::sequential_read(footprint as f64, 8.0)
-                .with_passes(passes as f64);
+            let spec =
+                AccessSpec::sequential_read(footprint as f64, 8.0).with_passes(passes as f64);
             let t = model.traffic(&spec);
 
             // Fetches into L1 = L1 misses × line.

@@ -188,11 +188,7 @@ impl Cache {
         if evicted_dirty {
             self.stats.writebacks += 1;
         }
-        self.sets[victim] = Way {
-            tag,
-            dirty: kind == AccessKind::Store,
-            stamp: self.clock,
-        };
+        self.sets[victim] = Way { tag, dirty: kind == AccessKind::Store, stamp: self.clock };
         if evicted_dirty {
             AccessOutcome::MissDirtyEviction
         } else {
@@ -207,9 +203,7 @@ impl Cache {
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.n_sets.trailing_zeros();
         let ways = self.config.associativity;
-        self.sets[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|w| w.tag == tag)
+        self.sets[set * ways..(set + 1) * ways].iter().any(|w| w.tag == tag)
     }
 }
 
@@ -262,11 +256,8 @@ mod tests {
     fn sequential_stream_miss_rate_is_line_granular() {
         // A 64 KB 4-way cache reading 32 KB sequentially in 8-byte words:
         // one miss per 64 B line → miss ratio = 8/64.
-        let mut c = Cache::new(CacheConfig {
-            size_bytes: 64 * 1024,
-            line_bytes: 64,
-            associativity: 4,
-        });
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, associativity: 4 });
         let n_words = 32 * 1024 / 8;
         for i in 0..n_words {
             c.access(i as u64 * 8, AccessKind::Load);
@@ -279,11 +270,8 @@ mod tests {
 
     #[test]
     fn working_set_fitting_cache_hits_on_second_pass() {
-        let mut c = Cache::new(CacheConfig {
-            size_bytes: 64 * 1024,
-            line_bytes: 64,
-            associativity: 4,
-        });
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 64 * 1024, line_bytes: 64, associativity: 4 });
         let bytes = 32 * 1024u64; // fits
         for pass in 0..2 {
             for a in (0..bytes).step_by(8) {
@@ -299,11 +287,8 @@ mod tests {
     fn working_set_exceeding_cache_thrashes_with_lru() {
         // Footprint 2× capacity with sequential LRU: every pass misses
         // every line (the classic LRU sequential-thrash behaviour).
-        let mut c = Cache::new(CacheConfig {
-            size_bytes: 4 * 1024,
-            line_bytes: 64,
-            associativity: 4,
-        });
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 4 * 1024, line_bytes: 64, associativity: 4 });
         let bytes = 8 * 1024u64;
         for _ in 0..3 {
             for a in (0..bytes).step_by(64) {

@@ -76,10 +76,29 @@ impl Hierarchy {
         self.dram_lines += 1;
     }
 
-    /// Replay a whole address stream of loads/stores.
+    /// Replay a whole address stream of loads/stores. With tracing enabled
+    /// the replay's per-level hit/miss deltas are published as
+    /// `cachesim.l<n>.hits`/`.misses` plus `cachesim.dram.lines`.
     pub fn replay<I: IntoIterator<Item = (u64, AccessKind)>>(&mut self, stream: I) {
+        let _span = rvhpc_trace::span!("cachesim.replay", levels = self.levels.len());
+        let before = rvhpc_trace::enabled().then(|| self.stats());
         for (addr, kind) in stream {
             self.access(addr, kind);
+        }
+        if let Some(before) = before {
+            let after = self.stats();
+            for (i, (b, a)) in before.levels.iter().zip(&after.levels).enumerate() {
+                rvhpc_trace::counter_add(&format!("cachesim.l{}.hits", i + 1), a.hits - b.hits);
+                rvhpc_trace::counter_add(
+                    &format!("cachesim.l{}.misses", i + 1),
+                    a.misses - b.misses,
+                );
+            }
+            rvhpc_trace::counter_add("cachesim.dram.lines", after.dram_lines - before.dram_lines);
+            rvhpc_trace::counter_add(
+                "cachesim.dram.writeback_lines",
+                after.dram_writeback_lines - before.dram_writeback_lines,
+            );
         }
     }
 

@@ -4,22 +4,26 @@
 
 use crate::cache::{AccessKind, Cache, CacheConfig};
 use crate::pattern::Pattern;
-use proptest::prelude::*;
+use rvhpc_quickprop::{run_cases, Gen};
 
-/// Random mixed-pattern access streams.
-fn streams() -> impl Strategy<Value = Vec<(u64, AccessKind)>> {
-    prop::collection::vec(
-        (0u64..64 * 1024, prop::bool::ANY)
-            .prop_map(|(a, w)| (a, if w { AccessKind::Store } else { AccessKind::Load })),
-        1..2000,
-    )
+/// Random mixed-pattern access stream.
+fn stream(g: &mut Gen) -> Vec<(u64, AccessKind)> {
+    let len = g.usize_in(1..=1999);
+    (0..len)
+        .map(|_| {
+            let addr = g.u64_in(0..=64 * 1024 - 1);
+            let kind = if g.bool_with(0.5) { AccessKind::Store } else { AccessKind::Load };
+            (addr, kind)
+        })
+        .collect()
 }
 
-proptest! {
-    /// Inclusion property of fully-associative LRU: a larger cache never
-    /// misses more than a smaller one on the same trace.
-    #[test]
-    fn fully_associative_lru_inclusion(stream in streams()) {
+/// Inclusion property of fully-associative LRU: a larger cache never
+/// misses more than a smaller one on the same trace.
+#[test]
+fn fully_associative_lru_inclusion() {
+    run_cases(64, |g| {
+        let stream = stream(g);
         let mk = |lines: usize| {
             let mut c = Cache::new(CacheConfig {
                 size_bytes: lines * 64,
@@ -33,19 +37,19 @@ proptest! {
         };
         let small = mk(4);
         let big = mk(16);
-        prop_assert!(big <= small, "16-line {big} > 4-line {small}");
-    }
+        assert!(big <= small, "16-line {big} > 4-line {small}");
+    });
+}
 
-    /// Counter consistency: hits + misses equals the access count, and the
-    /// miss count is at least the number of distinct lines touched
-    /// (compulsory misses) for any geometry.
-    #[test]
-    fn counters_are_consistent(
-        stream in streams(),
-        sets_pow in 1u32..6,
-        ways in 1usize..9,
-    ) {
-        let sets = 1usize << sets_pow;
+/// Counter consistency: hits + misses equals the access count, and the
+/// miss count is at least the number of distinct lines touched
+/// (compulsory misses) for any geometry.
+#[test]
+fn counters_are_consistent() {
+    run_cases(64, |g| {
+        let stream = stream(g);
+        let sets = 1usize << g.usize_in(1..=5);
+        let ways = g.usize_in(1..=8);
         let mut c = Cache::new(CacheConfig {
             size_bytes: sets * ways * 64,
             line_bytes: 64,
@@ -55,23 +59,23 @@ proptest! {
             c.access(a, k);
         }
         let s = c.stats();
-        prop_assert_eq!(s.accesses(), stream.len() as u64);
+        assert_eq!(s.accesses(), stream.len() as u64);
         let mut lines: Vec<u64> = stream.iter().map(|(a, _)| a >> 6).collect();
         lines.sort_unstable();
         lines.dedup();
-        prop_assert!(s.misses >= lines.len() as u64, "misses below compulsory");
-        prop_assert!((0.0..=1.0).contains(&s.miss_ratio()));
-    }
+        assert!(s.misses >= lines.len() as u64, "misses below compulsory");
+        assert!((0.0..=1.0).contains(&s.miss_ratio()));
+    });
+}
 
-    /// Write-backs never exceed store misses' upper bound: each write-back
-    /// requires a previously dirtied line, so writebacks ≤ stores.
-    #[test]
-    fn writebacks_bounded_by_stores(stream in streams()) {
-        let mut c = Cache::new(CacheConfig {
-            size_bytes: 2 * 1024,
-            line_bytes: 64,
-            associativity: 2,
-        });
+/// Write-backs never exceed store misses' upper bound: each write-back
+/// requires a previously dirtied line, so writebacks ≤ stores.
+#[test]
+fn writebacks_bounded_by_stores() {
+    run_cases(64, |g| {
+        let stream = stream(g);
+        let mut c =
+            Cache::new(CacheConfig { size_bytes: 2 * 1024, line_bytes: 64, associativity: 2 });
         let mut stores = 0u64;
         for &(a, k) in &stream {
             if k == AccessKind::Store {
@@ -79,31 +83,35 @@ proptest! {
             }
             c.access(a, k);
         }
-        prop_assert!(c.stats().writebacks <= stores);
-    }
+        assert!(c.stats().writebacks <= stores);
+    });
+}
 
-    /// Pattern length contracts: every generator yields exactly `len()`
-    /// accesses and they are deterministic.
-    #[test]
-    fn patterns_honour_their_length(
-        base in 0u64..4096,
-        stride in 1u64..256,
-        count in 0u64..500,
-        passes in 1u32..4,
-    ) {
+/// Pattern length contracts: every generator yields exactly `len()`
+/// accesses and they are deterministic.
+#[test]
+fn patterns_honour_their_length() {
+    run_cases(64, |g| {
+        let base = g.u64_in(0..=4095);
+        let stride = g.u64_in(1..=255);
+        let count = g.u64_in(0..=499);
+        let passes = g.u64_in(1..=3) as u32;
         let seq = Pattern::Sequential { base, stride, count, kind: AccessKind::Load };
-        prop_assert_eq!(seq.stream().count() as u64, count);
+        assert_eq!(seq.stream().count() as u64, count);
         let rep = Pattern::Repeated { inner: Box::new(seq), passes };
-        prop_assert_eq!(rep.stream().count() as u64, count * passes as u64);
+        assert_eq!(rep.stream().count() as u64, count * passes as u64);
         let a: Vec<_> = rep.stream().collect();
         let b: Vec<_> = rep.stream().collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// Replaying a trace twice through a reset hierarchy gives identical
-    /// statistics (determinism of the simulator itself).
-    #[test]
-    fn cache_is_deterministic(stream in streams()) {
+/// Replaying a trace twice through a reset hierarchy gives identical
+/// statistics (determinism of the simulator itself).
+#[test]
+fn cache_is_deterministic() {
+    run_cases(64, |g| {
+        let stream = stream(g);
         let cfg = CacheConfig { size_bytes: 4096, line_bytes: 64, associativity: 4 };
         let run = || {
             let mut c = Cache::new(cfg);
@@ -112,6 +120,6 @@ proptest! {
             }
             c.stats()
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }

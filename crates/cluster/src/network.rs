@@ -1,9 +1,7 @@
 //! Interconnect models (Hockney α–β with an injection cap).
 
-use serde::{Deserialize, Serialize};
-
 /// Interconnect presets, bracketing what an SG2042 cluster could use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkKind {
     /// Commodity Gigabit Ethernet — what the Pioneer box ships with.
     GigabitEthernet,
@@ -39,32 +37,24 @@ impl NetworkKind {
     pub fn network(self) -> Network {
         match self {
             // TCP stack latency dominates; ~118 MB/s effective.
-            NetworkKind::GigabitEthernet => Network {
-                kind: self,
-                latency_s: 50e-6,
-                bandwidth_bytes_per_s: 0.118e9,
-            },
-            NetworkKind::FastEthernet25G => Network {
-                kind: self,
-                latency_s: 8e-6,
-                bandwidth_bytes_per_s: 2.8e9,
-            },
-            NetworkKind::InfinibandHdr => Network {
-                kind: self,
-                latency_s: 1.2e-6,
-                bandwidth_bytes_per_s: 23e9,
-            },
-            NetworkKind::Slingshot => Network {
-                kind: self,
-                latency_s: 1.8e-6,
-                bandwidth_bytes_per_s: 22e9,
-            },
+            NetworkKind::GigabitEthernet => {
+                Network { kind: self, latency_s: 50e-6, bandwidth_bytes_per_s: 0.118e9 }
+            }
+            NetworkKind::FastEthernet25G => {
+                Network { kind: self, latency_s: 8e-6, bandwidth_bytes_per_s: 2.8e9 }
+            }
+            NetworkKind::InfinibandHdr => {
+                Network { kind: self, latency_s: 1.2e-6, bandwidth_bytes_per_s: 23e9 }
+            }
+            NetworkKind::Slingshot => {
+                Network { kind: self, latency_s: 1.8e-6, bandwidth_bytes_per_s: 22e9 }
+            }
         }
     }
 }
 
 /// A Hockney-model interconnect: message time ≈ α + m/β.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Network {
     /// Preset this came from.
     pub kind: NetworkKind,

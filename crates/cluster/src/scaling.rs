@@ -10,10 +10,9 @@ use crate::network::Network;
 use rvhpc_kernels::KernelName;
 use rvhpc_machines::{machine, MachineId};
 use rvhpc_perfmodel::{calibration, estimate_sized, sim_size, Precision, RunConfig};
-use serde::{Deserialize, Serialize};
 
 /// Weak or strong scaling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalingMode {
     /// Constant per-node problem; ideal time is flat.
     Weak,
@@ -22,7 +21,7 @@ pub enum ScalingMode {
 }
 
 /// One point of a scaling curve.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ClusterPoint {
     /// Node count.
     pub nodes: u32,
@@ -42,9 +41,7 @@ fn comm_shape(kernel: KernelName, local_size: usize, elem_bytes: f64) -> (u32, f
     use KernelName::*;
     match kernel {
         // 2D grid, slab of rows: face = one row = √n elements.
-        JACOBI_2D | FDTD_2D | HYDRO_2D => {
-            (2, (local_size as f64).sqrt() * elem_bytes, false)
-        }
+        JACOBI_2D | FDTD_2D | HYDRO_2D => (2, (local_size as f64).sqrt() * elem_bytes, false),
         // 3D grid, slab of planes: face = n^(2/3) elements.
         HEAT_3D => (2, (local_size as f64).powf(2.0 / 3.0) * elem_bytes, false),
         // 1D stencils: face = a handful of elements.
@@ -146,12 +143,10 @@ mod tests {
     #[test]
     fn weak_scaling_stencil_is_near_ideal_on_hpc_fabric() {
         let net = NetworkKind::Slingshot.network();
-        let pts = weak_scaling(MachineId::Sg2042, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
+        let pts =
+            weak_scaling(MachineId::Sg2042, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
         let last = pts.last().unwrap();
-        assert!(
-            last.efficiency > 0.8,
-            "SG2042 + Slingshot should weak-scale a stencil: {last:?}"
-        );
+        assert!(last.efficiency > 0.8, "SG2042 + Slingshot should weak-scale a stencil: {last:?}");
     }
 
     #[test]
@@ -190,7 +185,8 @@ mod tests {
     fn allreduce_kernels_scale_weakly_even_on_slow_networks() {
         // DOT's 8-byte allreduce is cheap even on Ethernet.
         let net = NetworkKind::GigabitEthernet.network();
-        let pts = weak_scaling(MachineId::Sg2042, &net, KernelName::STREAM_DOT, Precision::Fp64, &NODES);
+        let pts =
+            weak_scaling(MachineId::Sg2042, &net, KernelName::STREAM_DOT, Precision::Fp64, &NODES);
         assert!(pts.last().unwrap().efficiency > 0.7, "{:?}", pts.last());
     }
 
@@ -208,8 +204,10 @@ mod tests {
     fn rome_nodes_need_fewer_nodes_for_the_same_strong_scaled_time() {
         // Per-node performance differences carry over to the cluster.
         let net = NetworkKind::Slingshot.network();
-        let sg = strong_scaling(MachineId::Sg2042, &net, KernelName::HEAT_3D, Precision::Fp64, &[16]);
-        let rome = strong_scaling(MachineId::AmdRome, &net, KernelName::HEAT_3D, Precision::Fp64, &[16]);
+        let sg =
+            strong_scaling(MachineId::Sg2042, &net, KernelName::HEAT_3D, Precision::Fp64, &[16]);
+        let rome =
+            strong_scaling(MachineId::AmdRome, &net, KernelName::HEAT_3D, Precision::Fp64, &[16]);
         assert!(rome[0].seconds < sg[0].seconds);
     }
 }

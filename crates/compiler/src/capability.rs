@@ -11,10 +11,9 @@
 //! totals and each kernel's inherent vectorisability from the descriptors.
 
 use rvhpc_kernels::{workload, KernelName};
-use serde::{Deserialize, Serialize};
 
 /// A toolchain that can target the C920.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Compiler {
     /// T-Head's XuanTie GCC 8.4 fork (20210618 release): VLS RVV v0.7.1.
     XuanTieGcc,
@@ -33,7 +32,7 @@ impl Compiler {
 }
 
 /// How a compiler handles one kernel's hot loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VecStatus {
     /// The loop was not auto-vectorised.
     NotVectorized,
@@ -117,8 +116,7 @@ const CLANG_NOT_VECTORIZED: [KernelName; 5] = [
 
 /// Clang's three vectorised-but-scalar-path kernels (named in the paper:
 /// "the 2MM, 3MM and GEMM kernels execute in scalar mode only").
-const CLANG_SCALAR_PATH: [KernelName; 3] =
-    [KernelName::P2MM, KernelName::P3MM, KernelName::GEMM];
+const CLANG_SCALAR_PATH: [KernelName; 3] = [KernelName::P2MM, KernelName::P3MM, KernelName::GEMM];
 
 /// The capability verdict for one (compiler, kernel) pair.
 pub fn vec_status(compiler: Compiler, kernel: KernelName) -> VecStatus {
@@ -153,6 +151,21 @@ pub fn vector_path_executes(
     elem_bits: u32,
     hw_supports_fp64_vec: bool,
 ) -> bool {
+    let _span = rvhpc_trace::span!("compiler.capability", kernel = kernel, bits = elem_bits);
+    let executes = vector_path_decision(compiler, kernel, elem_bits, hw_supports_fp64_vec);
+    rvhpc_trace::counter!(
+        if executes { "compiler.vector_path.executes" } else { "compiler.vector_path.refused" },
+        1
+    );
+    executes
+}
+
+fn vector_path_decision(
+    compiler: Compiler,
+    kernel: KernelName,
+    elem_bits: u32,
+    hw_supports_fp64_vec: bool,
+) -> bool {
     if !vec_status(compiler, kernel).vector_path_taken() {
         return false;
     }
@@ -176,10 +189,7 @@ mod tests {
     use rvhpc_kernels::KernelClass;
 
     fn count(compiler: Compiler, status: VecStatus) -> usize {
-        KernelName::ALL
-            .iter()
-            .filter(|&&k| vec_status(compiler, k) == status)
-            .count()
+        KernelName::ALL.iter().filter(|&&k| vec_status(compiler, k) == status).count()
     }
 
     #[test]
@@ -220,10 +230,7 @@ mod tests {
             vec_status(Compiler::XuanTieGcc, KernelName::FLOYD_WARSHALL),
             VecStatus::NotVectorized
         );
-        assert_eq!(
-            vec_status(Compiler::XuanTieGcc, KernelName::HEAT_3D),
-            VecStatus::NotVectorized
-        );
+        assert_eq!(vec_status(Compiler::XuanTieGcc, KernelName::HEAT_3D), VecStatus::NotVectorized);
         // GCC vectorises Jacobi1D/2D but the scalar path runs.
         assert_eq!(
             vec_status(Compiler::XuanTieGcc, KernelName::JACOBI_1D),
@@ -281,11 +288,7 @@ mod tests {
         // (Clang ≥ GCC in coverage, as [11] found).
         for &k in KernelName::ALL.iter() {
             if vec_status(Compiler::XuanTieGcc, k) == VecStatus::Vectorized {
-                assert_ne!(
-                    vec_status(Compiler::Clang, k),
-                    VecStatus::NotVectorized,
-                    "{k}"
-                );
+                assert_ne!(vec_status(Compiler::Clang, k), VecStatus::NotVectorized, "{k}");
             }
         }
     }

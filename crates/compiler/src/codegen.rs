@@ -22,10 +22,9 @@
 use rvhpc_kernels::KernelName;
 use rvhpc_rvv::inst::{FReg, Inst, VReg, VfBinOp, XReg};
 use rvhpc_rvv::{Dialect, Lmul, Program, ProgramBuilder, Sew, VLEN_BITS};
-use serde::{Deserialize, Serialize};
 
 /// Vector code generation mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum VectorMode {
     /// Vector Length Specific: fixed 128-bit strips, `vsetvli` hoisted out
     /// of the loop. Requires `n` to be a lane multiple (real compilers add
@@ -288,7 +287,7 @@ fn pointer_regs(kernel: KernelName, count: u8) -> Vec<XReg> {
 
 /// Instruction counts from actually executing generated code in the
 /// interpreter (used by the performance model for the VLS/VLA gap).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstCounts {
     /// Total instructions retired.
     pub total: u64,
@@ -307,12 +306,32 @@ impl InstCounts {
 
 /// Execute a generated program on a scratch machine and count instructions.
 /// `n` must be a lane multiple for VLS code.
+///
+/// Results are memoised process-wide (generation and execution are
+/// deterministic); `compiler.measure.hit`/`.miss` counters expose the memo
+/// rate, since a miss costs a full interpreter run.
 pub fn measure(kernel: KernelName, mode: VectorMode, sew: Sew, n: usize) -> Option<InstCounts> {
-    let program = generate(kernel, mode, sew)?;
-    let mut m = rvhpc_rvv::Machine::new(Dialect::V10, 16 * 1024 + n * sew.bytes() * 6);
-    setup_machine(&mut m, kernel, sew, n);
-    m.run(&program, 10_000_000).ok()?;
-    Some(InstCounts { total: m.executed, vector: m.executed_vector, elements: n as u64 })
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    type MemoKey = (KernelName, VectorMode, u32, usize);
+    static MEMO: OnceLock<Mutex<HashMap<MemoKey, Option<InstCounts>>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (kernel, mode, sew.bits(), n);
+    if let Some(cached) = memo.lock().expect("no poisoned lock").get(&key) {
+        rvhpc_trace::counter!("compiler.measure.hit", 1);
+        return *cached;
+    }
+    rvhpc_trace::counter!("compiler.measure.miss", 1);
+    let _span = rvhpc_trace::span!("compiler.measure", kernel = kernel, mode = mode.label());
+    let counts = (|| {
+        let program = generate(kernel, mode, sew)?;
+        let mut m = rvhpc_rvv::Machine::new(Dialect::V10, 16 * 1024 + n * sew.bytes() * 6);
+        setup_machine(&mut m, kernel, sew, n);
+        m.run(&program, 10_000_000).ok()?;
+        Some(InstCounts { total: m.executed, vector: m.executed_vector, elements: n as u64 })
+    })();
+    memo.lock().expect("no poisoned lock").insert(key, counts);
+    counts
 }
 
 /// Standard operand layout: a at 0, b at `n*eb`, c at `2*n*eb`.
@@ -410,9 +429,8 @@ mod tests {
     fn dot_reduction_matches_scalar_sum() {
         let n = 32;
         let m = run_f32(KernelName::STREAM_DOT, VectorMode::Vla, n);
-        let expect: f32 = (0..n)
-            .map(|i| 0.1 * (i % 17 + 1) as f32 * (0.2 * (i % 17 + 1) as f32))
-            .sum();
+        let expect: f32 =
+            (0..n).map(|i| 0.1 * (i % 17 + 1) as f32 * (0.2 * (i % 17 + 1) as f32)).sum();
         assert!((m.f(RESULT.0) as f32 - expect).abs() < 1e-4, "{} vs {expect}", m.f(RESULT.0));
     }
 
@@ -453,12 +471,7 @@ mod tests {
             let n = 4096;
             let vla = measure(kernel, VectorMode::Vla, Sew::E32, n).unwrap();
             let vls = measure(kernel, VectorMode::Vls, Sew::E32, n).unwrap();
-            assert!(
-                vls.total < vla.total,
-                "{kernel}: VLS {} !< VLA {}",
-                vls.total,
-                vla.total
-            );
+            assert!(vls.total < vla.total, "{kernel}: VLS {} !< VLA {}", vls.total, vla.total);
             assert_eq!(vls.elements, vla.elements);
         }
     }
@@ -469,11 +482,7 @@ mod tests {
         for kernel in [KernelName::STREAM_ADD, KernelName::STREAM_MUL, KernelName::MEMCPY] {
             let a = run_f32(kernel, VectorMode::Vla, n);
             let b = run_f32(kernel, VectorMode::Vls, n);
-            assert_eq!(
-                a.read_f32s(2 * n * 4, n),
-                b.read_f32s(2 * n * 4, n),
-                "{kernel}"
-            );
+            assert_eq!(a.read_f32s(2 * n * 4, n), b.read_f32s(2 * n * 4, n), "{kernel}");
         }
     }
 

@@ -11,10 +11,9 @@ use crate::capability::{vec_status, Compiler, VecStatus};
 use crate::codegen::{generate, measure, InstCounts, VectorMode};
 use rvhpc_kernels::{workload, KernelName};
 use rvhpc_rvv::{print_program, rollback, Dialect, Program, Sew};
-use serde::{Deserialize, Serialize};
 
 /// The vector ISA level a compilation targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Isa {
     /// RVV v0.7.1 — executable on the C920.
     Rvv071,

@@ -7,14 +7,8 @@ use rvhpc::perfmodel::{estimate, Precision, RunConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let a_id = args
-        .get(1)
-        .and_then(|s| MachineId::from_token(s))
-        .unwrap_or(MachineId::Sg2042);
-    let b_id = args
-        .get(2)
-        .and_then(|s| MachineId::from_token(s))
-        .unwrap_or(MachineId::AmdRome);
+    let a_id = args.get(1).and_then(|s| MachineId::from_token(s)).unwrap_or(MachineId::Sg2042);
+    let b_id = args.get(2).and_then(|s| MachineId::from_token(s)).unwrap_or(MachineId::AmdRome);
     let precision = match args.get(3).map(String::as_str) {
         Some("fp32") => Precision::Fp32,
         _ => Precision::Fp64,

@@ -7,122 +7,240 @@
 //! repro nextgen              # the conclusion's what-if machine
 //! repro machines             # modelled machine inventory
 //! repro kernel Basic_DAXPY   # one kernel's model view
+//! repro explain <machine> <kernel> [fp32|fp64] [threads]
+//!                            # component breakdown of one estimate
 //! repro calibrate            # headline ratios vs the paper's quoted numbers
 //! repro native [scale]       # run the real kernels on this host
+//! repro help                 # this usage text
+//!
 //! repro --csv <artefact>     # CSV instead of markdown
-//! repro --chart <figure>     # ASCII bar chart
 //! repro --json <artefact>    # JSON
+//! repro --chart <figure>     # ASCII bar chart (figures; tables fall back)
+//! repro --trace <artefact>   # also write trace-<artefact>.json
+//!                            # (chrome://tracing) + metrics to stderr
 //! ```
 
 use rvhpc::experiments::{fig1, fig2, fig3, next_gen, scaling, x86};
-use rvhpc::kernels::KernelClass;
-use rvhpc::machines::MachineId;
-use rvhpc::perfmodel::Precision;
+use rvhpc::kernels::{KernelClass, KernelName};
+use rvhpc::machines::{machine, MachineId};
+use rvhpc::perfmodel::{Precision, RunConfig};
 use std::env;
+use std::io::Write as _;
+
+const USAGE: &str = "usage: repro [--csv|--json|--chart] [--trace] <command>\n\
+commands:\n  \
+  all                     every artefact, markdown to stdout\n  \
+  fig1..fig7              one figure\n  \
+  table1..table4          one table\n  \
+  nextgen                 the conclusion's what-if machine\n  \
+  machines                modelled machine inventory\n  \
+  kernel <label>          one kernel's model view (e.g. Basic_DAXPY)\n  \
+  explain <machine> <kernel> [fp32|fp64] [threads]\n                          \
+component breakdown of one estimate\n  \
+  calibrate               headline ratios vs the paper's quoted numbers\n  \
+  native [scale]          run the real kernels on this host\n  \
+  help                    this text\n\
+flags:\n  \
+  --csv                   CSV instead of markdown\n  \
+  --json                  JSON instead of markdown\n  \
+  --chart                 ASCII bar chart (figures only)\n  \
+  --trace                 record spans/counters, write trace-<cmd>.json,\n                          \
+print the metrics table to stderr";
+
+/// Output format for figures and tables, decided once from the flags.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Markdown,
+    Csv,
+    Json,
+    Chart,
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let cmd = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut format = Format::Markdown;
+    let mut trace = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--csv" => format = Format::Csv,
+            "--json" => format = Format::Json,
+            "--chart" => format = Format::Chart,
+            "--trace" => trace = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+            word => positional.push(word),
+        }
+    }
+    let cmd = positional.first().copied().unwrap_or("all");
 
+    if trace {
+        rvhpc_trace::set_enabled(true);
+        rvhpc_trace::take(); // start from a clean collector
+    }
+
+    run_command(cmd, &positional, format);
+
+    if trace {
+        rvhpc_trace::set_enabled(false);
+        let data = rvhpc_trace::take();
+        let path = format!("trace-{cmd}.json");
+        let json = rvhpc_trace::chrome::export(&data);
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {} span(s) to {path}", data.events.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(err, "{}", rvhpc_trace::metrics::to_markdown(&data));
+    }
+}
+
+fn run_command(cmd: &str, positional: &[&str], format: Format) {
     match cmd {
-        "fig1" => emit_fig(fig1::run(), csv),
-        "fig2" => emit_fig(fig2::run(), csv),
-        "fig3" => emit_table(fig3::report(), csv),
-        "fig4" => emit_fig(x86::fig4(), csv),
-        "fig5" => emit_fig(x86::fig5(), csv),
-        "fig6" => emit_fig(x86::fig6(), csv),
-        "fig7" => emit_fig(x86::fig7(), csv),
+        "fig1" => emit_fig(fig1::run(), format),
+        "fig2" => emit_fig(fig2::run(), format),
+        "fig3" => emit_table(fig3::report(), format),
+        "fig4" => emit_fig(x86::fig4(), format),
+        "fig5" => emit_fig(x86::fig5(), format),
+        "fig6" => emit_fig(x86::fig6(), format),
+        "fig7" => emit_fig(x86::fig7(), format),
         "table1" => emit_table(
             scaling::table1().report("Table 1", "block placement scaling (FP32)"),
-            csv,
+            format,
         ),
         "table2" => emit_table(
             scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)"),
-            csv,
+            format,
         ),
         "table3" => emit_table(
             scaling::table3().report("Table 3", "cluster-cyclic placement scaling (FP32)"),
-            csv,
+            format,
         ),
-        "table4" => emit_table(x86::table4(), csv),
+        "table4" => emit_table(x86::table4(), format),
         "nextgen" => {
-            emit_fig(next_gen::run(Precision::Fp64), csv);
-            emit_fig(next_gen::run(Precision::Fp32), csv);
+            emit_fig(next_gen::run(Precision::Fp64), format);
+            emit_fig(next_gen::run(Precision::Fp32), format);
         }
-        "machines" => emit_table(rvhpc::inspect::machines_table(), csv),
+        "machines" => emit_table(rvhpc::inspect::machines_table(), format),
         "kernel" => {
-            let label = args
-                .iter()
-                .skip_while(|a| a.as_str() != "kernel")
-                .nth(1)
-                .cloned()
-                .unwrap_or_default();
-            match rvhpc::kernels::KernelName::from_label(&label) {
-                Some(k) => emit_table(rvhpc::inspect::kernel_table(k), csv),
+            let label = positional.get(1).copied().unwrap_or_default();
+            match KernelName::from_label(label) {
+                Some(k) => emit_table(rvhpc::inspect::kernel_table(k), format),
                 None => {
-                    eprintln!("unknown kernel `{label}`; labels are e.g. Basic_DAXPY, Stream_TRIAD");
+                    eprintln!(
+                        "unknown kernel `{label}`; labels are e.g. Basic_DAXPY, Stream_TRIAD"
+                    );
                     std::process::exit(2);
                 }
             }
         }
+        "explain" => explain(positional),
         "calibrate" => calibrate(),
-        "native" => native(&args),
+        "native" => native(positional),
         "all" => {
-            emit_fig(fig1::run(), csv);
+            emit_fig(fig1::run(), format);
             emit_table(
                 scaling::table1().report("Table 1", "block placement scaling (FP32)"),
-                csv,
+                format,
             );
             emit_table(
                 scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)"),
-                csv,
+                format,
             );
             emit_table(
                 scaling::table3().report("Table 3", "cluster-cyclic placement scaling (FP32)"),
-                csv,
+                format,
             );
-            emit_fig(fig2::run(), csv);
-            emit_table(fig3::report(), csv);
-            emit_table(x86::table4(), csv);
-            emit_fig(x86::fig4(), csv);
-            emit_fig(x86::fig5(), csv);
-            emit_fig(x86::fig6(), csv);
-            emit_fig(x86::fig7(), csv);
-            emit_fig(next_gen::run(Precision::Fp64), csv);
+            emit_fig(fig2::run(), format);
+            emit_table(fig3::report(), format);
+            emit_table(x86::table4(), format);
+            emit_fig(x86::fig4(), format);
+            emit_fig(x86::fig5(), format);
+            emit_fig(x86::fig6(), format);
+            emit_fig(x86::fig7(), format);
+            emit_fig(next_gen::run(Precision::Fp64), format);
         }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
         other => {
-            eprintln!("unknown artefact `{other}`");
-            eprintln!("usage: repro [--csv|--json] [all|fig1..fig7|table1..table4|nextgen|machines|kernel <label>|calibrate|native]");
+            eprintln!("unknown command `{other}`");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     }
 }
 
-fn emit_fig(fig: rvhpc::FigureReport, csv: bool) {
-    if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&fig).expect("figure serialises"));
-    } else if std::env::args().any(|a| a == "--chart") {
-        println!("{}", fig.to_ascii_chart());
-    } else if csv {
-        print!("{}", fig.to_csv());
-    } else {
-        println!("{}", fig.to_markdown());
+fn emit_fig(fig: rvhpc::FigureReport, format: Format) {
+    match format {
+        Format::Json => println!("{}", fig.to_json()),
+        Format::Chart => println!("{}", fig.to_ascii_chart()),
+        Format::Csv => print!("{}", fig.to_csv()),
+        Format::Markdown => println!("{}", fig.to_markdown()),
     }
 }
 
-fn emit_table(t: rvhpc::TableReport, csv: bool) {
-    if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(&t).expect("table serialises"));
-    } else if csv {
-        print!("{}", t.to_csv());
-    } else {
-        println!("{}", t.to_markdown());
+fn emit_table(t: rvhpc::TableReport, format: Format) {
+    match format {
+        Format::Json => println!("{}", t.to_json()),
+        Format::Csv => print!("{}", t.to_csv()),
+        // Tables have no chart form; fall back to markdown.
+        Format::Chart | Format::Markdown => println!("{}", t.to_markdown()),
     }
+}
+
+/// `repro explain <machine> <kernel> [fp32|fp64] [threads]` — attribute one
+/// estimate to its components so calibration drift has somewhere to point.
+fn explain(positional: &[&str]) {
+    let (Some(machine_tok), Some(kernel_label)) = (positional.get(1), positional.get(2)) else {
+        eprintln!("usage: repro explain <machine> <kernel> [fp32|fp64] [threads]");
+        eprintln!("machines: {}", machine_tokens());
+        std::process::exit(2);
+    };
+    let Some(id) = MachineId::from_token(&machine_tok.to_lowercase()) else {
+        eprintln!("unknown machine `{machine_tok}`; known: {}", machine_tokens());
+        std::process::exit(2);
+    };
+    let Some(kernel) = KernelName::from_label(kernel_label) else {
+        eprintln!("unknown kernel `{kernel_label}`; labels are e.g. Basic_DAXPY, Stream_TRIAD");
+        std::process::exit(2);
+    };
+    let precision = match positional.get(3).copied() {
+        None | Some("fp64") => Precision::Fp64,
+        Some("fp32") => Precision::Fp32,
+        Some(other) => {
+            eprintln!("unknown precision `{other}` (expected fp32 or fp64)");
+            std::process::exit(2);
+        }
+    };
+    let threads = match positional.get(4).map(|t| t.parse::<usize>()) {
+        None => 1,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(_) => {
+            eprintln!("threads must be a positive integer");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if id.is_riscv() {
+        RunConfig::sg2042_best(precision, threads)
+    } else {
+        RunConfig::x86(precision, threads)
+    };
+    let m = machine(id);
+    print!("{}", rvhpc::perfmodel::explain(&m, kernel, &cfg).to_text());
+}
+
+fn machine_tokens() -> String {
+    MachineId::ALL
+        .into_iter()
+        .chain([MachineId::Sg2042NextGen])
+        .map(MachineId::token)
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Print the headline averages the paper quotes, next to its numbers, so
@@ -136,11 +254,8 @@ fn calibrate() {
         let mut per_class: Vec<(KernelClass, f64)> = KernelClass::ALL
             .into_iter()
             .map(|c| {
-                let ks: Vec<f64> = ratios
-                    .iter()
-                    .filter(|(k, _)| k.class() == c)
-                    .map(|(_, &r)| r)
-                    .collect();
+                let ks: Vec<f64> =
+                    ratios.iter().filter(|(k, _)| k.class() == c).map(|(_, &r)| r).collect();
                 (c, ks.iter().sum::<f64>() / ks.len() as f64)
             })
             .collect();
@@ -178,13 +293,8 @@ fn calibrate() {
     }
 }
 
-fn native(args: &[String]) {
-    let scale: f64 = args
-        .iter()
-        .skip_while(|a| a.as_str() != "native")
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.01);
+fn native(positional: &[&str]) {
+    let scale: f64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
     let threads = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
     println!("running the 64-kernel suite natively: scale={scale}, threads={threads}\n");
     println!("| kernel | class | size | s/rep | checksum |");

@@ -17,7 +17,12 @@ fn baseline() -> HashMap<KernelName, f64> {
         .collect()
 }
 
-fn series(label: &str, id: MachineId, precision: Precision, base: &HashMap<KernelName, f64>) -> SeriesStat {
+fn series(
+    label: &str,
+    id: MachineId,
+    precision: Precision,
+    base: &HashMap<KernelName, f64>,
+) -> SeriesStat {
     let m = machine(id);
     let times = suite_times(&m, &RunConfig::sg2042_best(precision, 1));
     let classes = KernelClass::ALL

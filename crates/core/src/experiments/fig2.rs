@@ -15,10 +15,7 @@ pub fn vectorisation_ratios(precision: Precision) -> HashMap<KernelName, f64> {
     let mut off_cfg = RunConfig::sg2042_best(precision, 1);
     off_cfg.vectorize = false;
     let off = suite_times(&m, &off_cfg);
-    on.iter()
-        .zip(&off)
-        .map(|(a, b)| (a.kernel, b.estimate.seconds / a.estimate.seconds))
-        .collect()
+    on.iter().zip(&off).map(|(a, b)| (a.kernel, b.estimate.seconds / a.estimate.seconds)).collect()
 }
 
 fn series(label: &str, precision: Precision) -> SeriesStat {
@@ -70,12 +67,7 @@ mod tests {
         let fig = run();
         let fp64 = fig.series.iter().find(|s| s.label == "FP64").unwrap();
         for c in &fp64.classes {
-            assert!(
-                c.mean < 0.5,
-                "{}: FP64 vector mean {} should be near zero",
-                c.class,
-                c.mean
-            );
+            assert!(c.mean < 0.5, "{}: FP64 vector mean {} should be near zero", c.class, c.mean);
         }
     }
 

@@ -7,7 +7,6 @@ use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::KernelName;
 use rvhpc_machines::{machine, MachineId, PlacementPolicy};
 use rvhpc_perfmodel::{estimate_averaged, Precision, RunConfig, Toolchain};
-use serde::{Deserialize, Serialize};
 
 /// The Polybench kernels the paper plots in Figure 3.
 pub const FIG3_KERNELS: [KernelName; 12] = [
@@ -26,7 +25,7 @@ pub const FIG3_KERNELS: [KernelName; 12] = [
 ];
 
 /// One kernel's Figure 3 data point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3Point {
     /// Kernel.
     pub kernel: KernelName,

@@ -14,6 +14,6 @@
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
-pub mod scaling;
 pub mod next_gen;
+pub mod scaling;
 pub mod x86;

@@ -7,14 +7,13 @@ use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::KernelClass;
 use rvhpc_machines::{machine, MachineId, PlacementPolicy};
 use rvhpc_perfmodel::{Precision, RunConfig, Toolchain};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Thread counts the paper sweeps.
 pub const THREADS: [usize; 6] = [2, 4, 8, 16, 32, 64];
 
 /// One (class, thread-count) cell.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ScalingCell {
     /// T(1)/T(t), averaged per class.
     pub speedup: f64,
@@ -23,7 +22,7 @@ pub struct ScalingCell {
 }
 
 /// A whole scaling table for one placement policy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingTable {
     /// The placement policy.
     pub policy: PlacementPolicy,
@@ -55,10 +54,7 @@ pub fn run(policy: PlacementPolicy) -> ScalingTable {
         let times = suite_times(&m, &cfg(policy, threads));
         let mut by_class: HashMap<KernelClass, Vec<f64>> = HashMap::new();
         for t in &times {
-            by_class
-                .entry(t.class)
-                .or_default()
-                .push(t1[&t.kernel] / t.estimate.seconds);
+            by_class.entry(t.class).or_default().push(t1[&t.kernel] / t.estimate.seconds);
         }
         let row = by_class
             .into_iter()
@@ -154,7 +150,8 @@ mod tests {
         for threads in [8usize, 16, 32] {
             let mut wins = 0;
             for class in KernelClass::ALL {
-                if cluster.cell(threads, class).speedup >= cyclic.cell(threads, class).speedup * 0.99
+                if cluster.cell(threads, class).speedup
+                    >= cyclic.cell(threads, class).speedup * 0.99
                 {
                     wins += 1;
                 }

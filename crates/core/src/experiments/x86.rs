@@ -12,13 +12,7 @@ pub fn table4() -> TableReport {
     TableReport {
         id: "Table 4".into(),
         title: "Summary of x86 CPUs used to compare against the SG2042".into(),
-        headers: vec![
-            "CPU".into(),
-            "Part".into(),
-            "Clock".into(),
-            "Cores".into(),
-            "Vector".into(),
-        ],
+        headers: vec!["CPU".into(), "Part".into(), "Clock".into(), "Cores".into(), "Vector".into()],
         rows: x86_machines()
             .iter()
             .map(|m| {
@@ -192,8 +186,8 @@ mod tests {
         // Rome's FP32-over-FP64 improvement trails Icelake's.
         let rome_delta =
             series(&fig5(), "Rome").overall_mean() - series(&fig4(), "Rome").overall_mean();
-        let icx_delta = series(&fig5(), "Icelake").overall_mean()
-            - series(&fig4(), "Icelake").overall_mean();
+        let icx_delta =
+            series(&fig5(), "Icelake").overall_mean() - series(&fig4(), "Icelake").overall_mean();
         assert!(
             rome_delta < icx_delta + 0.1,
             "Rome Δ{rome_delta} should not exceed Icelake Δ{icx_delta}"

@@ -10,9 +10,7 @@ use rvhpc_rvv::Sew;
 
 /// The full machine inventory (paper machines plus the what-if part).
 pub fn machines_table() -> TableReport {
-    let ids = MachineId::ALL
-        .into_iter()
-        .chain([MachineId::Sg2042NextGen]);
+    let ids = MachineId::ALL.into_iter().chain([MachineId::Sg2042NextGen]);
     TableReport {
         id: "Machines".into(),
         title: "Modelled machine inventory".into(),
@@ -49,9 +47,7 @@ pub fn machines_table() -> TableReport {
                     kb(m.cache_level(1).map_or(0, |c| c.size_bytes)),
                     kb(m.cache_level(2).map_or(0, |c| c.size_bytes)),
                     kb(m.last_level_cache().map_or(0, |c| c.size_bytes)),
-                    m.vector
-                        .as_ref()
-                        .map_or("-".into(), |v| format!("{}b", v.width_bits)),
+                    m.vector.as_ref().map_or("-".into(), |v| format!("{}b", v.width_bits)),
                     m.vectorises_fp(64).to_string(),
                 ]
             })
@@ -67,23 +63,16 @@ pub fn kernel_table(kernel: KernelName) -> TableReport {
         vec!["class".into(), kernel.class().to_string()],
         vec!["simulated size".into(), sim_size(kernel).to_string()],
         vec!["iterations/rep".into(), format!("{:.3e}", w.iterations)],
-        vec![
-            "flops/iter (cheap + expensive)".into(),
-            format!("{} + {}", w.fp_ops, w.fp_expensive),
-        ],
+        vec!["flops/iter (cheap + expensive)".into(), format!("{} + {}", w.fp_ops, w.fp_expensive)],
         vec!["int ops/iter".into(), w.int_ops.to_string()],
         vec!["memory streams".into(), w.streams.len().to_string()],
-        vec![
-            "requested bytes/rep (fp64)".into(),
-            format!("{:.3e}", w.requested_bytes(8)),
-        ],
-        vec![
-            "arithmetic intensity (fp64)".into(),
-            format!("{:.3}", w.arithmetic_intensity(8)),
-        ],
+        vec!["requested bytes/rep (fp64)".into(), format!("{:.3e}", w.requested_bytes(8))],
+        vec!["arithmetic intensity (fp64)".into(), format!("{:.3}", w.arithmetic_intensity(8))],
         vec!["inherently vectorisable".into(), w.vec.vectorizable.to_string()],
-        vec!["reduction / gather / int-data".into(),
-            format!("{} / {} / {}", w.vec.reduction, w.vec.gather_scatter, w.vec.int_data)],
+        vec![
+            "reduction / gather / int-data".into(),
+            format!("{} / {} / {}", w.vec.reduction, w.vec.gather_scatter, w.vec.int_data),
+        ],
     ];
     for compiler in [Compiler::XuanTieGcc, Compiler::Clang] {
         rows.push(vec![

@@ -8,11 +8,10 @@
 
 use rvhpc_kernels::{make_kernel, KernelClass, KernelName};
 use rvhpc_threads::Team;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One native measurement.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NativeTime {
     /// Kernel.
     pub kernel: KernelName,

@@ -1,12 +1,13 @@
-//! Report structures for figures and tables, with markdown/CSV rendering.
+//! Report structures for figures and tables, with markdown/CSV/JSON
+//! rendering.
 
 use rvhpc_kernels::KernelClass;
-use serde::{Deserialize, Serialize};
+use rvhpc_trace::json::Json;
 use std::fmt::Write as _;
 
 /// Mean + whisker statistics for one benchmark class (one bar of a paper
 /// figure).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClassStat {
     /// The class.
     pub class: KernelClass,
@@ -29,7 +30,7 @@ impl ClassStat {
 }
 
 /// One plotted series (one machine/configuration across the six classes).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SeriesStat {
     /// Legend label.
     pub label: String,
@@ -50,7 +51,7 @@ impl SeriesStat {
 }
 
 /// A figure: several series over the six classes.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FigureReport {
     /// Figure identifier, e.g. "Figure 1".
     pub id: String,
@@ -116,10 +117,7 @@ impl FigureReport {
                 let (neg, pos) = if c.mean >= 0.0 {
                     (" ".repeat(HALF), format!("{}{}", "█".repeat(n), " ".repeat(HALF - n)))
                 } else {
-                    (
-                        format!("{}{}", " ".repeat(HALF - n), "█".repeat(n)),
-                        " ".repeat(HALF),
-                    )
+                    (format!("{}{}", " ".repeat(HALF - n), "█".repeat(n)), " ".repeat(HALF))
                 };
                 let _ = writeln!(
                     out,
@@ -140,15 +138,58 @@ impl FigureReport {
         let mut out = String::from("series,class,mean,min,max\n");
         for s in &self.series {
             for c in &s.classes {
-                let _ = writeln!(out, "{},{},{:.4},{:.4},{:.4}", s.label, c.class, c.mean, c.min, c.max);
+                let _ = writeln!(
+                    out,
+                    "{},{},{:.4},{:.4},{:.4}",
+                    s.label, c.class, c.mean, c.min, c.max
+                );
             }
         }
         out
     }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("id", Json::str(self.id.clone())),
+            ("title", Json::str(self.title.clone())),
+            ("value_label", Json::str(self.value_label.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("label", Json::str(s.label.clone())),
+                                (
+                                    "classes",
+                                    Json::Arr(
+                                        s.classes
+                                            .iter()
+                                            .map(|c| {
+                                                Json::obj(vec![
+                                                    ("class", Json::str(c.class.label())),
+                                                    ("mean", Json::Num(c.mean)),
+                                                    ("min", Json::Num(c.min)),
+                                                    ("max", Json::Num(c.max)),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
+    }
 }
 
 /// A generic table: header row plus string rows (used for Tables 1–4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TableReport {
     /// Table identifier, e.g. "Table 1".
     pub id: String,
@@ -193,6 +234,33 @@ impl TableReport {
             out.push('\n');
         }
         out
+    }
+
+    /// Render as pretty-printed JSON (rows as header-keyed objects).
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("id", Json::str(self.id.clone())),
+            ("title", Json::str(self.title.clone())),
+            ("headers", Json::Arr(self.headers.iter().map(Json::str).collect())),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|row| {
+                            Json::Obj(
+                                self.headers
+                                    .iter()
+                                    .zip(row)
+                                    .map(|(h, cell)| (h.clone(), Json::str(cell.clone())))
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
     }
 }
 

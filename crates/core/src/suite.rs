@@ -3,10 +3,11 @@
 use rvhpc_kernels::{KernelClass, KernelName};
 use rvhpc_machines::Machine;
 use rvhpc_perfmodel::{estimate_averaged, RunConfig, TimeEstimate};
-use serde::{Deserialize, Serialize};
+use rvhpc_threads::Team;
+use std::sync::Mutex;
 
 /// One kernel's simulated time under one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelTime {
     /// Which kernel.
     pub kernel: KernelName,
@@ -18,16 +19,29 @@ pub struct KernelTime {
 
 /// Run the whole 64-kernel suite on a simulated machine. The per-kernel
 /// estimates are independent, so the sweep fans out across the host with
-/// rayon (the estimator is pure apart from an internal memoisation cache).
+/// our own fork-join [`Team`] (the estimator is pure apart from an
+/// internal memoisation cache); results come back in `KernelName::ALL`
+/// order.
 pub fn suite_times(machine: &Machine, cfg: &RunConfig) -> Vec<KernelTime> {
-    use rayon::prelude::*;
-    KernelName::ALL
-        .into_par_iter()
-        .map(|kernel| KernelTime {
-            kernel,
-            class: kernel.class(),
-            estimate: estimate_averaged(machine, kernel, cfg),
-        })
+    let _span = rvhpc_trace::span!("core.suite_times", machine = machine.id.token());
+    let total = KernelName::ALL.len();
+    let lanes = std::thread::available_parallelism().map_or(4, |n| n.get()).min(total);
+    let team = Team::new(lanes);
+    let slots: Vec<Mutex<Option<KernelTime>>> = (0..total).map(|_| Mutex::new(None)).collect();
+    team.run(|ctx| {
+        for i in ctx.chunk(0..total) {
+            let kernel = KernelName::ALL[i];
+            let time = KernelTime {
+                kernel,
+                class: kernel.class(),
+                estimate: estimate_averaged(machine, kernel, cfg),
+            };
+            *slots[i].lock().expect("slot poisoned") = Some(time);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("all kernels estimated"))
         .collect()
 }
 

@@ -54,18 +54,12 @@ pub fn init_rand_i32(v: &mut [i32], seed: u64, bound: i32) {
 /// Kahan-free plain checksum: Σ (i%8 + 1)⁻¹-weighted values in `f64`.
 /// Weighting makes permutation bugs visible (a plain sum would hide them).
 pub fn checksum<T: Real>(v: &[T]) -> f64 {
-    v.iter()
-        .enumerate()
-        .map(|(i, x)| x.to_f64() / ((i % 8) as f64 + 1.0))
-        .sum()
+    v.iter().enumerate().map(|(i, x)| x.to_f64() / ((i % 8) as f64 + 1.0)).sum()
 }
 
 /// Checksum for integer data.
 pub fn checksum_i32(v: &[i32]) -> f64 {
-    v.iter()
-        .enumerate()
-        .map(|(i, &x)| x as f64 / ((i % 8) as f64 + 1.0))
-        .sum()
+    v.iter().enumerate().map(|(i, &x)| x as f64 / ((i % 8) as f64 + 1.0)).sum()
 }
 
 #[cfg(test)]

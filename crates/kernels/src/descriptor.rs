@@ -13,11 +13,10 @@
 //! the mapping from loop body → model input is reviewable side by side.
 
 use crate::ids::KernelName;
-use serde::{Deserialize, Serialize};
 
 /// Spatial access shape of one stream (converted to the cache model's
 /// locality classes by `rvhpc-perfmodel`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Access {
     /// Unit-stride sweep.
     Sequential,
@@ -29,7 +28,7 @@ pub enum Access {
 
 /// One memory stream of a kernel (per repetition, whole problem — the
 /// performance model divides by threads).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct StreamSpec {
     /// Array name as in the loop body (for reports/debugging).
     pub name: &'static str,
@@ -95,7 +94,7 @@ impl StreamSpec {
 }
 
 /// How a loop responds to vectorisation.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct VecProfile {
     /// The loop has no loop-carried dependence (inherently vectorisable).
     pub vectorizable: bool,
@@ -164,7 +163,7 @@ impl VecProfile {
 }
 
 /// Everything the models need to know about one kernel at one problem size.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Inner-loop iterations per repetition.
     pub iterations: f64,
@@ -962,10 +961,7 @@ mod tests {
         for k in KernelName::ALL {
             let w = workload(k, k.default_size());
             assert!(w.iterations > 0.0, "{k}");
-            assert!(
-                w.fp_ops >= 0.0 && w.fp_expensive >= 0.0 && w.int_ops >= 0.0,
-                "{k}"
-            );
+            assert!(w.fp_ops >= 0.0 && w.fp_expensive >= 0.0 && w.int_ops >= 0.0, "{k}");
             for s in &w.streams {
                 assert!(s.elems > 0.0, "{k}/{}", s.name);
                 assert!(s.passes > 0.0, "{k}/{}", s.name);
@@ -1025,10 +1021,7 @@ mod tests {
         for k in KernelName::ALL {
             let small = workload(k, 10_000);
             let large = workload(k, 1_000_000);
-            assert!(
-                large.iterations > small.iterations,
-                "{k}: iterations must grow with n"
-            );
+            assert!(large.iterations > small.iterations, "{k}: iterations must grow with n");
             assert!(
                 large.requested_bytes(8) >= small.requested_bytes(8),
                 "{k}: bytes must not shrink with n"

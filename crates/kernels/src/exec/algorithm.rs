@@ -294,7 +294,7 @@ impl<T: Real> KernelExec<T> for Sort<T> {
             for (ci, c) in chunks.iter().enumerate() {
                 if cursors[ci] < c.end {
                     let v = self.x[cursors[ci]];
-                    if best.map_or(true, |(_, bv)| v < bv) {
+                    if best.is_none_or(|(_, bv)| v < bv) {
                         best = Some((ci, v));
                     }
                 }
@@ -307,8 +307,7 @@ impl<T: Real> KernelExec<T> for Sort<T> {
     }
 
     fn run_serial(&mut self) {
-        self.x
-            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+        self.x.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
     }
 
     fn checksum(&self) -> f64 {
@@ -378,7 +377,7 @@ impl<T: Real> KernelExec<T> for SortPairs<T> {
             for (ci, c) in chunks.iter().enumerate() {
                 if cursors[ci] < c.end {
                     let v = self.keys[cursors[ci]];
-                    if best.map_or(true, |(_, bv)| v < bv) {
+                    if best.is_none_or(|(_, bv)| v < bv) {
                         best = Some((ci, v));
                     }
                 }
@@ -455,12 +454,8 @@ mod tests {
         let team = Team::new(4);
         let mut k = SortPairs::<f64>::new(300);
         // Record the original pairing.
-        let pairs: std::collections::BTreeMap<u64, u64> = k
-            .keys
-            .iter()
-            .zip(&k.vals)
-            .map(|(a, b)| (a.to_bits(), b.to_bits()))
-            .collect();
+        let pairs: std::collections::BTreeMap<u64, u64> =
+            k.keys.iter().zip(&k.vals).map(|(a, b)| (a.to_bits(), b.to_bits())).collect();
         k.run(&team);
         assert!(k.keys.windows(2).all(|w| w[0] <= w[1]));
         for (key, val) in k.keys.iter().zip(&k.vals) {

@@ -16,9 +16,9 @@ struct PartialAssembly<T: Real> {
     ne: usize,
     q: usize,
     d: usize,
-    basis: Vec<T>, // Q × D
-    input: Vec<T>, // NE × D
-    out: Vec<T>,   // NE × D
+    basis: Vec<T>,  // Q × D
+    input: Vec<T>,  // NE × D
+    out: Vec<T>,    // NE × D
     factor: Vec<T>, // NE × Q pointwise weights
 }
 
@@ -316,8 +316,7 @@ impl<T: Real> KernelExec<T> for Energy<T> {
 
     fn run_serial(&mut self) {
         for i in 0..self.n {
-            self.e_new[i] =
-                Self::pass1(self.e_old[i], self.delvc[i], self.p_old[i], self.q_old[i]);
+            self.e_new[i] = Self::pass1(self.e_old[i], self.delvc[i], self.p_old[i], self.q_old[i]);
         }
         for i in 0..self.n {
             let (e, q) = Self::pass2(self.e_new[i], self.work[i], self.delvc[i]);
@@ -979,11 +978,11 @@ mod tests {
         let mut k = HaloPacking::<f64>::new(128);
         let before = k.var.clone();
         k.run_serial();
-        for i in 0..128 {
+        for (i, &b) in before.iter().enumerate() {
             if i % 8 == 0 {
-                assert_eq!(k.var[i], 2.0 * before[i], "halo {i}");
+                assert_eq!(k.var[i], 2.0 * b, "halo {i}");
             } else {
-                assert_eq!(k.var[i], before[i], "interior {i}");
+                assert_eq!(k.var[i], b, "interior {i}");
             }
         }
     }
@@ -1014,6 +1013,6 @@ mod tests {
         k.run_serial();
         assert!(k.p_new.iter().all(|&p| p >= 0.0));
         assert!(k.p_new.iter().any(|&p| p > 0.0), "not all clamped away");
-        assert!(k.p_new.iter().any(|&p| p == 0.0), "branches must fire");
+        assert!(k.p_new.contains(&0.0), "branches must fire");
     }
 }

@@ -521,13 +521,7 @@ impl<T: Real> MatMatShared<T> {
         k
     }
 
-    fn tile_row(
-        dim: usize,
-        a: &[T],
-        b: &[T],
-        c: &mut [T],
-        row_tile: usize,
-    ) {
+    fn tile_row(dim: usize, a: &[T], b: &[T], c: &mut [T], row_tile: usize) {
         // One horizontal band of result tiles, using local tile buffers —
         // the CPU analogue of the GPU shared-memory formulation.
         let mut at = [[T::ZERO; TILE]; TILE];
@@ -900,8 +894,7 @@ pub struct ReduceStruct<T: Real> {
 impl<T: Real> ReduceStruct<T> {
     /// New instance at problem size `n`.
     pub fn new(n: usize) -> Self {
-        let mut k =
-            ReduceStruct { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n], out: [T::ZERO; 6] };
+        let mut k = ReduceStruct { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n], out: [T::ZERO; 6] };
         k.reset();
         k
     }
@@ -976,11 +969,7 @@ impl<T: Real> KernelExec<T> for ReduceStruct<T> {
     }
 
     fn checksum(&self) -> f64 {
-        self.out
-            .iter()
-            .enumerate()
-            .map(|(i, v)| v.to_f64() / (i as f64 + 1.0))
-            .sum()
+        self.out.iter().enumerate().map(|(i, v)| v.to_f64() / (i as f64 + 1.0)).sum()
     }
 
     fn reset(&mut self) {

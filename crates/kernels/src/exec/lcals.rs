@@ -105,7 +105,8 @@ impl<T: Real> Eos<T> {
     #[inline]
     fn body(y: &[T], z: &[T], u: &[T], q: T, r: T, t: T, i: usize) -> T {
         u[i] + r * (z[i] + r * y[i])
-            + t * (u[i + 3] + r * (u[i + 2] + r * u[i + 1])
+            + t * (u[i + 3]
+                + r * (u[i + 2] + r * u[i + 1])
                 + t * (u[i + 6] + q * (u[i + 5] + q * u[i + 4])))
     }
 }
@@ -448,8 +449,7 @@ impl<T: Real> KernelExec<T> for Hydro1d<T> {
 
     fn run_serial(&mut self) {
         for i in 0..self.n {
-            self.x[i] =
-                self.q + self.y[i] * (self.r * self.z[i + 10] + self.t * self.z[i + 11]);
+            self.x[i] = self.q + self.y[i] * (self.r * self.z[i + 10] + self.t * self.z[i + 11]);
         }
     }
 
@@ -534,8 +534,8 @@ impl<T: Real> KernelExec<T> for Hydro2d<T> {
                             - zp[(j - 1) * kn + k]
                             - zq[(j - 1) * kn + k])
                             * zr[idx];
-                        let vb = (zp[j * kn + k - 1] + zq[j * kn + k - 1] - zp[idx] - zq[idx])
-                            * zr[idx];
+                        let vb =
+                            (zp[j * kn + k - 1] + zq[j * kn + k - 1] - zp[idx] - zq[idx]) * zr[idx];
                         // SAFETY: row-disjoint writes.
                         unsafe {
                             *za.index_mut(idx) = va;
@@ -554,10 +554,12 @@ impl<T: Real> KernelExec<T> for Hydro2d<T> {
                 for j in rows {
                     for k in 1..kn - 1 {
                         let idx = j * kn + k;
-                        let du = s * (za[idx] * (zz[idx] - zz[idx + 1])
-                            - zb[idx] * (zz[idx] - zz[(j - 1) * kn + k]));
-                        let dv = s * (za[idx] * (zz[idx] - zz[idx - 1])
-                            - zb[idx] * (zz[idx] - zz[(j + 1) * kn + k]));
+                        let du = s
+                            * (za[idx] * (zz[idx] - zz[idx + 1])
+                                - zb[idx] * (zz[idx] - zz[(j - 1) * kn + k]));
+                        let dv = s
+                            * (za[idx] * (zz[idx] - zz[idx - 1])
+                                - zb[idx] * (zz[idx] - zz[(j + 1) * kn + k]));
                         // SAFETY: row-disjoint writes.
                         unsafe {
                             *zu.index_mut(idx) = *zu.get(idx) + du;
@@ -805,12 +807,8 @@ pub struct TridiagElim<T: Real> {
 impl<T: Real> TridiagElim<T> {
     /// New instance at problem size `n`.
     pub fn new(n: usize) -> Self {
-        let mut k = TridiagElim {
-            n,
-            x: vec![T::ZERO; n],
-            y: vec![T::ZERO; n],
-            z: vec![T::ZERO; n],
-        };
+        let mut k =
+            TridiagElim { n, x: vec![T::ZERO; n], y: vec![T::ZERO; n], z: vec![T::ZERO; n] };
         k.reset();
         k
     }

@@ -15,15 +15,7 @@ fn mat_dim(n: usize) -> usize {
 
 /// Parallel dense `C = alpha·A·B + beta·C` over row chunks (the shared
 /// inner loop of 2MM/3MM/GEMM).
-fn gemm_into<T: Real>(
-    team: &Team,
-    dim: usize,
-    alpha: T,
-    a: &[T],
-    b: &[T],
-    beta: T,
-    c: &mut [T],
-) {
+fn gemm_into<T: Real>(team: &Team, dim: usize, alpha: T, a: &[T], b: &[T], beta: T, c: &mut [T]) {
     let cs = SharedSlice::new(c);
     team.parallel_for_chunks(0..dim, |rows| {
         for i in rows {
@@ -230,8 +222,8 @@ impl<T: Real> Adi<T> {
             let prev = (j - 1) * dim + i;
             let denom = a * p[prev] + b;
             p[idx] = -c / denom;
-            let rhs =
-                -d * u[i * dim + j - 1] + (T::ONE + d + d) * u[i * dim + j] - d * u[i * dim + j + 1];
+            let rhs = -d * u[i * dim + j - 1] + (T::ONE + d + d) * u[i * dim + j]
+                - d * u[i * dim + j + 1];
             q[idx] = (rhs - a * q[prev]) / denom;
         }
         v[(dim - 1) * dim + i] = T::ONE;
@@ -454,7 +446,8 @@ impl<T: Real> Fdtd2d<T> {
     pub fn new(n: usize) -> Self {
         let dim = mat_dim(n).max(4);
         let z = dim * dim;
-        let mut k = Fdtd2d { dim, ex: vec![T::ZERO; z], ey: vec![T::ZERO; z], hz: vec![T::ZERO; z], t: 0 };
+        let mut k =
+            Fdtd2d { dim, ex: vec![T::ZERO; z], ey: vec![T::ZERO; z], hz: vec![T::ZERO; z], t: 0 };
         k.reset();
         k
     }
@@ -538,8 +531,8 @@ impl<T: Real> KernelExec<T> for Fdtd2d<T> {
         }
         for i in 1..dim {
             for j in 0..dim {
-                self.ey[i * dim + j] =
-                    self.ey[i * dim + j] - half * (self.hz[i * dim + j] - self.hz[(i - 1) * dim + j]);
+                self.ey[i * dim + j] = self.ey[i * dim + j]
+                    - half * (self.hz[i * dim + j] - self.hz[(i - 1) * dim + j]);
             }
         }
         for i in 0..dim {
@@ -693,14 +686,7 @@ impl<T: Real> KernelExec<T> for Gemm<T> {
     }
 
     fn run_serial(&mut self) {
-        gemm_serial(
-            self.dim,
-            T::from_f64(1.5),
-            &self.a,
-            &self.b,
-            T::from_f64(1.2),
-            &mut self.c,
-        );
+        gemm_serial(self.dim, T::from_f64(1.5), &self.a, &self.b, T::from_f64(1.2), &mut self.c);
     }
 
     fn checksum(&self) -> f64 {
@@ -959,8 +945,7 @@ impl<T: Real> Heat3d<T> {
                         let k = off + 1;
                         let idx = i * d2 + j * dim + k;
                         let lap = c125
-                            * (src[idx + d2] - two * src[idx] + src[idx - d2]
-                                + src[idx + dim]
+                            * (src[idx + d2] - two * src[idx] + src[idx - d2] + src[idx + dim]
                                 - two * src[idx]
                                 + src[idx - dim]
                                 + src[idx + 1]
@@ -1042,7 +1027,8 @@ pub struct Jacobi1d<T: Real> {
 impl<T: Real> Jacobi1d<T> {
     /// New instance at problem size `n`.
     pub fn new(n: usize) -> Self {
-        let mut k = Jacobi1d { n: n.max(4), a: vec![T::ZERO; n.max(4)], b: vec![T::ZERO; n.max(4)] };
+        let mut k =
+            Jacobi1d { n: n.max(4), a: vec![T::ZERO; n.max(4)], b: vec![T::ZERO; n.max(4)] };
         k.reset();
         k
     }
@@ -1123,7 +1109,11 @@ impl<T: Real> Jacobi2d<T> {
                     let j = off + 1;
                     let idx = i * dim + j;
                     *v = fifth
-                        * (src[idx] + src[idx - 1] + src[idx + 1] + src[idx - dim] + src[idx + dim]);
+                        * (src[idx]
+                            + src[idx - 1]
+                            + src[idx + 1]
+                            + src[idx - dim]
+                            + src[idx + dim]);
                 }
             }
         });
@@ -1151,7 +1141,10 @@ impl<T: Real> KernelExec<T> for Jacobi2d<T> {
             for j in 1..dim - 1 {
                 let idx = i * dim + j;
                 self.b[idx] = fifth
-                    * (self.a[idx] + self.a[idx - 1] + self.a[idx + 1] + self.a[idx - dim]
+                    * (self.a[idx]
+                        + self.a[idx - 1]
+                        + self.a[idx + 1]
+                        + self.a[idx - dim]
                         + self.a[idx + dim]);
             }
         }
@@ -1159,7 +1152,10 @@ impl<T: Real> KernelExec<T> for Jacobi2d<T> {
             for j in 1..dim - 1 {
                 let idx = i * dim + j;
                 self.a[idx] = fifth
-                    * (self.b[idx] + self.b[idx - 1] + self.b[idx + 1] + self.b[idx - dim]
+                    * (self.b[idx]
+                        + self.b[idx - 1]
+                        + self.b[idx + 1]
+                        + self.b[idx - dim]
                         + self.b[idx + dim]);
             }
         }
@@ -1338,8 +1334,8 @@ mod tests {
         // Manual y = Aᵀ(Ax) for one column.
         for jj in [0usize, d / 2, d - 1] {
             let mut tmp = vec![0.0; d];
-            for i in 0..d {
-                tmp[i] = (0..d).map(|j| k.a[i * d + j] * k.x[j]).sum();
+            for (i, t) in tmp.iter_mut().enumerate() {
+                *t = (0..d).map(|j| k.a[i * d + j] * k.x[j]).sum();
             }
             let y: f64 = (0..d).map(|i| k.a[i * d + jj] * tmp[i]).sum();
             assert!((k.y[jj] - y).abs() < 1e-9, "col {jj}");

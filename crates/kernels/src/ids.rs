@@ -4,11 +4,10 @@
 //! paper describes in Section 2.2: *Algorithm* (6 kernels), *Apps* (13),
 //! *Basic* (16), *Lcals* (11), *Polybench* (13) and *Stream* (5).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The six benchmark classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum KernelClass {
     /// Basic algorithmic activities: memory copies, sorting, reductions.
     Algorithm,
@@ -57,7 +56,7 @@ impl fmt::Display for KernelClass {
 macro_rules! kernels {
     ($( $class:ident { $( $(#[$doc:meta])* $name:ident = $label:literal ),+ $(,)? } )+) => {
         /// Every kernel in the suite.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         #[allow(non_camel_case_types)]
         pub enum KernelName {
             $( $( $(#[$doc])* $name, )+ )+
@@ -234,10 +233,7 @@ kernels! {
 impl KernelName {
     /// Kernels belonging to one class, in declaration order.
     pub fn in_class(class: KernelClass) -> Vec<KernelName> {
-        KernelName::ALL
-            .into_iter()
-            .filter(|k| k.class() == class)
-            .collect()
+        KernelName::ALL.into_iter().filter(|k| k.class() == class).collect()
     }
 
     /// Default problem size (≈ RAJAPerf's default target problem sizes).

@@ -7,7 +7,7 @@
 
 use crate::ids::KernelName;
 use crate::runner::make_kernel;
-use proptest::prelude::*;
+use rvhpc_quickprop::{run_cases, Gen};
 use rvhpc_threads::Team;
 
 /// Kernels that exercise each parallelisation pattern: chunked elementwise,
@@ -23,18 +23,18 @@ const COVERAGE_SET: [KernelName; 8] = [
     KernelName::INDEXLIST,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn kernel(g: &mut Gen) -> KernelName {
+    *g.choose(&COVERAGE_SET)
+}
 
-    /// Parallel execution matches the serial reference for any size and
-    /// team shape, within floating-point re-association tolerance.
-    #[test]
-    fn parallel_matches_serial(
-        kernel_idx in 0usize..COVERAGE_SET.len(),
-        n in 64usize..3000,
-        threads in 1usize..7,
-    ) {
-        let kernel = COVERAGE_SET[kernel_idx];
+/// Parallel execution matches the serial reference for any size and
+/// team shape, within floating-point re-association tolerance.
+#[test]
+fn parallel_matches_serial() {
+    run_cases(24, |g| {
+        let kernel = kernel(g);
+        let n = g.usize_in(64..=2999);
+        let threads = g.usize_in(1..=6);
         let team = Team::new(threads);
 
         let mut serial = make_kernel::<f64>(kernel, n);
@@ -46,53 +46,53 @@ proptest! {
         let got = parallel.checksum();
 
         let tol = expect.abs().max(1.0) * 1e-9;
-        prop_assert!(
+        assert!(
             (got - expect).abs() <= tol,
-            "{} n={} t={}: serial {} vs parallel {}",
-            kernel, n, threads, expect, got
+            "{kernel} n={n} t={threads}: serial {expect} vs parallel {got}"
         );
-    }
+    });
+}
 
-    /// reset() really restores the initial state: run/reset/run equals a
-    /// single fresh run, bit for bit.
-    #[test]
-    fn reset_round_trips(
-        kernel_idx in 0usize..COVERAGE_SET.len(),
-        n in 64usize..2000,
-    ) {
-        let kernel = COVERAGE_SET[kernel_idx];
+/// reset() really restores the initial state: run/reset/run equals a
+/// single fresh run, bit for bit.
+#[test]
+fn reset_round_trips() {
+    run_cases(24, |g| {
+        let kernel = kernel(g);
+        let n = g.usize_in(64..=1999);
         let mut k = make_kernel::<f32>(kernel, n);
         k.run_serial();
         let first = k.checksum();
         k.reset();
         k.run_serial();
-        prop_assert_eq!(first.to_bits(), k.checksum().to_bits(), "{}", kernel);
-    }
+        assert_eq!(first.to_bits(), k.checksum().to_bits(), "{kernel}");
+    });
+}
 
-    /// Checksums depend on the problem size (no degenerate constant
-    /// checksums hiding broken kernels).
-    #[test]
-    fn checksums_vary_with_size(kernel_idx in 0usize..COVERAGE_SET.len()) {
-        let kernel = COVERAGE_SET[kernel_idx];
+/// Checksums depend on the problem size (no degenerate constant
+/// checksums hiding broken kernels).
+#[test]
+fn checksums_vary_with_size() {
+    for kernel in COVERAGE_SET {
         let mut a = make_kernel::<f64>(kernel, 512);
         let mut b = make_kernel::<f64>(kernel, 1024);
         a.run_serial();
         b.run_serial();
-        prop_assert_ne!(a.checksum(), b.checksum(), "{}", kernel);
+        assert_ne!(a.checksum(), b.checksum(), "{kernel}");
     }
+}
 
-    /// Running more repetitions never leaves outputs NaN/inf (numerical
-    /// stability of the iterative kernels under repeated application).
-    #[test]
-    fn repeated_runs_stay_finite(
-        kernel_idx in 0usize..COVERAGE_SET.len(),
-        reps in 1usize..6,
-    ) {
-        let kernel = COVERAGE_SET[kernel_idx];
+/// Running more repetitions never leaves outputs NaN/inf (numerical
+/// stability of the iterative kernels under repeated application).
+#[test]
+fn repeated_runs_stay_finite() {
+    run_cases(24, |g| {
+        let kernel = kernel(g);
+        let reps = g.usize_in(1..=5);
         let mut k = make_kernel::<f32>(kernel, 512);
         for _ in 0..reps {
             k.run_serial();
         }
-        prop_assert!(k.checksum().is_finite(), "{} after {} reps", kernel, reps);
-    }
+        assert!(k.checksum().is_finite(), "{kernel} after {reps} reps");
+    });
 }

@@ -37,6 +37,8 @@ pub trait KernelExec<T: Real>: Send {
 /// assert!(triad.checksum().is_finite());
 /// ```
 pub fn make_kernel<T: Real>(name: KernelName, n: usize) -> Box<dyn KernelExec<T>> {
+    let _span = rvhpc_trace::span!("kernels.make", kernel = name, n = n);
+    rvhpc_trace::counter!("kernels.instantiated", 1);
     use KernelName::*;
     match name {
         // Stream
@@ -133,10 +135,7 @@ mod tests {
             let got = par.checksum();
 
             let tol = expect.abs().max(1.0) * 1e-10;
-            assert!(
-                (got - expect).abs() <= tol,
-                "{name}: serial {expect} vs parallel {got}"
-            );
+            assert!((got - expect).abs() <= tol, "{name}: serial {expect} vs parallel {got}");
         }
     }
 

@@ -1,9 +1,7 @@
 //! Cache level descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// Which cores share one instance of a cache level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheSharing {
     /// Private to a single core (e.g. C920 L1, x86 L1/L2).
     PerCore,
@@ -15,7 +13,7 @@ pub enum CacheSharing {
 }
 
 /// One level of the cache hierarchy.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CacheLevel {
     /// 1 = L1D, 2 = L2, 3 = L3. (We only model data caches; the suite's
     /// kernels are small loops whose instruction footprints fit any L1I.)

@@ -32,20 +32,12 @@ pub fn all_machines() -> Vec<Machine> {
 
 /// The three RISC-V machines (Section 3.1).
 pub fn riscv_machines() -> Vec<Machine> {
-    MachineId::ALL
-        .into_iter()
-        .filter(|m| m.is_riscv())
-        .map(machine)
-        .collect()
+    MachineId::ALL.into_iter().filter(|m| m.is_riscv()).map(machine).collect()
 }
 
 /// The four x86 machines (Table 4).
 pub fn x86_machines() -> Vec<Machine> {
-    MachineId::ALL
-        .into_iter()
-        .filter(|m| m.is_x86())
-        .map(machine)
-        .collect()
+    MachineId::ALL.into_iter().filter(|m| m.is_x86()).map(machine).collect()
 }
 
 /// Sophon SG2042: 64 × XuanTie C920 @ 2 GHz, RVV v0.7.1 (128-bit, no FP64
@@ -285,7 +277,9 @@ mod tests {
         ng.validate().unwrap();
         assert!(ng.vectorises_fp(64), "FP64 vectorisation");
         assert_eq!(ng.vector.as_ref().unwrap().width_bits, 256, "wider registers");
-        assert!(ng.cache_level(1).unwrap().size_bytes > sg2042().cache_level(1).unwrap().size_bytes);
+        assert!(
+            ng.cache_level(1).unwrap().size_bytes > sg2042().cache_level(1).unwrap().size_bytes
+        );
         assert_eq!(ng.topology.regions()[0].controllers, 2, "more controllers per region");
         assert_eq!(ng.n_cores(), 64, "same floorplan");
     }

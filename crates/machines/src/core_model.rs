@@ -1,14 +1,12 @@
 //! Per-core micro-architecture descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// Micro-architectural facts about one core, as published in datasheets.
 ///
 /// The paper quotes the C920 as "a 12-stage out-of-order multiple issue
 /// superscalar pipeline … three decode, four rename/dispatch, eight
 /// issue/execute and two load/store execution units"; those numbers appear
 /// verbatim below for the SG2042.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CoreModel {
     /// Marketing name of the core IP, e.g. "XuanTie C920".
     pub name: String,

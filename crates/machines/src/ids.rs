@@ -1,13 +1,12 @@
 //! Stable machine identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Every CPU evaluated by the paper, as a stable identifier.
 ///
 /// The identifier is used to key calibration tables in `rvhpc-perfmodel` and
 /// to select machines on the `repro` command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MachineId {
     /// Sophon SG2042, 64 × T-Head XuanTie C920 @ 2.0 GHz (the paper's subject).
     Sg2042,
@@ -76,10 +75,7 @@ impl MachineId {
     /// Parse a command line token back into an identifier (the what-if
     /// machine included).
     pub fn from_token(tok: &str) -> Option<MachineId> {
-        MachineId::ALL
-            .into_iter()
-            .chain([MachineId::Sg2042NextGen])
-            .find(|m| m.token() == tok)
+        MachineId::ALL.into_iter().chain([MachineId::Sg2042NextGen]).find(|m| m.token() == tok)
     }
 }
 

@@ -41,8 +41,6 @@ pub use placement::{Placement, PlacementPolicy};
 pub use topology::{NumaRegion, Topology};
 pub use vector::VectorIsa;
 
-use serde::{Deserialize, Serialize};
-
 /// A complete description of one CPU under test.
 ///
 /// All fields are architectural facts taken from public datasheets or from
@@ -50,7 +48,7 @@ use serde::{Deserialize, Serialize};
 /// achievable bandwidth fractions, …) deliberately live elsewhere, in
 /// `rvhpc-perfmodel::calibration`, so that this crate stays a neutral
 /// hardware inventory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Machine {
     /// Stable identifier used to key calibration tables.
     pub id: MachineId,
@@ -142,12 +140,8 @@ impl Machine {
         for c in &self.caches {
             c.validate().map_err(|e| format!("{}: {e}", self.name))?;
         }
-        self.topology
-            .validate()
-            .map_err(|e| format!("{}: {e}", self.name))?;
-        self.memory
-            .validate()
-            .map_err(|e| format!("{}: {e}", self.name))?;
+        self.topology.validate().map_err(|e| format!("{}: {e}", self.name))?;
+        self.memory.validate().map_err(|e| format!("{}: {e}", self.name))?;
         Ok(())
     }
 }

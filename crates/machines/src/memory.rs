@@ -1,14 +1,12 @@
 //! DRAM subsystem descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// DRAM subsystem of a package.
 ///
 /// The paper ties its scaling results directly to memory controllers: the
 /// SG2042 has "four DDR4-3200 memory controllers", one per NUMA region, and
 /// the placement experiments of Section 3.2 are explained by contention on
 /// individual controllers.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemorySystem {
     /// Number of memory controllers (channels) on the package.
     pub controllers: usize,

@@ -13,11 +13,10 @@
 //!   8 threads → cores 0, 8, 32, 40, 16, 24, 48, 56.
 
 use crate::topology::Topology;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A thread-placement policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlacementPolicy {
     /// Contiguous thread → core mapping (paper Table 1).
     Block,
@@ -30,11 +29,8 @@ pub enum PlacementPolicy {
 
 impl PlacementPolicy {
     /// All policies, in paper order.
-    pub const ALL: [PlacementPolicy; 3] = [
-        PlacementPolicy::Block,
-        PlacementPolicy::NumaCyclic,
-        PlacementPolicy::ClusterCyclic,
-    ];
+    pub const ALL: [PlacementPolicy; 3] =
+        [PlacementPolicy::Block, PlacementPolicy::NumaCyclic, PlacementPolicy::ClusterCyclic];
 
     /// Short name used in reports.
     pub fn label(self) -> &'static str {
@@ -120,7 +116,7 @@ fn round_robin(lists: &[Vec<usize>], n: usize) -> Vec<usize> {
 
 /// The result of applying a policy: a thread → core map plus derived
 /// occupancy statistics used by the contention model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Placement {
     /// Policy that produced this placement.
     pub policy: PlacementPolicy,
@@ -140,12 +136,7 @@ impl Placement {
             threads_per_region[topo.core_region(c)] += 1;
             threads_per_cluster[topo.core_cluster(c)] += 1;
         }
-        Placement {
-            policy,
-            cores,
-            threads_per_region,
-            threads_per_cluster,
-        }
+        Placement { policy, cores, threads_per_region, threads_per_cluster }
     }
 
     /// Number of threads.

@@ -14,11 +14,9 @@
 //! id: {0–3}, {4–7}, … This module encodes both facts and exposes the
 //! lookups the placement policies and the contention model need.
 
-use serde::{Deserialize, Serialize};
-
 /// A NUMA region: a set of cores expressed as contiguous core-id ranges,
 /// served by local memory controller(s).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NumaRegion {
     /// Region index.
     pub id: usize,
@@ -32,10 +30,7 @@ pub struct NumaRegion {
 impl NumaRegion {
     /// All core ids in this region, in ascending order.
     pub fn cores(&self) -> Vec<usize> {
-        self.core_ranges
-            .iter()
-            .flat_map(|&(s, e)| s..e)
-            .collect()
+        self.core_ranges.iter().flat_map(|&(s, e)| s..e).collect()
     }
 
     /// Number of cores in the region.
@@ -50,7 +45,7 @@ impl NumaRegion {
 }
 
 /// Full core/cluster/NUMA layout of a package.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     n_cores: usize,
     /// Cores per cluster (L2-sharing group); clusters are contiguous in id.
@@ -72,12 +67,7 @@ impl Topology {
                 }
             }
         }
-        Topology {
-            n_cores,
-            cluster_size,
-            regions,
-            core_to_region,
-        }
+        Topology { n_cores, cluster_size, regions, core_to_region }
     }
 
     /// A conventional topology: `n_regions` NUMA regions of contiguous core
@@ -265,11 +255,8 @@ mod tests {
         let t = Topology::sg2042();
         // Region 0 ranges are 0-7 and 16-23 → clusters {0-3},{4-7} and
         // {16-19},{20-23}; interleaved order starts 0, 16, 4, 20.
-        let order: Vec<usize> = t
-            .region_clusters_interleaved(0)
-            .iter()
-            .map(|&cl| t.cluster_cores(cl).start)
-            .collect();
+        let order: Vec<usize> =
+            t.region_clusters_interleaved(0).iter().map(|&cl| t.cluster_cores(cl).start).collect();
         assert_eq!(order, vec![0, 16, 4, 20]);
     }
 

@@ -1,9 +1,7 @@
 //! Vector ISA descriptors.
 
-use serde::{Deserialize, Serialize};
-
 /// Which vector instruction-set family a machine implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VectorFamily {
     /// RISC-V Vector extension, version 0.7.1 (XuanTie C920).
     Rvv071,
@@ -31,7 +29,7 @@ impl VectorFamily {
 }
 
 /// Description of a machine's vector capability.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VectorIsa {
     /// ISA family.
     pub family: VectorFamily,

@@ -9,10 +9,9 @@
 //! benchmark, a micro-architectural argument, or a paper observation.
 
 use rvhpc_machines::MachineId;
-use serde::{Deserialize, Serialize};
 
 /// Effective-performance constants for one machine.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Calibration {
     /// Sustained cheap-FP operations per cycle per core on scalar loop
     /// code (captures issue width, OoO depth, dependency stalls).
@@ -252,9 +251,7 @@ mod tests {
     #[test]
     fn c920_faster_per_core_than_u74_but_slower_than_x86() {
         use rvhpc_machines::machine;
-        let gf = |id: MachineId| {
-            machine(id).clock_ghz * calibration(id).scalar_flops_per_cycle
-        };
+        let gf = |id: MachineId| machine(id).clock_ghz * calibration(id).scalar_flops_per_cycle;
         assert!(gf(MachineId::Sg2042) > 3.0 * gf(MachineId::VisionFiveV2));
         assert!(gf(MachineId::AmdRome) > gf(MachineId::Sg2042));
         assert!(gf(MachineId::IntelIcelake) > gf(MachineId::Sg2042));

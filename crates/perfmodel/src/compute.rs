@@ -53,8 +53,7 @@ pub fn cycles_per_iteration(
         let divergence_cost = 1.0 + w.vec.divergence;
         // Loop control amortises over a strip.
         let loop_cyc = cal.loop_overhead_cycles / vec.lanes as f64;
-        let mut cyc =
-            (base_cheap / speedup + base_exp / exp_speedup) * divergence_cost + loop_cyc;
+        let mut cyc = (base_cheap / speedup + base_exp / exp_speedup) * divergence_cost + loop_cyc;
         if vec.mode == VectorMode::Vla {
             cyc *= vec.measured_vla_ratio.unwrap_or(cal.vla_overhead);
         }
@@ -97,7 +96,8 @@ mod tests {
         let cal = calibration(MachineId::Sg2042);
         let wl = w(KernelName::DAXPY);
         let scalar = cycles_per_iteration(&m, &cal, &wl, &VectorCtx::scalar());
-        let vec = VectorCtx { active: true, lanes: 4, mode: VectorMode::Vls, measured_vla_ratio: None };
+        let vec =
+            VectorCtx { active: true, lanes: 4, mode: VectorMode::Vls, measured_vla_ratio: None };
         let vectored = cycles_per_iteration(&m, &cal, &wl, &vec);
         assert!(vectored < scalar, "{vectored} !< {scalar}");
         assert!(vectored > scalar / 4.0, "speedup must stay below lane count");
@@ -119,12 +119,8 @@ mod tests {
         let m = machine(MachineId::Sg2042);
         let cal = calibration(MachineId::Sg2042);
         let wl = w(KernelName::STREAM_TRIAD);
-        let mk = |r| VectorCtx {
-            active: true,
-            lanes: 4,
-            mode: VectorMode::Vla,
-            measured_vla_ratio: r,
-        };
+        let mk =
+            |r| VectorCtx { active: true, lanes: 4, mode: VectorMode::Vla, measured_vla_ratio: r };
         let a = cycles_per_iteration(&m, &cal, &wl, &mk(Some(1.5)));
         let b = cycles_per_iteration(&m, &cal, &wl, &mk(None));
         assert!(a > b, "1.5 ratio must cost more than the {} default", cal.vla_overhead);
@@ -136,7 +132,8 @@ mod tests {
         let cal = calibration(MachineId::Sg2042);
         let clean = w(KernelName::STREAM_ADD);
         let gather = w(KernelName::HALO_PACKING);
-        let vec = VectorCtx { active: true, lanes: 4, mode: VectorMode::Vls, measured_vla_ratio: None };
+        let vec =
+            VectorCtx { active: true, lanes: 4, mode: VectorMode::Vls, measured_vla_ratio: None };
         let clean_gain = cycles_per_iteration(&m, &cal, &clean, &VectorCtx::scalar())
             / cycles_per_iteration(&m, &cal, &clean, &vec);
         let gather_gain = cycles_per_iteration(&m, &cal, &gather, &VectorCtx::scalar())
@@ -148,8 +145,10 @@ mod tests {
     fn expensive_ops_dominate_planckian() {
         let m = machine(MachineId::Sg2042);
         let cal = calibration(MachineId::Sg2042);
-        let planck = cycles_per_iteration(&m, &cal, &w(KernelName::PLANCKIAN), &VectorCtx::scalar());
-        let triad = cycles_per_iteration(&m, &cal, &w(KernelName::STREAM_TRIAD), &VectorCtx::scalar());
+        let planck =
+            cycles_per_iteration(&m, &cal, &w(KernelName::PLANCKIAN), &VectorCtx::scalar());
+        let triad =
+            cycles_per_iteration(&m, &cal, &w(KernelName::STREAM_TRIAD), &VectorCtx::scalar());
         assert!(planck > 5.0 * triad);
     }
 }

@@ -2,10 +2,9 @@
 
 use rvhpc_compiler::{Compiler, VectorMode};
 use rvhpc_machines::PlacementPolicy;
-use serde::{Deserialize, Serialize};
 
 /// Floating-point precision of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// Single precision.
     Fp32,
@@ -37,7 +36,7 @@ impl Precision {
 }
 
 /// Which toolchain compiled the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Toolchain {
     /// XuanTie GCC 8.4 on RISC-V (VLS RVV v0.7.1). Also stands in for the
     /// plain upstream GCC scalar-only path when vectorisation is off.
@@ -70,7 +69,7 @@ impl Toolchain {
 }
 
 /// Full configuration of one measured run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
     /// FP32 or FP64.
     pub precision: Precision,

@@ -10,7 +10,6 @@ use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::{workload, KernelClass, KernelName, Workload};
 use rvhpc_machines::Machine;
 use rvhpc_rvv::Sew;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -39,7 +38,7 @@ pub fn sim_size(kernel: KernelName) -> usize {
 }
 
 /// One estimated execution.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TimeEstimate {
     /// Seconds per kernel repetition (the suite runner multiplies by the
     /// repetition count; speedups are invariant to it).
@@ -55,21 +54,35 @@ pub struct TimeEstimate {
 }
 
 /// Measured VLA/VLS instruction ratios for codegen-covered kernels, cached
-/// process-wide (the interpreter run is deterministic).
+/// process-wide (the interpreter run is deterministic). Hits and misses are
+/// counted as `perfmodel.vla_ratio.hit` / `.miss` — a miss costs two
+/// interpreter runs, so the hit rate is worth watching.
 fn measured_vla_ratio(kernel: KernelName, sew: Sew) -> Option<f64> {
-    static CACHE: OnceLock<std::sync::Mutex<HashMap<(KernelName, u32), Option<f64>>>> =
-        OnceLock::new();
+    type RatioCache = std::sync::Mutex<HashMap<(KernelName, u32), Option<f64>>>;
+    static CACHE: OnceLock<RatioCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
     let mut map = cache.lock().expect("no poisoned lock");
-    *map.entry((kernel, sew.bits())).or_insert_with(|| {
+    if let Some(cached) = map.get(&(kernel, sew.bits())) {
+        rvhpc_trace::counter!("perfmodel.vla_ratio.hit", 1);
+        return *cached;
+    }
+    rvhpc_trace::counter!("perfmodel.vla_ratio.miss", 1);
+    let ratio = (|| {
         let vla = measure(kernel, VectorMode::Vla, sew, 4096)?;
         let vls = measure(kernel, VectorMode::Vls, sew, 4096)?;
         Some(vla.per_element() / vls.per_element())
-    })
+    })();
+    map.insert((kernel, sew.bits()), ratio);
+    ratio
 }
 
 /// Resolve whether vector code executes and with how many lanes.
-fn resolve_vector(machine: &Machine, kernel: KernelName, w: &Workload, cfg: &RunConfig) -> VectorCtx {
+pub(crate) fn resolve_vector(
+    machine: &Machine,
+    kernel: KernelName,
+    w: &Workload,
+    cfg: &RunConfig,
+) -> VectorCtx {
     if !cfg.vectorize {
         return VectorCtx::scalar();
     }
@@ -162,6 +175,64 @@ pub fn estimate_sized(
     cal: &Calibration,
     size: usize,
 ) -> TimeEstimate {
+    let _span = rvhpc_trace::span!(
+        "perfmodel.estimate",
+        kernel = kernel,
+        machine = machine.id.token(),
+        threads = cfg.threads,
+    );
+    let est = model_parts(machine, kernel, cfg, cal, size).estimate();
+    rvhpc_trace::histogram!("perfmodel.estimate.seconds", est.seconds);
+    est
+}
+
+/// Every intermediate quantity of one estimate. [`estimate_sized`] and the
+/// [`crate::explain`] module both go through here, so the printed
+/// breakdown is always the arithmetic that produced the number.
+pub(crate) struct ModelParts {
+    pub w: Workload,
+    pub threads: usize,
+    pub eff_t: f64,
+    pub vec: VectorCtx,
+    pub env: MemoryEnv,
+    pub compute: f64,
+    pub memory: f64,
+    pub overhead: f64,
+    pub out_of_order: bool,
+}
+
+impl ModelParts {
+    /// Busy time under the overlap rule: out-of-order cores overlap compute
+    /// with outstanding misses (roofline max); in-order cores like the U74
+    /// stall on every miss, so compute and memory time add — which is also
+    /// why the V2 shows "far less" FP32-vs-FP64 difference than the SG2042
+    /// in the paper's Figure 1.
+    pub fn busy(&self) -> f64 {
+        if self.out_of_order {
+            self.compute.max(self.memory)
+        } else {
+            self.compute + self.memory
+        }
+    }
+
+    pub fn estimate(&self) -> TimeEstimate {
+        TimeEstimate {
+            seconds: self.busy() + self.overhead,
+            compute_seconds: self.compute,
+            memory_seconds: self.memory,
+            overhead_seconds: self.overhead,
+            vector_path: self.vec.active,
+        }
+    }
+}
+
+pub(crate) fn model_parts(
+    machine: &Machine,
+    kernel: KernelName,
+    cfg: &RunConfig,
+    cal: &Calibration,
+    size: usize,
+) -> ModelParts {
     let cal = *cal;
     let threads = cfg.threads.clamp(1, machine.n_cores());
     let w = workload(kernel, size);
@@ -186,21 +257,16 @@ pub fn estimate_sized(
     );
 
     let overhead = fork_join_overhead(&cal, threads);
-    // Out-of-order cores overlap compute with outstanding misses (roofline
-    // max); in-order cores like the U74 stall on every miss, so compute and
-    // memory time add — which is also why the V2 shows "far less"
-    // FP32-vs-FP64 difference than the SG2042 in the paper's Figure 1.
-    let busy = if machine.core.out_of_order {
-        compute.max(memory)
-    } else {
-        compute + memory
-    };
-    TimeEstimate {
-        seconds: busy + overhead,
-        compute_seconds: compute,
-        memory_seconds: memory,
-        overhead_seconds: overhead,
-        vector_path: vec.active,
+    ModelParts {
+        w,
+        threads,
+        eff_t,
+        vec,
+        env,
+        compute,
+        memory,
+        overhead,
+        out_of_order: machine.core.out_of_order,
     }
 }
 
@@ -374,6 +440,28 @@ mod tests {
                 + estimate(&m, KernelName::JACOBI_2D, &cfg).seconds
         };
         assert!(mk(PlacementPolicy::ClusterCyclic) < mk(PlacementPolicy::Block));
+    }
+
+    #[test]
+    fn vla_ratio_memo_hits_on_second_lookup() {
+        // First lookup populates the memo (or finds it already populated by
+        // another test); the lookup after that MUST be served from the
+        // cache — a miss here means the interpreter would re-run on every
+        // estimate, which is exactly the regression this counter guards.
+        let _ = measured_vla_ratio(KernelName::STREAM_TRIAD, Sew::E32);
+        rvhpc_trace::set_enabled(true);
+        let before = rvhpc_trace::snapshot();
+        let first = measured_vla_ratio(KernelName::STREAM_TRIAD, Sew::E32);
+        let second = measured_vla_ratio(KernelName::STREAM_TRIAD, Sew::E32);
+        let after = rvhpc_trace::snapshot();
+        rvhpc_trace::set_enabled(false);
+        assert_eq!(first, second);
+        assert!(first.expect("codegen covers STREAM_TRIAD") > 0.0);
+        assert!(
+            after.counter("perfmodel.vla_ratio.hit")
+                >= before.counter("perfmodel.vla_ratio.hit") + 2,
+            "both lookups must hit the memo"
+        );
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod calibration;
 pub mod compute;
 pub mod config;
 pub mod estimate;
+pub mod explain;
 pub mod memory;
 pub mod scaling;
 
@@ -35,4 +36,7 @@ mod proptests;
 
 pub use calibration::{calibration, Calibration};
 pub use config::{Precision, RunConfig, Toolchain};
-pub use estimate::{estimate, estimate_averaged, estimate_sized, estimate_with, sim_size, TimeEstimate};
+pub use estimate::{
+    estimate, estimate_averaged, estimate_sized, estimate_with, sim_size, TimeEstimate,
+};
+pub use explain::{explain, explain_sized, Explanation};

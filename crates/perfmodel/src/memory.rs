@@ -40,11 +40,8 @@ impl MemoryEnv {
                 CacheSharing::Package => placement.n_threads().max(1) as f64,
             }
         };
-        let capacity_shares = machine
-            .caches
-            .iter()
-            .map(|c| c.size_bytes as f64 / sharers(c.sharing))
-            .collect();
+        let capacity_shares =
+            machine.caches.iter().map(|c| c.size_bytes as f64 / sharers(c.sharing)).collect();
         let bw_shares = machine
             .caches
             .iter()
@@ -64,9 +61,7 @@ impl MemoryEnv {
             .topology
             .regions()
             .iter()
-            .map(|r| {
-                placement.threads_per_region[r.id] as f64 / r.controllers as f64
-            })
+            .map(|r| placement.threads_per_region[r.id] as f64 / r.controllers as f64)
             .fold(0.0f64, f64::max)
             .max(1.0);
         MemoryEnv {
@@ -80,7 +75,7 @@ impl MemoryEnv {
 
 /// Convert a kernel stream into the cache model's access spec for one
 /// thread's share of the work.
-fn to_access_spec(
+pub(crate) fn to_access_spec(
     stream: &rvhpc_kernels::StreamSpec,
     default_elem_bytes: f64,
     effective_threads: f64,
@@ -139,11 +134,8 @@ pub fn memory_seconds(
     // of every level proportional to its footprint (the LRU steady state
     // for concurrently swept arrays). Without this, two 40 MB arrays would
     // each "fit" a 64 MB L3.
-    let specs: Vec<_> = w
-        .streams
-        .iter()
-        .map(|s| to_access_spec(s, elem_bytes, effective_threads))
-        .collect();
+    let specs: Vec<_> =
+        w.streams.iter().map(|s| to_access_spec(s, elem_bytes, effective_threads)).collect();
     let total_footprint: f64 = specs.iter().map(|s| s.footprint_bytes).sum::<f64>().max(1.0);
 
     let mut requested = 0.0f64;
@@ -172,9 +164,8 @@ pub fn memory_seconds(
     //
     // L1 service: bounded by what the core can issue per cycle (load/store
     // pipes × element width × lanes) and by the L1 port width.
-    let issue_bytes_per_cycle = machine.core.load_store_units as f64
-        * elem_bytes
-        * vector_lanes.max(1) as f64;
+    let issue_bytes_per_cycle =
+        machine.core.load_store_units as f64 * elem_bytes * vector_lanes.max(1) as f64;
     let l1_bw = issue_bytes_per_cycle.min(env.bw_shares[0]);
     let mut time = requested / (l1_bw * clock);
 
@@ -196,8 +187,8 @@ pub fn memory_seconds(
         let ctrl_bw = machine.memory.controller_bandwidth() * cal.dram_efficiency;
         // Scalar memory ops can't keep the memory pipeline full on every
         // machine (the C920's stream-class vectorisation benefit).
-        let core_bw = cal.per_core_stream_bw
-            * if vectored { 1.0 } else { cal.scalar_stream_fraction };
+        let core_bw =
+            cal.per_core_stream_bw * if vectored { 1.0 } else { cal.scalar_stream_fraction };
         let share = (ctrl_bw / env.threads_per_controller).min(core_bw);
 
         // Demand rate this thread would generate if memory were free:
@@ -210,14 +201,11 @@ pub fn memory_seconds(
         // machine-specific sensitivity (the SG2042's 64-thread collapse).
         const QUEUE_KNEE: f64 = 2.6;
         let overload = k * demand.min(cal.per_core_stream_bw) / ctrl_bw;
-        let queue_mult =
-            1.0 + cal.queue_sensitivity * (overload - QUEUE_KNEE).max(0.0).powf(1.5);
+        let queue_mult = 1.0 + cal.queue_sensitivity * (overload - QUEUE_KNEE).max(0.0).powf(1.5);
 
         let bw_time = dram_bytes / share;
-        let lat_time = (dram_bytes / env.line_bytes)
-            * machine.memory.dram_latency_ns
-            * 1e-9
-            / cal.mlp;
+        let lat_time =
+            (dram_bytes / env.line_bytes) * machine.memory.dram_latency_ns * 1e-9 / cal.mlp;
         time = time.max(bw_time.max(lat_time) * queue_mult);
     }
     time

@@ -6,81 +6,83 @@
 
 use crate::config::{Precision, RunConfig, Toolchain};
 use crate::estimate::estimate;
-use proptest::prelude::*;
 use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::KernelName;
 use rvhpc_machines::{machine, MachineId, PlacementPolicy};
+use rvhpc_quickprop::{run_cases, Gen};
 
-fn machines() -> impl Strategy<Value = MachineId> {
-    prop::sample::select(MachineId::ALL.to_vec())
+fn machine_id(g: &mut Gen) -> MachineId {
+    *g.choose(&MachineId::ALL)
 }
 
-fn kernels() -> impl Strategy<Value = KernelName> {
-    prop::sample::select(KernelName::ALL.to_vec())
+fn kernel(g: &mut Gen) -> KernelName {
+    *g.choose(&KernelName::ALL)
 }
 
-fn configs() -> impl Strategy<Value = RunConfig> {
-    (
-        prop::bool::ANY,
-        prop::bool::ANY,
-        prop::sample::select(vec![Toolchain::XuanTieGcc, Toolchain::ClangRvv, Toolchain::X86Gcc]),
-        prop::sample::select(vec![VectorMode::Vls, VectorMode::Vla]),
-        prop::sample::select(PlacementPolicy::ALL.to_vec()),
-        1usize..=64,
-    )
-        .prop_map(|(fp32, vectorize, toolchain, mode, placement, threads)| RunConfig {
-            precision: if fp32 { Precision::Fp32 } else { Precision::Fp64 },
-            vectorize,
-            toolchain,
-            mode,
-            placement,
-            threads,
-        })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Every (machine, kernel, config) point yields a finite positive time
-    /// with components that bound the total sensibly.
-    #[test]
-    fn estimates_always_physical(id in machines(), kernel in kernels(), cfg in configs()) {
-        let m = machine(id);
-        let e = estimate(&m, kernel, &cfg);
-        prop_assert!(e.seconds.is_finite() && e.seconds > 0.0);
-        prop_assert!(e.compute_seconds >= 0.0 && e.memory_seconds >= 0.0);
-        prop_assert!(e.overhead_seconds >= 0.0);
-        // Total is at least the larger component (roofline or additive).
-        prop_assert!(e.seconds + 1e-15 >= e.compute_seconds.max(e.memory_seconds));
+fn config(g: &mut Gen) -> RunConfig {
+    RunConfig {
+        precision: *g.choose(&[Precision::Fp32, Precision::Fp64]),
+        vectorize: g.bool_with(0.5),
+        toolchain: *g.choose(&[Toolchain::XuanTieGcc, Toolchain::ClangRvv, Toolchain::X86Gcc]),
+        mode: *g.choose(&[VectorMode::Vls, VectorMode::Vla]),
+        placement: *g.choose(&PlacementPolicy::ALL),
+        threads: g.usize_in(1..=64),
     }
+}
 
-    /// The estimator is a pure function of its inputs.
-    #[test]
-    fn estimates_deterministic(id in machines(), kernel in kernels(), cfg in configs()) {
-        let m = machine(id);
+/// Every (machine, kernel, config) point yields a finite positive time
+/// with components that bound the total sensibly.
+#[test]
+fn estimates_always_physical() {
+    run_cases(96, |g| {
+        let m = machine(machine_id(g));
+        let e = estimate(&m, kernel(g), &config(g));
+        assert!(e.seconds.is_finite() && e.seconds > 0.0);
+        assert!(e.compute_seconds >= 0.0 && e.memory_seconds >= 0.0);
+        assert!(e.overhead_seconds >= 0.0);
+        // Total is at least the larger component (roofline or additive).
+        assert!(e.seconds + 1e-15 >= e.compute_seconds.max(e.memory_seconds));
+    });
+}
+
+/// The estimator is a pure function of its inputs.
+#[test]
+fn estimates_deterministic() {
+    run_cases(96, |g| {
+        let m = machine(machine_id(g));
+        let kernel = kernel(g);
+        let cfg = config(g);
         let a = estimate(&m, kernel, &cfg);
         let b = estimate(&m, kernel, &cfg);
-        prop_assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
-    }
+        assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+    });
+}
 
-    /// Scalar-only configs never report a vector path, and machines without
-    /// a vector unit never do either.
-    #[test]
-    fn vector_path_respects_configuration(id in machines(), kernel in kernels(), cfg in configs()) {
+/// Scalar-only configs never report a vector path, and machines without
+/// a vector unit never do either.
+#[test]
+fn vector_path_respects_configuration() {
+    run_cases(96, |g| {
+        let id = machine_id(g);
+        let kernel = kernel(g);
+        let cfg = config(g);
         let m = machine(id);
         let e = estimate(&m, kernel, &cfg);
         if !cfg.vectorize || m.vector.is_none() {
-            prop_assert!(!e.vector_path, "{id}/{kernel}");
+            assert!(!e.vector_path, "{id}/{kernel}");
         }
-    }
+    });
+}
 
-    /// For an embarrassingly parallel compute-bound kernel, more threads
-    /// never makes a run slower by more than the fork-join overhead — up to
-    /// the core count, under the best placement.
-    #[test]
-    fn gemm_threads_never_catastrophic(id in machines(), t in 1usize..=64) {
+/// For an embarrassingly parallel compute-bound kernel, more threads
+/// never makes a run slower by more than the fork-join overhead — up to
+/// the core count, under the best placement.
+#[test]
+fn gemm_threads_never_catastrophic() {
+    run_cases(96, |g| {
+        let id = machine_id(g);
         let m = machine(id);
-        let t = t.min(m.n_cores());
+        let t = g.usize_in(1..=64).min(m.n_cores());
         let mk = |threads| RunConfig {
             precision: Precision::Fp32,
             vectorize: true,
@@ -91,25 +93,29 @@ proptest! {
         };
         let t1 = estimate(&m, KernelName::GEMM, &mk(1)).seconds;
         let tn = estimate(&m, KernelName::GEMM, &mk(t)).seconds;
-        prop_assert!(tn <= t1 * 1.25, "{id}: GEMM {t} threads {tn} vs 1 thread {t1}");
-    }
+        assert!(tn <= t1 * 1.25, "{id}: GEMM {t} threads {tn} vs 1 thread {t1}");
+    });
+}
 
-    /// FP32 is never materially slower than FP64 for the same configuration
-    /// on the SG2042 (fewer bytes, more lanes — the paper's consistent
-    /// finding). A 5 % band absorbs a benign non-monotonicity: shrinking
-    /// one stream's footprint at FP32 also shrinks its share of the
-    /// footprint-proportional cache partitioning, which can nudge a
-    /// mixed-int/FP kernel (e.g. INDEXLIST_3LOOP) by a percent.
-    #[test]
-    fn fp32_never_loses_to_fp64_on_sg2042(kernel in kernels(), threads in 1usize..=64) {
+/// FP32 is never materially slower than FP64 for the same configuration
+/// on the SG2042 (fewer bytes, more lanes — the paper's consistent
+/// finding). A 5 % band absorbs a benign non-monotonicity: shrinking
+/// one stream's footprint at FP32 also shrinks its share of the
+/// footprint-proportional cache partitioning, which can nudge a
+/// mixed-int/FP kernel (e.g. INDEXLIST_3LOOP) by a percent.
+#[test]
+fn fp32_never_loses_to_fp64_on_sg2042() {
+    run_cases(96, |g| {
+        let kernel = kernel(g);
+        let threads = g.usize_in(1..=64);
         let m = machine(MachineId::Sg2042);
         let f32run = estimate(&m, kernel, &RunConfig::sg2042_best(Precision::Fp32, threads));
         let f64run = estimate(&m, kernel, &RunConfig::sg2042_best(Precision::Fp64, threads));
-        prop_assert!(
+        assert!(
             f32run.seconds <= f64run.seconds * 1.05,
             "{kernel} t={threads}: fp32 {} vs fp64 {}",
             f32run.seconds,
             f64run.seconds
         );
-    }
+    });
 }

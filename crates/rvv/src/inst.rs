@@ -253,10 +253,7 @@ impl Program {
 
     /// Number of real instructions (labels excluded).
     pub fn len_insts(&self) -> usize {
-        self.insts
-            .iter()
-            .filter(|i| !matches!(i, Inst::Label(_)))
-            .count()
+        self.insts.iter().filter(|i| !matches!(i, Inst::Label(_))).count()
     }
 
     /// Count of vector instructions (config + memory + arithmetic).
@@ -278,7 +275,99 @@ impl Program {
     }
 }
 
+/// Coarse opcode class of an instruction, the granularity at which the
+/// interpreter publishes retirement counters (`rvv.retired.<class>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Scalar integer ALU ops (`li`, `mv`, `add`, `mul`, …).
+    ScalarAlu,
+    /// Scalar FP loads (`flw`, `fld`).
+    ScalarMem,
+    /// Branches, jumps and `ret`.
+    Control,
+    /// `vsetvli` configuration.
+    VectorConfig,
+    /// Vector loads/stores, unit-stride and strided.
+    VectorMem,
+    /// Vector FP/integer arithmetic including FMA and sqrt.
+    VectorArith,
+    /// Mask generation and mask-driven merges.
+    VectorMask,
+    /// Splats and scalar↔vector moves.
+    VectorMove,
+    /// Cross-lane sum reductions.
+    VectorReduce,
+}
+
+impl OpClass {
+    /// Every class, in counter-name order.
+    pub const ALL: [OpClass; 9] = [
+        OpClass::ScalarAlu,
+        OpClass::ScalarMem,
+        OpClass::Control,
+        OpClass::VectorConfig,
+        OpClass::VectorMem,
+        OpClass::VectorArith,
+        OpClass::VectorMask,
+        OpClass::VectorMove,
+        OpClass::VectorReduce,
+    ];
+
+    /// Stable metric-name suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::ScalarAlu => "scalar_alu",
+            OpClass::ScalarMem => "scalar_mem",
+            OpClass::Control => "control",
+            OpClass::VectorConfig => "vector_config",
+            OpClass::VectorMem => "vector_mem",
+            OpClass::VectorArith => "vector_arith",
+            OpClass::VectorMask => "vector_mask",
+            OpClass::VectorMove => "vector_move",
+            OpClass::VectorReduce => "vector_reduce",
+        }
+    }
+
+    /// Index into [`OpClass::ALL`].
+    pub fn index(self) -> usize {
+        OpClass::ALL.iter().position(|c| *c == self).expect("class listed")
+    }
+}
+
 impl Inst {
+    /// The instruction's opcode class; `None` for labels (pseudo-ops that
+    /// never retire).
+    pub fn op_class(&self) -> Option<OpClass> {
+        Some(match self {
+            Inst::Label(_) => return None,
+            Inst::Ret | Inst::Branch { .. } | Inst::Jump { .. } => OpClass::Control,
+            Inst::Li { .. }
+            | Inst::Mv { .. }
+            | Inst::Add { .. }
+            | Inst::Addi { .. }
+            | Inst::Sub { .. }
+            | Inst::Mul { .. }
+            | Inst::Slli { .. } => OpClass::ScalarAlu,
+            Inst::Flw { .. } | Inst::Fld { .. } => OpClass::ScalarMem,
+            Inst::Vsetvli { .. } => OpClass::VectorConfig,
+            Inst::Vle { .. } | Inst::Vse { .. } | Inst::Vlse { .. } | Inst::Vsse { .. } => {
+                OpClass::VectorMem
+            }
+            Inst::VfVV { .. }
+            | Inst::VfVF { .. }
+            | Inst::VfmaccVV { .. }
+            | Inst::VfmaccVF { .. }
+            | Inst::ViVV { .. }
+            | Inst::VaddVI { .. }
+            | Inst::VfsqrtV { .. } => OpClass::VectorArith,
+            Inst::VmfltVF { .. } | Inst::VmfgeVF { .. } | Inst::VmergeVVM { .. } => {
+                OpClass::VectorMask
+            }
+            Inst::VmvVX { .. } | Inst::VfmvVF { .. } | Inst::VfmvFS { .. } => OpClass::VectorMove,
+            Inst::Vfredusum { .. } | Inst::Vfredosum { .. } => OpClass::VectorReduce,
+        })
+    }
+
     /// Whether this is a vector instruction.
     pub fn is_vector(&self) -> bool {
         matches!(
@@ -326,9 +415,8 @@ mod tests {
 
     #[test]
     fn label_map_detects_duplicates() {
-        let p = Program {
-            insts: vec![Inst::Label("a".into()), Inst::Ret, Inst::Label("a".into())],
-        };
+        let p =
+            Program { insts: vec![Inst::Label("a".into()), Inst::Ret, Inst::Label("a".into())] };
         assert!(p.label_map().is_err());
     }
 

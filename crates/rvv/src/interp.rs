@@ -15,7 +15,7 @@
 //! compiler-generated loops.
 
 use crate::dialect::{Dialect, Lmul, Sew};
-use crate::inst::{BranchCond, Inst, Program, VfBinOp, ViBinOp};
+use crate::inst::{BranchCond, Inst, OpClass, Program, VfBinOp, ViBinOp};
 use std::collections::HashMap;
 
 /// Vector register width in bits (C920 VLEN).
@@ -74,6 +74,8 @@ pub struct Machine {
     pub executed: u64,
     /// Vector instructions executed.
     pub executed_vector: u64,
+    /// Instructions retired per [`OpClass`], indexed by [`OpClass::index`].
+    pub retired_by_class: [u64; OpClass::ALL.len()],
 }
 
 impl Machine {
@@ -89,6 +91,7 @@ impl Machine {
             vtype: None,
             executed: 0,
             executed_vector: 0,
+            retired_by_class: [0; OpClass::ALL.len()],
         }
     }
 
@@ -301,11 +304,34 @@ impl Machine {
         Ok(())
     }
 
-    /// Execute a program until `Ret` or the step limit.
-    #[allow(clippy::too_many_lines)]
+    /// Instructions retired in one opcode class so far.
+    pub fn retired(&self, class: OpClass) -> u64 {
+        self.retired_by_class[class.index()]
+    }
+
+    /// Execute a program until `Ret` or the step limit. With tracing
+    /// enabled, the run's per-class retirement deltas are published as
+    /// `rvv.retired.<class>` counters.
     pub fn run(&mut self, program: &Program, max_steps: u64) -> Result<(), ExecError> {
-        let labels: HashMap<String, usize> =
-            program.label_map().map_err(ExecError::BadProgram)?;
+        let _span = rvhpc_trace::span!(
+            "rvv.run",
+            insts = program.len_insts(),
+            dialect = format!("{:?}", self.dialect),
+        );
+        let before = rvhpc_trace::enabled().then_some(self.retired_by_class);
+        let result = self.run_inner(program, max_steps);
+        if let Some(before) = before {
+            for class in OpClass::ALL {
+                let delta = self.retired_by_class[class.index()] - before[class.index()];
+                rvhpc_trace::counter_add(&format!("rvv.retired.{}", class.label()), delta);
+            }
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_inner(&mut self, program: &Program, max_steps: u64) -> Result<(), ExecError> {
+        let labels: HashMap<String, usize> = program.label_map().map_err(ExecError::BadProgram)?;
         let mut pc = 0usize;
         let mut steps = 0u64;
         while pc < program.insts.len() {
@@ -314,8 +340,9 @@ impl Machine {
             }
             steps += 1;
             let inst = &program.insts[pc];
-            if !matches!(inst, Inst::Label(_)) {
+            if let Some(class) = inst.op_class() {
                 self.executed += 1;
+                self.retired_by_class[class.index()] += 1;
                 if inst.is_vector() {
                     self.executed_vector += 1;
                 }
@@ -501,12 +528,21 @@ impl Machine {
                         let a = self.read_elem(vs1.0, i, sew);
                         let cmp = match sew {
                             Sew::E32 => {
-                                let (x, y) = (f32::from_bits(a as u32), f32::from_bits(scalar as u32));
-                                if is_lt { x < y } else { x >= y }
+                                let (x, y) =
+                                    (f32::from_bits(a as u32), f32::from_bits(scalar as u32));
+                                if is_lt {
+                                    x < y
+                                } else {
+                                    x >= y
+                                }
                             }
                             Sew::E64 => {
                                 let (x, y) = (f64::from_bits(a), f64::from_bits(scalar));
-                                if is_lt { x < y } else { x >= y }
+                                if is_lt {
+                                    x < y
+                                } else {
+                                    x >= y
+                                }
                             }
                             _ => false,
                         };
@@ -681,14 +717,14 @@ loop:
     #[test]
     fn vsetvli_clamps_to_vlmax() {
         let mut m = Machine::new(Dialect::V10, 64);
-        let p = parse_program("    vsetvli x5, x10, e32, m1, ta, ma\n    ret\n", Dialect::V10)
-            .unwrap();
+        let p =
+            parse_program("    vsetvli x5, x10, e32, m1, ta, ma\n    ret\n", Dialect::V10).unwrap();
         m.set_x(10, 100);
         m.run(&p, 100).unwrap();
         assert_eq!(m.x(5), 4, "VLMAX at e32/m1 with VLEN=128 is 4");
         // LMUL=2 doubles it.
-        let p2 = parse_program("    vsetvli x5, x10, e32, m2, ta, ma\n    ret\n", Dialect::V10)
-            .unwrap();
+        let p2 =
+            parse_program("    vsetvli x5, x10, e32, m2, ta, ma\n    ret\n", Dialect::V10).unwrap();
         m.run(&p2, 100).unwrap();
         assert_eq!(m.x(5), 8);
     }
@@ -821,10 +857,7 @@ loop:
         .unwrap();
         let mut m = Machine::new(Dialect::V071, 64);
         m.set_x(10, 2);
-        assert!(matches!(
-            m.run(&p, 100).unwrap_err(),
-            ExecError::UnsupportedFp64 { .. }
-        ));
+        assert!(matches!(m.run(&p, 100).unwrap_err(), ExecError::UnsupportedFp64 { .. }));
     }
 
     #[test]
@@ -844,10 +877,7 @@ loop:
         let mut m = Machine::new(Dialect::V10, 8);
         m.set_x(10, 4);
         m.set_x(11, 0);
-        assert!(matches!(
-            m.run(&p, 100).unwrap_err(),
-            ExecError::MemOutOfBounds { .. }
-        ));
+        assert!(matches!(m.run(&p, 100).unwrap_err(), ExecError::MemOutOfBounds { .. }));
     }
 
     #[test]

@@ -38,7 +38,7 @@ mod proptests;
 
 pub use builder::ProgramBuilder;
 pub use dialect::{Dialect, Lmul, Sew};
-pub use inst::{FReg, Inst, Program, VReg, XReg};
+pub use inst::{FReg, Inst, OpClass, Program, VReg, XReg};
 pub use interp::{ExecError, Machine, VLEN_BITS};
 pub use parse::{parse_program, ParseError};
 pub use print::print_program;

@@ -37,7 +37,9 @@ pub fn parse_program(text: &str, dialect: Dialect) -> Result<Program, ParseError
         }
         let err = |message: String| ParseError { line: lineno + 1, message };
         if let Some(label) = line.strip_suffix(':') {
-            if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            if label.is_empty()
+                || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
                 return Err(err(format!("bad label `{label}`")));
             }
             insts.push(Inst::Label(label.to_string()));
@@ -53,11 +55,7 @@ fn split_mnemonic(line: &str) -> (&str, Vec<&str>) {
     let mut parts = line.splitn(2, char::is_whitespace);
     let mn = parts.next().unwrap_or("");
     let rest = parts.next().unwrap_or("");
-    let ops: Vec<&str> = rest
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
     (mn, ops)
 }
 
@@ -145,17 +143,32 @@ fn parse_inst(line: &str, dialect: Dialect, sew: &mut Option<Sew>) -> Result<Ins
     for op in [VfBinOp::Add, VfBinOp::Sub, VfBinOp::Mul, VfBinOp::Div, VfBinOp::Min, VfBinOp::Max] {
         if mn == format!("{}.vv", op.stem()) {
             need(&ops, 3, mn)?;
-            return Ok(Inst::VfVV { op, vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? });
+            return Ok(Inst::VfVV {
+                op,
+                vd: vreg(ops[0])?,
+                vs1: vreg(ops[1])?,
+                vs2: vreg(ops[2])?,
+            });
         }
         if mn == format!("{}.vf", op.stem()) {
             need(&ops, 3, mn)?;
-            return Ok(Inst::VfVF { op, vd: vreg(ops[0])?, vs1: vreg(ops[1])?, fs2: freg(ops[2])? });
+            return Ok(Inst::VfVF {
+                op,
+                vd: vreg(ops[0])?,
+                vs1: vreg(ops[1])?,
+                fs2: freg(ops[2])?,
+            });
         }
     }
     for op in [ViBinOp::Add, ViBinOp::Sub, ViBinOp::Mul, ViBinOp::And, ViBinOp::Or, ViBinOp::Xor] {
         if mn == format!("{}.vv", op.stem()) {
             need(&ops, 3, mn)?;
-            return Ok(Inst::ViVV { op, vd: vreg(ops[0])?, vs1: vreg(ops[1])?, vs2: vreg(ops[2])? });
+            return Ok(Inst::ViVV {
+                op,
+                vd: vreg(ops[0])?,
+                vs1: vreg(ops[1])?,
+                vs2: vreg(ops[2])?,
+            });
         }
     }
     // v1.0 unit-stride/strided with EEW suffix, e.g. vle32.v / vlse64.v.
@@ -253,51 +266,49 @@ fn parse_inst(line: &str, dialect: Dialect, sew: &mut Option<Sew>) -> Result<Ins
                 Inst::Fld { fd, rs1, imm: off }
             })
         }
-        "vsetvli" => {
-            match dialect {
-                Dialect::V10 => {
-                    need(&ops, 6, mn)?;
-                    let s = parse_sew_token(ops[2])?;
-                    let l = parse_lmul_token(ops[3])?;
-                    let ta = match ops[4] {
-                        "ta" => true,
-                        "tu" => false,
-                        o => return Err(format!("bad tail policy `{o}`")),
-                    };
-                    let ma = match ops[5] {
-                        "ma" => true,
-                        "mu" => false,
-                        o => return Err(format!("bad mask policy `{o}`")),
-                    };
-                    *sew = Some(s);
-                    Ok(Inst::Vsetvli {
-                        rd: xreg(ops[0])?,
-                        rs1: xreg(ops[1])?,
-                        sew: s,
-                        lmul: l,
-                        tail_agnostic: ta,
-                        mask_agnostic: ma,
-                    })
-                }
-                Dialect::V071 => {
-                    need(&ops, 4, mn)?;
-                    let s = parse_sew_token(ops[2])?;
-                    let l = parse_lmul_token(ops[3])?;
-                    if !l.valid_in_v071() {
-                        return Err(format!("fractional LMUL `{l}` invalid in v0.7.1"));
-                    }
-                    *sew = Some(s);
-                    Ok(Inst::Vsetvli {
-                        rd: xreg(ops[0])?,
-                        rs1: xreg(ops[1])?,
-                        sew: s,
-                        lmul: l,
-                        tail_agnostic: false,
-                        mask_agnostic: false,
-                    })
-                }
+        "vsetvli" => match dialect {
+            Dialect::V10 => {
+                need(&ops, 6, mn)?;
+                let s = parse_sew_token(ops[2])?;
+                let l = parse_lmul_token(ops[3])?;
+                let ta = match ops[4] {
+                    "ta" => true,
+                    "tu" => false,
+                    o => return Err(format!("bad tail policy `{o}`")),
+                };
+                let ma = match ops[5] {
+                    "ma" => true,
+                    "mu" => false,
+                    o => return Err(format!("bad mask policy `{o}`")),
+                };
+                *sew = Some(s);
+                Ok(Inst::Vsetvli {
+                    rd: xreg(ops[0])?,
+                    rs1: xreg(ops[1])?,
+                    sew: s,
+                    lmul: l,
+                    tail_agnostic: ta,
+                    mask_agnostic: ma,
+                })
             }
-        }
+            Dialect::V071 => {
+                need(&ops, 4, mn)?;
+                let s = parse_sew_token(ops[2])?;
+                let l = parse_lmul_token(ops[3])?;
+                if !l.valid_in_v071() {
+                    return Err(format!("fractional LMUL `{l}` invalid in v0.7.1"));
+                }
+                *sew = Some(s);
+                Ok(Inst::Vsetvli {
+                    rd: xreg(ops[0])?,
+                    rs1: xreg(ops[1])?,
+                    sew: s,
+                    lmul: l,
+                    tail_agnostic: false,
+                    mask_agnostic: false,
+                })
+            }
+        },
         // v0.7.1 SEW-typed memory ops.
         "vle.v" | "vse.v" | "vlse.v" | "vsse.v" if dialect == Dialect::V071 => {
             let eew = sew.ok_or("vector memory op before any vsetvli")?;

@@ -49,10 +49,7 @@ pub fn print_inst(inst: &Inst, dialect: Dialect) -> String {
                 format!("vsetvli {rd}, {rs1}, {sew}, {lmul}, {ta}, {ma}")
             }
             Dialect::V071 => {
-                assert!(
-                    lmul.valid_in_v071(),
-                    "fractional LMUL {lmul} cannot be printed as v0.7.1"
-                );
+                assert!(lmul.valid_in_v071(), "fractional LMUL {lmul} cannot be printed as v0.7.1");
                 // v0.7.1 vsetvli has no policy flags; the d1 field (SEDIV)
                 // is omitted as always-1, matching XuanTie GCC output.
                 format!("vsetvli {rd}, {rs1}, {sew}, {lmul}")

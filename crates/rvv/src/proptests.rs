@@ -8,175 +8,149 @@ use crate::inst::{BranchCond, FReg, Inst, Program, VReg, VfBinOp, ViBinOp, XReg}
 use crate::parse::parse_program;
 use crate::print::print_program;
 use crate::rollback::rollback;
-use proptest::prelude::*;
+use rvhpc_quickprop::{run_cases, Gen};
 
-fn xreg() -> impl Strategy<Value = XReg> {
-    (0u8..32).prop_map(XReg)
+fn xreg(g: &mut Gen) -> XReg {
+    XReg(g.usize_in(0..=31) as u8)
 }
 
-fn freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg)
+fn freg(g: &mut Gen) -> FReg {
+    FReg(g.usize_in(0..=31) as u8)
 }
 
-fn vreg() -> impl Strategy<Value = VReg> {
-    (0u8..32).prop_map(VReg)
+fn vreg(g: &mut Gen) -> VReg {
+    VReg(g.usize_in(0..=31) as u8)
 }
 
-fn sew() -> impl Strategy<Value = Sew> {
-    prop::sample::select(vec![Sew::E8, Sew::E16, Sew::E32, Sew::E64])
+fn sew(g: &mut Gen) -> Sew {
+    *g.choose(&[Sew::E8, Sew::E16, Sew::E32, Sew::E64])
 }
 
-fn whole_lmul() -> impl Strategy<Value = Lmul> {
-    prop::sample::select(vec![Lmul::M1, Lmul::M2, Lmul::M4, Lmul::M8])
+fn whole_lmul(g: &mut Gen) -> Lmul {
+    *g.choose(&[Lmul::M1, Lmul::M2, Lmul::M4, Lmul::M8])
 }
 
-fn vf_op() -> impl Strategy<Value = VfBinOp> {
-    prop::sample::select(vec![
-        VfBinOp::Add,
-        VfBinOp::Sub,
-        VfBinOp::Mul,
-        VfBinOp::Div,
-        VfBinOp::Min,
-        VfBinOp::Max,
-    ])
+fn vf_op(g: &mut Gen) -> VfBinOp {
+    *g.choose(&[VfBinOp::Add, VfBinOp::Sub, VfBinOp::Mul, VfBinOp::Div, VfBinOp::Min, VfBinOp::Max])
 }
 
-fn vi_op() -> impl Strategy<Value = ViBinOp> {
-    prop::sample::select(vec![
-        ViBinOp::Add,
-        ViBinOp::Sub,
-        ViBinOp::Mul,
-        ViBinOp::And,
-        ViBinOp::Or,
-        ViBinOp::Xor,
-    ])
+fn vi_op(g: &mut Gen) -> ViBinOp {
+    *g.choose(&[ViBinOp::Add, ViBinOp::Sub, ViBinOp::Mul, ViBinOp::And, ViBinOp::Or, ViBinOp::Xor])
 }
 
-/// Arbitrary straight-line instructions (no labels/branches: those are
+/// An arbitrary straight-line instruction (no labels/branches: those are
 /// exercised separately because targets must resolve).
-fn straightline_inst() -> impl Strategy<Value = Inst> {
-    prop_oneof![
-        (xreg(), -1000i64..1000).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
-        (xreg(), xreg()).prop_map(|(rd, rs)| Inst::Mv { rd, rs }),
-        (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Inst::Add { rd, rs1, rs2 }),
-        (xreg(), xreg(), -500i64..500).prop_map(|(rd, rs1, imm)| Inst::Addi { rd, rs1, imm }),
-        (xreg(), xreg(), xreg()).prop_map(|(rd, rs1, rs2)| Inst::Sub { rd, rs1, rs2 }),
-        (xreg(), xreg(), 0u8..32).prop_map(|(rd, rs1, shamt)| Inst::Slli { rd, rs1, shamt }),
-        (freg(), xreg(), 0i64..256).prop_map(|(fd, rs1, imm)| Inst::Flw { fd, rs1, imm }),
-        (freg(), xreg(), 0i64..256).prop_map(|(fd, rs1, imm)| Inst::Fld { fd, rs1, imm }),
-        (xreg(), xreg(), sew(), whole_lmul()).prop_map(|(rd, rs1, sew, lmul)| Inst::Vsetvli {
-            rd,
-            rs1,
-            sew,
-            lmul,
+fn straightline_inst(g: &mut Gen) -> Inst {
+    match g.usize_in(0..=25) {
+        0 => Inst::Li { rd: xreg(g), imm: g.i64_in(-1000..=999) },
+        1 => Inst::Mv { rd: xreg(g), rs: xreg(g) },
+        2 => Inst::Add { rd: xreg(g), rs1: xreg(g), rs2: xreg(g) },
+        3 => Inst::Addi { rd: xreg(g), rs1: xreg(g), imm: g.i64_in(-500..=499) },
+        4 => Inst::Sub { rd: xreg(g), rs1: xreg(g), rs2: xreg(g) },
+        5 => Inst::Slli { rd: xreg(g), rs1: xreg(g), shamt: g.usize_in(0..=31) as u8 },
+        6 => Inst::Flw { fd: freg(g), rs1: xreg(g), imm: g.i64_in(0..=255) },
+        7 => Inst::Fld { fd: freg(g), rs1: xreg(g), imm: g.i64_in(0..=255) },
+        8 => Inst::Vsetvli {
+            rd: xreg(g),
+            rs1: xreg(g),
+            sew: sew(g),
+            lmul: whole_lmul(g),
             tail_agnostic: true,
-            mask_agnostic: true
-        }),
-        (vf_op(), vreg(), vreg(), vreg()).prop_map(|(op, vd, vs1, vs2)| Inst::VfVV {
-            op,
-            vd,
-            vs1,
-            vs2
-        }),
-        (vf_op(), vreg(), vreg(), freg()).prop_map(|(op, vd, vs1, fs2)| Inst::VfVF {
-            op,
-            vd,
-            vs1,
-            fs2
-        }),
-        (vi_op(), vreg(), vreg(), vreg()).prop_map(|(op, vd, vs1, vs2)| Inst::ViVV {
-            op,
-            vd,
-            vs1,
-            vs2
-        }),
-        (vreg(), vreg(), -16i8..16).prop_map(|(vd, vs1, imm)| Inst::VaddVI { vd, vs1, imm }),
-        (vreg(), freg(), vreg()).prop_map(|(vd, fs1, vs2)| Inst::VfmaccVF { vd, fs1, vs2 }),
-        (vreg(), vreg(), vreg()).prop_map(|(vd, vs1, vs2)| Inst::VfmaccVV { vd, vs1, vs2 }),
-        (vreg(), xreg()).prop_map(|(vd, rs1)| Inst::VmvVX { vd, rs1 }),
-        (vreg(), freg()).prop_map(|(vd, fs1)| Inst::VfmvVF { vd, fs1 }),
-        (freg(), vreg()).prop_map(|(fd, vs1)| Inst::VfmvFS { fd, vs1 }),
-        (vreg(), vreg(), freg()).prop_map(|(vd, vs1, fs2)| Inst::VmfltVF { vd, vs1, fs2 }),
-        (vreg(), vreg(), freg()).prop_map(|(vd, vs1, fs2)| Inst::VmfgeVF { vd, vs1, fs2 }),
-        (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Inst::VmergeVVM { vd, vs2, vs1 }),
-        (vreg(), vreg(), prop::bool::ANY)
-            .prop_map(|(vd, vs1, masked)| Inst::VfsqrtV { vd, vs1, masked }),
-        (vreg(), vreg(), vreg()).prop_map(|(vd, vs1, vs2)| Inst::Vfredusum { vd, vs1, vs2 }),
-        (vreg(), vreg(), vreg()).prop_map(|(vd, vs1, vs2)| Inst::Vfredosum { vd, vs1, vs2 }),
-        (vreg(), xreg(), sew()).prop_map(|(vd, rs1, eew)| Inst::Vle { vd, rs1, eew }),
-        (vreg(), xreg(), sew()).prop_map(|(vs, rs1, eew)| Inst::Vse { vs, rs1, eew }),
-        (vreg(), xreg(), xreg(), sew())
-            .prop_map(|(vd, rs1, stride, eew)| Inst::Vlse { vd, rs1, stride, eew }),
-        (vreg(), xreg(), xreg(), sew())
-            .prop_map(|(vs, rs1, stride, eew)| Inst::Vsse { vs, rs1, stride, eew }),
-    ]
+            mask_agnostic: true,
+        },
+        9 => Inst::VfVV { op: vf_op(g), vd: vreg(g), vs1: vreg(g), vs2: vreg(g) },
+        10 => Inst::VfVF { op: vf_op(g), vd: vreg(g), vs1: vreg(g), fs2: freg(g) },
+        11 => Inst::ViVV { op: vi_op(g), vd: vreg(g), vs1: vreg(g), vs2: vreg(g) },
+        12 => Inst::VaddVI { vd: vreg(g), vs1: vreg(g), imm: g.i64_in(-16..=15) as i8 },
+        13 => Inst::VfmaccVF { vd: vreg(g), fs1: freg(g), vs2: vreg(g) },
+        14 => Inst::VfmaccVV { vd: vreg(g), vs1: vreg(g), vs2: vreg(g) },
+        15 => Inst::VmvVX { vd: vreg(g), rs1: xreg(g) },
+        16 => Inst::VfmvVF { vd: vreg(g), fs1: freg(g) },
+        17 => Inst::VfmvFS { fd: freg(g), vs1: vreg(g) },
+        18 => Inst::VmfltVF { vd: vreg(g), vs1: vreg(g), fs2: freg(g) },
+        19 => Inst::VmfgeVF { vd: vreg(g), vs1: vreg(g), fs2: freg(g) },
+        20 => Inst::VmergeVVM { vd: vreg(g), vs2: vreg(g), vs1: vreg(g) },
+        21 => Inst::VfsqrtV { vd: vreg(g), vs1: vreg(g), masked: g.bool_with(0.5) },
+        22 => Inst::Vfredusum { vd: vreg(g), vs1: vreg(g), vs2: vreg(g) },
+        23 => Inst::Vfredosum { vd: vreg(g), vs1: vreg(g), vs2: vreg(g) },
+        24 => match g.usize_in(0..=1) {
+            0 => Inst::Vle { vd: vreg(g), rs1: xreg(g), eew: sew(g) },
+            _ => Inst::Vse { vs: vreg(g), rs1: xreg(g), eew: sew(g) },
+        },
+        _ => match g.usize_in(0..=1) {
+            0 => Inst::Vlse { vd: vreg(g), rs1: xreg(g), stride: xreg(g), eew: sew(g) },
+            _ => Inst::Vsse { vs: vreg(g), rs1: xreg(g), stride: xreg(g), eew: sew(g) },
+        },
+    }
 }
 
 /// A random program: vsetvli first (so v0.7.1 memory ops have a vtype),
 /// then straight-line code, then ret.
-fn programs() -> impl Strategy<Value = Program> {
-    (sew(), whole_lmul(), prop::collection::vec(straightline_inst(), 0..40)).prop_map(
-        |(sew, lmul, mut body)| {
-            let mut insts = vec![Inst::Vsetvli {
-                rd: XReg(5),
-                rs1: XReg(10),
-                sew,
-                lmul,
-                tail_agnostic: true,
-                mask_agnostic: true,
-            }];
-            insts.append(&mut body);
-            insts.push(Inst::Ret);
-            Program { insts }
-        },
-    )
+fn program(g: &mut Gen) -> Program {
+    let mut insts = vec![Inst::Vsetvli {
+        rd: XReg(5),
+        rs1: XReg(10),
+        sew: sew(g),
+        lmul: whole_lmul(g),
+        tail_agnostic: true,
+        mask_agnostic: true,
+    }];
+    let body_len = g.usize_in(0..=39);
+    insts.extend((0..body_len).map(|_| straightline_inst(g)));
+    insts.push(Inst::Ret);
+    Program { insts }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// print → parse is the identity for every program, in the v1.0 dialect.
-    #[test]
-    fn v10_print_parse_round_trip(p in programs()) {
+/// print → parse is the identity for every program, in the v1.0 dialect.
+#[test]
+fn v10_print_parse_round_trip() {
+    run_cases(256, |g| {
+        let p = program(g);
         let text = print_program(&p, Dialect::V10);
         let reparsed = parse_program(&text, Dialect::V10).expect("printer output parses");
-        prop_assert_eq!(p, reparsed);
-    }
+        assert_eq!(p, reparsed);
+    });
+}
 
-    /// Rollback output always prints and reparses as valid v0.7.1, and the
-    /// rewrite is idempotent (rolling back twice changes nothing more).
-    #[test]
-    fn rollback_output_is_valid_v071_and_idempotent(p in programs()) {
+/// Rollback output always prints and reparses as valid v0.7.1, and the
+/// rewrite is idempotent (rolling back twice changes nothing more).
+#[test]
+fn rollback_output_is_valid_v071_and_idempotent() {
+    run_cases(256, |g| {
+        let p = program(g);
         if let Ok(rolled) = rollback(&p) {
             let text = print_program(&rolled, Dialect::V071);
             let reparsed = parse_program(&text, Dialect::V071)
                 .expect("rolled-back output must parse as v0.7.1");
             // The v0.7.1 dialect's memory ops take their width from the
             // active vtype, so reparsing preserves the program.
-            prop_assert_eq!(&rolled, &reparsed);
+            assert_eq!(&rolled, &reparsed);
             let again = rollback(&rolled).expect("idempotent");
-            prop_assert_eq!(rolled, again);
+            assert_eq!(rolled, again);
         }
-    }
+    });
+}
 
-    /// Rollback refuses exactly the programs the C920 cannot run: if it
-    /// succeeds, no FP64 vector arithmetic survives and every memory op's
-    /// EEW matches its vtype.
-    #[test]
-    fn rollback_success_implies_c920_compatibility(p in programs()) {
+/// Rollback refuses exactly the programs the C920 cannot run: if it
+/// succeeds, no FP64 vector arithmetic survives and every memory op's
+/// EEW matches its vtype.
+#[test]
+fn rollback_success_implies_c920_compatibility() {
+    run_cases(256, |g| {
+        let p = program(g);
         if let Ok(rolled) = rollback(&p) {
             let mut sew = None;
             for inst in &rolled.insts {
                 match inst {
                     Inst::Vsetvli { sew: s, lmul, .. } => {
-                        prop_assert!(lmul.valid_in_v071());
+                        assert!(lmul.valid_in_v071());
                         sew = Some(*s);
                     }
                     Inst::Vle { eew, .. }
                     | Inst::Vse { eew, .. }
                     | Inst::Vlse { eew, .. }
                     | Inst::Vsse { eew, .. } => {
-                        prop_assert_eq!(Some(*eew), sew, "EEW must match vtype");
+                        assert_eq!(Some(*eew), sew, "EEW must match vtype");
                     }
                     Inst::VfVV { .. }
                     | Inst::VfVF { .. }
@@ -188,32 +162,29 @@ proptest! {
                     | Inst::VfsqrtV { .. }
                     | Inst::Vfredusum { .. }
                     | Inst::Vfredosum { .. } => {
-                        prop_assert_ne!(sew, Some(Sew::E64), "no FP64 vector arithmetic");
+                        assert_ne!(sew, Some(Sew::E64), "no FP64 vector arithmetic");
                     }
                     _ => {}
                 }
             }
         }
-    }
+    });
+}
 
-    /// Branches round-trip too (separate strategy so targets resolve).
-    #[test]
-    fn branches_round_trip(
-        cond in prop::sample::select(vec![
-            BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge
-        ]),
-        rs1 in xreg(),
-        rs2 in xreg(),
-    ) {
+/// Branches round-trip too (generated separately so targets resolve).
+#[test]
+fn branches_round_trip() {
+    run_cases(64, |g| {
+        let cond = *g.choose(&[BranchCond::Eq, BranchCond::Ne, BranchCond::Lt, BranchCond::Ge]);
         let p = Program {
             insts: vec![
                 Inst::Label(".loop0".into()),
-                Inst::Branch { cond, rs1, rs2, target: ".loop0".into() },
+                Inst::Branch { cond, rs1: xreg(g), rs2: xreg(g), target: ".loop0".into() },
                 Inst::Jump { target: ".loop0".into() },
                 Inst::Ret,
             ],
         };
         let text = print_program(&p, Dialect::V10);
-        prop_assert_eq!(parse_program(&text, Dialect::V10).expect("parses"), p);
-    }
+        assert_eq!(parse_program(&text, Dialect::V10).expect("parses"), p);
+    });
 }

@@ -215,10 +215,7 @@ mod tests {
     #[test]
     fn fp64_vector_arithmetic_refused() {
         let p = v10("    vsetvli x5, x10, e64, m1, ta, ma\n    vfadd.vv v2, v0, v1\n    ret\n");
-        assert!(matches!(
-            rollback(&p).unwrap_err(),
-            RollbackError::Fp64Vector { .. }
-        ));
+        assert!(matches!(rollback(&p).unwrap_err(), RollbackError::Fp64Vector { .. }));
     }
 
     #[test]

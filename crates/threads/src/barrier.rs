@@ -25,11 +25,7 @@ impl SpinBarrier {
     /// Panics if `n_threads` is zero.
     pub fn new(n_threads: usize) -> Self {
         assert!(n_threads > 0, "barrier needs at least one participant");
-        SpinBarrier {
-            n_threads,
-            arrived: AtomicUsize::new(0),
-            sense: AtomicBool::new(false),
-        }
+        SpinBarrier { n_threads, arrived: AtomicUsize::new(0), sense: AtomicBool::new(false) }
     }
 
     /// Number of participants.
@@ -41,6 +37,7 @@ impl SpinBarrier {
     /// same `local_sense` generation. Callers must thread their
     /// [`BarrierToken`] through successive waits.
     pub fn wait(&self, token: &mut BarrierToken) {
+        rvhpc_trace::counter!("threads.barrier.waits", 1);
         // Flip the caller's sense for this round.
         token.sense = !token.sense;
         let my_sense = token.sense;
@@ -66,6 +63,7 @@ impl SpinBarrier {
                     std::hint::spin_loop();
                 }
             }
+            rvhpc_trace::counter!("threads.barrier.spins", spins as u64);
         }
     }
 }

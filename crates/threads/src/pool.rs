@@ -10,12 +10,11 @@
 
 use crate::barrier::{BarrierToken, SpinBarrier};
 use crate::schedule::static_chunk;
-use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A lifetime-erased SPMD job: a wide pointer to a `Fn(&mut ThreadCtx)`
@@ -71,7 +70,7 @@ impl ThreadCtx<'_> {
 }
 
 struct Worker {
-    tx: Sender<Message>,
+    tx: SyncSender<Message>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -90,7 +89,10 @@ pub struct Team {
     n_threads: usize,
     cores: Vec<usize>,
     workers: Vec<Worker>,
-    done_rx: Receiver<()>,
+    // std's Receiver is !Sync; the mutex restores Sync for Team and
+    // serialises concurrent dispatchers, which the completion-count
+    // protocol requires anyway.
+    done_rx: Mutex<Receiver<()>>,
     panicked: Arc<AtomicBool>,
 }
 
@@ -109,26 +111,28 @@ impl Team {
         assert!(!cores.is_empty(), "team needs at least one thread");
         let n_threads = cores.len();
         let barrier = Arc::new(SpinBarrier::new(n_threads));
-        let (done_tx, done_rx) = bounded::<()>(n_threads);
+        let (done_tx, done_rx) = sync_channel::<()>(n_threads);
         let panicked = Arc::new(AtomicBool::new(false));
 
         let workers = cores
             .iter()
             .enumerate()
             .map(|(tid, &core)| {
-                let (tx, rx) = bounded::<Message>(1);
+                let (tx, rx) = sync_channel::<Message>(1);
                 let barrier = Arc::clone(&barrier);
                 let done_tx = done_tx.clone();
                 let panicked = Arc::clone(&panicked);
                 let handle = std::thread::Builder::new()
                     .name(format!("rvhpc-worker-{tid}"))
-                    .spawn(move || worker_loop(tid, core, n_threads, barrier, rx, done_tx, panicked))
+                    .spawn(move || {
+                        worker_loop(tid, core, n_threads, barrier, rx, done_tx, panicked)
+                    })
                     .expect("failed to spawn worker thread");
                 Worker { tx, handle: Some(handle) }
             })
             .collect();
 
-        Team { n_threads, cores, workers, done_rx, panicked }
+        Team { n_threads, cores, workers, done_rx: Mutex::new(done_rx), panicked }
     }
 
     /// Team size.
@@ -150,6 +154,12 @@ impl Team {
     where
         F: Fn(&mut ThreadCtx<'_>) + Sync,
     {
+        let _region = rvhpc_trace::span!("threads.region", threads = self.n_threads);
+        rvhpc_trace::counter!("threads.regions", 1);
+        let done_rx = match self.done_rx.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
         let wide: &(dyn Fn(&mut ThreadCtx<'_>) + Sync) = &f;
         // SAFETY: we erase the lifetime of `wide` to send it to workers; the
         // loop below blocks until every worker has sent its completion
@@ -160,7 +170,7 @@ impl Team {
             w.tx.send(Message::Run(Job { f: job_ptr })).expect("worker hung up");
         }
         for _ in 0..self.n_threads {
-            self.done_rx.recv().expect("worker hung up");
+            done_rx.recv().expect("worker hung up");
         }
         if self.panicked.swap(false, Ordering::SeqCst) {
             panic!("a worker thread panicked inside Team::run");
@@ -201,12 +211,9 @@ impl Team {
         let slots: Vec<Mutex<Option<T>>> = (0..self.n_threads).map(|_| Mutex::new(None)).collect();
         self.run(|ctx| {
             let part = map(ctx.chunk(range.clone()));
-            *slots[ctx.tid()].lock() = Some(part);
+            *slots[ctx.tid()].lock().expect("slot poisoned") = Some(part);
         });
-        slots
-            .into_iter()
-            .filter_map(|m| m.into_inner())
-            .reduce(combine)
+        slots.into_iter().filter_map(|m| m.into_inner().expect("slot poisoned")).reduce(combine)
     }
 }
 
@@ -230,16 +237,10 @@ fn worker_loop(
     n_threads: usize,
     barrier: Arc<SpinBarrier>,
     rx: Receiver<Message>,
-    done_tx: Sender<()>,
+    done_tx: SyncSender<()>,
     panicked: Arc<AtomicBool>,
 ) {
-    let mut ctx = ThreadCtx {
-        tid,
-        n_threads,
-        core,
-        barrier: &barrier,
-        token: BarrierToken::new(),
-    };
+    let mut ctx = ThreadCtx { tid, n_threads, core, barrier: &barrier, token: BarrierToken::new() };
     while let Ok(msg) = rx.recv() {
         match msg {
             Message::Run(job) => {
@@ -279,9 +280,9 @@ mod tests {
         let team = Team::with_cores(vec![0, 8, 32, 40]);
         let seen = Mutex::new(Vec::new());
         team.run(|ctx| {
-            seen.lock().push((ctx.tid(), ctx.core(), ctx.n_threads()));
+            seen.lock().unwrap().push((ctx.tid(), ctx.core(), ctx.n_threads()));
         });
-        let mut v = seen.into_inner();
+        let mut v = seen.into_inner().unwrap();
         v.sort_unstable();
         assert_eq!(v, vec![(0, 0, 4), (1, 8, 4), (2, 32, 4), (3, 40, 4)]);
     }
@@ -303,9 +304,7 @@ mod tests {
     fn parallel_reduce_sums_correctly() {
         let team = Team::new(7);
         let n = 10_000usize;
-        let total = team
-            .parallel_reduce(0..n, |chunk| chunk.sum::<usize>(), |a, b| a + b)
-            .unwrap();
+        let total = team.parallel_reduce(0..n, |chunk| chunk.sum::<usize>(), |a, b| a + b).unwrap();
         assert_eq!(total, n * (n - 1) / 2);
     }
 

@@ -29,15 +29,13 @@ pub fn static_chunk(range: Range<usize>, n_threads: usize, tid: usize) -> Range<
 /// All chunks for a team, in thread order. The chunks are disjoint, ordered
 /// and exactly cover `range`.
 pub fn static_chunks(range: Range<usize>, n_threads: usize) -> Vec<Range<usize>> {
-    (0..n_threads)
-        .map(|tid| static_chunk(range.clone(), n_threads, tid))
-        .collect()
+    (0..n_threads).map(|tid| static_chunk(range.clone(), n_threads, tid)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use rvhpc_quickprop::run_cases;
 
     #[test]
     fn even_split() {
@@ -74,29 +72,36 @@ mod tests {
         static_chunk(0..10, 2, 2);
     }
 
-    proptest! {
-        /// Chunks partition the range: disjoint, ordered, exactly covering.
-        #[test]
-        fn chunks_partition_range(start in 0usize..1000, len in 0usize..10_000, t in 1usize..128) {
+    /// Chunks partition the range: disjoint, ordered, exactly covering.
+    #[test]
+    fn chunks_partition_range() {
+        run_cases(256, |g| {
+            let start = g.usize_in(0..=999);
+            let len = g.usize_in(0..=9_999);
+            let t = g.usize_in(1..=127);
             let range = start..start + len;
             let chunks = static_chunks(range.clone(), t);
-            prop_assert_eq!(chunks.len(), t);
+            assert_eq!(chunks.len(), t);
             let mut cursor = range.start;
             for c in &chunks {
-                prop_assert_eq!(c.start, cursor);
-                prop_assert!(c.end >= c.start);
+                assert_eq!(c.start, cursor);
+                assert!(c.end >= c.start);
                 cursor = c.end;
             }
-            prop_assert_eq!(cursor, range.end);
-        }
+            assert_eq!(cursor, range.end);
+        });
+    }
 
-        /// Chunk sizes differ by at most one (static balance property).
-        #[test]
-        fn chunks_are_balanced(len in 0usize..10_000, t in 1usize..128) {
+    /// Chunk sizes differ by at most one (static balance property).
+    #[test]
+    fn chunks_are_balanced() {
+        run_cases(256, |g| {
+            let len = g.usize_in(0..=9_999);
+            let t = g.usize_in(1..=127);
             let sizes: Vec<usize> = static_chunks(0..len, t).iter().map(|c| c.len()).collect();
             let max = *sizes.iter().max().unwrap();
             let min = *sizes.iter().min().unwrap();
-            prop_assert!(max - min <= 1, "sizes {:?}", sizes);
-        }
+            assert!(max - min <= 1, "sizes {sizes:?}");
+        });
     }
 }

@@ -28,11 +28,7 @@ unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 impl<'a, T> SharedSlice<'a, T> {
     /// Wrap a mutable slice for team-wide disjoint access.
     pub fn new(slice: &'a mut [T]) -> Self {
-        SharedSlice {
-            ptr: slice.as_mut_ptr(),
-            len: slice.len(),
-            _marker: PhantomData,
-        }
+        SharedSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
     }
 
     /// Slice length.
@@ -51,6 +47,7 @@ impl<'a, T> SharedSlice<'a, T> {
     /// No two concurrent calls (nor a concurrent [`Self::slice_mut`]) may
     /// touch the same index while either borrow lives.
     #[inline]
+    #[allow(clippy::mut_from_ref)] // disjointness contract documented above
     pub unsafe fn index_mut(&self, i: usize) -> &mut T {
         debug_assert!(i < self.len, "index {i} out of bounds {}", self.len);
         // SAFETY: bounds asserted above; disjointness is the caller's
@@ -65,6 +62,7 @@ impl<'a, T> SharedSlice<'a, T> {
     /// of a static schedule), and no element may simultaneously be borrowed
     /// via [`Self::index_mut`].
     #[inline]
+    #[allow(clippy::mut_from_ref)] // disjointness contract documented above
     pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
         debug_assert!(range.start <= range.end && range.end <= self.len);
         // SAFETY: bounds asserted above; disjointness is the caller's

@@ -1,0 +1,87 @@
+//! Flat metrics-table exporters: markdown and CSV.
+//!
+//! Counters and histogram summaries come out as one table sorted by metric
+//! name (the collector stores them in `BTreeMap`s, so the output is
+//! deterministic for a deterministic run).
+
+use crate::TraceData;
+use std::fmt::Write as _;
+
+/// Render counters and histograms as a markdown table.
+pub fn to_markdown(data: &TraceData) -> String {
+    let mut out = String::new();
+    out.push_str("| metric | kind | count | value |\n");
+    out.push_str("|---|---|---:|---:|\n");
+    for (name, value) in &data.counters {
+        let _ = writeln!(out, "| {name} | counter | {value} | {value} |");
+    }
+    for (name, h) in &data.histograms {
+        let _ = writeln!(
+            out,
+            "| {name} | histogram | {} | mean {:.6} (min {:.6}, max {:.6}) |",
+            h.count,
+            h.mean(),
+            h.min,
+            h.max
+        );
+    }
+    out
+}
+
+/// Render counters and histograms as CSV
+/// (`metric,kind,count,sum,min,max,mean`).
+pub fn to_csv(data: &TraceData) -> String {
+    let mut out = String::from("metric,kind,count,sum,min,max,mean\n");
+    for (name, value) in &data.counters {
+        let _ = writeln!(out, "{name},counter,{value},{value},,,");
+    }
+    for (name, h) in &data.histograms {
+        let _ = writeln!(
+            out,
+            "{name},histogram,{},{},{},{},{}",
+            h.count,
+            h.sum,
+            h.min,
+            h.max,
+            h.mean()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn sample() -> TraceData {
+        let mut data = TraceData::default();
+        data.counters.insert("rvv.retired.vector_fma".into(), 9);
+        data.counters.insert("cachesim.l1.hits".into(), 42);
+        let mut h = Histogram::default();
+        h.record(1.0);
+        h.record(3.0);
+        data.histograms.insert("estimate.seconds".into(), h);
+        data
+    }
+
+    #[test]
+    fn markdown_is_sorted_and_complete() {
+        let md = to_markdown(&sample());
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // BTreeMap order: cachesim before rvv.
+        assert!(lines[2].starts_with("| cachesim.l1.hits | counter | 42"));
+        assert!(lines[3].starts_with("| rvv.retired.vector_fma | counter | 9"));
+        assert!(lines[4].contains("histogram | 2 | mean 2.000000"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,kind,count,sum,min,max,mean");
+        assert_eq!(lines[1], "cachesim.l1.hits,counter,42,42,,,");
+        assert_eq!(lines[3], "estimate.seconds,histogram,2,4,1,3,2");
+    }
+}

@@ -44,8 +44,10 @@ fn main() {
     println!("\n== strong scaling: JACOBI_2D (FP32), SG2042 vs AMD Rome nodes on Slingshot ==");
     println!("(seconds per repetition; communication share in parentheses)\n");
     let net = NetworkKind::Slingshot.network();
-    let sg = strong_scaling(MachineId::Sg2042, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
-    let rome = strong_scaling(MachineId::AmdRome, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
+    let sg =
+        strong_scaling(MachineId::Sg2042, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
+    let rome =
+        strong_scaling(MachineId::AmdRome, &net, KernelName::JACOBI_2D, Precision::Fp32, &NODES);
     println!("{:>7} {:>22} {:>22}", "nodes", "SG2042 cluster", "Rome cluster");
     for i in 0..NODES.len() {
         let f = |p: &rvhpc::cluster::ClusterPoint| {

@@ -45,7 +45,9 @@ fn main() {
             }
         }
     } else {
-        println!("\n({kernel} is modelled by descriptor only — codegen covers the streaming kernels)");
+        println!(
+            "\n({kernel} is modelled by descriptor only — codegen covers the streaming kernels)"
+        );
     }
 
     // The FP64 story: the same kernel compiled at double precision.

@@ -20,10 +20,8 @@ fn main() {
     println!("== single-core class means vs SG2042, {} ==", precision.label());
     println!("(positive = times faster than the SG2042, the paper's Figures 4/5 convention)\n");
     print!("{:<12}", "class");
-    let others: Vec<MachineId> = MachineId::ALL
-        .into_iter()
-        .filter(|&id| id != MachineId::Sg2042)
-        .collect();
+    let others: Vec<MachineId> =
+        MachineId::ALL.into_iter().filter(|&id| id != MachineId::Sg2042).collect();
     for id in &others {
         print!("{:>18}", machine(*id).name.replace("StarFive ", "").replace("Intel ", "i-"));
     }
@@ -35,8 +33,7 @@ fn main() {
             let m = machine(*id);
             let mut vals = Vec::new();
             for k in KernelName::in_class(class) {
-                let base =
-                    estimate_averaged(&sg, k, &RunConfig::sg2042_best(precision, 1)).seconds;
+                let base = estimate_averaged(&sg, k, &RunConfig::sg2042_best(precision, 1)).seconds;
                 let cfg = if id.is_riscv() {
                     RunConfig::sg2042_best(precision, 1)
                 } else {

@@ -39,10 +39,6 @@ pub const CLASS_ORDER: [KernelClass; 6] = [
 /// the shape tests use (1.0 = perfect agreement).
 pub fn geomean_ratio(model: &[f64], paper: &[f64]) -> f64 {
     assert_eq!(model.len(), paper.len());
-    let log_sum: f64 = model
-        .iter()
-        .zip(paper)
-        .map(|(m, p)| (m / p).ln())
-        .sum();
+    let log_sum: f64 = model.iter().zip(paper).map(|(m, p)| (m / p).ln()).sum();
     (log_sum / model.len() as f64).exp()
 }

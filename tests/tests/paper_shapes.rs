@@ -12,16 +12,11 @@ use rvhpc_integration_tests::{geomean_ratio, CLASS_ORDER, PAPER_TABLE2};
 /// within 2× of the paper's quoted bands at both precisions.
 #[test]
 fn fig1_bands_within_2x_of_paper() {
-    for (precision, lo, hi) in
-        [(Precision::Fp64, 4.3, 6.5), (Precision::Fp32, 5.6, 11.8)]
-    {
+    for (precision, lo, hi) in [(Precision::Fp64, 4.3, 6.5), (Precision::Fp32, 5.6, 11.8)] {
         let ratios = fig1::speedup_ratios(MachineId::Sg2042, precision);
         let mut class_means = Vec::new();
         for class in KernelClass::ALL {
-            let vals: Vec<f64> = KernelName::in_class(class)
-                .iter()
-                .map(|k| ratios[k])
-                .collect();
+            let vals: Vec<f64> = KernelName::in_class(class).iter().map(|k| ratios[k]).collect();
             class_means.push(vals.iter().sum::<f64>() / vals.len() as f64);
         }
         let min = class_means.iter().copied().fold(f64::INFINITY, f64::min);
@@ -37,10 +32,8 @@ fn fig1_bands_within_2x_of_paper() {
 fn table2_speedups_track_paper_within_2x() {
     let table = scaling::table2();
     for row in PAPER_TABLE2 {
-        let model: Vec<f64> = CLASS_ORDER
-            .iter()
-            .map(|&c| table.cell(row.threads, c).speedup)
-            .collect();
+        let model: Vec<f64> =
+            CLASS_ORDER.iter().map(|&c| table.cell(row.threads, c).speedup).collect();
         let g = geomean_ratio(&model, &row.speedups);
         assert!(
             (0.5..=2.0).contains(&g),
@@ -115,11 +108,7 @@ fn x86_orderings_match_conclusions() {
         }
     }
     for fig in [x86::fig6(), x86::fig7()] {
-        let snb = fig
-            .series
-            .iter()
-            .find(|s| s.label.contains("Sandybridge"))
-            .unwrap();
+        let snb = fig.series.iter().find(|s| s.label.contains("Sandybridge")).unwrap();
         assert!(
             snb.overall_mean() < 0.0,
             "{}: SNB must lose multithreaded: {}",
@@ -135,20 +124,11 @@ fn x86_orderings_match_conclusions() {
 #[test]
 fn sandybridge_is_the_single_core_crossover() {
     for fig in [x86::fig4(), x86::fig5()] {
-        let snb = fig
-            .series
-            .iter()
-            .find(|s| s.label.contains("Sandybridge"))
-            .unwrap()
-            .overall_mean();
+        let snb =
+            fig.series.iter().find(|s| s.label.contains("Sandybridge")).unwrap().overall_mean();
         assert!(snb.abs() < 1.5, "{}: SNB should be near parity, got {snb}", fig.id);
         for name in ["Rome", "Broadwell", "Icelake"] {
-            let other = fig
-                .series
-                .iter()
-                .find(|s| s.label.contains(name))
-                .unwrap()
-                .overall_mean();
+            let other = fig.series.iter().find(|s| s.label.contains(name)).unwrap().overall_mean();
             assert!(other > snb, "{}: {name} should beat SNB's margin", fig.id);
         }
     }

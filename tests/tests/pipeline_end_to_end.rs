@@ -38,11 +38,8 @@ fn clang_pipeline_matches_native_kernel_semantics() {
     m.run(&program, 1_000_000).expect("executes");
 
     let y = m.read_f32s(n * 4, n);
-    let interp_checksum: f64 = y
-        .iter()
-        .enumerate()
-        .map(|(i, v)| *v as f64 / ((i % 8) as f64 + 1.0))
-        .sum();
+    let interp_checksum: f64 =
+        y.iter().enumerate().map(|(i, v)| *v as f64 / ((i % 8) as f64 + 1.0)).sum();
     let tol = native_checksum.abs() * 1e-5;
     assert!(
         (interp_checksum - native_checksum).abs() < tol,

@@ -1,25 +1,24 @@
 //! Cross-crate property tests on the substrates: the RVV rollback
 //! equivalence contract, analytic-vs-trace cache agreement, and threading
-//! determinism, each driven by proptest.
+//! determinism, each driven by rvhpc-quickprop.
 
-use proptest::prelude::*;
-use rvhpc::cachesim::{AccessKind, CacheConfig, Hierarchy, LevelConfig, Pattern, TrafficModel};
 use rvhpc::cachesim::analytic::AccessSpec;
+use rvhpc::cachesim::{AccessKind, CacheConfig, Hierarchy, LevelConfig, Pattern, TrafficModel};
 use rvhpc::compiler::codegen::{generate, setup_machine, SUPPORTED};
 use rvhpc::compiler::VectorMode;
 use rvhpc::rvv::{rollback, Dialect, Machine, Sew};
 use rvhpc::threads::Team;
+use rvhpc_quickprop::run_cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// THE rollback contract: for every supported FP32 streaming kernel and
-    /// every element count, executing the generated v1.0 program under v1.0
-    /// semantics and its rollback under v0.7.1 semantics leaves identical
-    /// memory and identical scalar results.
-    #[test]
-    fn rollback_preserves_semantics(kernel_idx in 0usize..SUPPORTED.len(), n in 1usize..200) {
-        let kernel = SUPPORTED[kernel_idx];
+/// THE rollback contract: for every supported FP32 streaming kernel and
+/// every element count, executing the generated v1.0 program under v1.0
+/// semantics and its rollback under v0.7.1 semantics leaves identical
+/// memory and identical scalar results.
+#[test]
+fn rollback_preserves_semantics() {
+    run_cases(32, |g| {
+        let kernel = *g.choose(&SUPPORTED);
+        let n = g.usize_in(1..=199);
         let program10 = generate(kernel, VectorMode::Vla, Sew::E32).expect("supported");
         let program071 = rollback(&program10).expect("FP32 code rolls back");
 
@@ -31,30 +30,35 @@ proptest! {
         setup_machine(&mut m071, kernel, Sew::E32, n);
         m071.run(&program071, 10_000_000).expect("v0.7.1 runs");
 
-        prop_assert_eq!(m10.mem(), m071.mem(), "{} n={}", kernel, n);
+        assert_eq!(m10.mem(), m071.mem(), "{kernel} n={n}");
         // Reductions leave their result in f2.
-        prop_assert_eq!(m10.f(2).to_bits(), m071.f(2).to_bits());
-    }
+        assert_eq!(m10.f(2).to_bits(), m071.f(2).to_bits());
+    });
+}
 
-    /// Analytic traffic model vs trace-driven simulator for repeated
-    /// sequential sweeps across random geometries.
-    #[test]
-    fn analytic_matches_trace_for_sweeps(
-        footprint_kb in 1usize..256,
-        passes in 1u32..6,
-        l1_kb in prop::sample::select(vec![4usize, 8, 16, 32]),
-        l2_kb in prop::sample::select(vec![64usize, 128, 256]),
-    ) {
+/// Analytic traffic model vs trace-driven simulator for repeated
+/// sequential sweeps across random geometries.
+#[test]
+fn analytic_matches_trace_for_sweeps() {
+    run_cases(32, |g| {
+        let l1_kb = *g.choose(&[4usize, 8, 16, 32]);
+        let l2_kb = *g.choose(&[64usize, 128, 256]);
+        let passes = g.u64_in(1..=5) as u32;
         let l1 = CacheConfig { size_bytes: l1_kb * 1024, line_bytes: 64, associativity: 4 };
         let l2 = CacheConfig { size_bytes: l2_kb * 1024, line_bytes: 64, associativity: 8 };
-        let footprint = footprint_kb * 1024;
         // The analytic model is deliberately binary (fits → reuse, exceeds →
         // thrash); real set-associative LRU transitions gradually right at
-        // the capacity point, so skip footprints within ±30 % of either
-        // capacity (documented model limitation, DESIGN.md §6).
-        for cap in [l1.size_bytes, l2.size_bytes] {
-            prop_assume!(footprint < cap * 7 / 10 || footprint > cap * 13 / 10);
-        }
+        // the capacity point, so only generate footprints clear of ±30 % of
+        // either capacity (documented model limitation, DESIGN.md §6).
+        let footprint = loop {
+            let fp = g.usize_in(1..=255) * 1024;
+            let clear = [l1.size_bytes, l2.size_bytes]
+                .iter()
+                .all(|&cap| fp < cap * 7 / 10 || fp > cap * 13 / 10);
+            if clear {
+                break fp;
+            }
+        };
 
         let mut h = Hierarchy::new(&[LevelConfig { cache: l1 }, LevelConfig { cache: l2 }]);
         let pat = Pattern::Repeated {
@@ -76,17 +80,20 @@ proptest! {
         // Exact agreement except at the capacity boundary (set-conflict
         // edge effects): allow 5 % + one pass of slack there.
         let tol = 0.05 * traced_dram.max(footprint as f64);
-        prop_assert!(
+        assert!(
             (predicted - traced_dram).abs() <= tol,
-            "footprint {} passes {}: analytic {} vs trace {}",
-            footprint, passes, predicted, traced_dram
+            "footprint {footprint} passes {passes}: analytic {predicted} vs trace {traced_dram}"
         );
-    }
+    });
+}
 
-    /// parallel_for over any range with any team size touches each index
-    /// exactly once (worksharing correctness).
-    #[test]
-    fn parallel_for_is_a_partition(n in 0usize..5000, threads in 1usize..9) {
+/// parallel_for over any range with any team size touches each index
+/// exactly once (worksharing correctness).
+#[test]
+fn parallel_for_is_a_partition() {
+    run_cases(32, |g| {
+        let n = g.usize_in(0..=4999);
+        let threads = g.usize_in(1..=8);
         let team = Team::new(threads);
         let hits: Vec<std::sync::atomic::AtomicU32> =
             (0..n).map(|_| std::sync::atomic::AtomicU32::new(0)).collect();
@@ -94,27 +101,27 @@ proptest! {
             hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         for (i, h) in hits.iter().enumerate() {
-            prop_assert_eq!(h.load(std::sync::atomic::Ordering::Relaxed), 1, "index {}", i);
+            assert_eq!(h.load(std::sync::atomic::Ordering::Relaxed), 1, "index {i}");
         }
-    }
+    });
+}
 
-    /// Reductions are deterministic for a fixed team size regardless of
-    /// scheduling noise.
-    #[test]
-    fn reduction_deterministic_across_runs(n in 1usize..10_000, threads in 1usize..9) {
+/// Reductions are deterministic for a fixed team size regardless of
+/// scheduling noise.
+#[test]
+fn reduction_deterministic_across_runs() {
+    run_cases(32, |g| {
+        let n = g.usize_in(1..=9_999);
+        let threads = g.usize_in(1..=8);
         let team = Team::new(threads);
         let data: Vec<f64> = (0..n).map(|i| (i as f64) * 0.001 - 2.0).collect();
         let run = || {
-            team.parallel_reduce(
-                0..n,
-                |chunk| chunk.map(|i| data[i]).sum::<f64>(),
-                |a, b| a + b,
-            )
-            .expect("non-empty team")
+            team.parallel_reduce(0..n, |chunk| chunk.map(|i| data[i]).sum::<f64>(), |a, b| a + b)
+                .expect("non-empty team")
         };
         let first = run();
         for _ in 0..3 {
-            prop_assert_eq!(run().to_bits(), first.to_bits());
+            assert_eq!(run().to_bits(), first.to_bits());
         }
-    }
+    });
 }

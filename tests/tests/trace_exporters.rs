@@ -1,0 +1,123 @@
+//! Golden tests for the tracing layer's exporters: a traced run must
+//! produce valid Chrome-trace JSON (parseable, complete `X` events,
+//! monotonic timestamps) with spans from at least four crates, and
+//! disabling tracing must leave report output byte-identical.
+
+use rvhpc::cachesim::{AccessKind, CacheConfig, Hierarchy, LevelConfig};
+use rvhpc::experiments::fig2;
+use rvhpc::kernels::{make_kernel, KernelName};
+use rvhpc::machines::{machine, MachineId};
+use rvhpc::perfmodel::{estimate, Precision, RunConfig};
+use rvhpc::threads::Team;
+use rvhpc_trace::json::Json;
+use std::sync::Mutex;
+
+/// The collector is process-global, so the tests in this binary must not
+/// toggle the enable flag concurrently.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Drive every instrumented subsystem once: the estimator (perfmodel →
+/// compiler → rvv), a native fork-join region (threads), a cache replay
+/// (cachesim), and a kernel instantiation (kernels).
+fn traced_mini_run() -> rvhpc_trace::TraceData {
+    rvhpc_trace::set_enabled(true);
+    rvhpc_trace::take();
+
+    let m = machine(MachineId::Sg2042);
+    let _ = estimate(&m, KernelName::STREAM_TRIAD, &RunConfig::sg2042_best(Precision::Fp32, 4));
+
+    let team = Team::new(2);
+    team.run(|_| {});
+
+    let mut h = Hierarchy::new(&[LevelConfig {
+        cache: CacheConfig { size_bytes: 4096, line_bytes: 64, associativity: 4 },
+    }]);
+    h.replay((0..256u64).map(|i| (i * 64, AccessKind::Load)));
+
+    let mut k = make_kernel::<f64>(KernelName::DAXPY, 256);
+    k.run_serial();
+
+    rvhpc_trace::set_enabled(false);
+    rvhpc_trace::take()
+}
+
+#[test]
+fn chrome_export_is_valid_and_covers_four_crates() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let data = traced_mini_run();
+    assert!(!data.events.is_empty(), "mini-run produced no spans");
+
+    let text = rvhpc_trace::chrome::export(&data);
+    let doc = Json::parse(&text).expect("chrome export parses as JSON");
+
+    let events = doc.get("traceEvents").and_then(Json::as_arr).expect("traceEvents array");
+    assert_eq!(events.len(), data.events.len());
+
+    let mut last_ts = f64::MIN;
+    let mut crates = std::collections::BTreeSet::new();
+    for ev in events {
+        // Complete events only, with the fields chrome://tracing needs.
+        assert_eq!(ev.get("ph").and_then(Json::as_str), Some("X"));
+        let name = ev.get("name").and_then(Json::as_str).expect("name");
+        let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+        let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+        assert!(ev.get("tid").and_then(Json::as_f64).is_some());
+        assert!(ev.get("pid").and_then(Json::as_f64).is_some());
+        assert!(dur >= 0.0, "negative duration on {name}");
+        assert!(ts >= last_ts, "timestamps not monotonic at {name}");
+        last_ts = ts;
+        crates.insert(name.split('.').next().expect("dotted name").to_string());
+    }
+    assert!(crates.len() >= 4, "spans from ≥4 crates expected, got {crates:?}");
+    for expected in ["perfmodel", "threads", "cachesim", "kernels"] {
+        assert!(crates.contains(expected), "missing {expected} in {crates:?}");
+    }
+
+    // Counters and histograms ride along in the metadata object.
+    let metadata = doc.get("metadata").expect("metadata");
+    assert!(metadata.get("counters").is_some());
+    assert!(metadata.get("histograms").is_some());
+}
+
+#[test]
+fn metrics_exporters_cover_every_counter() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let data = traced_mini_run();
+    assert!(!data.counters.is_empty(), "mini-run produced no counters");
+
+    let md = rvhpc_trace::metrics::to_markdown(&data);
+    let csv = rvhpc_trace::metrics::to_csv(&data);
+    for name in data.counters.keys() {
+        assert!(md.contains(name.as_str()), "markdown missing {name}");
+        assert!(csv.contains(name.as_str()), "csv missing {name}");
+    }
+    for name in data.histograms.keys() {
+        assert!(md.contains(name.as_str()), "markdown missing {name}");
+        assert!(csv.contains(name.as_str()), "csv missing {name}");
+    }
+}
+
+/// Tracing must be observation-only: the same artefact rendered with the
+/// collector enabled and disabled is byte-identical.
+#[test]
+fn disabling_tracing_leaves_reports_byte_identical() {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    rvhpc_trace::set_enabled(false);
+    rvhpc_trace::take();
+    let fig = fig2::run();
+    let plain = format!("{}\n{}", fig.to_markdown(), fig.to_csv());
+
+    rvhpc_trace::set_enabled(true);
+    rvhpc_trace::take();
+    let fig = fig2::run();
+    let traced = format!("{}\n{}", fig.to_markdown(), fig.to_csv());
+    rvhpc_trace::set_enabled(false);
+    let data = rvhpc_trace::take();
+
+    assert_eq!(plain, traced, "tracing changed report output");
+    assert!(
+        data.events.iter().any(|e| e.name == "perfmodel.estimate"),
+        "the traced regeneration recorded no estimator spans"
+    );
+}
