@@ -11,6 +11,8 @@
 //!                            # component breakdown of one estimate
 //! repro calibrate            # headline ratios vs the paper's quoted numbers
 //! repro native [scale]       # run the real kernels on this host
+//! repro verify [--seed N] [--cases M] [--inject <fault>] [--replay <file>]
+//!                            # differential/metamorphic cross-checks
 //! repro help                 # this usage text
 //!
 //! repro --csv <artefact>     # CSV instead of markdown
@@ -39,6 +41,12 @@ commands:\n  \
 component breakdown of one estimate\n  \
   calibrate               headline ratios vs the paper's quoted numbers\n  \
   native [scale]          run the real kernels on this host\n  \
+  verify [--seed N] [--cases M] [--inject <fault>] [--replay <file>]\n                          \
+cross-check every redundant code path pair under\n                          \
+seed-reproducible random inputs (RVV interpreter vs\n                          \
+scalar reference, analytic vs trace cache model,\n                          \
+parallel vs serial executors, perfmodel metamorphic\n                          \
+properties); failures write a replayable artefact\n  \
   help                    this text\n\
 flags:\n  \
   --csv                   CSV instead of markdown\n  \
@@ -58,6 +66,11 @@ enum Format {
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    // `verify` takes valued flags (--seed N, ...) that the global flag loop
+    // would reject, so it dispatches before flag parsing.
+    if args.first().map(String::as_str) == Some("verify") {
+        verify(&args[1..]);
+    }
     let mut format = Format::Markdown;
     let mut trace = false;
     let mut positional: Vec<&str> = Vec::new();
@@ -140,7 +153,7 @@ fn run_command(cmd: &str, positional: &[&str], format: Format) {
                 }
             }
         }
-        "explain" => explain(positional),
+        "explain" => explain(positional, format),
         "calibrate" => calibrate(),
         "native" => native(positional),
         "all" => {
@@ -195,7 +208,7 @@ fn emit_table(t: rvhpc::TableReport, format: Format) {
 
 /// `repro explain <machine> <kernel> [fp32|fp64] [threads]` — attribute one
 /// estimate to its components so calibration drift has somewhere to point.
-fn explain(positional: &[&str]) {
+fn explain(positional: &[&str], format: Format) {
     let (Some(machine_tok), Some(kernel_label)) = (positional.get(1), positional.get(2)) else {
         eprintln!("usage: repro explain <machine> <kernel> [fp32|fp64] [threads]");
         eprintln!("machines: {}", machine_tokens());
@@ -231,7 +244,121 @@ fn explain(positional: &[&str]) {
         RunConfig::x86(precision, threads)
     };
     let m = machine(id);
-    print!("{}", rvhpc::perfmodel::explain(&m, kernel, &cfg).to_text());
+    let ex = rvhpc::perfmodel::explain(&m, kernel, &cfg);
+    if format == Format::Json {
+        println!("{}", ex.to_json().pretty());
+    } else {
+        print!("{}", ex.to_text());
+    }
+}
+
+/// `repro verify` — run every differential/metamorphic oracle, or replay a
+/// recorded failure artefact. Exits 0 when everything agrees.
+fn verify(args: &[String]) -> ! {
+    use rvhpc::verify::{artefact, replay_case, run_all, Fault, VerifyConfig, ORACLES};
+
+    const VERIFY_USAGE: &str = "usage: repro verify [--seed N] [--cases M] \
+                                [--inject none|reduction-op] [--replay <file>]";
+    let mut seed = rvhpc_quickprop::base_seed();
+    let mut cases: u64 = 200;
+    let mut inject = Fault::None;
+    let mut replay: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{VERIFY_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--seed" => {
+                let v = value("--seed");
+                seed = rvhpc_quickprop::parse_seed(&v).unwrap_or_else(|| {
+                    eprintln!("cannot parse seed `{v}` (decimal or 0x-hex)");
+                    std::process::exit(2);
+                });
+            }
+            "--cases" => {
+                let v = value("--cases");
+                cases = v.parse().unwrap_or_else(|_| {
+                    eprintln!("cannot parse case count `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--inject" => {
+                let v = value("--inject");
+                inject = Fault::from_token(&v).unwrap_or_else(|| {
+                    eprintln!("unknown fault `{v}` (known: none, reduction-op)");
+                    std::process::exit(2);
+                });
+            }
+            "--replay" => replay = Some(value("--replay")),
+            other => {
+                eprintln!("unknown verify argument `{other}`\n{VERIFY_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = replay {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let spec = artefact::parse_replay(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "replaying {} case seed {:#x} (inject: {})",
+            spec.oracle,
+            spec.case_seed,
+            spec.inject.label()
+        );
+        match replay_case(&spec.oracle, spec.case_seed, spec.inject) {
+            Ok(()) => {
+                println!("PASS — the recorded case no longer fails");
+                std::process::exit(0);
+            }
+            Err(detail) => {
+                println!("FAIL — {detail}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!(
+        "verify: seed {seed:#x}, {cases} case(s) per oracle, inject: {} — oracles: {}",
+        inject.label(),
+        ORACLES.join(", ")
+    );
+    let cfg = VerifyConfig { seed, cases, inject };
+    let reports = run_all(&cfg);
+    let mut failed = false;
+    for r in &reports {
+        if r.passed() {
+            println!("  PASS {:<22} {} case(s)", r.oracle, r.cases_run);
+            continue;
+        }
+        failed = true;
+        for f in &r.failures {
+            println!("  FAIL {:<22} case {} (seed {:#x})", r.oracle, f.case_index, f.case_seed);
+            println!("       {}", f.detail);
+            println!("       minimized: {}", f.minimized);
+            println!("       minimized: {}", f.minimized_detail);
+            let path = format!("verify-failure-{}.json", r.oracle);
+            match std::fs::write(&path, f.artefact.pretty()) {
+                Ok(()) => println!("       artefact written to {path}"),
+                Err(e) => eprintln!("       cannot write {path}: {e}"),
+            }
+            println!(
+                "       replay: repro verify --replay {path}   (or --seed {:#x} --cases 1)",
+                f.case_seed
+            );
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 fn machine_tokens() -> String {

@@ -51,3 +51,4 @@ pub use rvhpc_machines as machines;
 pub use rvhpc_perfmodel as perfmodel;
 pub use rvhpc_rvv as rvv;
 pub use rvhpc_threads as threads;
+pub use rvhpc_verify as verify;

@@ -16,6 +16,7 @@ use crate::TimeEstimate;
 use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::KernelName;
 use rvhpc_machines::Machine;
+use rvhpc_trace::json::Json;
 use std::fmt::Write as _;
 
 /// Where one kernel stream's per-thread working set settles.
@@ -194,6 +195,99 @@ impl Explanation {
         let _ = writeln!(out, "  barrier_ns_per_thread   {:.1}", c.barrier_ns_per_thread);
         out
     }
+
+    /// The full breakdown as JSON (machine-readable `repro explain --json`).
+    pub fn to_json(&self) -> Json {
+        let e = &self.estimate;
+        let c = &self.calibration;
+        Json::obj(vec![
+            ("machine", Json::str(&self.machine)),
+            ("kernel", Json::str(self.kernel.label())),
+            (
+                "config",
+                Json::obj(vec![
+                    ("precision", Json::str(self.config.precision.label())),
+                    ("toolchain", Json::str(self.config.toolchain.label())),
+                    ("mode", Json::str(format!("{:?}", self.config.mode))),
+                    ("placement", Json::str(format!("{:?}", self.config.placement))),
+                    ("vectorize", Json::Bool(self.config.vectorize)),
+                    ("threads", Json::Num(self.config.threads as f64)),
+                ]),
+            ),
+            ("size", Json::Num(self.size as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("effective_threads", Json::Num(self.effective_threads)),
+            ("out_of_order", Json::Bool(self.out_of_order)),
+            (
+                "estimate",
+                Json::obj(vec![
+                    ("seconds", Json::Num(e.seconds)),
+                    ("compute_seconds", Json::Num(e.compute_seconds)),
+                    ("memory_seconds", Json::Num(e.memory_seconds)),
+                    ("overhead_seconds", Json::Num(e.overhead_seconds)),
+                    ("vector_path", Json::Bool(e.vector_path)),
+                ]),
+            ),
+            ("busy_seconds", Json::Num(self.busy_seconds())),
+            ("overlap_rule", Json::str(self.overlap_rule())),
+            (
+                "vector",
+                Json::obj(vec![
+                    ("active", Json::Bool(self.vector.active)),
+                    ("lanes", Json::Num(f64::from(self.vector.lanes))),
+                    ("mode", Json::str(format!("{:?}", self.vector.mode))),
+                    (
+                        "measured_vla_ratio",
+                        self.vector.measured_vla_ratio.map_or(Json::Null, Json::Num),
+                    ),
+                ]),
+            ),
+            (
+                "residency",
+                Json::Arr(
+                    self.residency
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("stream", Json::str(r.stream)),
+                                ("footprint_bytes", Json::Num(r.footprint_bytes)),
+                                ("home", Json::str(r.home_label())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "workload",
+                Json::obj(vec![
+                    ("iterations", Json::Num(self.iterations)),
+                    ("fp_ops", Json::Num(self.fp_ops)),
+                    ("fp_expensive", Json::Num(self.fp_expensive)),
+                    ("int_ops", Json::Num(self.int_ops)),
+                ]),
+            ),
+            (
+                "calibration",
+                Json::obj(vec![
+                    ("scalar_flops_per_cycle", Json::Num(c.scalar_flops_per_cycle)),
+                    ("int_ops_per_cycle", Json::Num(c.int_ops_per_cycle)),
+                    ("expensive_op_cycles", Json::Num(c.expensive_op_cycles)),
+                    ("loop_overhead_cycles", Json::Num(c.loop_overhead_cycles)),
+                    ("vector_efficiency", Json::Num(c.vector_efficiency)),
+                    ("vla_overhead", Json::Num(c.vla_overhead)),
+                    ("gather_retention", Json::Num(c.gather_retention)),
+                    ("mlp", Json::Num(c.mlp)),
+                    ("per_core_stream_bw", Json::Num(c.per_core_stream_bw)),
+                    ("scalar_stream_fraction", Json::Num(c.scalar_stream_fraction)),
+                    ("scalar_store_penalty", Json::Num(c.scalar_store_penalty)),
+                    ("dram_efficiency", Json::Num(c.dram_efficiency)),
+                    ("queue_sensitivity", Json::Num(c.queue_sensitivity)),
+                    ("barrier_ns_base", Json::Num(c.barrier_ns_base)),
+                    ("barrier_ns_per_thread", Json::Num(c.barrier_ns_per_thread)),
+                ]),
+            ),
+        ])
+    }
 }
 
 /// Explain one estimate at the suite's standard problem size.
@@ -317,6 +411,22 @@ mod tests {
         assert!(text.contains("EXECUTES"));
         assert!(text.contains("queue_sensitivity"));
         assert!(text.contains("fork-join overhead"));
+    }
+
+    #[test]
+    fn json_report_round_trips_and_sums() {
+        let m = machine(MachineId::Sg2042);
+        let ex =
+            explain(&m, KernelName::STREAM_TRIAD, &RunConfig::sg2042_best(Precision::Fp32, 32));
+        let j = ex.to_json();
+        let parsed = Json::parse(&j.render()).expect("rendered JSON must parse");
+        assert_eq!(parsed, j, "render/parse round trip");
+        let est = parsed.get("estimate").unwrap();
+        let busy = parsed.get("busy_seconds").and_then(Json::as_f64).unwrap();
+        let overhead = est.get("overhead_seconds").and_then(Json::as_f64).unwrap();
+        let seconds = est.get("seconds").and_then(Json::as_f64).unwrap();
+        assert!((busy + overhead - seconds).abs() <= 1e-12 * seconds.max(1e-300));
+        assert_eq!(parsed.get("kernel").and_then(Json::as_str), Some("Stream_TRIAD"));
     }
 
     #[test]

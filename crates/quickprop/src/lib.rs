@@ -2,10 +2,18 @@
 //!
 //! The build environment is offline, so `proptest` is unavailable; this is
 //! the workspace-internal replacement. It covers what our property tests
-//! actually use: a seedable generator of primitive values and ranges, and
-//! a driver that runs a property over many generated cases and reports the
-//! failing seed. No shrinking — failures print the case index and seed so
-//! a run can be reproduced exactly with [`run_case`].
+//! actually use: a seedable generator of primitive values and ranges, a
+//! driver that runs a property over many generated cases, and — since the
+//! verification harness (`rvhpc-verify`) leans on it — counterexample
+//! *shrinking*. Every [`Gen`] records the raw 64-bit draws it hands out
+//! (its *tape*); on failure the driver replays mutated tapes through the
+//! property to find a smaller failing case, because shrinking the raw
+//! draws shrinks whatever structured value the property built from them.
+//!
+//! Reproducing failures:
+//! * every failure panic carries the failing seed; rerun it with
+//!   [`run_case`] or by exporting `RVHPC_SEED=<seed>`;
+//! * the minimized tape in the message replays with [`run_tape`].
 //!
 //! ```
 //! use rvhpc_quickprop::{run_cases, Gen};
@@ -20,24 +28,56 @@
 
 use std::ops::RangeInclusive;
 
-/// A deterministic pseudo-random generator (splitmix64 core).
+enum Source {
+    /// Fresh pseudo-random values (splitmix64).
+    Rng { state: u64 },
+    /// Replay of a recorded tape; exhausted positions yield 0, which every
+    /// derived generator maps to the low end of its range.
+    Tape { tape: Vec<u64>, pos: usize },
+}
+
+/// A deterministic pseudo-random generator (splitmix64 core) that records
+/// every raw draw so failing cases can be shrunk and replayed.
 pub struct Gen {
-    state: u64,
+    source: Source,
+    recorded: Vec<u64>,
 }
 
 impl Gen {
     /// A generator with an explicit seed.
     pub fn new(seed: u64) -> Gen {
-        Gen { state: seed }
+        Gen { source: Source::Rng { state: seed }, recorded: Vec::new() }
     }
 
-    /// Next raw 64-bit value (splitmix64).
+    /// A generator that replays a recorded tape instead of drawing fresh
+    /// values. Reads past the end of the tape return 0.
+    pub fn from_tape(tape: &[u64]) -> Gen {
+        Gen { source: Source::Tape { tape: tape.to_vec(), pos: 0 }, recorded: Vec::new() }
+    }
+
+    /// Next raw 64-bit value (splitmix64, or the next tape entry).
     pub fn u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        let v = match &mut self.source {
+            Source::Rng { state } => {
+                *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = *state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+            Source::Tape { tape, pos } => {
+                let v = if *pos < tape.len() { tape[*pos] } else { 0 };
+                *pos += 1;
+                v
+            }
+        };
+        self.recorded.push(v);
+        v
+    }
+
+    /// The raw draws handed out so far, in order.
+    pub fn tape(&self) -> &[u64] {
+        &self.recorded
     }
 
     /// A `u64` in an inclusive range.
@@ -98,26 +138,178 @@ impl Gen {
 /// property test exercises the same cases.
 pub const BASE_SEED: u64 = 0x5eed_cafe_f00d_0001;
 
-fn case_seed(case: u64) -> u64 {
-    BASE_SEED ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+/// How many candidate replays a shrink is allowed before giving up.
+const SHRINK_BUDGET: usize = 2000;
+
+/// Parse a seed in decimal or `0x`-prefixed hex.
+pub fn parse_seed(s: &str) -> Option<u64> {
+    let t = s.trim();
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        t.parse().ok()
+    }
 }
 
-/// Run `prop` over `cases` deterministic generated cases. On panic,
-/// reports the case index and seed, then re-panics with the original
-/// message.
+/// The base seed for this process: [`BASE_SEED`] unless the `RVHPC_SEED`
+/// environment variable overrides it (decimal or `0x`-hex).
+pub fn base_seed() -> u64 {
+    match std::env::var("RVHPC_SEED") {
+        Ok(s) => parse_seed(&s)
+            .unwrap_or_else(|| panic!("RVHPC_SEED must be a decimal or 0x-hex u64, got {s:?}")),
+        Err(_) => BASE_SEED,
+    }
+}
+
+/// Derive the seed of case `case` from a base seed.
+pub fn case_seed(base: u64, case: u64) -> u64 {
+    base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `f` with the default panic hook replaced by a no-op, so candidate
+/// replays during shrinking do not spam stderr with backtraces.
+fn with_silent_panics<T>(f: impl FnOnce() -> T) -> T {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+/// Greedily shrink a failing tape: try truncating it and shrinking
+/// individual draws toward zero, keeping any candidate that still fails,
+/// until a whole sweep makes no progress or the budget runs out.
+pub fn shrink_tape(tape: &[u64], mut fails: impl FnMut(&[u64]) -> bool, budget: usize) -> Vec<u64> {
+    let mut cur = tape.to_vec();
+    let mut spent = 0usize;
+    while spent < budget {
+        let mut improved = false;
+        'sweep: {
+            for keep in [0, cur.len() / 4, cur.len() / 2, cur.len().saturating_sub(1)] {
+                if keep >= cur.len() || spent >= budget {
+                    continue;
+                }
+                let cand = cur[..keep].to_vec();
+                spent += 1;
+                if fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                    break 'sweep;
+                }
+            }
+            for i in 0..cur.len() {
+                let v = cur[i];
+                for nv in [0, v >> 1, v.wrapping_sub(1)] {
+                    if nv >= v || spent >= budget {
+                        continue;
+                    }
+                    let mut cand = cur.clone();
+                    cand[i] = nv;
+                    spent += 1;
+                    if fails(&cand) {
+                        cur = cand;
+                        improved = true;
+                        break 'sweep;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    cur
+}
+
+/// Greedily minimize an arbitrary failing value: `candidates` proposes
+/// strictly-simpler variants, `still_fails` replays them, and the first
+/// variant that still fails becomes the new current value. Stops at a
+/// fixpoint or when `budget` replays have been spent.
+pub fn minimize<T: Clone>(
+    initial: T,
+    candidates: impl Fn(&T) -> Vec<T>,
+    still_fails: impl Fn(&T) -> bool,
+    budget: usize,
+) -> T {
+    let mut cur = initial;
+    let mut spent = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if spent >= budget {
+                return cur;
+            }
+            spent += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// Run `prop` over `cases` deterministic generated cases (seeded from
+/// [`base_seed`], so `RVHPC_SEED` reruns a specific schedule). On failure
+/// the tape of raw draws is shrunk to a minimal failing case and the
+/// panic message carries the seed, the minimized tape, and both failure
+/// messages.
 pub fn run_cases(cases: u64, prop: impl Fn(&mut Gen)) {
+    let base = base_seed();
     for case in 0..cases {
-        let seed = case_seed(case);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut gen = Gen::new(seed);
-            prop(&mut gen);
-        }));
+        let seed = case_seed(base, case);
+        let mut gen = Gen::new(seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(&mut gen)));
         if let Err(payload) = result {
+            let msg = panic_message(&*payload);
+            let failing = gen.tape().to_vec();
+            let (tape, min_msg) = with_silent_panics(|| {
+                let replay_fails = |t: &[u64]| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut g = Gen::from_tape(t);
+                        prop(&mut g);
+                    }))
+                    .is_err()
+                };
+                let tape = shrink_tape(&failing, replay_fails, SHRINK_BUDGET);
+                let min_msg = if tape == failing {
+                    msg.clone()
+                } else {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut g = Gen::from_tape(&tape);
+                        prop(&mut g);
+                    }))
+                    .err()
+                    .map(|p| panic_message(&*p))
+                    .unwrap_or_else(|| "<minimized tape no longer fails>".to_string())
+                };
+                (tape, min_msg)
+            });
             eprintln!(
                 "quickprop: property failed at case {case}/{cases} (seed {seed:#x}); \
-                 reproduce with run_case({seed:#x}, ..)"
+                 reproduce with RVHPC_SEED={seed:#x} or run_case({seed:#x}, ..); \
+                 minimized to {} of {} draws, replay with run_tape(&{tape:?}, ..)",
+                tape.len(),
+                failing.len(),
             );
-            std::panic::resume_unwind(payload);
+            panic!(
+                "property failed at case {case} (seed {seed:#x}; rerun with \
+                 RVHPC_SEED={seed:#x} or run_case({seed:#x}, ..)); minimized tape \
+                 run_tape(&{tape:?}, ..) fails with: {min_msg}; original failure: {msg}"
+            );
         }
     }
 }
@@ -126,6 +318,12 @@ pub fn run_cases(cases: u64, prop: impl Fn(&mut Gen)) {
 /// failure).
 pub fn run_case(seed: u64, prop: impl FnOnce(&mut Gen)) {
     let mut gen = Gen::new(seed);
+    prop(&mut gen);
+}
+
+/// Re-run a property against a recorded (typically minimized) tape.
+pub fn run_tape(tape: &[u64], prop: impl FnOnce(&mut Gen)) {
+    let mut gen = Gen::from_tape(tape);
     prop(&mut gen);
 }
 
@@ -172,6 +370,111 @@ mod tests {
         run_cases(10, |g| {
             let _ = g.u64();
             panic!("boom");
+        });
+    }
+
+    #[test]
+    fn tape_records_and_replays() {
+        let mut g = Gen::new(3);
+        let vals: Vec<u64> = (0..8).map(|_| g.u64()).collect();
+        assert_eq!(g.tape(), &vals[..]);
+        let mut r = Gen::from_tape(g.tape());
+        for v in &vals {
+            assert_eq!(r.u64(), *v);
+        }
+        // Exhausted tape yields zeros, which range generators map to lo.
+        assert_eq!(r.u64(), 0);
+        assert_eq!(r.usize_in(5..=9), 5);
+    }
+
+    #[test]
+    fn parse_seed_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2a"), Some(42));
+        assert_eq!(parse_seed(" 0X2A "), Some(42));
+        assert_eq!(parse_seed("zzz"), None);
+        assert_eq!(parse_seed(""), None);
+    }
+
+    #[test]
+    fn env_seed_overrides_base() {
+        // Safe under edition 2021; the only concurrent reader in this test
+        // binary is `failures_propagate`, which panics regardless of seed.
+        std::env::set_var("RVHPC_SEED", "0xdead");
+        assert_eq!(base_seed(), 0xdead);
+        std::env::set_var("RVHPC_SEED", "99");
+        assert_eq!(base_seed(), 99);
+        std::env::remove_var("RVHPC_SEED");
+        assert_eq!(base_seed(), BASE_SEED);
+    }
+
+    #[test]
+    fn failure_message_names_seed_and_minimized_tape() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases(5, |g| {
+                let v = g.u64_in(0..=1_000_000);
+                assert!(v < 100, "value too large: {v}");
+            });
+        });
+        let msg = panic_message(&*result.unwrap_err());
+        let seed = case_seed(BASE_SEED, 0);
+        assert!(msg.contains(&format!("{seed:#x}")), "{msg}");
+        assert!(msg.contains("RVHPC_SEED="), "{msg}");
+        // The tape truncates to the single relevant draw, and that draw
+        // shrinks until the derived value sits on the failure boundary.
+        let tape_part = msg.split("run_tape(&[").nth(1).and_then(|s| s.split(']').next());
+        let tape_part = tape_part.expect("message carries a minimized tape");
+        assert!(!tape_part.contains(','), "tape not truncated to one draw: {msg}");
+        assert!(msg.contains("value too large: 100"), "{msg}");
+    }
+
+    #[test]
+    fn shrink_tape_truncates_and_lowers() {
+        // Fails when the *first* draw, taken mod 1001, is >= 17; later
+        // draws are irrelevant and should be truncated away.
+        let fails = |t: &[u64]| {
+            let mut g = Gen::from_tape(t);
+            g.u64_in(0..=1000) >= 17
+        };
+        let noisy: Vec<u64> = vec![800, 3, 99, 12345];
+        assert!(fails(&noisy));
+        let min = shrink_tape(&noisy, fails, 500);
+        assert_eq!(min, vec![17]);
+    }
+
+    #[test]
+    fn shrink_respects_budget() {
+        let fails = |t: &[u64]| {
+            let mut g = Gen::from_tape(t);
+            g.u64() >= 1
+        };
+        let min = shrink_tape(&[u64::MAX], fails, 0);
+        assert_eq!(min, vec![u64::MAX]); // no budget: unchanged
+        let min = shrink_tape(&[u64::MAX], fails, 500);
+        assert_eq!(min, vec![1]);
+    }
+
+    #[test]
+    fn minimize_reaches_boundary() {
+        let min = minimize(1_000_000i64, |v| vec![*v / 2, *v - 1], |v| *v >= 10, 10_000);
+        assert_eq!(min, 10);
+    }
+
+    #[test]
+    fn minimize_stops_at_fixpoint_without_spending_budget() {
+        let min = minimize(7u32, |_| vec![], |_| true, 1_000);
+        assert_eq!(min, 7);
+    }
+
+    #[test]
+    fn run_tape_replays_a_recorded_failure() {
+        let mut g = Gen::new(123);
+        let a = g.usize_in(10..=20);
+        let b = g.f64_in(0.0, 1.0);
+        let tape = g.tape().to_vec();
+        run_tape(&tape, |g| {
+            assert_eq!(g.usize_in(10..=20), a);
+            assert_eq!(g.f64_in(0.0, 1.0), b);
         });
     }
 }

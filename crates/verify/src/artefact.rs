@@ -1,0 +1,97 @@
+//! Replayable failure artefacts.
+//!
+//! When an oracle diverges, `repro verify` writes a JSON artefact that
+//! records the oracle, the seeds, and the minimized counterexample. The
+//! seeds are the replay handle: `repro verify --replay <file>` regenerates
+//! the original case from `case_seed` and re-checks it (case generation is
+//! deterministic, so the seed *is* the case). Seeds are stored as `0x`-hex
+//! strings because `Json` numbers are f64 and cannot carry all 64 bits.
+
+use crate::{Fault, VerifyConfig};
+use rvhpc_trace::json::Json;
+
+/// Schema tag of the artefact format.
+pub const SCHEMA: &str = "rvhpc-verify-failure-v1";
+
+/// Build the artefact for one minimized failure.
+pub fn failure_json(
+    oracle: &str,
+    cfg: &VerifyConfig,
+    case_index: u64,
+    case_seed: u64,
+    minimized_case: Json,
+    minimized_detail: &str,
+) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(SCHEMA)),
+        ("oracle", Json::str(oracle)),
+        ("base_seed", Json::str(format!("{:#x}", cfg.seed))),
+        ("case_index", Json::Num(case_index as f64)),
+        ("case_seed", Json::str(format!("{case_seed:#x}"))),
+        ("inject", Json::str(cfg.inject.label())),
+        ("minimized_case", minimized_case),
+        ("minimized_detail", Json::str(minimized_detail)),
+    ])
+}
+
+/// What a replay needs back out of an artefact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySpec {
+    /// Which oracle to re-run.
+    pub oracle: String,
+    /// The per-case seed that regenerates the failing case.
+    pub case_seed: u64,
+    /// Fault injection active when the failure was recorded.
+    pub inject: Fault,
+}
+
+/// Parse an artefact back into its replay handle.
+pub fn parse_replay(text: &str) -> Result<ReplaySpec, String> {
+    let json = Json::parse(text).map_err(|e| format!("artefact is not valid JSON: {e}"))?;
+    let schema = json.get("schema").and_then(Json::as_str).unwrap_or_default();
+    if schema != SCHEMA {
+        return Err(format!("unsupported artefact schema {schema:?} (expected {SCHEMA:?})"));
+    }
+    let oracle =
+        json.get("oracle").and_then(Json::as_str).ok_or("artefact missing \"oracle\"")?.to_string();
+    let seed_text = json.get("case_seed").and_then(Json::as_str).ok_or("missing \"case_seed\"")?;
+    let case_seed = rvhpc_quickprop::parse_seed(seed_text)
+        .ok_or_else(|| format!("bad case_seed {seed_text:?}"))?;
+    let inject_text = json.get("inject").and_then(Json::as_str).unwrap_or("none");
+    let inject =
+        Fault::from_token(inject_text).ok_or_else(|| format!("bad inject {inject_text:?}"))?;
+    Ok(ReplaySpec { oracle, case_seed, inject })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artefact_round_trips_through_the_parser() {
+        let cfg = VerifyConfig { seed: 0x5eed_cafe_f00d_0001, cases: 200, inject: Fault::None };
+        let art = failure_json(
+            "rvv-differential",
+            &cfg,
+            17,
+            0xdead_beef_0bad_f00d,
+            Json::obj(vec![("n", Json::Num(4.0))]),
+            "outputs diverged at index 0",
+        );
+        let spec = parse_replay(&art.pretty()).unwrap();
+        assert_eq!(
+            spec,
+            ReplaySpec {
+                oracle: "rvv-differential".to_string(),
+                case_seed: 0xdead_beef_0bad_f00d,
+                inject: Fault::None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_other_schemas_and_garbage() {
+        assert!(parse_replay("not json").is_err());
+        assert!(parse_replay("{\"schema\": \"something-else\"}").is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-check: parallel kernel executors vs. their serial references.
+//!
+//! Every executable RAJAPerf kernel carries two redundant implementations:
+//! `run_serial` (the reference) and `run` (work-shared across a thread
+//! team). For random kernel × size × team-width combinations this oracle
+//! asserts that (a) the serial path is deterministic under `reset` — run,
+//! reset, run must produce bit-identical checksums — and (b) the parallel
+//! checksum matches the serial one within a precision-scaled tolerance
+//! (parallel reductions may reassociate floating-point sums; everything
+//! else must agree much tighter than the bound).
+
+use crate::{drive, Fault, OracleReport, VerifyConfig};
+use rvhpc_kernels::{make_kernel, KernelName};
+use rvhpc_quickprop::Gen;
+use rvhpc_threads::Team;
+use rvhpc_trace::json::Json;
+
+/// Oracle name (CLI token).
+pub const NAME: &str = "kernel-executors";
+
+/// One randomized executor cross-check case.
+#[derive(Debug, Clone)]
+pub struct KernelCase {
+    /// Which kernel to execute.
+    pub kernel: KernelName,
+    /// Problem size.
+    pub n: usize,
+    /// Team width for the parallel path.
+    pub threads: usize,
+    /// Run the FP32 instantiation instead of FP64.
+    pub fp32: bool,
+}
+
+impl KernelCase {
+    /// Human-readable summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} n={} threads={} {}",
+            self.kernel.label(),
+            self.n,
+            self.threads,
+            if self.fp32 { "f32" } else { "f64" },
+        )
+    }
+
+    /// Full case as JSON (for the failure artefact).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::str(self.kernel.label())),
+            ("n", Json::Num(self.n as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("fp32", Json::Bool(self.fp32)),
+        ])
+    }
+}
+
+/// Generate a random case.
+pub fn generate_case(g: &mut Gen) -> KernelCase {
+    KernelCase {
+        kernel: *g.choose(&KernelName::ALL),
+        n: g.usize_in(64..=2048),
+        threads: g.usize_in(1..=8),
+        fp32: g.bool_with(0.3),
+    }
+}
+
+fn check_typed<T: rvhpc_kernels::Real>(case: &KernelCase, rel_tol: f64) -> Result<(), String> {
+    let mut k = make_kernel::<T>(case.kernel, case.n);
+    k.run_serial();
+    let first = k.checksum();
+    if !first.is_finite() {
+        return Err(format!("serial checksum not finite for {}", case.describe()));
+    }
+    k.reset();
+    k.run_serial();
+    let second = k.checksum();
+    if first.to_bits() != second.to_bits() {
+        return Err(format!(
+            "serial path not deterministic under reset: {first} vs {second} for {}",
+            case.describe()
+        ));
+    }
+
+    let team = Team::new(case.threads);
+    k.reset();
+    k.run(&team);
+    let parallel = k.checksum();
+    let tol = first.abs().max(1.0) * rel_tol;
+    if (parallel - first).abs() > tol {
+        return Err(format!(
+            "parallel checksum diverged: serial {first} vs parallel {parallel} \
+             (tol {tol:e}) for {}",
+            case.describe()
+        ));
+    }
+    Ok(())
+}
+
+/// Check one case: serial determinism under reset, then parallel-vs-serial
+/// checksum agreement.
+pub fn check(case: &KernelCase, _fault: Fault) -> Result<(), String> {
+    if case.fp32 {
+        check_typed::<f32>(case, 1e-3)
+    } else {
+        check_typed::<f64>(case, 1e-9)
+    }
+}
+
+/// Strictly-simpler variants for minimization.
+pub fn shrink(case: &KernelCase) -> Vec<KernelCase> {
+    let mut out = Vec::new();
+    if case.n > 64 {
+        let mut c = case.clone();
+        c.n = (case.n / 2).max(64);
+        out.push(c);
+        let mut c = case.clone();
+        c.n = 64;
+        out.push(c);
+    }
+    if case.threads > 1 {
+        let mut c = case.clone();
+        c.threads = case.threads / 2;
+        out.push(c);
+    }
+    if case.fp32 {
+        let mut c = case.clone();
+        c.fp32 = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Run the oracle.
+pub fn run(cfg: &VerifyConfig) -> OracleReport {
+    drive(NAME, cfg, generate_case, check, shrink, KernelCase::describe, KernelCase::to_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cases_pass() {
+        for index in 0..30u64 {
+            let seed = rvhpc_quickprop::case_seed(rvhpc_quickprop::BASE_SEED, index);
+            let case = generate_case(&mut Gen::new(seed));
+            check(&case, Fault::None).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+
+    #[test]
+    fn shrink_respects_floors() {
+        let case = KernelCase { kernel: KernelName::STREAM_TRIAD, n: 777, threads: 6, fp32: true };
+        for c in shrink(&case) {
+            assert!(c.n >= 64 && c.threads >= 1);
+        }
+        let floor = KernelCase { kernel: KernelName::STREAM_TRIAD, n: 64, threads: 1, fp32: false };
+        assert!(shrink(&floor).is_empty());
+    }
+}

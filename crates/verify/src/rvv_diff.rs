@@ -1,0 +1,486 @@
+//! Differential oracle: generated RVV code vs. a scalar reference.
+//!
+//! For every codegen-covered kernel, a random case runs through the RVV
+//! interpreter under v1.0 semantics and — when the RVV-Rollback rewriter
+//! accepts the program — under v0.7.1 semantics; the two dialects must
+//! produce bit-identical outputs (the rewrite is supposed to be purely
+//! syntactic). Both are then compared against a scalar reference computed
+//! in the run's element precision: elementwise kernels replicate the exact
+//! op order (so agreement is within a few ULP), reductions compare against
+//! an f64 sum with an n-scaled tolerance because lane-structured
+//! accumulation legitimately reorders the additions.
+//!
+//! FP64 cases double as the paper's central finding: the rollback *must*
+//! refuse FP64 vector arithmetic (the C920 does not implement it), so a
+//! successful FP64 rollback of an arithmetic kernel is itself a failure.
+
+use crate::{drive, Fault, OracleReport, VerifyConfig};
+use rvhpc_compiler::codegen::{generate, SUPPORTED};
+use rvhpc_compiler::VectorMode;
+use rvhpc_kernels::KernelName;
+use rvhpc_quickprop::Gen;
+use rvhpc_rvv::inst::{Inst, VReg, VfBinOp};
+use rvhpc_rvv::rollback::RollbackError;
+use rvhpc_rvv::{rollback, Dialect, Machine, Program, Sew, VLEN_BITS};
+use rvhpc_trace::json::Json;
+
+/// Oracle name (CLI token).
+pub const NAME: &str = "rvv-differential";
+
+/// One randomized differential case.
+#[derive(Debug, Clone)]
+pub struct RvvCase {
+    /// Kernel under test (from `codegen::SUPPORTED`).
+    pub kernel: KernelName,
+    /// VLS or VLA code generation.
+    pub mode: VectorMode,
+    /// Element width.
+    pub sew: Sew,
+    /// Element count (lane multiple for VLS).
+    pub n: usize,
+    /// Scalar operand (`f0`); ignored by IF_QUAD.
+    pub alpha: f64,
+    /// First operand array (at `x11`).
+    pub a: Vec<f64>,
+    /// Second operand array (at `x12`).
+    pub b: Vec<f64>,
+    /// Third operand array (at `x13`; IF_QUAD's `c`).
+    pub c: Vec<f64>,
+}
+
+impl RvvCase {
+    fn lanes(&self) -> usize {
+        (VLEN_BITS as u32 / self.sew.bits()) as usize
+    }
+
+    fn is_fp32(&self) -> bool {
+        self.sew.bits() == 32
+    }
+
+    /// Human-readable summary (arrays truncated to eight elements).
+    pub fn describe(&self) -> String {
+        let head = |v: &[f64]| {
+            let shown: Vec<String> = v.iter().take(8).map(|x| format!("{x}")).collect();
+            let ellipsis = if v.len() > 8 { ", .." } else { "" };
+            format!("[{}{}]", shown.join(", "), ellipsis)
+        };
+        format!(
+            "{} {} e{} n={} alpha={} a={} b={} c={}",
+            self.kernel,
+            self.mode.label(),
+            self.sew.bits(),
+            self.n,
+            self.alpha,
+            head(&self.a),
+            head(&self.b),
+            head(&self.c),
+        )
+    }
+
+    /// Full case as JSON (for the failure artefact).
+    pub fn to_json(&self) -> Json {
+        let arr = |v: &[f64]| Json::Arr(v.iter().map(|x| Json::Num(*x)).collect());
+        Json::obj(vec![
+            ("kernel", Json::str(self.kernel.label())),
+            ("mode", Json::str(self.mode.label())),
+            ("sew_bits", Json::Num(f64::from(self.sew.bits()))),
+            ("n", Json::Num(self.n as f64)),
+            ("alpha", Json::Num(self.alpha)),
+            ("a", arr(&self.a)),
+            ("b", arr(&self.b)),
+            ("c", arr(&self.c)),
+        ])
+    }
+}
+
+/// Generate a random case. Inputs are quantized to the run's element
+/// precision so the scalar reference sees exactly the stored values.
+pub fn generate_case(g: &mut Gen) -> RvvCase {
+    let kernel = *g.choose(&SUPPORTED);
+    let mode = if g.bool_with(0.5) { VectorMode::Vls } else { VectorMode::Vla };
+    let sew = if g.bool_with(0.25) { Sew::E64 } else { Sew::E32 };
+    let lanes = (VLEN_BITS as u32 / sew.bits()) as usize;
+    let n = match mode {
+        VectorMode::Vls => lanes * g.usize_in(1..=24),
+        VectorMode::Vla => g.usize_in(1..=96),
+    };
+    // Quarter-steps are exact in both precisions.
+    let alpha = g.usize_in(1..=8) as f64 * 0.25;
+    let (mut a, mut b, mut c) = if kernel == KernelName::IF_QUAD {
+        // Quadratic coefficients: a bounded away from zero (it divides),
+        // b/c spanning both discriminant signs so the mask diverges.
+        (g.f64_vec(n, 0.5, 2.0), g.f64_vec(n, -4.0, 4.0), g.f64_vec(n, 0.1, 2.0))
+    } else {
+        (g.f64_vec(n, -2.0, 2.0), g.f64_vec(n, -2.0, 2.0), g.f64_vec(n, -2.0, 2.0))
+    };
+    if sew.bits() == 32 {
+        for v in a.iter_mut().chain(b.iter_mut()).chain(c.iter_mut()) {
+            *v = *v as f32 as f64;
+        }
+    }
+    RvvCase { kernel, mode, sew, n, alpha, a, b, c }
+}
+
+/// Mutate the reduction accumulation op of a generated program, returning
+/// whether anything was mutated. This is the injected interpreter bug of
+/// the acceptance criteria: REDUCE_SUM's `vfadd v4, v4, v0` becomes
+/// `vfsub`, and DOT's `vfmacc.vv v4` becomes a plain `vfmul.vv` (dropping
+/// the accumulation). Non-reduction kernels are untouched.
+pub fn inject_reduction_bug(program: &mut Program) -> bool {
+    for inst in &mut program.insts {
+        match inst {
+            Inst::VfVV { op: op @ VfBinOp::Add, vd: VReg(4), vs1: VReg(4), .. } => {
+                *op = VfBinOp::Sub;
+                return true;
+            }
+            Inst::VfmaccVV { vd: VReg(4), vs1, vs2 } => {
+                *inst = Inst::VfVV { op: VfBinOp::Mul, vd: VReg(4), vs1: *vs1, vs2: *vs2 };
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Outputs of one execution path, widened to f64.
+#[derive(Debug, Clone, PartialEq)]
+struct Outputs {
+    /// Output arrays (one per destination region).
+    vecs: Vec<Vec<f64>>,
+    /// Reduction result (`f2`), if the kernel reduces.
+    scalar: Option<f64>,
+}
+
+fn execute(case: &RvvCase, program: &Program, dialect: Dialect) -> Result<Outputs, String> {
+    let n = case.n;
+    let eb = case.sew.bytes();
+    let mut m = Machine::new(dialect, 16 * 1024 + n * eb * 6);
+    m.set_x(10, n as u64);
+    for (reg, region) in [(11u8, 0usize), (12, 1), (13, 2), (14, 3), (15, 4)] {
+        m.set_x(reg, (region * n * eb) as u64);
+    }
+    if case.kernel == KernelName::IF_QUAD {
+        m.set_f(0, 4.0);
+        m.set_f(1, 2.0);
+        m.set_f(3, 0.0);
+    } else {
+        m.set_f(0, case.alpha);
+    }
+    for (region, data) in [(0usize, &case.a), (1, &case.b), (2, &case.c)] {
+        if case.is_fp32() {
+            let v: Vec<f32> = data.iter().map(|x| *x as f32).collect();
+            m.write_f32s(region * n * eb, &v);
+        } else {
+            m.write_f64s(region * n * eb, data);
+        }
+    }
+    m.run(program, 1_000_000)
+        .map_err(|e| format!("{dialect:?} execution failed for {}: {e:?}", case.describe()))?;
+    let read = |m: &Machine, region: usize| -> Vec<f64> {
+        if case.is_fp32() {
+            m.read_f32s(region * n * eb, n).iter().map(|x| f64::from(*x)).collect()
+        } else {
+            m.read_f64s(region * n * eb, n)
+        }
+    };
+    use KernelName::*;
+    let out = match case.kernel {
+        STREAM_COPY | MEMCPY | STREAM_MUL | STREAM_ADD | STREAM_TRIAD | MEMSET => {
+            Outputs { vecs: vec![read(&m, 2)], scalar: None }
+        }
+        DAXPY => Outputs { vecs: vec![read(&m, 1)], scalar: None },
+        STREAM_DOT | REDUCE_SUM => Outputs { vecs: vec![], scalar: Some(m.f(2)) },
+        IF_QUAD => Outputs { vecs: vec![read(&m, 3), read(&m, 4)], scalar: None },
+        other => return Err(format!("kernel {other} not covered by the differential oracle")),
+    };
+    Ok(out)
+}
+
+/// Scalar reference in the run's element precision; the macro instantiates
+/// the same op sequence for f32 and f64.
+fn scalar_reference(case: &RvvCase) -> Outputs {
+    macro_rules! reference {
+        ($t:ty) => {{
+            let a: Vec<$t> = case.a.iter().map(|v| *v as $t).collect();
+            let b: Vec<$t> = case.b.iter().map(|v| *v as $t).collect();
+            let c: Vec<$t> = case.c.iter().map(|v| *v as $t).collect();
+            let alpha = case.alpha as $t;
+            let widen = |v: Vec<$t>| -> Vec<f64> { v.into_iter().map(|x| x as f64).collect() };
+            use KernelName::*;
+            match case.kernel {
+                STREAM_COPY | MEMCPY => Outputs { vecs: vec![widen(a)], scalar: None },
+                STREAM_MUL => Outputs {
+                    vecs: vec![widen(a.iter().map(|x| *x * alpha).collect())],
+                    scalar: None,
+                },
+                STREAM_ADD => Outputs {
+                    vecs: vec![widen(a.iter().zip(&b).map(|(x, y)| *x + *y).collect())],
+                    scalar: None,
+                },
+                STREAM_TRIAD => Outputs {
+                    // codegen computes alpha*b first, then adds a (unfused).
+                    vecs: vec![widen(a.iter().zip(&b).map(|(x, y)| *y * alpha + *x).collect())],
+                    scalar: None,
+                },
+                DAXPY => Outputs {
+                    // vfmacc.vf fuses the rounding: y = fma(alpha, x, y).
+                    vecs: vec![widen(
+                        a.iter().zip(&b).map(|(x, y)| alpha.mul_add(*x, *y)).collect(),
+                    )],
+                    scalar: None,
+                },
+                MEMSET => Outputs { vecs: vec![widen(vec![alpha; case.n])], scalar: None },
+                STREAM_DOT => Outputs {
+                    vecs: vec![],
+                    scalar: Some(a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum::<f64>()),
+                },
+                REDUCE_SUM => {
+                    Outputs { vecs: vec![], scalar: Some(a.iter().map(|x| *x as f64).sum::<f64>()) }
+                }
+                IF_QUAD => {
+                    // Exact vector op order: d = b*b - (a*c)*4; real roots
+                    // iff d >= 0, else both roots are 0.
+                    let mut x1 = vec![0 as $t; case.n];
+                    let mut x2 = vec![0 as $t; case.n];
+                    for i in 0..case.n {
+                        let d = b[i] * b[i] - a[i] * c[i] * (4.0 as $t);
+                        if d >= 0.0 {
+                            let s = d.sqrt();
+                            let two_a = a[i] * (2.0 as $t);
+                            x1[i] = (s - b[i]) / two_a;
+                            x2[i] = ((0.0 as $t) - (b[i] + s)) / two_a;
+                        }
+                    }
+                    Outputs { vecs: vec![widen(x1), widen(x2)], scalar: None }
+                }
+                other => unreachable!("{other} not in SUPPORTED"),
+            }
+        }};
+    }
+    if case.is_fp32() {
+        reference!(f32)
+    } else {
+        reference!(f64)
+    }
+}
+
+fn bits_equal(x: &Outputs, y: &Outputs) -> bool {
+    let vec_eq = x.vecs.len() == y.vecs.len()
+        && x.vecs.iter().zip(&y.vecs).all(|(a, b)| {
+            a.len() == b.len() && a.iter().zip(b).all(|(p, q)| p.to_bits() == q.to_bits())
+        });
+    let scalar_eq = match (x.scalar, y.scalar) {
+        (Some(p), Some(q)) => p.to_bits() == q.to_bits(),
+        (None, None) => true,
+        _ => false,
+    };
+    vec_eq && scalar_eq
+}
+
+/// Relative tolerance against the scalar reference, per kernel shape.
+fn tolerance(case: &RvvCase) -> f64 {
+    let eps = if case.is_fp32() { f64::from(f32::EPSILON) } else { f64::EPSILON };
+    use KernelName::*;
+    match case.kernel {
+        // Pure data movement: must be exact.
+        STREAM_COPY | MEMCPY | MEMSET => 0.0,
+        // Reductions legitimately reorder the sum across lanes/strips.
+        STREAM_DOT | REDUCE_SUM => 16.0 * (case.n as f64).max(4.0) * eps,
+        // Elementwise arithmetic replicated op-for-op: a few ULP of slack.
+        _ => 32.0 * eps,
+    }
+}
+
+fn against_reference(case: &RvvCase, got: &Outputs, want: &Outputs) -> Result<(), String> {
+    let tol = tolerance(case);
+    let close = |g: f64, w: f64| (g - w).abs() <= tol * w.abs().max(1.0);
+    for (vi, (gv, wv)) in got.vecs.iter().zip(&want.vecs).enumerate() {
+        for (i, (g, w)) in gv.iter().zip(wv).enumerate() {
+            if !close(*g, *w) {
+                return Err(format!(
+                    "interpreter diverged from scalar reference at output {vi}[{i}]: \
+                     got {g}, want {w} (tol {tol:.3e}) for {}",
+                    case.describe()
+                ));
+            }
+        }
+    }
+    if let (Some(g), Some(w)) = (got.scalar, want.scalar) {
+        if !close(g, w) {
+            return Err(format!(
+                "reduction diverged from scalar reference: got {g}, want {w} \
+                 (tol {tol:.3e}) for {}",
+                case.describe()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check one case: v1.0 vs. rolled-back v0.7.1 must be bit-identical, and
+/// both must match the scalar reference within tolerance.
+pub fn check(case: &RvvCase, fault: Fault) -> Result<(), String> {
+    let mut program =
+        generate(case.kernel, case.mode, case.sew).expect("SUPPORTED kernels always generate");
+    if fault == Fault::ReductionOp {
+        inject_reduction_bug(&mut program);
+    }
+    let v10 = execute(case, &program, Dialect::V10)?;
+    match rollback(&program) {
+        Ok(rolled) => {
+            let v071 = execute(case, &rolled, Dialect::V071)?;
+            if !bits_equal(&v10, &v071) {
+                return Err(format!(
+                    "v1.0 and rolled-back v0.7.1 outputs differ for {}",
+                    case.describe()
+                ));
+            }
+        }
+        Err(e) => {
+            // Only the paper's FP64 refusal is a legitimate rollback error.
+            if case.is_fp32() {
+                return Err(format!(
+                    "FP32 program must roll back to v0.7.1, got {e} for {}",
+                    case.describe()
+                ));
+            }
+            if !matches!(e, RollbackError::Fp64Vector { .. }) {
+                return Err(format!(
+                    "FP64 rollback refused for the wrong reason ({e}) for {}",
+                    case.describe()
+                ));
+            }
+        }
+    }
+    against_reference(case, &v10, &scalar_reference(case))
+}
+
+/// Strictly-simpler variants for counterexample minimization: fewer
+/// elements first, then neutral alpha, then zeroed/sparser arrays.
+pub fn shrink(case: &RvvCase) -> Vec<RvvCase> {
+    let step = match case.mode {
+        VectorMode::Vls => case.lanes(),
+        VectorMode::Vla => 1,
+    };
+    let mut out = Vec::new();
+    let truncated = |nn: usize| {
+        let mut c = case.clone();
+        c.n = nn;
+        c.a.truncate(nn);
+        c.b.truncate(nn);
+        c.c.truncate(nn);
+        c
+    };
+    for nn in [step, case.n / 2 / step * step, case.n.saturating_sub(step)] {
+        if nn >= step && nn < case.n {
+            out.push(truncated(nn));
+        }
+    }
+    if case.alpha != 1.0 && case.kernel != KernelName::IF_QUAD {
+        let mut c = case.clone();
+        c.alpha = 1.0;
+        out.push(c);
+    }
+    if case.kernel != KernelName::IF_QUAD {
+        for pick in 0..3usize {
+            let arr = [&case.a, &case.b, &case.c][pick];
+            if arr.iter().any(|v| *v != 0.0) {
+                let mut c = case.clone();
+                [&mut c.a, &mut c.b, &mut c.c][pick].iter_mut().for_each(|v| *v = 0.0);
+                out.push(c);
+            }
+        }
+        if case.n <= 8 {
+            for i in 0..case.n {
+                if case.a[i] != 0.0 {
+                    let mut c = case.clone();
+                    c.a[i] = 0.0;
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Run the oracle.
+pub fn run(cfg: &VerifyConfig) -> OracleReport {
+    drive(NAME, cfg, generate_case, check, shrink, RvvCase::describe, RvvCase::to_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_cases_pass() {
+        for index in 0..60u64 {
+            let seed = rvhpc_quickprop::case_seed(rvhpc_quickprop::BASE_SEED, index);
+            let case = generate_case(&mut Gen::new(seed));
+            check(&case, Fault::None).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+
+    #[test]
+    fn injected_reduction_bug_mutates_only_reductions() {
+        for kernel in SUPPORTED {
+            let mut p = generate(kernel, VectorMode::Vla, Sew::E32).unwrap();
+            let mutated = inject_reduction_bug(&mut p);
+            let is_reduction = matches!(kernel, KernelName::REDUCE_SUM | KernelName::STREAM_DOT);
+            assert_eq!(mutated, is_reduction, "{kernel}");
+        }
+    }
+
+    #[test]
+    fn injected_bug_is_caught() {
+        let mut g = Gen::new(7);
+        let case = RvvCase {
+            kernel: KernelName::REDUCE_SUM,
+            mode: VectorMode::Vla,
+            sew: Sew::E32,
+            n: 13,
+            alpha: 1.0,
+            a: g.f64_vec(13, 1.0, 2.0).iter().map(|v| *v as f32 as f64).collect(),
+            b: vec![0.0; 13],
+            c: vec![0.0; 13],
+        };
+        check(&case, Fault::None).unwrap();
+        let err = check(&case, Fault::ReductionOp).unwrap_err();
+        assert!(err.contains("reduction diverged"), "{err}");
+    }
+
+    #[test]
+    fn shrink_preserves_vls_lane_multiples() {
+        let mut g = Gen::new(99);
+        for _ in 0..50 {
+            let case = generate_case(&mut g);
+            for cand in shrink(&case) {
+                assert!(cand.n >= 1 && cand.n <= case.n);
+                assert_eq!(cand.a.len(), cand.n);
+                if cand.mode == VectorMode::Vls {
+                    assert_eq!(cand.n % cand.lanes(), 0, "{}", cand.describe());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp64_arithmetic_refusal_is_enforced() {
+        // An FP64 REDUCE_SUM case must pass precisely because rollback
+        // refuses it with the Fp64Vector reason.
+        let case = RvvCase {
+            kernel: KernelName::REDUCE_SUM,
+            mode: VectorMode::Vla,
+            sew: Sew::E64,
+            n: 5,
+            alpha: 1.0,
+            a: vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            b: vec![0.0; 5],
+            c: vec![0.0; 5],
+        };
+        check(&case, Fault::None).unwrap();
+        let p = generate(case.kernel, case.mode, case.sew).unwrap();
+        assert!(matches!(rollback(&p), Err(RollbackError::Fp64Vector { .. })));
+    }
+}

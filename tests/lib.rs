@@ -15,6 +15,15 @@ pub struct PaperScalingRow {
     pub speedups: [f64; 6],
 }
 
+/// The paper's Table 1 (block placement), the rows EXPERIMENTS.md quotes.
+/// Block placement is the paper's pathological policy: threads 0–31 sit in
+/// NUMA regions 0–1, so half the memory controllers idle at 32 threads.
+pub const PAPER_TABLE1: [PaperScalingRow; 3] = [
+    PaperScalingRow { threads: 16, speedups: [4.64, 4.31, 6.92, 6.86, 15.39, 4.31] },
+    PaperScalingRow { threads: 32, speedups: [1.11, 1.86, 0.22, 4.38, 14.09, 0.82] },
+    PaperScalingRow { threads: 64, speedups: [0.97, 4.10, 12.33, 14.89, 40.42, 1.77] },
+];
+
 /// The paper's Table 2 (NUMA-cyclic placement).
 pub const PAPER_TABLE2: [PaperScalingRow; 6] = [
     PaperScalingRow { threads: 2, speedups: [1.52, 0.70, 1.06, 1.81, 2.11, 1.93] },
