@@ -13,3 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p rvhpc --bin repro -- verify --seed 42 --cases 200
 COMMIT_SEED="0x$(git rev-parse --short=8 HEAD 2>/dev/null || echo 5eedcafe)"
 cargo run --release -p rvhpc --bin repro -- verify --seed "$COMMIT_SEED" --cases 50
+
+# Static lint: every machine descriptor and every generated RVV program
+# (v1.0 output and its v0.7.1 rollback) must be finding-free.
+cargo run --release -p rvhpc --bin repro -- lint
+
+# The lint must also *fail* when a defect is present: a v0.7.1 target with
+# fractional LMUL plus a vector op ahead of any vsetvli must exit 3.
+BAD_ASM="$(mktemp)"
+cat > "$BAD_ASM" <<'EOF'
+vadd.vv v1, v2, v2
+vsetvli x5, x10, e32, m1
+vle.v v2, (x11)
+EOF
+rc=0
+cargo run --release -p rvhpc --bin repro -- lint --asm "$BAD_ASM" || rc=$?
+rm -f "$BAD_ASM"
+test "$rc" -eq 3

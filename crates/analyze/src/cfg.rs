@@ -1,0 +1,143 @@
+//! Control-flow graph over a [`Program`]'s instruction list.
+//!
+//! Blocks are half-open instruction ranges; a block ends after a branch,
+//! jump or `ret`, or just before a label (labels start blocks — they are
+//! the only branch targets). The strip-mine loops emitted by
+//! `rvhpc-compiler` become a two-block graph with a back-edge, which is
+//! exactly what the fixpoint engine's widening exists for.
+
+use crate::diag::{Diagnostic, Pass};
+use rvhpc_rvv::inst::{Inst, Program};
+use std::collections::HashMap;
+
+/// One basic block: instructions `start..end`, successor block ids.
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    /// First instruction index.
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+}
+
+/// The whole graph. Block 0 is the entry block.
+#[derive(Debug, Clone)]
+pub(crate) struct Cfg {
+    /// Blocks in instruction order.
+    pub blocks: Vec<Block>,
+}
+
+/// Build the CFG, or report why the program is malformed (duplicate labels
+/// or a branch to an unknown label).
+pub(crate) fn build(program: &Program) -> Result<Cfg, Vec<Diagnostic>> {
+    let labels: HashMap<String, usize> = match program.label_map() {
+        Ok(map) => map,
+        Err(msg) => return Err(vec![Diagnostic::global(Pass::Malformed, msg)]),
+    };
+    let n = program.insts.len();
+
+    // Leaders: instruction indices that start a block.
+    let mut leader = vec![false; n.max(1)];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for (i, inst) in program.insts.iter().enumerate() {
+        match inst {
+            Inst::Label(_) => leader[i] = true,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::Ret if i + 1 < n => {
+                leader[i + 1] = true;
+            }
+            _ => {}
+        }
+    }
+
+    let starts: Vec<usize> = (0..n).filter(|&i| leader[i]).collect();
+    let block_of_inst = {
+        let mut map = vec![0usize; n];
+        let mut b = 0;
+        for (i, slot) in map.iter_mut().enumerate() {
+            if b + 1 < starts.len() && i >= starts[b + 1] {
+                b += 1;
+            }
+            *slot = b;
+        }
+        map
+    };
+
+    let mut diags = Vec::new();
+    let mut blocks = Vec::with_capacity(starts.len());
+    for (b, &start) in starts.iter().enumerate() {
+        let end = starts.get(b + 1).copied().unwrap_or(n);
+        let mut succs = Vec::new();
+        let mut resolve = |at: usize, target: &str, succs: &mut Vec<usize>| match labels.get(target)
+        {
+            Some(&idx) => succs.push(block_of_inst[idx]),
+            None => diags.push(Diagnostic::at(
+                Pass::Malformed,
+                at,
+                format!("branch target `{target}` is not a label in this program"),
+            )),
+        };
+        match &program.insts[end - 1] {
+            Inst::Branch { target, .. } => {
+                resolve(end - 1, target, &mut succs);
+                if end < n {
+                    succs.push(block_of_inst[end]);
+                }
+            }
+            Inst::Jump { target } => resolve(end - 1, target, &mut succs),
+            Inst::Ret => {}
+            // Fallthrough into the next block (or off the end: no successor,
+            // matching the interpreter's implicit stop).
+            _ => {
+                if end < n {
+                    succs.push(block_of_inst[end]);
+                }
+            }
+        }
+        blocks.push(Block { start, end, succs });
+    }
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+    Ok(Cfg { blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_rvv::{parse_program, Dialect};
+
+    fn cfg_of(text: &str) -> Cfg {
+        build(&parse_program(text, Dialect::V10).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn strip_mine_loop_has_back_edge() {
+        let cfg =
+            cfg_of("    li x5, 0\nloop:\n    addi x5, x5, 1\n    bne x5, x10, loop\n    ret\n");
+        assert_eq!(cfg.blocks.len(), 3);
+        // Block 1 is the loop body; its branch targets itself and falls
+        // through to the ret block.
+        assert_eq!(cfg.blocks[1].succs, vec![1, 2]);
+        assert!(cfg.blocks[2].succs.is_empty(), "ret ends the graph");
+    }
+
+    #[test]
+    fn unknown_branch_target_is_malformed() {
+        let p = parse_program("    bne x1, x2, nowhere\n    ret\n", Dialect::V10).unwrap();
+        let diags = build(&p).unwrap_err();
+        assert_eq!(diags[0].pass, Pass::Malformed);
+        assert!(diags[0].message.contains("nowhere"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn duplicate_label_is_malformed() {
+        use rvhpc_rvv::inst::Inst;
+        let p = Program {
+            insts: vec![Inst::Label("a".into()), Inst::Ret, Inst::Label("a".into()), Inst::Ret],
+        };
+        assert_eq!(build(&p).unwrap_err()[0].pass, Pass::Malformed);
+    }
+}

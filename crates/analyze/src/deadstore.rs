@@ -1,0 +1,168 @@
+//! Backward liveness analysis for the `dead-store` pass.
+//!
+//! Vector registers only: scalar dead stores are cheap and common in
+//! hand-written test programs, but a vector register group written and
+//! never read is almost always a real bug (a mistyped register number or a
+//! forgotten store). Liveness is a 32-bit mask over `v0..v31`; group sizes
+//! come from the forward pass's per-instruction LMUL record, so `vle32.v
+//! v8` under LMUL=4 uses and kills four registers.
+//!
+//! When the LMUL at an instruction is unknown (the forward pass could not
+//! prove one), the analysis goes maximally conservative: reads keep eight
+//! registers live, kills remove only one, and a candidate store is
+//! reported only if all eight registers of its would-be group are dead.
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Pass};
+use rvhpc_rvv::inst::{Inst, Program, VReg};
+
+/// Group mask for `g` registers starting at `base`, clamped at `v31`.
+fn mask(base: VReg, g: u32) -> u32 {
+    let mut m = 0u32;
+    for k in 0..g {
+        let r = (base.0 as u32 + k).min(31);
+        m |= 1 << r;
+    }
+    m
+}
+
+/// Registers read by `inst` (full groups), as a mask. `g` is the known
+/// group size, or the conservative read size when unknown.
+fn uses(inst: &Inst, g: u32) -> u32 {
+    match inst {
+        Inst::Vse { vs, .. } | Inst::Vsse { vs, .. } => mask(*vs, g),
+        Inst::VfVV { vs1, vs2, .. } | Inst::ViVV { vs1, vs2, .. } => mask(*vs1, g) | mask(*vs2, g),
+        Inst::VfVF { vs1, .. } | Inst::VaddVI { vs1, .. } => mask(*vs1, g),
+        Inst::VfmaccVV { vd, vs1, vs2 } => mask(*vd, g) | mask(*vs1, g) | mask(*vs2, g),
+        Inst::VfmaccVF { vd, vs2, .. } => mask(*vd, g) | mask(*vs2, g),
+        Inst::VmfltVF { vs1, .. } | Inst::VmfgeVF { vs1, .. } => mask(*vs1, g),
+        Inst::VmergeVVM { vs1, vs2, .. } => mask(*vs1, g) | mask(*vs2, g) | 1,
+        Inst::VfsqrtV { vs1, masked, .. } => mask(*vs1, g) | if *masked { 1 } else { 0 },
+        // Element 0 only.
+        Inst::VfmvFS { vs1, .. } => mask(*vs1, 1),
+        Inst::Vfredusum { vs1, vs2, .. } | Inst::Vfredosum { vs1, vs2, .. } => {
+            mask(*vs1, g) | mask(*vs2, 1)
+        }
+        _ => 0,
+    }
+}
+
+/// The destination and group size of a *killing* definition: one that
+/// fully overwrites its group, making it a dead-store candidate and
+/// removing liveness. Merging defs (`vfmacc`, masked `vfsqrt`, reductions)
+/// return `None`.
+fn killing_def(inst: &Inst) -> Option<(VReg, bool)> {
+    // The bool is "full group" (false = single register regardless of
+    // LMUL, e.g. mask-producing compares).
+    match inst {
+        Inst::Vle { vd, .. } | Inst::Vlse { vd, .. } => Some((*vd, true)),
+        Inst::VfVV { vd, .. }
+        | Inst::VfVF { vd, .. }
+        | Inst::ViVV { vd, .. }
+        | Inst::VaddVI { vd, .. }
+        | Inst::VmergeVVM { vd, .. }
+        | Inst::VmvVX { vd, .. }
+        | Inst::VfmvVF { vd, .. } => Some((*vd, true)),
+        Inst::VmfltVF { vd, .. } | Inst::VmfgeVF { vd, .. } => Some((*vd, false)),
+        Inst::VfsqrtV { vd, masked: false, .. } => Some((*vd, true)),
+        _ => None,
+    }
+}
+
+fn describe(inst: &Inst) -> String {
+    match inst {
+        Inst::Vle { vd, .. } => format!("vector load into v{}", vd.0),
+        Inst::Vlse { vd, .. } => format!("strided vector load into v{}", vd.0),
+        Inst::VfVV { op, vd, .. } | Inst::VfVF { op, vd, .. } => {
+            format!("{} result in v{}", op.stem(), vd.0)
+        }
+        Inst::ViVV { op, vd, .. } => format!("{} result in v{}", op.stem(), vd.0),
+        Inst::VaddVI { vd, .. } => format!("vadd.vi result in v{}", vd.0),
+        Inst::VmergeVVM { vd, .. } => format!("vmerge.vvm result in v{}", vd.0),
+        Inst::VmvVX { vd, .. } => format!("vmv.v.x splat into v{}", vd.0),
+        Inst::VfmvVF { vd, .. } => format!("vfmv.v.f splat into v{}", vd.0),
+        Inst::VmfltVF { vd, .. } => format!("vmflt.vf mask in v{}", vd.0),
+        Inst::VmfgeVF { vd, .. } => format!("vmfge.vf mask in v{}", vd.0),
+        Inst::VfsqrtV { vd, .. } => format!("vfsqrt.v result in v{}", vd.0),
+        _ => "vector result".to_string(),
+    }
+}
+
+/// Find vector register groups written but provably never read.
+pub(crate) fn find_dead_stores(
+    program: &Program,
+    cfg: &Cfg,
+    lmul_at: &[Option<u32>],
+    reachable: &[bool],
+) -> Vec<Diagnostic> {
+    let nb = cfg.blocks.len();
+    // live_in[b]: registers live at the top of block b.
+    let mut live_in = vec![0u32; nb];
+
+    // Backward transfer over one block from a given live-out set.
+    let block_flow = |b: usize, live_out: u32| -> u32 {
+        let mut live = live_out;
+        for i in (cfg.blocks[b].start..cfg.blocks[b].end).rev() {
+            let inst = &program.insts[i];
+            let g = lmul_at[i];
+            if let Some((vd, full)) = killing_def(inst) {
+                // Unknown group: only kill the base register.
+                let kg = if full { g.unwrap_or(1) } else { 1 };
+                live &= !mask(vd, kg);
+            }
+            live |= uses(inst, lmul_at[i].unwrap_or(8));
+        }
+        live
+    };
+
+    // Fixpoint (loops need a couple of rounds; the mask domain is tiny).
+    loop {
+        let mut changed = false;
+        for b in (0..nb).rev() {
+            if !reachable[b] {
+                continue;
+            }
+            let live_out = cfg.blocks[b].succs.iter().fold(0u32, |acc, &s| acc | live_in[s]);
+            let new_in = block_flow(b, live_out);
+            if new_in != live_in[b] {
+                live_in[b] = new_in;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Emission: walk each reachable block backward once and flag killing
+    // defs whose whole group is dead.
+    let mut diags = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        let live_out = block.succs.iter().fold(0u32, |acc, &s| acc | live_in[s]);
+        let mut live = live_out;
+        for i in (block.start..block.end).rev() {
+            let inst = &program.insts[i];
+            if let Some((vd, full)) = killing_def(inst) {
+                let g = lmul_at[i];
+                // Candidate mask: the whole group when known, all eight
+                // possible registers when not (so unknown LMUL can only
+                // make us quieter, never noisier).
+                let cg = if full { g.unwrap_or(8) } else { 1 };
+                if live & mask(vd, cg) == 0 {
+                    diags.push(Diagnostic::at(
+                        Pass::DeadStore,
+                        i,
+                        format!("{} is overwritten or unused on every path", describe(inst)),
+                    ));
+                }
+                let kg = if full { g.unwrap_or(1) } else { 1 };
+                live &= !mask(vd, kg);
+            }
+            live |= uses(inst, lmul_at[i].unwrap_or(8));
+        }
+    }
+    diags
+}

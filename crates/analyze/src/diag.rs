@@ -1,0 +1,164 @@
+//! Diagnostics: what a lint pass reports and how it prints.
+
+use rvhpc_trace::json::Json;
+use std::fmt;
+
+/// The diagnostic pass a finding belongs to. Slugs are the stable CLI
+/// vocabulary (`repro lint` prints them and tests grep for them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// A register (or vector register group) is read on some path before
+    /// any instruction initialises it.
+    UninitRead,
+    /// A vector instruction executes before any `vsetvli` configured
+    /// `vtype`, on at least one path.
+    NoVtype,
+    /// The program is not legal RVV v0.7.1 / C920 code: fractional LMUL,
+    /// surviving v1.0 policy flags, or FP64 vector arithmetic.
+    DialectIllegal,
+    /// A vector memory op's encoded EEW differs from the reaching SEW;
+    /// such programs cannot be rolled back (v0.7.1 memory is SEW-typed).
+    EewSewMismatch,
+    /// A memory access provably (or possibly, with finite bounds) falls
+    /// outside its declared buffer extent.
+    OobAccess,
+    /// A vector register group is fully overwritten before any read of the
+    /// stored value.
+    DeadStore,
+    /// An LMUL>1 operand is misaligned to its group size, or a destination
+    /// group partially overlaps a source (or the mask register `v0`).
+    RegGroupOverlap,
+    /// A machine descriptor is internally inconsistent (cache monotonicity,
+    /// NUMA partition, placement totality, bandwidth figures).
+    Descriptor,
+    /// The program itself is malformed (duplicate labels, branches to
+    /// unknown labels) and cannot be analysed further.
+    Malformed,
+}
+
+impl Pass {
+    /// Every pass, in reporting order.
+    pub const ALL: [Pass; 9] = [
+        Pass::Malformed,
+        Pass::UninitRead,
+        Pass::NoVtype,
+        Pass::DialectIllegal,
+        Pass::EewSewMismatch,
+        Pass::OobAccess,
+        Pass::DeadStore,
+        Pass::RegGroupOverlap,
+        Pass::Descriptor,
+    ];
+
+    /// Stable CLI slug, e.g. `uninit-read`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Pass::UninitRead => "uninit-read",
+            Pass::NoVtype => "no-vtype",
+            Pass::DialectIllegal => "dialect-illegal",
+            Pass::EewSewMismatch => "eew-sew-mismatch",
+            Pass::OobAccess => "oob-access",
+            Pass::DeadStore => "dead-store",
+            Pass::RegGroupOverlap => "reg-group-overlap",
+            Pass::Descriptor => "descriptor",
+            Pass::Malformed => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which pass fired.
+    pub pass: Pass,
+    /// Instruction index in the analysed [`rvhpc_rvv::Program`], when the
+    /// finding points at a specific instruction.
+    pub at: Option<usize>,
+    /// 1-based source line, when the program came from text and the caller
+    /// attached a [`rvhpc_rvv::SourceMap`] via [`Diagnostic::with_lines`].
+    pub line: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A finding at an instruction.
+    pub fn at(pass: Pass, at: usize, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { pass, at: Some(at), line: None, message: message.into() }
+    }
+
+    /// A finding with no instruction anchor (descriptor lint).
+    pub fn global(pass: Pass, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { pass, at: None, line: None, message: message.into() }
+    }
+
+    /// Attach source lines from a parse-time map.
+    pub fn with_lines(mut self, map: &rvhpc_rvv::SourceMap) -> Diagnostic {
+        self.line = self.at.and_then(|i| map.line(i));
+        self
+    }
+
+    /// JSON form for `repro lint --json`.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![("pass", Json::str(self.pass.slug()))];
+        if let Some(at) = self.at {
+            pairs.push(("inst", Json::Num(at as f64)));
+        }
+        if let Some(line) = self.line {
+            pairs.push(("line", Json::Num(line as f64)));
+        }
+        pairs.push(("message", Json::str(&self.message)));
+        Json::obj(pairs)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.at) {
+            (Some(line), Some(at)) => {
+                write!(f, "{}: line {line} (inst {at}): {}", self.pass, self.message)
+            }
+            (None, Some(at)) => write!(f, "{}: inst {at}: {}", self.pass, self.message),
+            _ => write!(f, "{}: {}", self.pass, self.message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_when_known() {
+        let d = Diagnostic::at(Pass::NoVtype, 3, "vector op before vsetvli");
+        assert_eq!(d.to_string(), "no-vtype: inst 3: vector op before vsetvli");
+        let g = Diagnostic::global(Pass::Descriptor, "L2 smaller than L1");
+        assert_eq!(g.to_string(), "descriptor: L2 smaller than L1");
+    }
+
+    #[test]
+    fn with_lines_maps_instruction_to_source_line() {
+        let (_, map) = rvhpc_rvv::parse_program_with_lines(
+            "# comment\n    li x1, 5\n    ret\n",
+            rvhpc_rvv::Dialect::V10,
+        )
+        .unwrap();
+        let d = Diagnostic::at(Pass::UninitRead, 1, "x2 read uninitialised").with_lines(&map);
+        assert_eq!(d.line, Some(3));
+        assert!(d.to_string().starts_with("uninit-read: line 3 (inst 1):"), "{d}");
+    }
+
+    #[test]
+    fn slugs_are_stable_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Pass::ALL {
+            assert!(seen.insert(p.slug()), "duplicate slug {}", p.slug());
+        }
+    }
+}

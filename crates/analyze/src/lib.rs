@@ -1,0 +1,350 @@
+//! Static dataflow verifier for RVV programs and machine-descriptor lint.
+//!
+//! The dynamic tooling in this workspace — the `rvhpc-rvv` interpreter and
+//! the `rvhpc-verify` differential harness — can only certify the inputs
+//! it happens to execute. This crate closes the gap with *static*
+//! guarantees: an abstract interpreter walks a [`Program`]'s control-flow
+//! graph (strip-mine back-edges included) carrying
+//!
+//! * the active `vtype` (SEW / LMUL / tail policy) and `vl` as an
+//!   interval,
+//! * per-register definite/maybe/never initialisation, with vector
+//!   register *groups* widened to the active LMUL,
+//! * base+stride byte-offset intervals for every pointer, checked against
+//!   declared buffer extents.
+//!
+//! On top of that lattice run seven diagnostic passes ([`Pass`]):
+//! `uninit-read`, `no-vtype`, `dialect-illegal` (is this program legal
+//! RVV v0.7.1 for the C920?), `eew-sew-mismatch`, `oob-access`,
+//! `dead-store` and `reg-group-overlap` — plus a `descriptor` lint over
+//! the `rvhpc-machines` catalog. The paper's central porting hazard (the
+//! SG2042 speaks v0.7.1 while the ecosystem moved to v1.0) is exactly the
+//! class of bug these passes catch before anything executes.
+//!
+//! Entry points: [`analyze_program`] for RVV programs (configured by an
+//! [`AnalysisSpec`]), [`lint_machine`] / [`lint_all_machines`] for
+//! descriptors. `repro lint` drives both from the command line, and
+//! `rvhpc-verify` runs [`analyze_program`] as a pre-execution gate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cfg;
+mod dataflow;
+mod deadstore;
+mod diag;
+mod machine_lint;
+mod state;
+
+#[cfg(test)]
+mod proptests;
+
+pub use diag::{Diagnostic, Pass};
+pub use machine_lint::{lint_all_machines, lint_machine};
+
+use rvhpc_rvv::dialect::Sew;
+use rvhpc_rvv::Program;
+
+/// A buffer the analysed program may address.
+#[derive(Debug, Clone)]
+pub struct BufferSpec {
+    /// Name used in diagnostics (e.g. `a`).
+    pub name: String,
+    /// Extent in bytes.
+    pub len_bytes: i64,
+}
+
+/// What an entry register holds when the program starts.
+#[derive(Debug, Clone, Copy)]
+pub enum EntryValue {
+    /// A known constant (e.g. the element count).
+    Const(i64),
+    /// The base address of buffer `buffers[i]`.
+    BufferBase(usize),
+    /// Initialised, value unknown.
+    Unknown,
+}
+
+/// Everything the analyser is told about the program's calling convention.
+#[derive(Debug, Clone)]
+pub struct AnalysisSpec {
+    /// Buffers addressable through [`EntryValue::BufferBase`] pointers.
+    pub buffers: Vec<BufferSpec>,
+    /// x-registers initialised at entry, with their abstract values.
+    pub x_entry: Vec<(u8, EntryValue)>,
+    /// f-registers initialised at entry.
+    pub f_entry: Vec<u8>,
+    /// With `true`, scalar registers not named above count as
+    /// uninitialised (codegen conventions are exact); with `false` every
+    /// scalar register is assumed live-in (hand-written fragments).
+    pub strict_scalars: bool,
+    /// Lint the program as RVV v0.7.1 / C920 code: fractional LMUL,
+    /// surviving v1.0 policy flags and FP64 vector arithmetic become
+    /// `dialect-illegal` findings.
+    pub v071_target: bool,
+}
+
+impl AnalysisSpec {
+    /// A permissive spec for hand-written fragments: every scalar register
+    /// may be live-in, no buffers are declared (so `oob-access` stays
+    /// silent), and the v1.0 dialect is assumed.
+    pub fn liberal() -> AnalysisSpec {
+        AnalysisSpec {
+            buffers: Vec::new(),
+            x_entry: Vec::new(),
+            f_entry: Vec::new(),
+            strict_scalars: false,
+            v071_target: false,
+        }
+    }
+
+    /// Switch the spec to lint the program as RVV v0.7.1 / C920 code.
+    pub fn v071(mut self) -> AnalysisSpec {
+        self.v071_target = true;
+        self
+    }
+
+    /// The `rvhpc-compiler` streaming-kernel calling convention: five
+    /// `n`-element buffers (`a b c x1 x2`) based at `x11..x15`, the
+    /// element count in `x10`, scalar operands in `f0..f3`, everything
+    /// else dead on entry.
+    pub fn streaming(sew: Sew, n: usize) -> AnalysisSpec {
+        let eb = sew.bytes() as i64;
+        let len = n as i64 * eb;
+        let buffers = ["a", "b", "c", "x1", "x2"]
+            .iter()
+            .map(|name| BufferSpec { name: name.to_string(), len_bytes: len })
+            .collect();
+        AnalysisSpec {
+            buffers,
+            x_entry: vec![
+                (10, EntryValue::Const(n as i64)),
+                (11, EntryValue::BufferBase(0)),
+                (12, EntryValue::BufferBase(1)),
+                (13, EntryValue::BufferBase(2)),
+                (14, EntryValue::BufferBase(3)),
+                (15, EntryValue::BufferBase(4)),
+            ],
+            f_entry: vec![0, 1, 2, 3],
+            strict_scalars: true,
+            v071_target: false,
+        }
+    }
+}
+
+/// Run every static pass over `program` under `spec` and return the
+/// findings, ordered by instruction index. An empty result means the
+/// program is statically clean.
+pub fn analyze_program(program: &Program, spec: &AnalysisSpec) -> Vec<Diagnostic> {
+    dataflow::analyze(program, spec)
+}
+
+#[cfg(test)]
+mod defect_tests {
+    //! Satellite 3: each diagnostic class demonstrated on a minimal bad
+    //! program, next to a clean twin that differs only in the defect.
+
+    use super::*;
+    use rvhpc_rvv::{parse_program, Dialect};
+
+    fn lint_v10(text: &str, spec: &AnalysisSpec) -> Vec<Diagnostic> {
+        analyze_program(&parse_program(text, Dialect::V10).unwrap(), spec)
+    }
+
+    fn has(diags: &[Diagnostic], pass: Pass) -> bool {
+        diags.iter().any(|d| d.pass == pass)
+    }
+
+    fn spec_with_buffer(len: i64) -> AnalysisSpec {
+        AnalysisSpec {
+            buffers: vec![BufferSpec { name: "buf".into(), len_bytes: len }],
+            x_entry: vec![(11, EntryValue::BufferBase(0))],
+            f_entry: Vec::new(),
+            strict_scalars: false,
+            v071_target: false,
+        }
+    }
+
+    #[test]
+    fn uninit_vector_read_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        let bad = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vfadd.vv v2, v0, v1\n\
+                   \x20   vse32.v v2, (x11)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(has(&diags, Pass::UninitRead), "{diags:#?}");
+
+        let clean = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                     \x20   vfmv.v.f v0, f0\n\
+                     \x20   vfmv.v.f v1, f1\n\
+                     \x20   vfadd.vv v2, v0, v1\n\
+                     \x20   vse32.v v2, (x11)\n\
+                     \x20   ret\n";
+        assert_eq!(lint_v10(clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn vector_op_before_vsetvli_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        let bad = "    vmv.v.x v1, x5\n\
+                   \x20   vse32.v v1, (x11)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(has(&diags, Pass::NoVtype), "{diags:#?}");
+
+        let clean = "    vsetvli x6, x10, e32, m1, ta, ma\n\
+                     \x20   vmv.v.x v1, x5\n\
+                     \x20   vse32.v v1, (x11)\n\
+                     \x20   ret\n";
+        assert_eq!(lint_v10(clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn fractional_lmul_is_dialect_illegal_for_v071() {
+        let spec = AnalysisSpec::liberal().v071();
+        // mf2 plus live ta/ma flags: statically impossible v0.7.1 code.
+        let bad = "    vsetvli x5, x10, e32, mf2, ta, ma\n    ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.pass == Pass::DialectIllegal && d.message.contains("fractional LMUL")),
+            "{diags:#?}"
+        );
+
+        // The clean twin is genuine v0.7.1 text (no flags to survive).
+        let clean_text = "    vsetvli x5, x10, e32, m1\n\
+                          \x20   vle.v v1, (x11)\n\
+                          \x20   vse.v v1, (x12)\n\
+                          \x20   ret\n";
+        let p = parse_program(clean_text, Dialect::V071).unwrap();
+        assert_eq!(analyze_program(&p, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn fp64_vector_arithmetic_is_dialect_illegal_for_v071() {
+        let spec = AnalysisSpec::liberal().v071();
+        let bad = "    vsetvli x5, x10, e64, m1\n\
+                   \x20   vle.v v1, (x11)\n\
+                   \x20   vfadd.vv v2, v1, v1\n\
+                   \x20   vse.v v2, (x12)\n\
+                   \x20   ret\n";
+        let p = parse_program(bad, Dialect::V071).unwrap();
+        let diags = analyze_program(&p, &spec);
+        assert!(
+            diags.iter().any(|d| d.pass == Pass::DialectIllegal && d.message.contains("FP64")),
+            "{diags:#?}"
+        );
+
+        // Same shape at e32 is fine on the C920.
+        let clean = bad.replace("e64", "e32");
+        let p = parse_program(&clean, Dialect::V071).unwrap();
+        assert_eq!(analyze_program(&p, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn eew_differing_from_sew_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        let bad = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vle64.v v1, (x11)\n\
+                   \x20   vse64.v v1, (x12)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(has(&diags, Pass::EewSewMismatch), "{diags:#?}");
+
+        let clean = bad.replace("vle64", "vle32").replace("vse64", "vse32");
+        assert_eq!(lint_v10(&clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn strided_store_past_buffer_end_is_reported() {
+        // Buffer of 64 bytes; vl = 4 (e32/m1 VLMAX); stride 32 touches
+        // byte 3·32+4 = 100 — provably out of bounds.
+        let spec = spec_with_buffer(64);
+        let bad = "    li x10, 16\n\
+                   \x20   vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vfmv.v.f v1, f0\n\
+                   \x20   li x6, 32\n\
+                   \x20   vsse32.v v1, (x11), x6\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(
+            diags.iter().any(|d| d.pass == Pass::OobAccess
+                && d.message.contains("past the end")
+                && d.message.contains("accesses")),
+            "want a definite oob finding, got {diags:#?}"
+        );
+
+        // Stride 16 ends at byte 3·16+4 = 52: inside.
+        let clean = bad.replace("li x6, 32", "li x6, 16");
+        assert_eq!(lint_v10(&clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn overwritten_splat_is_a_dead_store() {
+        let spec = AnalysisSpec::liberal();
+        let bad = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vfmv.v.f v1, f0\n\
+                   \x20   vfmv.v.f v1, f1\n\
+                   \x20   vse32.v v1, (x11)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(has(&diags, Pass::DeadStore), "{diags:#?}");
+        assert_eq!(diags.len(), 1, "only the first splat is dead: {diags:#?}");
+        assert_eq!(diags[0].at, Some(1));
+
+        let clean = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                     \x20   vfmv.v.f v1, f0\n\
+                     \x20   vse32.v v1, (x11)\n\
+                     \x20   ret\n";
+        assert_eq!(lint_v10(clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn misaligned_lmul2_group_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        // At LMUL=2, v3 is neither group-aligned nor disjoint from
+        // v2's group.
+        let bad = "    vsetvli x5, x10, e32, m2, ta, ma\n\
+                   \x20   vfmv.v.f v2, f0\n\
+                   \x20   vfmv.v.f v4, f1\n\
+                   \x20   vfadd.vv v3, v2, v4\n\
+                   \x20   vse32.v v3, (x11)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(has(&diags, Pass::RegGroupOverlap), "{diags:#?}");
+
+        let clean = bad.replace("v3", "v6");
+        assert_eq!(lint_v10(&clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn dead_store_survives_a_loop_read() {
+        // A value read around a back-edge is NOT dead: regression against
+        // naive straight-line liveness.
+        let spec = AnalysisSpec::liberal();
+        let text = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                    \x20   vfmv.v.f v1, f0\n\
+                    loop:\n\
+                    \x20   vfadd.vv v1, v1, v1\n\
+                    \x20   addi x10, x10, -1\n\
+                    \x20   bne x10, x0, loop\n\
+                    \x20   vse32.v v1, (x11)\n\
+                    \x20   ret\n";
+        assert_eq!(lint_v10(text, &spec), vec![], "loop-carried value is live");
+    }
+
+    #[test]
+    fn diagnostics_carry_source_lines() {
+        let text = "# header comment\n\n    vmv.v.x v1, x5\n    ret\n";
+        let (p, map) = rvhpc_rvv::parse_program_with_lines(text, Dialect::V10).unwrap();
+        let diags: Vec<Diagnostic> = analyze_program(&p, &AnalysisSpec::liberal())
+            .into_iter()
+            .map(|d| d.with_lines(&map))
+            .collect();
+        let nv = diags.iter().find(|d| d.pass == Pass::NoVtype).expect("no-vtype fires");
+        assert_eq!(nv.line, Some(3), "points at the source line, not the inst index");
+        assert!(nv.to_string().contains("line 3"), "{nv}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Satellite property: every program the compiler can generate is
+//! statically clean, and every successful rollback is statically legal
+//! v0.7.1. Seeded through `rvhpc-quickprop`, so failures shrink and
+//! replay (`QUICKPROP_SEED`).
+
+use crate::AnalysisSpec;
+use rvhpc_compiler::codegen::{generate, VectorMode, SUPPORTED};
+use rvhpc_quickprop::run_cases;
+use rvhpc_rvv::rollback::{rollback, RollbackError};
+use rvhpc_rvv::Sew;
+
+#[test]
+fn generated_programs_are_lint_clean_and_rollbacks_are_legal() {
+    run_cases(96, |g| {
+        let kernel = *g.choose(&SUPPORTED);
+        let mode = *g.choose(&[VectorMode::Vla, VectorMode::Vls]);
+        let sew = *g.choose(&[Sew::E32, Sew::E64]);
+        // Lane multiple for both SEWs (VLS needs it; VLA tolerates
+        // anything).
+        let n = g.usize_in(1..=64) * 4;
+        let program = generate(kernel, mode, sew).expect("SUPPORTED kernels generate");
+
+        let spec = AnalysisSpec::streaming(sew, n);
+        let diags = crate::analyze_program(&program, &spec);
+        assert!(diags.is_empty(), "{kernel} {mode:?} {sew:?} n={n}: {diags:#?}");
+
+        match rollback(&program) {
+            Ok(rolled) => {
+                let spec = AnalysisSpec::streaming(sew, n).v071();
+                let diags = crate::analyze_program(&rolled, &spec);
+                assert!(diags.is_empty(), "{kernel} {mode:?} {sew:?} rollback output: {diags:#?}");
+            }
+            Err(RollbackError::Fp64Vector { .. }) => {
+                assert_eq!(
+                    sew,
+                    Sew::E64,
+                    "{kernel} {mode:?}: FP64 refusal must only happen at e64"
+                );
+            }
+            Err(e) => panic!("{kernel} {mode:?} {sew:?}: unexpected refusal {e:?}"),
+        }
+    });
+}

@@ -1,0 +1,380 @@
+//! The abstract state lattice for the dataflow engine.
+//!
+//! Three pieces of state flow through the CFG:
+//!
+//! * the active `vtype` (`vsetvli` reachability as a three-valued flag,
+//!   SEW/LMUL/policy flags collapsing to "unknown" when paths disagree)
+//!   with `vl` as an element-count interval clamped to VLMAX;
+//! * per-register initialisation for x-, f- and v-registers (three-valued:
+//!   definitely, maybe, definitely-not written);
+//! * abstract x-register *values*: known constants, byte-offset intervals
+//!   into a declared buffer, plain intervals, or unknown. Intervals use
+//!   `i64::MIN`/`i64::MAX` as ±∞ sentinels and widen at loop joins so the
+//!   fixpoint terminates.
+
+use crate::AnalysisSpec;
+use rvhpc_rvv::dialect::{Lmul, Sew};
+use rvhpc_rvv::VLEN_BITS;
+
+/// Three-valued truth for "has this happened on every/some/no path".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tri {
+    /// On no path.
+    No,
+    /// On every path.
+    Yes,
+    /// On some paths only.
+    Maybe,
+}
+
+impl Tri {
+    pub(crate) fn join(a: Tri, b: Tri) -> Tri {
+        if a == b {
+            a
+        } else {
+            Tri::Maybe
+        }
+    }
+}
+
+/// ±∞ sentinels for interval bounds.
+pub(crate) const NEG_INF: i64 = i64::MIN;
+pub(crate) const POS_INF: i64 = i64::MAX;
+
+fn is_inf(v: i64) -> bool {
+    v == NEG_INF || v == POS_INF
+}
+
+fn clamp128(v: i128) -> i64 {
+    if v <= NEG_INF as i128 {
+        NEG_INF
+    } else if v >= POS_INF as i128 {
+        POS_INF
+    } else {
+        v as i64
+    }
+}
+
+/// Bound-respecting add: infinities absorb, finite overflow saturates to
+/// the corresponding infinity (conservative).
+pub(crate) fn b_add(a: i64, b: i64) -> i64 {
+    if is_inf(a) {
+        a
+    } else if is_inf(b) {
+        b
+    } else {
+        clamp128(a as i128 + b as i128)
+    }
+}
+
+/// Bound-respecting multiply by a finite non-negative factor.
+pub(crate) fn b_mul(a: i64, k: i64) -> i64 {
+    if is_inf(a) {
+        a
+    } else {
+        clamp128(a as i128 * k as i128)
+    }
+}
+
+/// Abstract value of an x-register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum XVal {
+    /// Exactly this value.
+    Const(i64),
+    /// A byte offset into declared buffer `buf`, within `[lo, hi]`.
+    Ptr { buf: u16, lo: i64, hi: i64 },
+    /// An integer in `[lo, hi]`.
+    Range { lo: i64, hi: i64 },
+    /// Anything.
+    Any,
+}
+
+impl XVal {
+    /// Interval view for plain integers; `None` for pointers/unknown.
+    fn interval(self) -> Option<(i64, i64)> {
+        match self {
+            XVal::Const(c) => Some((c, c)),
+            XVal::Range { lo, hi } => Some((lo, hi)),
+            _ => None,
+        }
+    }
+
+    fn from_interval(lo: i64, hi: i64) -> XVal {
+        if lo == hi && !is_inf(lo) {
+            XVal::Const(lo)
+        } else {
+            XVal::Range { lo, hi }
+        }
+    }
+
+    pub(crate) fn join(a: XVal, b: XVal) -> XVal {
+        match (a, b) {
+            (XVal::Any, _) | (_, XVal::Any) => XVal::Any,
+            (XVal::Ptr { buf: ba, lo: la, hi: ha }, XVal::Ptr { buf: bb, lo: lb, hi: hb }) => {
+                if ba == bb {
+                    XVal::Ptr { buf: ba, lo: la.min(lb), hi: ha.max(hb) }
+                } else {
+                    XVal::Any
+                }
+            }
+            (XVal::Ptr { .. }, _) | (_, XVal::Ptr { .. }) => XVal::Any,
+            (x, y) => {
+                let (la, ha) = x.interval().expect("non-ptr");
+                let (lb, hb) = y.interval().expect("non-ptr");
+                XVal::from_interval(la.min(lb), ha.max(hb))
+            }
+        }
+    }
+
+    /// Widen `joined` against the previous state `old`: any bound that
+    /// moved is pushed to ±∞ so loop iteration counts cannot delay the
+    /// fixpoint indefinitely.
+    pub(crate) fn widen(old: XVal, joined: XVal) -> XVal {
+        let blow = |olo: i64, ohi: i64, jlo: i64, jhi: i64| {
+            (if jlo < olo { NEG_INF } else { jlo }, if jhi > ohi { POS_INF } else { jhi })
+        };
+        match (old, joined) {
+            (XVal::Ptr { buf: ob, lo: olo, hi: ohi }, XVal::Ptr { buf: jb, lo: jlo, hi: jhi })
+                if ob == jb =>
+            {
+                let (lo, hi) = blow(olo, ohi, jlo, jhi);
+                XVal::Ptr { buf: jb, lo, hi }
+            }
+            (x, y) => match (x.interval(), y.interval()) {
+                (Some((olo, ohi)), Some((jlo, jhi))) => {
+                    let (lo, hi) = blow(olo, ohi, jlo, jhi);
+                    XVal::from_interval(lo, hi)
+                }
+                _ => y,
+            },
+        }
+    }
+
+    pub(crate) fn add(a: XVal, b: XVal) -> XVal {
+        match (a, b) {
+            (XVal::Ptr { buf, lo, hi }, o) | (o, XVal::Ptr { buf, lo, hi }) => match o.interval() {
+                Some((l2, h2)) => XVal::Ptr { buf, lo: b_add(lo, l2), hi: b_add(hi, h2) },
+                None => XVal::Any,
+            },
+            (x, y) => match (x.interval(), y.interval()) {
+                (Some((la, ha)), Some((lb, hb))) => {
+                    XVal::from_interval(b_add(la, lb), b_add(ha, hb))
+                }
+                _ => XVal::Any,
+            },
+        }
+    }
+
+    pub(crate) fn sub(a: XVal, b: XVal) -> XVal {
+        match (a, b) {
+            (XVal::Ptr { buf, lo, hi }, o) => match o.interval() {
+                // ptr - k stays a pointer into the same buffer.
+                Some((l2, h2)) => XVal::Ptr {
+                    buf,
+                    lo: b_add(lo, -h2.min(POS_INF - 1)),
+                    hi: b_add(hi, -l2.max(NEG_INF + 1)),
+                },
+                None => XVal::Any,
+            },
+            (x, y) => match (x.interval(), y.interval()) {
+                (Some((la, ha)), Some((lb, hb))) => XVal::from_interval(
+                    b_add(la, -hb.min(POS_INF - 1)),
+                    b_add(ha, -lb.max(NEG_INF + 1)),
+                ),
+                _ => XVal::Any,
+            },
+        }
+    }
+
+    pub(crate) fn mul(a: XVal, b: XVal) -> XVal {
+        match (a, b) {
+            (XVal::Const(x), XVal::Const(y)) => XVal::Const(x.wrapping_mul(y)),
+            _ => XVal::Any,
+        }
+    }
+
+    pub(crate) fn shl(a: XVal, shamt: u8) -> XVal {
+        match a.interval() {
+            // Shifting multiplies by 2^shamt (non-negative), so bounds map
+            // monotonically.
+            Some((lo, hi)) if shamt < 63 => {
+                XVal::from_interval(b_mul(lo, 1i64 << shamt), b_mul(hi, 1i64 << shamt))
+            }
+            _ => XVal::Any,
+        }
+    }
+}
+
+/// VLMAX for a vtype, matching the interpreter's formula.
+pub(crate) fn vlmax(sew: Sew, lmul: Lmul) -> i64 {
+    let elems_per_reg = (VLEN_BITS / 8) / sew.bytes();
+    ((elems_per_reg as f64) * lmul.ratio()).floor().max(1.0) as i64
+}
+
+/// Abstract machine state at a program point.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AbsState {
+    /// Has a `vsetvli` executed?
+    pub vset: Tri,
+    /// Reaching SEW; `None` when paths disagree (only meaningful when
+    /// `vset != No`).
+    pub sew: Option<Sew>,
+    /// Reaching LMUL; `None` when paths disagree.
+    pub lmul: Option<Lmul>,
+    /// Reaching tail-agnostic flag; `None` when paths disagree.
+    pub ta: Option<bool>,
+    /// Reaching mask-agnostic flag; `None` when paths disagree.
+    pub ma: Option<bool>,
+    /// `vl` interval in elements.
+    pub vl_lo: i64,
+    /// Upper `vl` bound.
+    pub vl_hi: i64,
+    /// Initialisation of x1–x31 (`x0` is always initialised).
+    pub x_init: [Tri; 32],
+    /// Abstract x-register values.
+    pub x_val: [XVal; 32],
+    /// Initialisation of f-registers.
+    pub f_init: [Tri; 32],
+    /// Initialisation of v-registers (per physical register, so LMUL
+    /// groups mark/check every member).
+    pub v_init: [Tri; 32],
+}
+
+impl AbsState {
+    /// The entry state described by a spec.
+    pub(crate) fn entry(spec: &AnalysisSpec) -> AbsState {
+        let scalar_default = if spec.strict_scalars { Tri::No } else { Tri::Yes };
+        let mut st = AbsState {
+            vset: Tri::No,
+            sew: None,
+            lmul: None,
+            ta: None,
+            ma: None,
+            vl_lo: 0,
+            vl_hi: 0,
+            x_init: [scalar_default; 32],
+            x_val: [XVal::Any; 32],
+            f_init: [scalar_default; 32],
+            v_init: [Tri::No; 32],
+        };
+        st.x_init[0] = Tri::Yes;
+        st.x_val[0] = XVal::Const(0);
+        for &(reg, ref val) in &spec.x_entry {
+            st.x_init[reg as usize & 31] = Tri::Yes;
+            st.x_val[reg as usize & 31] = match *val {
+                crate::EntryValue::Const(c) => XVal::Const(c),
+                crate::EntryValue::BufferBase(buf) => XVal::Ptr { buf: buf as u16, lo: 0, hi: 0 },
+                crate::EntryValue::Unknown => XVal::Any,
+            };
+        }
+        for &reg in &spec.f_entry {
+            st.f_init[reg as usize & 31] = Tri::Yes;
+        }
+        st
+    }
+
+    /// Join two states; with `widen`, interval bounds that moved versus
+    /// `self` blow out to ±∞.
+    pub(crate) fn join(&self, other: &AbsState, widen: bool) -> AbsState {
+        // A path that never ran vsetvli contributes no vtype opinion.
+        fn opt<T: Copy + PartialEq>(
+            a: Option<T>,
+            b: Option<T>,
+            a_set: Tri,
+            b_set: Tri,
+        ) -> Option<T> {
+            match (a_set, b_set) {
+                (Tri::No, _) => b,
+                (_, Tri::No) => a,
+                _ => {
+                    if a == b {
+                        a
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        let (vl_lo, vl_hi) = match (self.vset, other.vset) {
+            (Tri::No, _) => (other.vl_lo, other.vl_hi),
+            (_, Tri::No) => (self.vl_lo, self.vl_hi),
+            _ => (self.vl_lo.min(other.vl_lo), self.vl_hi.max(other.vl_hi)),
+        };
+        let mut st = AbsState {
+            vset: Tri::join(self.vset, other.vset),
+            sew: opt(self.sew, other.sew, self.vset, other.vset),
+            lmul: opt(self.lmul, other.lmul, self.vset, other.vset),
+            ta: opt(self.ta, other.ta, self.vset, other.vset),
+            ma: opt(self.ma, other.ma, self.vset, other.vset),
+            vl_lo,
+            vl_hi,
+            x_init: [Tri::No; 32],
+            x_val: [XVal::Any; 32],
+            f_init: [Tri::No; 32],
+            v_init: [Tri::No; 32],
+        };
+        for i in 0..32 {
+            st.x_init[i] = Tri::join(self.x_init[i], other.x_init[i]);
+            st.f_init[i] = Tri::join(self.f_init[i], other.f_init[i]);
+            st.v_init[i] = Tri::join(self.v_init[i], other.v_init[i]);
+            let joined = XVal::join(self.x_val[i], other.x_val[i]);
+            st.x_val[i] = if widen { XVal::widen(self.x_val[i], joined) } else { joined };
+        }
+        st
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic_saturates_at_infinity() {
+        let p = XVal::Ptr { buf: 0, lo: 0, hi: POS_INF };
+        match XVal::add(p, XVal::Const(16)) {
+            XVal::Ptr { lo, hi, .. } => {
+                assert_eq!(lo, 16);
+                assert_eq!(hi, POS_INF, "infinity absorbs");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_of_distinct_constants_is_their_hull() {
+        assert_eq!(XVal::join(XVal::Const(4), XVal::Const(16)), XVal::Range { lo: 4, hi: 16 });
+        assert_eq!(XVal::join(XVal::Const(7), XVal::Const(7)), XVal::Const(7));
+    }
+
+    #[test]
+    fn widen_blows_moving_bounds_to_infinity() {
+        let old = XVal::Ptr { buf: 2, lo: 0, hi: 0 };
+        let joined = XVal::Ptr { buf: 2, lo: 0, hi: 64 };
+        assert_eq!(
+            XVal::widen(old, joined),
+            XVal::Ptr { buf: 2, lo: 0, hi: POS_INF },
+            "a growing pointer offset widens upward only"
+        );
+    }
+
+    #[test]
+    fn vlmax_matches_interpreter() {
+        assert_eq!(vlmax(Sew::E32, Lmul::M1), 4, "VLEN=128: four f32 lanes");
+        assert_eq!(vlmax(Sew::E64, Lmul::M2), 4);
+        assert_eq!(vlmax(Sew::E64, Lmul::F8), 1, "floor, minimum 1");
+        assert_eq!(vlmax(Sew::E8, Lmul::M8), 128);
+    }
+
+    #[test]
+    fn join_respects_unset_vtype_paths() {
+        let spec = AnalysisSpec::liberal();
+        let mut a = AbsState::entry(&spec);
+        let b = AbsState::entry(&spec);
+        a.vset = Tri::Yes;
+        a.sew = Some(Sew::E32);
+        a.lmul = Some(Lmul::M1);
+        let j = a.join(&b, false);
+        assert_eq!(j.vset, Tri::Maybe, "set on one path only");
+        assert_eq!(j.sew, Some(Sew::E32), "the only opinion wins");
+    }
+}

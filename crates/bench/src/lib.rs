@@ -13,6 +13,9 @@
 //! entry-point macros. Timing is median-of-samples with an adaptive
 //! per-sample iteration count.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::fmt::Display;
 use std::hint::black_box;
 use std::time::{Duration, Instant};

@@ -15,6 +15,7 @@
 //! The analytic model is cross-validated against the trace simulator by
 //! tests in this crate and in the workspace integration tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;

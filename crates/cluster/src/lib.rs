@@ -26,6 +26,7 @@
 //! — not the network — is again the limit, supporting the paper's view
 //! that such clusters are worth building for evaluation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collectives;

@@ -18,6 +18,7 @@
 //! provides the full compile pipeline ([`pipeline`]) whose Clang leg runs
 //! the real rollback pass from `rvhpc-rvv`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capability;

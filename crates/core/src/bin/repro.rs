@@ -13,6 +13,8 @@
 //! repro native [scale]       # run the real kernels on this host
 //! repro verify [--seed N] [--cases M] [--inject <fault>] [--replay <file>]
 //!                            # differential/metamorphic cross-checks
+//! repro lint [--machine <m>] [--kernel <k>] [--asm <file>] [--json]
+//!                            # static RVV dataflow + descriptor lint
 //! repro help                 # this usage text
 //!
 //! repro --csv <artefact>     # CSV instead of markdown
@@ -47,6 +49,10 @@ seed-reproducible random inputs (RVV interpreter vs\n                          \
 scalar reference, analytic vs trace cache model,\n                          \
 parallel vs serial executors, perfmodel metamorphic\n                          \
 properties); failures write a replayable artefact\n  \
+  lint [--machine <m>] [--kernel <k>] [--asm <file>] [--json]\n                          \
+static dataflow lint over generated RVV programs\n                          \
+(v1.0 and their v0.7.1 rollbacks) and machine\n                          \
+descriptors; exits 3 when any finding is reported\n  \
   help                    this text\n\
 flags:\n  \
   --csv                   CSV instead of markdown\n  \
@@ -66,10 +72,14 @@ enum Format {
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
-    // `verify` takes valued flags (--seed N, ...) that the global flag loop
-    // would reject, so it dispatches before flag parsing.
+    // `verify` and `lint` take valued flags (--seed N, --asm <file>, ...)
+    // that the global flag loop would reject, so they dispatch before flag
+    // parsing.
     if args.first().map(String::as_str) == Some("verify") {
         verify(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        lint(&args[1..]);
     }
     let mut format = Format::Markdown;
     let mut trace = false;
@@ -258,7 +268,7 @@ fn verify(args: &[String]) -> ! {
     use rvhpc::verify::{artefact, replay_case, run_all, Fault, VerifyConfig, ORACLES};
 
     const VERIFY_USAGE: &str = "usage: repro verify [--seed N] [--cases M] \
-                                [--inject none|reduction-op] [--replay <file>]";
+                                [--inject none|reduction-op|drop-vsetvli] [--replay <file>]";
     let mut seed = rvhpc_quickprop::base_seed();
     let mut cases: u64 = 200;
     let mut inject = Fault::None;
@@ -289,7 +299,7 @@ fn verify(args: &[String]) -> ! {
             "--inject" => {
                 let v = value("--inject");
                 inject = Fault::from_token(&v).unwrap_or_else(|| {
-                    eprintln!("unknown fault `{v}` (known: none, reduction-op)");
+                    eprintln!("unknown fault `{v}` (known: none, reduction-op, drop-vsetvli)");
                     std::process::exit(2);
                 });
             }
@@ -359,6 +369,180 @@ fn verify(args: &[String]) -> ! {
         }
     }
     std::process::exit(if failed { 1 } else { 0 });
+}
+
+/// `repro lint` — run the static analyzer over every machine descriptor and
+/// every generated RVV program (v1.0 and their v0.7.1 rollbacks), or over
+/// one assembly file (`--asm`). Exits 3 when any finding is reported, 2 on
+/// usage/IO errors, 0 when everything is clean.
+fn lint(args: &[String]) -> ! {
+    use rvhpc::analyze::{analyze_program, lint_all_machines, lint_machine, AnalysisSpec};
+    use rvhpc::analyze::{Diagnostic, Pass};
+    use rvhpc::compiler::codegen::{generate, VectorMode, SUPPORTED};
+    use rvhpc::rvv::{parse_program_with_lines, rollback, Dialect, RollbackError, Sew};
+    use rvhpc_trace::json::Json;
+
+    const LINT_USAGE: &str =
+        "usage: repro lint [--machine <m>] [--kernel <label>] [--asm <file>] [--json]";
+    // Element count for the generated sweep: a lane multiple for both SEWs,
+    // large enough that every program takes its strip-mine back-edge.
+    const SWEEP_N: usize = 96;
+
+    let mut machine_filter: Option<MachineId> = None;
+    let mut kernel_filter: Option<KernelName> = None;
+    let mut asm: Option<String> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{LINT_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--machine" => {
+                let v = value("--machine");
+                machine_filter =
+                    Some(MachineId::from_token(&v.to_lowercase()).unwrap_or_else(|| {
+                        eprintln!("unknown machine `{v}`; known: {}", machine_tokens());
+                        std::process::exit(2);
+                    }));
+            }
+            "--kernel" => {
+                let v = value("--kernel");
+                let k = KernelName::from_label(&v).unwrap_or_else(|| {
+                    eprintln!("unknown kernel `{v}`; labels are e.g. Basic_DAXPY, Stream_TRIAD");
+                    std::process::exit(2);
+                });
+                if !SUPPORTED.contains(&k) {
+                    eprintln!(
+                        "kernel `{v}` has no RVV codegen; supported: {}",
+                        SUPPORTED.map(|k| k.label()).join(", ")
+                    );
+                    std::process::exit(2);
+                }
+                kernel_filter = Some(k);
+            }
+            "--asm" => asm = Some(value("--asm")),
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown lint argument `{other}`\n{LINT_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+    let mut programs = 0usize;
+    let mut descriptors = 0usize;
+
+    if let Some(path) = &asm {
+        // Lint one assembly file under the permissive hand-written-fragment
+        // spec: try v1.0 first, then v0.7.1 (which also turns on the
+        // dialect-legality pass).
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let (program, map, dialect) = match parse_program_with_lines(&text, Dialect::V10) {
+            Ok((p, m)) => (p, m, Dialect::V10),
+            Err(e10) => match parse_program_with_lines(&text, Dialect::V071) {
+                Ok((p, m)) => (p, m, Dialect::V071),
+                Err(e071) => {
+                    eprintln!(
+                        "{path} parses as neither RVV dialect:\n  v1.0:   {e10}\n  v0.7.1: {e071}"
+                    );
+                    std::process::exit(2);
+                }
+            },
+        };
+        let spec = match dialect {
+            Dialect::V071 => AnalysisSpec::liberal().v071(),
+            Dialect::V10 => AnalysisSpec::liberal(),
+        };
+        programs = 1;
+        let ctx = format!("{path} ({dialect:?})");
+        findings.extend(
+            analyze_program(&program, &spec).into_iter().map(|d| (ctx.clone(), d.with_lines(&map))),
+        );
+    } else {
+        // Descriptor lint over the machine catalog.
+        let diags = match machine_filter {
+            Some(id) => {
+                descriptors = 1;
+                lint_machine(&machine(id))
+            }
+            None => {
+                descriptors = MachineId::ALL.len() + 1; // + the what-if machine
+                lint_all_machines()
+            }
+        };
+        findings.extend(diags.into_iter().map(|d| ("catalog".to_string(), d)));
+
+        // Dataflow lint over every generated program: the v1.0 output under
+        // the codegen calling convention, and its v0.7.1 rollback under the
+        // C920 legality rules. The only tolerated refusal is FP64 vector
+        // arithmetic at e64 (the C920 genuinely cannot run it).
+        let kernels: Vec<KernelName> =
+            kernel_filter.map(|k| vec![k]).unwrap_or_else(|| SUPPORTED.to_vec());
+        for &kernel in &kernels {
+            for sew in [Sew::E32, Sew::E64] {
+                for mode in [VectorMode::Vla, VectorMode::Vls] {
+                    let Some(program) = generate(kernel, mode, sew) else { continue };
+                    let ctx = format!("{} {mode:?} {sew:?}", kernel.label());
+                    programs += 1;
+                    let spec = AnalysisSpec::streaming(sew, SWEEP_N);
+                    findings.extend(
+                        analyze_program(&program, &spec)
+                            .into_iter()
+                            .map(|d| (format!("{ctx} v1.0"), d)),
+                    );
+                    match rollback(&program) {
+                        Ok(rolled) => {
+                            programs += 1;
+                            let spec = AnalysisSpec::streaming(sew, SWEEP_N).v071();
+                            findings.extend(
+                                analyze_program(&rolled, &spec)
+                                    .into_iter()
+                                    .map(|d| (format!("{ctx} v0.7.1 rollback"), d)),
+                            );
+                        }
+                        Err(RollbackError::Fp64Vector { .. }) if sew == Sew::E64 => {}
+                        Err(e) => findings.push((
+                            format!("{ctx} rollback"),
+                            Diagnostic::at(
+                                Pass::DialectIllegal,
+                                e.inst_index(),
+                                format!("rollback refused: {e}"),
+                            ),
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    if json {
+        let arr = Json::Arr(
+            findings
+                .iter()
+                .map(|(ctx, d)| {
+                    Json::obj(vec![("context", Json::str(ctx.as_str())), ("finding", d.to_json())])
+                })
+                .collect(),
+        );
+        println!("{}", arr.pretty());
+    } else {
+        for (ctx, d) in &findings {
+            println!("{ctx}: {d}");
+        }
+    }
+    eprintln!(
+        "lint: {descriptors} machine descriptor(s), {programs} program(s) analysed, {} finding(s)",
+        findings.len()
+    );
+    std::process::exit(if findings.is_empty() { 0 } else { 3 });
 }
 
 fn machine_tokens() -> String {

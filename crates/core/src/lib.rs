@@ -14,6 +14,8 @@
 //!   interpreter, and the RVV-Rollback rewriter);
 //! * [`rvhpc_compiler`] — GCC/Clang auto-vectorisation capability tables
 //!   and a real RVV code generator;
+//! * [`rvhpc_analyze`] — a static dataflow verifier for RVV programs
+//!   (`repro lint`) plus a machine-descriptor lint;
 //! * [`rvhpc_perfmodel`] — the analytic timing engine that stands in for
 //!   the hardware (see DESIGN.md for the substitution argument);
 //! * this crate — the suite runner, one experiment module per paper table
@@ -31,6 +33,7 @@
 //! println!("{}", fig.to_markdown());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
@@ -43,6 +46,7 @@ pub use report::{ClassStat, FigureReport, SeriesStat, TableReport};
 pub use suite::{class_mean, suite_times, times_faster, KernelTime};
 
 // Re-export the workspace crates under their natural names.
+pub use rvhpc_analyze as analyze;
 pub use rvhpc_cachesim as cachesim;
 pub use rvhpc_cluster as cluster;
 pub use rvhpc_compiler as compiler;

@@ -18,6 +18,7 @@
 //! Nothing in this crate measures or models time; the timing engine lives in
 //! `rvhpc-perfmodel` and consumes these descriptors.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -21,6 +21,7 @@
 //! Constants that cannot be derived from datasheets live in
 //! [`calibration`], one commented block per machine.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod calibration;

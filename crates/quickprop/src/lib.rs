@@ -26,6 +26,9 @@
 //! });
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::RangeInclusive;
 
 enum Source {

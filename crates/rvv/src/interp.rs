@@ -70,6 +70,9 @@ pub struct Machine {
     mem: Vec<u8>,
     vl: usize,
     vtype: Option<(Sew, Lmul, bool)>, // (sew, lmul, tail_agnostic)
+    /// Index of the instruction most recently dispatched by `run` — on an
+    /// [`ExecError`], the failing instruction.
+    last_pc: Option<usize>,
     /// Total instructions executed by [`Machine::run`].
     pub executed: u64,
     /// Vector instructions executed.
@@ -89,6 +92,7 @@ impl Machine {
             mem: vec![0; mem_bytes],
             vl: 0,
             vtype: None,
+            last_pc: None,
             executed: 0,
             executed_vector: 0,
             retired_by_class: [0; OpClass::ALL.len()],
@@ -129,6 +133,14 @@ impl Machine {
     /// Current `vl`.
     pub fn vl(&self) -> usize {
         self.vl
+    }
+
+    /// Instruction index most recently dispatched by [`Machine::run`].
+    /// After an [`ExecError`] this is the failing instruction, so callers
+    /// can map the failure to a source line via a
+    /// [`crate::parse::SourceMap`].
+    pub fn last_pc(&self) -> Option<usize> {
+        self.last_pc
     }
 
     /// Raw memory view.
@@ -339,6 +351,7 @@ impl Machine {
                 return Err(ExecError::StepLimit);
             }
             steps += 1;
+            self.last_pc = Some(pc);
             let inst = &program.insts[pc];
             if let Some(class) = inst.op_class() {
                 self.executed += 1;
@@ -865,6 +878,20 @@ loop:
         let p = parse_program("loop:\n    j loop\n", Dialect::V10).unwrap();
         let mut m = Machine::new(Dialect::V10, 0);
         assert_eq!(m.run(&p, 1000).unwrap_err(), ExecError::StepLimit);
+    }
+
+    #[test]
+    fn last_pc_points_at_failing_instruction() {
+        let p = parse_program(
+            "    li x11, 0\n    vsetvli x5, x10, e32, m1, ta, ma\n    vle32.v v0, (x11)\n    ret\n",
+            Dialect::V10,
+        )
+        .unwrap();
+        let mut m = Machine::new(Dialect::V10, 4);
+        assert_eq!(m.last_pc(), None);
+        m.set_x(10, 4);
+        assert!(m.run(&p, 100).is_err());
+        assert_eq!(m.last_pc(), Some(2), "the vle32.v is the failing inst");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! supported program, executing the original under v1.0 semantics and the
 //! rewritten program under v0.7.1 semantics leaves identical memory.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;
@@ -40,6 +41,6 @@ pub use builder::ProgramBuilder;
 pub use dialect::{Dialect, Lmul, Sew};
 pub use inst::{FReg, Inst, OpClass, Program, VReg, XReg};
 pub use interp::{ExecError, Machine, VLEN_BITS};
-pub use parse::{parse_program, ParseError};
+pub use parse::{parse_program, parse_program_with_lines, ParseError, SourceMap};
 pub use print::print_program;
 pub use rollback::{rollback, RollbackError};

@@ -26,9 +26,45 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Side table mapping instruction indices back to 1-based source lines.
+///
+/// [`Program`] itself carries no provenance (it is also built
+/// programmatically), so the parser returns this alongside it; diagnostics
+/// that know an instruction index can then point at the offending line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    lines: Vec<usize>,
+}
+
+impl SourceMap {
+    /// Source line (1-based) of the instruction at `index`, if recorded.
+    pub fn line(&self, index: usize) -> Option<usize> {
+        self.lines.get(index).copied()
+    }
+
+    /// Number of instructions mapped.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no instructions are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
 /// Parse assembly text in the given dialect.
 pub fn parse_program(text: &str, dialect: Dialect) -> Result<Program, ParseError> {
+    parse_program_with_lines(text, dialect).map(|(p, _)| p)
+}
+
+/// Parse assembly text, also returning the instruction → source line map.
+pub fn parse_program_with_lines(
+    text: &str,
+    dialect: Dialect,
+) -> Result<(Program, SourceMap), ParseError> {
     let mut insts = Vec::new();
+    let mut lines = Vec::new();
     let mut sew: Option<Sew> = None;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -43,12 +79,14 @@ pub fn parse_program(text: &str, dialect: Dialect) -> Result<Program, ParseError
                 return Err(err(format!("bad label `{label}`")));
             }
             insts.push(Inst::Label(label.to_string()));
+            lines.push(lineno + 1);
             continue;
         }
         let inst = parse_inst(line, dialect, &mut sew).map_err(err)?;
         insts.push(inst);
+        lines.push(lineno + 1);
     }
-    Ok(Program { insts })
+    Ok((Program { insts }, SourceMap { lines }))
 }
 
 fn split_mnemonic(line: &str) -> (&str, Vec<&str>) {
@@ -487,6 +525,18 @@ loop:
         let text = "    li x1, 5\n    bogus x1, x2\n";
         let e = parse_program(text, Dialect::V10).unwrap_err();
         assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn source_map_skips_blank_and_comment_lines() {
+        let text = "# header\n\nstart:\n    li x1, 5\n\n    # mid comment\n    ret\n";
+        let (p, map) = parse_program_with_lines(text, Dialect::V10).unwrap();
+        assert_eq!(p.insts.len(), 3);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.line(0), Some(3), "label `start:`");
+        assert_eq!(map.line(1), Some(4), "li");
+        assert_eq!(map.line(2), Some(7), "ret");
+        assert_eq!(map.line(3), None, "past the end");
     }
 
     #[test]

@@ -74,6 +74,19 @@ impl std::fmt::Display for RollbackError {
     }
 }
 
+impl RollbackError {
+    /// Index of the instruction the refusal points at (maps to a source
+    /// line through [`crate::parse::SourceMap`] for parsed programs).
+    pub fn inst_index(&self) -> usize {
+        match self {
+            RollbackError::FractionalLmul { at }
+            | RollbackError::EewMismatch { at, .. }
+            | RollbackError::NoVtype { at }
+            | RollbackError::Fp64Vector { at, .. } => *at,
+        }
+    }
+}
+
 impl std::error::Error for RollbackError {}
 
 /// Rewrite a v1.0 program into a v0.7.1 program, or explain why that is

@@ -34,6 +34,7 @@
 //! assert_eq!(data.counter("cachesim.l1.hits"), 3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;

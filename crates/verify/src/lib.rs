@@ -23,9 +23,12 @@
 //! Every case derives from a base seed (`repro verify --seed N`); on
 //! failure the driver greedily minimizes the counterexample via
 //! [`rvhpc_quickprop::minimize`] and emits a replayable JSON artefact.
-//! [`Fault`] injects a deliberate interpreter bug (a mutated reduction op)
-//! to prove the harness catches real divergence.
+//! [`Fault`] injects deliberate bugs to prove the harness catches real
+//! divergence: a mutated reduction op (caught dynamically) and dropped
+//! `vsetvli`s (caught statically by the `rvhpc-analyze` pre-execution
+//! gate before the interpreter runs an instruction).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artefact;
@@ -46,6 +49,11 @@ pub enum Fault {
     /// Mutate the reduction accumulation op in generated RVV code
     /// (`vfadd` → `vfsub` in REDUCE_SUM, `vfmacc` → `vfmul` in DOT).
     ReductionOp,
+    /// Delete every `vsetvli` from generated RVV code. The program then
+    /// fails `rvhpc-analyze`'s `no-vtype` pass, so this fault proves the
+    /// static lint gate turns lint findings into differential failures
+    /// *before* execution.
+    DropVsetvli,
 }
 
 impl Fault {
@@ -54,6 +62,7 @@ impl Fault {
         match s {
             "none" => Some(Fault::None),
             "reduction-op" => Some(Fault::ReductionOp),
+            "drop-vsetvli" => Some(Fault::DropVsetvli),
             _ => None,
         }
     }
@@ -63,6 +72,7 @@ impl Fault {
         match self {
             Fault::None => "none",
             Fault::ReductionOp => "reduction-op",
+            Fault::DropVsetvli => "drop-vsetvli",
         }
     }
 }
@@ -227,7 +237,7 @@ mod tests {
 
     #[test]
     fn fault_tokens_round_trip() {
-        for f in [Fault::None, Fault::ReductionOp] {
+        for f in [Fault::None, Fault::ReductionOp, Fault::DropVsetvli] {
             assert_eq!(Fault::from_token(f.label()), Some(f));
         }
         assert_eq!(Fault::from_token("bogus"), None);

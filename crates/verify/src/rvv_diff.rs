@@ -143,6 +143,16 @@ pub fn inject_reduction_bug(program: &mut Program) -> bool {
     false
 }
 
+/// Delete every `vsetvli`, returning whether anything was removed. The
+/// result reads vector state that was never configured — exactly what the
+/// static `no-vtype` pass exists to catch, so this injection exercises the
+/// lint gate rather than the dynamic comparison.
+pub fn inject_drop_vsetvli(program: &mut Program) -> bool {
+    let before = program.insts.len();
+    program.insts.retain(|inst| !matches!(inst, Inst::Vsetvli { .. }));
+    program.insts.len() != before
+}
+
 /// Outputs of one execution path, widened to f64.
 #[derive(Debug, Clone, PartialEq)]
 struct Outputs {
@@ -175,8 +185,10 @@ fn execute(case: &RvvCase, program: &Program, dialect: Dialect) -> Result<Output
             m.write_f64s(region * n * eb, data);
         }
     }
-    m.run(program, 1_000_000)
-        .map_err(|e| format!("{dialect:?} execution failed for {}: {e:?}", case.describe()))?;
+    if let Err(e) = m.run(program, 1_000_000) {
+        let at = m.last_pc().map_or(String::new(), |pc| format!(" at inst {pc}"));
+        return Err(format!("{dialect:?} execution failed{at} for {}: {e:?}", case.describe()));
+    }
     let read = |m: &Machine, region: usize| -> Vec<f64> {
         if case.is_fp32() {
             m.read_f32s(region * n * eb, n).iter().map(|x| f64::from(*x)).collect()
@@ -318,14 +330,44 @@ fn against_reference(case: &RvvCase, got: &Outputs, want: &Outputs) -> Result<()
     Ok(())
 }
 
-/// Check one case: v1.0 vs. rolled-back v0.7.1 must be bit-identical, and
-/// both must match the scalar reference within tolerance.
+/// Check one case: the program must pass the static lint gate, v1.0 vs.
+/// rolled-back v0.7.1 must be bit-identical, and both must match the
+/// scalar reference within tolerance.
 pub fn check(case: &RvvCase, fault: Fault) -> Result<(), String> {
     let mut program =
         generate(case.kernel, case.mode, case.sew).expect("SUPPORTED kernels always generate");
-    if fault == Fault::ReductionOp {
-        inject_reduction_bug(&mut program);
+    match fault {
+        Fault::None => {}
+        Fault::ReductionOp => {
+            inject_reduction_bug(&mut program);
+        }
+        Fault::DropVsetvli => {
+            inject_drop_vsetvli(&mut program);
+        }
     }
+
+    // Static pre-execution gate: a program rvhpc-analyze rejects on a
+    // correctness pass is a differential failure in its own right, whether
+    // or not it would also crash dynamically. Dead stores are excluded:
+    // they don't change observable behaviour, and gating on them would
+    // let the reduction-op fault (whose mutation orphans the accumulator
+    // splat) short-circuit the dynamic divergence it exists to exercise.
+    let spec = rvhpc_analyze::AnalysisSpec::streaming(case.sew, case.n);
+    let mut findings = rvhpc_analyze::analyze_program(&program, &spec);
+    findings.retain(|d| d.pass != rvhpc_analyze::Pass::DeadStore);
+    if !findings.is_empty() {
+        let dynamic = match execute(case, &program, Dialect::V10) {
+            Ok(_) => "dynamic v1.0 execution nevertheless succeeded".to_string(),
+            Err(e) => format!("dynamic v1.0 execution also failed: {e}"),
+        };
+        return Err(format!(
+            "static lint gate rejected the program ({} finding(s), first: {}); {dynamic} for {}",
+            findings.len(),
+            findings[0],
+            case.describe()
+        ));
+    }
+
     let v10 = execute(case, &program, Dialect::V10)?;
     match rollback(&program) {
         Ok(rolled) => {
@@ -448,6 +490,49 @@ mod tests {
         check(&case, Fault::None).unwrap();
         let err = check(&case, Fault::ReductionOp).unwrap_err();
         assert!(err.contains("reduction diverged"), "{err}");
+    }
+
+    #[test]
+    fn dropped_vsetvli_is_caught_by_the_lint_gate() {
+        let case = RvvCase {
+            kernel: KernelName::STREAM_ADD,
+            mode: VectorMode::Vla,
+            sew: Sew::E32,
+            n: 12,
+            alpha: 1.0,
+            a: vec![1.0; 12],
+            b: vec![2.0; 12],
+            c: vec![0.0; 12],
+        };
+        check(&case, Fault::None).unwrap();
+        let err = check(&case, Fault::DropVsetvli).unwrap_err();
+        assert!(err.contains("static lint gate"), "{err}");
+        assert!(err.contains("no-vtype"), "gate must name the pass: {err}");
+        // The dynamic path agrees the program is broken: the interpreter
+        // refuses vector ops with no vtype configured.
+        assert!(err.contains("also failed"), "{err}");
+        assert!(err.contains("NoVtype"), "{err}");
+    }
+
+    #[test]
+    fn execution_errors_point_at_the_failing_instruction() {
+        // n exceeding the operand window is fine (buffers are sized from
+        // n), so provoke a failure via the injected no-vsetvli program
+        // instead: run it directly and check the error format.
+        let case = RvvCase {
+            kernel: KernelName::STREAM_COPY,
+            mode: VectorMode::Vla,
+            sew: Sew::E32,
+            n: 8,
+            alpha: 1.0,
+            a: vec![1.0; 8],
+            b: vec![0.0; 8],
+            c: vec![0.0; 8],
+        };
+        let mut p = generate(case.kernel, case.mode, case.sew).unwrap();
+        assert!(inject_drop_vsetvli(&mut p));
+        let err = execute(&case, &p, Dialect::V10).unwrap_err();
+        assert!(err.contains("at inst"), "error must carry a location: {err}");
     }
 
     #[test]

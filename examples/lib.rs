@@ -1,5 +1,8 @@
 //! Shared helpers for the rvhpc example binaries.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use rvhpc::kernels::KernelClass;
 
 /// Render a simple horizontal bar for terminal output: `value` scaled so

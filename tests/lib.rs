@@ -2,6 +2,9 @@
 //! `tests/` directory of this package; this library only hosts shared
 //! helpers.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use rvhpc::kernels::KernelClass;
 
 /// Paper reference values for Tables 1–3 (speedup per class at a thread
