@@ -30,3 +30,11 @@ rc=0
 cargo run --release -p rvhpc --bin repro -- lint --asm "$BAD_ASM" || rc=$?
 rm -f "$BAD_ASM"
 test "$rc" -eq 3
+
+# Perf trajectory: one cold batched pass of every experiment through the
+# shared sweep engine. The artefact must be schema-valid, NaN-free, name
+# all 12 experiments, and show a non-zero cross-experiment cache hit rate
+# (the shared-engine acceptance contract); --check exits non-zero
+# otherwise.
+cargo run --release -p rvhpc --bin repro -- bench --quick --json BENCH_4.json
+cargo run --release -p rvhpc --bin repro -- bench --check BENCH_4.json

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use std::fmt::Display;
 use std::hint::black_box;
 use std::time::{Duration, Instant};

@@ -15,6 +15,9 @@
 //!                            # differential/metamorphic cross-checks
 //! repro lint [--machine <m>] [--kernel <k>] [--asm <file>] [--json]
 //!                            # static RVV dataflow + descriptor lint
+//! repro bench [--quick] [--json <path>] [--check <path>]
+//!                            # time every experiment through the shared
+//!                            # sweep engine; write/validate BENCH JSON
 //! repro help                 # this usage text
 //!
 //! repro --csv <artefact>     # CSV instead of markdown
@@ -24,7 +27,8 @@
 //!                            # (chrome://tracing) + metrics to stderr
 //! ```
 
-use rvhpc::experiments::{fig1, fig2, fig3, next_gen, scaling, x86};
+use rvhpc::experiments::driver::{self, Artefact};
+use rvhpc::experiments::{fig1, next_gen, x86};
 use rvhpc::kernels::{KernelClass, KernelName};
 use rvhpc::machines::{machine, MachineId};
 use rvhpc::perfmodel::{Precision, RunConfig};
@@ -53,6 +57,11 @@ properties); failures write a replayable artefact\n  \
 static dataflow lint over generated RVV programs\n                          \
 (v1.0 and their v0.7.1 rollbacks) and machine\n                          \
 descriptors; exits 3 when any finding is reported\n  \
+  bench [--quick] [--json <path>] [--check <path>]\n                          \
+time every experiment through the shared sweep\n                          \
+engine and report wall time + estimate-cache hit\n                          \
+rates; --json writes the BENCH artefact, --check\n                          \
+validates one and exits non-zero if it is invalid\n  \
   help                    this text\n\
 flags:\n  \
   --csv                   CSV instead of markdown\n  \
@@ -80,6 +89,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("lint") {
         lint(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("bench") {
+        bench(&args[1..]);
     }
     let mut format = Format::Markdown;
     let mut trace = false;
@@ -126,26 +138,8 @@ fn main() {
 
 fn run_command(cmd: &str, positional: &[&str], format: Format) {
     match cmd {
-        "fig1" => emit_fig(fig1::run(), format),
-        "fig2" => emit_fig(fig2::run(), format),
-        "fig3" => emit_table(fig3::report(), format),
-        "fig4" => emit_fig(x86::fig4(), format),
-        "fig5" => emit_fig(x86::fig5(), format),
-        "fig6" => emit_fig(x86::fig6(), format),
-        "fig7" => emit_fig(x86::fig7(), format),
-        "table1" => emit_table(
-            scaling::table1().report("Table 1", "block placement scaling (FP32)"),
-            format,
-        ),
-        "table2" => emit_table(
-            scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)"),
-            format,
-        ),
-        "table3" => emit_table(
-            scaling::table3().report("Table 3", "cluster-cyclic placement scaling (FP32)"),
-            format,
-        ),
-        "table4" => emit_table(x86::table4(), format),
+        // The driver's `nextgen` entry is FP64-only (the batch's shape);
+        // the standalone command keeps showing both precisions.
         "nextgen" => {
             emit_fig(next_gen::run(Precision::Fp64), format);
             emit_fig(next_gen::run(Precision::Fp32), format);
@@ -166,35 +160,31 @@ fn run_command(cmd: &str, positional: &[&str], format: Format) {
         "explain" => explain(positional, format),
         "calibrate" => calibrate(),
         "native" => native(positional),
+        // One batched pass through the shared sweep engine: later
+        // experiments reuse earlier experiments' cached estimates.
         "all" => {
-            emit_fig(fig1::run(), format);
-            emit_table(
-                scaling::table1().report("Table 1", "block placement scaling (FP32)"),
-                format,
-            );
-            emit_table(
-                scaling::table2().report("Table 2", "NUMA-cyclic placement scaling (FP32)"),
-                format,
-            );
-            emit_table(
-                scaling::table3().report("Table 3", "cluster-cyclic placement scaling (FP32)"),
-                format,
-            );
-            emit_fig(fig2::run(), format);
-            emit_table(fig3::report(), format);
-            emit_table(x86::table4(), format);
-            emit_fig(x86::fig4(), format);
-            emit_fig(x86::fig5(), format);
-            emit_fig(x86::fig6(), format);
-            emit_fig(x86::fig7(), format);
-            emit_fig(next_gen::run(Precision::Fp64), format);
+            for e in &driver::EXPERIMENTS {
+                emit_artefact(e.run(), format);
+            }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),
-        other => {
-            eprintln!("unknown command `{other}`");
-            eprintln!("{USAGE}");
-            std::process::exit(2);
-        }
+        // Any single figure/table resolves through the batch driver, so
+        // `repro fig5` and the fig5 leg of `repro all` are the same code.
+        other => match driver::find(other) {
+            Some(e) => emit_artefact(e.run(), format),
+            None => {
+                eprintln!("unknown command `{other}`");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn emit_artefact(a: Artefact, format: Format) {
+    match a {
+        Artefact::Figure(f) => emit_fig(f, format),
+        Artefact::Table(t) => emit_table(t, format),
     }
 }
 
@@ -543,6 +533,129 @@ fn lint(args: &[String]) -> ! {
         findings.len()
     );
     std::process::exit(if findings.is_empty() { 0 } else { 3 });
+}
+
+/// `repro bench` — time every experiment of the batch through the shared
+/// sweep engine and report wall time plus estimate-cache traffic.
+/// `--json <path>` writes the `rvhpc-bench-v1` artefact; `--check <path>`
+/// validates one (exit 1 when invalid) instead of measuring.
+fn bench(args: &[String]) -> ! {
+    use rvhpc::experiments::driver::EXPERIMENTS;
+    use rvhpc::perfmodel::cache;
+    use rvhpc_bench::sweep::{
+        artefact, validate_artefact, wall_seconds_of, EngineInfo, ExperimentBench, SCHEMA,
+    };
+
+    const BENCH_USAGE: &str = "usage: repro bench [--quick] [--json <path>] [--check <path>]";
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{BENCH_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--json" => json_path = Some(value("--json")),
+            "--check" => check_path = Some(value("--check")),
+            other => {
+                eprintln!("unknown bench argument `{other}`\n{BENCH_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let names: Vec<&str> = EXPERIMENTS.iter().map(|e| e.name).collect();
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match validate_artefact(&text, &names) {
+            Ok(()) => {
+                println!("{path}: valid {SCHEMA} artefact ({} experiment(s))", names.len());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID {SCHEMA} artefact — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // One repetition in quick mode is the genuine cold→shared pass the
+    // acceptance contract is about; full mode adds warm repetitions and
+    // keeps the per-rep minimum as the wall time.
+    let reps = if quick { 1 } else { 3 };
+    let lanes = rvhpc::threads::global_team().n_threads();
+    println!(
+        "bench: {} experiment(s), {reps} rep(s) each, {lanes} lane(s), cache capacity {}\n",
+        EXPERIMENTS.len(),
+        cache::CACHE_CAPACITY
+    );
+    println!("| experiment | wall [s] | cache hits | misses | evictions | hit rate |");
+    println!("|---|---|---|---|---|---|");
+
+    cache::clear();
+    let run_start = cache::stats();
+    let mut rows: Vec<ExperimentBench> = Vec::new();
+    for e in &EXPERIMENTS {
+        let before = cache::stats();
+        let wall = wall_seconds_of(reps, || {
+            let _ = e.run();
+        });
+        let d = cache::stats().since(&before);
+        let row = ExperimentBench {
+            name: e.name.to_string(),
+            wall_seconds: wall,
+            hits: d.hits,
+            misses: d.misses,
+            evictions: d.evictions,
+        };
+        println!(
+            "| {} | {:.6} | {} | {} | {} | {:.3} |",
+            row.name,
+            row.wall_seconds,
+            row.hits,
+            row.misses,
+            row.evictions,
+            row.hit_rate()
+        );
+        rows.push(row);
+    }
+    let d = cache::stats().since(&run_start);
+    let total = ExperimentBench {
+        name: "total".to_string(),
+        wall_seconds: rows.iter().map(|r| r.wall_seconds).sum(),
+        hits: d.hits,
+        misses: d.misses,
+        evictions: d.evictions,
+    };
+    println!(
+        "| **total** | {:.6} | {} | {} | {} | {:.3} |",
+        total.wall_seconds,
+        total.hits,
+        total.misses,
+        total.evictions,
+        total.hit_rate()
+    );
+
+    if let Some(path) = json_path {
+        let engine = EngineInfo { lanes, cache_capacity: cache::CACHE_CAPACITY };
+        let doc = artefact(quick, &engine, &rows, &total);
+        let mut text = doc.pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    std::process::exit(0);
 }
 
 fn machine_tokens() -> String {

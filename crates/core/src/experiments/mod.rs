@@ -10,7 +10,11 @@
 //! | Table 4  | [`x86`] | the x86 comparison inventory |
 //! | Figures 4–7 | [`x86`] | x86 single-core / multithreaded comparisons |
 //! | Extension | [`next_gen`] | the conclusion's next-gen wishlist as a what-if machine |
+//!
+//! [`driver`] enumerates the whole batch in presentation order so
+//! `repro all`, `repro bench` and CI iterate the same experiments.
 
+pub mod driver;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

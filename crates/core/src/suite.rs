@@ -2,8 +2,8 @@
 
 use rvhpc_kernels::{KernelClass, KernelName};
 use rvhpc_machines::Machine;
-use rvhpc_perfmodel::{estimate_averaged, RunConfig, TimeEstimate};
-use rvhpc_threads::Team;
+use rvhpc_perfmodel::{estimate_cached, RunConfig, TimeEstimate};
+use rvhpc_threads::global_team;
 use std::sync::Mutex;
 
 /// One kernel's simulated time under one configuration.
@@ -17,27 +17,30 @@ pub struct KernelTime {
     pub estimate: TimeEstimate,
 }
 
-/// Run the whole 64-kernel suite on a simulated machine. The per-kernel
-/// estimates are independent, so the sweep fans out across the host with
-/// our own fork-join [`Team`] (the estimator is pure apart from an
-/// internal memoisation cache); results come back in `KernelName::ALL`
-/// order.
+/// Run the whole 64-kernel suite on a simulated machine.
+///
+/// The per-kernel estimates are independent, so the sweep fans out over the
+/// process-wide [`global_team`] — one shared pool amortised across every
+/// sweep of a reproduction instead of a spawn/teardown per call — with a
+/// work-stealing handout (per-kernel estimate cost is irregular; see
+/// [`rvhpc_threads::worksteal`]). Estimates go through the cross-sweep
+/// cache ([`rvhpc_perfmodel::cache`]), so repeated configurations are
+/// computed once per process. Results come back in `KernelName::ALL` order
+/// and are bit-identical to a serial single-lane run: the estimator is
+/// pure, each kernel writes its own slot, and neither the handout order nor
+/// the cache state can change a value.
 pub fn suite_times(machine: &Machine, cfg: &RunConfig) -> Vec<KernelTime> {
     let _span = rvhpc_trace::span!("core.suite_times", machine = machine.id.token());
     let total = KernelName::ALL.len();
-    let lanes = std::thread::available_parallelism().map_or(4, |n| n.get()).min(total);
-    let team = Team::new(lanes);
     let slots: Vec<Mutex<Option<KernelTime>>> = (0..total).map(|_| Mutex::new(None)).collect();
-    team.run(|ctx| {
-        for i in ctx.chunk(0..total) {
-            let kernel = KernelName::ALL[i];
-            let time = KernelTime {
-                kernel,
-                class: kernel.class(),
-                estimate: estimate_averaged(machine, kernel, cfg),
-            };
-            *slots[i].lock().expect("slot poisoned") = Some(time);
-        }
+    global_team().parallel_for_worksteal(0..total, |i| {
+        let kernel = KernelName::ALL[i];
+        let time = KernelTime {
+            kernel,
+            class: kernel.class(),
+            estimate: estimate_cached(machine, kernel, cfg),
+        };
+        *slots[i].lock().expect("slot poisoned") = Some(time);
     });
     slots
         .into_iter()
@@ -48,7 +51,16 @@ pub fn suite_times(machine: &Machine, cfg: &RunConfig) -> Vec<KernelTime> {
 /// The paper's "number of times faster" convention for its figures:
 /// `0` means parity, `+1` means twice as fast as the baseline, `-1` means
 /// twice as slow (the transform is symmetric around zero).
+///
+/// Degenerate measurements — a zero, negative or non-finite time on either
+/// side — have no meaningful ratio; they are clamped to `0.0` (parity) so
+/// one broken sample cannot poison a figure's class mean with ±inf/NaN.
 pub fn times_faster(baseline_seconds: f64, this_seconds: f64) -> f64 {
+    let usable = |t: f64| t.is_finite() && t > 0.0;
+    if !usable(baseline_seconds) || !usable(this_seconds) {
+        rvhpc_trace::counter!("core.times_faster.clamped", 1);
+        return 0.0;
+    }
     let ratio = baseline_seconds / this_seconds;
     if ratio >= 1.0 {
         ratio - 1.0
@@ -70,7 +82,7 @@ pub fn class_mean(values: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use rvhpc_machines::{machine, MachineId};
-    use rvhpc_perfmodel::Precision;
+    use rvhpc_perfmodel::{estimate_averaged, Precision};
 
     #[test]
     fn suite_covers_all_64_kernels() {
@@ -78,6 +90,39 @@ mod tests {
         let times = suite_times(&m, &RunConfig::sg2042_best(Precision::Fp32, 1));
         assert_eq!(times.len(), 64);
         assert!(times.iter().all(|t| t.estimate.seconds > 0.0));
+    }
+
+    fn assert_bit_identical(a: &TimeEstimate, b: &TimeEstimate, ctx: &str) {
+        assert_eq!(a.seconds.to_bits(), b.seconds.to_bits(), "{ctx}: seconds");
+        assert_eq!(a.compute_seconds.to_bits(), b.compute_seconds.to_bits(), "{ctx}: compute");
+        assert_eq!(a.memory_seconds.to_bits(), b.memory_seconds.to_bits(), "{ctx}: memory");
+        assert_eq!(a.overhead_seconds.to_bits(), b.overhead_seconds.to_bits(), "{ctx}: overhead");
+        assert_eq!(a.vector_path, b.vector_path, "{ctx}: vector_path");
+    }
+
+    /// The sweep-determinism contract: `suite_times` through the shared
+    /// pool — whatever the lane count, cold or warm cache — returns
+    /// bit-identical estimates to a serial single-lane run, on all 8
+    /// machines.
+    #[test]
+    fn suite_times_matches_serial_run_bit_for_bit_on_all_machines() {
+        for id in MachineId::ALL.into_iter().chain([MachineId::Sg2042NextGen]) {
+            let m = machine(id);
+            let cfg = RunConfig::sg2042_best(Precision::Fp32, 16);
+            // Serial single-lane reference: a plain loop, no pool, no cache.
+            let serial: Vec<TimeEstimate> =
+                KernelName::ALL.into_iter().map(|k| estimate_averaged(&m, k, &cfg)).collect();
+            // Cold pass (other tests may have warmed the cache — clear it),
+            // then a warm pass served from the cache.
+            rvhpc_perfmodel::cache::clear();
+            let cold = suite_times(&m, &cfg);
+            let warm = suite_times(&m, &cfg);
+            for ((s, c), w) in serial.iter().zip(&cold).zip(&warm) {
+                assert_eq!(c.kernel, w.kernel, "order must be KernelName::ALL");
+                assert_bit_identical(s, &c.estimate, &format!("{id}/{} cold", c.kernel));
+                assert_bit_identical(s, &w.estimate, &format!("{id}/{} warm", w.kernel));
+            }
+        }
     }
 
     #[test]
@@ -90,6 +135,45 @@ mod tests {
         assert_eq!(times_faster(1.0, 2.0), -1.0);
         // Symmetry.
         assert_eq!(times_faster(3.0, 1.0), -times_faster(1.0, 3.0));
+    }
+
+    // The degenerate-input edges, one test each so a regression names the
+    // exact edge. Before the clamp, these produced ±inf/NaN that flowed
+    // silently into figure class-means.
+    #[test]
+    fn zero_this_seconds_is_clamped_not_inf() {
+        assert_eq!(times_faster(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn zero_baseline_is_clamped_not_inf() {
+        assert_eq!(times_faster(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn nan_inputs_are_clamped_not_propagated() {
+        assert_eq!(times_faster(f64::NAN, 1.0), 0.0);
+        assert_eq!(times_faster(1.0, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn infinite_inputs_are_clamped() {
+        assert_eq!(times_faster(f64::INFINITY, 1.0), 0.0);
+        assert_eq!(times_faster(1.0, f64::INFINITY), 0.0);
+        assert_eq!(times_faster(f64::NEG_INFINITY, 1.0), 0.0);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        assert_eq!(times_faster(-1.0, 1.0), 0.0);
+        assert_eq!(times_faster(1.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn clamped_values_cannot_poison_class_means() {
+        let vals = [times_faster(2.0, 1.0), times_faster(1.0, 0.0), times_faster(f64::NAN, 2.0)];
+        assert!(class_mean(&vals).is_finite());
+        assert_eq!(class_mean(&vals), 1.0 / 3.0);
     }
 
     #[test]

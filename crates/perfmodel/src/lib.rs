@@ -20,10 +20,17 @@
 //!
 //! Constants that cannot be derived from datasheets live in
 //! [`calibration`], one commented block per machine.
+//!
+//! Repeated sweep traffic (the paper's ~30 full-suite sweeps overlap
+//! heavily) is amortised by [`cache`]: a bounded process-wide memoisation
+//! of [`estimate_averaged`] keyed by `(machine, kernel, canonical config)`,
+//! with hit/miss/eviction counters surfaced through `rvhpc-trace` and the
+//! `repro bench` artefact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibration;
 pub mod compute;
 pub mod config;
@@ -35,6 +42,7 @@ pub mod scaling;
 #[cfg(test)]
 mod proptests;
 
+pub use cache::{estimate_cached, CacheStats};
 pub use calibration::{calibration, Calibration};
 pub use config::{Precision, RunConfig, Toolchain};
 pub use estimate::{

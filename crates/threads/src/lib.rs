@@ -12,7 +12,11 @@
 //!   `#pragma omp barrier` analogue),
 //! * [`schedule`] — OpenMP-style static chunking,
 //! * [`Team::parallel_for`] / [`Team::parallel_reduce`] — the worksharing
-//!   constructs the kernels use.
+//!   constructs the kernels use,
+//! * [`global_team`] — the process-wide shared pool that sweep fan-outs
+//!   amortise instead of respawning a team per sweep, with
+//!   [`Team::parallel_for_worksteal`] (backed by [`worksteal::WorkQueues`])
+//!   for irregular estimator work; kernel paths stay on static chunks.
 //!
 //! The pool never oversubscribes and the team shape is immutable after
 //! construction, mirroring `OMP_NUM_THREADS` + `OMP_PROC_BIND=true`.
@@ -26,8 +30,10 @@ pub mod barrier;
 pub mod pool;
 pub mod schedule;
 pub mod shared;
+pub mod worksteal;
 
 pub use barrier::{BarrierToken, SpinBarrier};
-pub use pool::{Team, ThreadCtx};
+pub use pool::{global_team, Team, ThreadCtx};
 pub use schedule::{static_chunk, static_chunks};
 pub use shared::SharedSlice;
+pub use worksteal::WorkQueues;

@@ -10,11 +10,13 @@
 
 use crate::barrier::{BarrierToken, SpinBarrier};
 use crate::schedule::static_chunk;
+use crate::worksteal::WorkQueues;
+use std::any::Any;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A lifetime-erased SPMD job: a wide pointer to a `Fn(&mut ThreadCtx)`
@@ -94,6 +96,21 @@ pub struct Team {
     // protocol requires anyway.
     done_rx: Mutex<Receiver<()>>,
     panicked: Arc<AtomicBool>,
+    // First worker panic of the current region: (tid, payload message).
+    panic_report: Arc<Mutex<Option<(usize, String)>>>,
+}
+
+/// The process-wide shared team, created lazily at first use and sized to
+/// the host's available parallelism. Sweep fan-outs (the estimator, the
+/// experiment driver) share this pool instead of spawning and tearing down
+/// a private `Team` per call; `Team::run` serialises concurrent dispatchers,
+/// so interleaved sweeps queue rather than oversubscribe.
+pub fn global_team() -> &'static Team {
+    static TEAM: OnceLock<Team> = OnceLock::new();
+    TEAM.get_or_init(|| {
+        let lanes = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Team::new(lanes)
+    })
 }
 
 impl Team {
@@ -113,6 +130,7 @@ impl Team {
         let barrier = Arc::new(SpinBarrier::new(n_threads));
         let (done_tx, done_rx) = sync_channel::<()>(n_threads);
         let panicked = Arc::new(AtomicBool::new(false));
+        let panic_report = Arc::new(Mutex::new(None));
 
         let workers = cores
             .iter()
@@ -122,17 +140,27 @@ impl Team {
                 let barrier = Arc::clone(&barrier);
                 let done_tx = done_tx.clone();
                 let panicked = Arc::clone(&panicked);
+                let panic_report = Arc::clone(&panic_report);
                 let handle = std::thread::Builder::new()
                     .name(format!("rvhpc-worker-{tid}"))
                     .spawn(move || {
-                        worker_loop(tid, core, n_threads, barrier, rx, done_tx, panicked)
+                        worker_loop(
+                            tid,
+                            core,
+                            n_threads,
+                            barrier,
+                            rx,
+                            done_tx,
+                            panicked,
+                            panic_report,
+                        )
                     })
                     .expect("failed to spawn worker thread");
                 Worker { tx, handle: Some(handle) }
             })
             .collect();
 
-        Team { n_threads, cores, workers, done_rx: Mutex::new(done_rx), panicked }
+        Team { n_threads, cores, workers, done_rx: Mutex::new(done_rx), panicked, panic_report }
     }
 
     /// Team size.
@@ -166,14 +194,50 @@ impl Team {
         // token, so the reference cannot dangle.
         let job_ptr: *const (dyn Fn(&mut ThreadCtx<'_>) + Sync) =
             unsafe { std::mem::transmute(wide) };
-        for w in &self.workers {
-            w.tx.send(Message::Run(Job { f: job_ptr })).expect("worker hung up");
+        for (tid, w) in self.workers.iter().enumerate() {
+            if w.tx.send(Message::Run(Job { f: job_ptr })).is_err() {
+                panic!(
+                    "rvhpc-worker-{tid} is dead (its channel hung up before \
+                     receiving the job); the team cannot dispatch"
+                );
+            }
         }
         for _ in 0..self.n_threads {
-            done_rx.recv().expect("worker hung up");
+            if done_rx.recv().is_err() {
+                panic!(
+                    "the completion channel closed mid-region; dead worker thread(s): {}",
+                    self.dead_workers()
+                );
+            }
         }
         if self.panicked.swap(false, Ordering::SeqCst) {
-            panic!("a worker thread panicked inside Team::run");
+            let report = match self.panic_report.lock() {
+                Ok(mut g) => g.take(),
+                Err(p) => p.into_inner().take(),
+            };
+            match report {
+                Some((tid, msg)) => {
+                    panic!("worker rvhpc-worker-{tid} panicked inside Team::run: {msg}")
+                }
+                None => panic!("a worker thread panicked inside Team::run"),
+            }
+        }
+    }
+
+    /// Names of workers whose threads have terminated (diagnostic for the
+    /// channel-failure paths above).
+    fn dead_workers(&self) -> String {
+        let dead: Vec<String> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.handle.as_ref().is_none_or(JoinHandle::is_finished))
+            .map(|(tid, _)| format!("rvhpc-worker-{tid}"))
+            .collect();
+        if dead.is_empty() {
+            "(none detected)".to_string()
+        } else {
+            dead.join(", ")
         }
     }
 
@@ -185,6 +249,24 @@ impl Team {
     {
         self.run(|ctx| {
             for i in ctx.chunk(range.clone()) {
+                f(i);
+            }
+        });
+    }
+
+    /// Worksharing loop with a work-stealing handout: apply `f(i)` for
+    /// every `i` in `range` exactly once, but let idle threads steal from
+    /// busy ones instead of waiting at the join. Use for irregular
+    /// fan-outs (the estimator sweep); kernel paths stay on the
+    /// OpenMP-faithful [`Team::parallel_for`]. Handout order is not
+    /// deterministic — write results into per-index slots.
+    pub fn parallel_for_worksteal<F>(&self, range: Range<usize>, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let queues = WorkQueues::new(range, self.n_threads);
+        self.run(|ctx| {
+            while let Some(i) = queues.next(ctx.tid()) {
                 f(i);
             }
         });
@@ -231,6 +313,19 @@ impl Drop for Team {
     }
 }
 
+/// Best-effort extraction of a panic payload's message (`panic!` produces a
+/// `&'static str` or a `String`; anything else is opaque).
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal spawn plumbing, one call site
 fn worker_loop(
     tid: usize,
     core: usize,
@@ -239,6 +334,7 @@ fn worker_loop(
     rx: Receiver<Message>,
     done_tx: SyncSender<()>,
     panicked: Arc<AtomicBool>,
+    panic_report: Arc<Mutex<Option<(usize, String)>>>,
 ) {
     let mut ctx = ThreadCtx { tid, n_threads, core, barrier: &barrier, token: BarrierToken::new() };
     while let Ok(msg) = rx.recv() {
@@ -248,7 +344,15 @@ fn worker_loop(
                 // send the completion token below.
                 let f = unsafe { &*job.f };
                 let result = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
-                if result.is_err() {
+                if let Err(payload) = result {
+                    // Keep the first payload of the region so the
+                    // dispatcher can repanic with the real message.
+                    let mut slot = match panic_report.lock() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    };
+                    slot.get_or_insert_with(|| (tid, payload_message(payload.as_ref())));
+                    drop(slot);
                     panicked.store(true, Ordering::SeqCst);
                 }
                 // Always report completion, even on panic, so the
@@ -380,6 +484,95 @@ mod tests {
             count.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn worker_panic_repanics_with_payload_and_thread_id() {
+        // Regression: the dispatcher used to re-raise a generic "a worker
+        // thread panicked" that lost the payload; it must now name the
+        // worker and carry the original message.
+        let team = Team::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            team.run(|ctx| {
+                if ctx.tid() == 1 {
+                    panic!("deliberate kaboom {}", 41 + 1);
+                }
+            });
+        }));
+        let msg = payload_message(result.expect_err("must repanic").as_ref());
+        assert!(msg.contains("rvhpc-worker-1"), "{msg}");
+        assert!(msg.contains("deliberate kaboom 42"), "{msg}");
+    }
+
+    #[test]
+    fn formatted_and_static_payloads_both_survive() {
+        let team = Team::new(2);
+        for (job_panic, expect) in
+            [("static payload", "static payload"), ("formatted", "formatted")]
+        {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                team.run(|ctx| {
+                    if ctx.tid() == 0 {
+                        // Both arms raise a &'static str or String payload.
+                        if job_panic == "formatted" {
+                            panic!("{job_panic}");
+                        } else {
+                            panic!("static payload");
+                        }
+                    }
+                });
+            }));
+            let msg = payload_message(result.expect_err("must repanic").as_ref());
+            assert!(msg.contains(expect), "{msg}");
+        }
+    }
+
+    #[test]
+    fn parallel_for_worksteal_covers_range_exactly_once() {
+        let team = Team::new(6);
+        let n = 2311;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        team.parallel_for_worksteal(0..n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn worksteal_rebalances_skewed_work() {
+        // All real work lands in the first eighth of the range; without
+        // stealing, thread 0 would do it alone. With stealing, the other
+        // threads must execute some of the heavy indices.
+        let team = Team::new(8);
+        let n = 512;
+        let heavy_by: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(usize::MAX)).collect();
+        let queues = WorkQueues::new(0..n, team.n_threads());
+        team.run(|ctx| {
+            while let Some(i) = queues.next(ctx.tid()) {
+                if i < n / 8 {
+                    // Simulated heavy item.
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                heavy_by[i].store(ctx.tid(), Ordering::Relaxed);
+            }
+        });
+        let owners: std::collections::BTreeSet<usize> =
+            (0..n / 8).map(|i| heavy_by[i].load(Ordering::Relaxed)).collect();
+        assert!(owners.len() > 1, "heavy items all ran on one thread: {owners:?}");
+    }
+
+    #[test]
+    fn global_team_is_shared_and_usable() {
+        let a = global_team() as *const Team;
+        let b = global_team() as *const Team;
+        assert_eq!(a, b, "global team must be a single instance");
+        let count = AtomicUsize::new(0);
+        global_team().run(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), global_team().n_threads());
     }
 
     #[test]

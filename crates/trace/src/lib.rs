@@ -156,6 +156,17 @@ impl TraceData {
         self.histograms.get(name)
     }
 
+    /// All counters whose name starts with `prefix`, in name order —
+    /// convenient for pulling one subsystem's counters (e.g.
+    /// `perfmodel.estimate_cache.`) out of a full collection.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect()
+    }
+
     /// Span names that occur in the trace, deduplicated, sorted.
     pub fn span_names(&self) -> Vec<&'static str> {
         let mut names: Vec<&'static str> = self.events.iter().map(|e| e.name).collect();
@@ -406,6 +417,22 @@ mod tests {
                 assert!(pair[0].start_us >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn counters_with_prefix_selects_one_subsystem() {
+        let mut d = TraceData::default();
+        d.counters.insert("perfmodel.estimate_cache.hit".into(), 7);
+        d.counters.insert("perfmodel.estimate_cache.miss".into(), 3);
+        d.counters.insert("perfmodel.other".into(), 1);
+        d.counters.insert("threads.worksteal.steals".into(), 5);
+        let cache = d.counters_with_prefix("perfmodel.estimate_cache.");
+        assert_eq!(
+            cache,
+            vec![("perfmodel.estimate_cache.hit", 7), ("perfmodel.estimate_cache.miss", 3)]
+        );
+        assert!(d.counters_with_prefix("nomatch.").is_empty());
+        assert_eq!(d.counters_with_prefix("").len(), 4);
     }
 
     #[test]

@@ -108,6 +108,10 @@ fn disabling_tracing_leaves_reports_byte_identical() {
     let fig = fig2::run();
     let plain = format!("{}\n{}", fig.to_markdown(), fig.to_csv());
 
+    // The untraced run warmed the cross-sweep estimate cache; start the
+    // traced run cold so it actually reaches the estimator (and proves
+    // cache state cannot change the rendered artefact either).
+    rvhpc::perfmodel::cache::clear();
     rvhpc_trace::set_enabled(true);
     rvhpc_trace::take();
     let fig = fig2::run();
@@ -119,5 +123,9 @@ fn disabling_tracing_leaves_reports_byte_identical() {
     assert!(
         data.events.iter().any(|e| e.name == "perfmodel.estimate"),
         "the traced regeneration recorded no estimator spans"
+    );
+    assert!(
+        data.counter("perfmodel.estimate_cache.miss") > 0,
+        "a cold traced run must record estimate-cache misses"
     );
 }
