@@ -36,5 +36,34 @@ test "$rc" -eq 3
 # all 12 experiments, and show a non-zero cross-experiment cache hit rate
 # (the shared-engine acceptance contract); --check exits non-zero
 # otherwise.
-cargo run --release -p rvhpc --bin repro -- bench --quick --json BENCH_4.json
-cargo run --release -p rvhpc --bin repro -- bench --check BENCH_4.json
+cargo run --release -p rvhpc --bin repro -- bench --quick --json BENCH_5.json
+cargo run --release -p rvhpc --bin repro -- bench --check BENCH_5.json
+
+# The --check exit-code contract: an unknown schema version must be exit 2
+# (format disagreement), not exit 1 (broken artefact).
+BAD_BENCH="$(mktemp)"
+sed 's/rvhpc-bench-v1/rvhpc-bench-v999/' BENCH_5.json > "$BAD_BENCH"
+rc=0
+cargo run --release -p rvhpc --bin repro -- bench --check "$BAD_BENCH" || rc=$?
+rm -f "$BAD_BENCH"
+test "$rc" -eq 2
+
+# Serving smoke: start the server on an ephemeral port, drive it with a
+# seeded loadgen (which exits non-zero on any protocol error, dropped
+# reply, failed bit-identity check, or malformed-request mishandling),
+# then request a drain and require the server process to exit cleanly.
+SERVE_PORT_FILE="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- serve --addr 127.0.0.1:0 \
+    --port-file "$SERVE_PORT_FILE" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    test -s "$SERVE_PORT_FILE" && break
+    sleep 0.1
+done
+SERVE_ADDR="$(cat "$SERVE_PORT_FILE")"
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$SERVE_ADDR" \
+    --clients 4 --requests 200 --seed 42 --probe-bad --json SERVE_SMOKE.json
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$SERVE_ADDR" \
+    --clients 1 --requests 0 --shutdown
+wait "$SERVE_PID"
+rm -f "$SERVE_PORT_FILE"

@@ -18,6 +18,16 @@
 //! repro bench [--quick] [--json <path>] [--check <path>]
 //!                            # time every experiment through the shared
 //!                            # sweep engine; write/validate BENCH JSON
+//! repro serve [--addr A] [--queue-cap N] [--batch-max N]
+//!             [--batch-window-us U] [--port-file <path>]
+//!                            # serve estimate/explain/suite/lint queries
+//!                            # over line-delimited JSON on TCP; drains on
+//!                            # a `shutdown` request or SIGTERM
+//! repro loadgen --addr A [--clients N] [--requests M] [--rps R]
+//!               [--duration S] [--seed N] [--json <path>]
+//!               [--probe-bad] [--shutdown]
+//!                            # drive a running server with N closed-loop
+//!                            # clients; write the SERVE-BENCH artefact
 //! repro help                 # this usage text
 //!
 //! repro --csv <artefact>     # CSV instead of markdown
@@ -61,7 +71,20 @@ descriptors; exits 3 when any finding is reported\n  \
 time every experiment through the shared sweep\n                          \
 engine and report wall time + estimate-cache hit\n                          \
 rates; --json writes the BENCH artefact, --check\n                          \
-validates one and exits non-zero if it is invalid\n  \
+validates one (exit 1 invalid, exit 2 unknown\n                          \
+schema version or unreadable file)\n  \
+  serve [--addr <ip:port>] [--queue-cap N] [--batch-max N]\n        \
+[--batch-window-us U] [--port-file <path>]\n                          \
+serve estimate/explain/suite/lint_machine queries\n                          \
+over line-delimited JSON on TCP, with bounded\n                          \
+admission, batched execution on the shared thread\n                          \
+pool, and graceful drain on `shutdown` or SIGTERM\n  \
+  loadgen --addr <ip:port> [--clients N] [--requests M] [--rps R]\n          \
+[--duration S] [--seed N] [--json <path>] [--probe-bad] [--shutdown]\n                          \
+drive a running server with N closed-loop clients\n                          \
+and verify replies bit-identically against the\n                          \
+local model; --json writes the SERVE-BENCH\n                          \
+artefact; exits 1 on any protocol error\n  \
   help                    this text\n\
 flags:\n  \
   --csv                   CSV instead of markdown\n  \
@@ -92,6 +115,12 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("bench") {
         bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("serve") {
+        serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("loadgen") {
+        loadgen(&args[1..]);
     }
     let mut format = Format::Markdown;
     let mut trace = false;
@@ -575,6 +604,24 @@ fn bench(args: &[String]) -> ! {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(2);
         });
+        // An unknown schema version is a different failure class than a
+        // malformed artefact of the right version: the former means the
+        // producer and checker disagree about the format itself (exit 2),
+        // the latter that a known-format artefact is broken (exit 1).
+        let embedded = rvhpc_trace::json::Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(String::from)));
+        match embedded.as_deref() {
+            Some(s) if s == SCHEMA => {}
+            Some(other) => {
+                eprintln!("{path}: unknown schema version `{other}` (expected `{SCHEMA}`)");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("{path}: no `schema` tag found (expected `{SCHEMA}`)");
+                std::process::exit(2);
+            }
+        }
         match validate_artefact(&text, &names) {
             Ok(()) => {
                 println!("{path}: valid {SCHEMA} artefact ({} experiment(s))", names.len());
@@ -595,7 +642,7 @@ fn bench(args: &[String]) -> ! {
     println!(
         "bench: {} experiment(s), {reps} rep(s) each, {lanes} lane(s), cache capacity {}\n",
         EXPERIMENTS.len(),
-        cache::CACHE_CAPACITY
+        cache::capacity()
     );
     println!("| experiment | wall [s] | cache hits | misses | evictions | hit rate |");
     println!("|---|---|---|---|---|---|");
@@ -645,7 +692,7 @@ fn bench(args: &[String]) -> ! {
     );
 
     if let Some(path) = json_path {
-        let engine = EngineInfo { lanes, cache_capacity: cache::CACHE_CAPACITY };
+        let engine = EngineInfo { lanes, cache_capacity: cache::capacity() };
         let doc = artefact(quick, &engine, &rows, &total);
         let mut text = doc.pretty();
         text.push('\n');
@@ -656,6 +703,196 @@ fn bench(args: &[String]) -> ! {
         eprintln!("wrote {path}");
     }
     std::process::exit(0);
+}
+
+/// `repro serve` — run the batched, backpressured query server until a
+/// `shutdown` request or SIGTERM drains it. Prints the bound address on
+/// stdout (and to `--port-file` if given) so scripts can use port 0.
+fn serve(args: &[String]) -> ! {
+    use rvhpc_serve::{ServeConfig, Server};
+
+    const SERVE_USAGE: &str = "usage: repro serve [--addr <ip:port>] [--queue-cap N] \
+                               [--batch-max N] [--batch-window-us U] [--port-file <path>]";
+    let mut config = ServeConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{SERVE_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        let parse_pos = |flag: &str, v: String| -> usize {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("{flag} must be a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--queue-cap" => config.queue_capacity = parse_pos("--queue-cap", value("--queue-cap")),
+            "--batch-max" => config.batch_max = parse_pos("--batch-max", value("--batch-max")),
+            "--batch-window-us" => {
+                let us = parse_pos("--batch-window-us", value("--batch-window-us"));
+                config.batch_window = std::time::Duration::from_micros(us as u64);
+            }
+            "--port-file" => port_file = Some(value("--port-file")),
+            other => {
+                eprintln!("unknown serve argument `{other}`\n{SERVE_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    rvhpc_serve::signal::install_sigterm_hook();
+    let server = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("cannot start server: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr();
+    println!("rvhpc-serve listening on {addr}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    server.join();
+    eprintln!("rvhpc-serve drained cleanly");
+    std::process::exit(0);
+}
+
+/// `repro loadgen` — drive a running server with closed-loop clients and
+/// verify every distinct reply bit-identically against the local model.
+/// Exits 0 only on a clean run: zero protocol errors, bit-identity held,
+/// and (when requested) the bad-line probe and drain behaved.
+fn loadgen(args: &[String]) -> ! {
+    use rvhpc_serve::bench::{serve_artefact, validate_serve_artefact};
+    use rvhpc_serve::{run_loadgen, LoadgenConfig};
+
+    const LOADGEN_USAGE: &str = "usage: repro loadgen --addr <ip:port> [--clients N] \
+                                 [--requests M] [--rps R] [--duration S] [--seed N] \
+                                 [--json <path>] [--probe-bad] [--shutdown]";
+    let mut cfg = LoadgenConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{LOADGEN_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse `{v}`");
+                std::process::exit(2);
+            })
+        }
+        match a.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--clients" => {
+                cfg.clients = parse_num("--clients", &value("--clients"));
+                if cfg.clients == 0 {
+                    eprintln!("--clients must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--requests" => {
+                cfg.requests_per_client = Some(parse_num("--requests", &value("--requests")));
+            }
+            "--rps" => cfg.rps = parse_num("--rps", &value("--rps")),
+            "--duration" => {
+                let secs: f64 = parse_num("--duration", &value("--duration"));
+                cfg.duration = Some(std::time::Duration::from_secs_f64(secs));
+                // A pure-duration run unless --requests also given.
+                if !args.iter().any(|a| a == "--requests") {
+                    cfg.requests_per_client = None;
+                }
+            }
+            "--seed" => cfg.seed = parse_num("--seed", &value("--seed")),
+            "--json" => json_path = Some(value("--json")),
+            "--probe-bad" => cfg.probe_bad = true,
+            "--shutdown" => cfg.shutdown_after = true,
+            other => {
+                eprintln!("unknown loadgen argument `{other}`\n{LOADGEN_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if cfg.addr.is_empty() {
+        eprintln!("--addr is required\n{LOADGEN_USAGE}");
+        std::process::exit(2);
+    }
+
+    let report = run_loadgen(&cfg).unwrap_or_else(|e| {
+        eprintln!("loadgen cannot reach {}: {e}", cfg.addr);
+        std::process::exit(1);
+    });
+
+    println!(
+        "loadgen: {} client(s), {} sent, {} ok, {} overloaded, {} deadline, {} shutting-down, \
+         {} protocol error(s) in {:.3}s",
+        report.clients,
+        report.sent,
+        report.ok,
+        report.overloaded,
+        report.deadline_exceeded,
+        report.shutting_down,
+        report.protocol_errors,
+        report.wall_seconds
+    );
+    if report.ok > 0 {
+        println!(
+            "latency_us: p50 {:.0}  p95 {:.0}  p99 {:.0}  mean {:.0}  max {:.0}  \
+             | throughput {:.1} req/s  reject rate {:.3}",
+            report.p50_us,
+            report.p95_us,
+            report.p99_us,
+            report.mean_us,
+            report.max_us,
+            report.throughput_rps,
+            report.reject_rate
+        );
+    }
+    println!(
+        "cache: +{} hit(s), +{} miss(es), hit rate {:.3} | bit-identical: {}",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_rate,
+        report.verified_bit_identical
+    );
+    if let Some(ok) = report.probe_bad_ok {
+        println!("probe-bad: {}", if ok { "structured bad_request reply" } else { "FAILED" });
+    }
+    if let Some(ok) = report.drained_clean {
+        println!("shutdown: {}", if ok { "acked and drained cleanly" } else { "FAILED" });
+    }
+
+    if let Some(path) = json_path {
+        let doc = serve_artefact(&cfg, &report);
+        let mut text = doc.pretty();
+        text.push('\n');
+        if let Err(e) = validate_serve_artefact(&text) {
+            eprintln!("refusing to write an invalid artefact: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let clean = report.protocol_errors == 0
+        && report.verified_bit_identical
+        && report.probe_bad_ok.unwrap_or(true)
+        && report.drained_clean.unwrap_or(true);
+    std::process::exit(if clean { 0 } else { 1 });
 }
 
 fn machine_tokens() -> String {

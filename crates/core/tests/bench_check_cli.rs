@@ -1,0 +1,95 @@
+//! Golden tests for `repro bench --check`'s exit-code contract:
+//! 0 for a valid `rvhpc-bench-v1` artefact, 1 for a broken artefact of the
+//! right schema version, 2 for an unknown/missing schema version or an
+//! unreadable file.
+
+use rvhpc::experiments::driver::EXPERIMENTS;
+use rvhpc_bench::sweep::{artefact, EngineInfo, ExperimentBench};
+use std::process::Command;
+
+fn check(path: &std::path::Path) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["bench", "--check", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("repro bench --check runs");
+    (out.status.code(), String::from_utf8_lossy(&out.stderr).into_owned())
+}
+
+fn tmp_file(name: &str, contents: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("rvhpc-bench-check-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write artefact");
+    path
+}
+
+fn valid_artefact_text() -> String {
+    let engine = EngineInfo { lanes: 4, cache_capacity: 32_768 };
+    let rows: Vec<ExperimentBench> = EXPERIMENTS
+        .iter()
+        .map(|e| ExperimentBench {
+            name: e.name.to_string(),
+            wall_seconds: 0.25,
+            hits: 10,
+            misses: 5,
+            evictions: 0,
+        })
+        .collect();
+    let total = ExperimentBench {
+        name: "total".to_string(),
+        wall_seconds: 0.25 * rows.len() as f64,
+        hits: 10 * rows.len() as u64,
+        misses: 5 * rows.len() as u64,
+        evictions: 0,
+    };
+    artefact(true, &engine, &rows, &total).pretty()
+}
+
+#[test]
+fn valid_artefact_exits_0() {
+    let path = tmp_file("valid.json", &valid_artefact_text());
+    let (code, err) = check(&path);
+    assert_eq!(code, Some(0), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unknown_schema_version_exits_2() {
+    // The golden bad artefact: structurally fine, but tagged with a schema
+    // version this checker does not know.
+    let text = valid_artefact_text().replace("rvhpc-bench-v1", "rvhpc-bench-v999");
+    let path = tmp_file("unknown-schema.json", &text);
+    let (code, err) = check(&path);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("unknown schema version"), "{err}");
+    assert!(err.contains("rvhpc-bench-v999"), "names the offending tag: {err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn missing_schema_tag_exits_2() {
+    let path = tmp_file("no-schema.json", r#"{"experiments": []}"#);
+    let (code, err) = check(&path);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("no `schema` tag"), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn right_schema_but_broken_body_exits_1() {
+    // Correct version tag, but the body fails validation (experiment list
+    // missing entirely).
+    let path = tmp_file("broken-body.json", r#"{"schema": "rvhpc-bench-v1"}"#);
+    let (code, err) = check(&path);
+    assert_eq!(code, Some(1), "{err}");
+    assert!(err.contains("INVALID"), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn unreadable_file_exits_2() {
+    let path = std::env::temp_dir().join("rvhpc-bench-check-definitely-missing.json");
+    let _ = std::fs::remove_file(&path);
+    let (code, err) = check(&path);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("cannot read"), "{err}");
+}

@@ -29,11 +29,33 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-/// Maximum number of resident estimates. `repro all` touches ~15k unique
-/// triples (8 machines × 64 kernels × ~30 configurations), so the default
-/// keeps a full reproduction resident with headroom while bounding worst-case
-/// memory to a few MiB.
+/// Default maximum number of resident estimates. `repro all` touches ~15k
+/// unique triples (8 machines × 64 kernels × ~30 configurations), so the
+/// default keeps a full reproduction resident with headroom while bounding
+/// worst-case memory to a few MiB. Override with the `RVHPC_CACHE_CAP`
+/// environment variable (read once at first use; see [`capacity`]).
 pub const CACHE_CAPACITY: usize = 32_768;
+
+/// Parse an `RVHPC_CACHE_CAP` value; `None` (unset, empty, unparseable, or
+/// zero) falls back to [`CACHE_CAPACITY`]. Zero is rejected rather than
+/// honoured because a capacity-0 cache would still pay the insert/evict
+/// bookkeeping on every miss while never producing a hit.
+fn configured_capacity(raw: Option<&str>) -> usize {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1).unwrap_or(CACHE_CAPACITY)
+}
+
+/// The effective capacity bound: [`CACHE_CAPACITY`] unless the
+/// `RVHPC_CACHE_CAP` environment variable overrides it. Read once, at the
+/// first cache use, so the bound is stable for the process lifetime.
+pub fn capacity() -> usize {
+    static CAPACITY: OnceLock<usize> = OnceLock::new();
+    *CAPACITY.get_or_init(|| configured_capacity(std::env::var("RVHPC_CACHE_CAP").ok().as_deref()))
+}
+
+/// Number of currently resident entries (same as [`stats`]`().entries`).
+pub fn len() -> usize {
+    locked().map.len()
+}
 
 /// The canonical form of a [`RunConfig`]: two configs that provably produce
 /// the same estimate share one canonical key.
@@ -126,7 +148,7 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
-    /// The capacity bound ([`CACHE_CAPACITY`]).
+    /// The effective capacity bound ([`capacity`]).
     pub capacity: usize,
 }
 
@@ -161,7 +183,7 @@ pub fn stats() -> CacheStats {
         misses: MISSES.load(Ordering::Relaxed),
         evictions: EVICTIONS.load(Ordering::Relaxed),
         entries: locked().map.len(),
-        capacity: CACHE_CAPACITY,
+        capacity: capacity(),
     }
 }
 
@@ -189,7 +211,7 @@ pub fn estimate_cached(machine: &Machine, kernel: KernelName, cfg: &RunConfig) -
     // Compute outside the lock: estimation is pure, so a racing duplicate
     // computation is wasted work at worst, never a wrong answer.
     let est = estimate_averaged(machine, kernel, cfg);
-    let evicted = locked().insert(CACHE_CAPACITY, key, est);
+    let evicted = locked().insert(capacity(), key, est);
     if evicted > 0 {
         EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
         rvhpc_trace::counter!("perfmodel.estimate_cache.eviction", evicted);
@@ -328,6 +350,67 @@ mod tests {
         // Re-inserting an existing key neither grows nor evicts.
         assert_eq!(b.insert(3, mk_key(5), est), 0);
         assert_eq!(b.map.len(), 3);
+    }
+
+    #[test]
+    fn capacity_env_parsing_falls_back_on_nonsense() {
+        assert_eq!(configured_capacity(None), CACHE_CAPACITY);
+        assert_eq!(configured_capacity(Some("")), CACHE_CAPACITY);
+        assert_eq!(configured_capacity(Some("not a number")), CACHE_CAPACITY);
+        assert_eq!(configured_capacity(Some("-5")), CACHE_CAPACITY);
+        assert_eq!(configured_capacity(Some("0")), CACHE_CAPACITY);
+        assert_eq!(configured_capacity(Some("1")), 1);
+        assert_eq!(configured_capacity(Some(" 4096 ")), 4096);
+        assert_eq!(configured_capacity(Some("131072")), 131_072);
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_every_prior_entry() {
+        // Capacity 1: each distinct insert displaces the previous entry,
+        // and a repeat lookup of the survivor still hits.
+        let mk_key = |kernel| Key {
+            machine: MachineId::Sg2042,
+            kernel,
+            cfg: CanonicalConfig {
+                precision: Precision::Fp64,
+                vectorize: true,
+                toolchain: Toolchain::XuanTieGcc,
+                mode: VectorMode::Vla,
+                placement: PlacementPolicy::Block,
+                threads: 8,
+            },
+        };
+        let est = TimeEstimate {
+            seconds: 2.0,
+            compute_seconds: 1.0,
+            memory_seconds: 1.0,
+            overhead_seconds: 0.0,
+            vector_path: true,
+        };
+        let mut b = Bounded { map: HashMap::new(), order: VecDeque::new() };
+        let kernels = [KernelName::DAXPY, KernelName::EOS, KernelName::MEMSET];
+        let mut evicted = 0;
+        for k in kernels {
+            evicted += b.insert(1, mk_key(k), est);
+        }
+        assert_eq!(evicted, 2, "each insert after the first displaces one entry");
+        assert_eq!((b.map.len(), b.order.len()), (1, 1));
+        assert!(b.map.contains_key(&mk_key(KernelName::MEMSET)), "newest entry survives");
+        // A re-insert of the survivor is a no-op, not an eviction.
+        assert_eq!(b.insert(1, mk_key(KernelName::MEMSET), est), 0);
+        assert_eq!(b.map.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_resident_entries() {
+        let _l = isolated();
+        assert_eq!(len(), 0);
+        let m = sg();
+        let _ = estimate_cached(&m, KernelName::DAXPY, &RunConfig::sg2042_best(Precision::Fp32, 1));
+        assert_eq!(len(), 1);
+        assert_eq!(stats().entries, 1);
+        clear();
+        assert_eq!(len(), 0);
     }
 
     #[test]

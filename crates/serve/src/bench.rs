@@ -1,0 +1,228 @@
+//! The `rvhpc-serve-bench-v1` artefact: a loadgen run rendered to JSON.
+//!
+//! Shape (documented in EXPERIMENTS.md; the validator below is the
+//! machine-checkable spec):
+//!
+//! ```text
+//! { "schema": "rvhpc-serve-bench-v1",
+//!   "config":  { clients, rps, duration_s, requests_per_client, seed },
+//!   "latency_us": { p50, p95, p99, mean, max },
+//!   "throughput_rps": ...,
+//!   "requests": { sent, ok, overloaded, deadline_exceeded,
+//!                 shutting_down, protocol_errors },
+//!   "reject_rate": ...,
+//!   "cache": { hits, misses, hit_rate },
+//!   "verified_bit_identical": true }
+//! ```
+
+use crate::loadgen::{LoadgenConfig, LoadgenReport};
+use rvhpc_trace::json::Json;
+
+/// Schema tag embedded in (and required of) every serve-bench artefact.
+pub const SERVE_SCHEMA: &str = "rvhpc-serve-bench-v1";
+
+fn num(v: f64) -> Json {
+    Json::Num(v)
+}
+
+/// Render a loadgen run as the versioned artefact.
+pub fn serve_artefact(cfg: &LoadgenConfig, report: &LoadgenReport) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(SERVE_SCHEMA)),
+        (
+            "config",
+            Json::obj(vec![
+                ("clients", num(report.clients as f64)),
+                ("rps", num(cfg.rps)),
+                ("duration_s", cfg.duration.map_or(Json::Null, |d| num(d.as_secs_f64()))),
+                (
+                    "requests_per_client",
+                    cfg.requests_per_client.map_or(Json::Null, |n| num(n as f64)),
+                ),
+                ("seed", num(report.seed as f64)),
+            ]),
+        ),
+        (
+            "latency_us",
+            Json::obj(vec![
+                ("p50", num(report.p50_us)),
+                ("p95", num(report.p95_us)),
+                ("p99", num(report.p99_us)),
+                ("mean", num(report.mean_us)),
+                ("max", num(report.max_us)),
+            ]),
+        ),
+        ("throughput_rps", num(report.throughput_rps)),
+        (
+            "requests",
+            Json::obj(vec![
+                ("sent", num(report.sent as f64)),
+                ("ok", num(report.ok as f64)),
+                ("overloaded", num(report.overloaded as f64)),
+                ("deadline_exceeded", num(report.deadline_exceeded as f64)),
+                ("shutting_down", num(report.shutting_down as f64)),
+                ("protocol_errors", num(report.protocol_errors as f64)),
+            ]),
+        ),
+        ("reject_rate", num(report.reject_rate)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", num(report.cache_hits as f64)),
+                ("misses", num(report.cache_misses as f64)),
+                ("hit_rate", num(report.cache_hit_rate)),
+            ]),
+        ),
+        ("verified_bit_identical", Json::Bool(report.verified_bit_identical)),
+        ("wall_seconds", num(report.wall_seconds)),
+    ])
+}
+
+fn req_f64(doc: &Json, path: &[&str]) -> Result<f64, String> {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key).ok_or_else(|| format!("missing field `{}`", path.join(".")))?;
+    }
+    cur.as_f64().ok_or_else(|| format!("field `{}` is not a number", path.join(".")))
+}
+
+fn req_count(doc: &Json, path: &[&str]) -> Result<u64, String> {
+    let v = req_f64(doc, path)?;
+    if v.is_finite() && v >= 0.0 && v.fract() == 0.0 {
+        Ok(v as u64)
+    } else {
+        Err(format!("field `{}` is not a non-negative integer: {v}", path.join(".")))
+    }
+}
+
+/// Validate a serve-bench artefact: schema tag, finite ordered latency
+/// percentiles, sane rates, integer counters, and a cache hit rate
+/// consistent with its own hit/miss counts.
+pub fn validate_serve_artefact(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("artefact is not valid JSON: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing string field `schema`".to_string())?;
+    if schema != SERVE_SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SERVE_SCHEMA}`"));
+    }
+    let p50 = req_f64(&doc, &["latency_us", "p50"])?;
+    let p95 = req_f64(&doc, &["latency_us", "p95"])?;
+    let p99 = req_f64(&doc, &["latency_us", "p99"])?;
+    for (name, v) in [("p50", p50), ("p95", p95), ("p99", p99)] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("latency_us.{name} is not a finite non-negative number: {v}"));
+        }
+    }
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!("latency percentiles out of order: p50={p50} p95={p95} p99={p99}"));
+    }
+    let throughput = req_f64(&doc, &["throughput_rps"])?;
+    if !throughput.is_finite() || throughput <= 0.0 {
+        return Err(format!("throughput_rps must be finite and positive, got {throughput}"));
+    }
+    let reject = req_f64(&doc, &["reject_rate"])?;
+    if !(0.0..=1.0).contains(&reject) {
+        return Err(format!("reject_rate out of [0,1]: {reject}"));
+    }
+    let sent = req_count(&doc, &["requests", "sent"])?;
+    let ok = req_count(&doc, &["requests", "ok"])?;
+    for field in ["overloaded", "deadline_exceeded", "shutting_down", "protocol_errors"] {
+        req_count(&doc, &["requests", field])?;
+    }
+    if ok > sent {
+        return Err(format!("requests.ok ({ok}) exceeds requests.sent ({sent})"));
+    }
+    let hits = req_count(&doc, &["cache", "hits"])?;
+    let misses = req_count(&doc, &["cache", "misses"])?;
+    let hit_rate = req_f64(&doc, &["cache", "hit_rate"])?;
+    let total = hits + misses;
+    let expected = if total > 0 { hits as f64 / total as f64 } else { 0.0 };
+    if (hit_rate - expected).abs() > 1e-9 {
+        return Err(format!(
+            "cache.hit_rate {hit_rate} inconsistent with hits={hits} misses={misses}"
+        ));
+    }
+    match doc.get("verified_bit_identical") {
+        Some(Json::Bool(_)) => {}
+        _ => return Err("missing boolean field `verified_bit_identical`".to_string()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LoadgenReport {
+        LoadgenReport {
+            clients: 4,
+            seed: 42,
+            wall_seconds: 1.5,
+            sent: 400,
+            ok: 390,
+            overloaded: 10,
+            deadline_exceeded: 0,
+            shutting_down: 0,
+            protocol_errors: 0,
+            p50_us: 120.0,
+            p95_us: 450.0,
+            p99_us: 900.0,
+            mean_us: 160.0,
+            max_us: 1200.0,
+            throughput_rps: 260.0,
+            reject_rate: 0.025,
+            cache_hits: 300,
+            cache_misses: 100,
+            cache_hit_rate: 0.75,
+            verified_bit_identical: true,
+            probe_bad_ok: None,
+            drained_clean: None,
+        }
+    }
+
+    #[test]
+    fn artefact_round_trips_through_the_validator() {
+        let text = serve_artefact(&LoadgenConfig::default(), &sample_report()).render();
+        validate_serve_artefact(&text).expect("valid artefact");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected_by_name() {
+        let mut report = sample_report();
+        report.protocol_errors = 0;
+        let text = serve_artefact(&LoadgenConfig::default(), &report)
+            .render()
+            .replace(SERVE_SCHEMA, "rvhpc-serve-bench-v0");
+        let err = validate_serve_artefact(&text).expect_err("schema mismatch");
+        assert!(err.contains("schema is"), "{err}");
+    }
+
+    #[test]
+    fn disordered_percentiles_and_bad_rates_are_rejected() {
+        let mut report = sample_report();
+        report.p95_us = 10.0; // below p50
+        let text = serve_artefact(&LoadgenConfig::default(), &report).render();
+        let err = validate_serve_artefact(&text).expect_err("percentile order");
+        assert!(err.contains("out of order"), "{err}");
+
+        let mut report = sample_report();
+        report.cache_hit_rate = 0.2; // inconsistent with 300/400
+        let text = serve_artefact(&LoadgenConfig::default(), &report).render();
+        let err = validate_serve_artefact(&text).expect_err("hit rate");
+        assert!(err.contains("inconsistent"), "{err}");
+
+        let mut report = sample_report();
+        report.throughput_rps = 0.0;
+        let text = serve_artefact(&LoadgenConfig::default(), &report).render();
+        let err = validate_serve_artefact(&text).expect_err("throughput");
+        assert!(err.contains("throughput"), "{err}");
+    }
+
+    #[test]
+    fn truncated_artefacts_fail_closed() {
+        assert!(validate_serve_artefact("{not json").is_err());
+        assert!(validate_serve_artefact(r#"{"schema":"rvhpc-serve-bench-v1"}"#).is_err());
+    }
+}

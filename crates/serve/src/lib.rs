@@ -1,0 +1,50 @@
+//! `rvhpc-serve` — a batched, backpressured query server over the
+//! performance model, plus the load-generator harness that benchmarks it.
+//!
+//! The ROADMAP's north star is a system that answers *streams* of queries,
+//! not a one-shot CLI. This crate is that serving layer, shaped like a
+//! miniature inference stack:
+//!
+//! * **Transport** — a zero-dependency TCP server (`std::net`) speaking
+//!   line-delimited JSON (the workspace's own [`rvhpc_trace::json::Json`]);
+//!   one request per line, one response per line, correlated by an echoed
+//!   `id` field ([`protocol`]).
+//! * **Admission control** — a bounded queue in front of the model. When it
+//!   is full the server answers immediately with an `overloaded` error and
+//!   a `retry_after_ms` hint instead of queueing unboundedly or dropping
+//!   the connection (the 429 pattern).
+//! * **Batching** — a dedicated batcher thread coalesces estimate requests
+//!   that arrive within a small window, deduplicates identical queries, and
+//!   fans the unique ones out through the process-wide
+//!   [`rvhpc_threads::global_team`] work-stealing pool onto
+//!   [`rvhpc_perfmodel::estimate_cached`], so concurrent clients share both
+//!   the thread pool and the cross-sweep estimate cache.
+//! * **Deadlines** — a request may carry `deadline_ms`; work whose deadline
+//!   has already passed when its batch is assembled is answered with
+//!   `deadline_exceeded` and never computed (admission-time cancellation).
+//! * **Graceful drain** — a `shutdown` request (or SIGTERM, see
+//!   [`signal`]) stops the listener, lets every admitted request finish,
+//!   answers late arrivals with `shutting_down`, and then exits cleanly.
+//! * **Observability** — always-on atomic counters surfaced by the `stats`
+//!   op, mirrored to `rvhpc-trace` (`serve.*` counters, `serve.queue_depth`
+//!   / `serve.batch_size` / `serve.latency_us` histograms, per-batch and
+//!   per-request spans) when tracing is enabled.
+//!
+//! The companion [`loadgen`] module drives a server over real sockets from
+//! N closed-loop clients, verifies every answer bit-identically against a
+//! local [`rvhpc_perfmodel::estimate_cached`] call, and emits the
+//! `rvhpc-serve-bench-v1` artefact ([`bench`]) so serving latency joins the
+//! repository's benchmark trajectory.
+
+#![deny(unsafe_code)] // except the tiny SIGTERM shim in `signal`
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
+pub use protocol::{ErrorKind, Request, MAX_LINE_BYTES};
+pub use server::{ServeConfig, Server, ServerStats};

@@ -1,0 +1,524 @@
+//! The load generator: N closed-loop clients over real sockets.
+//!
+//! Each client owns one TCP connection and runs a closed loop — send one
+//! request, block for its reply, record the latency, repeat — optionally
+//! paced to an aggregate request rate. The query mix is drawn from a fixed
+//! pool of `(machine, kernel, precision, threads)` triples by a seeded
+//! LCG, so runs are reproducible and the pool is small enough for the
+//! estimate cache to warm up (which is exactly the serving scenario the
+//! cache exists for).
+//!
+//! After the run every distinct query's reply is re-verified **bit
+//! identically** against a local [`estimate_cached`] call: the server must
+//! be a transparent network wrapper around the model, not a lossy one.
+
+use crate::protocol::MAX_LINE_BYTES;
+use rvhpc_kernels::KernelName;
+use rvhpc_machines::{machine, MachineId};
+use rvhpc_perfmodel::{estimate_cached, Precision, RunConfig};
+use rvhpc_trace::json::Json;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Load-generator settings; see field docs for defaults.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:4242`.
+    pub addr: String,
+    /// Number of concurrent closed-loop clients (default 4).
+    pub clients: usize,
+    /// Requests each client sends (default 100); `None` means "until
+    /// `duration` elapses".
+    pub requests_per_client: Option<usize>,
+    /// Wall-clock cap for the run; `None` means "until the per-client
+    /// request budget is spent".
+    pub duration: Option<Duration>,
+    /// Aggregate target request rate across all clients; `0` means
+    /// unpaced (each client sends as fast as its replies return).
+    pub rps: f64,
+    /// LCG seed for the query mix (default 42).
+    pub seed: u64,
+    /// Also send one deliberately malformed line on the control
+    /// connection and require a structured `bad_request` reply.
+    pub probe_bad: bool,
+    /// After the run, request a graceful drain and require the server to
+    /// answer and then close the connection cleanly.
+    pub shutdown_after: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: String::new(),
+            clients: 4,
+            requests_per_client: Some(100),
+            duration: None,
+            rps: 0.0,
+            seed: 42,
+            probe_bad: false,
+            shutdown_after: false,
+        }
+    }
+}
+
+/// Everything a run measured; the `rvhpc-serve-bench-v1` artefact is a
+/// straight rendering of this struct (see [`crate::bench`]).
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Clients that ran.
+    pub clients: usize,
+    /// LCG seed used.
+    pub seed: u64,
+    /// Wall-clock time of the measurement phase in seconds.
+    pub wall_seconds: f64,
+    /// Requests sent (estimate requests only; probes are separate).
+    pub sent: u64,
+    /// Replies with `ok:true`.
+    pub ok: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// `deadline_exceeded` replies.
+    pub deadline_exceeded: u64,
+    /// `shutting_down` replies.
+    pub shutting_down: u64,
+    /// Protocol violations: unparseable replies, id mismatches,
+    /// unexpected error kinds, failed probes, or bit-identity mismatches.
+    pub protocol_errors: u64,
+    /// Latency percentiles over successful replies, microseconds.
+    pub p50_us: f64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: f64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+    /// Successful replies per second of wall time.
+    pub throughput_rps: f64,
+    /// `overloaded / sent` (0 when nothing was sent).
+    pub reject_rate: f64,
+    /// Estimate-cache hits gained server-side during the run.
+    pub cache_hits: u64,
+    /// Estimate-cache misses gained server-side during the run.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` over the run's delta (0 when idle).
+    pub cache_hit_rate: f64,
+    /// Every distinct query's reply matched a local `estimate_cached`
+    /// call bit for bit.
+    pub verified_bit_identical: bool,
+    /// Outcome of the malformed-line probe, when requested.
+    pub probe_bad_ok: Option<bool>,
+    /// Whether the post-run drain completed cleanly, when requested.
+    pub drained_clean: Option<bool>,
+}
+
+/// One query from the fixed pool.
+#[derive(Clone, Copy)]
+struct Triple {
+    machine: MachineId,
+    kernel: KernelName,
+    precision: Precision,
+    threads: usize,
+}
+
+impl Triple {
+    fn request_line(&self, id: u64) -> String {
+        Json::obj(vec![
+            ("id", Json::Num(id as f64)),
+            ("op", Json::str("estimate")),
+            ("machine", Json::str(self.machine.token())),
+            ("kernel", Json::str(self.kernel.label())),
+            ("precision", Json::str(self.precision.label())),
+            ("threads", Json::Num(self.threads as f64)),
+        ])
+        .render()
+    }
+
+    /// The exact config the server derives for this request (machine-best
+    /// defaults) — the local half of the bit-identity check.
+    fn run_config(&self) -> RunConfig {
+        if self.machine.is_riscv() {
+            RunConfig::sg2042_best(self.precision, self.threads)
+        } else {
+            RunConfig::x86(self.precision, self.threads)
+        }
+    }
+}
+
+/// The reproducible query pool: a slice of the catalog × kernel × config
+/// space, small enough to warm the cache, wide enough to exercise it.
+fn query_pool() -> Vec<Triple> {
+    let machines = [MachineId::Sg2042, MachineId::AmdRome, MachineId::IntelIcelake];
+    let kernels: Vec<KernelName> = KernelName::ALL.into_iter().step_by(7).collect();
+    let mut pool = Vec::new();
+    for &machine in &machines {
+        for &kernel in &kernels {
+            for precision in [Precision::Fp64, Precision::Fp32] {
+                for threads in [1usize, 4, 16] {
+                    pool.push(Triple { machine, kernel, precision, threads });
+                }
+            }
+        }
+    }
+    pool
+}
+
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// The four time fields of an estimate reply, as exact bit patterns.
+type EstimateBits = [u64; 4];
+
+#[derive(Default)]
+struct ClientOutcome {
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    deadline_exceeded: u64,
+    shutting_down: u64,
+    protocol_errors: u64,
+    latencies_us: Vec<f64>,
+    /// First observed reply bits per pool index, plus a flag if a later
+    /// reply for the same query disagreed.
+    replies: HashMap<usize, EstimateBits>,
+    divergent_replies: bool,
+}
+
+fn reply_bits(result: &Json) -> Option<EstimateBits> {
+    let mut bits = [0u64; 4];
+    for (slot, field) in
+        ["seconds", "compute_seconds", "memory_seconds", "overhead_seconds"].iter().enumerate()
+    {
+        bits[slot] = result.get(field).and_then(Json::as_f64)?.to_bits();
+    }
+    Some(bits)
+}
+
+fn client_loop(cfg: &LoadgenConfig, pool: &[Triple], client_idx: usize) -> ClientOutcome {
+    let mut out = ClientOutcome::default();
+    let Ok(stream) = TcpStream::connect(&cfg.addr) else {
+        out.protocol_errors += 1;
+        return out;
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => {
+            out.protocol_errors += 1;
+            return out;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    let mut rng = cfg.seed ^ (client_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // Aggregate pacing split evenly: each client sends at rps/clients.
+    let pace = if cfg.rps > 0.0 {
+        Some(Duration::from_secs_f64(cfg.clients as f64 / cfg.rps))
+    } else {
+        None
+    };
+    let start = Instant::now();
+    let mut reply = String::with_capacity(256);
+    for seq in 0u64.. {
+        if cfg.requests_per_client.is_some_and(|limit| seq as usize >= limit) {
+            break;
+        }
+        if cfg.duration.is_some_and(|d| start.elapsed() >= d) {
+            break;
+        }
+        let pool_idx = (lcg_next(&mut rng) as usize) % pool.len();
+        let id = (client_idx as u64) * 1_000_000 + seq;
+        let line = pool[pool_idx].request_line(id);
+        let sent_at = Instant::now();
+        out.sent += 1;
+        if writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")).is_err() {
+            out.protocol_errors += 1;
+            break;
+        }
+        reply.clear();
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => {
+                // A dropped connection mid-conversation is exactly the
+                // failure mode backpressure exists to prevent.
+                out.protocol_errors += 1;
+                break;
+            }
+            Ok(_) => {}
+        }
+        let latency_us = sent_at.elapsed().as_secs_f64() * 1e6;
+        if reply.len() > MAX_LINE_BYTES {
+            out.protocol_errors += 1;
+            continue;
+        }
+        let Ok(doc) = Json::parse(reply.trim_end()) else {
+            out.protocol_errors += 1;
+            continue;
+        };
+        if doc.get("id").and_then(Json::as_f64) != Some(id as f64) {
+            out.protocol_errors += 1;
+            continue;
+        }
+        match doc.get("ok") {
+            Some(Json::Bool(true)) => match doc.get("result").and_then(reply_bits) {
+                Some(bits) => {
+                    let prior = out.replies.entry(pool_idx).or_insert(bits);
+                    if *prior != bits {
+                        out.divergent_replies = true;
+                    }
+                    out.ok += 1;
+                    out.latencies_us.push(latency_us);
+                }
+                None => out.protocol_errors += 1,
+            },
+            Some(Json::Bool(false)) => {
+                let kind = doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str);
+                match kind {
+                    Some("overloaded") => out.overloaded += 1,
+                    Some("deadline_exceeded") => out.deadline_exceeded += 1,
+                    Some("shutting_down") => {
+                        out.shutting_down += 1;
+                        return out; // server is draining; stop generating
+                    }
+                    _ => out.protocol_errors += 1,
+                }
+            }
+            _ => out.protocol_errors += 1,
+        }
+        if let Some(interval) = pace {
+            let elapsed = sent_at.elapsed();
+            if elapsed < interval {
+                std::thread::sleep(interval - elapsed);
+            }
+        }
+    }
+    out
+}
+
+/// One request/reply exchange on a control connection.
+fn exchange(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Option<Json> {
+    stream.write_all(line.as_bytes()).ok()?;
+    stream.write_all(b"\n").ok()?;
+    let mut reply = String::new();
+    match reader.read_line(&mut reply) {
+        Ok(n) if n > 0 => Json::parse(reply.trim_end()).ok(),
+        _ => None,
+    }
+}
+
+fn control_connection(addr: &str) -> Option<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let reader = BufReader::new(stream.try_clone().ok()?);
+    Some((stream, reader))
+}
+
+fn cache_counters(stats_reply: &Json) -> Option<(u64, u64)> {
+    let cache = stats_reply.get("result")?.get("estimate_cache")?;
+    let hits = cache.get("hits").and_then(Json::as_f64)? as u64;
+    let misses = cache.get("misses").and_then(Json::as_f64)? as u64;
+    Some((hits, misses))
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Run the load generator against a live server and measure it.
+///
+/// Errors only on total connection failure; per-request trouble is
+/// reported through [`LoadgenReport::protocol_errors`] instead, so a
+/// misbehaving server produces a report, not a panic.
+pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    assert!(cfg.clients >= 1, "need at least one client");
+    let pool = query_pool();
+    let (mut control, mut control_reader) = control_connection(&cfg.addr).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "cannot reach server")
+    })?;
+
+    let stats_before = exchange(&mut control, &mut control_reader, r#"{"op":"stats"}"#)
+        .as_ref()
+        .and_then(cache_counters);
+
+    let started = Instant::now();
+    let pool_ref = &pool;
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..cfg.clients).map(|i| scope.spawn(move || client_loop(cfg, pool_ref, i))).collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    });
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    let stats_after = exchange(&mut control, &mut control_reader, r#"{"op":"stats"}"#)
+        .as_ref()
+        .and_then(cache_counters);
+
+    // Fold the per-client outcomes.
+    let mut report = LoadgenReport {
+        clients: cfg.clients,
+        seed: cfg.seed,
+        wall_seconds,
+        sent: 0,
+        ok: 0,
+        overloaded: 0,
+        deadline_exceeded: 0,
+        shutting_down: 0,
+        protocol_errors: 0,
+        p50_us: f64::NAN,
+        p95_us: f64::NAN,
+        p99_us: f64::NAN,
+        mean_us: f64::NAN,
+        max_us: f64::NAN,
+        throughput_rps: 0.0,
+        reject_rate: 0.0,
+        cache_hits: 0,
+        cache_misses: 0,
+        cache_hit_rate: 0.0,
+        verified_bit_identical: true,
+        probe_bad_ok: None,
+        drained_clean: None,
+    };
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut replies: HashMap<usize, EstimateBits> = HashMap::new();
+    for out in outcomes {
+        report.sent += out.sent;
+        report.ok += out.ok;
+        report.overloaded += out.overloaded;
+        report.deadline_exceeded += out.deadline_exceeded;
+        report.shutting_down += out.shutting_down;
+        report.protocol_errors += out.protocol_errors;
+        if out.divergent_replies {
+            report.verified_bit_identical = false;
+        }
+        latencies.extend(out.latencies_us);
+        for (pool_idx, bits) in out.replies {
+            let prior = replies.entry(pool_idx).or_insert(bits);
+            if *prior != bits {
+                report.verified_bit_identical = false;
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    report.p50_us = percentile(&latencies, 0.50);
+    report.p95_us = percentile(&latencies, 0.95);
+    report.p99_us = percentile(&latencies, 0.99);
+    report.max_us = latencies.last().copied().unwrap_or(f64::NAN);
+    report.mean_us = if latencies.is_empty() {
+        f64::NAN
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    if wall_seconds > 0.0 {
+        report.throughput_rps = report.ok as f64 / wall_seconds;
+    }
+    if report.sent > 0 {
+        report.reject_rate = report.overloaded as f64 / report.sent as f64;
+    }
+    if let (Some((h0, m0)), Some((h1, m1))) = (stats_before, stats_after) {
+        report.cache_hits = h1.saturating_sub(h0);
+        report.cache_misses = m1.saturating_sub(m0);
+        let total = report.cache_hits + report.cache_misses;
+        if total > 0 {
+            report.cache_hit_rate = report.cache_hits as f64 / total as f64;
+        }
+    } else {
+        report.protocol_errors += 1; // stats op must work
+    }
+
+    // Bit-identity: every distinct query's server answer must equal a
+    // local estimate_cached call exactly.
+    for (pool_idx, bits) in &replies {
+        let t = pool[*pool_idx];
+        let est = estimate_cached(&machine(t.machine), t.kernel, &t.run_config());
+        let local: EstimateBits = [
+            est.seconds.to_bits(),
+            est.compute_seconds.to_bits(),
+            est.memory_seconds.to_bits(),
+            est.overhead_seconds.to_bits(),
+        ];
+        if local != *bits {
+            report.verified_bit_identical = false;
+            report.protocol_errors += 1;
+        }
+    }
+
+    if cfg.probe_bad {
+        let reply = exchange(&mut control, &mut control_reader, "this is not json {");
+        let ok = reply.as_ref().is_some_and(|doc| {
+            doc.get("ok") == Some(&Json::Bool(false))
+                && doc.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str)
+                    == Some("bad_request")
+        });
+        report.probe_bad_ok = Some(ok);
+        if !ok {
+            report.protocol_errors += 1;
+        }
+    }
+
+    if cfg.shutdown_after {
+        let reply = exchange(&mut control, &mut control_reader, r#"{"op":"shutdown"}"#);
+        let acked = reply.as_ref().is_some_and(|doc| doc.get("ok") == Some(&Json::Bool(true)));
+        // After the ack the server drains and closes: require EOF.
+        let mut tail = String::new();
+        let eof = loop {
+            tail.clear();
+            match control_reader.read_line(&mut tail) {
+                Ok(0) => break true,
+                Ok(_) => continue, // late replies are fine during drain
+                Err(_) => break false,
+            }
+        };
+        let clean = acked && eof;
+        report.drained_clean = Some(clean);
+        if !clean {
+            report.protocol_errors += 1;
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_pool_is_stable_and_nonempty() {
+        let pool = query_pool();
+        assert!(pool.len() >= 100, "pool has {} entries", pool.len());
+        // Deterministic: same seed, same draw sequence.
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..64 {
+            assert_eq!(lcg_next(&mut a), lcg_next(&mut b));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let mut v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        v.sort_by(f64::total_cmp);
+        let (p50, p95, p99) = (percentile(&v, 0.5), percentile(&v, 0.95), percentile(&v, 0.99));
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(percentile(&v, 1.0), 999.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+
+    #[test]
+    fn request_lines_are_valid_protocol() {
+        for (i, t) in query_pool().iter().enumerate().take(25) {
+            let line = t.request_line(i as u64);
+            let (_, parsed) = crate::protocol::parse_request(&line);
+            parsed.unwrap_or_else(|e| panic!("pool entry {i} invalid: {e}"));
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The line-delimited JSON request/response protocol.
+//!
+//! Every request is one JSON object on one line. The only required field is
+//! `op`; `id` (any JSON value) is echoed verbatim on the response so
+//! clients can pipeline and correlate. Unknown fields are rejected — a
+//! typo'd knob silently ignored would make a what-if query lie.
+//!
+//! ```text
+//! {"id":1,"op":"estimate","machine":"sg2042","kernel":"Stream_TRIAD",
+//!  "precision":"fp32","threads":32}
+//! {"id":1,"ok":true,"op":"estimate","result":{"seconds":...,...}}
+//! ```
+//!
+//! Responses are `{"id":...,"ok":true,"op":...,"result":{...}}` or
+//! `{"id":...,"ok":false,"error":{"kind":...,"message":...}}`. Error kinds
+//! are closed: `bad_request` (malformed line or unknown field/op/operand),
+//! `overloaded` (admission queue full; carries `retry_after_ms`),
+//! `deadline_exceeded` (the request's `deadline_ms` budget expired before
+//! its batch ran) and `shutting_down` (arrived after a drain began).
+
+use rvhpc_compiler::VectorMode;
+use rvhpc_kernels::{KernelClass, KernelName};
+use rvhpc_machines::{MachineId, PlacementPolicy};
+use rvhpc_perfmodel::{Precision, RunConfig, TimeEstimate};
+use rvhpc_trace::json::Json;
+
+/// Hard cap on one request line; longer lines are answered with
+/// `bad_request` rather than buffered without bound.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Longest `sleep` op honoured, so a hostile client cannot park the
+/// batcher for minutes.
+pub const MAX_SLEEP_MS: u64 = 10_000;
+
+/// The error taxonomy of the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed JSON, unknown op, unknown field, or an invalid operand.
+    BadRequest,
+    /// The admission queue is full; retry after the hinted delay.
+    Overloaded,
+    /// The request's deadline passed before it was executed.
+    DeadlineExceeded,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// Wire token of the kind.
+    pub fn token(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Estimate one `(machine, kernel, config)` triple (batched path).
+    Estimate {
+        /// Catalog machine.
+        machine: MachineId,
+        /// Kernel to estimate.
+        kernel: KernelName,
+        /// Full run configuration (defaults + overrides applied).
+        cfg: RunConfig,
+        /// Latency budget in milliseconds, if the client set one.
+        deadline_ms: Option<u64>,
+    },
+    /// Component breakdown of one estimate (answered inline).
+    Explain {
+        /// Catalog machine.
+        machine: MachineId,
+        /// Kernel to explain.
+        kernel: KernelName,
+        /// Full run configuration.
+        cfg: RunConfig,
+    },
+    /// One pass over the 64-kernel suite, optionally sliced to a class
+    /// (answered inline; estimates still share the process-wide cache).
+    Suite {
+        /// Catalog machine.
+        machine: MachineId,
+        /// Full run configuration.
+        cfg: RunConfig,
+        /// Restrict to one kernel class, if set.
+        class: Option<KernelClass>,
+    },
+    /// Lint a machine descriptor: a catalog entry plus optional what-if
+    /// overrides, checked by `rvhpc-analyze`'s descriptor lint.
+    LintMachine {
+        /// Base catalog machine the overrides are applied to.
+        machine: MachineId,
+        /// What-if clock override (GHz).
+        clock_ghz: Option<f64>,
+        /// What-if memory-controller-count override.
+        memory_controllers: Option<usize>,
+        /// What-if per-controller bandwidth override (GB/s).
+        bw_per_controller_gbs: Option<f64>,
+    },
+    /// Server + estimate-cache statistics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Hold the batcher for `ms` milliseconds (diagnostic op used by the
+    /// backpressure tests and the loadgen's overload probe; batched path).
+    Sleep {
+        /// How long to sleep.
+        ms: u64,
+    },
+    /// Begin a graceful drain.
+    Shutdown,
+}
+
+impl Request {
+    /// The op token (mirrors the request's `op` field).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Estimate { .. } => "estimate",
+            Request::Explain { .. } => "explain",
+            Request::Suite { .. } => "suite",
+            Request::LintMachine { .. } => "lint_machine",
+            Request::Stats => "stats",
+            Request::Ping => "ping",
+            Request::Sleep { .. } => "sleep",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Fields every op understands; used to reject unknown keys per op.
+const COMMON_FIELDS: [&str; 2] = ["id", "op"];
+
+fn allowed_fields(op: &str) -> &'static [&'static str] {
+    match op {
+        "estimate" => &[
+            "machine",
+            "kernel",
+            "precision",
+            "threads",
+            "vectorize",
+            "mode",
+            "placement",
+            "deadline_ms",
+        ],
+        "explain" => {
+            &["machine", "kernel", "precision", "threads", "vectorize", "mode", "placement"]
+        }
+        "suite" => &["machine", "precision", "threads", "vectorize", "mode", "placement", "class"],
+        "lint_machine" => &["machine", "clock_ghz", "memory_controllers", "bw_per_controller_gbs"],
+        "sleep" => &["ms"],
+        _ => &[],
+    }
+}
+
+/// Parse one request line. `Err` carries the `bad_request` message; the
+/// echoed `id` (if the line parsed far enough to have one) is returned in
+/// both arms so even a rejected request is answered with its own id.
+pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
+    if line.len() > MAX_LINE_BYTES {
+        return (Json::Null, Err(format!("request line exceeds {MAX_LINE_BYTES} bytes")));
+    }
+    let doc = match Json::parse(line) {
+        Ok(d) => d,
+        Err(e) => return (Json::Null, Err(format!("not valid JSON: {e}"))),
+    };
+    let Json::Obj(pairs) = &doc else {
+        return (Json::Null, Err("request must be a JSON object".to_string()));
+    };
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    let Some(op) = doc.get("op").and_then(Json::as_str) else {
+        return (id, Err("missing string field `op`".to_string()));
+    };
+    for (key, _) in pairs {
+        if !COMMON_FIELDS.contains(&key.as_str()) && !allowed_fields(op).contains(&key.as_str()) {
+            return (id, Err(format!("unknown field `{key}` for op `{op}`")));
+        }
+    }
+    let parsed = match op {
+        "estimate" => machine_kernel_cfg(&doc).and_then(|(machine, kernel, cfg)| {
+            let deadline_ms = match doc.get("deadline_ms") {
+                None => None,
+                Some(v) => Some(parse_count(v, "deadline_ms")?),
+            };
+            Ok(Request::Estimate { machine, kernel, cfg, deadline_ms })
+        }),
+        "explain" => machine_kernel_cfg(&doc).map(|(machine, kernel, cfg)| Request::Explain {
+            machine,
+            kernel,
+            cfg,
+        }),
+        "suite" => machine_cfg(&doc).and_then(|(machine, cfg)| {
+            let class = match doc.get("class").map(|v| (v, v.as_str())) {
+                None => None,
+                Some((_, Some(label))) => Some(parse_class(label)?),
+                Some((v, None)) => return Err(format!("`class` must be a string, got {v:?}")),
+            };
+            Ok(Request::Suite { machine, cfg, class })
+        }),
+        "lint_machine" => parse_machine(&doc).and_then(|machine| {
+            Ok(Request::LintMachine {
+                machine,
+                clock_ghz: parse_opt_pos_f64(&doc, "clock_ghz")?,
+                memory_controllers: match doc.get("memory_controllers") {
+                    None => None,
+                    Some(v) => Some(parse_count(v, "memory_controllers")? as usize),
+                },
+                bw_per_controller_gbs: parse_opt_pos_f64(&doc, "bw_per_controller_gbs")?,
+            })
+        }),
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "sleep" => match doc.get("ms") {
+            Some(v) => parse_count(v, "ms").and_then(|ms| {
+                if ms > MAX_SLEEP_MS {
+                    Err(format!("`ms` capped at {MAX_SLEEP_MS}"))
+                } else {
+                    Ok(Request::Sleep { ms })
+                }
+            }),
+            None => Err("sleep needs a numeric `ms` field".to_string()),
+        },
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op `{other}` (known: estimate, explain, suite, lint_machine, \
+             stats, ping, sleep, shutdown)"
+        )),
+    };
+    (id, parsed)
+}
+
+fn parse_machine(doc: &Json) -> Result<MachineId, String> {
+    let Some(tok) = doc.get("machine").and_then(Json::as_str) else {
+        return Err("missing string field `machine`".to_string());
+    };
+    MachineId::from_token(&tok.to_lowercase())
+        .ok_or_else(|| format!("unknown machine `{tok}`; known: {}", machine_tokens()))
+}
+
+/// Every machine token the server accepts (catalog + what-if).
+pub fn machine_tokens() -> String {
+    MachineId::ALL
+        .into_iter()
+        .chain([MachineId::Sg2042NextGen])
+        .map(MachineId::token)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn parse_class(label: &str) -> Result<KernelClass, String> {
+    KernelClass::ALL.into_iter().find(|c| c.label().eq_ignore_ascii_case(label)).ok_or_else(|| {
+        let known: Vec<&str> = KernelClass::ALL.iter().map(|c| c.label()).collect();
+        format!("unknown class `{label}`; known: {}", known.join(", "))
+    })
+}
+
+fn parse_count(v: &Json, field: &str) -> Result<u64, String> {
+    match v.as_f64() {
+        Some(n) if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n < 1e15 => Ok(n as u64),
+        _ => Err(format!("`{field}` must be a non-negative integer, got {v:?}")),
+    }
+}
+
+fn parse_opt_pos_f64(doc: &Json, field: &str) -> Result<Option<f64>, String> {
+    match doc.get(field) {
+        None => Ok(None),
+        Some(v) => match v.as_f64() {
+            Some(n) if n.is_finite() && n > 0.0 => Ok(Some(n)),
+            _ => Err(format!("`{field}` must be a positive number, got {v:?}")),
+        },
+    }
+}
+
+fn machine_kernel_cfg(doc: &Json) -> Result<(MachineId, KernelName, RunConfig), String> {
+    let (machine, cfg) = machine_cfg(doc)?;
+    let Some(label) = doc.get("kernel").and_then(Json::as_str) else {
+        return Err("missing string field `kernel`".to_string());
+    };
+    let kernel = KernelName::from_label(label)
+        .ok_or_else(|| format!("unknown kernel `{label}`; labels are e.g. Basic_DAXPY"))?;
+    Ok((machine, kernel, cfg))
+}
+
+/// Build the run configuration for a request: start from the machine's
+/// paper-best default (the same rule the `repro explain` CLI applies) and
+/// layer the optional `vectorize` / `mode` / `placement` overrides on top.
+fn machine_cfg(doc: &Json) -> Result<(MachineId, RunConfig), String> {
+    let machine = parse_machine(doc)?;
+    let precision = match doc.get("precision").map(|v| (v, v.as_str())) {
+        None => Precision::Fp64,
+        Some((_, Some("fp64"))) => Precision::Fp64,
+        Some((_, Some("fp32"))) => Precision::Fp32,
+        Some((v, _)) => return Err(format!("`precision` must be \"fp32\" or \"fp64\", got {v:?}")),
+    };
+    let threads = match doc.get("threads") {
+        None => 1,
+        Some(v) => match parse_count(v, "threads")? {
+            0 => return Err("`threads` must be >= 1".to_string()),
+            n => n as usize,
+        },
+    };
+    let mut cfg = if machine.is_riscv() {
+        RunConfig::sg2042_best(precision, threads)
+    } else {
+        RunConfig::x86(precision, threads)
+    };
+    match doc.get("vectorize") {
+        None => {}
+        Some(Json::Bool(b)) => cfg.vectorize = *b,
+        Some(v) => return Err(format!("`vectorize` must be a boolean, got {v:?}")),
+    }
+    match doc.get("mode").map(|v| (v, v.as_str())) {
+        None => {}
+        Some((_, Some("vls"))) => cfg.mode = VectorMode::Vls,
+        Some((_, Some("vla"))) => cfg.mode = VectorMode::Vla,
+        Some((v, _)) => return Err(format!("`mode` must be \"vls\" or \"vla\", got {v:?}")),
+    }
+    match doc.get("placement").map(|v| (v, v.as_str())) {
+        None => {}
+        Some((v, Some(label))) => {
+            cfg.placement = PlacementPolicy::ALL
+                .into_iter()
+                .find(|p| p.label() == label)
+                .ok_or_else(|| format!("unknown placement {v:?}; known: block, cyclic, cluster"))?;
+        }
+        Some((v, None)) => return Err(format!("`placement` must be a string, got {v:?}")),
+    }
+    Ok((machine, cfg))
+}
+
+/// Render an ok response line (no trailing newline).
+pub fn ok_response(id: &Json, op: &'static str, result: Json) -> String {
+    Json::obj(vec![
+        ("id", id.clone()),
+        ("ok", Json::Bool(true)),
+        ("op", Json::str(op)),
+        ("result", result),
+    ])
+    .render()
+}
+
+/// Render an error response line (no trailing newline). `retry_after_ms`
+/// is attached for [`ErrorKind::Overloaded`] backpressure hints.
+pub fn error_response(
+    id: &Json,
+    kind: ErrorKind,
+    message: &str,
+    retry_after_ms: Option<u64>,
+) -> String {
+    let mut error = vec![("kind", Json::str(kind.token())), ("message", Json::str(message))];
+    if let Some(ms) = retry_after_ms {
+        error.push(("retry_after_ms", Json::Num(ms as f64)));
+    }
+    Json::obj(vec![("id", id.clone()), ("ok", Json::Bool(false)), ("error", Json::obj(error))])
+        .render()
+}
+
+/// The JSON shape of a [`TimeEstimate`] (numbers round-trip bit-exactly:
+/// the renderer prints shortest-round-trip floats and the parser restores
+/// them, which the end-to-end bit-identity test relies on).
+pub fn estimate_json(est: &TimeEstimate) -> Json {
+    Json::obj(vec![
+        ("seconds", Json::Num(est.seconds)),
+        ("compute_seconds", Json::Num(est.compute_seconds)),
+        ("memory_seconds", Json::Num(est.memory_seconds)),
+        ("overhead_seconds", Json::Num(est.overhead_seconds)),
+        ("vector_path", Json::Bool(est.vector_path)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn must_parse(line: &str) -> Request {
+        let (_, r) = parse_request(line);
+        r.unwrap_or_else(|e| panic!("{line}: {e}"))
+    }
+
+    fn must_fail(line: &str) -> String {
+        let (_, r) = parse_request(line);
+        r.expect_err("should be rejected")
+    }
+
+    #[test]
+    fn estimate_defaults_and_overrides_parse() {
+        let r = must_parse(
+            r#"{"id":7,"op":"estimate","machine":"sg2042","kernel":"Stream_TRIAD",
+               "precision":"fp32","threads":32,"mode":"vla","placement":"block",
+               "vectorize":true,"deadline_ms":250}"#,
+        );
+        let Request::Estimate { machine, kernel, cfg, deadline_ms } = r else {
+            panic!("wrong variant");
+        };
+        assert_eq!(machine, MachineId::Sg2042);
+        assert_eq!(kernel, KernelName::STREAM_TRIAD);
+        assert_eq!(cfg.threads, 32);
+        assert_eq!(cfg.precision, Precision::Fp32);
+        assert_eq!(cfg.mode, VectorMode::Vla);
+        assert_eq!(cfg.placement, PlacementPolicy::Block);
+        assert_eq!(deadline_ms, Some(250));
+        // Defaults: fp64, 1 thread, machine-best config.
+        let r = must_parse(r#"{"op":"estimate","machine":"amd-rome","kernel":"Basic_DAXPY"}"#);
+        let Request::Estimate { cfg, deadline_ms: None, .. } = r else { panic!("wrong variant") };
+        assert_eq!(cfg.precision, Precision::Fp64);
+        assert_eq!(cfg.threads, 1);
+    }
+
+    #[test]
+    fn ids_are_echoed_even_for_rejected_requests() {
+        let (id, r) = parse_request(r#"{"id":"abc","op":"estimate","machine":"nope"}"#);
+        assert_eq!(id, Json::str("abc"));
+        assert!(r.unwrap_err().contains("unknown machine"));
+    }
+
+    #[test]
+    fn malformed_and_unknown_inputs_are_bad_requests() {
+        assert!(must_fail("not json at all").contains("not valid JSON"));
+        assert!(must_fail("[1,2]").contains("must be a JSON object"));
+        assert!(must_fail(r#"{"id":1}"#).contains("missing string field `op`"));
+        assert!(must_fail(r#"{"op":"frobnicate"}"#).contains("unknown op"));
+        assert!(must_fail(r#"{"op":"estimate","machine":"sg2042","kernel":"Nope_X"}"#)
+            .contains("unknown kernel"));
+        assert!(must_fail(
+            r#"{"op":"estimate","machine":"sg2042","kernel":"Basic_DAXPY","threads":0}"#
+        )
+        .contains(">= 1"));
+        assert!(must_fail(r#"{"op":"ping","bogus":1}"#).contains("unknown field `bogus`"));
+        assert!(must_fail(
+            r#"{"op":"estimate","machine":"sg2042","kernel":"Basic_DAXPY","mode":"mvl"}"#
+        )
+        .contains("`mode`"));
+        let long = format!(r#"{{"op":"ping","id":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+        assert!(must_fail(&long).contains("exceeds"));
+    }
+
+    #[test]
+    fn suite_class_slice_and_lint_overrides_parse() {
+        let r = must_parse(r#"{"op":"suite","machine":"sg2042","class":"stream","threads":8}"#);
+        let Request::Suite { class: Some(c), cfg, .. } = r else { panic!("wrong variant") };
+        assert_eq!(c.label(), "stream");
+        assert_eq!(cfg.threads, 8);
+        let r = must_parse(
+            r#"{"op":"lint_machine","machine":"sg2042","clock_ghz":2.5,"memory_controllers":8}"#,
+        );
+        let Request::LintMachine { clock_ghz, memory_controllers, bw_per_controller_gbs, .. } = r
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(clock_ghz, Some(2.5));
+        assert_eq!(memory_controllers, Some(8));
+        assert_eq!(bw_per_controller_gbs, None);
+        assert!(must_fail(r#"{"op":"lint_machine","machine":"sg2042","clock_ghz":-1}"#)
+            .contains("positive"));
+    }
+
+    #[test]
+    fn sleep_is_capped_and_shutdown_parses() {
+        assert!(matches!(must_parse(r#"{"op":"sleep","ms":50}"#), Request::Sleep { ms: 50 }));
+        assert!(must_fail(r#"{"op":"sleep","ms":999999}"#).contains("capped"));
+        assert!(matches!(must_parse(r#"{"op":"shutdown"}"#), Request::Shutdown));
+        assert!(matches!(must_parse(r#"{"op":"ping","id":null}"#), Request::Ping));
+    }
+
+    #[test]
+    fn responses_render_and_parse_back() {
+        let ok = ok_response(&Json::Num(3.0), "ping", Json::obj(vec![("pong", Json::Bool(true))]));
+        let doc = Json::parse(&ok).expect("ok line parses");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("id").and_then(Json::as_f64), Some(3.0));
+        let err = error_response(&Json::Null, ErrorKind::Overloaded, "queue full", Some(12));
+        let doc = Json::parse(&err).expect("error line parses");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(false)));
+        let e = doc.get("error").expect("error object");
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(e.get("retry_after_ms").and_then(Json::as_f64), Some(12.0));
+    }
+
+    #[test]
+    fn estimate_json_round_trips_bit_exactly() {
+        let est = TimeEstimate {
+            seconds: 0.123456789012345e-3,
+            compute_seconds: 1.0 / 3.0,
+            memory_seconds: 2.0_f64.sqrt() * 1e-9,
+            overhead_seconds: 0.0,
+            vector_path: true,
+        };
+        let line = estimate_json(&est).render();
+        let doc = Json::parse(&line).expect("parses");
+        for (field, want) in [
+            ("seconds", est.seconds),
+            ("compute_seconds", est.compute_seconds),
+            ("memory_seconds", est.memory_seconds),
+            ("overhead_seconds", est.overhead_seconds),
+        ] {
+            let got = doc.get(field).and_then(Json::as_f64).expect(field);
+            assert_eq!(got.to_bits(), want.to_bits(), "{field}");
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! The server: listener, per-connection readers, admission queue, batcher.
+//!
+//! Thread shape (all plain `std::thread`, no async runtime):
+//!
+//! ```text
+//! listener ──accept──▶ reader (one per connection)
+//!                        │  direct ops (explain/suite/lint/stats/ping)
+//!                        │  answered inline on the reader thread
+//!                        └─ estimate/sleep ──try_send──▶ bounded queue
+//!                                                          │
+//!                                    batcher ◀─────────────┘
+//!                                    coalesce ≤ batch_max within window,
+//!                                    dedupe, fan out via global_team
+//!                                    work-stealing onto estimate_cached,
+//!                                    write each reply to its connection
+//! ```
+//!
+//! Backpressure is explicit: `try_send` on the bounded queue either admits
+//! a request or produces an immediate `overloaded` reply with a
+//! `retry_after_ms` hint — the server never buffers unboundedly and never
+//! silently drops an accepted request. A drain (a `shutdown` request or
+//! SIGTERM) stops the listener, finishes everything already admitted,
+//! answers late batched requests with `shutting_down`, and joins cleanly.
+
+use crate::protocol::{
+    error_response, estimate_json, ok_response, parse_request, ErrorKind, Request,
+};
+use crate::signal;
+use rvhpc_analyze::lint_machine;
+use rvhpc_kernels::{KernelClass, KernelName};
+use rvhpc_machines::{machine, MachineId};
+use rvhpc_perfmodel::{cache, estimate_cached, explain, RunConfig};
+use rvhpc_threads::global_team;
+use rvhpc_trace::json::Json;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port (read the
+    /// real one back from [`Server::local_addr`]).
+    pub addr: String,
+    /// Admission-queue bound: estimate/sleep requests beyond this many
+    /// in flight are answered `overloaded` instead of queued.
+    pub queue_capacity: usize,
+    /// Largest batch the coalescer assembles.
+    pub batch_max: usize,
+    /// How long the batcher waits for companions after the first request
+    /// of a batch arrives.
+    pub batch_window: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 256,
+            batch_max: 64,
+            batch_window: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Always-on serving counters (the `stats` op's source; mirrored to
+/// `rvhpc-trace` when tracing is enabled, the same pattern as the
+/// perfmodel estimate cache).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Request lines received (including rejected ones).
+    pub requests: AtomicU64,
+    /// Estimate/sleep requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Batched requests answered with a result.
+    pub completed: AtomicU64,
+    /// Requests refused with `overloaded` (queue full).
+    pub rejected_overload: AtomicU64,
+    /// Lines refused with `bad_request`.
+    pub bad_requests: AtomicU64,
+    /// Admitted requests whose deadline expired before execution.
+    pub deadline_exceeded: AtomicU64,
+    /// Requests refused with `shutting_down` during a drain.
+    pub shed_shutting_down: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Total requests across all batches.
+    pub batch_items: AtomicU64,
+    /// Largest batch observed.
+    pub max_batch: AtomicU64,
+    /// Current admission-queue depth.
+    pub queue_depth: AtomicUsize,
+}
+
+impl ServerStats {
+    fn json(&self, draining: bool) -> Json {
+        let c = cache::stats();
+        Json::obj(vec![
+            (
+                "server",
+                Json::obj(vec![
+                    ("connections", num(self.connections.load(Ordering::Relaxed))),
+                    ("requests", num(self.requests.load(Ordering::Relaxed))),
+                    ("admitted", num(self.admitted.load(Ordering::Relaxed))),
+                    ("completed", num(self.completed.load(Ordering::Relaxed))),
+                    ("rejected_overload", num(self.rejected_overload.load(Ordering::Relaxed))),
+                    ("bad_requests", num(self.bad_requests.load(Ordering::Relaxed))),
+                    ("deadline_exceeded", num(self.deadline_exceeded.load(Ordering::Relaxed))),
+                    ("shed_shutting_down", num(self.shed_shutting_down.load(Ordering::Relaxed))),
+                    ("batches", num(self.batches.load(Ordering::Relaxed))),
+                    ("batch_items", num(self.batch_items.load(Ordering::Relaxed))),
+                    ("max_batch", num(self.max_batch.load(Ordering::Relaxed))),
+                    ("queue_depth", num(self.queue_depth.load(Ordering::Relaxed) as u64)),
+                    ("draining", Json::Bool(draining)),
+                ]),
+            ),
+            (
+                "estimate_cache",
+                Json::obj(vec![
+                    ("hits", num(c.hits)),
+                    ("misses", num(c.misses)),
+                    ("evictions", num(c.evictions)),
+                    ("entries", num(c.entries as u64)),
+                    ("capacity", num(c.capacity as u64)),
+                    ("hit_rate", Json::Num(c.hit_rate())),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn num(v: u64) -> Json {
+    Json::Num(v as f64)
+}
+
+/// One connection's write half; replies from the reader and the batcher
+/// are serialised through the mutex, one full line per write.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send_line(&self, line: &str) {
+        let mut guard = match self.stream.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        // A failed write means the client went away; the reader will see
+        // EOF and close the connection, so the error needs no handling.
+        let _ = guard.write_all(line.as_bytes()).and_then(|()| guard.write_all(b"\n"));
+    }
+}
+
+/// A queued unit of batched work.
+struct WorkItem {
+    id: Json,
+    writer: Arc<ConnWriter>,
+    admitted: Instant,
+    deadline: Option<Instant>,
+    kind: WorkKind,
+}
+
+enum WorkKind {
+    Estimate { machine: MachineId, kernel: KernelName, cfg: RunConfig },
+    Sleep { ms: u64 },
+}
+
+/// Dedup key for coalescing: two estimate requests with equal keys are
+/// answered from one computation (which `estimate_cached` then also
+/// memoises across batches).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct EstKey {
+    machine: MachineId,
+    kernel: KernelName,
+    precision: rvhpc_perfmodel::Precision,
+    vectorize: bool,
+    toolchain: rvhpc_perfmodel::Toolchain,
+    mode: rvhpc_compiler::VectorMode,
+    placement: rvhpc_machines::PlacementPolicy,
+    threads: usize,
+}
+
+impl EstKey {
+    fn new(machine: MachineId, kernel: KernelName, cfg: &RunConfig) -> Self {
+        EstKey {
+            machine,
+            kernel,
+            precision: cfg.precision,
+            vectorize: cfg.vectorize,
+            toolchain: cfg.toolchain,
+            mode: cfg.mode,
+            placement: cfg.placement,
+            threads: cfg.threads,
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    stats: ServerStats,
+    draining: AtomicBool,
+    batcher_done: AtomicBool,
+    active_conns: AtomicUsize,
+    queue_tx: SyncSender<WorkItem>,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// The `Retry-After` hint attached to `overloaded` replies: roughly
+    /// how long it takes the batcher to work through a full queue.
+    fn retry_after_ms(&self) -> u64 {
+        let window_ms = self.config.batch_window.as_millis() as u64;
+        let batches_queued = self.config.queue_capacity.div_ceil(self.config.batch_max) as u64;
+        (window_ms.max(1) * batches_queued).clamp(1, 1_000)
+    }
+}
+
+/// A running server; see the module docs for the thread shape.
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. Returns once the listener is accepting.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        assert!(config.batch_max >= 1, "batch_max must be >= 1");
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (queue_tx, queue_rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+        let shared = Arc::new(Shared {
+            config,
+            stats: ServerStats::default(),
+            draining: AtomicBool::new(false),
+            batcher_done: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            queue_tx,
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rvhpc-serve-batcher".to_string())
+                .spawn(move || batcher_loop(&shared, &queue_rx))
+                .expect("spawn batcher")
+        };
+        let accepter = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rvhpc-serve-listener".to_string())
+                .spawn(move || listener_loop(&shared, &listener))
+                .expect("spawn listener")
+        };
+        Ok(Server { local_addr, shared, listener: Some(accepter), batcher: Some(batcher) })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Programmatic equivalent of a `shutdown` request.
+    pub fn shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// The always-on serving counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.shared.stats
+    }
+
+    /// Wait for the drain to complete: listener stopped, queue empty,
+    /// batcher exited, every connection closed. Blocks until a drain is
+    /// initiated (by a `shutdown` request, [`Server::shutdown`] or
+    /// SIGTERM) and then finishes it.
+    pub fn join(mut self) {
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        // Readers exit on their next poll tick once the batcher is done;
+        // bound the wait so a wedged client cannot hold the process.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn listener_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    loop {
+        if signal::sigterm_received() {
+            shared.begin_drain();
+        }
+        if shared.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                rvhpc_trace::counter!("serve.connections", 1);
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned = std::thread::Builder::new()
+                    .name("rvhpc-serve-conn".to_string())
+                    .spawn(move || {
+                        connection_loop(&conn_shared, stream);
+                        conn_shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if spawned.is_err() {
+                    // Could not spawn a reader: undo the count; the
+                    // connection drops, which the client sees as a refusal.
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    // Short read timeouts turn the blocking reader into a poll loop that
+    // notices drains; a timeout leaves any partial line in `buf`, so slow
+    // writers are still read correctly across ticks.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter { stream: Mutex::new(w) }),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let line = std::mem::take(&mut buf);
+                let line = line.trim_end_matches(['\r', '\n']);
+                if line.is_empty() {
+                    continue;
+                }
+                handle_line(shared, &writer, line);
+            }
+            Err(e) if matches!(e.kind(), IoErrorKind::WouldBlock | IoErrorKind::TimedOut) => {
+                // Poll tick. Once the drain has fully flushed the queue
+                // there is nothing left to deliver on this connection.
+                if shared.draining() && shared.batcher_done.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    let (id, parsed) = parse_request(line);
+    let request = match parsed {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            rvhpc_trace::counter!("serve.bad_request", 1);
+            writer.send_line(&error_response(&id, ErrorKind::BadRequest, &msg, None));
+            return;
+        }
+    };
+    let op = request.op();
+    let _span = rvhpc_trace::span!("serve.request", op = op);
+    rvhpc_trace::counter!("serve.requests", 1);
+    match request {
+        // ---- batched path: admission control, then the queue ----
+        Request::Estimate { machine, kernel, cfg, deadline_ms } => {
+            let kind = WorkKind::Estimate { machine, kernel, cfg };
+            admit(shared, writer, id, kind, deadline_ms);
+        }
+        Request::Sleep { ms } => admit(shared, writer, id, WorkKind::Sleep { ms }, None),
+
+        // ---- direct path: answered on the reader thread ----
+        Request::Explain { machine: m, kernel, cfg } => {
+            let ex = explain(&machine(m), kernel, &cfg);
+            writer.send_line(&ok_response(&id, op, ex.to_json()));
+        }
+        Request::Suite { machine: m, cfg, class } => {
+            let result = run_suite_slice(m, &cfg, class);
+            writer.send_line(&ok_response(&id, op, result));
+        }
+        Request::LintMachine {
+            machine: m,
+            clock_ghz,
+            memory_controllers,
+            bw_per_controller_gbs,
+        } => {
+            let mut descriptor = machine(m);
+            if let Some(clock) = clock_ghz {
+                descriptor.clock_ghz = clock;
+            }
+            if let Some(n) = memory_controllers {
+                descriptor.memory.controllers = n;
+            }
+            if let Some(bw) = bw_per_controller_gbs {
+                descriptor.memory.bw_per_controller_gbs = bw;
+            }
+            let findings = lint_machine(&descriptor);
+            let result = Json::obj(vec![
+                ("machine", Json::str(m.token())),
+                ("findings", Json::Arr(findings.iter().map(|d| d.to_json()).collect())),
+                ("count", num(findings.len() as u64)),
+            ]);
+            writer.send_line(&ok_response(&id, op, result));
+        }
+        Request::Stats => {
+            writer.send_line(&ok_response(&id, op, shared.stats.json(shared.draining())));
+        }
+        Request::Ping => {
+            writer.send_line(&ok_response(&id, op, Json::obj(vec![("pong", Json::Bool(true))])));
+        }
+        Request::Shutdown => {
+            writer.send_line(&ok_response(
+                &id,
+                op,
+                Json::obj(vec![("draining", Json::Bool(true))]),
+            ));
+            shared.begin_drain();
+        }
+    }
+}
+
+/// Try to enqueue a batched work item; answers `overloaded` or
+/// `shutting_down` immediately when it cannot.
+fn admit(
+    shared: &Arc<Shared>,
+    writer: &Arc<ConnWriter>,
+    id: Json,
+    kind: WorkKind,
+    deadline_ms: Option<u64>,
+) {
+    if shared.draining() {
+        shared.stats.shed_shutting_down.fetch_add(1, Ordering::Relaxed);
+        writer.send_line(&error_response(&id, ErrorKind::ShuttingDown, "server is draining", None));
+        return;
+    }
+    let admitted = Instant::now();
+    let item = WorkItem {
+        id,
+        writer: Arc::clone(writer),
+        admitted,
+        deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
+        kind,
+    };
+    // Count the slot before publishing the item: the batcher decrements on
+    // pop, and it can pop the instant try_send returns, so incrementing
+    // afterwards would race the gauge below zero.
+    let depth = shared.stats.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    match shared.queue_tx.try_send(item) {
+        Ok(()) => {
+            shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            rvhpc_trace::histogram!("serve.queue_depth", depth as f64);
+        }
+        Err(TrySendError::Full(item)) => {
+            shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            shared.stats.rejected_overload.fetch_add(1, Ordering::Relaxed);
+            rvhpc_trace::counter!("serve.rejected", 1);
+            item.writer.send_line(&error_response(
+                &item.id,
+                ErrorKind::Overloaded,
+                "admission queue full",
+                Some(shared.retry_after_ms()),
+            ));
+        }
+        Err(TrySendError::Disconnected(item)) => {
+            shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            shared.stats.shed_shutting_down.fetch_add(1, Ordering::Relaxed);
+            item.writer.send_line(&error_response(
+                &item.id,
+                ErrorKind::ShuttingDown,
+                "server is draining",
+                None,
+            ));
+        }
+    }
+}
+
+fn run_suite_slice(m: MachineId, cfg: &RunConfig, class: Option<KernelClass>) -> Json {
+    let descriptor = machine(m);
+    let kernels: Vec<KernelName> =
+        KernelName::ALL.into_iter().filter(|k| class.is_none_or(|c| k.class() == c)).collect();
+    let rows: Vec<Json> = kernels
+        .iter()
+        .map(|&k| {
+            let est = estimate_cached(&descriptor, k, cfg);
+            Json::obj(vec![
+                ("kernel", Json::str(k.label())),
+                ("class", Json::str(k.class().label())),
+                ("seconds", Json::Num(est.seconds)),
+                ("vector_path", Json::Bool(est.vector_path)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![
+        ("machine", Json::str(m.token())),
+        ("n", num(rows.len() as u64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+fn batcher_loop(shared: &Arc<Shared>, queue_rx: &Receiver<WorkItem>) {
+    loop {
+        let first = match queue_rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(item) => item,
+            Err(RecvTimeoutError::Timeout) => {
+                // A timeout with the drain flag set means the queue is
+                // empty and no reader will admit more: drain complete.
+                if shared.draining() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let mut batch = vec![first];
+        let window_end = Instant::now() + shared.config.batch_window;
+        while batch.len() < shared.config.batch_max {
+            let now = Instant::now();
+            if now >= window_end {
+                break;
+            }
+            match queue_rx.recv_timeout(window_end - now) {
+                Ok(item) => {
+                    shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                    batch.push(item);
+                }
+                Err(_) => break,
+            }
+        }
+        process_batch(shared, batch);
+    }
+    shared.batcher_done.store(true, Ordering::SeqCst);
+}
+
+fn process_batch(shared: &Arc<Shared>, batch: Vec<WorkItem>) {
+    let size = batch.len() as u64;
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    shared.stats.batch_items.fetch_add(size, Ordering::Relaxed);
+    shared.stats.max_batch.fetch_max(size, Ordering::Relaxed);
+    rvhpc_trace::histogram!("serve.batch_size", size as f64);
+    let _span = rvhpc_trace::span!("serve.batch", size = size);
+
+    // Partition: expired deadlines are cancelled unexecuted; sleeps run
+    // inline on the batcher (they exist to simulate a slow model and make
+    // backpressure observable); estimates are deduped and fanned out.
+    let mut estimates: Vec<(EstKey, WorkItem)> = Vec::new();
+    let now = Instant::now();
+    for item in batch {
+        if item.deadline.is_some_and(|d| d < now) {
+            shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            rvhpc_trace::counter!("serve.deadline_exceeded", 1);
+            item.writer.send_line(&error_response(
+                &item.id,
+                ErrorKind::DeadlineExceeded,
+                "deadline expired before execution",
+                None,
+            ));
+            continue;
+        }
+        match item.kind {
+            WorkKind::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                let result = Json::obj(vec![("slept_ms", num(ms))]);
+                item.writer.send_line(&ok_response(&item.id, "sleep", result));
+            }
+            WorkKind::Estimate { machine, kernel, cfg } => {
+                estimates.push((EstKey::new(machine, kernel, &cfg), item));
+            }
+        }
+    }
+    if estimates.is_empty() {
+        return;
+    }
+
+    // Dedup to unique queries, compute those through the shared pool, then
+    // answer every request (duplicates share one computation).
+    let mut unique: Vec<(EstKey, MachineId, KernelName, RunConfig)> = Vec::new();
+    let mut index_of: HashMap<EstKey, usize> = HashMap::new();
+    for (key, item) in &estimates {
+        if let WorkKind::Estimate { machine, kernel, cfg } = &item.kind {
+            index_of.entry(*key).or_insert_with(|| {
+                unique.push((*key, *machine, *kernel, *cfg));
+                unique.len() - 1
+            });
+        }
+    }
+    let slots: Vec<Mutex<Option<rvhpc_perfmodel::TimeEstimate>>> =
+        (0..unique.len()).map(|_| Mutex::new(None)).collect();
+    let compute = |i: usize| {
+        let (_, m, kernel, cfg) = unique[i];
+        let est = estimate_cached(&machine(m), kernel, &cfg);
+        *slots[i].lock().expect("slot poisoned") = Some(est);
+    };
+    if unique.len() == 1 {
+        compute(0);
+    } else {
+        global_team().parallel_for_worksteal(0..unique.len(), compute);
+    }
+    let results: Vec<rvhpc_perfmodel::TimeEstimate> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned").expect("estimate computed"))
+        .collect();
+    for (key, item) in estimates {
+        let est = results[index_of[&key]];
+        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+        rvhpc_trace::histogram!("serve.latency_us", item.admitted.elapsed().as_secs_f64() * 1e6);
+        item.writer.send_line(&ok_response(&item.id, "estimate", estimate_json(&est)));
+    }
+}

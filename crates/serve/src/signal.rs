@@ -1,0 +1,57 @@
+//! Minimal SIGTERM hook for graceful drain.
+//!
+//! The workspace builds offline with no `libc` crate, so this is the one
+//! place that talks to the platform directly: a tiny `extern "C"` binding
+//! to `signal(2)` that installs a handler which sets an atomic flag. The
+//! server's listener polls the flag (it already polls a nonblocking
+//! accept loop), so a `SIGTERM` begins exactly the same drain as a
+//! `shutdown` request. The handler body is a single atomic store — the
+//! only thing that is async-signal-safe to do.
+//!
+//! On non-Unix targets [`install_sigterm_hook`] is a no-op and the flag
+//! simply never fires; the `shutdown` request remains the portable path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Has a SIGTERM arrived since [`install_sigterm_hook`]?
+pub fn sigterm_received() -> bool {
+    SIGTERM_RECEIVED.load(Ordering::Relaxed)
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::SIGTERM_RECEIVED;
+    use std::os::raw::c_int;
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: c_int = 15;
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    extern "C" fn on_sigterm(_signum: c_int) {
+        SIGTERM_RECEIVED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the C library's handler registration; the
+        // handler only performs an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGTERM → drain-flag handler (idempotent).
+pub fn install_sigterm_hook() {
+    imp::install();
+}

@@ -528,6 +528,30 @@ mod tests {
     }
 
     #[test]
+    fn worksteal_panic_propagates_with_payload() {
+        // The serving layer fans batched estimates out through
+        // parallel_for_worksteal; a panic in one body function must reach
+        // the caller with its payload intact, exactly as Team::run does.
+        let team = Team::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            team.parallel_for_worksteal(0..64, |i| {
+                if i == 17 {
+                    panic!("worksteal item {i} exploded");
+                }
+            });
+        }));
+        let msg = payload_message(result.expect_err("must repanic").as_ref());
+        assert!(msg.contains("worksteal item 17 exploded"), "{msg}");
+        assert!(msg.contains("rvhpc-worker-"), "{msg}");
+        // The team stays usable afterwards.
+        let count = AtomicUsize::new(0);
+        team.parallel_for_worksteal(0..100, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
     fn parallel_for_worksteal_covers_range_exactly_once() {
         let team = Team::new(6);
         let n = 2311;
