@@ -67,3 +67,39 @@ cargo run --release -p rvhpc --bin repro -- loadgen --addr "$SERVE_ADDR" \
     --clients 1 --requests 0 --shutdown
 wait "$SERVE_PID"
 rm -f "$SERVE_PORT_FILE"
+
+# Observability smoke: a server with SLO tail-sampling and an on-disk
+# metrics-snapshot ring, driven by an SLO-gated loadgen that polls (and
+# schema-validates) the `metrics` op throughout the run. One dashboard
+# frame is then captured as JSON: `top --check` must accept it, reject a
+# schema-retagged copy with exit 2, and `top --once` itself exits
+# non-zero unless `slow_requests` is retrievable.
+OBS_PORT_FILE="$(mktemp)"
+OBS_METRICS_FILE="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- serve --addr 127.0.0.1:0 \
+    --port-file "$OBS_PORT_FILE" --slo-ms 250 --metrics-file "$OBS_METRICS_FILE" \
+    --scrape-every-ms 200 &
+OBS_PID=$!
+for _ in $(seq 1 100); do
+    test -s "$OBS_PORT_FILE" && break
+    sleep 0.1
+done
+OBS_ADDR="$(cat "$OBS_PORT_FILE")"
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$OBS_ADDR" \
+    --clients 4 --requests 200 --seed 42 --slo-ms 250 --poll-metrics-ms 50
+OBS_SNAP="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- top "$OBS_ADDR" --once --json > "$OBS_SNAP"
+cargo run --release -p rvhpc --bin repro -- top --check "$OBS_SNAP"
+BAD_SNAP="$(mktemp)"
+sed 's/rvhpc-metrics-v1/rvhpc-metrics-v999/' "$OBS_SNAP" > "$BAD_SNAP"
+rc=0
+cargo run --release -p rvhpc --bin repro -- top --check "$BAD_SNAP" || rc=$?
+test "$rc" -eq 2
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$OBS_ADDR" \
+    --clients 1 --requests 0 --shutdown
+wait "$OBS_PID"
+# The self-scrape ring accumulated snapshots, and each line validates.
+test -s "$OBS_METRICS_FILE"
+head -n 1 "$OBS_METRICS_FILE" > "$OBS_SNAP"
+cargo run --release -p rvhpc --bin repro -- top --check "$OBS_SNAP"
+rm -f "$OBS_PORT_FILE" "$OBS_METRICS_FILE" "$OBS_SNAP" "$BAD_SNAP"

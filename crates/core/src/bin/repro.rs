@@ -20,14 +20,21 @@
 //!                            # sweep engine; write/validate BENCH JSON
 //! repro serve [--addr A] [--queue-cap N] [--batch-max N]
 //!             [--batch-window-us U] [--port-file <path>]
+//!             [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]
 //!                            # serve estimate/explain/suite/lint queries
 //!                            # over line-delimited JSON on TCP; drains on
 //!                            # a `shutdown` request or SIGTERM
 //! repro loadgen --addr A [--clients N] [--requests M] [--rps R]
 //!               [--duration S] [--seed N] [--json <path>]
-//!               [--probe-bad] [--shutdown]
+//!               [--probe-bad] [--shutdown] [--slo-ms MS]
+//!               [--poll-metrics-ms MS]
 //!                            # drive a running server with N closed-loop
 //!                            # clients; write the SERVE-BENCH artefact
+//! repro top <addr> [--interval-ms N] [--frames N] [--once] [--json]
+//! repro top --check <path>
+//!                            # live stage/SLO dashboard over a server's
+//!                            # `metrics` op, or validate a saved
+//!                            # rvhpc-metrics-v1 snapshot
 //! repro help                 # this usage text
 //!
 //! repro --csv <artefact>     # CSV instead of markdown
@@ -74,17 +81,29 @@ rates; --json writes the BENCH artefact, --check\n                          \
 validates one (exit 1 invalid, exit 2 unknown\n                          \
 schema version or unreadable file)\n  \
   serve [--addr <ip:port>] [--queue-cap N] [--batch-max N]\n        \
-[--batch-window-us U] [--port-file <path>]\n                          \
+[--batch-window-us U] [--port-file <path>]\n        \
+[--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]\n                          \
 serve estimate/explain/suite/lint_machine queries\n                          \
 over line-delimited JSON on TCP, with bounded\n                          \
 admission, batched execution on the shared thread\n                          \
-pool, and graceful drain on `shutdown` or SIGTERM\n  \
+pool, and graceful drain on `shutdown` or SIGTERM;\n                          \
+--slo-ms tail-samples slow requests, --metrics-file\n                          \
+keeps a bounded on-disk metrics-snapshot ring\n  \
   loadgen --addr <ip:port> [--clients N] [--requests M] [--rps R]\n          \
-[--duration S] [--seed N] [--json <path>] [--probe-bad] [--shutdown]\n                          \
+[--duration S] [--seed N] [--json <path>] [--probe-bad] [--shutdown]\n          \
+[--slo-ms MS] [--poll-metrics-ms MS]\n                          \
 drive a running server with N closed-loop clients\n                          \
 and verify replies bit-identically against the\n                          \
 local model; --json writes the SERVE-BENCH\n                          \
-artefact; exits 1 on any protocol error\n  \
+artefact; --slo-ms gates the exit code on p99;\n                          \
+exits 1 on any protocol error or SLO failure\n  \
+  top <addr> [--interval-ms N] [--frames N] [--once] [--json]\n                          \
+live dashboard over a running server's `metrics`\n                          \
+op: per-stage rates and percentiles, gauges, SLO\n                          \
+burn; --once prints one frame, --json prints the\n                          \
+raw rvhpc-metrics-v1 document\n  \
+  top --check <path>      validate a saved metrics snapshot (exit 1\n                          \
+invalid, exit 2 unknown schema or unreadable)\n  \
   help                    this text\n\
 flags:\n  \
   --csv                   CSV instead of markdown\n  \
@@ -121,6 +140,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         loadgen(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        top(&args[1..]);
     }
     let mut format = Format::Markdown;
     let mut trace = false;
@@ -710,9 +732,11 @@ fn bench(args: &[String]) -> ! {
 /// stdout (and to `--port-file` if given) so scripts can use port 0.
 fn serve(args: &[String]) -> ! {
     use rvhpc_serve::{ServeConfig, Server};
+    use rvhpc_trace::json::Json;
 
     const SERVE_USAGE: &str = "usage: repro serve [--addr <ip:port>] [--queue-cap N] \
-                               [--batch-max N] [--batch-window-us U] [--port-file <path>]";
+                               [--batch-max N] [--batch-window-us U] [--port-file <path>] \
+                               [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]";
     let mut config = ServeConfig::default();
     let mut port_file: Option<String> = None;
     let mut it = args.iter();
@@ -741,6 +765,18 @@ fn serve(args: &[String]) -> ! {
                 config.batch_window = std::time::Duration::from_micros(us as u64);
             }
             "--port-file" => port_file = Some(value("--port-file")),
+            "--slo-ms" => {
+                let v = value("--slo-ms");
+                config.slo_ms = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--slo-ms: cannot parse `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            "--metrics-file" => config.metrics_file = Some(value("--metrics-file")),
+            "--scrape-every-ms" => {
+                let ms = parse_pos("--scrape-every-ms", value("--scrape-every-ms"));
+                config.scrape_every = std::time::Duration::from_millis(ms as u64);
+            }
             other => {
                 eprintln!("unknown serve argument `{other}`\n{SERVE_USAGE}");
                 std::process::exit(2);
@@ -749,11 +785,30 @@ fn serve(args: &[String]) -> ! {
     }
 
     rvhpc_serve::signal::install_sigterm_hook();
+    let (slo_ms, scrape_every) = (config.slo_ms, config.scrape_every);
+    let (queue_cap, batch_max, batch_window) =
+        (config.queue_capacity, config.batch_max, config.batch_window);
+    let metrics_file = config.metrics_file.clone();
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
         std::process::exit(1);
     });
     let addr = server.local_addr();
+    // One machine-parseable banner line on stderr: everything a
+    // supervisor needs to find and scrape this process.
+    let banner = Json::obj(vec![
+        ("event", Json::str("serve.start")),
+        ("addr", Json::str(addr.to_string())),
+        ("port", Json::Num(addr.port() as f64)),
+        ("queue_cap", Json::Num(queue_cap as f64)),
+        ("batch_max", Json::Num(batch_max as f64)),
+        ("batch_window_us", Json::Num(batch_window.as_micros() as f64)),
+        ("slo_ms", Json::Num(slo_ms)),
+        ("metrics_file", metrics_file.as_deref().map_or(Json::Null, Json::str)),
+        ("scrape_every_ms", Json::Num(scrape_every.as_millis() as f64)),
+        ("pid", Json::Num(std::process::id() as f64)),
+    ]);
+    eprintln!("{}", banner.render());
     println!("rvhpc-serve listening on {addr}");
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
@@ -776,7 +831,8 @@ fn loadgen(args: &[String]) -> ! {
 
     const LOADGEN_USAGE: &str = "usage: repro loadgen --addr <ip:port> [--clients N] \
                                  [--requests M] [--rps R] [--duration S] [--seed N] \
-                                 [--json <path>] [--probe-bad] [--shutdown]";
+                                 [--json <path>] [--probe-bad] [--shutdown] [--slo-ms MS] \
+                                 [--poll-metrics-ms MS]";
     let mut cfg = LoadgenConfig::default();
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
@@ -818,6 +874,18 @@ fn loadgen(args: &[String]) -> ! {
             "--json" => json_path = Some(value("--json")),
             "--probe-bad" => cfg.probe_bad = true,
             "--shutdown" => cfg.shutdown_after = true,
+            "--slo-ms" => {
+                let ms: f64 = parse_num("--slo-ms", &value("--slo-ms"));
+                if !ms.is_finite() || ms <= 0.0 {
+                    eprintln!("--slo-ms must be a positive number of milliseconds");
+                    std::process::exit(2);
+                }
+                cfg.slo_ms = Some(ms);
+            }
+            "--poll-metrics-ms" => {
+                cfg.poll_metrics_ms =
+                    Some(parse_num("--poll-metrics-ms", &value("--poll-metrics-ms")));
+            }
             other => {
                 eprintln!("unknown loadgen argument `{other}`\n{LOADGEN_USAGE}");
                 std::process::exit(2);
@@ -866,6 +934,21 @@ fn loadgen(args: &[String]) -> ! {
         report.cache_hit_rate,
         report.verified_bit_identical
     );
+    if let Some(target) = report.slo_target_ms {
+        println!(
+            "slo: target {target}ms | p99 {:.0}us | {} breach(es), burn {:.4} | {}",
+            report.p99_us,
+            report.slo_breaches,
+            report.slo_burn,
+            if report.slo_passed == Some(true) { "PASS" } else { "FAIL" }
+        );
+    }
+    if report.metrics_polls > 0 {
+        println!(
+            "metrics: {} poll(s), {} schema failure(s)",
+            report.metrics_polls, report.metrics_poll_failures
+        );
+    }
     if let Some(ok) = report.probe_bad_ok {
         println!("probe-bad: {}", if ok { "structured bad_request reply" } else { "FAILED" });
     }
@@ -891,8 +974,262 @@ fn loadgen(args: &[String]) -> ! {
     let clean = report.protocol_errors == 0
         && report.verified_bit_identical
         && report.probe_bad_ok.unwrap_or(true)
-        && report.drained_clean.unwrap_or(true);
+        && report.drained_clean.unwrap_or(true)
+        && report.slo_passed.unwrap_or(true);
     std::process::exit(if clean { 0 } else { 1 });
+}
+
+/// `repro top` — a live dashboard over a running server's `metrics` op
+/// (per-stage rates and percentiles, gauges, SLO burn, recent slow
+/// requests), or offline validation of a saved `rvhpc-metrics-v1`
+/// snapshot via `--check` (exit 1 invalid, exit 2 unknown schema or
+/// unreadable file — the same split `repro bench --check` uses).
+fn top(args: &[String]) -> ! {
+    use rvhpc_obs::METRICS_SCHEMA;
+    use rvhpc_trace::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const TOP_USAGE: &str = "usage: repro top <addr> [--interval-ms N] [--frames N] [--once] \
+                             [--json]\n       repro top --check <path>";
+    let mut addr: Option<String> = None;
+    let mut interval = std::time::Duration::from_millis(1000);
+    let mut frames: Option<u64> = None;
+    let mut once = false;
+    let mut json_out = false;
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{TOP_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        let parse_pos = |flag: &str, v: String| -> u64 {
+            match v.parse::<u64>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!("{flag} must be a positive integer, got `{v}`");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match a.as_str() {
+            "--check" => check_path = Some(value("--check")),
+            "--interval-ms" => {
+                interval = std::time::Duration::from_millis(parse_pos(
+                    "--interval-ms",
+                    value("--interval-ms"),
+                ));
+            }
+            "--frames" => frames = Some(parse_pos("--frames", value("--frames"))),
+            "--once" => once = true,
+            "--json" => json_out = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown top argument `{flag}`\n{TOP_USAGE}");
+                std::process::exit(2);
+            }
+            word => {
+                if addr.replace(word.to_string()).is_some() {
+                    eprintln!("more than one address given\n{TOP_USAGE}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        // Same failure split as `bench --check`: a schema the checker
+        // does not know is a format disagreement (exit 2), a known-format
+        // document that breaks its own invariants is invalid (exit 1).
+        let embedded = Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(String::from)));
+        match embedded.as_deref() {
+            Some(s) if s == METRICS_SCHEMA => {}
+            Some(other) => {
+                eprintln!("{path}: unknown schema version `{other}` (expected `{METRICS_SCHEMA}`)");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("{path}: no `schema` tag found (expected `{METRICS_SCHEMA}`)");
+                std::process::exit(2);
+            }
+        }
+        match rvhpc_obs::validate_metrics(&text) {
+            Ok(()) => {
+                println!("{path}: valid {METRICS_SCHEMA} snapshot");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID {METRICS_SCHEMA} snapshot — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("an address (or --check <path>) is required\n{TOP_USAGE}");
+        std::process::exit(2);
+    };
+    if once {
+        frames = Some(1);
+    }
+    let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(10)));
+    let mut writer = stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("cannot clone connection: {e}");
+        std::process::exit(1);
+    });
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str, reader: &mut BufReader<TcpStream>| -> Json {
+        let io_fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("server at {addr} went away: {e}");
+            std::process::exit(1);
+        };
+        if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")) {
+            io_fail(&e);
+        }
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(n) if n > 0 => {}
+            Ok(_) => io_fail(&"connection closed"),
+            Err(e) => io_fail(&e),
+        }
+        let doc = Json::parse(reply.trim_end()).unwrap_or_else(|e| {
+            eprintln!("unparseable reply from {addr}: {e}");
+            std::process::exit(1);
+        });
+        if doc.get("ok") != Some(&Json::Bool(true)) {
+            eprintln!("server refused the request: {}", doc.render());
+            std::process::exit(1);
+        }
+        doc.get("result").cloned().unwrap_or(Json::Null)
+    };
+
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        let metrics = ask(r#"{"op":"metrics"}"#, &mut reader);
+        if let Err(e) = rvhpc_obs::validate_metrics(&metrics.render()) {
+            eprintln!("server returned a schema-invalid metrics document: {e}");
+            std::process::exit(1);
+        }
+        let slow = ask(r#"{"op":"slow_requests","limit":5}"#, &mut reader);
+        if json_out {
+            let mut text = metrics.pretty();
+            text.push('\n');
+            print!("{text}");
+        } else {
+            if frames != Some(1) {
+                // Clear and re-home between live frames only.
+                print!("\x1b[2J\x1b[H");
+            }
+            print!("{}", render_top_frame(&addr, frame, &metrics, &slow));
+        }
+        let _ = std::io::stdout().flush();
+        if frames.is_some_and(|n| frame >= n) {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    std::process::exit(0);
+}
+
+/// Render one `repro top` dashboard frame from a validated metrics
+/// document and a `slow_requests` result.
+fn render_top_frame(
+    addr: &str,
+    frame: u64,
+    metrics: &rvhpc_trace::json::Json,
+    slow: &rvhpc_trace::json::Json,
+) -> String {
+    use rvhpc_trace::json::Json;
+    use std::fmt::Write as _;
+
+    let num = |doc: &Json, path: &[&str]| -> f64 {
+        let mut cur = doc.clone();
+        for key in path {
+            cur = cur.get(key).cloned().unwrap_or(Json::Null);
+        }
+        cur.as_f64().unwrap_or(0.0)
+    };
+    let mut out = String::new();
+    let uptime = num(metrics, &["uptime_s"]);
+    let _ = writeln!(out, "rvhpc top — {addr} — uptime {uptime:.1}s — frame {frame}");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9} {:>8} {:>9} {:>9} {:>9} {:>10}",
+        "stage", "count", "1s rps", "p50 us", "p99 us", "p999 us", "max us"
+    );
+    if let Some(Json::Obj(stages)) = metrics.get("stages") {
+        for (name, s) in stages {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>9} {:>8.1} {:>9.1} {:>9.1} {:>9.1} {:>10.1}",
+                name,
+                num(s, &["count"]) as u64,
+                num(s, &["windows", "1s", "rate_rps"]),
+                num(s, &["p50_us"]),
+                num(s, &["p99_us"]),
+                num(s, &["p999_us"]),
+                num(s, &["max_us"]),
+            );
+        }
+    }
+    if let Some(Json::Obj(gauges)) = metrics.get("gauges") {
+        let line = gauges
+            .iter()
+            .map(|(name, v)| format!("{name}={}", v.as_f64().unwrap_or(0.0)))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(out, "gauges: {line}");
+    }
+    let _ = writeln!(
+        out,
+        "slo: threshold {}ms | total {} | breaches {} | burn {:.4} | captured {} | dropped {} | \
+         60s burn {:.4}",
+        num(metrics, &["slo", "threshold_ms"]),
+        num(metrics, &["slo", "total"]) as u64,
+        num(metrics, &["slo", "breaches"]) as u64,
+        num(metrics, &["slo", "burn_fraction"]),
+        num(metrics, &["slo", "captured"]) as u64,
+        num(metrics, &["slo", "dropped"]) as u64,
+        num(metrics, &["slo", "windows", "60s", "burn_fraction"]),
+    );
+    if let Some(Json::Arr(reqs)) = slow.get("requests") {
+        if !reqs.is_empty() {
+            let _ = writeln!(out, "slow requests (most recent first):");
+            for r in reqs {
+                let stages = match r.get("stages") {
+                    Some(Json::Obj(pairs)) => pairs
+                        .iter()
+                        .map(|(k, v)| format!("{k} {:.0}us", v.as_f64().unwrap_or(0.0)))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    _ => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "  id={} op={} {:.1}ms [{stages}] {}",
+                    r.get("id").and_then(Json::as_str).unwrap_or("?"),
+                    r.get("op").and_then(Json::as_str).unwrap_or("?"),
+                    num(r, &["total_us"]) / 1000.0,
+                    r.get("detail").and_then(Json::as_str).unwrap_or(""),
+                );
+            }
+        }
+    }
+    out
 }
 
 fn machine_tokens() -> String {

@@ -28,6 +28,7 @@ fn help_names_every_subcommand() {
         "bench",
         "serve",
         "loadgen",
+        "top",
         "help",
     ] {
         assert!(
@@ -42,12 +43,33 @@ fn help_documents_serving_flags_and_exit_codes() {
     let out = repro().arg("help").output().expect("repro help runs");
     let text = String::from_utf8(out.stdout).expect("utf8");
     // The serving layer's knobs.
-    for flag in ["--addr", "--queue-cap", "--batch-max", "--batch-window-us", "--port-file"] {
+    for flag in [
+        "--addr",
+        "--queue-cap",
+        "--batch-max",
+        "--batch-window-us",
+        "--port-file",
+        "--slo-ms",
+        "--metrics-file",
+        "--scrape-every-ms",
+    ] {
         assert!(text.contains(flag), "help must mention serve flag `{flag}`:\n{text}");
     }
     // The loadgen's knobs.
-    for flag in ["--clients", "--requests", "--rps", "--duration", "--probe-bad", "--shutdown"] {
+    for flag in [
+        "--clients",
+        "--requests",
+        "--rps",
+        "--duration",
+        "--probe-bad",
+        "--shutdown",
+        "--poll-metrics-ms",
+    ] {
         assert!(text.contains(flag), "help must mention loadgen flag `{flag}`:\n{text}");
+    }
+    // The dashboard's knobs.
+    for flag in ["--interval-ms", "--frames", "--once", "--check"] {
+        assert!(text.contains(flag), "help must mention top flag `{flag}`:\n{text}");
     }
     // Exit-code contracts scripts depend on.
     assert!(text.contains("exit 1 invalid"), "bench --check invalid => exit 1:\n{text}");
@@ -68,7 +90,7 @@ fn unknown_command_and_flag_exit_2_with_usage() {
     assert_eq!(out.status.code(), Some(2));
 
     // Subcommand arg parsers reject unknown flags the same way.
-    for sub in ["serve", "loadgen"] {
+    for sub in ["serve", "loadgen", "top"] {
         let out = repro().args([sub, "--no-such-flag"]).output().expect("runs");
         assert_eq!(out.status.code(), Some(2), "{sub} --no-such-flag");
         let err = String::from_utf8(out.stderr).expect("utf8");

@@ -1,0 +1,96 @@
+//! Bounded on-disk snapshot ring for post-mortem replay.
+//!
+//! The serving layer periodically self-scrapes [`crate::metrics_json`]
+//! and appends the rendered document as one line to a ring file that
+//! never holds more than `cap` snapshots: on every append the file is
+//! rewritten through a temp-file + rename, so readers always see either
+//! the old complete ring or the new one, and a crash can at worst lose
+//! the newest snapshot — never corrupt the file.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Default number of snapshots kept on disk.
+pub const DEFAULT_SNAPSHOT_CAP: usize = 120;
+
+/// A bounded ring of newline-delimited metrics documents on disk.
+pub struct SnapshotRing {
+    path: PathBuf,
+    cap: usize,
+    lines: Vec<String>,
+}
+
+impl SnapshotRing {
+    /// A ring backed by `path`, keeping at most `cap` snapshots (at least
+    /// one). Existing contents are loaded so restarts keep appending to
+    /// the same ring.
+    pub fn new(path: impl Into<PathBuf>, cap: usize) -> SnapshotRing {
+        let path = path.into();
+        let lines = fs::read_to_string(&path)
+            .map(|text| text.lines().map(str::to_string).collect())
+            .unwrap_or_default();
+        SnapshotRing { path, cap: cap.max(1), lines }
+    }
+
+    /// Append one snapshot (a single-line document), dropping the oldest
+    /// entries beyond the capacity, and atomically rewrite the file.
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        self.lines.push(line.to_string());
+        let excess = self.lines.len().saturating_sub(self.cap);
+        if excess > 0 {
+            self.lines.drain(..excess);
+        }
+        let mut text = self.lines.join("\n");
+        text.push('\n');
+        let tmp = self.path.with_extension("tmp");
+        fs::write(&tmp, &text)?;
+        fs::rename(&tmp, &self.path)
+    }
+
+    /// Read a ring file back as its snapshot lines, oldest first.
+    pub fn read(path: impl AsRef<Path>) -> io::Result<Vec<String>> {
+        Ok(fs::read_to_string(path)?.lines().map(str::to_string).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rvhpc-obs-snap-{tag}-{}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let path = tmp_path("bounded");
+        let _ = fs::remove_file(&path);
+        let mut ring = SnapshotRing::new(&path, 3);
+        for i in 0..10 {
+            ring.append(&format!("{{\"n\":{i}}}")).expect("append");
+        }
+        let lines = SnapshotRing::read(&path).expect("readable");
+        assert_eq!(lines, vec![r#"{"n":7}"#, r#"{"n":8}"#, r#"{"n":9}"#]);
+        // A fresh ring on the same path continues where the old one left off.
+        let mut ring2 = SnapshotRing::new(&path, 3);
+        ring2.append(r#"{"n":10}"#).expect("append");
+        let lines = SnapshotRing::read(&path).expect("readable");
+        assert_eq!(lines, vec![r#"{"n":8}"#, r#"{"n":9}"#, r#"{"n":10}"#]);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshots_hold_valid_metrics_documents() {
+        let path = tmp_path("valid");
+        let _ = fs::remove_file(&path);
+        let mut ring = SnapshotRing::new(&path, 2);
+        ring.append(&crate::metrics_json().render()).expect("append");
+        for line in SnapshotRing::read(&path).expect("readable") {
+            crate::validate_metrics(&line).expect("each snapshot line validates");
+        }
+        let _ = fs::remove_file(&path);
+    }
+}

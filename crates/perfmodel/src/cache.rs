@@ -211,11 +211,16 @@ pub fn estimate_cached(machine: &Machine, kernel: KernelName, cfg: &RunConfig) -
     // Compute outside the lock: estimation is pure, so a racing duplicate
     // computation is wasted work at worst, never a wrong answer.
     let est = estimate_averaged(machine, kernel, cfg);
-    let evicted = locked().insert(capacity(), key, est);
+    let (evicted, resident) = {
+        let mut c = locked();
+        let evicted = c.insert(capacity(), key, est);
+        (evicted, c.map.len())
+    };
     if evicted > 0 {
         EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
         rvhpc_trace::counter!("perfmodel.estimate_cache.eviction", evicted);
     }
+    rvhpc_obs::gauge_set("perfmodel.estimate_cache.entries", resident as i64);
     est
 }
 

@@ -12,7 +12,10 @@
 //!                 shutting_down, protocol_errors },
 //!   "reject_rate": ...,
 //!   "cache": { hits, misses, hit_rate },
-//!   "verified_bit_identical": true }
+//!   "verified_bit_identical": true,
+//!   "slo": { "target_ms", "achieved_p99_us", "breaches",
+//!            "burn_fraction", "passed" },          // only with --slo-ms
+//!   "metrics_polls": { "polls", "failures" } }     // only when polling
 //! ```
 
 use crate::loadgen::{LoadgenConfig, LoadgenReport};
@@ -27,7 +30,7 @@ fn num(v: f64) -> Json {
 
 /// Render a loadgen run as the versioned artefact.
 pub fn serve_artefact(cfg: &LoadgenConfig, report: &LoadgenReport) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::str(SERVE_SCHEMA)),
         (
             "config",
@@ -75,7 +78,29 @@ pub fn serve_artefact(cfg: &LoadgenConfig, report: &LoadgenReport) -> Json {
         ),
         ("verified_bit_identical", Json::Bool(report.verified_bit_identical)),
         ("wall_seconds", num(report.wall_seconds)),
-    ])
+    ];
+    if let Some(target_ms) = report.slo_target_ms {
+        fields.push((
+            "slo",
+            Json::obj(vec![
+                ("target_ms", num(target_ms)),
+                ("achieved_p99_us", num(report.p99_us)),
+                ("breaches", num(report.slo_breaches as f64)),
+                ("burn_fraction", num(report.slo_burn)),
+                ("passed", Json::Bool(report.slo_passed.unwrap_or(false))),
+            ]),
+        ));
+    }
+    if report.metrics_polls > 0 {
+        fields.push((
+            "metrics_polls",
+            Json::obj(vec![
+                ("polls", num(report.metrics_polls as f64)),
+                ("failures", num(report.metrics_poll_failures as f64)),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn req_f64(doc: &Json, path: &[&str]) -> Result<f64, String> {
@@ -148,6 +173,47 @@ pub fn validate_serve_artefact(text: &str) -> Result<(), String> {
         Some(Json::Bool(_)) => {}
         _ => return Err("missing boolean field `verified_bit_identical`".to_string()),
     }
+    if let Some(slo) = doc.get("slo") {
+        let target_ms = req_f64(slo, &["target_ms"])?;
+        if !target_ms.is_finite() || target_ms <= 0.0 {
+            return Err(format!("slo.target_ms must be finite and positive, got {target_ms}"));
+        }
+        let achieved = req_f64(slo, &["achieved_p99_us"])?;
+        if (achieved - p99).abs() > 1e-9 {
+            return Err(format!(
+                "slo.achieved_p99_us ({achieved}) disagrees with latency_us.p99 ({p99})"
+            ));
+        }
+        let breaches = req_count(slo, &["breaches"])?;
+        if breaches > ok {
+            return Err(format!("slo.breaches ({breaches}) exceeds requests.ok ({ok})"));
+        }
+        let burn = req_f64(slo, &["burn_fraction"])?;
+        let expected_burn = if ok > 0 { breaches as f64 / ok as f64 } else { 0.0 };
+        if (burn - expected_burn).abs() > 1e-9 {
+            return Err(format!(
+                "slo.burn_fraction {burn} inconsistent with breaches={breaches} ok={ok}"
+            ));
+        }
+        let Some(Json::Bool(passed)) = slo.get("passed") else {
+            return Err("missing boolean field `slo.passed`".to_string());
+        };
+        // The verdict must be derivable from the numbers next to it.
+        let expected_passed = ok > 0 && achieved <= target_ms * 1000.0;
+        if *passed != expected_passed {
+            return Err(format!(
+                "slo.passed is {passed} but p99={achieved}us vs target={target_ms}ms implies \
+                 {expected_passed}"
+            ));
+        }
+    }
+    if let Some(polls) = doc.get("metrics_polls") {
+        let n = req_count(polls, &["polls"])?;
+        let failures = req_count(polls, &["failures"])?;
+        if failures > n {
+            return Err(format!("metrics_polls.failures ({failures}) exceeds polls ({n})"));
+        }
+    }
     Ok(())
 }
 
@@ -179,6 +245,12 @@ mod tests {
             verified_bit_identical: true,
             probe_bad_ok: None,
             drained_clean: None,
+            slo_target_ms: None,
+            slo_breaches: 0,
+            slo_burn: 0.0,
+            slo_passed: None,
+            metrics_polls: 0,
+            metrics_poll_failures: 0,
         }
     }
 
@@ -224,5 +296,42 @@ mod tests {
     fn truncated_artefacts_fail_closed() {
         assert!(validate_serve_artefact("{not json").is_err());
         assert!(validate_serve_artefact(r#"{"schema":"rvhpc-serve-bench-v1"}"#).is_err());
+    }
+
+    /// A report gated on an SLO renders a consistent `slo` block and the
+    /// validator rejects both a fudged burn fraction and a verdict that
+    /// contradicts the numbers next to it.
+    #[test]
+    fn slo_block_is_rendered_and_enforced() {
+        let mut report = sample_report();
+        report.slo_target_ms = Some(1.0); // 1ms => p99 of 900us passes
+        report.slo_breaches = 39;
+        report.slo_burn = 39.0 / 390.0;
+        report.slo_passed = Some(true);
+        report.metrics_polls = 12;
+        report.metrics_poll_failures = 0;
+        let doc = serve_artefact(&LoadgenConfig::default(), &report);
+        let text = doc.render();
+        validate_serve_artefact(&text).expect("valid slo artefact");
+        assert!(doc.get("slo").is_some() && doc.get("metrics_polls").is_some());
+
+        let mut bad = report.clone();
+        bad.slo_burn = 0.5;
+        let err =
+            validate_serve_artefact(&serve_artefact(&LoadgenConfig::default(), &bad).render())
+                .expect_err("burn mismatch");
+        assert!(err.contains("burn_fraction"), "{err}");
+
+        let mut bad = report.clone();
+        bad.slo_passed = Some(false); // contradicts p99 900us <= 1000us
+        let err =
+            validate_serve_artefact(&serve_artefact(&LoadgenConfig::default(), &bad).render())
+                .expect_err("verdict mismatch");
+        assert!(err.contains("slo.passed"), "{err}");
+
+        // A report without a target renders no slo block at all.
+        let text = serve_artefact(&LoadgenConfig::default(), &sample_report()).render();
+        assert!(!text.contains("\"slo\""));
+        validate_serve_artefact(&text).expect("slo block is optional");
     }
 }

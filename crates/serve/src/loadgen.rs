@@ -20,6 +20,7 @@ use rvhpc_trace::json::Json;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Load-generator settings; see field docs for defaults.
@@ -46,6 +47,13 @@ pub struct LoadgenConfig {
     /// After the run, request a graceful drain and require the server to
     /// answer and then close the connection cleanly.
     pub shutdown_after: bool,
+    /// Client-side SLO target in milliseconds; when set the report gains
+    /// an SLO verdict (breach count, burn fraction, pass/fail on p99).
+    pub slo_ms: Option<f64>,
+    /// Poll the server's `metrics` op on a dedicated connection every
+    /// this-many milliseconds during the run, schema-validating each
+    /// reply; `None` disables polling.
+    pub poll_metrics_ms: Option<u64>,
 }
 
 impl Default for LoadgenConfig {
@@ -59,6 +67,8 @@ impl Default for LoadgenConfig {
             seed: 42,
             probe_bad: false,
             shutdown_after: false,
+            slo_ms: None,
+            poll_metrics_ms: None,
         }
     }
 }
@@ -113,6 +123,18 @@ pub struct LoadgenReport {
     pub probe_bad_ok: Option<bool>,
     /// Whether the post-run drain completed cleanly, when requested.
     pub drained_clean: Option<bool>,
+    /// The SLO target this run was gated against, when one was set.
+    pub slo_target_ms: Option<f64>,
+    /// Successful replies slower than the SLO target.
+    pub slo_breaches: u64,
+    /// `slo_breaches / ok` (0 when nothing succeeded).
+    pub slo_burn: f64,
+    /// `p99 <= target`, when a target was set.
+    pub slo_passed: Option<bool>,
+    /// Metrics-op polls issued during the run, when polling was on.
+    pub metrics_polls: u64,
+    /// Polls whose reply was missing, unparseable, or schema-invalid.
+    pub metrics_poll_failures: u64,
 }
 
 /// One query from the fixed pool.
@@ -325,6 +347,35 @@ fn cache_counters(stats_reply: &Json) -> Option<(u64, u64)> {
     Some((hits, misses))
 }
 
+/// Poll the server's `metrics` op on a dedicated connection until `stop`
+/// flips, schema-validating every reply with [`rvhpc_obs::validate_metrics`].
+/// Returns `(polls, failures)`.
+fn metrics_poller(addr: &str, every: Duration, stop: &AtomicBool) -> (u64, u64) {
+    let Some((mut stream, mut reader)) = control_connection(addr) else {
+        return (1, 1);
+    };
+    let mut polls = 0u64;
+    let mut failures = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        polls += 1;
+        let reply = exchange(&mut stream, &mut reader, r#"{"op":"metrics"}"#);
+        let valid = reply
+            .as_ref()
+            .and_then(|doc| doc.get("result"))
+            .is_some_and(|m| rvhpc_obs::validate_metrics(&m.render()).is_ok());
+        if !valid {
+            failures += 1;
+        }
+        // Sleep in short ticks so a finished run is not held open for a
+        // full polling interval.
+        let deadline = Instant::now() + every;
+        while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    (polls, failures)
+}
+
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
@@ -351,11 +402,22 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
 
     let started = Instant::now();
     let pool_ref = &pool;
-    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            (0..cfg.clients).map(|i| scope.spawn(move || client_loop(cfg, pool_ref, i))).collect();
-        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
-    });
+    let stop_polling = AtomicBool::new(false);
+    let (outcomes, poll_outcome): (Vec<ClientOutcome>, Option<(u64, u64)>) =
+        std::thread::scope(|scope| {
+            let poller = cfg.poll_metrics_ms.map(|ms| {
+                let every = Duration::from_millis(ms.max(1));
+                let (addr, stop) = (cfg.addr.clone(), &stop_polling);
+                scope.spawn(move || metrics_poller(&addr, every, stop))
+            });
+            let handles: Vec<_> = (0..cfg.clients)
+                .map(|i| scope.spawn(move || client_loop(cfg, pool_ref, i)))
+                .collect();
+            let outcomes =
+                handles.into_iter().map(|h| h.join().expect("client panicked")).collect();
+            stop_polling.store(true, Ordering::Relaxed);
+            (outcomes, poller.map(|h| h.join().expect("poller panicked")))
+        });
     let wall_seconds = started.elapsed().as_secs_f64();
 
     let stats_after = exchange(&mut control, &mut control_reader, r#"{"op":"stats"}"#)
@@ -386,6 +448,12 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         verified_bit_identical: true,
         probe_bad_ok: None,
         drained_clean: None,
+        slo_target_ms: None,
+        slo_breaches: 0,
+        slo_burn: 0.0,
+        slo_passed: None,
+        metrics_polls: 0,
+        metrics_poll_failures: 0,
     };
     let mut latencies: Vec<f64> = Vec::new();
     let mut replies: HashMap<usize, EstimateBits> = HashMap::new();
@@ -422,6 +490,25 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     }
     if report.sent > 0 {
         report.reject_rate = report.overloaded as f64 / report.sent as f64;
+    }
+    if let Some(target_ms) = cfg.slo_ms {
+        let target_us = target_ms * 1000.0;
+        report.slo_target_ms = Some(target_ms);
+        report.slo_breaches = latencies.iter().filter(|&&l| l > target_us).count() as u64;
+        if report.ok > 0 {
+            report.slo_burn = report.slo_breaches as f64 / report.ok as f64;
+            report.slo_passed = Some(report.p99_us <= target_us);
+        } else {
+            // No successes means no latency evidence at all: fail closed.
+            report.slo_passed = Some(false);
+        }
+    }
+    if let Some((polls, failures)) = poll_outcome {
+        report.metrics_polls = polls;
+        report.metrics_poll_failures = failures;
+        // A metrics endpoint that goes missing or emits a schema-invalid
+        // document under load is a protocol failure like any other.
+        report.protocol_errors += failures;
     }
     if let (Some((h0, m0)), Some((h1, m1))) = (stats_before, stats_after) {
         report.cache_hits = h1.saturating_sub(h0);

@@ -32,6 +32,9 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 /// batcher for minutes.
 pub const MAX_SLEEP_MS: u64 = 10_000;
 
+/// `slow_requests` exemplars returned when the client sets no `limit`.
+pub const DEFAULT_SLOW_LIMIT: usize = 16;
+
 /// The error taxonomy of the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErrorKind {
@@ -104,6 +107,18 @@ pub enum Request {
     },
     /// Server + estimate-cache statistics snapshot.
     Stats,
+    /// Live observability document: every `serve.*` stage histogram,
+    /// window rates, gauges and SLO burn (answered inline).
+    Metrics {
+        /// `true` renders Prometheus-style text instead of the
+        /// `rvhpc-metrics-v1` JSON document.
+        prometheus: bool,
+    },
+    /// The tail-sampled SLO-breaching requests with per-stage breakdowns.
+    SlowRequests {
+        /// Most recent exemplars to return.
+        limit: usize,
+    },
     /// Liveness probe.
     Ping,
     /// Hold the batcher for `ms` milliseconds (diagnostic op used by the
@@ -125,6 +140,8 @@ impl Request {
             Request::Suite { .. } => "suite",
             Request::LintMachine { .. } => "lint_machine",
             Request::Stats => "stats",
+            Request::Metrics { .. } => "metrics",
+            Request::SlowRequests { .. } => "slow_requests",
             Request::Ping => "ping",
             Request::Sleep { .. } => "sleep",
             Request::Shutdown => "shutdown",
@@ -153,6 +170,8 @@ fn allowed_fields(op: &str) -> &'static [&'static str] {
         "suite" => &["machine", "precision", "threads", "vectorize", "mode", "placement", "class"],
         "lint_machine" => &["machine", "clock_ghz", "memory_controllers", "bw_per_controller_gbs"],
         "sleep" => &["ms"],
+        "metrics" => &["format"],
+        "slow_requests" => &["limit"],
         _ => &[],
     }
 }
@@ -213,6 +232,21 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
             })
         }),
         "stats" => Ok(Request::Stats),
+        "metrics" => match doc.get("format").map(|v| (v, v.as_str())) {
+            None | Some((_, Some("json"))) => Ok(Request::Metrics { prometheus: false }),
+            Some((_, Some("prometheus"))) => Ok(Request::Metrics { prometheus: true }),
+            Some((v, _)) => Err(format!("`format` must be \"json\" or \"prometheus\", got {v:?}")),
+        },
+        "slow_requests" => match doc.get("limit") {
+            None => Ok(Request::SlowRequests { limit: DEFAULT_SLOW_LIMIT }),
+            Some(v) => parse_count(v, "limit").and_then(|n| {
+                if n == 0 {
+                    Err("`limit` must be >= 1".to_string())
+                } else {
+                    Ok(Request::SlowRequests { limit: n as usize })
+                }
+            }),
+        },
         "ping" => Ok(Request::Ping),
         "sleep" => match doc.get("ms") {
             Some(v) => parse_count(v, "ms").and_then(|ms| {
@@ -227,7 +261,7 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
             "unknown op `{other}` (known: estimate, explain, suite, lint_machine, \
-             stats, ping, sleep, shutdown)"
+             stats, metrics, slow_requests, ping, sleep, shutdown)"
         )),
     };
     (id, parsed)
@@ -464,6 +498,32 @@ mod tests {
         assert!(must_fail(r#"{"op":"sleep","ms":999999}"#).contains("capped"));
         assert!(matches!(must_parse(r#"{"op":"shutdown"}"#), Request::Shutdown));
         assert!(matches!(must_parse(r#"{"op":"ping","id":null}"#), Request::Ping));
+    }
+
+    #[test]
+    fn metrics_and_slow_requests_parse_with_validation() {
+        assert!(matches!(
+            must_parse(r#"{"op":"metrics"}"#),
+            Request::Metrics { prometheus: false }
+        ));
+        assert!(matches!(
+            must_parse(r#"{"op":"metrics","format":"json"}"#),
+            Request::Metrics { prometheus: false }
+        ));
+        assert!(matches!(
+            must_parse(r#"{"op":"metrics","format":"prometheus"}"#),
+            Request::Metrics { prometheus: true }
+        ));
+        assert!(must_fail(r#"{"op":"metrics","format":"xml"}"#).contains("`format`"));
+        assert!(must_fail(r#"{"op":"metrics","limit":3}"#).contains("unknown field `limit`"));
+        let r = must_parse(r#"{"op":"slow_requests"}"#);
+        assert!(matches!(r, Request::SlowRequests { limit } if limit == DEFAULT_SLOW_LIMIT));
+        assert!(matches!(
+            must_parse(r#"{"op":"slow_requests","limit":3}"#),
+            Request::SlowRequests { limit: 3 }
+        ));
+        assert!(must_fail(r#"{"op":"slow_requests","limit":0}"#).contains(">= 1"));
+        assert!(must_fail(r#"{"op":"slow_requests","limit":-2}"#).contains("non-negative"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::signal;
 use rvhpc_analyze::lint_machine;
 use rvhpc_kernels::{KernelClass, KernelName};
 use rvhpc_machines::{machine, MachineId};
+use rvhpc_obs::snapshot::{SnapshotRing, DEFAULT_SNAPSHOT_CAP};
 use rvhpc_perfmodel::{cache, estimate_cached, explain, RunConfig};
 use rvhpc_threads::global_team;
 use rvhpc_trace::json::Json;
@@ -55,6 +56,15 @@ pub struct ServeConfig {
     /// How long the batcher waits for companions after the first request
     /// of a batch arrives.
     pub batch_window: Duration,
+    /// End-to-end latency SLO in milliseconds: requests slower than this
+    /// are tail-sampled into the `slow_requests` ring with a per-stage
+    /// breakdown. `0.0` disables capture (requests are still counted).
+    pub slo_ms: f64,
+    /// When set, a scraper thread appends a `rvhpc-metrics-v1` snapshot
+    /// to this bounded on-disk ring every [`ServeConfig::scrape_every`].
+    pub metrics_file: Option<String>,
+    /// Self-scrape period for [`ServeConfig::metrics_file`].
+    pub scrape_every: Duration,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +74,9 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             batch_max: 64,
             batch_window: Duration::from_micros(500),
+            slo_ms: 100.0,
+            metrics_file: None,
+            scrape_every: Duration::from_secs(1),
         }
     }
 }
@@ -100,8 +113,12 @@ pub struct ServerStats {
 }
 
 impl ServerStats {
-    fn json(&self, draining: bool) -> Json {
+    fn json(&self, draining: bool, cache_at_start: &cache::CacheStats) -> Json {
         let c = cache::stats();
+        // The absolute counters are process-wide and include any cache
+        // activity from before the server started (a pre-warmed process);
+        // the delta block is unambiguous "since serve start" attribution.
+        let d = c.since(cache_at_start);
         Json::obj(vec![
             (
                 "server",
@@ -132,6 +149,15 @@ impl ServerStats {
                     ("hit_rate", Json::Num(c.hit_rate())),
                 ]),
             ),
+            (
+                "estimate_cache_delta",
+                Json::obj(vec![
+                    ("hits", num(d.hits)),
+                    ("misses", num(d.misses)),
+                    ("evictions", num(d.evictions)),
+                    ("hit_rate", Json::Num(d.hit_rate())),
+                ]),
+            ),
         ])
     }
 }
@@ -158,11 +184,17 @@ impl ConnWriter {
     }
 }
 
-/// A queued unit of batched work.
+/// A queued unit of batched work. The three instants split the request's
+/// life into the observability stages: `received → admitted` is
+/// admission, `admitted → popped` is queue wait, `popped → batch
+/// execution` is the batch window.
 struct WorkItem {
     id: Json,
     writer: Arc<ConnWriter>,
+    received: Instant,
+    admission_us: f64,
     admitted: Instant,
+    popped: Instant,
     deadline: Option<Instant>,
     kind: WorkKind,
 }
@@ -202,9 +234,65 @@ impl EstKey {
     }
 }
 
+/// The five `serve.*` observability stages, resolved once at startup so
+/// hot paths never touch the registry lock.
+struct Stages {
+    admission: &'static rvhpc_obs::Stage,
+    queue_wait: &'static rvhpc_obs::Stage,
+    batch_window: &'static rvhpc_obs::Stage,
+    compute: &'static rvhpc_obs::Stage,
+    write_back: &'static rvhpc_obs::Stage,
+}
+
+impl Stages {
+    fn new() -> Stages {
+        Stages {
+            admission: rvhpc_obs::stage("serve.admission"),
+            queue_wait: rvhpc_obs::stage("serve.queue_wait"),
+            batch_window: rvhpc_obs::stage("serve.batch_window"),
+            compute: rvhpc_obs::stage("serve.compute"),
+            write_back: rvhpc_obs::stage("serve.write_back"),
+        }
+    }
+}
+
+/// Duration → microseconds, the unit every obs histogram records.
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+/// Count one completed request against the SLO; on a breach, capture a
+/// full exemplar. `detail` is only rendered when the request actually
+/// breached, so the fast path never allocates for it.
+fn observe_request(
+    op: &str,
+    id: &Json,
+    total_us: f64,
+    stage_split: &[(&'static str, f64)],
+    detail: impl FnOnce() -> String,
+) {
+    if !rvhpc_obs::enabled() {
+        return;
+    }
+    rvhpc_obs::slo().observe_at(rvhpc_obs::now_s(), total_us, || rvhpc_obs::SlowRequest {
+        // String ids read better unquoted in the dashboard.
+        id: match id {
+            Json::Str(s) => s.clone(),
+            other => other.render(),
+        },
+        op: op.to_string(),
+        detail: detail(),
+        total_us,
+        stages: stage_split.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+        at_s: rvhpc_obs::uptime_s(),
+    });
+}
+
 struct Shared {
     config: ServeConfig,
     stats: ServerStats,
+    stages: Stages,
+    cache_at_start: cache::CacheStats,
     draining: AtomicBool,
     batcher_done: AtomicBool,
     active_conns: AtomicUsize,
@@ -235,6 +323,7 @@ pub struct Server {
     shared: Arc<Shared>,
     listener: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
+    scraper: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -246,15 +335,36 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let (queue_tx, queue_rx) = std::sync::mpsc::sync_channel(config.queue_capacity);
+        // Arm the SLO tracker and pre-register every gauge so the very
+        // first `metrics` reply already carries the full gauge set.
+        rvhpc_obs::slo().set_threshold_ms(config.slo_ms);
+        for name in [
+            "serve.queue_depth",
+            "serve.inflight_batches",
+            "threads.worksteal.backlog",
+            "perfmodel.estimate_cache.entries",
+        ] {
+            rvhpc_obs::gauge(name);
+        }
+        rvhpc_obs::gauge_set("perfmodel.estimate_cache.entries", cache::len() as i64);
         let shared = Arc::new(Shared {
             config,
             stats: ServerStats::default(),
+            stages: Stages::new(),
+            cache_at_start: cache::stats(),
             draining: AtomicBool::new(false),
             batcher_done: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             queue_tx,
         });
 
+        let scraper = shared.config.metrics_file.clone().map(|path| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("rvhpc-serve-scraper".to_string())
+                .spawn(move || scraper_loop(&shared, &path))
+                .expect("spawn scraper")
+        });
         let batcher = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -269,7 +379,7 @@ impl Server {
                 .spawn(move || listener_loop(&shared, &listener))
                 .expect("spawn listener")
         };
-        Ok(Server { local_addr, shared, listener: Some(accepter), batcher: Some(batcher) })
+        Ok(Server { local_addr, shared, listener: Some(accepter), batcher: Some(batcher), scraper })
     }
 
     /// The bound address (resolves port 0 to the real ephemeral port).
@@ -296,6 +406,9 @@ impl Server {
             let _ = h.join();
         }
         if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scraper.take() {
             let _ = h.join();
         }
         // Readers exit on their next poll tick once the batcher is done;
@@ -341,6 +454,37 @@ fn listener_loop(shared: &Arc<Shared>, listener: &TcpListener) {
     }
 }
 
+/// Refresh the point-in-time gauges a metrics render should not see
+/// stale: queue depth (otherwise only touched on admit/pop) and cache
+/// occupancy (otherwise only touched on inserts).
+fn refresh_gauges(shared: &Arc<Shared>) {
+    rvhpc_obs::gauge_set(
+        "serve.queue_depth",
+        shared.stats.queue_depth.load(Ordering::SeqCst) as i64,
+    );
+    rvhpc_obs::gauge_set("perfmodel.estimate_cache.entries", cache::len() as i64);
+}
+
+/// Periodic self-scrape: append one `rvhpc-metrics-v1` snapshot per
+/// period to the bounded on-disk ring, plus a final one at drain so even
+/// a short-lived server leaves a post-mortem trail.
+fn scraper_loop(shared: &Arc<Shared>, path: &str) {
+    let mut ring = SnapshotRing::new(path, DEFAULT_SNAPSHOT_CAP);
+    loop {
+        let period_end = Instant::now() + shared.config.scrape_every;
+        while Instant::now() < period_end {
+            if shared.draining() && shared.batcher_done.load(Ordering::SeqCst) {
+                refresh_gauges(shared);
+                let _ = ring.append(&rvhpc_obs::metrics_json().render());
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        refresh_gauges(shared);
+        let _ = ring.append(&rvhpc_obs::metrics_json().render());
+    }
+}
+
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     // Short read timeouts turn the blocking reader into a poll loop that
     // notices drains; a timeout leaves any partial line in `buf`, so slow
@@ -377,6 +521,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
 }
 
 fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
+    let received = Instant::now();
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     let (id, parsed) = parse_request(line);
     let request = match parsed {
@@ -395,18 +540,28 @@ fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
         // ---- batched path: admission control, then the queue ----
         Request::Estimate { machine, kernel, cfg, deadline_ms } => {
             let kind = WorkKind::Estimate { machine, kernel, cfg };
-            admit(shared, writer, id, kind, deadline_ms);
+            admit(shared, writer, id, kind, deadline_ms, received);
+            return;
         }
-        Request::Sleep { ms } => admit(shared, writer, id, WorkKind::Sleep { ms }, None),
+        Request::Sleep { ms } => {
+            admit(shared, writer, id, WorkKind::Sleep { ms }, None, received);
+            return;
+        }
+        _ => {}
+    }
 
-        // ---- direct path: answered on the reader thread ----
+    // ---- direct path: computed and answered on the reader thread. The
+    // arms produce the reply line; the common tail below records the
+    // admission (parse) / compute / write-back split and the SLO count.
+    let parsed_at = Instant::now();
+    let mut drain_after = false;
+    let reply = match request {
         Request::Explain { machine: m, kernel, cfg } => {
             let ex = explain(&machine(m), kernel, &cfg);
-            writer.send_line(&ok_response(&id, op, ex.to_json()));
+            ok_response(&id, op, ex.to_json())
         }
         Request::Suite { machine: m, cfg, class } => {
-            let result = run_suite_slice(m, &cfg, class);
-            writer.send_line(&ok_response(&id, op, result));
+            ok_response(&id, op, run_suite_slice(m, &cfg, class))
         }
         Request::LintMachine {
             machine: m,
@@ -430,23 +585,66 @@ fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
                 ("findings", Json::Arr(findings.iter().map(|d| d.to_json()).collect())),
                 ("count", num(findings.len() as u64)),
             ]);
-            writer.send_line(&ok_response(&id, op, result));
+            ok_response(&id, op, result)
         }
         Request::Stats => {
-            writer.send_line(&ok_response(&id, op, shared.stats.json(shared.draining())));
+            ok_response(&id, op, shared.stats.json(shared.draining(), &shared.cache_at_start))
         }
-        Request::Ping => {
-            writer.send_line(&ok_response(&id, op, Json::obj(vec![("pong", Json::Bool(true))])));
+        Request::Metrics { prometheus } => {
+            refresh_gauges(shared);
+            let result = if prometheus {
+                Json::obj(vec![
+                    ("content_type", Json::str("text/plain; version=0.0.4")),
+                    ("text", Json::str(rvhpc_obs::metrics_prometheus())),
+                ])
+            } else {
+                rvhpc_obs::metrics_json()
+            };
+            ok_response(&id, op, result)
         }
+        Request::SlowRequests { limit } => {
+            let slo = rvhpc_obs::slo();
+            let (total, breaches, dropped) = slo.counters();
+            let burn = if total == 0 { 0.0 } else { breaches as f64 / total as f64 };
+            let requests: Vec<Json> =
+                slo.captured(limit).iter().map(rvhpc_obs::SlowRequest::to_json).collect();
+            let result = Json::obj(vec![
+                ("threshold_ms", Json::Num(slo.threshold_ms())),
+                ("total", num(total)),
+                ("breaches", num(breaches)),
+                ("burn_fraction", Json::Num(burn)),
+                ("captured", num(slo.captured_count() as u64)),
+                ("dropped", num(dropped)),
+                ("requests", Json::Arr(requests)),
+            ]);
+            ok_response(&id, op, result)
+        }
+        Request::Ping => ok_response(&id, op, Json::obj(vec![("pong", Json::Bool(true))])),
         Request::Shutdown => {
-            writer.send_line(&ok_response(
-                &id,
-                op,
-                Json::obj(vec![("draining", Json::Bool(true))]),
-            ));
-            shared.begin_drain();
+            drain_after = true;
+            ok_response(&id, op, Json::obj(vec![("draining", Json::Bool(true))]))
         }
+        Request::Estimate { .. } | Request::Sleep { .. } => unreachable!("batched ops returned"),
+    };
+    let computed_at = Instant::now();
+    writer.send_line(&reply);
+    if drain_after {
+        shared.begin_drain();
     }
+    let written_at = Instant::now();
+    let admission_us = us(parsed_at - received);
+    let compute_us = us(computed_at - parsed_at);
+    let write_back_us = us(written_at - computed_at);
+    shared.stages.admission.record_us(admission_us);
+    shared.stages.compute.record_us(compute_us);
+    shared.stages.write_back.record_us(write_back_us);
+    observe_request(
+        op,
+        &id,
+        us(written_at - received),
+        &[("admission", admission_us), ("compute", compute_us), ("write_back", write_back_us)],
+        || format!("direct op `{op}`"),
+    );
 }
 
 /// Try to enqueue a batched work item; answers `overloaded` or
@@ -457,6 +655,7 @@ fn admit(
     id: Json,
     kind: WorkKind,
     deadline_ms: Option<u64>,
+    received: Instant,
 ) {
     if shared.draining() {
         shared.stats.shed_shutting_down.fetch_add(1, Ordering::Relaxed);
@@ -464,10 +663,14 @@ fn admit(
         return;
     }
     let admitted = Instant::now();
+    let admission_us = us(admitted - received);
     let item = WorkItem {
         id,
         writer: Arc::clone(writer),
+        received,
+        admission_us,
         admitted,
+        popped: admitted,
         deadline: deadline_ms.map(|ms| admitted + Duration::from_millis(ms)),
         kind,
     };
@@ -478,6 +681,8 @@ fn admit(
     match shared.queue_tx.try_send(item) {
         Ok(()) => {
             shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+            shared.stages.admission.record_us(admission_us);
+            rvhpc_obs::gauge_set("serve.queue_depth", depth as i64);
             rvhpc_trace::histogram!("serve.queue_depth", depth as f64);
         }
         Err(TrySendError::Full(item)) => {
@@ -529,7 +734,7 @@ fn run_suite_slice(m: MachineId, cfg: &RunConfig, class: Option<KernelClass>) ->
 
 fn batcher_loop(shared: &Arc<Shared>, queue_rx: &Receiver<WorkItem>) {
     loop {
-        let first = match queue_rx.recv_timeout(Duration::from_millis(25)) {
+        let mut first = match queue_rx.recv_timeout(Duration::from_millis(25)) {
             Ok(item) => item,
             Err(RecvTimeoutError::Timeout) => {
                 // A timeout with the drain flag set means the queue is
@@ -541,7 +746,9 @@ fn batcher_loop(shared: &Arc<Shared>, queue_rx: &Receiver<WorkItem>) {
             }
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        first.popped = Instant::now();
+        let depth = shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+        rvhpc_obs::gauge_set("serve.queue_depth", depth as i64);
         let mut batch = vec![first];
         let window_end = Instant::now() + shared.config.batch_window;
         while batch.len() < shared.config.batch_max {
@@ -550,14 +757,18 @@ fn batcher_loop(shared: &Arc<Shared>, queue_rx: &Receiver<WorkItem>) {
                 break;
             }
             match queue_rx.recv_timeout(window_end - now) {
-                Ok(item) => {
-                    shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
+                Ok(mut item) => {
+                    item.popped = Instant::now();
+                    let depth = shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst) - 1;
+                    rvhpc_obs::gauge_set("serve.queue_depth", depth as i64);
                     batch.push(item);
                 }
                 Err(_) => break,
             }
         }
+        rvhpc_obs::gauge_set("serve.inflight_batches", 1);
         process_batch(shared, batch);
+        rvhpc_obs::gauge_set("serve.inflight_batches", 0);
     }
     shared.batcher_done.store(true, Ordering::SeqCst);
 }
@@ -573,9 +784,12 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<WorkItem>) {
     // Partition: expired deadlines are cancelled unexecuted; sleeps run
     // inline on the batcher (they exist to simulate a slow model and make
     // backpressure observable); estimates are deduped and fanned out.
+    // `exec_start` closes the batch-window stage for every item.
     let mut estimates: Vec<(EstKey, WorkItem)> = Vec::new();
-    let now = Instant::now();
+    let exec_start = Instant::now();
+    let now = exec_start;
     for item in batch {
+        shared.stages.queue_wait.record_us(us(item.popped - item.admitted));
         if item.deadline.is_some_and(|d| d < now) {
             shared.stats.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
             rvhpc_trace::counter!("serve.deadline_exceeded", 1);
@@ -589,10 +803,23 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<WorkItem>) {
         }
         match item.kind {
             WorkKind::Sleep { ms } => {
+                let sleep_start = Instant::now();
                 std::thread::sleep(Duration::from_millis(ms));
+                let slept = Instant::now();
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 let result = Json::obj(vec![("slept_ms", num(ms))]);
                 item.writer.send_line(&ok_response(&item.id, "sleep", result));
+                let written = Instant::now();
+                record_batched(
+                    shared,
+                    &item,
+                    "sleep",
+                    exec_start,
+                    us(slept - sleep_start),
+                    us(written - slept),
+                    written,
+                    || format!("sleep {ms}ms"),
+                );
             }
             WorkKind::Estimate { machine, kernel, cfg } => {
                 estimates.push((EstKey::new(machine, kernel, &cfg), item));
@@ -617,6 +844,7 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<WorkItem>) {
     }
     let slots: Vec<Mutex<Option<rvhpc_perfmodel::TimeEstimate>>> =
         (0..unique.len()).map(|_| Mutex::new(None)).collect();
+    let compute_start = Instant::now();
     let compute = |i: usize| {
         let (_, m, kernel, cfg) = unique[i];
         let est = estimate_cached(&machine(m), kernel, &cfg);
@@ -627,6 +855,9 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<WorkItem>) {
     } else {
         global_team().parallel_for_worksteal(0..unique.len(), compute);
     }
+    // The batch computes as one fan-out, so every member shares the same
+    // compute-stage duration (that *is* the latency the batch added).
+    let compute_us = us(compute_start.elapsed());
     let results: Vec<rvhpc_perfmodel::TimeEstimate> = slots
         .into_iter()
         .map(|s| s.into_inner().expect("slot poisoned").expect("estimate computed"))
@@ -635,6 +866,63 @@ fn process_batch(shared: &Arc<Shared>, batch: Vec<WorkItem>) {
         let est = results[index_of[&key]];
         shared.stats.completed.fetch_add(1, Ordering::Relaxed);
         rvhpc_trace::histogram!("serve.latency_us", item.admitted.elapsed().as_secs_f64() * 1e6);
+        let send_start = Instant::now();
         item.writer.send_line(&ok_response(&item.id, "estimate", estimate_json(&est)));
+        let written = Instant::now();
+        record_batched(
+            shared,
+            &item,
+            "estimate",
+            exec_start,
+            compute_us,
+            us(written - send_start),
+            written,
+            || {
+                if let WorkKind::Estimate { machine, kernel, cfg } = &item.kind {
+                    format!(
+                        "{}/{} {} t={}",
+                        machine.token(),
+                        kernel.label(),
+                        cfg.precision.label(),
+                        cfg.threads
+                    )
+                } else {
+                    String::new()
+                }
+            },
+        );
     }
+}
+
+/// Record the stage histograms and SLO outcome for one answered batched
+/// item. `compute_us`/`write_back_us` are the item's own stage durations;
+/// `written` is the instant its reply hit the socket.
+#[allow(clippy::too_many_arguments)]
+fn record_batched(
+    shared: &Arc<Shared>,
+    item: &WorkItem,
+    op: &'static str,
+    exec_start: Instant,
+    compute_us: f64,
+    write_back_us: f64,
+    written: Instant,
+    detail: impl FnOnce() -> String,
+) {
+    let batch_window_us = us(exec_start - item.popped);
+    shared.stages.batch_window.record_us(batch_window_us);
+    shared.stages.compute.record_us(compute_us);
+    shared.stages.write_back.record_us(write_back_us);
+    observe_request(
+        op,
+        &item.id,
+        us(written - item.received),
+        &[
+            ("admission", item.admission_us),
+            ("queue_wait", us(item.popped - item.admitted)),
+            ("batch_window", batch_window_us),
+            ("compute", compute_us),
+            ("write_back", write_back_us),
+        ],
+        detail,
+    );
 }

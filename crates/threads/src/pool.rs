@@ -264,6 +264,16 @@ impl Team {
     where
         F: Fn(usize) + Sync,
     {
+        // Publish the dispatch size as the pool's backlog gauge; the
+        // guard zeroes it even if a body panic unwinds through `run`.
+        struct BacklogGuard;
+        impl Drop for BacklogGuard {
+            fn drop(&mut self) {
+                rvhpc_obs::gauge_set("threads.worksteal.backlog", 0);
+            }
+        }
+        rvhpc_obs::gauge_set("threads.worksteal.backlog", range.len() as i64);
+        let _backlog = BacklogGuard;
         let queues = WorkQueues::new(range, self.n_threads);
         self.run(|ctx| {
             while let Some(i) = queues.next(ctx.tid()) {

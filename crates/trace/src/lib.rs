@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 

@@ -1,0 +1,56 @@
+//! The metrics-overhead acceptance gate: the checked-in serve-bench pair
+//! (`SERVE_BENCH_BASELINE.json` measured with `RVHPC_OBS=off`,
+//! `SERVE_BENCH_OBS.json` measured with observability on, SLO tracking
+//! armed, and a 20ms metrics poller attached) must show the instrumented
+//! server keeping at least 95% of baseline throughput.
+
+use rvhpc_serve::bench::validate_serve_artefact;
+use rvhpc_trace::json::Json;
+use std::path::PathBuf;
+
+fn load(name: &str) -> Json {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    validate_serve_artefact(&text).unwrap_or_else(|e| panic!("{name} is invalid: {e}"));
+    Json::parse(&text).expect("validated artefact parses")
+}
+
+#[test]
+fn checked_in_obs_run_keeps_95_percent_of_baseline_throughput() {
+    let baseline = load("SERVE_BENCH_BASELINE.json");
+    let obs = load("SERVE_BENCH_OBS.json");
+
+    let tp = |doc: &Json, name: &str| -> f64 {
+        doc.get("throughput_rps")
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| panic!("{name}: missing throughput_rps"))
+    };
+    let base_rps = tp(&baseline, "baseline");
+    let obs_rps = tp(&obs, "obs");
+    assert!(
+        obs_rps >= 0.95 * base_rps,
+        "observability overhead exceeds the 5% budget: {obs_rps:.1} rps instrumented vs \
+         {base_rps:.1} rps baseline ({:.1}%)",
+        100.0 * (1.0 - obs_rps / base_rps)
+    );
+
+    // The instrumented run really had the obs machinery engaged: SLO
+    // verdict present and every metrics poll schema-valid; the baseline
+    // really did not poll.
+    let slo = obs.get("slo").expect("obs run carries an slo block");
+    assert_eq!(slo.get("passed"), Some(&Json::Bool(true)), "obs run met its SLO");
+    let polls = obs.get("metrics_polls").expect("obs run polled the metrics op");
+    assert!(polls.get("polls").and_then(Json::as_f64).expect("polls") >= 1.0);
+    assert_eq!(polls.get("failures").and_then(Json::as_f64), Some(0.0));
+    assert!(baseline.get("metrics_polls").is_none(), "baseline ran unobserved");
+
+    // Both runs answered the same workload cleanly.
+    for (name, doc) in [("baseline", &baseline), ("obs", &obs)] {
+        let sent = doc.get("requests").and_then(|r| r.get("sent")).and_then(Json::as_f64);
+        assert_eq!(sent, Some(12_000.0), "{name}: 8 clients x 1500 requests");
+        let errs =
+            doc.get("requests").and_then(|r| r.get("protocol_errors")).and_then(Json::as_f64);
+        assert_eq!(errs, Some(0.0), "{name}: clean run");
+    }
+}
