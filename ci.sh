@@ -68,6 +68,30 @@ cargo run --release -p rvhpc --bin repro -- loadgen --addr "$SERVE_ADDR" \
 wait "$SERVE_PID"
 rm -f "$SERVE_PORT_FILE"
 
+# Reactor smoke: the same protocol served by the epoll event loop. One
+# reactor server on an ephemeral port, driven by the open-loop engine
+# over 256 concurrent connections (exit is non-zero on any protocol
+# error or bit-identity failure), then a drain that must complete
+# cleanly. The differential harness (threaded vs reactor, lockstep op
+# mix, bit-identical replies) runs in `cargo test` above with the
+# workspace's pinned RVHPC_SEED honoured when set; rerun it here under
+# the CI-pinned seed so the exact schedule is reproducible.
+REACTOR_PORT_FILE="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- serve --addr 127.0.0.1:0 \
+    --reactor --max-conns 1024 --port-file "$REACTOR_PORT_FILE" &
+REACTOR_PID=$!
+for _ in $(seq 1 100); do
+    test -s "$REACTOR_PORT_FILE" && break
+    sleep 0.1
+done
+REACTOR_ADDR="$(cat "$REACTOR_PORT_FILE")"
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$REACTOR_ADDR" \
+    --open-loop --connections 256 --rps 300 --requests 4 --seed 2042 --shutdown
+wait "$REACTOR_PID"
+rm -f "$REACTOR_PORT_FILE"
+RVHPC_SEED=2042 cargo test --release -q -p rvhpc-integration-tests \
+    --test serve_reactor_differential
+
 # Observability smoke: a server with SLO tail-sampling and an on-disk
 # metrics-snapshot ring, driven by an SLO-gated loadgen that polls (and
 # schema-validates) the `metrics` op throughout the run. One dashboard

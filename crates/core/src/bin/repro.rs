@@ -21,13 +21,16 @@
 //! repro serve [--addr A] [--queue-cap N] [--batch-max N]
 //!             [--batch-window-us U] [--port-file <path>]
 //!             [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]
+//!             [--reactor] [--max-conns N] [--idle-timeout-ms MS]
+//!             [--max-outbox-kb N]
 //!                            # serve estimate/explain/suite/lint queries
 //!                            # over line-delimited JSON on TCP; drains on
-//!                            # a `shutdown` request or SIGTERM
+//!                            # a `shutdown` request or SIGTERM; --reactor
+//!                            # switches to the epoll event loop (Linux)
 //! repro loadgen --addr A [--clients N] [--requests M] [--rps R]
 //!               [--duration S] [--seed N] [--json <path>]
 //!               [--probe-bad] [--shutdown] [--slo-ms MS]
-//!               [--poll-metrics-ms MS]
+//!               [--poll-metrics-ms MS] [--open-loop] [--connections N]
 //!                            # drive a running server with N closed-loop
 //!                            # clients; write the SERVE-BENCH artefact
 //! repro top <addr> [--interval-ms N] [--frames N] [--once] [--json]
@@ -82,16 +85,20 @@ validates one (exit 1 invalid, exit 2 unknown\n                          \
 schema version or unreadable file)\n  \
   serve [--addr <ip:port>] [--queue-cap N] [--batch-max N]\n        \
 [--batch-window-us U] [--port-file <path>]\n        \
-[--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]\n                          \
+[--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]\n          \
+[--reactor] [--max-conns N] [--idle-timeout-ms MS] [--max-outbox-kb N]\n                          \
 serve estimate/explain/suite/lint_machine queries\n                          \
 over line-delimited JSON on TCP, with bounded\n                          \
 admission, batched execution on the shared thread\n                          \
 pool, and graceful drain on `shutdown` or SIGTERM;\n                          \
 --slo-ms tail-samples slow requests, --metrics-file\n                          \
-keeps a bounded on-disk metrics-snapshot ring\n  \
+keeps a bounded on-disk metrics-snapshot ring;\n                          \
+--reactor serves all connections from one epoll\n                          \
+event loop (Linux) with --max-conns admission,\n                          \
+idle disconnects, and bounded write buffering\n  \
   loadgen --addr <ip:port> [--clients N] [--requests M] [--rps R]\n          \
 [--duration S] [--seed N] [--json <path>] [--probe-bad] [--shutdown]\n          \
-[--slo-ms MS] [--poll-metrics-ms MS]\n                          \
+[--slo-ms MS] [--poll-metrics-ms MS] [--open-loop] [--connections N]\n                          \
 drive a running server with N closed-loop clients\n                          \
 and verify replies bit-identically against the\n                          \
 local model; --json writes the SERVE-BENCH\n                          \
@@ -736,7 +743,9 @@ fn serve(args: &[String]) -> ! {
 
     const SERVE_USAGE: &str = "usage: repro serve [--addr <ip:port>] [--queue-cap N] \
                                [--batch-max N] [--batch-window-us U] [--port-file <path>] \
-                               [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]";
+                               [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS] \
+                               [--reactor] [--max-conns N] [--idle-timeout-ms MS] \
+                               [--max-outbox-kb N]";
     let mut config = ServeConfig::default();
     let mut port_file: Option<String> = None;
     let mut it = args.iter();
@@ -777,6 +786,22 @@ fn serve(args: &[String]) -> ! {
                 let ms = parse_pos("--scrape-every-ms", value("--scrape-every-ms"));
                 config.scrape_every = std::time::Duration::from_millis(ms as u64);
             }
+            "--reactor" => config.reactor = true,
+            "--max-conns" => config.max_conns = parse_pos("--max-conns", value("--max-conns")),
+            "--idle-timeout-ms" => {
+                // Unlike the other knobs, 0 is meaningful: it disables
+                // the idle sweep entirely.
+                let v = value("--idle-timeout-ms");
+                let ms: u64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--idle-timeout-ms must be a non-negative integer, got `{v}`");
+                    std::process::exit(2);
+                });
+                config.idle_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--max-outbox-kb" => {
+                let kb = parse_pos("--max-outbox-kb", value("--max-outbox-kb"));
+                config.max_outbox_bytes = kb * 1024;
+            }
             other => {
                 eprintln!("unknown serve argument `{other}`\n{SERVE_USAGE}");
                 std::process::exit(2);
@@ -788,6 +813,7 @@ fn serve(args: &[String]) -> ! {
     let (slo_ms, scrape_every) = (config.slo_ms, config.scrape_every);
     let (queue_cap, batch_max, batch_window) =
         (config.queue_capacity, config.batch_max, config.batch_window);
+    let (reactor, max_conns) = (config.reactor, config.max_conns);
     let metrics_file = config.metrics_file.clone();
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
@@ -806,6 +832,8 @@ fn serve(args: &[String]) -> ! {
         ("slo_ms", Json::Num(slo_ms)),
         ("metrics_file", metrics_file.as_deref().map_or(Json::Null, Json::str)),
         ("scrape_every_ms", Json::Num(scrape_every.as_millis() as f64)),
+        ("reactor", Json::Bool(reactor)),
+        ("max_conns", Json::Num(max_conns as f64)),
         ("pid", Json::Num(std::process::id() as f64)),
     ]);
     eprintln!("{}", banner.render());
@@ -832,7 +860,7 @@ fn loadgen(args: &[String]) -> ! {
     const LOADGEN_USAGE: &str = "usage: repro loadgen --addr <ip:port> [--clients N] \
                                  [--requests M] [--rps R] [--duration S] [--seed N] \
                                  [--json <path>] [--probe-bad] [--shutdown] [--slo-ms MS] \
-                                 [--poll-metrics-ms MS]";
+                                 [--poll-metrics-ms MS] [--open-loop] [--connections N]";
     let mut cfg = LoadgenConfig::default();
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
@@ -886,6 +914,14 @@ fn loadgen(args: &[String]) -> ! {
                 cfg.poll_metrics_ms =
                     Some(parse_num("--poll-metrics-ms", &value("--poll-metrics-ms")));
             }
+            "--open-loop" => cfg.open_loop = true,
+            "--connections" => {
+                cfg.connections = parse_num("--connections", &value("--connections"));
+                if cfg.connections == 0 {
+                    eprintln!("--connections must be >= 1");
+                    std::process::exit(2);
+                }
+            }
             other => {
                 eprintln!("unknown loadgen argument `{other}`\n{LOADGEN_USAGE}");
                 std::process::exit(2);
@@ -896,6 +932,18 @@ fn loadgen(args: &[String]) -> ! {
         eprintln!("--addr is required\n{LOADGEN_USAGE}");
         std::process::exit(2);
     }
+    if cfg.open_loop && cfg.rps <= 0.0 {
+        eprintln!("--open-loop needs a pacing rate: pass --rps R\n{LOADGEN_USAGE}");
+        std::process::exit(2);
+    }
+    if cfg.open_loop && cfg.connections == 0 {
+        eprintln!("--open-loop needs --connections N\n{LOADGEN_USAGE}");
+        std::process::exit(2);
+    }
+    if !cfg.open_loop && cfg.connections != 0 {
+        eprintln!("--connections only applies with --open-loop\n{LOADGEN_USAGE}");
+        std::process::exit(2);
+    }
 
     let report = run_loadgen(&cfg).unwrap_or_else(|e| {
         eprintln!("loadgen cannot reach {}: {e}", cfg.addr);
@@ -903,9 +951,10 @@ fn loadgen(args: &[String]) -> ! {
     });
 
     println!(
-        "loadgen: {} client(s), {} sent, {} ok, {} overloaded, {} deadline, {} shutting-down, \
+        "loadgen: {} {}, {} sent, {} ok, {} overloaded, {} deadline, {} shutting-down, \
          {} protocol error(s) in {:.3}s",
         report.clients,
+        if report.open_loop { "open-loop connection(s)" } else { "client(s)" },
         report.sent,
         report.ok,
         report.overloaded,

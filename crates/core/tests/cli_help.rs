@@ -52,6 +52,10 @@ fn help_documents_serving_flags_and_exit_codes() {
         "--slo-ms",
         "--metrics-file",
         "--scrape-every-ms",
+        "--reactor",
+        "--max-conns",
+        "--idle-timeout-ms",
+        "--max-outbox-kb",
     ] {
         assert!(text.contains(flag), "help must mention serve flag `{flag}`:\n{text}");
     }
@@ -64,6 +68,8 @@ fn help_documents_serving_flags_and_exit_codes() {
         "--probe-bad",
         "--shutdown",
         "--poll-metrics-ms",
+        "--open-loop",
+        "--connections",
     ] {
         assert!(text.contains(flag), "help must mention loadgen flag `{flag}`:\n{text}");
     }

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! { "schema": "rvhpc-serve-bench-v1",
-//!   "config":  { clients, rps, duration_s, requests_per_client, seed },
+//!   "config":  { clients, mode, connections, rps, duration_s,
+//!                requests_per_client, seed },
 //!   "latency_us": { p50, p95, p99, mean, max },
 //!   "throughput_rps": ...,
 //!   "requests": { sent, ok, overloaded, deadline_exceeded,
@@ -36,6 +37,8 @@ pub fn serve_artefact(cfg: &LoadgenConfig, report: &LoadgenReport) -> Json {
             "config",
             Json::obj(vec![
                 ("clients", num(report.clients as f64)),
+                ("mode", Json::str(if report.open_loop { "open_loop" } else { "closed_loop" })),
+                ("connections", num(report.connections as f64)),
                 ("rps", num(cfg.rps)),
                 ("duration_s", cfg.duration.map_or(Json::Null, |d| num(d.as_secs_f64()))),
                 (
@@ -173,6 +176,25 @@ pub fn validate_serve_artefact(text: &str) -> Result<(), String> {
         Some(Json::Bool(_)) => {}
         _ => return Err("missing boolean field `verified_bit_identical`".to_string()),
     }
+    // `config.mode`/`config.connections` arrived with the open-loop
+    // reactor benchmark; older artefacts without them stay valid, but
+    // when present they must be well-formed.
+    if let Some(config) = doc.get("config") {
+        if let Some(mode) = config.get("mode") {
+            let Some(mode) = mode.as_str() else {
+                return Err("config.mode must be a string".to_string());
+            };
+            if mode != "open_loop" && mode != "closed_loop" {
+                return Err(format!(
+                    "config.mode is `{mode}`, expected `open_loop` or `closed_loop`"
+                ));
+            }
+            let conns = req_count(config, &["connections"])?;
+            if conns == 0 {
+                return Err("config.connections must be positive".to_string());
+            }
+        }
+    }
     if let Some(slo) = doc.get("slo") {
         let target_ms = req_f64(slo, &["target_ms"])?;
         if !target_ms.is_finite() || target_ms <= 0.0 {
@@ -224,6 +246,8 @@ mod tests {
     fn sample_report() -> LoadgenReport {
         LoadgenReport {
             clients: 4,
+            open_loop: false,
+            connections: 4,
             seed: 42,
             wall_seconds: 1.5,
             sent: 400,
@@ -333,5 +357,33 @@ mod tests {
         let text = serve_artefact(&LoadgenConfig::default(), &sample_report()).render();
         assert!(!text.contains("\"slo\""));
         validate_serve_artefact(&text).expect("slo block is optional");
+    }
+
+    #[test]
+    fn mode_and_connections_are_rendered_and_enforced() {
+        let mut report = sample_report();
+        report.open_loop = true;
+        report.connections = 2048;
+        report.clients = 2048;
+        let doc = serve_artefact(&LoadgenConfig::default(), &report);
+        let config = doc.get("config").expect("config block");
+        assert_eq!(config.get("mode").and_then(Json::as_str), Some("open_loop"));
+        assert_eq!(config.get("connections").and_then(Json::as_f64), Some(2048.0));
+        validate_serve_artefact(&doc.render()).expect("valid open-loop artefact");
+
+        let text = doc.render().replace("open_loop", "half_open");
+        let err = validate_serve_artefact(&text).expect_err("bad mode");
+        assert!(err.contains("config.mode"), "{err}");
+
+        let text = doc.render().replace("\"connections\":2048", "\"connections\":0");
+        let err = validate_serve_artefact(&text).expect_err("zero connections");
+        assert!(err.contains("connections"), "{err}");
+
+        // Legacy artefacts without the mode key still validate.
+        let text = serve_artefact(&LoadgenConfig::default(), &sample_report())
+            .render()
+            .replace("\"mode\":\"closed_loop\",", "")
+            .replace("\"connections\":4,", "");
+        validate_serve_artefact(&text).expect("legacy artefact stays valid");
     }
 }

@@ -36,12 +36,19 @@
 //! `rvhpc-serve-bench-v1` artefact ([`bench`]) so serving latency joins the
 //! repository's benchmark trajectory.
 
-#![deny(unsafe_code)] // except the tiny SIGTERM shim in `signal`
+#![deny(unsafe_code)] // except the SIGTERM shim in `signal` and the epoll shim in `epoll`
 #![warn(missing_docs)]
 
 pub mod bench;
+#[cfg(target_os = "linux")]
+pub(crate) mod epoll;
+pub(crate) mod frame;
 pub mod loadgen;
+#[cfg(target_os = "linux")]
+pub(crate) mod openloop;
 pub mod protocol;
+#[cfg(target_os = "linux")]
+pub(crate) mod reactor;
 pub mod server;
 pub mod signal;
 

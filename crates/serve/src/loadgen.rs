@@ -54,6 +54,17 @@ pub struct LoadgenConfig {
     /// this-many milliseconds during the run, schema-validating each
     /// reply; `None` disables polling.
     pub poll_metrics_ms: Option<u64>,
+    /// Open-loop mode (Linux only): instead of N blocking request/reply
+    /// clients, one epoll engine paces sends at the aggregate `rps`
+    /// across [`LoadgenConfig::connections`] sockets regardless of reply
+    /// arrival — the arrival process does not slow down when the server
+    /// does, which is what exposes tail latency under real concurrency.
+    /// Requires `rps > 0`.
+    pub open_loop: bool,
+    /// Concurrent connections for open-loop mode; established staggered
+    /// (see `openloop::stagger_offsets`) so ramp-up does not SYN-flood
+    /// the listener. Ignored in closed-loop mode.
+    pub connections: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -69,6 +80,8 @@ impl Default for LoadgenConfig {
             shutdown_after: false,
             slo_ms: None,
             poll_metrics_ms: None,
+            open_loop: false,
+            connections: 0,
         }
     }
 }
@@ -77,8 +90,13 @@ impl Default for LoadgenConfig {
 /// straight rendering of this struct (see [`crate::bench`]).
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
-    /// Clients that ran.
+    /// Clients that ran (closed loop) or connections driven (open loop).
     pub clients: usize,
+    /// Whether the run was open-loop.
+    pub open_loop: bool,
+    /// Concurrent connections sustained: equals `clients` in closed-loop
+    /// mode, the `--connections` count in open-loop mode.
+    pub connections: usize,
     /// LCG seed used.
     pub seed: u64,
     /// Wall-clock time of the measurement phase in seconds.
@@ -139,7 +157,7 @@ pub struct LoadgenReport {
 
 /// One query from the fixed pool.
 #[derive(Clone, Copy)]
-struct Triple {
+pub(crate) struct Triple {
     machine: MachineId,
     kernel: KernelName,
     precision: Precision,
@@ -147,7 +165,7 @@ struct Triple {
 }
 
 impl Triple {
-    fn request_line(&self, id: u64) -> String {
+    pub(crate) fn request_line(&self, id: u64) -> String {
         Json::obj(vec![
             ("id", Json::Num(id as f64)),
             ("op", Json::str("estimate")),
@@ -172,7 +190,7 @@ impl Triple {
 
 /// The reproducible query pool: a slice of the catalog × kernel × config
 /// space, small enough to warm the cache, wide enough to exercise it.
-fn query_pool() -> Vec<Triple> {
+pub(crate) fn query_pool() -> Vec<Triple> {
     let machines = [MachineId::Sg2042, MachineId::AmdRome, MachineId::IntelIcelake];
     let kernels: Vec<KernelName> = KernelName::ALL.into_iter().step_by(7).collect();
     let mut pool = Vec::new();
@@ -188,30 +206,30 @@ fn query_pool() -> Vec<Triple> {
     pool
 }
 
-fn lcg_next(state: &mut u64) -> u64 {
+pub(crate) fn lcg_next(state: &mut u64) -> u64 {
     *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
     *state >> 33
 }
 
 /// The four time fields of an estimate reply, as exact bit patterns.
-type EstimateBits = [u64; 4];
+pub(crate) type EstimateBits = [u64; 4];
 
 #[derive(Default)]
-struct ClientOutcome {
-    sent: u64,
-    ok: u64,
-    overloaded: u64,
-    deadline_exceeded: u64,
-    shutting_down: u64,
-    protocol_errors: u64,
-    latencies_us: Vec<f64>,
+pub(crate) struct ClientOutcome {
+    pub(crate) sent: u64,
+    pub(crate) ok: u64,
+    pub(crate) overloaded: u64,
+    pub(crate) deadline_exceeded: u64,
+    pub(crate) shutting_down: u64,
+    pub(crate) protocol_errors: u64,
+    pub(crate) latencies_us: Vec<f64>,
     /// First observed reply bits per pool index, plus a flag if a later
     /// reply for the same query disagreed.
-    replies: HashMap<usize, EstimateBits>,
-    divergent_replies: bool,
+    pub(crate) replies: HashMap<usize, EstimateBits>,
+    pub(crate) divergent_replies: bool,
 }
 
-fn reply_bits(result: &Json) -> Option<EstimateBits> {
+pub(crate) fn reply_bits(result: &Json) -> Option<EstimateBits> {
     let mut bits = [0u64; 4];
     for (slot, field) in
         ["seconds", "compute_seconds", "memory_seconds", "overhead_seconds"].iter().enumerate()
@@ -390,7 +408,17 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 /// reported through [`LoadgenReport::protocol_errors`] instead, so a
 /// misbehaving server produces a report, not a panic.
 pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
-    assert!(cfg.clients >= 1, "need at least one client");
+    if cfg.open_loop {
+        #[cfg(not(target_os = "linux"))]
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "--open-loop requires Linux (epoll)",
+        ));
+        assert!(cfg.connections >= 1, "open-loop mode needs at least one connection");
+        assert!(cfg.rps > 0.0, "open-loop mode needs an --rps pacing target");
+    } else {
+        assert!(cfg.clients >= 1, "need at least one client");
+    }
     let pool = query_pool();
     let (mut control, mut control_reader) = control_connection(&cfg.addr).ok_or_else(|| {
         std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "cannot reach server")
@@ -410,11 +438,21 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
                 let (addr, stop) = (cfg.addr.clone(), &stop_polling);
                 scope.spawn(move || metrics_poller(&addr, every, stop))
             });
-            let handles: Vec<_> = (0..cfg.clients)
-                .map(|i| scope.spawn(move || client_loop(cfg, pool_ref, i)))
-                .collect();
-            let outcomes =
-                handles.into_iter().map(|h| h.join().expect("client panicked")).collect();
+            let outcomes = if cfg.open_loop {
+                #[cfg(target_os = "linux")]
+                {
+                    crate::openloop::run_clients(cfg, pool_ref)
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    unreachable!("open_loop rejected above on non-Linux")
+                }
+            } else {
+                let handles: Vec<_> = (0..cfg.clients)
+                    .map(|i| scope.spawn(move || client_loop(cfg, pool_ref, i)))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+            };
             stop_polling.store(true, Ordering::Relaxed);
             (outcomes, poller.map(|h| h.join().expect("poller panicked")))
         });
@@ -425,8 +463,11 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         .and_then(cache_counters);
 
     // Fold the per-client outcomes.
+    let effective_conns = if cfg.open_loop { cfg.connections } else { cfg.clients };
     let mut report = LoadgenReport {
-        clients: cfg.clients,
+        clients: effective_conns,
+        open_loop: cfg.open_loop,
+        connections: effective_conns,
         seed: cfg.seed,
         wall_seconds,
         sent: 0,

@@ -65,6 +65,22 @@ pub struct ServeConfig {
     pub metrics_file: Option<String>,
     /// Self-scrape period for [`ServeConfig::metrics_file`].
     pub scrape_every: Duration,
+    /// Serve connections from the single-threaded epoll reactor instead
+    /// of one reader thread per connection (Linux only). Responses are
+    /// bit-identical between the two modes; only the transport changes.
+    pub reactor: bool,
+    /// Connection cap: accepts beyond this many concurrently open
+    /// connections are answered with a one-line `overloaded` error and
+    /// closed (reactor mode; the threaded mode's cap is the OS thread
+    /// limit).
+    pub max_conns: usize,
+    /// Reactor mode: connections with no inbound traffic for this long
+    /// (and nothing in flight) are closed. `Duration::ZERO` disables.
+    pub idle_timeout: Duration,
+    /// Reactor mode: a connection whose buffered unsent replies exceed
+    /// this many bytes (a slow or stalled reader) is dropped so one
+    /// client can never balloon server memory or block the event loop.
+    pub max_outbox_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +93,10 @@ impl Default for ServeConfig {
             slo_ms: 100.0,
             metrics_file: None,
             scrape_every: Duration::from_secs(1),
+            reactor: false,
+            max_conns: 4096,
+            idle_timeout: Duration::ZERO,
+            max_outbox_bytes: 256 * 1024,
         }
     }
 }
@@ -110,6 +130,14 @@ pub struct ServerStats {
     pub max_batch: AtomicU64,
     /// Current admission-queue depth.
     pub queue_depth: AtomicUsize,
+    /// Connections refused at accept because `max_conns` was reached
+    /// (reactor mode; always present so `stats` keeps one shape).
+    pub rejected_conn_cap: AtomicU64,
+    /// Connections closed by the idle timeout (reactor mode).
+    pub idle_disconnects: AtomicU64,
+    /// Connections dropped because buffered replies exceeded
+    /// `max_outbox_bytes` (reactor mode).
+    pub dropped_slow: AtomicU64,
 }
 
 impl ServerStats {
@@ -135,6 +163,9 @@ impl ServerStats {
                     ("batch_items", num(self.batch_items.load(Ordering::Relaxed))),
                     ("max_batch", num(self.max_batch.load(Ordering::Relaxed))),
                     ("queue_depth", num(self.queue_depth.load(Ordering::Relaxed) as u64)),
+                    ("rejected_conn_cap", num(self.rejected_conn_cap.load(Ordering::Relaxed))),
+                    ("idle_disconnects", num(self.idle_disconnects.load(Ordering::Relaxed))),
+                    ("dropped_slow", num(self.dropped_slow.load(Ordering::Relaxed))),
                     ("draining", Json::Bool(draining)),
                 ]),
             ),
@@ -166,21 +197,56 @@ fn num(v: u64) -> Json {
     Json::Num(v as f64)
 }
 
-/// One connection's write half; replies from the reader and the batcher
-/// are serialised through the mutex, one full line per write.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
+/// One connection's reply sink. In threaded mode replies from the reader
+/// and the batcher are serialised through a mutex and written directly;
+/// in reactor mode they are posted to the reactor's outbox (a mutex push
+/// plus an eventfd wakeup), so the batcher never blocks on a slow
+/// client's socket.
+pub(crate) enum ReplySink {
+    /// Direct blocking writes to a per-connection stream clone.
+    Stream(Mutex<TcpStream>),
+    /// Hand the line to the reactor thread, which owns the socket.
+    #[cfg(target_os = "linux")]
+    Reactor {
+        /// The reactor's token for the destination connection.
+        conn: u64,
+        /// The reactor's cross-thread reply mailbox.
+        hub: Arc<crate::reactor::Hub>,
+    },
+}
+
+/// One connection's write half, shared by the reader/reactor and the
+/// batcher via `Arc` (an outstanding [`WorkItem`] holds a clone, which
+/// the reactor also uses to detect in-flight work on a connection).
+pub(crate) struct ConnWriter {
+    sink: ReplySink,
 }
 
 impl ConnWriter {
-    fn send_line(&self, line: &str) {
-        let mut guard = match self.stream.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        // A failed write means the client went away; the reader will see
-        // EOF and close the connection, so the error needs no handling.
-        let _ = guard.write_all(line.as_bytes()).and_then(|()| guard.write_all(b"\n"));
+    pub(crate) fn stream(stream: TcpStream) -> ConnWriter {
+        ConnWriter { sink: ReplySink::Stream(Mutex::new(stream)) }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub(crate) fn reactor(conn: u64, hub: Arc<crate::reactor::Hub>) -> ConnWriter {
+        ConnWriter { sink: ReplySink::Reactor { conn, hub } }
+    }
+
+    pub(crate) fn send_line(&self, line: &str) {
+        match &self.sink {
+            ReplySink::Stream(stream) => {
+                let mut guard = match stream.lock() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                };
+                // A failed write means the client went away; the reader
+                // will see EOF and close the connection, so the error
+                // needs no handling.
+                let _ = guard.write_all(line.as_bytes()).and_then(|()| guard.write_all(b"\n"));
+            }
+            #[cfg(target_os = "linux")]
+            ReplySink::Reactor { conn, hub } => hub.post(*conn, line),
+        }
     }
 }
 
@@ -288,29 +354,33 @@ fn observe_request(
     });
 }
 
-struct Shared {
-    config: ServeConfig,
-    stats: ServerStats,
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) stats: ServerStats,
     stages: Stages,
     cache_at_start: cache::CacheStats,
     draining: AtomicBool,
-    batcher_done: AtomicBool,
-    active_conns: AtomicUsize,
+    pub(crate) batcher_done: AtomicBool,
+    pub(crate) active_conns: AtomicUsize,
     queue_tx: SyncSender<WorkItem>,
 }
 
 impl Shared {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
     }
 
-    fn begin_drain(&self) {
+    pub(crate) fn begin_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn batcher_done(&self) -> bool {
+        self.batcher_done.load(Ordering::SeqCst)
     }
 
     /// The `Retry-After` hint attached to `overloaded` replies: roughly
     /// how long it takes the batcher to work through a full queue.
-    fn retry_after_ms(&self) -> u64 {
+    pub(crate) fn retry_after_ms(&self) -> u64 {
         let window_ms = self.config.batch_window.as_millis() as u64;
         let batches_queued = self.config.queue_capacity.div_ceil(self.config.batch_max) as u64;
         (window_ms.max(1) * batches_queued).clamp(1, 1_000)
@@ -372,7 +442,23 @@ impl Server {
                 .spawn(move || batcher_loop(&shared, &queue_rx))
                 .expect("spawn batcher")
         };
-        let accepter = {
+        let accepter = if shared.config.reactor {
+            #[cfg(target_os = "linux")]
+            {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("rvhpc-serve-reactor".to_string())
+                    .spawn(move || crate::reactor::reactor_loop(&shared, listener))
+                    .expect("spawn reactor")
+            }
+            #[cfg(not(target_os = "linux"))]
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "--reactor requires Linux (epoll)",
+                ));
+            }
+        } else {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
                 .name("rvhpc-serve-listener".to_string())
@@ -492,7 +578,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
     let _ = stream.set_nodelay(true);
     let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(ConnWriter { stream: Mutex::new(w) }),
+        Ok(w) => Arc::new(ConnWriter::stream(w)),
         Err(_) => return,
     };
     let mut reader = BufReader::new(stream);
@@ -520,7 +606,7 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     }
 }
 
-fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
+pub(crate) fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: &str) {
     let received = Instant::now();
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     let (id, parsed) = parse_request(line);

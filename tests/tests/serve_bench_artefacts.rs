@@ -1,0 +1,83 @@
+//! The reactor-scaling acceptance gate: the checked-in serve-bench pair
+//! (`SERVE_BENCH_THREADED.json` from the thread-per-connection server,
+//! `SERVE_BENCH_REACTOR.json` from the epoll reactor, both driven by the
+//! open-loop engine at the same 400 req/s aggregate pacing) must show the
+//! reactor sustaining at least 5x the concurrent connections at
+//! equal-or-better p99 latency.
+
+use rvhpc_serve::bench::validate_serve_artefact;
+use rvhpc_trace::json::Json;
+use std::path::PathBuf;
+
+fn load(name: &str) -> Json {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    validate_serve_artefact(&text).unwrap_or_else(|e| panic!("{name} is invalid: {e}"));
+    Json::parse(&text).expect("validated artefact parses")
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        cur = cur.get(key).unwrap_or_else(|| panic!("missing `{}` in artefact", path.join(".")));
+    }
+    cur.as_f64().unwrap_or_else(|| panic!("`{}` is not a number", path.join(".")))
+}
+
+#[test]
+fn checked_in_reactor_run_sustains_5x_connections_at_equal_or_better_p99() {
+    let threaded = load("SERVE_BENCH_THREADED.json");
+    let reactor = load("SERVE_BENCH_REACTOR.json");
+
+    // Both runs used the open-loop engine (connections decoupled from OS
+    // threads) so the connection counts are genuinely concurrent sockets.
+    for (name, doc) in [("threaded", &threaded), ("reactor", &reactor)] {
+        let mode = doc
+            .get("config")
+            .and_then(|c| c.get("mode"))
+            .and_then(Json::as_str)
+            .unwrap_or_else(|| panic!("{name}: config.mode missing"));
+        assert_eq!(mode, "open_loop", "{name} run must be open-loop");
+    }
+
+    let threaded_conns = num(&threaded, &["config", "connections"]);
+    let reactor_conns = num(&reactor, &["config", "connections"]);
+    assert!(
+        reactor_conns >= 5.0 * threaded_conns,
+        "reactor must sustain >= 5x the connections: {reactor_conns} vs {threaded_conns}"
+    );
+
+    // Equal pacing, so the latency comparison is apples to apples.
+    assert_eq!(
+        num(&threaded, &["config", "rps"]),
+        num(&reactor, &["config", "rps"]),
+        "both runs must use the same aggregate request rate"
+    );
+
+    let threaded_p99 = num(&threaded, &["latency_us", "p99"]);
+    let reactor_p99 = num(&reactor, &["latency_us", "p99"]);
+    assert!(
+        reactor_p99 <= threaded_p99,
+        "reactor p99 must be equal or better at 5x connections: \
+         {reactor_p99:.0}us (reactor, {reactor_conns} conns) vs \
+         {threaded_p99:.0}us (threaded, {threaded_conns} conns)"
+    );
+
+    // Neither run is allowed to buy its numbers with dropped or unverified
+    // work: every request answered, every answer bit-identical.
+    for (name, doc) in [("threaded", &threaded), ("reactor", &reactor)] {
+        assert!(num(doc, &["requests", "sent"]) >= 4096.0, "{name}: substantial run");
+        assert_eq!(
+            num(doc, &["requests", "sent"]),
+            num(doc, &["requests", "ok"]),
+            "{name}: every request answered ok"
+        );
+        assert_eq!(num(doc, &["requests", "protocol_errors"]), 0.0, "{name}: clean run");
+        assert_eq!(
+            doc.get("verified_bit_identical"),
+            Some(&Json::Bool(true)),
+            "{name}: replies verified against the local model"
+        );
+    }
+}
