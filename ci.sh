@@ -31,6 +31,21 @@ cargo run --release -p rvhpc --bin repro -- lint --asm "$BAD_ASM" || rc=$?
 rm -f "$BAD_ASM"
 test "$rc" -eq 3
 
+# Lint artefact round trip: a report-bearing `rvhpc-lint-v1` document
+# produced by the sweep must validate under `lint --check` (exit 0), and
+# a schema-retagged copy must be a format disagreement (exit 2), mirroring
+# the `bench --check` contract.
+LINT_DOC="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- lint --kernel Basic_DAXPY \
+    --report --json > "$LINT_DOC"
+cargo run --release -p rvhpc --bin repro -- lint --check "$LINT_DOC"
+BAD_LINT="$(mktemp)"
+sed 's/rvhpc-lint-v1/rvhpc-lint-v999/' "$LINT_DOC" > "$BAD_LINT"
+rc=0
+cargo run --release -p rvhpc --bin repro -- lint --check "$BAD_LINT" || rc=$?
+rm -f "$LINT_DOC" "$BAD_LINT"
+test "$rc" -eq 2
+
 # Perf trajectory: one cold batched pass of every experiment through the
 # shared sweep engine. The artefact must be schema-valid, NaN-free, name
 # all 12 experiments, and show a non-zero cross-experiment cache hit rate
@@ -127,3 +142,52 @@ test -s "$OBS_METRICS_FILE"
 head -n 1 "$OBS_METRICS_FILE" > "$OBS_SNAP"
 cargo run --release -p rvhpc --bin repro -- top --check "$OBS_SNAP"
 rm -f "$OBS_PORT_FILE" "$OBS_METRICS_FILE" "$OBS_SNAP" "$BAD_SNAP"
+
+# Submission smoke: the lint-gated ingestion path end to end. A server
+# with a pinned fuel ceiling admits one clean kernel (which must then
+# round-trip through two bit-identical estimates, exit 0) and rejects a
+# seeded-defect kernel before any execution (exit 3). The e2e suite
+# covering eviction, unknown-artifact errors and machine submission runs
+# under the CI-pinned seed for a reproducible schedule.
+SUBMIT_PORT_FILE="$(mktemp)"
+CLEAN_ASM="$(mktemp)"
+cat > "$CLEAN_ASM" <<'EOF'
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    vle32.v v2, (x12)
+    vfmacc.vv v2, v1, v1
+    vse32.v v2, (x13)
+    slli x6, x5, 2
+    add x11, x11, x6
+    add x12, x12, x6
+    add x13, x13, x6
+    sub x10, x10, x5
+    bne x10, x0, loop
+    ret
+EOF
+DIRTY_ASM="$(mktemp)"
+cat > "$DIRTY_ASM" <<'EOF'
+    vle32.v v1, (x11)
+    ret
+EOF
+cargo run --release -p rvhpc --bin repro -- serve --addr 127.0.0.1:0 \
+    --max-fuel 1000000 --port-file "$SUBMIT_PORT_FILE" &
+SUBMIT_PID=$!
+for _ in $(seq 1 100); do
+    test -s "$SUBMIT_PORT_FILE" && break
+    sleep 0.1
+done
+SUBMIT_ADDR="$(cat "$SUBMIT_PORT_FILE")"
+cargo run --release -p rvhpc --bin repro -- submit --addr "$SUBMIT_ADDR" \
+    --asm "$CLEAN_ASM" --estimate
+rc=0
+cargo run --release -p rvhpc --bin repro -- submit --addr "$SUBMIT_ADDR" \
+    --asm "$DIRTY_ASM" || rc=$?
+test "$rc" -eq 3
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$SUBMIT_ADDR" \
+    --clients 1 --requests 0 --shutdown
+wait "$SUBMIT_PID"
+rm -f "$SUBMIT_PORT_FILE" "$CLEAN_ASM" "$DIRTY_ASM"
+RVHPC_SEED=2042 cargo test --release -q -p rvhpc-integration-tests \
+    --test serve_submit_e2e --test admission_fuzz

@@ -1,0 +1,546 @@
+//! Resource-bound inference on top of the settled dataflow states.
+//!
+//! Three bounds come out of one pass:
+//!
+//! * **steps** — a static upper bound on interpreter steps, from
+//!   trip-count intervals for the two strip-mine loop shapes the compiler
+//!   emits (vl-driven `vsetvli`/`sub` loops and constant-step `addi`
+//!   loops). A back-edge that matches neither shape, or whose counter has
+//!   no finite entry bound, is an `unbounded-loop` finding and the step
+//!   bound is withheld.
+//! * **bytes** — an upper bound on the bytes the interpreter's memory
+//!   counter will record, plus a per-declared-buffer touched-byte span
+//!   (the hull of every attributable access, clamped to the extent).
+//! * **peak live vector-register bytes** — the high-water mark of
+//!   possibly-initialised vector registers times the register width.
+//!
+//! Soundness stance: every bound is an over-approximation of anything a
+//! real run can do, *provided the program is otherwise finding-free* (the
+//! admission pipeline only consumes bounds from clean reports, and the
+//! `bounds-soundness` oracle in `rvhpc-verify` cross-checks them against
+//! actual interpreter runs for every codegen program).
+
+use crate::cfg::Cfg;
+use crate::dataflow::{forward_entry_states, Extras};
+use crate::diag::{Diagnostic, Pass};
+use crate::state::{vlmax, AbsState, XVal, POS_INF};
+use crate::AnalysisSpec;
+use rvhpc_rvv::inst::{BranchCond, Inst, Program, XReg};
+use rvhpc_rvv::VLEN_BITS;
+
+/// One memory event recorded by the emission walk, consumed here.
+pub(crate) struct MemEvent {
+    /// Instruction index of the access.
+    pub at: usize,
+    /// `(buffer, lo, hi)` absolute byte interval (half-open; bounds may be
+    /// ±∞ before clamping). `None` when the base pointer could not be
+    /// attributed to a declared buffer.
+    pub region: Option<(u16, i64, i64)>,
+    /// Upper bound on the bytes the interpreter counts for one execution.
+    pub bytes: i64,
+}
+
+/// Inferred touched-byte span for one declared buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferBound {
+    /// Buffer name from the [`crate::AnalysisSpec`].
+    pub name: String,
+    /// Declared extent in bytes.
+    pub len_bytes: i64,
+    /// Inferred touched span `[touched_lo, touched_hi)`, clamped to the
+    /// extent; empty when the two are equal.
+    pub touched_lo: i64,
+    /// One past the highest touched byte.
+    pub touched_hi: i64,
+}
+
+/// Statically inferred resource bounds for one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bounds {
+    /// Upper bound on interpreter steps; `None` when any loop failed to
+    /// bound.
+    pub step_bound: Option<u64>,
+    /// Upper bound on the interpreter's touched-bytes counter; `None`
+    /// whenever `step_bound` is.
+    pub mem_bytes_bound: Option<u64>,
+    /// Per-declared-buffer touched spans.
+    pub buffers: Vec<BufferBound>,
+    /// Peak possibly-live vector-register bytes at any program point.
+    pub peak_vreg_bytes: u64,
+    /// Some memory access used a base pointer that is not a declared
+    /// buffer: the per-buffer spans do not cover it (admission rejects
+    /// such programs).
+    pub unattributed_mem: bool,
+}
+
+/// One natural loop discovered from a back-edge.
+struct NaturalLoop {
+    /// The back-edge's target (lowest-index block of the loop).
+    header: usize,
+    /// The back-edge's source; its terminator is the loop branch.
+    latch: usize,
+    /// Membership bitmap over blocks.
+    member: Vec<bool>,
+    /// Inferred trip-count upper bound; `None` = unbounded.
+    trips: Option<u64>,
+}
+
+/// Infer bounds and emit `unbounded-loop` findings.
+pub(crate) fn infer(
+    program: &Program,
+    cfg: &Cfg,
+    spec: &AnalysisSpec,
+    in_states: &[Option<AbsState>],
+    extras: &Extras,
+) -> (Bounds, Vec<Diagnostic>) {
+    let nb = cfg.blocks.len();
+    let mut diags = Vec::new();
+
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for &s in &block.succs {
+            preds[s].push(b);
+        }
+    }
+
+    // Natural loop per back-edge (an edge to the same or a lower block
+    // index): everything that reaches the latch without passing the
+    // header. Unreachable loops are skipped entirely.
+    let mut loops: Vec<NaturalLoop> = Vec::new();
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for &s in &block.succs {
+            if s > b || in_states[b].is_none() {
+                continue;
+            }
+            let mut member = vec![false; nb];
+            member[s] = true;
+            member[b] = true;
+            let mut stack = if b == s { Vec::new() } else { vec![b] };
+            while let Some(x) = stack.pop() {
+                for &p in &preds[x] {
+                    if !member[p] {
+                        member[p] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(NaturalLoop { header: s, latch: b, member, trips: None });
+        }
+    }
+
+    // The trip-count patterns assume a unique exit test and no interfering
+    // writes, so loops must be pairwise disjoint and carry a single
+    // back-edge each; anything tangled is honestly unbounded.
+    let mut tangled = vec![false; loops.len()];
+    for i in 0..loops.len() {
+        for j in i + 1..loops.len() {
+            if loops[i].member.iter().zip(&loops[j].member).any(|(a, b)| *a && *b) {
+                tangled[i] = true;
+                tangled[j] = true;
+            }
+        }
+    }
+
+    let fwd = forward_entry_states(program, cfg, spec);
+    for (li, lp) in loops.iter_mut().enumerate() {
+        let term_idx = cfg.blocks[lp.latch].end - 1;
+        if tangled[li] {
+            diags.push(Diagnostic::at(
+                Pass::UnboundedLoop,
+                term_idx,
+                "loop shares blocks with another loop (nested or overlapping); \
+                 its trip count cannot be bounded statically"
+                    .to_string(),
+            ));
+            continue;
+        }
+        match infer_trips(program, cfg, lp, &fwd) {
+            Ok(trips) => lp.trips = Some(trips),
+            Err(why) => diags.push(Diagnostic::at(
+                Pass::UnboundedLoop,
+                term_idx,
+                format!("loop trip count cannot be bounded statically: {why}"),
+            )),
+        }
+    }
+
+    // Per-block execution multipliers: 0 unreachable, 1 straight-line,
+    // trips+1 inside a bounded loop (the +1 absorbs the entry pass).
+    let all_bounded = loops.iter().all(|l| l.trips.is_some());
+    let mut mult: Vec<u64> = in_states.iter().map(|s| u64::from(s.is_some())).collect();
+    for lp in &loops {
+        let Some(t) = lp.trips else { continue };
+        for (b, m) in mult.iter_mut().enumerate() {
+            if lp.member[b] && *m > 0 {
+                *m = t.saturating_add(1);
+            }
+        }
+    }
+
+    let step_bound = all_bounded.then(|| {
+        cfg.blocks
+            .iter()
+            .enumerate()
+            .map(|(b, blk)| ((blk.end - blk.start) as u64).saturating_mul(mult[b]))
+            .fold(0u64, u64::saturating_add)
+    });
+
+    // Map instruction index -> block for the memory events.
+    let mut block_of = vec![0usize; program.insts.len()];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for slot in &mut block_of[blk.start..blk.end] {
+            *slot = b;
+        }
+    }
+
+    let mut unattributed_mem = false;
+    let mut spans: Vec<Option<(i64, i64)>> = vec![None; spec.buffers.len()];
+    let mut mem_bytes: u64 = 0;
+    for ev in &extras.mem_events {
+        let m = mult[block_of[ev.at]];
+        mem_bytes = mem_bytes.saturating_add((ev.bytes.max(0) as u64).saturating_mul(m));
+        match ev.region {
+            Some((buf, lo, hi)) if (buf as usize) < spec.buffers.len() => {
+                let extent = spec.buffers[buf as usize].len_bytes;
+                let lo = lo.clamp(0, extent);
+                let hi = hi.clamp(0, extent);
+                let slot = &mut spans[buf as usize];
+                *slot = Some(match *slot {
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                    None => (lo, hi),
+                });
+            }
+            _ => unattributed_mem = true,
+        }
+    }
+    let buffers = spec
+        .buffers
+        .iter()
+        .zip(&spans)
+        .map(|(b, span)| {
+            let (lo, hi) = span.unwrap_or((0, 0));
+            BufferBound {
+                name: b.name.clone(),
+                len_bytes: b.len_bytes,
+                touched_lo: lo,
+                touched_hi: hi.max(lo),
+            }
+        })
+        .collect();
+
+    let bounds = Bounds {
+        step_bound,
+        mem_bytes_bound: all_bounded.then_some(mem_bytes),
+        buffers,
+        peak_vreg_bytes: u64::from(extras.peak_vregs) * (VLEN_BITS as u64 / 8),
+        unattributed_mem,
+    };
+    (bounds, diags)
+}
+
+/// Registers an instruction writes, for the interference scan.
+fn writes_x(inst: &Inst) -> Option<XReg> {
+    match inst {
+        Inst::Li { rd, .. }
+        | Inst::Mv { rd, .. }
+        | Inst::Add { rd, .. }
+        | Inst::Addi { rd, .. }
+        | Inst::Sub { rd, .. }
+        | Inst::Mul { rd, .. }
+        | Inst::Slli { rd, .. } => Some(*rd),
+        Inst::Vsetvli { rd, .. } if rd.0 != 0 => Some(*rd),
+        _ => None,
+    }
+}
+
+/// Instruction indices inside the loop, in program order.
+fn loop_insts<'a>(
+    cfg: &'a Cfg,
+    lp: &'a NaturalLoop,
+) -> impl Iterator<Item = std::ops::Range<usize>> + 'a {
+    cfg.blocks
+        .iter()
+        .enumerate()
+        .filter(move |(b, _)| lp.member[*b])
+        .map(|(_, blk)| blk.start..blk.end)
+}
+
+/// Trip-count upper bound for one single-back-edge loop, or the reason it
+/// has none. Two shapes are recognised, matching the two strip-mine idioms
+/// the compiler emits:
+///
+/// * **vl-driven** (`VLA`): the sole write to the counter `c` is
+///   `sub c, c, v` where `v` is written only by `vsetvli v, c, …`, the
+///   exit test is `bne c, x0`; each iteration retires
+///   `min(c, VLMAX)` ≥ 1 elements, so a finite entry bound `H` gives
+///   `⌈H / VLMAX⌉` trips.
+/// * **constant-step** (`VLS`): the sole write is `addi c, c, -k`
+///   (`k > 0`) and the counter enters as a known constant `c0 ≥ 0`
+///   divisible by `k` (a non-divisible constant steps *past* zero and the
+///   `bne` never exits — genuinely unbounded).
+fn infer_trips(
+    program: &Program,
+    cfg: &Cfg,
+    lp: &NaturalLoop,
+    fwd: &[Option<AbsState>],
+) -> Result<u64, String> {
+    // Loops in this CFG construction have exactly one latch per back-edge
+    // and we are called per back-edge; a second back-edge into the same
+    // header shows up as a tangled (overlapping) loop pair upstream.
+    let term_idx = cfg.blocks[lp.latch].end - 1;
+    let Inst::Branch { cond, rs1, rs2, .. } = &program.insts[term_idx] else {
+        return Err("the back-edge is unconditional".to_string());
+    };
+    if *cond != BranchCond::Ne {
+        return Err(format!("exit test is not a `bne counter, x0` (got {cond:?})"));
+    }
+    let counter = if rs2.0 == 0 && rs1.0 != 0 {
+        *rs1
+    } else if rs1.0 == 0 && rs2.0 != 0 {
+        *rs2
+    } else {
+        return Err("exit test does not compare a counter against x0".to_string());
+    };
+
+    let writes: Vec<usize> = loop_insts(cfg, lp)
+        .flatten()
+        .filter(|&i| writes_x(&program.insts[i]) == Some(counter))
+        .collect();
+    let [w] = writes[..] else {
+        return Err(format!(
+            "counter x{} is written {} times in the loop (want exactly one)",
+            counter.0,
+            writes.len()
+        ));
+    };
+
+    let entry = fwd[lp.header]
+        .as_ref()
+        .ok_or_else(|| "the loop header is only reachable through its own back-edge".to_string())?;
+
+    match &program.insts[w] {
+        // Pattern A: vl-driven strip-mine.
+        Inst::Sub { rd: _, rs1: c, rs2: v } if *c == counter => {
+            let vl_writes: Vec<usize> = loop_insts(cfg, lp)
+                .flatten()
+                .filter(|&i| writes_x(&program.insts[i]) == Some(*v))
+                .collect();
+            let [vw] = vl_writes[..] else {
+                return Err(format!(
+                    "the step register x{} is written {} times in the loop (want one vsetvli)",
+                    v.0,
+                    vl_writes.len()
+                ));
+            };
+            let Inst::Vsetvli { rs1: avl, sew, lmul, .. } = &program.insts[vw] else {
+                return Err(format!("the step register x{} is not written by a vsetvli", v.0));
+            };
+            if *avl != counter {
+                return Err(format!(
+                    "the loop vsetvli takes its AVL from x{}, not the counter x{}",
+                    avl.0, counter.0
+                ));
+            }
+            if !(vw < w && w < term_idx) {
+                return Err("vsetvli / sub / bne are not in strip-mine order".to_string());
+            }
+            let (lo, hi) = match entry.x_val[counter.0 as usize & 31] {
+                XVal::Const(c) => (c, c),
+                XVal::Range { lo, hi } => (lo, hi),
+                _ => {
+                    return Err(format!(
+                        "counter x{} has no known integer interval at loop entry",
+                        counter.0
+                    ))
+                }
+            };
+            if lo < 0 {
+                return Err(format!(
+                    "counter x{} may be negative at loop entry, which never reaches zero",
+                    counter.0
+                ));
+            }
+            if hi == POS_INF {
+                return Err(format!(
+                    "counter x{} has no finite upper bound at loop entry",
+                    counter.0
+                ));
+            }
+            let vmax = vlmax(*sew, *lmul);
+            Ok((hi as u64).div_ceil(vmax as u64).max(1))
+        }
+        // Pattern B: constant-step countdown.
+        Inst::Addi { rd: _, rs1: c, imm } if *c == counter && *imm < 0 => {
+            let k = -*imm;
+            if w >= term_idx {
+                return Err("the counter update does not precede the exit test".to_string());
+            }
+            let XVal::Const(c0) = entry.x_val[counter.0 as usize & 31] else {
+                return Err(format!(
+                    "counter x{} is not a known constant at loop entry",
+                    counter.0
+                ));
+            };
+            if c0 < 0 {
+                return Err(format!("counter x{} enters the loop negative", counter.0));
+            }
+            if c0 % k != 0 {
+                return Err(format!(
+                    "counter x{} enters at {c0}, not a multiple of the step {k}: \
+                     the `bne` exit steps past zero and never fires",
+                    counter.0
+                ));
+            }
+            Ok(((c0 / k) as u64).max(1))
+        }
+        other => Err(format!(
+            "the counter update `{other:?}` matches neither strip-mine shape \
+             (vl-driven `sub` or constant-step `addi`)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{analyze_program, analyze_report, AnalysisSpec, Pass};
+    use rvhpc_rvv::{parse_program, Dialect, Sew};
+
+    const VLA_DAXPY: &str = "\
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    vle32.v v2, (x12)
+    vfmacc.vf v2, f0, v1
+    vse32.v v2, (x12)
+    slli x6, x5, 2
+    add x11, x11, x6
+    add x12, x12, x6
+    sub x10, x10, x5
+    bne x10, x0, loop
+    ret
+";
+
+    #[test]
+    fn vla_strip_mine_loop_is_bounded() {
+        let p = parse_program(VLA_DAXPY, Dialect::V10).unwrap();
+        // n = 100, e32/m1 VLMAX = 4 -> 25 trips; the real run takes
+        // 25 x 11 + 1 = 276 steps and touches 25 x 48 = 1200 bytes.
+        let r = analyze_report(&p, &AnalysisSpec::streaming(Sew::E32, 100));
+        assert!(r.clean(), "{:#?}", r.findings);
+        let steps = r.bounds.step_bound.expect("bounded");
+        assert!((276..=400).contains(&steps), "step bound {steps} too loose or unsound");
+        let bytes = r.bounds.mem_bytes_bound.expect("bounded");
+        assert!((1200..=2000).contains(&bytes), "byte bound {bytes}");
+        assert!(!r.bounds.unattributed_mem);
+        // Buffer a (x11) is read across the whole extent; the widened
+        // pointer interval clamps to [0, 400).
+        assert_eq!(r.bounds.buffers[0].name, "a");
+        assert_eq!(r.bounds.buffers[0].touched_hi, 400);
+        // Buffer c (x13) is never touched.
+        assert_eq!(r.bounds.buffers[2].touched_lo, r.bounds.buffers[2].touched_hi);
+        assert!(r.bounds.peak_vreg_bytes >= 2 * 16, "v1 and v2 live");
+        assert!(r.admissible());
+    }
+
+    #[test]
+    fn constant_step_loop_is_bounded() {
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+loop:
+    vle32.v v1, (x11)
+    vadd.vi v1, v1, 1
+    vse32.v v1, (x11)
+    addi x10, x10, -4
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        // n = 64, step 4 -> 16 trips; real run = 1 + 16 x 6 + 1 = 98 steps.
+        let r = analyze_report(&p, &AnalysisSpec::streaming(Sew::E32, 64));
+        assert!(r.clean(), "{:#?}", r.findings);
+        let steps = r.bounds.step_bound.expect("bounded");
+        assert!((98..=150).contains(&steps), "step bound {steps}");
+        assert!(r.admissible());
+    }
+
+    #[test]
+    fn non_divisible_constant_step_is_unbounded() {
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+loop:
+    vle32.v v1, (x11)
+    vse32.v v1, (x11)
+    addi x10, x10, -4
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        // 10 % 4 != 0: the bne steps past zero, genuinely unbounded.
+        let r = analyze_report(&p, &AnalysisSpec::streaming(Sew::E32, 10));
+        let ub = r.findings.iter().find(|d| d.pass == Pass::UnboundedLoop);
+        assert!(ub.is_some(), "{:#?}", r.findings);
+        assert!(ub.unwrap().message.contains("steps past zero"), "{ub:?}");
+        assert_eq!(r.bounds.step_bound, None);
+        assert_eq!(r.bounds.mem_bytes_bound, None);
+        assert!(!r.admissible());
+    }
+
+    #[test]
+    fn unknown_counter_is_report_only() {
+        // The liberal spec gives the counter no interval: the loop cannot
+        // be bounded, which blocks admission but must NOT dirty the plain
+        // lint (hand-written fragments with loops are legal to lint).
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+    vfmv.v.f v1, f0
+loop:
+    vfadd.vv v1, v1, v1
+    addi x10, x10, -1
+    bne x10, x0, loop
+    vse32.v v1, (x11)
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let spec = AnalysisSpec::liberal();
+        assert_eq!(analyze_program(&p, &spec), vec![], "plain lint stays clean");
+        let r = analyze_report(&p, &spec);
+        assert!(r.findings.iter().any(|d| d.pass == Pass::UnboundedLoop), "{:#?}", r.findings);
+        assert_eq!(r.bounds.step_bound, None);
+    }
+
+    #[test]
+    fn straight_line_bounds_are_exact() {
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    vfadd.vv v2, v1, v1
+    vse32.v v2, (x12)
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let r = analyze_report(&p, &AnalysisSpec::streaming(Sew::E32, 4));
+        assert_eq!(r.bounds.step_bound, Some(5), "one pass over five insts");
+        // vl = 4 at e32: one 16-byte load + one 16-byte store.
+        assert_eq!(r.bounds.mem_bytes_bound, Some(32));
+        assert_eq!(r.bounds.buffers[0].touched_hi, 16);
+        assert_eq!(r.bounds.buffers[1].touched_hi, 16);
+        assert_eq!(r.bounds.peak_vreg_bytes, 2 * 16, "v1+v2 at the high-water mark");
+    }
+
+    #[test]
+    fn unattributed_pointer_blocks_admission() {
+        // x9 is live-in but not a declared buffer base: the store cannot
+        // be attributed, so spans do not cover it and admission refuses.
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+    vfmv.v.f v1, f0
+    vse32.v v1, (x9)
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let r = analyze_report(&p, &AnalysisSpec::liberal());
+        assert!(r.clean(), "{:#?}", r.findings);
+        assert!(r.bounds.unattributed_mem);
+        assert!(!r.admissible());
+    }
+}

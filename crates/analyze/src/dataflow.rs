@@ -13,6 +13,7 @@
 //! other passes err on the side of `may`-phrased findings when paths
 //! disagree.
 
+use crate::bounds::{self, Bounds, MemEvent};
 use crate::cfg::{self, Cfg};
 use crate::diag::{Diagnostic, Pass};
 use crate::state::{b_add, b_mul, vlmax, AbsState, Tri, XVal, NEG_INF, POS_INF};
@@ -23,33 +24,108 @@ use rvhpc_rvv::inst::{FReg, Inst, Program, VReg, XReg};
 /// Joins at a block tolerated before interval bounds widen to ±∞.
 const WIDEN_AFTER: u32 = 8;
 
+/// Worklist pops tolerated per CFG block before the fixpoint engine gives
+/// up. The widened lattice has finite height, so real programs settle in a
+/// handful of visits; the fuel only guards against an engine bug looping
+/// forever — and when it runs out we now say so (`widening-exhausted`)
+/// instead of silently returning whatever half-settled states we had.
+pub(crate) const FIXPOINT_FUEL_PER_BLOCK: u64 = 256;
+
+/// Fuel floor so tiny graphs still get plenty of iterations.
+pub(crate) const FIXPOINT_FUEL_MIN: u64 = 4096;
+
+/// Default fixpoint fuel for a graph of `nb` blocks.
+pub(crate) fn default_fuel(nb: usize) -> u64 {
+    (nb as u64).saturating_mul(FIXPOINT_FUEL_PER_BLOCK).max(FIXPOINT_FUEL_MIN)
+}
+
+/// Everything one analysis run produces: the findings and the inferred
+/// resource bounds (when the fixpoint settled; a `widening-exhausted`
+/// finding marks the runs where it did not).
+pub(crate) struct Outcome {
+    /// All findings, including `unbounded-loop` (callers that only lint
+    /// for defects filter that pass out; the report/admission path keeps
+    /// it).
+    pub diags: Vec<Diagnostic>,
+    /// Inferred resource bounds; `None` when the program is empty,
+    /// malformed, or the fixpoint did not settle.
+    pub bounds: Option<Bounds>,
+}
+
 /// Run every forward pass plus the backward dead-store pass.
 pub(crate) fn analyze(program: &Program, spec: &AnalysisSpec) -> Vec<Diagnostic> {
+    analyze_with_fuel(program, spec, None)
+        .diags
+        .into_iter()
+        .filter(|d| d.pass != Pass::UnboundedLoop)
+        .collect()
+}
+
+/// Full analysis with an optional fixpoint-fuel override (tests use a tiny
+/// budget to exercise the exhaustion path).
+pub(crate) fn analyze_with_fuel(
+    program: &Program,
+    spec: &AnalysisSpec,
+    fuel: Option<u64>,
+) -> Outcome {
     let cfg = match cfg::build(program) {
         Ok(cfg) => cfg,
-        Err(diags) => return diags,
+        Err(diags) => return Outcome { diags, bounds: None },
     };
     if program.insts.is_empty() {
-        return Vec::new();
+        return Outcome { diags: Vec::new(), bounds: None };
     }
 
     let entry = AbsState::entry(spec);
-    let in_states = fixpoint(program, &cfg, spec, entry);
+    let fuel = fuel.unwrap_or_else(|| default_fuel(cfg.blocks.len()));
+    let (in_states, exhausted) = fixpoint(program, &cfg, spec, entry, fuel);
+    if exhausted {
+        // Half-settled states could both miss findings and report
+        // definite-sounding ones for paths that never merged, so the only
+        // honest output is the exhaustion itself.
+        rvhpc_trace::counter!("lint.widening_exhausted", 1);
+        let diags = vec![Diagnostic::global(
+            Pass::WideningExhausted,
+            format!(
+                "abstract interpretation ran out of widening fuel ({fuel} block visits for \
+                 {} blocks) before the states settled; no findings or resource bounds \
+                 can be trusted for this program",
+                cfg.blocks.len()
+            ),
+        )];
+        return Outcome { diags, bounds: None };
+    }
 
     // Emission pass: one walk per reachable block from its settled entry
-    // state.
+    // state, also recording the memory events and live-register high-water
+    // mark the bounds inference consumes.
     let mut diags = Vec::new();
     let mut lmul_at: Vec<Option<u32>> = vec![None; program.insts.len()];
+    let mut extras = Extras::default();
     for (b, block) in cfg.blocks.iter().enumerate() {
         let Some(state) = &in_states[b] else { continue };
         let mut st = state.clone();
+        extras.note_live(&st);
         for i in block.start..block.end {
-            transfer(&program.insts[i], i, &mut st, spec, true, &mut diags, &mut lmul_at);
+            transfer(
+                &program.insts[i],
+                i,
+                &mut st,
+                spec,
+                true,
+                &mut diags,
+                &mut lmul_at,
+                Some(&mut extras),
+            );
+            extras.note_live(&st);
         }
     }
 
     let reachable: Vec<bool> = in_states.iter().map(Option::is_some).collect();
     diags.extend(crate::deadstore::find_dead_stores(program, &cfg, &lmul_at, &reachable));
+
+    let (bounds, bound_diags) = bounds::infer(program, &cfg, spec, &in_states, &extras);
+    diags.extend(bound_diags);
 
     let order = |p: Pass| Pass::ALL.iter().position(|q| *q == p).unwrap_or(usize::MAX);
     diags.sort_by(|a, b| {
@@ -60,17 +136,78 @@ pub(crate) fn analyze(program: &Program, spec: &AnalysisSpec) -> Vec<Diagnostic>
         ))
     });
     diags.dedup();
-    diags
+    Outcome { diags, bounds: Some(bounds) }
+}
+
+/// Side-channel facts the emission walk records for bounds inference.
+#[derive(Default)]
+pub(crate) struct Extras {
+    /// One entry per executed memory instruction (vector or scalar float).
+    pub mem_events: Vec<MemEvent>,
+    /// High-water mark of possibly-live vector registers at any walk point.
+    pub peak_vregs: u32,
+}
+
+impl Extras {
+    fn note_live(&mut self, st: &AbsState) {
+        let live = st.v_init.iter().filter(|t| **t != Tri::No).count() as u32;
+        self.peak_vregs = self.peak_vregs.max(live);
+    }
+}
+
+/// Per-block entry states computed over *forward* (index-increasing) edges
+/// only, with no widening. Because every forward edge goes to a
+/// higher-numbered block, one pass in block order settles them. Bounds
+/// inference reads a loop counter's pre-loop interval here — the settled
+/// fixpoint states have already widened those intervals across the
+/// back-edge.
+pub(crate) fn forward_entry_states(
+    program: &Program,
+    cfg: &Cfg,
+    spec: &AnalysisSpec,
+) -> Vec<Option<AbsState>> {
+    let nb = cfg.blocks.len();
+    let mut in_states: Vec<Option<AbsState>> = vec![None; nb];
+    in_states[0] = Some(AbsState::entry(spec));
+    let mut sink_diags = Vec::new();
+    let mut sink_lmul = vec![None; program.insts.len()];
+    for b in 0..nb {
+        let Some(mut st) = in_states[b].clone() else { continue };
+        let block = &cfg.blocks[b];
+        for i in block.start..block.end {
+            transfer(
+                &program.insts[i],
+                i,
+                &mut st,
+                spec,
+                false,
+                &mut sink_diags,
+                &mut sink_lmul,
+                None,
+            );
+        }
+        for &s in &block.succs {
+            if s <= b {
+                continue; // drop back-edges
+            }
+            in_states[s] = Some(match &in_states[s] {
+                Some(old) => old.join(&st, false),
+                None => st.clone(),
+            });
+        }
+    }
+    in_states
 }
 
 /// Worklist fixpoint; returns the settled entry state of each block
-/// (`None` = unreachable).
+/// (`None` = unreachable) and whether the fuel ran out first.
 fn fixpoint(
     program: &Program,
     cfg: &Cfg,
     spec: &AnalysisSpec,
     entry: AbsState,
-) -> Vec<Option<AbsState>> {
+    mut fuel: u64,
+) -> (Vec<Option<AbsState>>, bool) {
     let nb = cfg.blocks.len();
     let mut in_states: Vec<Option<AbsState>> = vec![None; nb];
     let mut visits = vec![0u32; nb];
@@ -78,18 +215,24 @@ fn fixpoint(
     let mut work = vec![0usize];
     let mut sink_diags = Vec::new();
     let mut sink_lmul = vec![None; program.insts.len()];
-    // The widened lattice has finite height, so this bound is never hit;
-    // it only guards against an engine bug looping forever.
-    let mut fuel = nb.saturating_mul(256).max(4096);
     while let Some(b) = work.pop() {
-        fuel -= 1;
         if fuel == 0 {
-            break;
+            return (in_states, true);
         }
+        fuel -= 1;
         let mut st = in_states[b].clone().expect("queued blocks have a state");
         let block = &cfg.blocks[b];
         for i in block.start..block.end {
-            transfer(&program.insts[i], i, &mut st, spec, false, &mut sink_diags, &mut sink_lmul);
+            transfer(
+                &program.insts[i],
+                i,
+                &mut st,
+                spec,
+                false,
+                &mut sink_diags,
+                &mut sink_lmul,
+                None,
+            );
         }
         for &s in &block.succs {
             let widen = visits[s] >= WIDEN_AFTER;
@@ -106,7 +249,7 @@ fn fixpoint(
             }
         }
     }
-    in_states
+    (in_states, false)
 }
 
 /// Effective register-group size under the current LMUL: whole LMUL is the
@@ -124,9 +267,102 @@ fn tri_word(t: Tri) -> Option<&'static str> {
     }
 }
 
+/// Path-insensitive "does garbage exist" combinator: `Yes` dominates
+/// (garbage in either input is garbage in the result), unlike the
+/// path-merge [`Tri::join`].
+fn tri_or(a: Tri, b: Tri) -> Tri {
+    match (a, b) {
+        (Tri::Yes, _) | (_, Tri::Yes) => Tri::Yes,
+        (Tri::No, Tri::No) => Tri::No,
+        _ => Tri::Maybe,
+    }
+}
+
+/// Cap a garbage flag at `Maybe` (used when the observation itself is only
+/// possible on some paths).
+fn tri_maybe(t: Tri) -> Tri {
+    match t {
+        Tri::No => Tri::No,
+        _ => Tri::Maybe,
+    }
+}
+
+/// Does a freshly (re)defined register end up with unspecified tail lanes?
+/// Under `ta` the lanes past `vl` are agnostic; under `tu` the old
+/// contents (and therefore the old tail flag) survive.
+fn tail_after_def(st: &AbsState, old: Tri) -> Tri {
+    let no_tail = match (st.sew, st.lmul) {
+        (Some(s), Some(l)) => st.vl_lo >= vlmax(s, l),
+        _ => false,
+    };
+    if no_tail {
+        return Tri::No;
+    }
+    match st.ta {
+        Some(true) => Tri::Yes,
+        Some(false) => old,
+        None => Tri::join(old, Tri::Yes),
+    }
+}
+
+/// Apply a full-body vector definition's `mask-undefined` effect: the
+/// group's shadow/hard flags are replaced by the defining op's, the tail
+/// flag follows the active tail policy, and a redefinition of `v0` first
+/// orphans every shadow (the mask that made those lanes separable is gone,
+/// so shadow garbage everywhere promotes to hard garbage).
+fn apply_v_def(st: &mut AbsState, base: VReg, g: u32, mut shadow: Tri, mut hard: Tri) {
+    if base.0 == 0 {
+        for r in 0..32 {
+            st.v_hard[r] = tri_or(st.v_hard[r], st.v_shadow[r]);
+            st.v_shadow[r] = Tri::No;
+        }
+        // The new v0's own garbage (if any) came in under the *old* mask,
+        // which no instruction can consult any more.
+        hard = tri_or(hard, shadow);
+        shadow = Tri::No;
+    }
+    for k in 0..g {
+        let r = (base.0 as u32 + k).min(31) as usize;
+        let old_tail = st.v_tail[r];
+        st.v_shadow[r] = shadow;
+        st.v_hard[r] = hard;
+        st.v_tail[r] = tail_after_def(st, old_tail);
+    }
+}
+
+/// Worst shadow/hard garbage flag across a register group.
+fn group_garbage(st: &AbsState, base: VReg, g: u32) -> Tri {
+    let mut worst = Tri::No;
+    for k in 0..g {
+        let r = (base.0 as u32 + k).min(31) as usize;
+        worst = tri_or(worst, tri_or(st.v_shadow[r], st.v_hard[r]));
+    }
+    worst
+}
+
+/// Worst shadow flag alone across a group (for `vmerge` source tracking).
+fn group_shadow(st: &AbsState, base: VReg, g: u32) -> Tri {
+    let mut worst = Tri::No;
+    for k in 0..g {
+        worst = tri_or(worst, st.v_shadow[(base.0 as u32 + k).min(31) as usize]);
+    }
+    worst
+}
+
+/// Worst hard flag alone across a group.
+fn group_hard(st: &AbsState, base: VReg, g: u32) -> Tri {
+    let mut worst = Tri::No;
+    for k in 0..g {
+        worst = tri_or(worst, st.v_hard[(base.0 as u32 + k).min(31) as usize]);
+    }
+    worst
+}
+
 /// One instruction's abstract effect. With `emit` set (the emission walk)
 /// findings are pushed to `diags`; the fixpoint walk passes `false` and a
-/// throwaway sink.
+/// throwaway sink. `extras` (emission walk only) collects the memory
+/// events bounds inference consumes.
+#[allow(clippy::too_many_arguments)]
 fn transfer(
     inst: &Inst,
     at: usize,
@@ -135,6 +371,7 @@ fn transfer(
     emit: bool,
     diags: &mut Vec<Diagnostic>,
     lmul_at: &mut [Option<u32>],
+    mut extras: Option<&mut Extras>,
 ) {
     macro_rules! emit {
         ($pass:expr, $($arg:tt)*) => {
@@ -279,6 +516,45 @@ fn transfer(
         };
     }
 
+    // `mask-undefined` sink: this instruction *observes* the named group's
+    // element values, so policy-unspecified lanes become a finding.
+    macro_rules! sink_v {
+        ($base:expr, $g:expr, $what:expr) => {{
+            let base: VReg = $base;
+            match group_garbage(st, base, $g) {
+                Tri::Yes => emit!(
+                    Pass::MaskUndefined,
+                    "{} observes v{} lanes the tail/mask-agnostic policy left unspecified",
+                    $what,
+                    base.0
+                ),
+                Tri::Maybe => emit!(
+                    Pass::MaskUndefined,
+                    "{} may observe v{} lanes the tail/mask-agnostic policy left \
+                     unspecified on some path",
+                    $what,
+                    base.0
+                ),
+                Tri::No => {}
+            }
+        }};
+    }
+
+    // Record one memory event for bounds inference: the touched buffer
+    // region (when the base pointer is attributable) and an upper bound on
+    // the bytes the interpreter will count for one execution.
+    macro_rules! record_mem {
+        ($rs1:expr, $region_of:expr, $bytes:expr) => {{
+            if let Some(extras) = extras.as_deref_mut() {
+                let region = match xval!($rs1) {
+                    XVal::Ptr { buf, lo, hi } => Some($region_of(buf, lo, hi)),
+                    _ => None,
+                };
+                extras.mem_events.push(MemEvent { at, region, bytes: $bytes });
+            }
+        }};
+    }
+
     match inst {
         Inst::Label(_) | Inst::Ret | Inst::Jump { .. } => {}
 
@@ -321,6 +597,11 @@ fn transfer(
             if emit {
                 check_scalar_load(st, spec, *rs1, *imm, width, at, diags);
             }
+            record_mem!(
+                *rs1,
+                |buf, lo, hi| (buf, b_add(lo, *imm), b_add(b_add(hi, *imm), width)),
+                width
+            );
             st.f_init[fd.0 as usize & 31] = Tri::Yes;
         }
 
@@ -356,6 +637,21 @@ fn transfer(
                 }
                 XVal::Ptr { .. } | XVal::Any => (0, vmax),
             };
+            // Tail lanes left agnostic by an earlier definition become
+            // readable body lanes when `vl` grows: promote them to hard
+            // garbage (definitely when the growth is certain, `Maybe` when
+            // only some path grows).
+            if st.vset != Tri::No {
+                if lo > st.vl_hi {
+                    for r in 0..32 {
+                        st.v_hard[r] = tri_or(st.v_hard[r], st.v_tail[r]);
+                    }
+                } else if hi > st.vl_hi {
+                    for r in 0..32 {
+                        st.v_hard[r] = tri_or(st.v_hard[r], tri_maybe(st.v_tail[r]));
+                    }
+                }
+            }
             st.vset = Tri::Yes;
             st.sew = Some(*sew);
             st.lmul = Some(*lmul);
@@ -376,8 +672,15 @@ fn transfer(
             if emit {
                 check_vector_mem(st, spec, *rs1, None, *eew, "vector load", at, diags);
             }
+            let eb = eew.bytes() as i64;
+            record_mem!(
+                *rs1,
+                |buf, lo, hi| vec_region(st, None, eb, buf, lo, hi),
+                b_mul(st.vl_hi.max(0), eb)
+            );
             aligned!(*vd, "load destination");
             def_v!(*vd, group(st));
+            apply_v_def(st, *vd, group(st), Tri::No, Tri::No);
             lmul_at[at] = Some(group(st));
         }
         Inst::Vse { vs, rs1, eew } => {
@@ -385,9 +688,16 @@ fn transfer(
             check_eew(st, *eew, "store", at, emit, diags);
             read_x!(*rs1);
             read_v!(*vs, group(st));
+            sink_v!(*vs, group(st), "vector store");
             if emit {
                 check_vector_mem(st, spec, *rs1, None, *eew, "vector store", at, diags);
             }
+            let eb = eew.bytes() as i64;
+            record_mem!(
+                *rs1,
+                |buf, lo, hi| vec_region(st, None, eb, buf, lo, hi),
+                b_mul(st.vl_hi.max(0), eb)
+            );
             aligned!(*vs, "store source");
             lmul_at[at] = Some(group(st));
         }
@@ -408,8 +718,22 @@ fn transfer(
                     diags,
                 );
             }
+            let eb = eew.bytes() as i64;
+            let sb = match xval!(stride) {
+                XVal::Const(s) => Some(s),
+                _ => None,
+            };
+            record_mem!(
+                *rs1,
+                |buf, lo, hi| match sb {
+                    Some(s) => vec_region(st, Some(s), eb, buf, lo, hi),
+                    None => (buf, NEG_INF, POS_INF),
+                },
+                b_mul(st.vl_hi.max(0), eb)
+            );
             aligned!(*vd, "load destination");
             def_v!(*vd, group(st));
+            apply_v_def(st, *vd, group(st), Tri::No, Tri::No);
             lmul_at[at] = Some(group(st));
         }
         Inst::Vsse { vs, rs1, stride, eew } => {
@@ -418,6 +742,7 @@ fn transfer(
             read_x!(*rs1);
             read_x!(*stride);
             read_v!(*vs, group(st));
+            sink_v!(*vs, group(st), "strided vector store");
             if emit {
                 check_vector_mem(
                     st,
@@ -430,6 +755,19 @@ fn transfer(
                     diags,
                 );
             }
+            let eb = eew.bytes() as i64;
+            let sb = match xval!(stride) {
+                XVal::Const(s) => Some(s),
+                _ => None,
+            };
+            record_mem!(
+                *rs1,
+                |buf, lo, hi| match sb {
+                    Some(s) => vec_region(st, Some(s), eb, buf, lo, hi),
+                    None => (buf, NEG_INF, POS_INF),
+                },
+                b_mul(st.vl_hi.max(0), eb)
+            );
             aligned!(*vs, "store source");
             lmul_at[at] = Some(group(st));
         }
@@ -445,7 +783,11 @@ fn transfer(
             no_partial_overlap!(*vd, *vs1);
             no_partial_overlap!(*vd, *vs2);
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let sh = tri_or(group_shadow(st, *vs1, g), group_shadow(st, *vs2, g));
+            let hd = tri_or(group_hard(st, *vs1, g), group_hard(st, *vs2, g));
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
         Inst::VfVF { op, vd, vs1, fs2 } => {
             require_vtype!(op.stem());
@@ -456,7 +798,10 @@ fn transfer(
             aligned!(*vs1, "source");
             no_partial_overlap!(*vd, *vs1);
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let (sh, hd) = (group_shadow(st, *vs1, g), group_hard(st, *vs1, g));
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
         Inst::VfmaccVV { vd, vs1, vs2 } => {
             require_vtype!("vfmacc.vv");
@@ -470,7 +815,17 @@ fn transfer(
             no_partial_overlap!(*vd, *vs1);
             no_partial_overlap!(*vd, *vs2);
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let sh = tri_or(
+                group_shadow(st, *vd, g),
+                tri_or(group_shadow(st, *vs1, g), group_shadow(st, *vs2, g)),
+            );
+            let hd = tri_or(
+                group_hard(st, *vd, g),
+                tri_or(group_hard(st, *vs1, g), group_hard(st, *vs2, g)),
+            );
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
         Inst::VfmaccVF { vd, fs1, vs2 } => {
             require_vtype!("vfmacc.vf");
@@ -482,7 +837,11 @@ fn transfer(
             aligned!(*vs2, "source");
             no_partial_overlap!(*vd, *vs2);
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let sh = tri_or(group_shadow(st, *vd, g), group_shadow(st, *vs2, g));
+            let hd = tri_or(group_hard(st, *vd, g), group_hard(st, *vs2, g));
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
         Inst::ViVV { op, vd, vs1, vs2 } => {
             require_vtype!(op.stem());
@@ -494,7 +853,11 @@ fn transfer(
             no_partial_overlap!(*vd, *vs1);
             no_partial_overlap!(*vd, *vs2);
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let sh = tri_or(group_shadow(st, *vs1, g), group_shadow(st, *vs2, g));
+            let hd = tri_or(group_hard(st, *vs1, g), group_hard(st, *vs2, g));
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
         Inst::VaddVI { vd, vs1, .. } => {
             require_vtype!("vadd.vi");
@@ -503,7 +866,10 @@ fn transfer(
             aligned!(*vs1, "source");
             no_partial_overlap!(*vd, *vs1);
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let (sh, hd) = (group_shadow(st, *vs1, g), group_hard(st, *vs1, g));
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
 
         Inst::VmfltVF { vd, vs1, fs2 } | Inst::VmfgeVF { vd, vs1, fs2 } => {
@@ -516,11 +882,16 @@ fn transfer(
             // Mask-producing compares write a single register regardless
             // of LMUL.
             def_v!(*vd, 1);
+            // Garbage input lanes produce garbage mask bits (and a compare
+            // into v0 retires the old mask, orphaning its shadows).
+            let (sh, hd) = (group_shadow(st, *vs1, group(st)), group_hard(st, *vs1, group(st)));
+            apply_v_def(st, *vd, 1, sh, hd);
             lmul_at[at] = Some(1);
         }
         Inst::VmergeVVM { vd, vs2, vs1 } => {
             require_vtype!("vmerge.vvm");
             read_v!(VReg(0), 1);
+            sink_v!(VReg(0), 1, "vmerge.vvm's mask");
             read_v!(*vs1, group(st));
             read_v!(*vs2, group(st));
             aligned!(*vd, "destination");
@@ -530,7 +901,16 @@ fn transfer(
             no_partial_overlap!(*vd, *vs2);
             no_mask_clobber!(*vd, "vmerge.vvm");
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            // The merge selects vs1 at mask-active lanes — exactly the
+            // lanes where vs1's shadow garbage is NOT — so shadow garbage
+            // in vs1 is discarded. vs2 is selected at the inactive lanes,
+            // where its shadow garbage (if any) lives on; hard garbage has
+            // no selecting mask and survives from either source.
+            let g = group(st);
+            let sh = group_shadow(st, *vs2, g);
+            let hd = tri_or(group_hard(st, *vs1, g), group_hard(st, *vs2, g));
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
         Inst::VfsqrtV { vd, vs1, masked } => {
             let what = if *masked { "vfsqrt.v (masked)" } else { "vfsqrt.v" };
@@ -539,6 +919,7 @@ fn transfer(
             read_v!(*vs1, group(st));
             if *masked {
                 read_v!(VReg(0), 1);
+                sink_v!(VReg(0), 1, "masked vfsqrt.v's mask");
                 no_mask_clobber!(*vd, what);
             }
             aligned!(*vd, "destination");
@@ -549,7 +930,23 @@ fn transfer(
             // idiom guards every later read with the same mask, and
             // requiring prior init here would flag correct programs.
             def_v!(*vd, group(st));
-            lmul_at[at] = Some(group(st));
+            let g = group(st);
+            let src_hd = group_hard(st, *vs1, g);
+            let (sh, hd) = if *masked {
+                // Under `ma` the mask-inactive lanes of vd become agnostic:
+                // that is the origin of shadow garbage. Under `mu` they
+                // keep vd's old content (and old flags).
+                let (old_sh, old_hd) = (group_shadow(st, *vd, g), group_hard(st, *vd, g));
+                match st.ma {
+                    Some(true) => (Tri::Yes, src_hd),
+                    Some(false) => (old_sh, tri_or(old_hd, src_hd)),
+                    None => (Tri::join(old_sh, Tri::Yes), tri_or(old_hd, src_hd)),
+                }
+            } else {
+                (group_shadow(st, *vs1, g), src_hd)
+            };
+            apply_v_def(st, *vd, g, sh, hd);
+            lmul_at[at] = Some(g);
         }
 
         Inst::VmvVX { vd, rs1 } => {
@@ -557,6 +954,7 @@ fn transfer(
             read_x!(*rs1);
             aligned!(*vd, "destination");
             def_v!(*vd, group(st));
+            apply_v_def(st, *vd, group(st), Tri::No, Tri::No);
             lmul_at[at] = Some(group(st));
         }
         Inst::VfmvVF { vd, fs1 } => {
@@ -565,12 +963,14 @@ fn transfer(
             read_f!(*fs1);
             aligned!(*vd, "destination");
             def_v!(*vd, group(st));
+            apply_v_def(st, *vd, group(st), Tri::No, Tri::No);
             lmul_at[at] = Some(group(st));
         }
         Inst::VfmvFS { fd, vs1 } => {
             require_vtype!("vfmv.f.s");
             // Reads element 0 only: just the base register of the group.
             read_v!(*vs1, 1);
+            sink_v!(*vs1, 1, "vfmv.f.s");
             st.f_init[fd.0 as usize & 31] = Tri::Yes;
             lmul_at[at] = Some(1);
         }
@@ -583,13 +983,42 @@ fn transfer(
             require_vtype!(what);
             fp64_guard!(what);
             read_v!(*vs1, group(st));
+            sink_v!(*vs1, group(st), what);
             // The scalar accumulator is element 0 of vs2.
             read_v!(*vs2, 1);
+            sink_v!(*vs2, 1, what);
             aligned!(*vs1, "source");
-            // Reductions write element 0 of vd only.
+            // Reductions write element 0 of vd only; lanes past it are
+            // tail lanes (agnostic under `ta`), which `apply_v_def`'s tail
+            // rule records.
             def_v!(*vd, 1);
+            apply_v_def(st, *vd, 1, Tri::No, Tri::No);
             lmul_at[at] = Some(1);
         }
+    }
+}
+
+/// Absolute byte region a vector memory op can touch, given the base
+/// pointer's `[lo, hi]` offset interval into `buf`, the per-element width
+/// `eb` and an optional constant byte stride.
+fn vec_region(
+    st: &AbsState,
+    stride_bytes: Option<i64>,
+    eb: i64,
+    buf: u16,
+    lo: i64,
+    hi: i64,
+) -> (u16, i64, i64) {
+    let vl = st.vl_hi.max(0);
+    if vl == 0 {
+        return (buf, lo, lo);
+    }
+    match stride_bytes {
+        Some(s) => {
+            let last = b_mul(vl - 1, s);
+            (buf, b_add(lo, last.min(0)), b_add(hi, b_add(last.max(0), eb)))
+        }
+        None => (buf, lo, b_add(hi, b_mul(vl, eb))),
     }
 }
 
@@ -734,5 +1163,46 @@ fn check_vector_mem(
                 b_add(hi, max_end)
             ),
         ));
+    }
+}
+
+#[cfg(test)]
+mod fuel_tests {
+    use super::*;
+    use rvhpc_rvv::{parse_program, Dialect};
+
+    const LOOPY: &str = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+    vfmv.v.f v1, f0
+loop:
+    vfadd.vv v1, v1, v1
+    sub x10, x10, x5
+    bne x10, x0, loop
+    vse32.v v1, (x11)
+    ret
+";
+
+    #[test]
+    fn tiny_fuel_budget_reports_exhaustion_and_nothing_else() {
+        let p = parse_program(LOOPY, Dialect::V10).unwrap();
+        let out = analyze_with_fuel(&p, &AnalysisSpec::liberal(), Some(2));
+        assert_eq!(out.diags.len(), 1, "{:#?}", out.diags);
+        assert_eq!(out.diags[0].pass, Pass::WideningExhausted);
+        assert!(out.diags[0].message.contains("widening fuel"), "{}", out.diags[0].message);
+        assert!(out.bounds.is_none(), "half-settled states must not yield bounds");
+    }
+
+    #[test]
+    fn default_fuel_settles_the_same_program() {
+        let p = parse_program(LOOPY, Dialect::V10).unwrap();
+        let out = analyze_with_fuel(&p, &AnalysisSpec::liberal(), None);
+        assert!(out.diags.iter().all(|d| d.pass != Pass::WideningExhausted), "{:#?}", out.diags);
+        assert!(out.bounds.is_some());
+    }
+
+    #[test]
+    fn default_fuel_scales_with_block_count() {
+        assert_eq!(default_fuel(1), FIXPOINT_FUEL_MIN);
+        assert_eq!(default_fuel(100), 100 * FIXPOINT_FUEL_PER_BLOCK);
     }
 }

@@ -1,0 +1,436 @@
+//! Runtime-loaded machine descriptors: the `rvhpc-machine-v1` JSON form.
+//!
+//! A descriptor starts from a catalog machine (`base`) and overrides the
+//! architectural facts under study — clock, cache hierarchy, vector unit,
+//! memory system, topology. The loader is panic-proof on hostile input:
+//! every structural precondition the `rvhpc-machines` constructors assert
+//! (region divisibility, non-zero cluster size, …) is checked here first
+//! and reported as a [`Pass::Malformed`] finding, and the built machine is
+//! then put through [`lint_machine`](crate::lint_machine) like any catalog
+//! entry. The serve layer's `submit_machine` op admits a descriptor only
+//! when both stages come back clean.
+
+use crate::diag::{Diagnostic, Pass};
+use crate::machine_lint::lint_machine;
+use rvhpc_machines::{
+    CacheLevel, CacheSharing, Machine, MachineId, MemorySystem, Topology, VectorIsa,
+};
+use rvhpc_trace::json::Json;
+
+/// Schema tag a descriptor must carry.
+pub const MACHINE_SCHEMA: &str = "rvhpc-machine-v1";
+
+fn mal(message: impl Into<String>) -> Diagnostic {
+    Diagnostic::global(Pass::Malformed, message)
+}
+
+/// Optional number field; `None` when absent or JSON `null`.
+fn num_field(obj: &Json, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| format!("`{key}` must be a number")),
+    }
+}
+
+/// Optional non-negative integer field (bounded so narrowing casts are safe).
+fn uint_field(obj: &Json, key: &str) -> Result<Option<u64>, String> {
+    match num_field(obj, key)? {
+        None => Ok(None),
+        Some(f) if f.is_finite() && f >= 0.0 && f.fract() == 0.0 && f <= 2.0_f64.powi(40) => {
+            Ok(Some(f as u64))
+        }
+        Some(f) => Err(format!("`{key}` must be a non-negative integer, got {f}")),
+    }
+}
+
+fn bool_field(obj: &Json, key: &str) -> Result<Option<bool>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<Option<&'a str>, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_str().map(Some).ok_or_else(|| format!("`{key}` must be a string")),
+    }
+}
+
+fn parse_cache(c: &Json, idx: usize) -> Result<CacheLevel, String> {
+    let ctx = |e: String| format!("caches[{idx}]: {e}");
+    let level = uint_field(c, "level")
+        .map_err(&ctx)?
+        .ok_or_else(|| ctx("missing required `level`".into()))?;
+    let level = u8::try_from(level).map_err(|_| ctx(format!("level {level} out of range")))?;
+    let size = uint_field(c, "size_bytes")
+        .map_err(&ctx)?
+        .ok_or_else(|| ctx("missing required `size_bytes`".into()))?;
+    let line = uint_field(c, "line_bytes").map_err(&ctx)?.unwrap_or(64);
+    let assoc = uint_field(c, "associativity").map_err(&ctx)?.unwrap_or(8);
+    let bw = num_field(c, "bandwidth_bytes_per_cycle").map_err(&ctx)?.unwrap_or(16.0);
+    let lat = num_field(c, "latency_cycles").map_err(&ctx)?.unwrap_or(10.0);
+    let sharing = match str_field(c, "sharing").map_err(&ctx)? {
+        None | Some("per-core") => CacheSharing::PerCore,
+        Some("per-cluster") => CacheSharing::PerCluster,
+        Some("package") => CacheSharing::Package,
+        Some(o) => {
+            return Err(ctx(format!(
+                "unknown sharing `{o}` (want per-core, per-cluster or package)"
+            )))
+        }
+    };
+    Ok(CacheLevel {
+        level,
+        size_bytes: size as usize,
+        line_bytes: line as usize,
+        associativity: assoc as usize,
+        sharing,
+        bandwidth_bytes_per_cycle: bw,
+        latency_cycles: lat,
+    })
+}
+
+/// Build a [`Machine`] from `rvhpc-machine-v1` JSON text.
+///
+/// Structural problems (bad JSON, wrong schema, unknown base or keys,
+/// ill-typed fields, constructor preconditions) come back as
+/// [`Pass::Malformed`] findings; semantic review is the caller's job via
+/// [`lint_descriptor`].
+pub fn parse_descriptor(text: &str) -> Result<Machine, Vec<Diagnostic>> {
+    let json =
+        Json::parse(text).map_err(|e| vec![mal(format!("descriptor is not valid JSON: {e}"))])?;
+    let Json::Obj(pairs) = &json else {
+        return Err(vec![mal("descriptor must be a JSON object")]);
+    };
+    const KNOWN: [&str; 9] =
+        ["schema", "base", "name", "part", "clock_ghz", "caches", "vector", "memory", "topology"];
+    let mut errs: Vec<Diagnostic> = pairs
+        .iter()
+        .filter(|(k, _)| !KNOWN.contains(&k.as_str()))
+        .map(|(k, _)| mal(format!("unknown descriptor key `{k}`")))
+        .collect();
+
+    match str_field(&json, "schema") {
+        Ok(Some(MACHINE_SCHEMA)) => {}
+        Ok(Some(o)) => errs
+            .push(mal(format!("descriptor schema is `{o}`, this loader reads `{MACHINE_SCHEMA}`"))),
+        Ok(None) => errs.push(mal(format!("missing required `schema` (`{MACHINE_SCHEMA}`)"))),
+        Err(e) => errs.push(mal(e)),
+    }
+    let mut m: Option<Machine> = None;
+    match str_field(&json, "base") {
+        Ok(Some(tok)) => match MachineId::from_token(tok) {
+            Some(id) => m = Some(rvhpc_machines::machine(id)),
+            None => errs.push(mal(format!(
+                "unknown base machine `{tok}` (want a catalog token such as `sg2042`)"
+            ))),
+        },
+        Ok(None) => errs.push(mal("missing required `base` catalog token")),
+        Err(e) => errs.push(mal(e)),
+    }
+    let Some(mut m) = m else {
+        return Err(errs);
+    };
+
+    match str_field(&json, "name") {
+        Ok(Some(n)) => m.name = n.to_string(),
+        Ok(None) => {}
+        Err(e) => errs.push(mal(e)),
+    }
+    match str_field(&json, "part") {
+        Ok(Some(p)) => m.part = p.to_string(),
+        Ok(None) => {}
+        Err(e) => errs.push(mal(e)),
+    }
+    match num_field(&json, "clock_ghz") {
+        Ok(Some(c)) if c.is_finite() => m.clock_ghz = c,
+        Ok(Some(_)) => errs.push(mal("`clock_ghz` must be finite")),
+        Ok(None) => {}
+        Err(e) => errs.push(mal(e)),
+    }
+
+    match json.get("caches") {
+        None | Some(Json::Null) => {}
+        Some(v) => match v.as_arr() {
+            None => errs.push(mal("`caches` must be an array")),
+            Some(arr) => {
+                let mut levels = Vec::with_capacity(arr.len());
+                let mut ok = true;
+                for (idx, c) in arr.iter().enumerate() {
+                    match parse_cache(c, idx) {
+                        Ok(l) => levels.push(l),
+                        Err(e) => {
+                            errs.push(mal(e));
+                            ok = false;
+                        }
+                    }
+                }
+                if ok {
+                    m.caches = levels;
+                }
+            }
+        },
+    }
+
+    match json.get("vector") {
+        None => {}
+        Some(Json::Null) => m.vector = None,
+        Some(v) => {
+            let mut isa = m.vector.clone().unwrap_or_else(VectorIsa::rvv071_c920);
+            let mut ok = true;
+            let field_err = |e: String, errs: &mut Vec<Diagnostic>| {
+                errs.push(mal(format!("vector: {e}")));
+            };
+            match str_field(v, "family") {
+                Ok(None) => {}
+                Ok(Some("rvv071")) => isa.family = rvhpc_machines::vector::VectorFamily::Rvv071,
+                Ok(Some("rvv10")) => isa.family = rvhpc_machines::vector::VectorFamily::Rvv10,
+                Ok(Some(o)) => {
+                    field_err(format!("unknown family `{o}` (want rvv071 or rvv10)"), &mut errs);
+                    ok = false;
+                }
+                Err(e) => {
+                    field_err(e, &mut errs);
+                    ok = false;
+                }
+            }
+            match uint_field(v, "width_bits") {
+                Ok(Some(w)) if (32..=65536).contains(&w) => isa.width_bits = w as u32,
+                Ok(Some(w)) => {
+                    field_err(format!("width_bits {w} out of range [32, 65536]"), &mut errs);
+                    ok = false;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    field_err(e, &mut errs);
+                    ok = false;
+                }
+            }
+            for (key, slot) in [
+                ("supports_fp32", &mut isa.supports_fp32),
+                ("supports_fp64", &mut isa.supports_fp64),
+                ("supports_int", &mut isa.supports_int),
+                ("fma", &mut isa.fma),
+            ] {
+                match bool_field(v, key) {
+                    Ok(Some(b)) => *slot = b,
+                    Ok(None) => {}
+                    Err(e) => {
+                        errs.push(mal(format!("vector: {e}")));
+                        ok = false;
+                    }
+                }
+            }
+            if ok {
+                m.vector = Some(isa);
+            }
+        }
+    }
+
+    match json.get("memory") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let parsed = (|| -> Result<MemorySystem, String> {
+                let controllers =
+                    uint_field(v, "controllers")?.unwrap_or(m.memory.controllers as u64);
+                let bw = num_field(v, "bw_per_controller_gbs")?
+                    .unwrap_or(m.memory.bw_per_controller_gbs);
+                let lat = num_field(v, "dram_latency_ns")?.unwrap_or(m.memory.dram_latency_ns);
+                let penalty =
+                    num_field(v, "numa_remote_penalty")?.unwrap_or(m.memory.numa_remote_penalty);
+                Ok(MemorySystem::new(controllers as usize, bw, lat).with_remote_penalty(penalty))
+            })();
+            match parsed {
+                Ok(mem) => m.memory = mem,
+                Err(e) => errs.push(mal(format!("memory: {e}"))),
+            }
+        }
+    }
+
+    match json.get("topology") {
+        None | Some(Json::Null) => {}
+        Some(v) => {
+            let parsed = (|| -> Result<Topology, String> {
+                let cores = uint_field(v, "cores")?.unwrap_or(m.topology.n_cores() as u64);
+                let regions = uint_field(v, "regions")?.unwrap_or(m.topology.n_regions() as u64);
+                let cluster =
+                    uint_field(v, "cluster_size")?.unwrap_or(m.topology.cluster_size() as u64);
+                let cpr = uint_field(v, "controllers_per_region")?.unwrap_or(1);
+                // Topology::contiguous asserts these; turn hostile input
+                // into findings instead of a panic.
+                if cores == 0 || cores > 4096 {
+                    return Err(format!("cores {cores} out of range [1, 4096]"));
+                }
+                if regions == 0 || cores % regions != 0 {
+                    return Err(format!(
+                        "{cores} cores do not split evenly into {regions} NUMA regions"
+                    ));
+                }
+                if cluster == 0 || cores % cluster != 0 {
+                    return Err(format!(
+                        "{cores} cores do not split evenly into clusters of {cluster}"
+                    ));
+                }
+                Ok(Topology::contiguous(
+                    cores as usize,
+                    regions as usize,
+                    cpr as usize,
+                    cluster as usize,
+                ))
+            })();
+            match parsed {
+                Ok(t) => m.topology = t,
+                Err(e) => errs.push(mal(format!("topology: {e}"))),
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(m)
+    } else {
+        Err(errs)
+    }
+}
+
+/// Parse and semantically review a descriptor in one step.
+///
+/// Returns the built machine when parsing succeeded (even if the semantic
+/// review found problems — callers may want to inspect it) together with
+/// every finding from both stages.
+pub fn lint_descriptor(text: &str) -> (Option<Machine>, Vec<Diagnostic>) {
+    match parse_descriptor(text) {
+        Ok(m) => {
+            let diags = lint_machine(&m);
+            (Some(m), diags)
+        }
+        Err(diags) => (None, diags),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shape the paper's conclusion asks for, as a descriptor: call it
+    /// an SG2044 — RVV v1.0, FP64 vectors, 256-bit registers, bigger L1,
+    /// two controllers per region.
+    fn sg2044_text() -> &'static str {
+        r#"{
+            "schema": "rvhpc-machine-v1",
+            "base": "sg2042",
+            "name": "SG2044 (descriptor)",
+            "part": "SG2044",
+            "clock_ghz": 2.5,
+            "caches": [
+                {"level": 1, "size_bytes": 131072, "associativity": 8,
+                 "bandwidth_bytes_per_cycle": 64.0, "latency_cycles": 3.0},
+                {"level": 2, "size_bytes": 2097152, "associativity": 16,
+                 "sharing": "per-cluster", "bandwidth_bytes_per_cycle": 32.0,
+                 "latency_cycles": 13.0},
+                {"level": 3, "size_bytes": 67108864, "associativity": 16,
+                 "sharing": "package", "bandwidth_bytes_per_cycle": 8.0,
+                 "latency_cycles": 38.0}
+            ],
+            "vector": {"family": "rvv10", "width_bits": 256,
+                       "supports_fp64": true},
+            "memory": {"controllers": 8, "bw_per_controller_gbs": 25.6,
+                       "dram_latency_ns": 100.0, "numa_remote_penalty": 1.4},
+            "topology": {"cores": 64, "regions": 4, "cluster_size": 4,
+                         "controllers_per_region": 2}
+        }"#
+    }
+
+    #[test]
+    fn valid_sg2044_descriptor_is_clean() {
+        let (m, diags) = lint_descriptor(sg2044_text());
+        assert!(diags.is_empty(), "{diags:?}");
+        let m = m.expect("machine built");
+        assert_eq!(m.part, "SG2044");
+        assert!(m.vectorises_fp(64), "descriptor enabled FP64 vectors");
+        assert_eq!(m.vector_lanes(32), 8, "256-bit / 32-bit");
+        assert_eq!(m.cache_level(1).unwrap().size_bytes, 128 * 1024);
+        assert_eq!(m.memory.controllers, 8);
+        assert_eq!(m.topology.regions()[0].controllers, 2);
+    }
+
+    #[test]
+    fn malformed_json_is_a_malformed_finding() {
+        let (m, diags) = lint_descriptor("{\"schema\": \"rvhpc-machine-v1\",");
+        assert!(m.is_none());
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].pass, Pass::Malformed);
+        assert!(diags[0].message.contains("not valid JSON"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn missing_base_and_schema_are_reported_together() {
+        let (m, diags) = lint_descriptor("{}");
+        assert!(m.is_none());
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|s| s.contains("`schema`")), "{msgs:?}");
+        assert!(msgs.iter().any(|s| s.contains("`base`")), "{msgs:?}");
+    }
+
+    #[test]
+    fn cache_missing_size_bytes_is_reported() {
+        let text = r#"{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                       "caches": [{"level": 1}]}"#;
+        let (_, diags) = lint_descriptor(text);
+        assert!(
+            diags.iter().any(|d| d.pass == Pass::Malformed
+                && d.message.contains("caches[0]")
+                && d.message.contains("size_bytes")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn non_monotone_caches_reach_the_semantic_lint() {
+        // Parses fine; L2 smaller than L1 must come back from lint_machine.
+        let text = r#"{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                       "caches": [
+                           {"level": 1, "size_bytes": 65536, "associativity": 4,
+                            "bandwidth_bytes_per_cycle": 32.0, "latency_cycles": 3.0},
+                           {"level": 2, "size_bytes": 32768, "associativity": 4,
+                            "sharing": "per-cluster",
+                            "bandwidth_bytes_per_cycle": 16.0, "latency_cycles": 14.0}
+                       ]}"#;
+        let (m, diags) = lint_descriptor(text);
+        assert!(m.is_some(), "structurally fine");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.pass == Pass::Descriptor && d.message.contains("not larger than")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn hostile_topology_cannot_panic() {
+        for t in [
+            r#"{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                "topology": {"cores": 7, "regions": 4}}"#,
+            r#"{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                "topology": {"cores": 0}}"#,
+            r#"{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                "topology": {"cluster_size": 0}}"#,
+            r#"{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                "caches": [{"level": 1, "size_bytes": 65536,
+                            "associativity": 0}]}"#,
+        ] {
+            let (_, diags) = lint_descriptor(t);
+            assert!(!diags.is_empty(), "hostile descriptor accepted: {t}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_unknown_base_are_rejected() {
+        let (_, diags) =
+            lint_descriptor(r#"{"schema": "rvhpc-machine-v1", "base": "sg2043", "clocks": 3}"#);
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|s| s.contains("unknown base machine `sg2043`")), "{msgs:?}");
+        assert!(msgs.iter().any(|s| s.contains("unknown descriptor key `clocks`")), "{msgs:?}");
+    }
+}

@@ -28,6 +28,20 @@ pub enum Pass {
     /// An LMUL>1 operand is misaligned to its group size, or a destination
     /// group partially overlaps a source (or the mask register `v0`).
     RegGroupOverlap,
+    /// A back-edge whose trip-count interval fails to converge to a finite
+    /// bound: the program's step count cannot be bounded statically.
+    UnboundedLoop,
+    /// A flow-sensitive read of elements the active `ta`/`ma` policy makes
+    /// unspecified (mask-inactive lanes under `ma`, tail lanes under `ta`)
+    /// at an observable sink (store, reduction, scalar move, mask use).
+    MaskUndefined,
+    /// The program text mixes RVV v0.7.1 and v1.0 forms that no single
+    /// catalog machine can execute.
+    DialectMixed,
+    /// The fixpoint engine ran out of widening fuel before the abstract
+    /// states settled; downstream results are conservative (no resource
+    /// bounds) rather than wrong.
+    WideningExhausted,
     /// A machine descriptor is internally inconsistent (cache monotonicity,
     /// NUMA partition, placement totality, bandwidth figures).
     Descriptor,
@@ -38,13 +52,17 @@ pub enum Pass {
 
 impl Pass {
     /// Every pass, in reporting order.
-    pub const ALL: [Pass; 9] = [
+    pub const ALL: [Pass; 13] = [
         Pass::Malformed,
+        Pass::WideningExhausted,
         Pass::UninitRead,
         Pass::NoVtype,
         Pass::DialectIllegal,
+        Pass::DialectMixed,
         Pass::EewSewMismatch,
         Pass::OobAccess,
+        Pass::UnboundedLoop,
+        Pass::MaskUndefined,
         Pass::DeadStore,
         Pass::RegGroupOverlap,
         Pass::Descriptor,
@@ -60,6 +78,10 @@ impl Pass {
             Pass::OobAccess => "oob-access",
             Pass::DeadStore => "dead-store",
             Pass::RegGroupOverlap => "reg-group-overlap",
+            Pass::UnboundedLoop => "unbounded-loop",
+            Pass::MaskUndefined => "mask-undefined",
+            Pass::DialectMixed => "dialect-mixed",
+            Pass::WideningExhausted => "widening-exhausted",
             Pass::Descriptor => "descriptor",
             Pass::Malformed => "malformed",
         }

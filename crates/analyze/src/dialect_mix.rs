@@ -1,0 +1,151 @@
+//! Text-level detection of programs that mix RVV v0.7.1 and v1.0 forms.
+//!
+//! Runs *before* parsing: a mixed program parses in neither dialect, so the
+//! parser alone can only say "unknown mnemonic", which sends the author
+//! hunting for a typo instead of a porting mistake. The classifier looks at
+//! each line's mnemonic and flags the first pair of lines whose forms no
+//! single catalog machine can execute together.
+
+use crate::diag::{Diagnostic, Pass};
+
+/// Which dialect a single line's mnemonic commits the program to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mark {
+    V10,
+    V071,
+    Neutral,
+}
+
+/// v1.0-only unit-stride / strided memory forms carry the EEW in the
+/// mnemonic; v0.7.1 forms are SEW-typed and carry none.
+fn classify(mnemonic: &str, operands: &str) -> Mark {
+    match mnemonic {
+        "vle.v" | "vse.v" | "vlse.v" | "vsse.v" | "vfredsum.vs" => Mark::V071,
+        "vfredusum.vs" => Mark::V10,
+        "vle8.v" | "vle16.v" | "vle32.v" | "vle64.v" | "vse8.v" | "vse16.v" | "vse32.v"
+        | "vse64.v" | "vlse8.v" | "vlse16.v" | "vlse32.v" | "vlse64.v" | "vsse8.v" | "vsse16.v"
+        | "vsse32.v" | "vsse64.v" => Mark::V10,
+        "vsetvli" => {
+            // The 6-operand form carries ta/tu + ma/mu policy flags (v1.0);
+            // v0.7.1 vsetvli stops after LMUL. Fractional LMUL is also a
+            // v1.0-only form, but an illegal one — dialect-illegal owns it.
+            let toks: Vec<&str> = operands.split(',').map(str::trim).collect();
+            if toks.iter().any(|t| matches!(*t, "ta" | "tu" | "ma" | "mu")) {
+                Mark::V10
+            } else {
+                Mark::V071
+            }
+        }
+        _ => Mark::Neutral,
+    }
+}
+
+/// Scan assembly text for lines that commit to different RVV dialects.
+///
+/// Returns at most one [`Pass::DialectMixed`] finding, naming the first
+/// v1.0-committed line and the first v0.7.1-committed line. An empty result
+/// means the text is dialect-consistent (though possibly still unparsable).
+pub fn detect_dialect_mix(text: &str) -> Vec<Diagnostic> {
+    let mut first_v10: Option<(usize, String)> = None;
+    let mut first_v071: Option<(usize, String)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        let mut parts = line.splitn(2, char::is_whitespace);
+        let mn = parts.next().unwrap_or("");
+        let ops = parts.next().unwrap_or("");
+        match classify(mn, ops) {
+            Mark::V10 => {
+                first_v10.get_or_insert_with(|| (idx + 1, mn.to_string()));
+            }
+            Mark::V071 => {
+                first_v071.get_or_insert_with(|| (idx + 1, mn.to_string()));
+            }
+            Mark::Neutral => {}
+        }
+    }
+    match (first_v10, first_v071) {
+        (Some((l10, m10)), Some((l071, m071))) => {
+            let mut d = Diagnostic::global(
+                Pass::DialectMixed,
+                format!(
+                    "program mixes RVV dialects: line {l10} uses the v1.0-only form \
+                     `{m10}` but line {l071} uses the v0.7.1-only form `{m071}`; \
+                     no single catalog machine executes both"
+                ),
+            );
+            d.line = Some(l10.min(l071));
+            vec![d]
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_v10_text_is_consistent() {
+        let text = "\
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    vfadd.vv v2, v1, v1
+    vse32.v v2, (x12)
+    sub x10, x10, x5
+    bne x10, x0, loop
+    ret
+";
+        assert!(detect_dialect_mix(text).is_empty());
+    }
+
+    #[test]
+    fn pure_v071_text_is_consistent() {
+        let text = "\
+    vsetvli x5, x10, e64, m2
+    vle.v v2, (x11)
+    vfredsum.vs v4, v2, v6
+    ret
+";
+        assert!(detect_dialect_mix(text).is_empty());
+    }
+
+    #[test]
+    fn eew_suffixed_load_with_flagless_vsetvli_is_mixed() {
+        let text = "\
+    vsetvli x5, x10, e32, m1
+    vle32.v v1, (x11)
+    vse32.v v1, (x12)
+    ret
+";
+        let diags = detect_dialect_mix(text);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        let d = &diags[0];
+        assert_eq!(d.pass, Pass::DialectMixed);
+        assert_eq!(d.line, Some(1));
+        assert!(d.message.contains("`vle32.v`"), "{}", d.message);
+        assert!(d.message.contains("`vsetvli`"), "{}", d.message);
+    }
+
+    #[test]
+    fn reduction_rename_is_a_dialect_commitment() {
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle.v v2, (x11)
+    vfredsum.vs v4, v2, v6
+    ret
+";
+        let diags = detect_dialect_mix(text);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("`vle.v`"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn comments_labels_and_blanks_are_ignored() {
+        let text = "# vle32.v in a comment\nstart:\n\n    li x1, 5 # vse.v trailing\n    ret\n";
+        assert!(detect_dialect_mix(text).is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! Kernel submission environments.
+//!
+//! A submitted kernel arrives as bare assembly; the optional `env` JSON
+//! object declares its calling convention — which scalar registers are
+//! live-in (and with what constants), which registers hold buffer bases,
+//! and how long each buffer is. From one [`KernelEnv`] both consumers are
+//! derived consistently: the [`AnalysisSpec`] the admission lint runs
+//! under, and the concrete memory layout (sequential, 64-byte aligned)
+//! the interpreter executes against. Using one source for both is what
+//! makes the inferred bounds transfer to the actual run.
+
+use crate::diag::{Diagnostic, Pass};
+use crate::{AnalysisSpec, BufferSpec, EntryValue};
+use rvhpc_trace::json::Json;
+
+/// Declared buffers may not exceed 16 MiB in total: admission is meant for
+/// kernels, not datasets, and the interpreter allocates this eagerly.
+pub const MAX_ENV_BYTES: i64 = 16 * 1024 * 1024;
+
+/// One declared buffer with its assigned concrete base address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvBuffer {
+    /// Name used in diagnostics and reports.
+    pub name: String,
+    /// x-register holding the base address at entry.
+    pub reg: u8,
+    /// Extent in bytes.
+    pub len_bytes: i64,
+    /// Concrete base address in interpreter memory (64-byte aligned).
+    pub base: i64,
+}
+
+/// A parsed submission environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelEnv {
+    /// Scalar x-registers live-in with known constants.
+    pub x: Vec<(u8, i64)>,
+    /// f-registers live-in (values chosen by the executor).
+    pub f: Vec<u8>,
+    /// Declared buffers with their assigned layout.
+    pub buffers: Vec<EnvBuffer>,
+    /// Interpreter memory size covering every buffer.
+    pub mem_bytes: usize,
+}
+
+impl KernelEnv {
+    /// The default environment when a submission carries no `env`: the
+    /// compiler's streaming convention with 256 elements of 8 bytes —
+    /// `x10 = 256`, buffers `a b c x1 x2` of 2 KiB at `x11..x15`,
+    /// `f0..f3` live-in.
+    pub fn default_streaming() -> KernelEnv {
+        let buffers = ["a", "b", "c", "x1", "x2"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (name.to_string(), 11 + i as u8, 256 * 8))
+            .collect::<Vec<_>>();
+        KernelEnv::assemble(vec![(10, 256)], vec![0, 1, 2, 3], buffers)
+            .expect("static default is well-formed")
+    }
+
+    /// Lay out buffers sequentially from address 64, 64-byte aligned.
+    fn assemble(
+        x: Vec<(u8, i64)>,
+        f: Vec<u8>,
+        raw: Vec<(String, u8, i64)>,
+    ) -> Result<KernelEnv, String> {
+        let mut total: i64 = 0;
+        for (_, _, len) in &raw {
+            total = total.saturating_add(*len);
+        }
+        if total > MAX_ENV_BYTES {
+            return Err(format!(
+                "declared buffers total {total} bytes, above the {MAX_ENV_BYTES} admission cap"
+            ));
+        }
+        let mut base: i64 = 64;
+        let buffers = raw
+            .into_iter()
+            .map(|(name, reg, len_bytes)| {
+                let b = EnvBuffer { name, reg, len_bytes, base };
+                base += (len_bytes + 63) / 64 * 64;
+                b
+            })
+            .collect::<Vec<_>>();
+        Ok(KernelEnv { x, f, buffers, mem_bytes: (base + 64) as usize })
+    }
+
+    /// The [`AnalysisSpec`] this environment implies: strict scalar
+    /// liveness, constants and buffer bases exactly as declared.
+    pub fn spec(&self) -> AnalysisSpec {
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| BufferSpec { name: b.name.clone(), len_bytes: b.len_bytes })
+            .collect();
+        let mut x_entry: Vec<(u8, EntryValue)> =
+            self.x.iter().map(|&(r, v)| (r, EntryValue::Const(v))).collect();
+        for (i, b) in self.buffers.iter().enumerate() {
+            x_entry.push((b.reg, EntryValue::BufferBase(i)));
+        }
+        AnalysisSpec {
+            buffers,
+            x_entry,
+            f_entry: self.f.clone(),
+            strict_scalars: true,
+            v071_target: false,
+        }
+    }
+}
+
+fn mal(message: impl Into<String>) -> Diagnostic {
+    Diagnostic::global(Pass::Malformed, message)
+}
+
+/// Parse an `env` JSON object into a [`KernelEnv`].
+///
+/// Format: `{"x": {"10": 1024}, "f": [0, 1], "buffers":
+/// [{"reg": 11, "name": "a", "len_bytes": 4096}]}` — every key optional.
+/// Hostile input (bad types, duplicate or out-of-range registers,
+/// oversized buffers) becomes [`Pass::Malformed`] findings, never a panic.
+pub fn parse_env(text: &str) -> Result<KernelEnv, Vec<Diagnostic>> {
+    let json = Json::parse(text).map_err(|e| vec![mal(format!("env is not valid JSON: {e}"))])?;
+    let Json::Obj(pairs) = &json else {
+        return Err(vec![mal("env must be a JSON object")]);
+    };
+    let mut errs: Vec<Diagnostic> = pairs
+        .iter()
+        .filter(|(k, _)| !matches!(k.as_str(), "x" | "f" | "buffers"))
+        .map(|(k, _)| mal(format!("unknown env key `{k}` (want x, f or buffers)")))
+        .collect();
+
+    let reg_of = |s: &str, kind: char| -> Result<u8, String> {
+        match s.parse::<u8>() {
+            Ok(r) if r < 32 => Ok(r),
+            _ => Err(format!("`{s}` is not a {kind}-register index (0..31)")),
+        }
+    };
+    let int_of = |v: &Json, what: &str| -> Result<i64, String> {
+        match v.as_f64() {
+            Some(f) if f.is_finite() && f.fract() == 0.0 && f.abs() <= 2.0_f64.powi(40) => {
+                Ok(f as i64)
+            }
+            _ => Err(format!("{what} must be an integer")),
+        }
+    };
+
+    let mut x: Vec<(u8, i64)> = Vec::new();
+    match json.get("x") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(xs)) => {
+            for (k, v) in xs {
+                match (reg_of(k, 'x'), int_of(v, &format!("x{k}"))) {
+                    (Ok(0), _) => errs.push(mal("x0 is hard-wired to zero")),
+                    (Ok(r), Ok(val)) => x.push((r, val)),
+                    (Err(e), _) | (_, Err(e)) => errs.push(mal(format!("x: {e}"))),
+                }
+            }
+        }
+        Some(_) => errs.push(mal("`x` must be an object of register → constant")),
+    }
+
+    let mut f: Vec<u8> = Vec::new();
+    match json.get("f") {
+        None | Some(Json::Null) => {}
+        Some(v) => match v.as_arr() {
+            Some(arr) => {
+                for e in arr {
+                    match e.as_f64() {
+                        Some(n) if n.fract() == 0.0 && (0.0..32.0).contains(&n) => {
+                            f.push(n as u8);
+                        }
+                        _ => errs.push(mal("f: entries must be register indices 0..31")),
+                    }
+                }
+            }
+            None => errs.push(mal("`f` must be an array of register indices")),
+        },
+    }
+
+    let mut raw: Vec<(String, u8, i64)> = Vec::new();
+    match json.get("buffers") {
+        None | Some(Json::Null) => {}
+        Some(v) => match v.as_arr() {
+            Some(arr) => {
+                for (i, b) in arr.iter().enumerate() {
+                    let parsed = (|| -> Result<(String, u8, i64), String> {
+                        let reg = int_of(b.get("reg").ok_or("missing required `reg`")?, "`reg`")?;
+                        let reg = u8::try_from(reg)
+                            .ok()
+                            .filter(|r| (1..32).contains(r))
+                            .ok_or(format!("reg {reg} out of range 1..31"))?;
+                        let len = int_of(
+                            b.get("len_bytes").ok_or("missing required `len_bytes`")?,
+                            "`len_bytes`",
+                        )?;
+                        if !(0..=MAX_ENV_BYTES).contains(&len) {
+                            return Err(format!("len_bytes {len} outside [0, {MAX_ENV_BYTES}]"));
+                        }
+                        let name = match b.get("name") {
+                            None | Some(Json::Null) => format!("buf{i}"),
+                            Some(n) => n.as_str().ok_or("`name` must be a string")?.to_string(),
+                        };
+                        Ok((name, reg, len))
+                    })();
+                    match parsed {
+                        Ok(t) => raw.push(t),
+                        Err(e) => errs.push(mal(format!("buffers[{i}]: {e}"))),
+                    }
+                }
+            }
+            None => errs.push(mal("`buffers` must be an array")),
+        },
+    }
+
+    // A register can hold one thing at entry.
+    let mut seen: Vec<u8> = Vec::new();
+    for r in x.iter().map(|&(r, _)| r).chain(raw.iter().map(|&(_, r, _)| r)) {
+        if seen.contains(&r) {
+            errs.push(mal(format!("register x{r} is declared more than once in the env")));
+        }
+        seen.push(r);
+    }
+
+    if !errs.is_empty() {
+        return Err(errs);
+    }
+    KernelEnv::assemble(x, f, raw).map_err(|e| vec![mal(e)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_env_matches_streaming_layout() {
+        let env = KernelEnv::default_streaming();
+        assert_eq!(env.buffers.len(), 5);
+        assert_eq!(env.buffers[0].base, 64);
+        assert_eq!(env.buffers[1].base, 64 + 2048);
+        assert!(env.mem_bytes > 5 * 2048);
+        let spec = env.spec();
+        assert!(spec.strict_scalars);
+        assert_eq!(spec.buffers.len(), 5);
+    }
+
+    #[test]
+    fn explicit_env_parses() {
+        let env = parse_env(
+            r#"{"x": {"10": 128}, "f": [0], "buffers":
+                [{"reg": 11, "name": "a", "len_bytes": 512},
+                 {"reg": 12, "len_bytes": 100}]}"#,
+        )
+        .unwrap();
+        assert_eq!(env.x, vec![(10, 128)]);
+        assert_eq!(env.buffers[0].base, 64);
+        assert_eq!(env.buffers[1].base, 64 + 512, "aligned to 64");
+        assert_eq!(env.buffers[1].name, "buf1");
+    }
+
+    #[test]
+    fn hostile_envs_are_structured_rejections() {
+        for bad in [
+            "[1,2]",
+            r#"{"x": {"32": 1}}"#,
+            r#"{"x": {"0": 1}}"#,
+            r#"{"buffers": [{"reg": 11}]}"#,
+            r#"{"buffers": [{"reg": 11, "len_bytes": 99999999999}]}"#,
+            r#"{"x": {"11": 5}, "buffers": [{"reg": 11, "len_bytes": 64}]}"#,
+            r#"{"mystery": 1}"#,
+        ] {
+            let r = parse_env(bad);
+            assert!(r.is_err(), "accepted hostile env: {bad}");
+            assert!(
+                r.unwrap_err().iter().all(|d| d.pass == Pass::Malformed),
+                "wrong pass for {bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn total_size_cap_is_enforced() {
+        // 5 buffers of 4 MiB each: individually fine, 20 MiB total is not.
+        let text = format!(
+            r#"{{"buffers": [{}]}}"#,
+            (11..16)
+                .map(|r| format!(r#"{{"reg": {r}, "len_bytes": 4194304}}"#))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let err = parse_env(&text).unwrap_err();
+        assert!(err[0].message.contains("admission cap"), "{err:?}");
+    }
+}

@@ -13,34 +13,60 @@
 //! * base+stride byte-offset intervals for every pointer, checked against
 //!   declared buffer extents.
 //!
-//! On top of that lattice run seven diagnostic passes ([`Pass`]):
+//! On top of that lattice run the diagnostic passes ([`Pass`]):
 //! `uninit-read`, `no-vtype`, `dialect-illegal` (is this program legal
-//! RVV v0.7.1 for the C920?), `eew-sew-mismatch`, `oob-access`,
-//! `dead-store` and `reg-group-overlap` — plus a `descriptor` lint over
-//! the `rvhpc-machines` catalog. The paper's central porting hazard (the
-//! SG2042 speaks v0.7.1 while the ecosystem moved to v1.0) is exactly the
-//! class of bug these passes catch before anything executes.
+//! RVV v0.7.1 for the C920?), `dialect-mixed`, `eew-sew-mismatch`,
+//! `oob-access`, `unbounded-loop`, `mask-undefined`, `dead-store` and
+//! `reg-group-overlap` — plus a `descriptor` lint over the
+//! `rvhpc-machines` catalog and over runtime-loaded `rvhpc-machine-v1`
+//! JSON descriptors. The paper's central porting hazard (the SG2042
+//! speaks v0.7.1 while the ecosystem moved to v1.0) is exactly the class
+//! of bug these passes catch before anything executes.
 //!
-//! Entry points: [`analyze_program`] for RVV programs (configured by an
-//! [`AnalysisSpec`]), [`lint_machine`] / [`lint_all_machines`] for
-//! descriptors. `repro lint` drives both from the command line, and
-//! `rvhpc-verify` runs [`analyze_program`] as a pre-execution gate.
+//! The same fixpoint also yields *resource bounds* ([`Bounds`]): a static
+//! upper bound on interpreter steps (trip-count intervals across
+//! strip-mine back-edges), bytes touched per declared buffer, and peak
+//! live vector-register bytes. [`analyze_report`] packages findings and
+//! bounds as the `rvhpc-analysis-v1` report ([`AnalysisReport`]) that the
+//! serving layer's `submit_kernel` op uses as its admission contract: a
+//! kernel runs only if the report is clean, and its inferred step bound
+//! (times a safety factor) becomes the interpreter's fuel.
+//!
+//! Entry points: [`analyze_program`] / [`analyze_report`] for RVV
+//! programs (configured by an [`AnalysisSpec`]), [`lint_machine`] /
+//! [`lint_all_machines`] / [`lint_descriptor`] for descriptors,
+//! [`detect_dialect_mix`] for raw text, [`parse_env`] for submission
+//! environments. `repro lint` drives these from the command line, and
+//! `rvhpc-verify` runs [`analyze_program`] as a pre-execution gate plus
+//! a bounds-soundness oracle over [`analyze_report`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bounds;
 mod cfg;
 mod dataflow;
 mod deadstore;
+mod descriptor;
 mod diag;
+mod dialect_mix;
+mod envspec;
+mod lintdoc;
 mod machine_lint;
+mod report;
 mod state;
 
 #[cfg(test)]
 mod proptests;
 
+pub use bounds::{Bounds, BufferBound};
+pub use descriptor::{lint_descriptor, parse_descriptor, MACHINE_SCHEMA};
 pub use diag::{Diagnostic, Pass};
+pub use dialect_mix::detect_dialect_mix;
+pub use envspec::{parse_env, EnvBuffer, KernelEnv, MAX_ENV_BYTES};
+pub use lintdoc::{lint_doc, validate_lint, LINT_SCHEMA};
 pub use machine_lint::{lint_all_machines, lint_machine};
+pub use report::{AnalysisReport, ANALYSIS_SCHEMA};
 
 use rvhpc_rvv::dialect::Sew;
 use rvhpc_rvv::Program;
@@ -137,6 +163,20 @@ impl AnalysisSpec {
 /// program is statically clean.
 pub fn analyze_program(program: &Program, spec: &AnalysisSpec) -> Vec<Diagnostic> {
     dataflow::analyze(program, spec)
+}
+
+/// Run the full admission-grade analysis: every pass [`analyze_program`]
+/// runs *plus* `unbounded-loop` (a fragment with an unbounded loop is fine
+/// to lint but not to admit), packaged with the inferred resource bounds
+/// as an [`AnalysisReport`].
+pub fn analyze_report(program: &Program, spec: &AnalysisSpec) -> AnalysisReport {
+    let out = dataflow::analyze_with_fuel(program, spec, None);
+    AnalysisReport {
+        findings: out.diags,
+        bounds: out.bounds.unwrap_or_default(),
+        insts: program.len_insts(),
+        vector_insts: program.len_vector_insts(),
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +356,83 @@ mod defect_tests {
         assert!(has(&diags, Pass::RegGroupOverlap), "{diags:#?}");
 
         let clean = bad.replace("v3", "v6");
+        assert_eq!(lint_v10(&clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn storing_mask_agnostic_lanes_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        // Masked sqrt under `ma` leaves the inactive lanes unspecified;
+        // storing the destination directly observes them.
+        let bad = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vle32.v v1, (x11)\n\
+                   \x20   vmflt.vf v0, v1, f0\n\
+                   \x20   vfsqrt.v v2, v1, v0.t\n\
+                   \x20   vse32.v v2, (x12)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(
+            diags.iter().any(|d| d.pass == Pass::MaskUndefined
+                && d.at == Some(4)
+                && d.message.contains("vector store")),
+            "{diags:#?}"
+        );
+
+        // The clean twin discharges the garbage with a vmerge under the
+        // same mask before storing — the codegen's if-conversion idiom.
+        let clean = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                     \x20   vle32.v v1, (x11)\n\
+                     \x20   vmflt.vf v0, v1, f0\n\
+                     \x20   vfsqrt.v v2, v1, v0.t\n\
+                     \x20   vmerge.vvm v3, v1, v2, v0\n\
+                     \x20   vse32.v v3, (x12)\n\
+                     \x20   ret\n";
+        assert_eq!(lint_v10(clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn growing_vl_over_a_tail_agnostic_value_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        // The splat defines lanes 0..2 (vl = 2, ta): lanes 2..4 are
+        // unspecified. Raising vl to 4 and storing observes them.
+        let bad = "    li x10, 2\n\
+                   \x20   vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vfmv.v.f v1, f0\n\
+                   \x20   li x10, 4\n\
+                   \x20   vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vse32.v v1, (x11)\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(has(&diags, Pass::MaskUndefined), "{diags:#?}");
+
+        // Keeping vl at 2 never exposes the tail.
+        let clean = bad.replace("li x10, 4", "li x10, 2");
+        assert_eq!(lint_v10(&clean, &spec), vec![], "twin must be clean");
+    }
+
+    #[test]
+    fn reducing_a_masked_result_is_reported() {
+        let spec = AnalysisSpec::liberal();
+        // A reduction reads every body lane of its vector operand, so
+        // mask-agnostic garbage in it is observable without any store.
+        let bad = "    vsetvli x5, x10, e32, m1, ta, ma\n\
+                   \x20   vle32.v v1, (x11)\n\
+                   \x20   vmflt.vf v0, v1, f0\n\
+                   \x20   vfsqrt.v v2, v1, v0.t\n\
+                   \x20   vfmv.v.f v3, f1\n\
+                   \x20   vfredusum.vs v4, v2, v3\n\
+                   \x20   vfmv.f.s f2, v4\n\
+                   \x20   ret\n";
+        let diags = lint_v10(bad, &spec);
+        assert!(
+            diags.iter().any(|d| d.pass == Pass::MaskUndefined && d.message.contains("vfredusum")),
+            "{diags:#?}"
+        );
+
+        let clean = bad.replace(
+            "vfredusum.vs v4, v2, v3",
+            "vmerge.vvm v5, v1, v2, v0\n    vfredusum.vs v4, v5, v3",
+        );
         assert_eq!(lint_v10(&clean, &spec), vec![], "twin must be clean");
     }
 

@@ -1,0 +1,82 @@
+//! The machine-readable `rvhpc-analysis-v1` admission report.
+//!
+//! [`analyze_report`](crate::analyze_report) bundles every finding with
+//! the inferred resource bounds into one [`AnalysisReport`]; `repro lint
+//! --report` prints it and the serve layer's `submit_kernel` op admits a
+//! program only when [`AnalysisReport::admissible`] holds (finding-free,
+//! finite step bound, every memory access attributed to a declared
+//! buffer).
+
+use crate::bounds::Bounds;
+use crate::diag::Diagnostic;
+use rvhpc_trace::json::Json;
+
+/// Schema tag for the JSON form of [`AnalysisReport`].
+pub const ANALYSIS_SCHEMA: &str = "rvhpc-analysis-v1";
+
+/// Findings plus resource bounds for one analysed program.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Every finding, including the report-only `unbounded-loop` pass.
+    pub findings: Vec<Diagnostic>,
+    /// Inferred resource bounds (all `None`/empty when the fixpoint did
+    /// not settle or the program was malformed).
+    pub bounds: Bounds,
+    /// Total instruction count.
+    pub insts: usize,
+    /// Vector instruction count.
+    pub vector_insts: usize,
+}
+
+impl AnalysisReport {
+    /// No findings at all.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The admission predicate: finding-free, a finite step bound exists,
+    /// and every memory access was attributed to a declared buffer.
+    pub fn admissible(&self) -> bool {
+        self.clean() && self.bounds.step_bound.is_some() && !self.bounds.unattributed_mem
+    }
+
+    /// The `rvhpc-analysis-v1` JSON form.
+    pub fn to_json(&self) -> Json {
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(n) => Json::Num(n as f64),
+            None => Json::Null,
+        };
+        let buffers = self
+            .bounds
+            .buffers
+            .iter()
+            .map(|b| {
+                Json::obj(vec![
+                    ("name", Json::str(&b.name)),
+                    ("len_bytes", Json::Num(b.len_bytes as f64)),
+                    ("touched_lo", Json::Num(b.touched_lo as f64)),
+                    ("touched_hi", Json::Num(b.touched_hi as f64)),
+                    ("touched_bytes_bound", Json::Num((b.touched_hi - b.touched_lo) as f64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::str(ANALYSIS_SCHEMA)),
+            (
+                "program",
+                Json::obj(vec![
+                    ("insts", Json::Num(self.insts as f64)),
+                    ("vector_insts", Json::Num(self.vector_insts as f64)),
+                ]),
+            ),
+            ("step_bound", opt_u64(self.bounds.step_bound)),
+            ("mem_bytes_bound", opt_u64(self.bounds.mem_bytes_bound)),
+            ("buffers", Json::Arr(buffers)),
+            ("peak_vreg_bytes", Json::Num(self.bounds.peak_vreg_bytes as f64)),
+            ("unattributed_mem", Json::Bool(self.bounds.unattributed_mem)),
+            ("findings", Json::Arr(self.findings.iter().map(|d| d.to_json()).collect())),
+            ("clean", Json::Bool(self.clean())),
+            ("admissible", Json::Bool(self.admissible())),
+        ])
+    }
+}

@@ -238,6 +238,18 @@ pub(crate) struct AbsState {
     /// Initialisation of v-registers (per physical register, so LMUL
     /// groups mark/check every member).
     pub v_init: [Tri; 32],
+    /// `mask-undefined` shadow: the register holds garbage at lanes the
+    /// *current* `v0` mask leaves inactive (a masked op ran under `ma`).
+    /// Reading it unmasked is fine; observing it at a sink is not unless
+    /// the same mask still selects the defined lanes.
+    pub v_shadow: [Tri; 32],
+    /// `mask-undefined` hard garbage: lanes whose selecting mask has since
+    /// been lost (v0 redefined) — no instruction can separate good from
+    /// garbage lanes any more.
+    pub v_hard: [Tri; 32],
+    /// `mask-undefined` tail: lanes past the defining `vl` are unspecified
+    /// under `ta`; observable only if `vl` later definitely grows.
+    pub v_tail: [Tri; 32],
 }
 
 impl AbsState {
@@ -256,6 +268,9 @@ impl AbsState {
             x_val: [XVal::Any; 32],
             f_init: [scalar_default; 32],
             v_init: [Tri::No; 32],
+            v_shadow: [Tri::No; 32],
+            v_hard: [Tri::No; 32],
+            v_tail: [Tri::No; 32],
         };
         st.x_init[0] = Tri::Yes;
         st.x_val[0] = XVal::Const(0);
@@ -312,11 +327,17 @@ impl AbsState {
             x_val: [XVal::Any; 32],
             f_init: [Tri::No; 32],
             v_init: [Tri::No; 32],
+            v_shadow: [Tri::No; 32],
+            v_hard: [Tri::No; 32],
+            v_tail: [Tri::No; 32],
         };
         for i in 0..32 {
             st.x_init[i] = Tri::join(self.x_init[i], other.x_init[i]);
             st.f_init[i] = Tri::join(self.f_init[i], other.f_init[i]);
             st.v_init[i] = Tri::join(self.v_init[i], other.v_init[i]);
+            st.v_shadow[i] = Tri::join(self.v_shadow[i], other.v_shadow[i]);
+            st.v_hard[i] = Tri::join(self.v_hard[i], other.v_hard[i]);
+            st.v_tail[i] = Tri::join(self.v_tail[i], other.v_tail[i]);
             let joined = XVal::join(self.x_val[i], other.x_val[i]);
             st.x_val[i] = if widen { XVal::widen(self.x_val[i], joined) } else { joined };
         }

@@ -13,8 +13,12 @@
 //! repro native [scale]       # run the real kernels on this host
 //! repro verify [--seed N] [--cases M] [--inject <fault>] [--replay <file>]
 //!                            # differential/metamorphic cross-checks
-//! repro lint [--machine <m>] [--kernel <k>] [--asm <file>] [--json]
-//!                            # static RVV dataflow + descriptor lint
+//! repro lint [--machine <m>] [--kernel <k>] [--asm <file>] [--env <file>]
+//!            [--report] [--json] [--check <path>]
+//!                            # static RVV dataflow + descriptor lint;
+//!                            # --report adds inferred resource bounds
+//!                            # (rvhpc-analysis-v1), --json wraps the run
+//!                            # as rvhpc-lint-v1, --check validates one
 //! repro bench [--quick] [--json <path>] [--check <path>]
 //!                            # time every experiment through the shared
 //!                            # sweep engine; write/validate BENCH JSON
@@ -22,7 +26,7 @@
 //!             [--batch-window-us U] [--port-file <path>]
 //!             [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]
 //!             [--reactor] [--max-conns N] [--idle-timeout-ms MS]
-//!             [--max-outbox-kb N]
+//!             [--max-outbox-kb N] [--max-fuel N]
 //!                            # serve estimate/explain/suite/lint queries
 //!                            # over line-delimited JSON on TCP; drains on
 //!                            # a `shutdown` request or SIGTERM; --reactor
@@ -33,6 +37,10 @@
 //!               [--poll-metrics-ms MS] [--open-loop] [--connections N]
 //!                            # drive a running server with N closed-loop
 //!                            # clients; write the SERVE-BENCH artefact
+//! repro submit --addr A --asm <file> [--env <file>] [--estimate]
+//!                            # submit one kernel through a running
+//!                            # server's lint-gated admission pipeline;
+//!                            # exit 0 accepted, 3 rejected, 2 usage
 //! repro top <addr> [--interval-ms N] [--frames N] [--once] [--json]
 //! repro top --check <path>
 //!                            # live stage/SLO dashboard over a server's
@@ -73,10 +81,17 @@ seed-reproducible random inputs (RVV interpreter vs\n                          \
 scalar reference, analytic vs trace cache model,\n                          \
 parallel vs serial executors, perfmodel metamorphic\n                          \
 properties); failures write a replayable artefact\n  \
-  lint [--machine <m>] [--kernel <k>] [--asm <file>] [--json]\n                          \
+  lint [--machine <m>] [--kernel <k>] [--asm <file>] [--env <file>]\n       \
+[--report] [--json] [--check <path>]\n                          \
 static dataflow lint over generated RVV programs\n                          \
 (v1.0 and their v0.7.1 rollbacks) and machine\n                          \
-descriptors; exits 3 when any finding is reported\n  \
+descriptors; exits 3 when any finding is reported;\n                          \
+--report adds inferred resource bounds\n                          \
+(rvhpc-analysis-v1 reports), --env declares the\n                          \
+calling convention for an --asm file, --json wraps\n                          \
+the run as one rvhpc-lint-v1 document, --check\n                          \
+validates a saved document (exit 1 invalid, exit 2\n                          \
+unknown schema version or unreadable file)\n  \
   bench [--quick] [--json <path>] [--check <path>]\n                          \
 time every experiment through the shared sweep\n                          \
 engine and report wall time + estimate-cache hit\n                          \
@@ -86,16 +101,20 @@ schema version or unreadable file)\n  \
   serve [--addr <ip:port>] [--queue-cap N] [--batch-max N]\n        \
 [--batch-window-us U] [--port-file <path>]\n        \
 [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]\n          \
-[--reactor] [--max-conns N] [--idle-timeout-ms MS] [--max-outbox-kb N]\n                          \
-serve estimate/explain/suite/lint_machine queries\n                          \
-over line-delimited JSON on TCP, with bounded\n                          \
+[--reactor] [--max-conns N] [--idle-timeout-ms MS] [--max-outbox-kb N]\n          \
+[--max-fuel N]\n                          \
+serve estimate/explain/suite/submit_kernel/\n                          \
+submit_machine/lint_machine queries over\n                          \
+line-delimited JSON on TCP, with bounded\n                          \
 admission, batched execution on the shared thread\n                          \
 pool, and graceful drain on `shutdown` or SIGTERM;\n                          \
 --slo-ms tail-samples slow requests, --metrics-file\n                          \
 keeps a bounded on-disk metrics-snapshot ring;\n                          \
 --reactor serves all connections from one epoll\n                          \
 event loop (Linux) with --max-conns admission,\n                          \
-idle disconnects, and bounded write buffering\n  \
+idle disconnects, and bounded write buffering;\n                          \
+--max-fuel caps the interpreter fuel any admitted\n                          \
+kernel may be granted\n  \
   loadgen --addr <ip:port> [--clients N] [--requests M] [--rps R]\n          \
 [--duration S] [--seed N] [--json <path>] [--probe-bad] [--shutdown]\n          \
 [--slo-ms MS] [--poll-metrics-ms MS] [--open-loop] [--connections N]\n                          \
@@ -104,6 +123,13 @@ and verify replies bit-identically against the\n                          \
 local model; --json writes the SERVE-BENCH\n                          \
 artefact; --slo-ms gates the exit code on p99;\n                          \
 exits 1 on any protocol error or SLO failure\n  \
+  submit --addr <ip:port> --asm <file> [--env <file>] [--estimate]\n                          \
+submit one RVV kernel to a running server's\n                          \
+lint-gated admission pipeline (`submit_kernel`);\n                          \
+prints the rvhpc-analysis-v1 admission report;\n                          \
+--estimate also executes the admitted kernel\n                          \
+twice and checks the replies are bit-identical;\n                          \
+exit 0 accepted, 3 rejected, 2 usage/IO error\n  \
   top <addr> [--interval-ms N] [--frames N] [--once] [--json]\n                          \
 live dashboard over a running server's `metrics`\n                          \
 op: per-stage rates and percentiles, gauges, SLO\n                          \
@@ -144,6 +170,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("serve") {
         serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("submit") {
+        submit(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         loadgen(&args[1..]);
@@ -421,17 +450,26 @@ fn verify(args: &[String]) -> ! {
 
 /// `repro lint` — run the static analyzer over every machine descriptor and
 /// every generated RVV program (v1.0 and their v0.7.1 rollbacks), or over
-/// one assembly file (`--asm`). Exits 3 when any finding is reported, 2 on
-/// usage/IO errors, 0 when everything is clean.
+/// one assembly file (`--asm`, optionally under an `--env` calling
+/// convention). `--report` adds the inferred resource bounds as
+/// `rvhpc-analysis-v1` reports; `--json` wraps the whole run as one
+/// `rvhpc-lint-v1` document; `--check <path>` validates a saved document
+/// instead of linting (exit 1 invalid, 2 unknown schema or unreadable —
+/// the `bench --check` split). Lint runs exit 3 when any finding is
+/// reported, 2 on usage/IO errors, 0 when everything is clean.
 fn lint(args: &[String]) -> ! {
-    use rvhpc::analyze::{analyze_program, lint_all_machines, lint_machine, AnalysisSpec};
+    use rvhpc::analyze::{
+        analyze_program, analyze_report, lint_all_machines, lint_doc, lint_machine, parse_env,
+        validate_lint, AnalysisReport, AnalysisSpec, KernelEnv, LINT_SCHEMA,
+    };
     use rvhpc::analyze::{Diagnostic, Pass};
     use rvhpc::compiler::codegen::{generate, VectorMode, SUPPORTED};
     use rvhpc::rvv::{parse_program_with_lines, rollback, Dialect, RollbackError, Sew};
     use rvhpc_trace::json::Json;
 
-    const LINT_USAGE: &str =
-        "usage: repro lint [--machine <m>] [--kernel <label>] [--asm <file>] [--json]";
+    const LINT_USAGE: &str = "usage: repro lint [--machine <m>] [--kernel <label>] \
+                              [--asm <file>] [--env <file>] [--report] [--json] \
+                              [--check <path>]";
     // Element count for the generated sweep: a lane multiple for both SEWs,
     // large enough that every program takes its strip-mine back-edge.
     const SWEEP_N: usize = 96;
@@ -439,7 +477,10 @@ fn lint(args: &[String]) -> ! {
     let mut machine_filter: Option<MachineId> = None;
     let mut kernel_filter: Option<KernelName> = None;
     let mut asm: Option<String> = None;
+    let mut env_path: Option<String> = None;
+    let mut report = false;
     let mut json = false;
+    let mut check_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -473,7 +514,10 @@ fn lint(args: &[String]) -> ! {
                 kernel_filter = Some(k);
             }
             "--asm" => asm = Some(value("--asm")),
+            "--env" => env_path = Some(value("--env")),
+            "--report" => report = true,
             "--json" => json = true,
+            "--check" => check_path = Some(value("--check")),
             other => {
                 eprintln!("unknown lint argument `{other}`\n{LINT_USAGE}");
                 std::process::exit(2);
@@ -481,14 +525,55 @@ fn lint(args: &[String]) -> ! {
         }
     }
 
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        // Same failure split as `bench --check`: an unknown schema version
+        // is a format disagreement (exit 2), a known-format document that
+        // breaks its own invariants is invalid (exit 1).
+        let embedded = Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(String::from)));
+        match embedded.as_deref() {
+            Some(s) if s == LINT_SCHEMA => {}
+            Some(other) => {
+                eprintln!("{path}: unknown schema version `{other}` (expected `{LINT_SCHEMA}`)");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("{path}: no `schema` tag found (expected `{LINT_SCHEMA}`)");
+                std::process::exit(2);
+            }
+        }
+        match validate_lint(&text) {
+            Ok(()) => {
+                println!("{path}: valid {LINT_SCHEMA} document");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID {LINT_SCHEMA} document — {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if env_path.is_some() && asm.is_none() {
+        eprintln!("--env only applies to an --asm file\n{LINT_USAGE}");
+        std::process::exit(2);
+    }
+
     let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+    let mut reports: Vec<(String, AnalysisReport)> = Vec::new();
     let mut programs = 0usize;
     let mut descriptors = 0usize;
 
     if let Some(path) = &asm {
-        // Lint one assembly file under the permissive hand-written-fragment
-        // spec: try v1.0 first, then v0.7.1 (which also turns on the
-        // dialect-legality pass).
+        // Lint one assembly file: try v1.0 first, then v0.7.1 (which also
+        // turns on the dialect-legality pass). Without --env or --report
+        // the permissive hand-written-fragment spec applies; with them the
+        // declared (or default streaming) calling convention does, so the
+        // run matches what `submit_kernel` admission would decide.
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(2);
@@ -505,15 +590,43 @@ fn lint(args: &[String]) -> ! {
                 }
             },
         };
+        let spec = match &env_path {
+            Some(env_file) => {
+                let env_text = std::fs::read_to_string(env_file).unwrap_or_else(|e| {
+                    eprintln!("cannot read {env_file}: {e}");
+                    std::process::exit(2);
+                });
+                match parse_env(&env_text) {
+                    Ok(env) => env.spec(),
+                    Err(diags) => {
+                        for d in &diags {
+                            eprintln!("{env_file}: {d}");
+                        }
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None if report => KernelEnv::default_streaming().spec(),
+            None => AnalysisSpec::liberal(),
+        };
         let spec = match dialect {
-            Dialect::V071 => AnalysisSpec::liberal().v071(),
-            Dialect::V10 => AnalysisSpec::liberal(),
+            Dialect::V071 => spec.v071(),
+            Dialect::V10 => spec,
         };
         programs = 1;
         let ctx = format!("{path} ({dialect:?})");
-        findings.extend(
-            analyze_program(&program, &spec).into_iter().map(|d| (ctx.clone(), d.with_lines(&map))),
-        );
+        if report {
+            let mut r = analyze_report(&program, &spec);
+            r.findings = r.findings.into_iter().map(|d| d.with_lines(&map)).collect();
+            findings.extend(r.findings.iter().cloned().map(|d| (ctx.clone(), d)));
+            reports.push((ctx, r));
+        } else {
+            findings.extend(
+                analyze_program(&program, &spec)
+                    .into_iter()
+                    .map(|d| (ctx.clone(), d.with_lines(&map))),
+            );
+        }
     } else {
         // Descriptor lint over the machine catalog.
         let diags = match machine_filter {
@@ -534,6 +647,26 @@ fn lint(args: &[String]) -> ! {
         // arithmetic at e64 (the C920 genuinely cannot run it).
         let kernels: Vec<KernelName> =
             kernel_filter.map(|k| vec![k]).unwrap_or_else(|| SUPPORTED.to_vec());
+        // With --report the same spec drives analyze_report, so the sweep
+        // also yields per-program resource bounds.
+        fn scan(
+            findings: &mut Vec<(String, Diagnostic)>,
+            reports: &mut Vec<(String, rvhpc::analyze::AnalysisReport)>,
+            with_report: bool,
+            ctx: String,
+            program: &rvhpc::rvv::Program,
+            spec: &AnalysisSpec,
+        ) {
+            use rvhpc::analyze::{analyze_program, analyze_report};
+            if with_report {
+                let r = analyze_report(program, spec);
+                findings.extend(r.findings.iter().cloned().map(|d| (ctx.clone(), d)));
+                reports.push((ctx, r));
+            } else {
+                findings
+                    .extend(analyze_program(program, spec).into_iter().map(|d| (ctx.clone(), d)));
+            }
+        }
         for &kernel in &kernels {
             for sew in [Sew::E32, Sew::E64] {
                 for mode in [VectorMode::Vla, VectorMode::Vls] {
@@ -541,19 +674,25 @@ fn lint(args: &[String]) -> ! {
                     let ctx = format!("{} {mode:?} {sew:?}", kernel.label());
                     programs += 1;
                     let spec = AnalysisSpec::streaming(sew, SWEEP_N);
-                    findings.extend(
-                        analyze_program(&program, &spec)
-                            .into_iter()
-                            .map(|d| (format!("{ctx} v1.0"), d)),
+                    scan(
+                        &mut findings,
+                        &mut reports,
+                        report,
+                        format!("{ctx} v1.0"),
+                        &program,
+                        &spec,
                     );
                     match rollback(&program) {
                         Ok(rolled) => {
                             programs += 1;
                             let spec = AnalysisSpec::streaming(sew, SWEEP_N).v071();
-                            findings.extend(
-                                analyze_program(&rolled, &spec)
-                                    .into_iter()
-                                    .map(|d| (format!("{ctx} v0.7.1 rollback"), d)),
+                            scan(
+                                &mut findings,
+                                &mut reports,
+                                report,
+                                format!("{ctx} v0.7.1 rollback"),
+                                &rolled,
+                                &spec,
                             );
                         }
                         Err(RollbackError::Fp64Vector { .. }) if sew == Sew::E64 => {}
@@ -572,18 +711,22 @@ fn lint(args: &[String]) -> ! {
     }
 
     if json {
-        let arr = Json::Arr(
-            findings
-                .iter()
-                .map(|(ctx, d)| {
-                    Json::obj(vec![("context", Json::str(ctx.as_str())), ("finding", d.to_json())])
-                })
-                .collect(),
-        );
-        println!("{}", arr.pretty());
+        let doc = lint_doc(descriptors, programs, &findings, &reports);
+        println!("{}", doc.pretty());
     } else {
         for (ctx, d) in &findings {
             println!("{ctx}: {d}");
+        }
+        let fmt_bound =
+            |b: Option<u64>| b.map_or_else(|| "unbounded".to_string(), |n| n.to_string());
+        for (ctx, r) in &reports {
+            println!(
+                "{ctx}: steps <= {}, mem bytes <= {}, peak vreg {} B, {}",
+                fmt_bound(r.bounds.step_bound),
+                fmt_bound(r.bounds.mem_bytes_bound),
+                r.bounds.peak_vreg_bytes,
+                if r.admissible() { "admissible" } else { "NOT admissible" }
+            );
         }
     }
     eprintln!(
@@ -745,7 +888,7 @@ fn serve(args: &[String]) -> ! {
                                [--batch-max N] [--batch-window-us U] [--port-file <path>] \
                                [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS] \
                                [--reactor] [--max-conns N] [--idle-timeout-ms MS] \
-                               [--max-outbox-kb N]";
+                               [--max-outbox-kb N] [--max-fuel N]";
     let mut config = ServeConfig::default();
     let mut port_file: Option<String> = None;
     let mut it = args.iter();
@@ -802,6 +945,16 @@ fn serve(args: &[String]) -> ! {
                 let kb = parse_pos("--max-outbox-kb", value("--max-outbox-kb"));
                 config.max_outbox_bytes = kb * 1024;
             }
+            "--max-fuel" => {
+                let v = value("--max-fuel");
+                config.max_fuel = match v.parse::<u64>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--max-fuel must be a positive integer, got `{v}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
             other => {
                 eprintln!("unknown serve argument `{other}`\n{SERVE_USAGE}");
                 std::process::exit(2);
@@ -814,6 +967,7 @@ fn serve(args: &[String]) -> ! {
     let (queue_cap, batch_max, batch_window) =
         (config.queue_capacity, config.batch_max, config.batch_window);
     let (reactor, max_conns) = (config.reactor, config.max_conns);
+    let max_fuel = config.max_fuel;
     let metrics_file = config.metrics_file.clone();
     let server = Server::start(config).unwrap_or_else(|e| {
         eprintln!("cannot start server: {e}");
@@ -834,6 +988,7 @@ fn serve(args: &[String]) -> ! {
         ("scrape_every_ms", Json::Num(scrape_every.as_millis() as f64)),
         ("reactor", Json::Bool(reactor)),
         ("max_conns", Json::Num(max_conns as f64)),
+        ("max_fuel", Json::Num(max_fuel as f64)),
         ("pid", Json::Num(std::process::id() as f64)),
     ]);
     eprintln!("{}", banner.render());
@@ -846,6 +1001,150 @@ fn serve(args: &[String]) -> ! {
     }
     server.join();
     eprintln!("rvhpc-serve drained cleanly");
+    std::process::exit(0);
+}
+
+/// `repro submit` — submit one RVV kernel (and optional `env` calling
+/// convention) to a running server's lint-gated `submit_kernel` pipeline
+/// and print the admission verdict. `--estimate` additionally executes the
+/// admitted kernel twice via the `estimate` op and checks the two replies
+/// are bit-identical. Exit 0 when accepted, 3 when the gate rejects it,
+/// 2 on usage/IO errors, 1 on protocol errors.
+fn submit(args: &[String]) -> ! {
+    use rvhpc_trace::json::Json;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    const SUBMIT_USAGE: &str =
+        "usage: repro submit --addr <ip:port> --asm <file> [--env <file>] [--estimate]";
+    let mut addr: Option<String> = None;
+    let mut asm_path: Option<String> = None;
+    let mut env_path: Option<String> = None;
+    let mut estimate = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{SUBMIT_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = Some(value("--addr")),
+            "--asm" => asm_path = Some(value("--asm")),
+            "--env" => env_path = Some(value("--env")),
+            "--estimate" => estimate = true,
+            other => {
+                eprintln!("unknown submit argument `{other}`\n{SUBMIT_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(addr), Some(asm_path)) = (addr, asm_path) else {
+        eprintln!("--addr and --asm are required\n{SUBMIT_USAGE}");
+        std::process::exit(2);
+    };
+    let read_file = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let asm = read_file(&asm_path);
+    let env_doc = env_path.map(|p| {
+        let text = read_file(&p);
+        match Json::parse(&text) {
+            Ok(doc @ Json::Obj(_)) => doc,
+            Ok(_) => {
+                eprintln!("{p}: env must be a JSON object");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("{p}: not valid JSON: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+
+    let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(2);
+    });
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let mut writer = stream.try_clone().unwrap_or_else(|e| {
+        eprintln!("cannot clone connection: {e}");
+        std::process::exit(2);
+    });
+    let mut reader = BufReader::new(stream);
+    let mut ask = |doc: &Json, reader: &mut BufReader<TcpStream>| -> Json {
+        let io_fail = |e: &dyn std::fmt::Display| -> ! {
+            eprintln!("server at {addr} went away: {e}");
+            std::process::exit(1);
+        };
+        let line = doc.render();
+        if let Err(e) = writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")) {
+            io_fail(&e);
+        }
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(n) if n > 0 => {}
+            Ok(_) => io_fail(&"connection closed"),
+            Err(e) => io_fail(&e),
+        }
+        let doc = Json::parse(reply.trim_end()).unwrap_or_else(|e| {
+            eprintln!("unparseable reply from {addr}: {e}");
+            std::process::exit(1);
+        });
+        if doc.get("ok") != Some(&Json::Bool(true)) {
+            eprintln!("server refused the request: {}", doc.render());
+            std::process::exit(1);
+        }
+        doc.get("result").cloned().unwrap_or(Json::Null)
+    };
+
+    let mut pairs = vec![("op", Json::str("submit_kernel")), ("asm", Json::str(asm))];
+    if let Some(env) = env_doc {
+        pairs.push(("env", env));
+    }
+    let verdict = ask(&Json::obj(pairs), &mut reader);
+    match verdict.get("accepted") {
+        Some(Json::Bool(true)) => {}
+        Some(Json::Bool(false)) => {
+            println!("{}", verdict.pretty());
+            eprintln!(
+                "REJECTED: {}",
+                verdict.get("reason").and_then(Json::as_str).unwrap_or("unknown reason")
+            );
+            std::process::exit(3);
+        }
+        _ => {
+            eprintln!("reply carries no `accepted` verdict: {}", verdict.render());
+            std::process::exit(1);
+        }
+    }
+    println!("{}", verdict.pretty());
+    let Some(id) = verdict.get("id").and_then(Json::as_str).map(String::from) else {
+        eprintln!("accepted reply carries no artifact id");
+        std::process::exit(1);
+    };
+    eprintln!("ACCEPTED as {id}");
+
+    if estimate {
+        let req = Json::obj(vec![("op", Json::str("estimate")), ("kernel", Json::str(&id))]);
+        let first = ask(&req, &mut reader);
+        let second = ask(&req, &mut reader);
+        if first.render() != second.render() {
+            eprintln!(
+                "estimate replies are not bit-identical:\n  {}\n  {}",
+                first.render(),
+                second.render()
+            );
+            std::process::exit(1);
+        }
+        println!("{}", first.pretty());
+        eprintln!("estimate: two runs bit-identical");
+    }
     std::process::exit(0);
 }
 

@@ -27,6 +27,7 @@ fn help_names_every_subcommand() {
         "lint",
         "bench",
         "serve",
+        "submit",
         "loadgen",
         "top",
         "help",
@@ -56,8 +57,13 @@ fn help_documents_serving_flags_and_exit_codes() {
         "--max-conns",
         "--idle-timeout-ms",
         "--max-outbox-kb",
+        "--max-fuel",
     ] {
         assert!(text.contains(flag), "help must mention serve flag `{flag}`:\n{text}");
+    }
+    // The admission pipeline's knobs.
+    for flag in ["--asm", "--env", "--report", "--estimate"] {
+        assert!(text.contains(flag), "help must mention submission flag `{flag}`:\n{text}");
     }
     // The loadgen's knobs.
     for flag in [
@@ -96,7 +102,7 @@ fn unknown_command_and_flag_exit_2_with_usage() {
     assert_eq!(out.status.code(), Some(2));
 
     // Subcommand arg parsers reject unknown flags the same way.
-    for sub in ["serve", "loadgen", "top"] {
+    for sub in ["serve", "loadgen", "top", "submit", "lint"] {
         let out = repro().args([sub, "--no-such-flag"]).output().expect("runs");
         assert_eq!(out.status.code(), Some(2), "{sub} --no-such-flag");
         let err = String::from_utf8(out.stderr).expect("utf8");

@@ -99,7 +99,8 @@ fn cli_verify_passes_clean() {
         repro().args(["verify", "--seed", "42", "--cases", "5"]).output().expect("repro runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
     let text = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(text.matches("PASS").count(), 4, "{text}");
+    assert_eq!(text.matches("PASS").count(), 5, "{text}");
+    assert!(text.contains("bounds-soundness"), "{text}");
 }
 
 /// `repro verify --inject reduction-op` exits 1, reports a minimized

@@ -79,6 +79,12 @@ pub struct Machine {
     pub executed_vector: u64,
     /// Instructions retired per [`OpClass`], indexed by [`OpClass::index`].
     pub retired_by_class: [u64; OpClass::ALL.len()],
+    /// Bytes moved through memory by every executed load/store: `vl × EW`
+    /// per vector memory op, 4/8 per scalar FP load. This is the dynamic
+    /// counterpart of the static analyser's `mem_bytes_bound`.
+    pub mem_bytes: u64,
+    /// When enabled, every memory access as `(addr, len)`, in order.
+    touched_log: Option<Vec<(u64, usize)>>,
 }
 
 impl Machine {
@@ -96,6 +102,31 @@ impl Machine {
             executed: 0,
             executed_vector: 0,
             retired_by_class: [0; OpClass::ALL.len()],
+            mem_bytes: 0,
+            touched_log: None,
+        }
+    }
+
+    /// Start recording every memory access as `(addr, len)`; the
+    /// bounds-soundness oracle uses the log to check inferred per-buffer
+    /// spans against reality.
+    pub fn enable_mem_tracking(&mut self) {
+        self.touched_log = Some(Vec::new());
+    }
+
+    /// The recorded memory accesses, if tracking was enabled.
+    pub fn touched_accesses(&self) -> Option<&[(u64, usize)]> {
+        self.touched_log.as_deref()
+    }
+
+    /// Account one successful memory access.
+    fn note_mem(&mut self, addr: u64, len: usize) {
+        if len == 0 {
+            return;
+        }
+        self.mem_bytes = self.mem_bytes.saturating_add(len as u64);
+        if let Some(log) = &mut self.touched_log {
+            log.push((addr, len));
         }
     }
 
@@ -325,13 +356,23 @@ impl Machine {
     /// enabled, the run's per-class retirement deltas are published as
     /// `rvv.retired.<class>` counters.
     pub fn run(&mut self, program: &Program, max_steps: u64) -> Result<(), ExecError> {
+        self.run_fueled(program, max_steps).map(|_| ())
+    }
+
+    /// Execute with a hard fuel bound; on success returns the number of
+    /// interpreter steps the run took (every dispatched instruction,
+    /// labels included — the quantity the static analyser's `step_bound`
+    /// over-approximates). The admission pipeline calls this with fuel
+    /// derived from the bound, so a kernel that was admitted on a bad
+    /// bound fails with [`ExecError::StepLimit`] instead of running away.
+    pub fn run_fueled(&mut self, program: &Program, fuel: u64) -> Result<u64, ExecError> {
         let _span = rvhpc_trace::span!(
             "rvv.run",
             insts = program.len_insts(),
             dialect = format!("{:?}", self.dialect),
         );
         let before = rvhpc_trace::enabled().then_some(self.retired_by_class);
-        let result = self.run_inner(program, max_steps);
+        let result = self.run_inner(program, fuel);
         if let Some(before) = before {
             for class in OpClass::ALL {
                 let delta = self.retired_by_class[class.index()] - before[class.index()];
@@ -342,7 +383,7 @@ impl Machine {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn run_inner(&mut self, program: &Program, max_steps: u64) -> Result<(), ExecError> {
+    fn run_inner(&mut self, program: &Program, max_steps: u64) -> Result<u64, ExecError> {
         let labels: HashMap<String, usize> = program.label_map().map_err(ExecError::BadProgram)?;
         let mut pc = 0usize;
         let mut steps = 0u64;
@@ -362,7 +403,7 @@ impl Machine {
             }
             match inst {
                 Inst::Label(_) => {}
-                Inst::Ret => return Ok(()),
+                Inst::Ret => return Ok(steps),
                 Inst::Li { rd, imm } => self.set_x(rd.0, *imm as u64),
                 Inst::Mv { rd, rs } => self.set_x(rd.0, self.x(rs.0)),
                 Inst::Add { rd, rs1, rs2 } => {
@@ -407,12 +448,14 @@ impl Machine {
                     let b = self.load_mem(addr, 4)?;
                     let v = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
                     self.set_f(fd.0, v as f64);
+                    self.note_mem(addr, 4);
                 }
                 Inst::Fld { fd, rs1, imm } => {
                     let addr = self.x(rs1.0).wrapping_add(*imm as u64);
                     let b = self.load_mem(addr, 8)?;
                     let v = f64::from_le_bytes(b.try_into().expect("8 bytes"));
                     self.set_f(fd.0, v);
+                    self.note_mem(addr, 8);
                 }
                 Inst::Vsetvli { rd, rs1, sew, lmul, tail_agnostic, .. } => {
                     let avl = self.x(rs1.0) as usize;
@@ -425,6 +468,7 @@ impl Machine {
                     let (_, lmul, ta) = self.vtype()?;
                     let base = self.x(rs1.0);
                     self.check_mem(base, self.vl * eew.bytes())?;
+                    self.note_mem(base, self.vl * eew.bytes());
                     for i in 0..self.vl {
                         let b = self.load_mem(base + (i * eew.bytes()) as u64, eew.bytes())?;
                         let mut buf = [0u8; 8];
@@ -436,6 +480,7 @@ impl Machine {
                 Inst::Vse { vs, rs1, eew } => {
                     let base = self.x(rs1.0);
                     self.check_mem(base, self.vl * eew.bytes())?;
+                    self.note_mem(base, self.vl * eew.bytes());
                     for i in 0..self.vl {
                         let val = self.read_elem(vs.0, i, *eew);
                         let a = (base as usize) + i * eew.bytes();
@@ -453,6 +498,7 @@ impl Machine {
                         let mut buf = [0u8; 8];
                         buf[..eew.bytes()].copy_from_slice(b);
                         self.write_elem(vd.0, i, *eew, u64::from_le_bytes(buf));
+                        self.note_mem(addr, eew.bytes());
                     }
                     self.apply_tail(vd.0, *eew, lmul, ta);
                 }
@@ -462,6 +508,7 @@ impl Machine {
                     for i in 0..self.vl {
                         let addr = base.wrapping_add(st.wrapping_mul(i as u64));
                         self.check_mem(addr, eew.bytes())?;
+                        self.note_mem(addr, eew.bytes());
                         let val = self.read_elem(vs.0, i, *eew);
                         let a = addr as usize;
                         self.mem[a..a + eew.bytes()]
@@ -652,7 +699,7 @@ impl Machine {
             }
             pc += 1;
         }
-        Ok(())
+        Ok(steps)
     }
 
     /// Read mask bit `i` of register v0 (LSB-packed, one bit per element).
@@ -930,5 +977,63 @@ loop:
         assert_eq!(m.executed, 21);
         // 5 vector insts per iteration × 2 iterations.
         assert_eq!(m.executed_vector, 10);
+    }
+
+    fn daxpy_machine(n: usize) -> Machine {
+        let mut m = Machine::new(Dialect::V10, 4096);
+        let x: Vec<f32> = vec![1.0; n];
+        m.write_f32s(0, &x);
+        m.write_f32s(1024, &x);
+        m.set_x(10, n as u64);
+        m.set_x(11, 0);
+        m.set_x(12, 1024);
+        m.set_f(0, 1.0);
+        m
+    }
+
+    #[test]
+    fn run_fueled_returns_exact_step_count() {
+        // Steps count every dispatch including the `loop:` label: two
+        // iterations × 11 dispatches + ret = 23.
+        let steps = daxpy_machine(8).run_fueled(&daxpy_v10_f32(), 10_000).unwrap();
+        assert_eq!(steps, 23);
+    }
+
+    #[test]
+    fn fuel_equal_to_step_count_is_enough_and_one_less_is_not() {
+        let p = daxpy_v10_f32();
+        let steps = daxpy_machine(8).run_fueled(&p, 10_000).unwrap();
+        assert_eq!(daxpy_machine(8).run_fueled(&p, steps).unwrap(), steps);
+        assert!(matches!(
+            daxpy_machine(8).run_fueled(&p, steps - 1).unwrap_err(),
+            ExecError::StepLimit
+        ));
+    }
+
+    #[test]
+    fn mem_bytes_counts_every_access() {
+        let mut m = daxpy_machine(8);
+        m.run(&daxpy_v10_f32(), 10_000).unwrap();
+        // Per iteration: two vle32 + one vse32, each vl=4 × 4 bytes = 16.
+        assert_eq!(m.mem_bytes, 2 * 3 * 16);
+    }
+
+    #[test]
+    fn touched_log_records_accesses_only_when_enabled() {
+        let mut quiet = daxpy_machine(8);
+        quiet.run(&daxpy_v10_f32(), 10_000).unwrap();
+        assert!(quiet.touched_accesses().is_none());
+
+        let mut m = daxpy_machine(8);
+        m.enable_mem_tracking();
+        m.run(&daxpy_v10_f32(), 10_000).unwrap();
+        let log = m.touched_accesses().unwrap();
+        assert_eq!(log.len(), 6);
+        assert_eq!(log[0], (0, 16), "first vle32 of x at base 0");
+        assert_eq!(log[1], (1024, 16), "first vle32 of y");
+        assert_eq!(log[2], (1024, 16), "first vse32 of y");
+        assert_eq!(log[3], (16, 16), "second iteration advances by vl×4");
+        let total: u64 = log.iter().map(|&(_, len)| len as u64).sum();
+        assert_eq!(total, m.mem_bytes);
     }
 }

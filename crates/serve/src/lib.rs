@@ -51,7 +51,9 @@ pub mod protocol;
 pub(crate) mod reactor;
 pub mod server;
 pub mod signal;
+pub mod submit;
 
 pub use loadgen::{run_loadgen, LoadgenConfig, LoadgenReport};
 pub use protocol::{ErrorKind, Request, MAX_LINE_BYTES};
 pub use server::{ServeConfig, Server, ServerStats};
+pub use submit::{admit_kernel, KernelArtifact, Rejection, DEFAULT_MAX_FUEL, MAX_SUBMIT_INSTS};

@@ -93,6 +93,51 @@ pub enum Request {
         /// Restrict to one kernel class, if set.
         class: Option<KernelClass>,
     },
+    /// Run an admitted kernel artifact (`kernel` was a `k:` id). Answered
+    /// inline; execution is deterministic, so replies are bit-identical.
+    EstimateKernel {
+        /// Content-hash artifact id (`k:<fnv64hex>`).
+        id: String,
+    },
+    /// The stored `rvhpc-analysis-v1` report of an admitted kernel
+    /// (`kernel` was a `k:` id).
+    ExplainKernel {
+        /// Content-hash artifact id (`k:<fnv64hex>`).
+        id: String,
+    },
+    /// Estimate a catalog kernel on a *submitted* machine (`machine` was
+    /// an `m:` id). Answered inline and never cached: submitted
+    /// descriptors share no cache key space with the catalog.
+    EstimateSubmitted {
+        /// Content-hash machine id (`m:<fnv64hex>`).
+        machine_ref: String,
+        /// Kernel to estimate.
+        kernel: KernelName,
+        /// Full run configuration (RISC-V defaults + overrides).
+        cfg: RunConfig,
+    },
+    /// Component breakdown on a submitted machine (`machine` was `m:`).
+    ExplainSubmitted {
+        /// Content-hash machine id (`m:<fnv64hex>`).
+        machine_ref: String,
+        /// Kernel to explain.
+        kernel: KernelName,
+        /// Full run configuration.
+        cfg: RunConfig,
+    },
+    /// Submit RVV assembly through the lint-gated admission pipeline.
+    SubmitKernel {
+        /// The assembly text.
+        asm: String,
+        /// Raw `env` JSON (calling convention), if the client sent one.
+        env: Option<String>,
+    },
+    /// Submit a machine descriptor (`rvhpc-machine-v1` JSON) through the
+    /// descriptor lint; accepted machines become `m:` artifacts.
+    SubmitMachine {
+        /// The descriptor document, re-rendered to canonical text.
+        descriptor: String,
+    },
     /// Lint a machine descriptor: a catalog entry plus optional what-if
     /// overrides, checked by `rvhpc-analyze`'s descriptor lint.
     LintMachine {
@@ -135,9 +180,15 @@ impl Request {
     /// The op token (mirrors the request's `op` field).
     pub fn op(&self) -> &'static str {
         match self {
-            Request::Estimate { .. } => "estimate",
-            Request::Explain { .. } => "explain",
+            Request::Estimate { .. }
+            | Request::EstimateKernel { .. }
+            | Request::EstimateSubmitted { .. } => "estimate",
+            Request::Explain { .. }
+            | Request::ExplainKernel { .. }
+            | Request::ExplainSubmitted { .. } => "explain",
             Request::Suite { .. } => "suite",
+            Request::SubmitKernel { .. } => "submit_kernel",
+            Request::SubmitMachine { .. } => "submit_machine",
             Request::LintMachine { .. } => "lint_machine",
             Request::Stats => "stats",
             Request::Metrics { .. } => "metrics",
@@ -169,6 +220,8 @@ fn allowed_fields(op: &str) -> &'static [&'static str] {
         }
         "suite" => &["machine", "precision", "threads", "vectorize", "mode", "placement", "class"],
         "lint_machine" => &["machine", "clock_ghz", "memory_controllers", "bw_per_controller_gbs"],
+        "submit_kernel" => &["asm", "env"],
+        "submit_machine" => &["descriptor"],
         "sleep" => &["ms"],
         "metrics" => &["format"],
         "slow_requests" => &["limit"],
@@ -200,18 +253,32 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
         }
     }
     let parsed = match op {
-        "estimate" => machine_kernel_cfg(&doc).and_then(|(machine, kernel, cfg)| {
-            let deadline_ms = match doc.get("deadline_ms") {
-                None => None,
-                Some(v) => Some(parse_count(v, "deadline_ms")?),
-            };
-            Ok(Request::Estimate { machine, kernel, cfg, deadline_ms })
-        }),
-        "explain" => machine_kernel_cfg(&doc).map(|(machine, kernel, cfg)| Request::Explain {
-            machine,
-            kernel,
-            cfg,
-        }),
+        "estimate" => match artifact_route(&doc) {
+            Some(ArtifactRoute::Kernel(id)) => {
+                kernel_artifact_fields_ok(&doc).map(|()| Request::EstimateKernel { id })
+            }
+            Some(ArtifactRoute::Machine(machine_ref)) => submitted_kernel_cfg(&doc)
+                .map(|(kernel, cfg)| Request::EstimateSubmitted { machine_ref, kernel, cfg }),
+            None => machine_kernel_cfg(&doc).and_then(|(machine, kernel, cfg)| {
+                let deadline_ms = match doc.get("deadline_ms") {
+                    None => None,
+                    Some(v) => Some(parse_count(v, "deadline_ms")?),
+                };
+                Ok(Request::Estimate { machine, kernel, cfg, deadline_ms })
+            }),
+        },
+        "explain" => match artifact_route(&doc) {
+            Some(ArtifactRoute::Kernel(id)) => {
+                kernel_artifact_fields_ok(&doc).map(|()| Request::ExplainKernel { id })
+            }
+            Some(ArtifactRoute::Machine(machine_ref)) => submitted_kernel_cfg(&doc)
+                .map(|(kernel, cfg)| Request::ExplainSubmitted { machine_ref, kernel, cfg }),
+            None => machine_kernel_cfg(&doc).map(|(machine, kernel, cfg)| Request::Explain {
+                machine,
+                kernel,
+                cfg,
+            }),
+        },
         "suite" => machine_cfg(&doc).and_then(|(machine, cfg)| {
             let class = match doc.get("class").map(|v| (v, v.as_str())) {
                 None => None,
@@ -220,6 +287,24 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
             };
             Ok(Request::Suite { machine, cfg, class })
         }),
+        "submit_kernel" => {
+            let Some(asm) = doc.get("asm").and_then(Json::as_str) else {
+                return (id, Err("missing string field `asm`".to_string()));
+            };
+            let env = match doc.get("env") {
+                None | Some(Json::Null) => None,
+                // Re-render: the env parser owns validation and the
+                // canonical text feeds the content hash.
+                Some(v @ Json::Obj(_)) => Some(v.render()),
+                Some(v) => return (id, Err(format!("`env` must be an object, got {v:?}"))),
+            };
+            Ok(Request::SubmitKernel { asm: asm.to_string(), env })
+        }
+        "submit_machine" => match doc.get("descriptor") {
+            Some(v @ Json::Obj(_)) => Ok(Request::SubmitMachine { descriptor: v.render() }),
+            Some(v) => Err(format!("`descriptor` must be an object, got {v:?}")),
+            None => Err("missing object field `descriptor`".to_string()),
+        },
         "lint_machine" => parse_machine(&doc).and_then(|machine| {
             Ok(Request::LintMachine {
                 machine,
@@ -260,11 +345,63 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
         },
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op `{other}` (known: estimate, explain, suite, lint_machine, \
-             stats, metrics, slow_requests, ping, sleep, shutdown)"
+            "unknown op `{other}` (known: estimate, explain, suite, submit_kernel, \
+             submit_machine, lint_machine, stats, metrics, slow_requests, ping, \
+             sleep, shutdown)"
         )),
     };
     (id, parsed)
+}
+
+/// How an `estimate`/`explain` request addresses submitted artifacts.
+enum ArtifactRoute {
+    /// `kernel` is a `k:` content-hash id: run the admitted kernel.
+    Kernel(String),
+    /// `machine` is an `m:` content-hash id: use the submitted machine.
+    Machine(String),
+}
+
+/// Detect artifact-id routing: a `k:`-prefixed `kernel` or an
+/// `m:`-prefixed `machine`. `k:` wins — a kernel artifact carries its own
+/// execution environment, so a machine reference would be meaningless.
+fn artifact_route(doc: &Json) -> Option<ArtifactRoute> {
+    if let Some(kid) = doc.get("kernel").and_then(Json::as_str) {
+        if kid.starts_with("k:") {
+            return Some(ArtifactRoute::Kernel(kid.to_string()));
+        }
+    }
+    if let Some(mid) = doc.get("machine").and_then(Json::as_str) {
+        if mid.starts_with("m:") {
+            return Some(ArtifactRoute::Machine(mid.to_string()));
+        }
+    }
+    None
+}
+
+/// A `k:` artifact request names its whole execution (program + env +
+/// fuel), so model knobs would be silently meaningless — reject them.
+fn kernel_artifact_fields_ok(doc: &Json) -> Result<(), String> {
+    for field in ["machine", "precision", "threads", "vectorize", "mode", "placement"] {
+        if doc.get(field).is_some() {
+            return Err(format!(
+                "`{field}` does not apply to a kernel artifact: a `k:` id fixes the \
+                 program, environment and fuel at admission"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Kernel + run configuration for a submitted (`m:`) machine. Submitted
+/// descriptors are RVV machines by construction, so the RISC-V paper-best
+/// defaults apply.
+fn submitted_kernel_cfg(doc: &Json) -> Result<(KernelName, RunConfig), String> {
+    let Some(label) = doc.get("kernel").and_then(Json::as_str) else {
+        return Err("missing string field `kernel`".to_string());
+    };
+    let kernel = KernelName::from_label(label)
+        .ok_or_else(|| format!("unknown kernel `{label}`; labels are e.g. Basic_DAXPY"))?;
+    Ok((kernel, cfg_from(doc, true)?))
 }
 
 fn parse_machine(doc: &Json) -> Result<MachineId, String> {
@@ -324,6 +461,12 @@ fn machine_kernel_cfg(doc: &Json) -> Result<(MachineId, KernelName, RunConfig), 
 /// layer the optional `vectorize` / `mode` / `placement` overrides on top.
 fn machine_cfg(doc: &Json) -> Result<(MachineId, RunConfig), String> {
     let machine = parse_machine(doc)?;
+    let cfg = cfg_from(doc, machine.is_riscv())?;
+    Ok((machine, cfg))
+}
+
+/// The shared precision/threads/vectorize/mode/placement override logic.
+fn cfg_from(doc: &Json, is_riscv: bool) -> Result<RunConfig, String> {
     let precision = match doc.get("precision").map(|v| (v, v.as_str())) {
         None => Precision::Fp64,
         Some((_, Some("fp64"))) => Precision::Fp64,
@@ -337,7 +480,7 @@ fn machine_cfg(doc: &Json) -> Result<(MachineId, RunConfig), String> {
             n => n as usize,
         },
     };
-    let mut cfg = if machine.is_riscv() {
+    let mut cfg = if is_riscv {
         RunConfig::sg2042_best(precision, threads)
     } else {
         RunConfig::x86(precision, threads)
@@ -363,7 +506,7 @@ fn machine_cfg(doc: &Json) -> Result<(MachineId, RunConfig), String> {
         }
         Some((v, None)) => return Err(format!("`placement` must be a string, got {v:?}")),
     }
-    Ok((machine, cfg))
+    Ok(cfg)
 }
 
 /// Render an ok response line (no trailing newline).
@@ -524,6 +667,54 @@ mod tests {
         ));
         assert!(must_fail(r#"{"op":"slow_requests","limit":0}"#).contains(">= 1"));
         assert!(must_fail(r#"{"op":"slow_requests","limit":-2}"#).contains("non-negative"));
+    }
+
+    #[test]
+    fn submission_ops_parse_with_validation() {
+        let r = must_parse(r#"{"op":"submit_kernel","asm":"    ret\n"}"#);
+        let Request::SubmitKernel { asm, env: None } = r else { panic!("wrong variant") };
+        assert_eq!(asm, "    ret\n");
+        let r = must_parse(r#"{"op":"submit_kernel","asm":"ret","env":{"x":{"10":64}}}"#);
+        let Request::SubmitKernel { env: Some(env), .. } = r else { panic!("wrong variant") };
+        assert!(env.contains("\"10\""), "{env}");
+        assert!(must_fail(r#"{"op":"submit_kernel"}"#).contains("`asm`"));
+        assert!(must_fail(r#"{"op":"submit_kernel","asm":"ret","env":[1]}"#)
+            .contains("`env` must be an object"));
+        assert!(must_fail(r#"{"op":"submit_kernel","asm":"ret","fuel":9}"#)
+            .contains("unknown field `fuel`"));
+        let r = must_parse(r#"{"op":"submit_machine","descriptor":{"schema":"x"}}"#);
+        assert!(matches!(r, Request::SubmitMachine { .. }));
+        assert!(must_fail(r#"{"op":"submit_machine"}"#).contains("`descriptor`"));
+        assert!(must_fail(r#"{"op":"submit_machine","descriptor":"text"}"#)
+            .contains("must be an object"));
+    }
+
+    #[test]
+    fn artifact_ids_route_estimate_and_explain() {
+        let r = must_parse(r#"{"op":"estimate","kernel":"k:0123456789abcdef"}"#);
+        let Request::EstimateKernel { id } = r else { panic!("wrong variant") };
+        assert_eq!(id, "k:0123456789abcdef");
+        assert!(matches!(
+            must_parse(r#"{"op":"explain","kernel":"k:00"}"#),
+            Request::ExplainKernel { .. }
+        ));
+        // Model knobs are meaningless on a kernel artifact.
+        assert!(must_fail(r#"{"op":"estimate","kernel":"k:00","machine":"sg2042"}"#)
+            .contains("does not apply"));
+        assert!(must_fail(r#"{"op":"estimate","kernel":"k:00","threads":4}"#)
+            .contains("does not apply"));
+        let r =
+            must_parse(r#"{"op":"estimate","machine":"m:ff","kernel":"Basic_DAXPY","threads":8}"#);
+        let Request::EstimateSubmitted { machine_ref, kernel, cfg } = r else {
+            panic!("wrong variant");
+        };
+        assert_eq!(machine_ref, "m:ff");
+        assert_eq!(kernel, KernelName::DAXPY);
+        assert_eq!(cfg.threads, 8);
+        assert!(matches!(
+            must_parse(r#"{"op":"explain","machine":"m:ff","kernel":"Basic_DAXPY"}"#),
+            Request::ExplainSubmitted { .. }
+        ));
     }
 
     #[test]

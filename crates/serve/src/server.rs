@@ -81,7 +81,16 @@ pub struct ServeConfig {
     /// this many bytes (a slow or stalled reader) is dropped so one
     /// client can never balloon server memory or block the event loop.
     pub max_outbox_bytes: usize,
+    /// Interpreter fuel ceiling for submitted kernels: a submission whose
+    /// inferred step bound needs more fuel than this is rejected at
+    /// admission (`over_fuel`) instead of admitted and truncated.
+    pub max_fuel: u64,
 }
+
+/// Most recently admitted artifacts kept addressable, per kind. Beyond
+/// this many, the oldest is evicted FIFO (and counted): the registry must
+/// not become an unbounded memory for hostile submitters.
+pub const REGISTRY_CAP: usize = 256;
 
 impl Default for ServeConfig {
     fn default() -> Self {
@@ -97,6 +106,7 @@ impl Default for ServeConfig {
             max_conns: 4096,
             idle_timeout: Duration::ZERO,
             max_outbox_bytes: 256 * 1024,
+            max_fuel: crate::submit::DEFAULT_MAX_FUEL,
         }
     }
 }
@@ -138,6 +148,16 @@ pub struct ServerStats {
     /// Connections dropped because buffered replies exceeded
     /// `max_outbox_bytes` (reactor mode).
     pub dropped_slow: AtomicU64,
+    /// Kernel submissions admitted through the lint gate.
+    pub submitted_kernels: AtomicU64,
+    /// Machine descriptors admitted through the descriptor lint.
+    pub submitted_machines: AtomicU64,
+    /// Submissions rejected by the admission pipeline (either kind).
+    pub rejected_submissions: AtomicU64,
+    /// Artifacts evicted from the bounded registry (either kind).
+    pub artifact_evictions: AtomicU64,
+    /// Admitted kernel artifacts executed via `estimate`.
+    pub kernel_runs: AtomicU64,
 }
 
 impl ServerStats {
@@ -166,6 +186,14 @@ impl ServerStats {
                     ("rejected_conn_cap", num(self.rejected_conn_cap.load(Ordering::Relaxed))),
                     ("idle_disconnects", num(self.idle_disconnects.load(Ordering::Relaxed))),
                     ("dropped_slow", num(self.dropped_slow.load(Ordering::Relaxed))),
+                    ("submitted_kernels", num(self.submitted_kernels.load(Ordering::Relaxed))),
+                    ("submitted_machines", num(self.submitted_machines.load(Ordering::Relaxed))),
+                    (
+                        "rejected_submissions",
+                        num(self.rejected_submissions.load(Ordering::Relaxed)),
+                    ),
+                    ("artifact_evictions", num(self.artifact_evictions.load(Ordering::Relaxed))),
+                    ("kernel_runs", num(self.kernel_runs.load(Ordering::Relaxed))),
                     ("draining", Json::Bool(draining)),
                 ]),
             ),
@@ -354,6 +382,49 @@ fn observe_request(
     });
 }
 
+/// The bounded FIFO store of admitted artifacts. Insertion under the same
+/// id replaces in place (content-addressed ids make that a no-op
+/// semantically); otherwise the oldest entry is evicted once the kind's
+/// list reaches [`REGISTRY_CAP`].
+struct Registry<T> {
+    entries: Mutex<Vec<(String, Arc<T>)>>,
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Registry { entries: Mutex::new(Vec::new()) }
+    }
+}
+
+impl<T> Registry<T> {
+    /// Insert, returning how many old artifacts were evicted to make room.
+    fn insert(&self, id: &str, value: T) -> u64 {
+        let mut entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if let Some(slot) = entries.iter_mut().find(|(eid, _)| eid == id) {
+            slot.1 = Arc::new(value);
+            return 0;
+        }
+        entries.push((id.to_string(), Arc::new(value)));
+        let mut evicted = 0;
+        while entries.len() > REGISTRY_CAP {
+            entries.remove(0);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn get(&self, id: &str) -> Option<Arc<T>> {
+        let entries = match self.entries.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        entries.iter().find(|(eid, _)| eid == id).map(|(_, v)| Arc::clone(v))
+    }
+}
+
 pub(crate) struct Shared {
     pub(crate) config: ServeConfig,
     pub(crate) stats: ServerStats,
@@ -362,6 +433,8 @@ pub(crate) struct Shared {
     draining: AtomicBool,
     pub(crate) batcher_done: AtomicBool,
     pub(crate) active_conns: AtomicUsize,
+    kernels: Registry<crate::submit::KernelArtifact>,
+    machines: Registry<rvhpc_machines::Machine>,
     queue_tx: SyncSender<WorkItem>,
 }
 
@@ -425,6 +498,8 @@ impl Server {
             draining: AtomicBool::new(false),
             batcher_done: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
+            kernels: Registry::default(),
+            machines: Registry::default(),
             queue_tx,
         });
 
@@ -648,6 +723,118 @@ pub(crate) fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: 
         }
         Request::Suite { machine: m, cfg, class } => {
             ok_response(&id, op, run_suite_slice(m, &cfg, class))
+        }
+        Request::SubmitKernel { asm, env } => {
+            match crate::submit::admit_kernel(&asm, env.as_deref(), shared.config.max_fuel) {
+                Ok(artifact) => {
+                    let result = crate::submit::accepted_json(&artifact);
+                    let aid = artifact.id.clone();
+                    let evicted = shared.kernels.insert(&aid, artifact);
+                    shared.stats.artifact_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    shared.stats.submitted_kernels.fetch_add(1, Ordering::Relaxed);
+                    rvhpc_trace::counter!("serve.submit.kernel_accepted", 1);
+                    ok_response(&id, op, result)
+                }
+                Err(rejection) => {
+                    shared.stats.rejected_submissions.fetch_add(1, Ordering::Relaxed);
+                    rvhpc_trace::counter!("serve.submit.rejected", 1);
+                    ok_response(&id, op, rejection.to_json())
+                }
+            }
+        }
+        Request::SubmitMachine { descriptor } => {
+            let (parsed, findings) = rvhpc_analyze::lint_descriptor(&descriptor);
+            match (parsed, findings.is_empty()) {
+                (Some(m), true) => {
+                    let mid = format!("m:{:016x}", crate::submit::fnv64(descriptor.as_bytes()));
+                    let name = m.name.clone();
+                    let evicted = shared.machines.insert(&mid, m);
+                    shared.stats.artifact_evictions.fetch_add(evicted, Ordering::Relaxed);
+                    shared.stats.submitted_machines.fetch_add(1, Ordering::Relaxed);
+                    rvhpc_trace::counter!("serve.submit.machine_accepted", 1);
+                    let result = Json::obj(vec![
+                        ("accepted", Json::Bool(true)),
+                        ("id", Json::str(&mid)),
+                        ("name", Json::str(&name)),
+                    ]);
+                    ok_response(&id, op, result)
+                }
+                (_, _) => {
+                    shared.stats.rejected_submissions.fetch_add(1, Ordering::Relaxed);
+                    rvhpc_trace::counter!("serve.submit.rejected", 1);
+                    let result = Json::obj(vec![
+                        ("accepted", Json::Bool(false)),
+                        ("reason", Json::str("descriptor_findings")),
+                        ("findings", Json::Arr(findings.iter().map(|d| d.to_json()).collect())),
+                    ]);
+                    ok_response(&id, op, result)
+                }
+            }
+        }
+        Request::EstimateKernel { id: aid } => match shared.kernels.get(&aid) {
+            Some(artifact) => match crate::submit::execute_kernel(&artifact) {
+                Ok(result) => {
+                    shared.stats.kernel_runs.fetch_add(1, Ordering::Relaxed);
+                    rvhpc_trace::counter!("serve.submit.kernel_runs", 1);
+                    ok_response(&id, op, result)
+                }
+                Err(msg) => error_response(&id, ErrorKind::BadRequest, &msg, None),
+            },
+            None => error_response(
+                &id,
+                ErrorKind::BadRequest,
+                &format!(
+                    "unknown kernel artifact `{aid}` (submit_kernel first; the \
+                          registry keeps the most recent {REGISTRY_CAP})"
+                ),
+                None,
+            ),
+        },
+        Request::ExplainKernel { id: aid } => match shared.kernels.get(&aid) {
+            Some(artifact) => {
+                let result = Json::obj(vec![
+                    ("id", Json::str(&artifact.id)),
+                    ("fuel", Json::Num(artifact.fuel as f64)),
+                    ("report", artifact.report.to_json()),
+                ]);
+                ok_response(&id, op, result)
+            }
+            None => error_response(
+                &id,
+                ErrorKind::BadRequest,
+                &format!(
+                    "unknown kernel artifact `{aid}` (submit_kernel first; the \
+                          registry keeps the most recent {REGISTRY_CAP})"
+                ),
+                None,
+            ),
+        },
+        Request::EstimateSubmitted { machine_ref, kernel, cfg } => {
+            match shared.machines.get(&machine_ref) {
+                // Uncached on purpose: the estimate cache keys on catalog
+                // identity, which submitted descriptors do not have.
+                Some(m) => {
+                    let est = rvhpc_perfmodel::estimate(&m, kernel, &cfg);
+                    ok_response(&id, op, estimate_json(&est))
+                }
+                None => error_response(
+                    &id,
+                    ErrorKind::BadRequest,
+                    &format!("unknown machine artifact `{machine_ref}` (submit_machine first)"),
+                    None,
+                ),
+            }
+        }
+        Request::ExplainSubmitted { machine_ref, kernel, cfg } => {
+            match shared.machines.get(&machine_ref) {
+                Some(m) => ok_response(&id, op, explain(&m, kernel, &cfg).to_json()),
+                None => error_response(
+                    &id,
+                    ErrorKind::BadRequest,
+                    &format!("unknown machine artifact `{machine_ref}` (submit_machine first)"),
+                    None,
+                ),
+            }
         }
         Request::LintMachine {
             machine: m,

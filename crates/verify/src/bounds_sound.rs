@@ -1,0 +1,290 @@
+//! Soundness oracle for the static resource-bound inference.
+//!
+//! The admission pipeline trusts `rvhpc-analyze`'s inferred bounds twice:
+//! the step bound (times a safety factor) becomes the interpreter's fuel,
+//! and the per-buffer byte spans justify calling a kernel "admissible".
+//! Both are only safe if the bounds genuinely over-approximate every run.
+//! This oracle checks that on the one program population whose dynamic
+//! behaviour we can fully drive: every codegen-covered kernel, in both
+//! vector modes and element widths, plus its RVV-Rollback rewrite.
+//!
+//! For each random case the program is analysed under the streaming spec
+//! and then executed with fuel set *exactly* to the inferred step bound —
+//! a [`rvhpc_rvv::ExecError::StepLimit`] is therefore itself a soundness
+//! failure, not a tuning problem. Afterwards the dynamic counters must sit
+//! inside the static ones: observed steps ≤ step bound, observed memory
+//! traffic ≤ `mem_bytes_bound`, and every recorded access inside the
+//! inferred span of the buffer that owns its address.
+
+use crate::{drive, Fault, OracleReport, VerifyConfig};
+use rvhpc_analyze::{analyze_report, AnalysisReport, AnalysisSpec};
+use rvhpc_compiler::codegen::{generate, SUPPORTED};
+use rvhpc_compiler::VectorMode;
+use rvhpc_kernels::KernelName;
+use rvhpc_quickprop::Gen;
+use rvhpc_rvv::rollback::RollbackError;
+use rvhpc_rvv::{rollback, Dialect, Machine, Program, Sew, VLEN_BITS};
+use rvhpc_trace::json::Json;
+
+/// Oracle name (CLI token).
+pub const NAME: &str = "bounds-soundness";
+
+/// One randomized soundness case. Bounds are data-independent (control
+/// flow depends only on `n`), so no operand arrays are drawn: execution
+/// runs over zero-filled memory, which every supported kernel tolerates.
+#[derive(Debug, Clone)]
+pub struct BoundsCase {
+    /// Kernel under test (from `codegen::SUPPORTED`).
+    pub kernel: KernelName,
+    /// VLS or VLA code generation.
+    pub mode: VectorMode,
+    /// Element width.
+    pub sew: Sew,
+    /// Element count (lane multiple for VLS).
+    pub n: usize,
+}
+
+impl BoundsCase {
+    fn lanes(&self) -> usize {
+        (VLEN_BITS as u32 / self.sew.bits()) as usize
+    }
+
+    /// Human-readable summary.
+    pub fn describe(&self) -> String {
+        format!("{} {} e{} n={}", self.kernel, self.mode.label(), self.sew.bits(), self.n)
+    }
+
+    /// Full case as JSON (for the failure artefact).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("kernel", Json::str(self.kernel.label())),
+            ("mode", Json::str(self.mode.label())),
+            ("sew_bits", Json::Num(f64::from(self.sew.bits()))),
+            ("n", Json::Num(self.n as f64)),
+        ])
+    }
+}
+
+/// Generate a random case over the same population `rvv_diff` uses.
+pub fn generate_case(g: &mut Gen) -> BoundsCase {
+    let kernel = *g.choose(&SUPPORTED);
+    let mode = if g.bool_with(0.5) { VectorMode::Vls } else { VectorMode::Vla };
+    let sew = if g.bool_with(0.25) { Sew::E64 } else { Sew::E32 };
+    let lanes = (VLEN_BITS as u32 / sew.bits()) as usize;
+    let n = match mode {
+        VectorMode::Vls => lanes * g.usize_in(1..=24),
+        VectorMode::Vla => g.usize_in(1..=96),
+    };
+    BoundsCase { kernel, mode, sew, n }
+}
+
+/// Execute `program` with fuel set exactly to the inferred step bound and
+/// check every dynamic counter against the static report.
+fn check_bounds(
+    case: &BoundsCase,
+    program: &Program,
+    report: &AnalysisReport,
+    dialect: Dialect,
+) -> Result<(), String> {
+    let what = format!("{} under {dialect:?}", case.describe());
+    if report.bounds.unattributed_mem {
+        return Err(format!("memory access the analyser could not attribute for {what}"));
+    }
+    let Some(step_bound) = report.bounds.step_bound else {
+        return Err(format!("no step bound inferred for {what}"));
+    };
+
+    let n = case.n;
+    let eb = case.sew.bytes();
+    let mut m = Machine::new(dialect, 16 * 1024 + n * eb * 6);
+    m.enable_mem_tracking();
+    m.set_x(10, n as u64);
+    for (reg, region) in [(11u8, 0usize), (12, 1), (13, 2), (14, 3), (15, 4)] {
+        m.set_x(reg, (region * n * eb) as u64);
+    }
+    // IF_QUAD reads f0/f1/f3 as coefficients; everything else takes f0.
+    m.set_f(0, 1.0);
+    m.set_f(1, 2.0);
+    m.set_f(3, 0.0);
+
+    // Fuel is the bound itself: running out means the bound was unsound.
+    let steps = match m.run_fueled(program, step_bound) {
+        Ok(steps) => steps,
+        Err(rvhpc_rvv::ExecError::StepLimit) => {
+            return Err(format!(
+                "inferred step bound {step_bound} is too small: execution \
+                 exhausted it for {what}"
+            ));
+        }
+        Err(e) => return Err(format!("execution failed ({e:?}) for {what}")),
+    };
+    if steps > step_bound {
+        return Err(format!("observed {steps} steps above bound {step_bound} for {what}"));
+    }
+    let Some(mem_bound) = report.bounds.mem_bytes_bound else {
+        return Err(format!("no memory-traffic bound inferred for {what}"));
+    };
+    if m.mem_bytes > mem_bound {
+        return Err(format!(
+            "observed {} memory bytes above bound {mem_bound} for {what}",
+            m.mem_bytes
+        ));
+    }
+
+    // Every access must land inside the inferred span of its buffer. The
+    // streaming layout is dense: buffer `r` occupies [r·n·eb, (r+1)·n·eb).
+    let buf_len = n * eb;
+    for &(addr, len) in m.touched_accesses().unwrap_or(&[]) {
+        let addr = addr as usize;
+        let region = addr.checked_div(buf_len).unwrap_or(usize::MAX);
+        let Some(bound) = report.bounds.buffers.get(region) else {
+            return Err(format!(
+                "access ({addr}, {len}) outside the five streaming buffers for {what}"
+            ));
+        };
+        let off = (addr - region * buf_len) as i64;
+        if off < bound.touched_lo || off + len as i64 > bound.touched_hi {
+            return Err(format!(
+                "access at offset {off}+{len} of buffer `{}` escapes its inferred \
+                 span [{}, {}) for {what}",
+                bound.name, bound.touched_lo, bound.touched_hi
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Check one case: analyse, execute with fuel = bound, compare counters;
+/// then the same for the RVV-Rollback rewrite when it is accepted.
+pub fn check(case: &BoundsCase, fault: Fault) -> Result<(), String> {
+    let mut program =
+        generate(case.kernel, case.mode, case.sew).expect("SUPPORTED kernels always generate");
+    match fault {
+        Fault::None => {}
+        Fault::ReductionOp => {
+            crate::rvv_diff::inject_reduction_bug(&mut program);
+        }
+        Fault::DropVsetvli => {
+            crate::rvv_diff::inject_drop_vsetvli(&mut program);
+        }
+    }
+
+    let spec = AnalysisSpec::streaming(case.sew, case.n);
+    let report = analyze_report(&program, &spec);
+    // A program the lint rejects never reaches execution in the admission
+    // pipeline, so there is no dynamic run to bound (this is how the
+    // drop-vsetvli fault resolves: rejected before the interpreter).
+    let blocking = report.findings.iter().any(|d| d.pass != rvhpc_analyze::Pass::DeadStore);
+    if blocking {
+        return Ok(());
+    }
+    check_bounds(case, &program, &report, Dialect::V10)?;
+
+    match rollback(&program) {
+        Ok(rolled) => {
+            let rolled_report = analyze_report(&rolled, &spec.clone().v071());
+            check_bounds(case, &rolled, &rolled_report, Dialect::V071)?;
+        }
+        Err(RollbackError::Fp64Vector { .. }) if case.sew == Sew::E64 => {
+            // The paper's FP64 refusal: no v0.7.1 program exists to bound.
+        }
+        Err(e) => {
+            return Err(format!("rollback refused unexpectedly ({e}) for {}", case.describe()));
+        }
+    }
+    Ok(())
+}
+
+/// Strictly-simpler variants for counterexample minimization.
+pub fn shrink(case: &BoundsCase) -> Vec<BoundsCase> {
+    let step = match case.mode {
+        VectorMode::Vls => case.lanes(),
+        VectorMode::Vla => 1,
+    };
+    let mut out = Vec::new();
+    for nn in [step, case.n / 2 / step * step, case.n.saturating_sub(step)] {
+        if nn >= step && nn < case.n {
+            let mut c = case.clone();
+            c.n = nn;
+            out.push(c);
+        }
+    }
+    if case.mode == VectorMode::Vls && case.n % case.lanes() == 0 {
+        let mut c = case.clone();
+        c.mode = VectorMode::Vla;
+        out.push(c);
+    }
+    out
+}
+
+/// Run the oracle.
+pub fn run(cfg: &VerifyConfig) -> OracleReport {
+    drive(NAME, cfg, generate_case, check, shrink, BoundsCase::describe, BoundsCase::to_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance sweep: every supported kernel × mode × width, at an
+    /// awkward element count, has sound bounds for both dialects.
+    #[test]
+    fn bounds_are_sound_for_every_codegen_program_and_rollback() {
+        for kernel in SUPPORTED {
+            for mode in [VectorMode::Vla, VectorMode::Vls] {
+                for sew in [Sew::E32, Sew::E64] {
+                    let lanes = (VLEN_BITS as u32 / sew.bits()) as usize;
+                    let n = match mode {
+                        VectorMode::Vls => lanes * 7,
+                        VectorMode::Vla => 37,
+                    };
+                    let case = BoundsCase { kernel, mode, sew, n };
+                    check(&case, Fault::None)
+                        .unwrap_or_else(|e| panic!("{}: {e}", case.describe()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_cases_pass() {
+        for index in 0..60u64 {
+            let seed = rvhpc_quickprop::case_seed(rvhpc_quickprop::BASE_SEED, index);
+            let case = generate_case(&mut Gen::new(seed));
+            check(&case, Fault::None).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+
+    #[test]
+    fn codegen_programs_are_admissible_under_the_streaming_env() {
+        // The e2e submission path admits compiler output: the full
+        // admission predicate (not just bound existence) must hold.
+        for kernel in SUPPORTED {
+            let program = generate(kernel, VectorMode::Vla, Sew::E32).unwrap();
+            let report = analyze_report(&program, &AnalysisSpec::streaming(Sew::E32, 64));
+            assert!(report.admissible(), "{kernel}: not admissible: {:?}", report.findings);
+        }
+    }
+
+    #[test]
+    fn dropped_vsetvli_never_reaches_execution() {
+        let case =
+            BoundsCase { kernel: KernelName::DAXPY, mode: VectorMode::Vla, sew: Sew::E32, n: 16 };
+        // The fault makes the program lint-dirty; the oracle treats that
+        // as "rejected before execution", mirroring the admission gate.
+        check(&case, Fault::DropVsetvli).unwrap();
+    }
+
+    #[test]
+    fn shrink_preserves_vls_lane_multiples() {
+        let mut g = Gen::new(41);
+        for _ in 0..50 {
+            let case = generate_case(&mut g);
+            for cand in shrink(&case) {
+                if cand.mode == VectorMode::Vls {
+                    assert_eq!(cand.n % cand.lanes(), 0, "{}", cand.describe());
+                }
+            }
+        }
+    }
+}

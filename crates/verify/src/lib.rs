@@ -14,6 +14,11 @@
 //!   traffic (and hence miss rates) must agree within bounded divergence.
 //! * [`kernels_diff`] — every executable kernel's parallel path must match
 //!   its serial reference checksum, and `reset` must restore exact state.
+//! * [`bounds_sound`] — the static resource bounds `rvhpc-analyze` infers
+//!   (and the admission pipeline trusts for interpreter fuel) must
+//!   over-approximate every dynamic run: observed steps, memory traffic
+//!   and per-buffer spans all sit inside the inferred bounds, for every
+//!   codegen program and its rollback.
 //! * [`metamorphic`] — properties of `perfmodel` that hold on every
 //!   machine × kernel × precision × thread-count: FP32 never moves more
 //!   bytes than FP64, estimates are monotone in clock/bandwidth/threads
@@ -32,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod artefact;
+pub mod bounds_sound;
 pub mod cache_diff;
 pub mod kernels_diff;
 pub mod metamorphic;
@@ -133,8 +139,8 @@ impl OracleReport {
 }
 
 /// All oracle names, in run order.
-pub const ORACLES: [&str; 4] =
-    [rvv_diff::NAME, cache_diff::NAME, kernels_diff::NAME, metamorphic::NAME];
+pub const ORACLES: [&str; 5] =
+    [rvv_diff::NAME, bounds_sound::NAME, cache_diff::NAME, kernels_diff::NAME, metamorphic::NAME];
 
 /// Replay budget for counterexample minimization.
 const MINIMIZE_BUDGET: usize = 400;
@@ -198,6 +204,7 @@ pub(crate) fn drive<C: Clone>(
 pub fn run_oracle(name: &str, cfg: &VerifyConfig) -> Option<OracleReport> {
     match name {
         rvv_diff::NAME => Some(rvv_diff::run(cfg)),
+        bounds_sound::NAME => Some(bounds_sound::run(cfg)),
         cache_diff::NAME => Some(cache_diff::run(cfg)),
         kernels_diff::NAME => Some(kernels_diff::run(cfg)),
         metamorphic::NAME => Some(metamorphic::run(cfg)),
@@ -216,6 +223,7 @@ pub fn replay_case(oracle: &str, case_seed: u64, inject: Fault) -> Result<(), St
     let mut g = Gen::new(case_seed);
     match oracle {
         rvv_diff::NAME => rvv_diff::check(&rvv_diff::generate_case(&mut g), inject),
+        bounds_sound::NAME => bounds_sound::check(&bounds_sound::generate_case(&mut g), inject),
         cache_diff::NAME => cache_diff::check(&cache_diff::generate_case(&mut g), inject),
         kernels_diff::NAME => kernels_diff::check(&kernels_diff::generate_case(&mut g), inject),
         metamorphic::NAME => metamorphic::check(&metamorphic::generate_case(&mut g), inject),

@@ -1,0 +1,242 @@
+//! Quickprop fuzzing of the submission pipeline: hostile inputs through
+//! parse → lint → admit must always come back as a *structured* rejection
+//! (a stable reason token from the closed set) — never a panic, and never
+//! an unbounded run, because admission happens entirely before any
+//! interpreter execution. Valid submissions must be admitted and then
+//! actually complete within the fuel the gate granted.
+
+use rvhpc_quickprop::{run_cases, Gen};
+use rvhpc_serve::submit::execute_kernel;
+use rvhpc_serve::{admit_kernel, DEFAULT_MAX_FUEL, MAX_SUBMIT_INSTS};
+
+/// Every rejection reason `admit_kernel` may emit.
+const REASONS: [&str; 8] = [
+    "dialect_mixed",
+    "parse_error",
+    "bad_env",
+    "too_large",
+    "lint_findings",
+    "unbounded",
+    "unattributed_memory",
+    "over_fuel",
+];
+
+const CLEAN: &str = "\
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    vle32.v v2, (x12)
+    vfmacc.vv v2, v1, v1
+    vse32.v v2, (x13)
+    slli x6, x5, 2
+    add x11, x11, x6
+    add x12, x12, x6
+    add x13, x13, x6
+    sub x10, x10, x5
+    bne x10, x0, loop
+    ret
+";
+
+/// The pipeline's contract on *any* input: a verdict, not a panic, and a
+/// reason from the closed set when rejected.
+fn assert_structured(asm: &str, env: Option<&str>) {
+    match admit_kernel(asm, env, DEFAULT_MAX_FUEL) {
+        Ok(artifact) => {
+            assert!(artifact.fuel <= DEFAULT_MAX_FUEL, "fuel within the cap");
+            assert!(artifact.report.admissible(), "accepted implies admissible");
+        }
+        Err(rejection) => {
+            assert!(
+                REASONS.contains(&rejection.reason),
+                "unknown rejection reason `{}` for:\n{asm}",
+                rejection.reason
+            );
+            assert!(!rejection.message.is_empty(), "rejections carry a message");
+        }
+    }
+}
+
+/// Random token soup: lines assembled from mnemonics, registers,
+/// punctuation and garbage. Must never panic or hang.
+#[test]
+fn token_soup_never_panics() {
+    const VOCAB: [&str; 24] = [
+        "vsetvli",
+        "vle32.v",
+        "vse32.v",
+        "vfadd.vv",
+        "vfmacc.vv",
+        "vfredusum.vs",
+        "ret",
+        "bne",
+        "sub",
+        "add",
+        "slli",
+        "loop:",
+        "x5",
+        "x10",
+        "x11",
+        "v1",
+        "v2",
+        "(x11)",
+        "e32",
+        "m1",
+        "ta",
+        "ma",
+        "0xffffffffffffffff",
+        "\u{fe0f}\u{1f600},;()",
+    ];
+    run_cases(96, |g: &mut Gen| {
+        let lines = g.usize_in(0..=20);
+        let mut asm = String::new();
+        for _ in 0..lines {
+            let tokens = g.usize_in(0..=6);
+            let line: Vec<&str> = (0..tokens).map(|_| *g.choose(&VOCAB)).collect();
+            asm.push_str("    ");
+            asm.push_str(&line.join(" "));
+            asm.push('\n');
+        }
+        assert_structured(&asm, None);
+    });
+}
+
+/// Structured mutations of a known-clean kernel: dropping, duplicating
+/// and reordering lines, unbounding the loop, mixing dialect markers.
+#[test]
+fn mutated_clean_kernels_get_structured_verdicts() {
+    run_cases(96, |g: &mut Gen| {
+        let mut lines: Vec<String> = CLEAN.lines().map(String::from).collect();
+        for _ in 0..g.usize_in(1..=3) {
+            match g.usize_in(0..=4) {
+                0 => {
+                    // Drop a random line (maybe the vsetvli, the decrement,
+                    // or the ret).
+                    let i = g.usize_in(0..=lines.len() - 1);
+                    lines.remove(i);
+                }
+                1 => {
+                    // Duplicate a line in place.
+                    let i = g.usize_in(0..=lines.len() - 1);
+                    let l = lines[i].clone();
+                    lines.insert(i, l);
+                }
+                2 => {
+                    // Swap two lines.
+                    let i = g.usize_in(0..=lines.len() - 1);
+                    let j = g.usize_in(0..=lines.len() - 1);
+                    lines.swap(i, j);
+                }
+                3 => {
+                    // Inject a v0.7.1-flavoured vsetvli: a dialect mix.
+                    let i = g.usize_in(0..=lines.len());
+                    lines.insert(i, "    vsetvli x5, x10, e32, m1".to_string());
+                }
+                _ => {
+                    // Unbound the loop by removing the induction decrement.
+                    lines.retain(|l| !l.contains("sub x10"));
+                }
+            }
+            if lines.is_empty() {
+                lines.push("    ret".to_string());
+            }
+        }
+        let mut asm = lines.join("\n");
+        asm.push('\n');
+        assert_structured(&asm, None);
+    });
+}
+
+/// Hostile env documents: random JSON-ish text must produce `bad_env`
+/// (or parse fine), never a panic.
+#[test]
+fn hostile_envs_get_structured_verdicts() {
+    const ENVS: [&str; 9] = [
+        "",
+        "null",
+        "[]",
+        "{\"x\": {\"0\": 1}}",
+        "{\"x\": {\"99\": 1}}",
+        "{\"buffers\": [{\"reg\": 11}]}",
+        "{\"buffers\": [{\"reg\": 11, \"len_bytes\": 999999999999}]}",
+        "{\"x\": {\"10\": 1e308}}",
+        "{\"unknown\": true, \"x\": {\"10\": 64}}",
+    ];
+    run_cases(48, |g: &mut Gen| {
+        let env = *g.choose(&ENVS);
+        match admit_kernel(CLEAN, Some(env), DEFAULT_MAX_FUEL) {
+            Ok(_) => {}
+            Err(r) => assert_eq!(r.reason, "bad_env", "env `{env}` → {}", r.message),
+        }
+    });
+}
+
+/// Oversized programs are rejected by the instruction cap, and a tiny
+/// `max_fuel` turns an otherwise-clean submission into `over_fuel`.
+#[test]
+fn size_and_fuel_caps_reject_loudly() {
+    let mut big = String::from("loop:\n    vsetvli x5, x10, e32, m1, ta, ma\n");
+    for _ in 0..MAX_SUBMIT_INSTS {
+        big.push_str("    add x11, x11, x6\n");
+    }
+    big.push_str("    ret\n");
+    let r = admit_kernel(&big, None, DEFAULT_MAX_FUEL).expect_err("over the inst cap");
+    assert_eq!(r.reason, "too_large");
+
+    let r = admit_kernel(CLEAN, None, 4).expect_err("fuel cap of 4 is too small");
+    assert_eq!(r.reason, "over_fuel");
+}
+
+/// The accept path under random environments: admission grants fuel the
+/// execution then actually fits in, for arbitrary element counts.
+#[test]
+fn admitted_kernels_always_complete_within_granted_fuel() {
+    run_cases(48, |g: &mut Gen| {
+        let n = g.usize_in(1..=2048);
+        let len = n * 4;
+        let env = format!(
+            r#"{{"x": {{"10": {n}}}, "f": [0],
+                "buffers": [{{"reg": 11, "name": "a", "len_bytes": {len}}},
+                            {{"reg": 12, "name": "b", "len_bytes": {len}}},
+                            {{"reg": 13, "name": "c", "len_bytes": {len}}}]}}"#
+        );
+        let artifact = admit_kernel(CLEAN, Some(&env), DEFAULT_MAX_FUEL)
+            .unwrap_or_else(|r| panic!("n={n} rejected: {} — {}", r.reason, r.message));
+        let result = execute_kernel(&artifact).expect("runs within granted fuel");
+        let steps = result.get("steps").and_then(|v| v.as_f64()).expect("steps reported");
+        let bound = artifact.report.bounds.step_bound.expect("bound exists") as f64;
+        assert!(steps <= bound, "n={n}: observed {steps} > inferred bound {bound}");
+    });
+}
+
+/// Hostile machine descriptors through the `submit_machine` lint: random
+/// mutations of a valid document must yield findings or a machine, never
+/// a panic.
+#[test]
+fn hostile_descriptors_never_panic() {
+    let valid = r#"{
+        "schema": "rvhpc-machine-v1",
+        "base": "sg2042",
+        "name": "fuzz",
+        "clock_ghz": 2.0,
+        "vector": {"family": "rvv10", "width_bits": 256, "supports_fp64": true}
+    }"#;
+    const MUTATIONS: [(&str, &str); 6] = [
+        ("rvhpc-machine-v1", "rvhpc-machine-v9"),
+        ("sg2042", "pdp11"),
+        ("2.0", "-3.5"),
+        ("256", "0"),
+        ("\"supports_fp64\": true", "\"supports_fp64\": \"yes\""),
+        ("}", ""),
+    ];
+    run_cases(48, |g: &mut Gen| {
+        let mut text = valid.to_string();
+        for _ in 0..g.usize_in(1..=2) {
+            let (from, to) = *g.choose(&MUTATIONS);
+            text = text.replacen(from, to, 1);
+        }
+        let (machine, findings) = rvhpc::analyze::lint_descriptor(&text);
+        if machine.is_none() {
+            assert!(!findings.is_empty(), "no machine and no findings for:\n{text}");
+        }
+    });
+}
