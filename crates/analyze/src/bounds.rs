@@ -130,13 +130,20 @@ pub(crate) fn infer(
 
     // The trip-count patterns assume a unique exit test and no interfering
     // writes, so loops must be pairwise disjoint and carry a single
-    // back-edge each; anything tangled is honestly unbounded.
+    // back-edge each; anything tangled is honestly unbounded. One pass of
+    // per-block claims keeps this O(loops × blocks) — untrusted
+    // submissions can pack thousands of tiny loops under the instruction
+    // cap, and a pairwise overlap scan would be quadratic in that count.
     let mut tangled = vec![false; loops.len()];
-    for i in 0..loops.len() {
-        for j in i + 1..loops.len() {
-            if loops[i].member.iter().zip(&loops[j].member).any(|(a, b)| *a && *b) {
-                tangled[i] = true;
-                tangled[j] = true;
+    let mut claimed_by: Vec<usize> = vec![usize::MAX; nb];
+    for (li, lp) in loops.iter().enumerate() {
+        for b in (0..nb).filter(|&b| lp.member[b]) {
+            match claimed_by[b] {
+                usize::MAX => claimed_by[b] = li,
+                other => {
+                    tangled[li] = true;
+                    tangled[other] = true;
+                }
             }
         }
     }
@@ -265,6 +272,39 @@ fn loop_insts<'a>(
         .map(|(_, blk)| blk.start..blk.end)
 }
 
+/// The block holding instruction `idx`.
+fn block_of(cfg: &Cfg, idx: usize) -> usize {
+    cfg.blocks.iter().position(|b| (b.start..b.end).contains(&idx)).expect("inst inside a block")
+}
+
+/// True when block `dom` executes on every iteration of the loop: every
+/// path from the header to the latch that stays inside the loop passes
+/// through `dom` (`dom` dominates the latch in the loop subgraph). Without
+/// this, a counter update behind an internal conditional branch can be
+/// skipped on every iteration and the "decrements each trip" reasoning is
+/// unsound. Checked by reachability with `dom` removed; the walk stops at
+/// the latch, so the back-edge is never traversed.
+fn executes_every_iteration(cfg: &Cfg, lp: &NaturalLoop, dom: usize) -> bool {
+    if dom == lp.header || dom == lp.latch {
+        return true;
+    }
+    let mut seen = vec![false; cfg.blocks.len()];
+    seen[lp.header] = true;
+    let mut stack = vec![lp.header];
+    while let Some(b) = stack.pop() {
+        if b == lp.latch {
+            return false;
+        }
+        for &s in &cfg.blocks[b].succs {
+            if lp.member[s] && s != dom && !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    true
+}
+
 /// Trip-count upper bound for one single-back-edge loop, or the reason it
 /// has none. Two shapes are recognised, matching the two strip-mine idioms
 /// the compiler emits:
@@ -278,6 +318,12 @@ fn loop_insts<'a>(
 ///   (`k > 0`) and the counter enters as a known constant `c0 ≥ 0`
 ///   divisible by `k` (a non-divisible constant steps *past* zero and the
 ///   `bne` never exits — genuinely unbounded).
+///
+/// In both shapes the counter update (and the vsetvli feeding it, for the
+/// vl-driven shape) must execute on *every* iteration: its block has to
+/// dominate the latch within the loop. An update behind an internal
+/// conditional branch can be skipped forever, so "decrements each trip"
+/// would be unsound and no bound is produced.
 fn infer_trips(
     program: &Program,
     cfg: &Cfg,
@@ -313,6 +359,13 @@ fn infer_trips(
             writes.len()
         ));
     };
+    if !executes_every_iteration(cfg, lp, block_of(cfg, w)) {
+        return Err(format!(
+            "the write to counter x{} sits behind a branch inside the loop \
+             and may be skipped on some iterations",
+            counter.0
+        ));
+    }
 
     let entry = fwd[lp.header]
         .as_ref()
@@ -335,6 +388,13 @@ fn infer_trips(
             let Inst::Vsetvli { rs1: avl, sew, lmul, .. } = &program.insts[vw] else {
                 return Err(format!("the step register x{} is not written by a vsetvli", v.0));
             };
+            if !executes_every_iteration(cfg, lp, block_of(cfg, vw)) {
+                return Err(format!(
+                    "the loop vsetvli writing x{} sits behind a branch inside the \
+                     loop and may be skipped on some iterations",
+                    v.0
+                ));
+            }
             if *avl != counter {
                 return Err(format!(
                     "the loop vsetvli takes its AVL from x{}, not the counter x{}",
@@ -402,8 +462,16 @@ fn infer_trips(
 
 #[cfg(test)]
 mod tests {
-    use crate::{analyze_program, analyze_report, AnalysisSpec, Pass};
+    use crate::{analyze_program, analyze_report, AnalysisSpec, EntryValue, Pass};
     use rvhpc_rvv::{parse_program, Dialect, Sew};
+
+    /// The streaming convention plus a live-in guard register `x7`, for
+    /// the internal-branch loop shapes.
+    fn spec_with_guard(n: usize) -> AnalysisSpec {
+        let mut spec = AnalysisSpec::streaming(Sew::E32, n);
+        spec.x_entry.push((7, EntryValue::Unknown));
+        spec
+    }
 
     const VLA_DAXPY: &str = "\
 loop:
@@ -483,6 +551,80 @@ loop:
         assert_eq!(r.bounds.step_bound, None);
         assert_eq!(r.bounds.mem_bytes_bound, None);
         assert!(!r.admissible());
+    }
+
+    #[test]
+    fn conditionally_skipped_decrement_is_unbounded() {
+        // The decrement sits behind an internal conditional branch: when
+        // x7 != 0 it is skipped on every iteration and the loop never
+        // exits, so no finite step bound may be claimed (previously this
+        // shape was admitted unsoundly and exhausted fuel at runtime).
+        let text = "\
+    vsetvli x5, x10, e32, m1, ta, ma
+loop:
+    vle32.v v1, (x11)
+    bne x7, x0, skip
+    addi x10, x10, -4
+skip:
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let r = analyze_report(&p, &spec_with_guard(64));
+        let ub = r.findings.iter().find(|d| d.pass == Pass::UnboundedLoop);
+        assert!(ub.is_some(), "{:#?}", r.findings);
+        assert!(ub.unwrap().message.contains("skipped"), "{ub:?}");
+        assert_eq!(r.bounds.step_bound, None);
+        assert!(!r.admissible());
+    }
+
+    #[test]
+    fn conditionally_skipped_vl_sub_is_unbounded() {
+        // Same shape for the vl-driven idiom: `sub` behind a guard.
+        let text = "\
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    bne x7, x0, skip
+    sub x10, x10, x5
+skip:
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let r = analyze_report(&p, &spec_with_guard(64));
+        assert!(
+            r.findings
+                .iter()
+                .any(|d| d.pass == Pass::UnboundedLoop && d.message.contains("skipped")),
+            "{:#?}",
+            r.findings
+        );
+        assert_eq!(r.bounds.step_bound, None);
+    }
+
+    #[test]
+    fn internal_branch_that_spares_the_counter_stays_bounded() {
+        // An internal branch is fine as long as both the vsetvli and the
+        // decrement dominate the latch: only the store is conditional here.
+        let text = "\
+loop:
+    vsetvli x5, x10, e32, m1, ta, ma
+    vle32.v v1, (x11)
+    bne x7, x0, skip
+    vse32.v v1, (x13)
+skip:
+    slli x6, x5, 2
+    add x11, x11, x6
+    add x13, x13, x6
+    sub x10, x10, x5
+    bne x10, x0, loop
+    ret
+";
+        let p = parse_program(text, Dialect::V10).unwrap();
+        let r = analyze_report(&p, &spec_with_guard(64));
+        assert!(r.clean(), "{:#?}", r.findings);
+        assert!(r.bounds.step_bound.is_some());
     }
 
     #[test]

@@ -135,7 +135,9 @@ pub enum Request {
     /// Submit a machine descriptor (`rvhpc-machine-v1` JSON) through the
     /// descriptor lint; accepted machines become `m:` artifacts.
     SubmitMachine {
-        /// The descriptor document, re-rendered to canonical text.
+        /// The descriptor document, re-rendered to canonical text
+        /// (recursively sorted keys) so the `m:` content hash is
+        /// independent of client key order.
         descriptor: String,
     },
     /// Lint a machine descriptor: a catalog entry plus optional what-if
@@ -293,15 +295,22 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
             };
             let env = match doc.get("env") {
                 None | Some(Json::Null) => None,
-                // Re-render: the env parser owns validation and the
-                // canonical text feeds the content hash.
-                Some(v @ Json::Obj(_)) => Some(v.render()),
+                // Re-render with sorted keys: the env parser owns
+                // validation, and the canonical text feeds the content
+                // hash so key order cannot split identical envs into
+                // distinct `k:` ids.
+                Some(v @ Json::Obj(_)) => Some(v.canonical().render()),
                 Some(v) => return (id, Err(format!("`env` must be an object, got {v:?}"))),
             };
             Ok(Request::SubmitKernel { asm: asm.to_string(), env })
         }
         "submit_machine" => match doc.get("descriptor") {
-            Some(v @ Json::Obj(_)) => Ok(Request::SubmitMachine { descriptor: v.render() }),
+            // Sorted-key re-render: the rendered text is the content hash
+            // input, so two semantically identical descriptors get the
+            // same `m:` id regardless of client key order.
+            Some(v @ Json::Obj(_)) => {
+                Ok(Request::SubmitMachine { descriptor: v.canonical().render() })
+            }
             Some(v) => Err(format!("`descriptor` must be an object, got {v:?}")),
             None => Err("missing object field `descriptor`".to_string()),
         },
@@ -380,8 +389,12 @@ fn artifact_route(doc: &Json) -> Option<ArtifactRoute> {
 
 /// A `k:` artifact request names its whole execution (program + env +
 /// fuel), so model knobs would be silently meaningless — reject them.
+/// `deadline_ms` too: artifact runs are answered inline, never through the
+/// deadline-checked batch queue, so accepting it would silently drop it.
 fn kernel_artifact_fields_ok(doc: &Json) -> Result<(), String> {
-    for field in ["machine", "precision", "threads", "vectorize", "mode", "placement"] {
+    for field in
+        ["machine", "precision", "threads", "vectorize", "mode", "placement", "deadline_ms"]
+    {
         if doc.get(field).is_some() {
             return Err(format!(
                 "`{field}` does not apply to a kernel artifact: a `k:` id fixes the \
@@ -690,6 +703,37 @@ mod tests {
     }
 
     #[test]
+    fn submission_content_hash_inputs_ignore_key_order() {
+        // The re-rendered text feeds the FNV content hash, so two
+        // semantically identical documents must render identically no
+        // matter how the client ordered keys — otherwise "content
+        // addressed" ids split into duplicates.
+        let a = must_parse(
+            r#"{"op":"submit_machine","descriptor":{"base":"sg2042","schema":"rvhpc-machine-v1","vector":{"width_bits":256,"family":"rvv10"}}}"#,
+        );
+        let b = must_parse(
+            r#"{"op":"submit_machine","descriptor":{"schema":"rvhpc-machine-v1","vector":{"family":"rvv10","width_bits":256},"base":"sg2042"}}"#,
+        );
+        let (Request::SubmitMachine { descriptor: da }, Request::SubmitMachine { descriptor: db }) =
+            (a, b)
+        else {
+            panic!("wrong variants");
+        };
+        assert_eq!(da, db);
+
+        let a = must_parse(r#"{"op":"submit_kernel","asm":"ret","env":{"x":{"10":64},"f":[0]}}"#);
+        let b = must_parse(r#"{"op":"submit_kernel","asm":"ret","env":{"f":[0],"x":{"10":64}}}"#);
+        let (
+            Request::SubmitKernel { env: Some(ea), .. },
+            Request::SubmitKernel { env: Some(eb), .. },
+        ) = (a, b)
+        else {
+            panic!("wrong variants");
+        };
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
     fn artifact_ids_route_estimate_and_explain() {
         let r = must_parse(r#"{"op":"estimate","kernel":"k:0123456789abcdef"}"#);
         let Request::EstimateKernel { id } = r else { panic!("wrong variant") };
@@ -698,10 +742,14 @@ mod tests {
             must_parse(r#"{"op":"explain","kernel":"k:00"}"#),
             Request::ExplainKernel { .. }
         ));
-        // Model knobs are meaningless on a kernel artifact.
+        // Model knobs are meaningless on a kernel artifact, and so is
+        // `deadline_ms` (artifact runs never enter the deadline-checked
+        // batch queue — it must not be silently dropped).
         assert!(must_fail(r#"{"op":"estimate","kernel":"k:00","machine":"sg2042"}"#)
             .contains("does not apply"));
         assert!(must_fail(r#"{"op":"estimate","kernel":"k:00","threads":4}"#)
+            .contains("does not apply"));
+        assert!(must_fail(r#"{"op":"estimate","kernel":"k:00","deadline_ms":250}"#)
             .contains("does not apply"));
         let r =
             must_parse(r#"{"op":"estimate","machine":"m:ff","kernel":"Basic_DAXPY","threads":8}"#);

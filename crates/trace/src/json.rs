@@ -67,6 +67,24 @@ impl Json {
         }
     }
 
+    /// A copy with every object's keys sorted, recursively (stable, so
+    /// the first occurrence of a duplicated key keeps winning `get`).
+    /// Use wherever rendered text feeds a content hash: semantically
+    /// identical documents then hash identically regardless of the key
+    /// order the client happened to send.
+    pub fn canonical(&self) -> Json {
+        match self {
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonical).collect()),
+            Json::Obj(pairs) => {
+                let mut pairs: Vec<(String, Json)> =
+                    pairs.iter().map(|(k, v)| (k.clone(), v.canonical())).collect();
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(pairs)
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Render compactly (no whitespace).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -347,6 +365,17 @@ mod tests {
         assert_eq!(parsed, value);
         let pretty = value.pretty();
         assert_eq!(Json::parse(&pretty).expect("pretty parses"), value);
+    }
+
+    #[test]
+    fn canonical_sorts_keys_recursively_and_stably() {
+        let a = Json::parse(r#"{"b": {"y": 1, "x": 2}, "a": [{"q": 1, "p": 2}]}"#).unwrap();
+        let b = Json::parse(r#"{"a": [{"p": 2, "q": 1}], "b": {"x": 2, "y": 1}}"#).unwrap();
+        assert_eq!(a.canonical().render(), b.canonical().render());
+        // Duplicate keys: the first occurrence (the one `get` returns)
+        // stays ahead of the duplicate.
+        let dup = Json::parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(dup.canonical().render(), r#"{"k":1,"k":2}"#);
     }
 
     #[test]

@@ -107,7 +107,7 @@ fn mutated_clean_kernels_get_structured_verdicts() {
     run_cases(96, |g: &mut Gen| {
         let mut lines: Vec<String> = CLEAN.lines().map(String::from).collect();
         for _ in 0..g.usize_in(1..=3) {
-            match g.usize_in(0..=4) {
+            match g.usize_in(0..=5) {
                 0 => {
                     // Drop a random line (maybe the vsetvli, the decrement,
                     // or the ret).
@@ -131,9 +131,18 @@ fn mutated_clean_kernels_get_structured_verdicts() {
                     let i = g.usize_in(0..=lines.len());
                     lines.insert(i, "    vsetvli x5, x10, e32, m1".to_string());
                 }
-                _ => {
+                4 => {
                     // Unbound the loop by removing the induction decrement.
                     lines.retain(|l| !l.contains("sub x10"));
+                }
+                _ => {
+                    // Guard the decrement behind an internal conditional
+                    // branch: the write no longer executes on every
+                    // iteration, so no finite bound may be claimed.
+                    if let Some(i) = lines.iter().position(|l| l.contains("sub x10")) {
+                        lines.insert(i, "    bne x7, x0, skip_dec".to_string());
+                        lines.insert(i + 2, "skip_dec:".to_string());
+                    }
                 }
             }
             if lines.is_empty() {
@@ -168,6 +177,28 @@ fn hostile_envs_get_structured_verdicts() {
             Err(r) => assert_eq!(r.reason, "bad_env", "env `{env}` → {}", r.message),
         }
     });
+}
+
+/// Regression for a reviewer-found unsoundness: a loop whose decrement
+/// hides behind an internal conditional branch was admitted with a finite
+/// step bound, yet with a guard register that skips the decrement it loops
+/// forever and every `estimate` died on fuel exhaustion. Admission must
+/// reject the shape outright — the write does not dominate the latch.
+#[test]
+fn guarded_decrement_is_rejected_not_admitted() {
+    let asm = "\
+loop:
+    bne x7, x0, skip
+    addi x10, x10, -4
+skip:
+    bne x10, x0, loop
+    ret
+";
+    let env = r#"{"x": {"7": 1, "10": 64}}"#;
+    let r = admit_kernel(asm, Some(env), DEFAULT_MAX_FUEL)
+        .expect_err("a maybe-skipped decrement must never be admitted");
+    assert_eq!(r.reason, "lint_findings", "{}", r.message);
+    assert!(r.findings.iter().any(|d| d.message.contains("skipped")), "{:?}", r.findings);
 }
 
 /// Oversized programs are rejected by the instruction cap, and a tiny
