@@ -46,22 +46,46 @@ cargo run --release -p rvhpc --bin repro -- lint --check "$BAD_LINT" || rc=$?
 rm -f "$LINT_DOC" "$BAD_LINT"
 test "$rc" -eq 2
 
-# Perf trajectory: one cold batched pass of every experiment through the
-# shared sweep engine. The artefact must be schema-valid, NaN-free, name
-# all 12 experiments, and show a non-zero cross-experiment cache hit rate
-# (the shared-engine acceptance contract); --check exits non-zero
-# otherwise.
-cargo run --release -p rvhpc --bin repro -- bench --quick --json BENCH_5.json
-cargo run --release -p rvhpc --bin repro -- bench --check BENCH_5.json
+# Perf trajectory. CI never rewrites checked-in BENCH history: the quick
+# smoke run goes to a temp path, and the checked-in trajectory point
+# (BENCH_6.json, full mode) is only *validated*. A `quick: true` artefact
+# must be refused as a trajectory point with exit 2 — quick mode times a
+# single unrepeated cold pass and is not comparable across commits.
+QUICK_BENCH="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- bench --quick --json "$QUICK_BENCH"
+rc=0
+cargo run --release -p rvhpc --bin repro -- bench --check "$QUICK_BENCH" || rc=$?
+test "$rc" -eq 2
+cargo run --release -p rvhpc --bin repro -- bench --check BENCH_6.json
 
 # The --check exit-code contract: an unknown schema version must be exit 2
 # (format disagreement), not exit 1 (broken artefact).
 BAD_BENCH="$(mktemp)"
-sed 's/rvhpc-bench-v1/rvhpc-bench-v999/' BENCH_5.json > "$BAD_BENCH"
+sed 's/rvhpc-bench-v1/rvhpc-bench-v999/' BENCH_6.json > "$BAD_BENCH"
 rc=0
 cargo run --release -p rvhpc --bin repro -- bench --check "$BAD_BENCH" || rc=$?
-rm -f "$BAD_BENCH"
+rm -f "$BAD_BENCH" "$QUICK_BENCH"
 test "$rc" -eq 2
+
+# Warm start through the persistent estimate store: two bench runs against
+# the same --cache-dir. The first run fills the store from cold; the
+# second must replay it — total hit rate >= 0.99 and strictly less total
+# wall time than the first.
+EST_DIR="$(mktemp -d)"
+WARM1="$(mktemp)"
+WARM2="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- bench --quick \
+    --cache-dir "$EST_DIR" --json "$WARM1"
+cargo run --release -p rvhpc --bin repro -- bench --quick \
+    --cache-dir "$EST_DIR" --json "$WARM2"
+# The `total` block is the last wall_seconds/hit_rate pair in the
+# pretty-printed artefact.
+WALL1="$(sed -n 's/.*"wall_seconds": *\([0-9.eE+-]*\).*/\1/p' "$WARM1" | tail -n 1)"
+WALL2="$(sed -n 's/.*"wall_seconds": *\([0-9.eE+-]*\).*/\1/p' "$WARM2" | tail -n 1)"
+RATE2="$(sed -n 's/.*"hit_rate": *\([0-9.eE+-]*\).*/\1/p' "$WARM2" | tail -n 1)"
+awk "BEGIN { exit !($RATE2 >= 0.99) }"
+awk "BEGIN { exit !($WALL2 < $WALL1) }"
+rm -rf "$EST_DIR" "$WARM1" "$WARM2"
 
 # Serving smoke: start the server on an ephemeral port, drive it with a
 # seeded loadgen (which exits non-zero on any protocol error, dropped

@@ -137,6 +137,53 @@ pub fn artefact(
     ])
 }
 
+/// Why [`validate_trajectory`] rejected an artefact.
+///
+/// The two variants map onto the CLI's exit-code split: a `quick: true`
+/// artefact is a *format-level* disagreement with the trajectory contract
+/// (exit 2, like an unknown schema version) — the artefact may be
+/// perfectly well-formed, it is just not admissible as a checked-in
+/// trajectory point because quick mode measures a single unrepeated cold
+/// pass. A [`TrajectoryError::Invalid`] artefact is broken on its own
+/// terms (exit 1).
+#[derive(Debug, PartialEq)]
+pub enum TrajectoryError {
+    /// The artefact says `"quick": true`; quick runs are smoke tests, not
+    /// history.
+    Quick,
+    /// The artefact violates the `rvhpc-bench-v1` invariants.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrajectoryError::Quick => write!(
+                f,
+                "artefact is a `quick: true` run — quick mode times a single \
+                 cold pass and is not comparable across commits; regenerate \
+                 with a full-mode `repro bench --json` before checking it in"
+            ),
+            TrajectoryError::Invalid(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Validate an artefact *as a trajectory point*: everything
+/// [`validate_artefact`] checks, plus the artefact must come from a
+/// full-mode run (`quick: false`). CI uses this for checked-in
+/// `BENCH_<n>.json` history so a quick smoke run can never silently
+/// replace a real measurement.
+pub fn validate_trajectory(text: &str, expected: &[&str]) -> Result<(), TrajectoryError> {
+    validate_artefact(text, expected).map_err(TrajectoryError::Invalid)?;
+    // validate_artefact guarantees `quick` parses as a boolean.
+    let doc = Json::parse(text).expect("validated above");
+    if doc.get("quick") == Some(&Json::Bool(true)) {
+        return Err(TrajectoryError::Quick);
+    }
+    Ok(())
+}
+
 /// Validate a `rvhpc-bench-v1` artefact.
 ///
 /// Checks, in order: the document parses, carries the right schema tag,
@@ -257,6 +304,30 @@ mod tests {
         let a = good_artefact();
         validate_artefact(&a.render(), &["fig1", "fig2"]).expect("compact validates");
         validate_artefact(&a.pretty(), &["fig1", "fig2"]).expect("pretty validates");
+    }
+
+    #[test]
+    fn quick_artefact_is_rejected_as_a_trajectory_point() {
+        let text = good_artefact().render(); // good_artefact() is quick: true
+        match validate_trajectory(&text, &["fig1", "fig2"]) {
+            Err(TrajectoryError::Quick) => {}
+            other => panic!("expected TrajectoryError::Quick, got {other:?}"),
+        }
+        assert!(TrajectoryError::Quick.to_string().contains("quick"), "message names the cause");
+
+        let engine = EngineInfo { lanes: 8, cache_capacity: 32_768 };
+        let exps = vec![sample("fig1", 0, 640), sample("fig2", 100, 28)];
+        let full = artefact(false, &engine, &exps, &sample("total", 100, 668)).render();
+        validate_trajectory(&full, &["fig1", "fig2"]).expect("full-mode artefact is history-grade");
+    }
+
+    #[test]
+    fn trajectory_check_still_rejects_broken_artefacts() {
+        let text = good_artefact().render();
+        match validate_trajectory(&text, &["fig1", "fig7"]) {
+            Err(TrajectoryError::Invalid(e)) => assert!(e.contains("fig7"), "{e}"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

@@ -327,7 +327,9 @@ mod tests {
                 }),
                 passes,
             };
-            h.replay(pat.stream());
+            // The batched line-run path — what the sweep-facing callers use;
+            // the `batched-cache` verify oracle pins it to per-access replay.
+            h.replay_pattern(&pat);
             let s = h.stats();
 
             let spec =

@@ -37,20 +37,35 @@ impl CacheConfig {
         self.size_bytes / (self.line_bytes * self.associativity)
     }
 
-    /// Panic unless the geometry is well-formed (power-of-two line size and
-    /// set count, non-zero everything).
+    /// Check the geometry is well-formed (power-of-two line size and set
+    /// count, non-zero everything). Returns the first violation as a
+    /// human-readable message; admission paths turn this into a structured
+    /// rejection instead of a panic.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_bytes == 0 || !self.line_bytes.is_power_of_two() {
+            return Err(format!("line size {} must be a non-zero power of two", self.line_bytes));
+        }
+        if self.associativity == 0 {
+            return Err("associativity must be non-zero".to_string());
+        }
+        if self.size_bytes == 0 || self.size_bytes % (self.line_bytes * self.associativity) != 0 {
+            return Err(format!(
+                "capacity {} must be a non-zero whole number of {}-byte sets",
+                self.size_bytes,
+                self.line_bytes * self.associativity
+            ));
+        }
+        if !self.n_sets().is_power_of_two() {
+            return Err(format!("set count {} must be a power of two", self.n_sets()));
+        }
+        Ok(())
+    }
+
+    /// Panic unless the geometry is well-formed (see [`CacheConfig::validate`]).
     pub fn assert_valid(&self) {
-        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0);
-        assert!(self.associativity > 0);
-        assert!(
-            self.size_bytes % (self.line_bytes * self.associativity) == 0,
-            "capacity must be a whole number of sets"
-        );
-        assert!(
-            self.n_sets().is_power_of_two(),
-            "set count {} must be a power of two",
-            self.n_sets()
-        );
+        if let Err(e) = self.validate() {
+            panic!("invalid cache geometry: {e}");
+        }
     }
 }
 
@@ -149,12 +164,36 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
-    /// Access one byte address. Returns the outcome; counters are updated.
-    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+    /// Decompose a byte address into its (set, tag) pair — the single place
+    /// the line/set/tag arithmetic lives, so the per-access reference path,
+    /// the batched run path and `probe` can never drift from one another.
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.set_shift;
         let set = (line & self.set_mask) as usize;
         let tag = line >> self.n_sets.trailing_zeros();
-        self.clock += 1;
+        (set, tag)
+    }
+
+    /// Access one byte address. Returns the outcome; counters are updated.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        self.access_run(addr, 1, kind)
+    }
+
+    /// Access the same line `reps` times in a row — the batched primitive
+    /// behind [`Hierarchy::replay_pattern`](crate::Hierarchy::replay_pattern).
+    /// Bit-identical to `reps` consecutive [`Cache::access`] calls on `addr`:
+    /// the LRU clock advances by `reps`, the line's final stamp is the clock
+    /// after the last access, victim choice only inspects *other* ways'
+    /// stamps (unchanged either way), and accesses after the first are
+    /// guaranteed hits on the just-installed line. Returns the outcome of
+    /// the *first* access. `reps == 0` is a no-op returning `Hit`.
+    pub fn access_run(&mut self, addr: u64, reps: u64, kind: AccessKind) -> AccessOutcome {
+        if reps == 0 {
+            return AccessOutcome::Hit;
+        }
+        let (set, tag) = self.locate(addr);
+        self.clock += reps;
         let ways = self.config.associativity;
         let base = set * ways;
 
@@ -165,13 +204,15 @@ impl Cache {
                 if kind == AccessKind::Store {
                     self.sets[i].dirty = true;
                 }
-                self.stats.hits += 1;
+                self.stats.hits += reps;
                 return AccessOutcome::Hit;
             }
         }
 
-        // Miss: find victim (invalid way first, else least-recent stamp).
+        // Miss on the first access; the remaining `reps - 1` hit the line
+        // just installed. Victim: invalid way first, else least-recent stamp.
         self.stats.misses += 1;
+        self.stats.hits += reps - 1;
         let mut victim = base;
         let mut best = u64::MAX;
         for i in base..base + ways {
@@ -199,9 +240,7 @@ impl Cache {
     /// Whether the line holding `addr` is currently present (no counter
     /// update); test helper.
     pub fn probe(&self, addr: u64) -> bool {
-        let line = addr >> self.set_shift;
-        let set = (line & self.set_mask) as usize;
-        let tag = line >> self.n_sets.trailing_zeros();
+        let (set, tag) = self.locate(addr);
         let ways = self.config.associativity;
         self.sets[set * ways..(set + 1) * ways].iter().any(|w| w.tag == tag)
     }
@@ -312,5 +351,87 @@ mod tests {
     #[should_panic]
     fn invalid_geometry_rejected() {
         let _ = Cache::new(CacheConfig { size_bytes: 500, line_bytes: 64, associativity: 2 });
+    }
+
+    #[test]
+    fn validate_reports_each_geometry_violation() {
+        let ok = CacheConfig { size_bytes: 512, line_bytes: 64, associativity: 2 };
+        assert!(ok.validate().is_ok());
+        let cases = [
+            (CacheConfig { size_bytes: 512, line_bytes: 0, associativity: 2 }, "line size"),
+            (CacheConfig { size_bytes: 512, line_bytes: 48, associativity: 2 }, "line size"),
+            (CacheConfig { size_bytes: 512, line_bytes: 64, associativity: 0 }, "associativity"),
+            (CacheConfig { size_bytes: 500, line_bytes: 64, associativity: 2 }, "whole number"),
+            (CacheConfig { size_bytes: 0, line_bytes: 64, associativity: 2 }, "whole number"),
+            (CacheConfig { size_bytes: 384, line_bytes: 64, associativity: 2 }, "power of two"),
+        ];
+        for (cfg, needle) in cases {
+            let err = cfg.validate().expect_err(&format!("{cfg:?} must fail"));
+            assert!(err.contains(needle), "{cfg:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn probe_and_access_agree_on_line_identity() {
+        // Regression for the deduplicated line/set/tag math: any address in
+        // a just-accessed line must probe as present, including addresses
+        // that alias the same set with a different tag staying absent.
+        let mut c = tiny();
+        c.access(130, AccessKind::Load); // line 2
+        for a in 128..192 {
+            assert!(c.probe(a), "addr {a} shares the accessed line");
+        }
+        assert!(!c.probe(128 + 256), "same set, different tag");
+        assert!(!c.probe(64), "different set");
+    }
+
+    #[test]
+    fn access_run_is_bit_identical_to_repeated_access() {
+        // Drive two clones through the same line-run schedule, one via the
+        // batched primitive and one via per-access replay; every observable
+        // (stats, probe results, then subsequent eviction behaviour) must
+        // match exactly.
+        let runs: [(u64, u64, AccessKind); 7] = [
+            (0, 8, AccessKind::Load),
+            (256, 1, AccessKind::Store),
+            (0, 3, AccessKind::Load),
+            (512, 5, AccessKind::Store),
+            (768, 2, AccessKind::Load),
+            (512, 1, AccessKind::Load),
+            (0, 4, AccessKind::Store),
+        ];
+        let mut batched = tiny();
+        let mut reference = tiny();
+        for (addr, reps, kind) in runs {
+            batched.access_run(addr, reps, kind);
+            for _ in 0..reps {
+                reference.access(addr, kind);
+            }
+            assert_eq!(batched.stats(), reference.stats(), "after run at {addr}");
+            for probe_addr in [0, 64, 256, 512, 768] {
+                assert_eq!(batched.probe(probe_addr), reference.probe(probe_addr));
+            }
+        }
+        assert_eq!(batched.clock, reference.clock, "LRU clocks must stay in lockstep");
+        for (b, r) in batched.sets.iter().zip(&reference.sets) {
+            assert_eq!((b.tag, b.dirty, b.stamp), (r.tag, r.dirty, r.stamp));
+        }
+    }
+
+    #[test]
+    fn access_run_zero_reps_is_a_no_op() {
+        let mut c = tiny();
+        assert_eq!(c.access_run(0, 0, AccessKind::Store), AccessOutcome::Hit);
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    fn access_run_returns_first_access_outcome() {
+        let mut c = tiny();
+        assert_eq!(c.access_run(0, 4, AccessKind::Store), AccessOutcome::Miss);
+        assert_eq!(c.access_run(0, 2, AccessKind::Load), AccessOutcome::Hit);
+        c.access(256, AccessKind::Load);
+        assert_eq!(c.access_run(512, 3, AccessKind::Load), AccessOutcome::MissDirtyEviction);
     }
 }

@@ -19,9 +19,10 @@
 //!                            # --report adds inferred resource bounds
 //!                            # (rvhpc-analysis-v1), --json wraps the run
 //!                            # as rvhpc-lint-v1, --check validates one
-//! repro bench [--quick] [--json <path>] [--check <path>]
+//! repro bench [--quick] [--cache-dir <dir>] [--json <path>] [--check <path>]
 //!                            # time every experiment through the shared
-//!                            # sweep engine; write/validate BENCH JSON
+//!                            # sweep engine; write/validate BENCH JSON;
+//!                            # --cache-dir persists estimates across runs
 //! repro serve [--addr A] [--queue-cap N] [--batch-max N]
 //!             [--batch-window-us U] [--port-file <path>]
 //!             [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]
@@ -92,12 +93,15 @@ calling convention for an --asm file, --json wraps\n                          \
 the run as one rvhpc-lint-v1 document, --check\n                          \
 validates a saved document (exit 1 invalid, exit 2\n                          \
 unknown schema version or unreadable file)\n  \
-  bench [--quick] [--json <path>] [--check <path>]\n                          \
+  bench [--quick] [--cache-dir <dir>] [--json <path>] [--check <path>]\n                          \
 time every experiment through the shared sweep\n                          \
 engine and report wall time + estimate-cache hit\n                          \
-rates; --json writes the BENCH artefact, --check\n                          \
+rates; --cache-dir enables the persistent on-disk\n                          \
+estimate store (warm starts across processes);\n                          \
+--json writes the BENCH artefact, --check\n                          \
 validates one (exit 1 invalid, exit 2 unknown\n                          \
-schema version or unreadable file)\n  \
+schema version, quick-mode artefact, or unreadable\n                          \
+file)\n  \
   serve [--addr <ip:port>] [--queue-cap N] [--batch-max N]\n        \
 [--batch-window-us U] [--port-file <path>]\n        \
 [--slo-ms MS] [--metrics-file <path>] [--scrape-every-ms MS]\n          \
@@ -738,19 +742,26 @@ fn lint(args: &[String]) -> ! {
 
 /// `repro bench` — time every experiment of the batch through the shared
 /// sweep engine and report wall time plus estimate-cache traffic.
-/// `--json <path>` writes the `rvhpc-bench-v1` artefact; `--check <path>`
-/// validates one (exit 1 when invalid) instead of measuring.
+/// `--cache-dir <dir>` layers the persistent on-disk estimate store under
+/// the in-memory cache so repeat runs start warm; `--json <path>` writes
+/// the `rvhpc-bench-v1` artefact; `--check <path>` validates one as a
+/// trajectory point instead of measuring (exit 1 when invalid, exit 2 on
+/// an unknown schema version or a `quick: true` artefact).
 fn bench(args: &[String]) -> ! {
     use rvhpc::experiments::driver::EXPERIMENTS;
     use rvhpc::perfmodel::cache;
+    use rvhpc::perfmodel::persist;
     use rvhpc_bench::sweep::{
-        artefact, validate_artefact, wall_seconds_of, EngineInfo, ExperimentBench, SCHEMA,
+        artefact, validate_trajectory, wall_seconds_of, EngineInfo, ExperimentBench,
+        TrajectoryError, SCHEMA,
     };
 
-    const BENCH_USAGE: &str = "usage: repro bench [--quick] [--json <path>] [--check <path>]";
+    const BENCH_USAGE: &str =
+        "usage: repro bench [--quick] [--cache-dir <dir>] [--json <path>] [--check <path>]";
     let mut quick = false;
     let mut json_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |flag: &str| {
@@ -763,6 +774,7 @@ fn bench(args: &[String]) -> ! {
             "--quick" => quick = true,
             "--json" => json_path = Some(value("--json")),
             "--check" => check_path = Some(value("--check")),
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")),
             other => {
                 eprintln!("unknown bench argument `{other}`\n{BENCH_USAGE}");
                 std::process::exit(2);
@@ -794,16 +806,30 @@ fn bench(args: &[String]) -> ! {
                 std::process::exit(2);
             }
         }
-        match validate_artefact(&text, &names) {
+        // A `quick: true` artefact is well-formed but inadmissible as a
+        // trajectory point, so it shares exit 2 with the unknown-schema
+        // case; a broken known-format artefact stays exit 1.
+        match validate_trajectory(&text, &names) {
             Ok(()) => {
                 println!("{path}: valid {SCHEMA} artefact ({} experiment(s))", names.len());
                 std::process::exit(0);
             }
-            Err(e) => {
+            Err(e @ TrajectoryError::Quick) => {
+                eprintln!("{path}: REFUSED as a trajectory point — {e}");
+                std::process::exit(2);
+            }
+            Err(TrajectoryError::Invalid(e)) => {
                 eprintln!("{path}: INVALID {SCHEMA} artefact — {e}");
                 std::process::exit(1);
             }
         }
+    }
+
+    // The persistent estimate store makes warm starts cross-process: the
+    // first bench against a fresh dir is the cold baseline, later runs
+    // against the same dir replay estimates from disk.
+    if let Some(dir) = cache_dir {
+        persist::set_cache_dir(Some(std::path::PathBuf::from(dir)));
     }
 
     // One repetition in quick mode is the genuine cold→shared pass the
@@ -874,6 +900,9 @@ fn bench(args: &[String]) -> ! {
         }
         eprintln!("wrote {path}");
     }
+    // Persist any estimates computed this run so the next process with the
+    // same --cache-dir starts warm.
+    persist::flush();
     std::process::exit(0);
 }
 

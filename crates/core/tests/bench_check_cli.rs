@@ -1,7 +1,8 @@
 //! Golden tests for `repro bench --check`'s exit-code contract:
-//! 0 for a valid `rvhpc-bench-v1` artefact, 1 for a broken artefact of the
-//! right schema version, 2 for an unknown/missing schema version or an
-//! unreadable file.
+//! 0 for a valid full-mode `rvhpc-bench-v1` artefact, 1 for a broken
+//! artefact of the right schema version, 2 for an unknown/missing schema
+//! version, an unreadable file, or a `quick: true` artefact offered as a
+//! trajectory point.
 
 use rvhpc::experiments::driver::EXPERIMENTS;
 use rvhpc_bench::sweep::{artefact, EngineInfo, ExperimentBench};
@@ -22,7 +23,7 @@ fn tmp_file(name: &str, contents: &str) -> std::path::PathBuf {
     path
 }
 
-fn valid_artefact_text() -> String {
+fn artefact_text(quick: bool) -> String {
     let engine = EngineInfo { lanes: 4, cache_capacity: 32_768 };
     let rows: Vec<ExperimentBench> = EXPERIMENTS
         .iter()
@@ -41,14 +42,25 @@ fn valid_artefact_text() -> String {
         misses: 5 * rows.len() as u64,
         evictions: 0,
     };
-    artefact(true, &engine, &rows, &total).pretty()
+    artefact(quick, &engine, &rows, &total).pretty()
 }
 
 #[test]
 fn valid_artefact_exits_0() {
-    let path = tmp_file("valid.json", &valid_artefact_text());
+    let path = tmp_file("valid.json", &artefact_text(false));
     let (code, err) = check(&path);
     assert_eq!(code, Some(0), "{err}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn quick_artefact_exits_2_as_trajectory_point() {
+    // Structurally valid, but produced by quick mode: refused with the
+    // format-disagreement exit code, not the broken-artefact one.
+    let path = tmp_file("quick.json", &artefact_text(true));
+    let (code, err) = check(&path);
+    assert_eq!(code, Some(2), "{err}");
+    assert!(err.contains("quick"), "names the gate: {err}");
     let _ = std::fs::remove_file(path);
 }
 
@@ -56,7 +68,7 @@ fn valid_artefact_exits_0() {
 fn unknown_schema_version_exits_2() {
     // The golden bad artefact: structurally fine, but tagged with a schema
     // version this checker does not know.
-    let text = valid_artefact_text().replace("rvhpc-bench-v1", "rvhpc-bench-v999");
+    let text = artefact_text(false).replace("rvhpc-bench-v1", "rvhpc-bench-v999");
     let path = tmp_file("unknown-schema.json", &text);
     let (code, err) = check(&path);
     assert_eq!(code, Some(2), "{err}");

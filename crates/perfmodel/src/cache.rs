@@ -22,6 +22,7 @@
 
 use crate::config::{Precision, RunConfig, Toolchain};
 use crate::estimate::{estimate_averaged, TimeEstimate};
+use crate::persist;
 use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::KernelName;
 use rvhpc_machines::{Machine, MachineId, PlacementPolicy};
@@ -44,12 +45,44 @@ fn configured_capacity(raw: Option<&str>) -> usize {
     raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1).unwrap_or(CACHE_CAPACITY)
 }
 
+/// If the environment now disagrees with the capacity captured at first
+/// use, produce the one-time warning text; `None` once warned or while the
+/// env still agrees. Split out from [`capacity`] so the warning path has a
+/// direct unit test without racing on process-global environment state.
+fn capacity_drift_warning(
+    captured: usize,
+    raw_now: Option<&str>,
+    warned: &std::sync::atomic::AtomicBool,
+) -> Option<String> {
+    if configured_capacity(raw_now) == captured {
+        return None;
+    }
+    if warned.swap(true, Ordering::Relaxed) {
+        return None;
+    }
+    Some(format!(
+        "rvhpc-perfmodel: RVHPC_CACHE_CAP={} is being ignored: the estimate-cache \
+         capacity was captured as {captured} at first use and is fixed for the \
+         process lifetime; set the variable before the first estimate (or restart)",
+        raw_now.unwrap_or("<unset>"),
+    ))
+}
+
 /// The effective capacity bound: [`CACHE_CAPACITY`] unless the
 /// `RVHPC_CACHE_CAP` environment variable overrides it. Read once, at the
-/// first cache use, so the bound is stable for the process lifetime.
+/// first cache use, so the bound is stable for the process lifetime; if a
+/// later read observes the environment variable disagreeing with the
+/// captured value, a warning is printed to stderr (once) instead of the
+/// change being silently ignored.
 pub fn capacity() -> usize {
     static CAPACITY: OnceLock<usize> = OnceLock::new();
-    *CAPACITY.get_or_init(|| configured_capacity(std::env::var("RVHPC_CACHE_CAP").ok().as_deref()))
+    static WARNED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+    let raw = std::env::var("RVHPC_CACHE_CAP").ok();
+    let cap = *CAPACITY.get_or_init(|| configured_capacity(raw.as_deref()));
+    if let Some(warning) = capacity_drift_warning(cap, raw.as_deref(), &WARNED) {
+        eprintln!("{warning}");
+    }
+    cap
 }
 
 /// Number of currently resident entries (same as [`stats`]`().entries`).
@@ -206,11 +239,28 @@ pub fn estimate_cached(machine: &Machine, kernel: KernelName, cfg: &RunConfig) -
         rvhpc_trace::counter!("perfmodel.estimate_cache.hit", 1);
         return *found;
     }
+    // Persistent layer: a disk warm-start is a hit (it serves the exact
+    // bits a miss would recompute) and also populates the in-memory map so
+    // later lookups never touch the store lock twice.
+    let disk_key =
+        persist::key_hash(&format!("{machine:?}"), kernel.label(), &format!("{:?}", key.cfg));
+    if let Some(est) = persist::lookup(disk_key) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        rvhpc_trace::counter!("perfmodel.estimate_cache.hit", 1);
+        rvhpc_trace::counter!("perfmodel.estimate_cache.disk_hit", 1);
+        let mut c = locked();
+        let evicted = c.insert(capacity(), key, est);
+        if evicted > 0 {
+            EVICTIONS.fetch_add(evicted, Ordering::Relaxed);
+        }
+        return est;
+    }
     MISSES.fetch_add(1, Ordering::Relaxed);
     rvhpc_trace::counter!("perfmodel.estimate_cache.miss", 1);
     // Compute outside the lock: estimation is pure, so a racing duplicate
     // computation is wasted work at worst, never a wrong answer.
     let est = estimate_averaged(machine, kernel, cfg);
+    persist::record(disk_key, est);
     let (evicted, resident) = {
         let mut c = locked();
         let evicted = c.insert(capacity(), key, est);
@@ -236,6 +286,7 @@ mod tests {
     fn isolated() -> std::sync::MutexGuard<'static, ()> {
         let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         clear();
+        persist::set_cache_dir(None); // keep the disk layer out of unrelated tests
         guard
     }
 
@@ -423,6 +474,67 @@ mod tests {
         let empty =
             CacheStats { hits: 0, misses: 0, evictions: 0, entries: 0, capacity: CACHE_CAPACITY };
         assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn capacity_drift_warns_once_and_only_on_disagreement() {
+        use std::sync::atomic::AtomicBool;
+        let warned = AtomicBool::new(false);
+        // Environment agrees with the captured value: no warning, flag untouched.
+        assert_eq!(capacity_drift_warning(CACHE_CAPACITY, None, &warned), None);
+        assert_eq!(capacity_drift_warning(4096, Some("4096"), &warned), None);
+        assert!(!warned.load(Ordering::Relaxed));
+        // A later read observes a different value: warn exactly once.
+        let msg = capacity_drift_warning(CACHE_CAPACITY, Some("7"), &warned)
+            .expect("disagreement must warn");
+        assert!(msg.contains("RVHPC_CACHE_CAP=7"), "{msg}");
+        assert!(msg.contains(&CACHE_CAPACITY.to_string()), "{msg}");
+        assert!(msg.contains("ignored"), "{msg}");
+        assert_eq!(capacity_drift_warning(CACHE_CAPACITY, Some("7"), &warned), None, "once only");
+        // Unset-after-capture also counts as drift (capacity was custom).
+        let warned2 = AtomicBool::new(false);
+        let msg2 = capacity_drift_warning(4096, None, &warned2).expect("unset is drift");
+        assert!(msg2.contains("<unset>"), "{msg2}");
+    }
+
+    #[test]
+    fn persistent_store_warm_starts_across_clears() {
+        let _l = isolated();
+        let dir = std::env::temp_dir().join(format!("rvhpc-estcache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        persist::set_cache_dir(Some(dir.clone()));
+
+        let m = sg();
+        let cfg = RunConfig::sg2042_best(Precision::Fp32, 16);
+        let cold = estimate_cached(&m, KernelName::STREAM_TRIAD, &cfg);
+        persist::flush();
+
+        // Simulate a new process: drop the in-memory map and reload the
+        // store from disk. The lookup must be a hit, not a recompute.
+        clear();
+        persist::set_cache_dir(Some(dir.clone()));
+        assert_eq!(persist::loaded_entries(), 1, "flush persisted the entry");
+        let before = stats();
+        let warm = estimate_cached(&m, KernelName::STREAM_TRIAD, &cfg);
+        let delta = stats().since(&before);
+        assert_eq!((delta.hits, delta.misses), (1, 0), "{delta:?}");
+        assert_eq!(cold.seconds.to_bits(), warm.seconds.to_bits());
+        assert_eq!(cold.compute_seconds.to_bits(), warm.compute_seconds.to_bits());
+        assert_eq!(cold.memory_seconds.to_bits(), warm.memory_seconds.to_bits());
+        assert_eq!(cold.overhead_seconds.to_bits(), warm.overhead_seconds.to_bits());
+        assert_eq!(cold.vector_path, warm.vector_path);
+
+        // A corrupted file cold-starts instead of serving garbage.
+        std::fs::write(dir.join(persist::FILE_NAME), "rvhpc-estcache-v1\ngarbage\n").unwrap();
+        clear();
+        persist::set_cache_dir(Some(dir.clone()));
+        assert_eq!(persist::loaded_entries(), 0, "corrupt file = cold start");
+        let before = stats();
+        let _ = estimate_cached(&m, KernelName::STREAM_TRIAD, &cfg);
+        assert_eq!(stats().since(&before).misses, 1);
+
+        persist::set_cache_dir(None);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod config;
 pub mod estimate;
 pub mod explain;
 pub mod memory;
+pub mod persist;
 pub mod scaling;
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ mod proptests;
 pub use builder::ProgramBuilder;
 pub use dialect::{Dialect, Lmul, Sew};
 pub use inst::{FReg, Inst, OpClass, Program, VReg, XReg};
-pub use interp::{ExecError, Machine, VLEN_BITS};
+pub use interp::{ExecError, ExecMode, Machine, VLEN_BITS};
 pub use parse::{parse_program, parse_program_with_lines, ParseError, SourceMap};
 pub use print::print_program;
 pub use rollback::{rollback, RollbackError};

@@ -1,0 +1,347 @@
+//! Differential oracle: batched cache replay vs. per-access LRU reference.
+//!
+//! The tentpole's sweep path replays whole access strips through
+//! [`Hierarchy::replay_pattern`], which coalesces same-line runs into one
+//! `access_run` call per level. That path is claimed *bit-identical* to
+//! the per-access reference — same hits, misses and writebacks at every
+//! level and at DRAM, for any trace. This oracle pins the claim under
+//! randomized hierarchies and the four trace families the sweep engine
+//! actually produces: seeded random streams, sequential thrash sweeps
+//! (footprint past every capacity), large strides (≥ a line, so no run
+//! ever coalesces), and multi-pass repeats (where the batched path's
+//! warm-rerun behaviour matters most).
+//!
+//! Bit-identity, not bounded divergence: any disagreement in any counter
+//! is a failure. Fault injection does not apply to this oracle (the two
+//! paths share one `Cache` implementation, so there is no seam to break
+//! from outside); it runs the same checked claim under every `--inject`.
+
+use crate::{drive, Fault, OracleReport, VerifyConfig};
+use rvhpc_cachesim::{AccessKind, CacheConfig, Hierarchy, LevelConfig, Pattern};
+use rvhpc_quickprop::Gen;
+use rvhpc_trace::json::Json;
+
+/// Oracle name (CLI token).
+pub const NAME: &str = "batched-cache";
+
+const LINE: u64 = 64;
+
+/// The four trace families under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Uniform-random element addresses from a seeded stream.
+    Random,
+    /// Element-granular sequential sweep over a footprint past L2.
+    SequentialThrash,
+    /// Stride of one line or more: every access opens a new run.
+    LargeStride,
+    /// Several passes over a cache-resident footprint.
+    MultiPass,
+}
+
+impl TraceKind {
+    /// CLI/JSON token.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Random => "random",
+            TraceKind::SequentialThrash => "sequential-thrash",
+            TraceKind::LargeStride => "large-stride",
+            TraceKind::MultiPass => "multi-pass",
+        }
+    }
+}
+
+/// One randomized batched-vs-reference case.
+#[derive(Debug, Clone)]
+pub struct BatchedCase {
+    /// L1 capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 ways.
+    pub l1_assoc: usize,
+    /// L2 capacity in bytes (0 = single-level hierarchy).
+    pub l2_bytes: u64,
+    /// L2 ways.
+    pub l2_assoc: usize,
+    /// Trace family.
+    pub trace: TraceKind,
+    /// Footprint in bytes (line multiple).
+    pub footprint: u64,
+    /// Byte stride of the sweep (sequential families).
+    pub stride: u64,
+    /// Passes over the footprint.
+    pub passes: u32,
+    /// Stores instead of loads.
+    pub store: bool,
+    /// Seed of the random address stream.
+    pub stream_seed: u64,
+}
+
+impl BatchedCase {
+    /// Human-readable summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} L1 {}B/{}w{} footprint {}B stride {} passes {} {}",
+            self.trace.label(),
+            self.l1_bytes,
+            self.l1_assoc,
+            if self.l2_bytes == 0 {
+                String::new()
+            } else {
+                format!(", L2 {}B/{}w", self.l2_bytes, self.l2_assoc)
+            },
+            self.footprint,
+            self.stride,
+            self.passes,
+            if self.store { "stores" } else { "loads" },
+        )
+    }
+
+    /// Full case as JSON (for the failure artefact).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("trace", Json::str(self.trace.label())),
+            ("l1_bytes", Json::Num(self.l1_bytes as f64)),
+            ("l1_assoc", Json::Num(self.l1_assoc as f64)),
+            ("l2_bytes", Json::Num(self.l2_bytes as f64)),
+            ("l2_assoc", Json::Num(self.l2_assoc as f64)),
+            ("footprint", Json::Num(self.footprint as f64)),
+            ("stride", Json::Num(self.stride as f64)),
+            ("passes", Json::Num(f64::from(self.passes))),
+            ("store", Json::Bool(self.store)),
+            ("stream_seed", Json::str(format!("{:#x}", self.stream_seed))),
+        ])
+    }
+
+    fn pattern(&self) -> Pattern {
+        let kind = if self.store { AccessKind::Store } else { AccessKind::Load };
+        match self.trace {
+            TraceKind::Random => Pattern::Random {
+                base: 0,
+                footprint: self.footprint,
+                elem: 8,
+                count: u64::from(self.passes) * (self.footprint / 8),
+                seed: self.stream_seed,
+                kind,
+            },
+            TraceKind::SequentialThrash | TraceKind::LargeStride | TraceKind::MultiPass => {
+                let sweep = Pattern::Sequential {
+                    base: 0,
+                    stride: self.stride,
+                    count: self.footprint / self.stride,
+                    kind,
+                };
+                if self.passes == 1 {
+                    sweep
+                } else {
+                    Pattern::Repeated { inner: Box::new(sweep), passes: self.passes }
+                }
+            }
+        }
+    }
+
+    fn hierarchy(&self) -> Hierarchy {
+        let mk = |size: u64, assoc: usize| LevelConfig {
+            cache: CacheConfig {
+                size_bytes: size as usize,
+                line_bytes: LINE as usize,
+                associativity: assoc,
+            },
+        };
+        if self.l2_bytes == 0 {
+            Hierarchy::new(&[mk(self.l1_bytes, self.l1_assoc)])
+        } else {
+            Hierarchy::new(&[mk(self.l1_bytes, self.l1_assoc), mk(self.l2_bytes, self.l2_assoc)])
+        }
+    }
+}
+
+/// Generate a random case.
+pub fn generate_case(g: &mut Gen) -> BatchedCase {
+    let l1_bytes = *g.choose(&[2048u64, 4096, 8192, 16384]);
+    let l1_assoc = *g.choose(&[1usize, 2, 4, 8]);
+    let two_level = g.bool_with(0.7);
+    let l2_bytes = if two_level { l1_bytes * *g.choose(&[4u64, 8]) } else { 0 };
+    let l2_assoc = *g.choose(&[4usize, 8]);
+    let trace = *g.choose(&[
+        TraceKind::Random,
+        TraceKind::SequentialThrash,
+        TraceKind::LargeStride,
+        TraceKind::MultiPass,
+    ]);
+    let store = g.bool_with(0.4);
+    let outer = if two_level { l2_bytes } else { l1_bytes };
+    let (footprint, stride, passes) = match trace {
+        // Element-granular footprint past every capacity.
+        TraceKind::SequentialThrash => {
+            (outer * g.u64_in(2..=4) / LINE * LINE, *g.choose(&[4u64, 8, 16]), 1)
+        }
+        // Every access opens a fresh line run (reps == 1 in the batcher).
+        TraceKind::LargeStride => {
+            let stride = *g.choose(&[64u64, 128, 256, 320]);
+            (outer * g.u64_in(1..=4) / stride * stride, stride, 1)
+        }
+        // Cache-resident footprint swept repeatedly: the warm path.
+        TraceKind::MultiPass => {
+            let f = (l1_bytes / g.u64_in(2..=4)).max(2 * LINE) / LINE * LINE;
+            (f, *g.choose(&[8u64, 16, 32]), g.usize_in(2..=5) as u32)
+        }
+        TraceKind::Random => (outer * g.u64_in(1..=6) / LINE * LINE, 8, g.usize_in(1..=2) as u32),
+    };
+    BatchedCase {
+        l1_bytes,
+        l1_assoc,
+        l2_bytes,
+        l2_assoc,
+        trace,
+        footprint,
+        stride,
+        passes,
+        store,
+        stream_seed: g.u64(),
+    }
+}
+
+/// Check one case: replay the same pattern per-access and batched; every
+/// counter at every level (and both DRAM counters) must agree exactly.
+pub fn check(case: &BatchedCase, _fault: Fault) -> Result<(), String> {
+    let pattern = case.pattern();
+    let mut reference = case.hierarchy();
+    let mut batched = case.hierarchy();
+    reference.replay(pattern.stream());
+    batched.replay_pattern(&pattern);
+    let (r, b) = (reference.stats(), batched.stats());
+    for (level, (rs, bs)) in r.levels.iter().zip(&b.levels).enumerate() {
+        if rs != bs {
+            return Err(format!(
+                "L{} diverged: per-access {rs:?} vs batched {bs:?} for {}",
+                level + 1,
+                case.describe()
+            ));
+        }
+    }
+    if r.dram_lines != b.dram_lines || r.dram_writeback_lines != b.dram_writeback_lines {
+        return Err(format!(
+            "DRAM diverged: per-access fetch {} wb {} vs batched fetch {} wb {} for {}",
+            r.dram_lines,
+            r.dram_writeback_lines,
+            b.dram_lines,
+            b.dram_writeback_lines,
+            case.describe()
+        ));
+    }
+    Ok(())
+}
+
+/// Strictly-simpler variants for minimization.
+pub fn shrink(case: &BatchedCase) -> Vec<BatchedCase> {
+    let mut out = Vec::new();
+    if case.passes > 1 {
+        let mut c = case.clone();
+        c.passes = 1;
+        out.push(c);
+    }
+    for f in [case.footprint / 2, case.footprint / 4] {
+        let f = f / LINE * LINE;
+        let aligned = f >= LINE && f % case.stride == 0 && f < case.footprint;
+        if aligned {
+            let mut c = case.clone();
+            c.footprint = f;
+            out.push(c);
+        }
+    }
+    if case.l2_bytes != 0 {
+        let mut c = case.clone();
+        c.l2_bytes = 0;
+        out.push(c);
+    }
+    if case.store {
+        let mut c = case.clone();
+        c.store = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Run the oracle.
+pub fn run(cfg: &VerifyConfig) -> OracleReport {
+    drive(NAME, cfg, generate_case, check, shrink, BatchedCase::describe, BatchedCase::to_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(trace: TraceKind) -> BatchedCase {
+        BatchedCase {
+            l1_bytes: 4096,
+            l1_assoc: 4,
+            l2_bytes: 32768,
+            l2_assoc: 8,
+            trace,
+            footprint: 65536,
+            stride: 8,
+            passes: 1,
+            store: true,
+            stream_seed: 0x5eed,
+        }
+    }
+
+    #[test]
+    fn all_trace_families_agree() {
+        for trace in [
+            TraceKind::Random,
+            TraceKind::SequentialThrash,
+            TraceKind::LargeStride,
+            TraceKind::MultiPass,
+        ] {
+            let mut c = base(trace);
+            if trace == TraceKind::LargeStride {
+                c.stride = 256;
+            }
+            if trace == TraceKind::MultiPass {
+                c.footprint = 2048;
+                c.passes = 3;
+            }
+            check(&c, Fault::None).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn clean_cases_pass() {
+        for index in 0..60u64 {
+            let seed = rvhpc_quickprop::case_seed(rvhpc_quickprop::BASE_SEED, index);
+            let case = generate_case(&mut Gen::new(seed));
+            check(&case, Fault::None).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_footprints_are_stride_aligned_line_multiples() {
+        let mut g = Gen::new(11);
+        for _ in 0..200 {
+            let c = generate_case(&mut g);
+            assert!(c.footprint >= c.stride, "{}", c.describe());
+            assert_eq!(c.footprint % c.stride, 0, "{}", c.describe());
+            assert!(c.passes >= 1);
+        }
+    }
+
+    #[test]
+    fn shrink_only_simplifies() {
+        let mut g = Gen::new(12);
+        for _ in 0..50 {
+            let c = generate_case(&mut g);
+            for s in shrink(&c) {
+                assert!(
+                    s.passes < c.passes
+                        || s.footprint < c.footprint
+                        || (c.l2_bytes != 0 && s.l2_bytes == 0)
+                        || (c.store && !s.store),
+                    "not simpler: {} -> {}",
+                    c.describe(),
+                    s.describe()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Differential oracle: strip-wise interpreter dispatch vs. the
+//! lane-at-a-time reference.
+//!
+//! The tentpole restructured `rvhpc-rvv`'s execute loop into strip-wise
+//! dispatch ([`ExecMode::Strip`], the default): one opcode match per
+//! instruction, then a tight typed loop over the whole active `vl` strip.
+//! The lane-at-a-time loop survives as [`ExecMode::Lanewise`], and the two
+//! are claimed bit-identical — same registers, same memory image, same
+//! retirement counters, same step count — for every program the compiler
+//! can emit.
+//!
+//! Each case executes one codegen kernel (random mode/SEW/element count
+//! and operands, same distribution as the `rvv-differential` oracle) twice
+//! from identical initial state, once per mode, under v1.0 semantics and —
+//! when the rollback accepts the program — under rolled-back v0.7.1
+//! semantics too. Every observable is compared bit-exactly. The fault
+//! injections mutate *the program*, not a mode, so both modes execute the
+//! same (possibly faulted) program and must still agree; the oracle runs
+//! unchanged under every `--inject`.
+
+use crate::rvv_diff::{self, RvvCase};
+use crate::{drive, Fault, OracleReport, VerifyConfig};
+use rvhpc_compiler::codegen::generate;
+use rvhpc_kernels::KernelName;
+use rvhpc_quickprop::Gen;
+use rvhpc_rvv::{rollback, Dialect, ExecMode, Machine, OpClass, Program};
+
+/// Oracle name (CLI token).
+pub const NAME: &str = "strip-interp";
+
+/// Generate a random case (the `rvv-differential` distribution: every
+/// codegen kernel, both vector modes, both SEWs, random operands).
+pub fn generate_case(g: &mut Gen) -> RvvCase {
+    rvv_diff::generate_case(g)
+}
+
+/// Everything observable about one finished execution, in bit-exact form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Observed {
+    steps: u64,
+    vl: usize,
+    x: Vec<u64>,
+    f_bits: Vec<u64>,
+    mem: Vec<u8>,
+    retired: Vec<u64>,
+}
+
+const CLASSES: [OpClass; 6] = [
+    OpClass::ScalarAlu,
+    OpClass::ScalarMem,
+    OpClass::Control,
+    OpClass::VectorConfig,
+    OpClass::VectorMem,
+    OpClass::VectorArith,
+];
+
+/// Run `program` in one mode from the case's canonical initial state.
+fn observe(
+    case: &RvvCase,
+    program: &Program,
+    dialect: Dialect,
+    mode: ExecMode,
+) -> Result<Observed, String> {
+    let n = case.n;
+    let eb = case.sew.bytes();
+    let mut m = Machine::new(dialect, 16 * 1024 + n * eb * 6);
+    m.set_exec_mode(mode);
+    m.set_x(10, n as u64);
+    for (reg, region) in [(11u8, 0usize), (12, 1), (13, 2), (14, 3), (15, 4)] {
+        m.set_x(reg, (region * n * eb) as u64);
+    }
+    if case.kernel == KernelName::IF_QUAD {
+        m.set_f(0, 4.0);
+        m.set_f(1, 2.0);
+        m.set_f(3, 0.0);
+    } else {
+        m.set_f(0, case.alpha);
+    }
+    for (region, data) in [(0usize, &case.a), (1, &case.b), (2, &case.c)] {
+        if case.sew.bits() == 32 {
+            let v: Vec<f32> = data.iter().map(|x| *x as f32).collect();
+            m.write_f32s(region * n * eb, &v);
+        } else {
+            m.write_f64s(region * n * eb, data);
+        }
+    }
+    let steps = m.run_fueled(program, 1_000_000).map_err(|e| {
+        format!("{dialect:?} {mode:?} execution failed: {e:?} for {}", case.describe())
+    })?;
+    Ok(Observed {
+        steps,
+        vl: m.vl(),
+        x: (0..32).map(|r| m.x(r)).collect(),
+        f_bits: (0..32).map(|r| m.f(r).to_bits()).collect(),
+        mem: m.mem().to_vec(),
+        retired: CLASSES.iter().map(|c| m.retired(*c)).collect(),
+    })
+}
+
+/// Compare two observations field by field, naming the first divergence.
+fn agree(ctx: &str, strip: &Observed, lanewise: &Observed) -> Result<(), String> {
+    if strip.steps != lanewise.steps {
+        return Err(format!("{ctx}: steps {} vs {}", strip.steps, lanewise.steps));
+    }
+    if strip.vl != lanewise.vl {
+        return Err(format!("{ctx}: final vl {} vs {}", strip.vl, lanewise.vl));
+    }
+    for r in 0..32 {
+        if strip.x[r] != lanewise.x[r] {
+            return Err(format!("{ctx}: x{r} {:#x} vs {:#x}", strip.x[r], lanewise.x[r]));
+        }
+        if strip.f_bits[r] != lanewise.f_bits[r] {
+            return Err(format!(
+                "{ctx}: f{r} bits {:#x} vs {:#x}",
+                strip.f_bits[r], lanewise.f_bits[r]
+            ));
+        }
+    }
+    if let Some(i) = strip.mem.iter().zip(&lanewise.mem).position(|(a, b)| a != b) {
+        return Err(format!(
+            "{ctx}: memory byte {i:#x} differs ({:#04x} vs {:#04x})",
+            strip.mem[i], lanewise.mem[i]
+        ));
+    }
+    for (class, (s, l)) in CLASSES.iter().zip(strip.retired.iter().zip(&lanewise.retired)) {
+        if s != l {
+            return Err(format!("{ctx}: retired {class:?} {s} vs {l}"));
+        }
+    }
+    Ok(())
+}
+
+/// Check one case: strip and lanewise execution of the generated program
+/// (and its rollback, when legal) must be bit-identical in every
+/// observable.
+pub fn check(case: &RvvCase, fault: Fault) -> Result<(), String> {
+    let mut program =
+        generate(case.kernel, case.mode, case.sew).expect("SUPPORTED kernels always generate");
+    match fault {
+        Fault::None => {}
+        // Both modes run the same faulted program; they must *still* agree
+        // (the rvv-differential oracle is the one that flags the fault).
+        Fault::ReductionOp => {
+            rvv_diff::inject_reduction_bug(&mut program);
+        }
+        Fault::DropVsetvli => {
+            // A program with no vsetvli fails in both modes identically;
+            // comparing error-path state is not meaningful, so skip.
+            return Ok(());
+        }
+    }
+
+    let strip = observe(case, &program, Dialect::V10, ExecMode::Strip)?;
+    let lanewise = observe(case, &program, Dialect::V10, ExecMode::Lanewise)?;
+    agree(&format!("v1.0 {}", case.describe()), &strip, &lanewise)?;
+
+    if let Ok(rolled) = rollback(&program) {
+        let strip = observe(case, &rolled, Dialect::V071, ExecMode::Strip)?;
+        let lanewise = observe(case, &rolled, Dialect::V071, ExecMode::Lanewise)?;
+        agree(&format!("v0.7.1 rollback {}", case.describe()), &strip, &lanewise)?;
+    }
+    Ok(())
+}
+
+/// Strictly-simpler variants (shared with `rvv-differential`).
+pub fn shrink(case: &RvvCase) -> Vec<RvvCase> {
+    rvv_diff::shrink(case)
+}
+
+/// Run the oracle.
+pub fn run(cfg: &VerifyConfig) -> OracleReport {
+    drive(NAME, cfg, generate_case, check, shrink, RvvCase::describe, RvvCase::to_json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvhpc_compiler::codegen::SUPPORTED;
+    use rvhpc_compiler::VectorMode;
+    use rvhpc_rvv::Sew;
+
+    /// Deterministic full sweep: every codegen kernel × mode × SEW at an
+    /// awkward element count (partial final strip), strip vs lanewise.
+    #[test]
+    fn every_codegen_program_and_rollback_agrees() {
+        let mut g = Gen::new(0x57121);
+        for kernel in SUPPORTED {
+            for mode in [VectorMode::Vla, VectorMode::Vls] {
+                for sew in [Sew::E32, Sew::E64] {
+                    let lanes = (rvhpc_rvv::VLEN_BITS as u32 / sew.bits()) as usize;
+                    let n = match mode {
+                        VectorMode::Vls => lanes * 3,
+                        VectorMode::Vla => lanes * 2 + 1, // ragged tail
+                    };
+                    let mut case = generate_case(&mut g);
+                    case.kernel = kernel;
+                    case.mode = mode;
+                    case.sew = sew;
+                    case.n = n;
+                    case.a = g.f64_vec(n, 0.5, 2.0);
+                    case.b = g.f64_vec(n, -4.0, 4.0);
+                    case.c = g.f64_vec(n, 0.1, 2.0);
+                    check(&case, Fault::None)
+                        .unwrap_or_else(|e| panic!("{kernel} {mode:?} e{}: {e}", sew.bits()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clean_cases_pass() {
+        for index in 0..40u64 {
+            let seed = rvhpc_quickprop::case_seed(rvhpc_quickprop::BASE_SEED, index);
+            let case = generate_case(&mut Gen::new(seed));
+            check(&case, Fault::None).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+
+    #[test]
+    fn faulted_programs_still_agree_across_modes() {
+        for index in 0..20u64 {
+            let seed = rvhpc_quickprop::case_seed(rvhpc_quickprop::BASE_SEED, index);
+            let case = generate_case(&mut Gen::new(seed));
+            check(&case, Fault::ReductionOp).unwrap_or_else(|e| panic!("seed {seed:#x}: {e}"));
+        }
+    }
+}

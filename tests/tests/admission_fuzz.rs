@@ -239,6 +239,61 @@ fn admitted_kernels_always_complete_within_granted_fuel() {
     });
 }
 
+/// Hostile cache geometries through the `submit_machine` lint: the
+/// panic-as-DoS audit. `CacheConfig::assert_valid` panics on bad geometry
+/// (zero/non-power-of-two lines, zero ways, a capacity that is not a whole
+/// power-of-two number of sets), so a descriptor that passed the lint yet
+/// carried such a geometry would let one request kill the process the
+/// moment anything simulates that machine. This case pins the containment
+/// proof: for *any* geometry, either `lint_descriptor` reports findings
+/// (serve then sends the structured `descriptor_findings` rejection and
+/// never stores the machine), or every admitted cache level satisfies
+/// `CacheConfig::validate` — the precise precondition of `Cache::new` —
+/// so the panic is unreachable from the wire.
+#[test]
+fn lint_passing_geometries_never_reach_the_cache_panic() {
+    use rvhpc_cachesim::{Cache, CacheConfig};
+
+    // Sizes/lines/ways drawn from a pool dominated by hostile shapes:
+    // zeros, non-powers-of-two, primes, off-by-one capacities.
+    const SIZES: [u64; 10] =
+        [0, 1, 500, 3 * 1024, 4096, 65536, 65537, 49152, 1 << 26, (1 << 26) + 64];
+    const LINES: [u64; 7] = [0, 1, 32, 48, 64, 100, 128];
+    const WAYS: [u64; 7] = [0, 1, 2, 3, 4, 7, 16];
+
+    let admitted = std::cell::Cell::new(0u32);
+    run_cases(192, |g: &mut Gen| {
+        let size = *g.choose(&SIZES);
+        let line = *g.choose(&LINES);
+        let ways = *g.choose(&WAYS);
+        let text = format!(
+            r#"{{"schema": "rvhpc-machine-v1", "base": "sg2042",
+                "caches": [{{"level": 1, "size_bytes": {size},
+                             "line_bytes": {line}, "associativity": {ways},
+                             "bandwidth_bytes_per_cycle": 32.0,
+                             "latency_cycles": 3.0}}]}}"#
+        );
+        let (machine, findings) = rvhpc::analyze::lint_descriptor(&text);
+        if !findings.is_empty() {
+            return; // structured rejection; serve never stores the machine
+        }
+        let m = machine.expect("no findings implies a machine");
+        for level in &m.caches {
+            let cfg = CacheConfig {
+                size_bytes: level.size_bytes,
+                line_bytes: level.line_bytes,
+                associativity: level.associativity,
+            };
+            cfg.validate().unwrap_or_else(|e| {
+                panic!("lint admitted a geometry Cache::new would panic on: {e}\n{text}")
+            });
+            let _ = Cache::new(cfg); // and the constructor itself agrees
+        }
+        admitted.set(admitted.get() + 1);
+    });
+    assert!(admitted.get() > 0, "the pool must also produce lint-clean geometries");
+}
+
 /// Hostile machine descriptors through the `submit_machine` lint: random
 /// mutations of a valid document must yield findings or a machine, never
 /// a panic.
