@@ -215,3 +215,54 @@ wait "$SUBMIT_PID"
 rm -f "$SUBMIT_PORT_FILE" "$CLEAN_ASM" "$DIRTY_ASM"
 RVHPC_SEED=2042 cargo test --release -q -p rvhpc-integration-tests \
     --test serve_submit_e2e --test admission_fuzz
+
+# Fleet smoke: a 3-shard consistent-hash fleet on ephemeral ports. The
+# seeded loadgen addresses the router with per-shard attribution
+# (--shards/--target-list, exit non-zero on any protocol error or
+# bit-divergence), then one shard is SIGKILLed: the supervisor must
+# respawn it (same ring identity) while a second seeded run loses zero
+# requests. The aggregated fleet metrics must validate under the
+# single-server `top --check` schema, and a client `shutdown` must drain
+# the whole fleet cleanly.
+FLEET_PORT_FILE="$(mktemp)"
+FLEET_SHARDS_FILE="$(mktemp)"
+FLEET_LOG="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- fleet --shards 3 \
+    --addr 127.0.0.1:0 --port-file "$FLEET_PORT_FILE" \
+    --shards-file "$FLEET_SHARDS_FILE" --seed 42 > "$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+    test -s "$FLEET_PORT_FILE" && break
+    sleep 0.1
+done
+FLEET_ADDR="$(cat "$FLEET_PORT_FILE")"
+FLEET_TARGETS="$(awk '{ print $3 }' "$FLEET_SHARDS_FILE" | paste -sd, -)"
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$FLEET_ADDR" \
+    --clients 4 --requests 100 --seed 42 --shards 3 --target-list "$FLEET_TARGETS"
+KILLED_PID="$(awk '$1 == 1 { print $2 }' "$FLEET_SHARDS_FILE")"
+kill -9 "$KILLED_PID"
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$FLEET_ADDR" \
+    --clients 4 --requests 100 --seed 43 --shards 3
+for _ in $(seq 1 100); do
+    grep -q "respawned" "$FLEET_LOG" && break
+    sleep 0.1
+done
+grep -q "respawned" "$FLEET_LOG"
+FLEET_SNAP="$(mktemp)"
+cargo run --release -p rvhpc --bin repro -- top "$FLEET_ADDR" --once --json > "$FLEET_SNAP"
+cargo run --release -p rvhpc --bin repro -- top --check "$FLEET_SNAP"
+cargo run --release -p rvhpc --bin repro -- loadgen --addr "$FLEET_ADDR" \
+    --clients 1 --requests 0 --shutdown
+wait "$FLEET_PID"
+grep -q "drained cleanly" "$FLEET_LOG"
+rm -f "$FLEET_PORT_FILE" "$FLEET_SHARDS_FILE" "$FLEET_LOG" "$FLEET_SNAP"
+
+# The checked-in fleet-bench artefact validates, and `fleet-bench --check`
+# honours the --check exit contract (2 for an unknown schema version).
+cargo run --release -p rvhpc --bin repro -- fleet-bench --check FLEET_BENCH.json
+BAD_FLEET="$(mktemp)"
+sed 's/rvhpc-fleet-bench-v1/rvhpc-fleet-bench-v999/' FLEET_BENCH.json > "$BAD_FLEET"
+rc=0
+cargo run --release -p rvhpc --bin repro -- fleet-bench --check "$BAD_FLEET" || rc=$?
+rm -f "$BAD_FLEET"
+test "$rc" -eq 2

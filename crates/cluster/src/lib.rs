@@ -35,4 +35,7 @@ pub mod scaling;
 
 pub use collectives::{allreduce_seconds, halo_exchange_seconds, point_to_point_seconds};
 pub use network::{Network, NetworkKind};
-pub use scaling::{strong_scaling, weak_scaling, ClusterPoint, ScalingMode};
+pub use scaling::{
+    curve_from_json, curve_to_json, scaling_curve, strong_scaling, weak_scaling, ClusterPoint,
+    ScalingMode,
+};

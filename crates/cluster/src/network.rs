@@ -33,6 +33,13 @@ impl NetworkKind {
         }
     }
 
+    /// Look a preset up by its display label, case-insensitively. This is
+    /// the inverse of [`NetworkKind::label`] and the parse half of the
+    /// `cluster` serve op's `network` field.
+    pub fn from_label(label: &str) -> Option<NetworkKind> {
+        NetworkKind::ALL.into_iter().find(|k| k.label().eq_ignore_ascii_case(label))
+    }
+
     /// The parameterised model.
     pub fn network(self) -> Network {
         match self {
@@ -85,6 +92,16 @@ mod tests {
         assert!(t(NetworkKind::InfinibandHdr) < t(NetworkKind::FastEthernet25G));
         let (ib, ss) = (t(NetworkKind::InfinibandHdr), t(NetworkKind::Slingshot));
         assert!(ss < ib * 1.2 && ss < t(NetworkKind::FastEthernet25G));
+    }
+
+    #[test]
+    fn labels_round_trip_case_insensitively() {
+        for kind in NetworkKind::ALL {
+            assert_eq!(NetworkKind::from_label(kind.label()), Some(kind));
+            assert_eq!(NetworkKind::from_label(&kind.label().to_lowercase()), Some(kind));
+            assert_eq!(NetworkKind::from_label(&kind.label().to_uppercase()), Some(kind));
+        }
+        assert_eq!(NetworkKind::from_label("token-ring"), None);
     }
 
     #[test]

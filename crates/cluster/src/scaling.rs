@@ -10,6 +10,7 @@ use crate::network::Network;
 use rvhpc_kernels::KernelName;
 use rvhpc_machines::{machine, MachineId};
 use rvhpc_perfmodel::{calibration, estimate_sized, sim_size, Precision, RunConfig};
+use rvhpc_trace::json::Json;
 
 /// Weak or strong scaling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +19,25 @@ pub enum ScalingMode {
     Weak,
     /// Constant global problem; ideal time is T(1)/N.
     Strong,
+}
+
+impl ScalingMode {
+    /// The wire token (`"weak"` / `"strong"`).
+    pub fn token(self) -> &'static str {
+        match self {
+            ScalingMode::Weak => "weak",
+            ScalingMode::Strong => "strong",
+        }
+    }
+
+    /// Parse a wire token, case-insensitively.
+    pub fn from_token(token: &str) -> Option<ScalingMode> {
+        match token.to_ascii_lowercase().as_str() {
+            "weak" => Some(ScalingMode::Weak),
+            "strong" => Some(ScalingMode::Strong),
+            _ => None,
+        }
+    }
 }
 
 /// One point of a scaling curve.
@@ -33,6 +53,55 @@ pub struct ClusterPoint {
     pub comm_seconds: f64,
     /// Parallel efficiency against the single-node point.
     pub efficiency: f64,
+}
+
+impl ClusterPoint {
+    /// Render as a JSON object. The workspace renderer prints floats at
+    /// shortest-round-trip precision, so [`ClusterPoint::from_json`] on the
+    /// rendered text recovers every field bit-for-bit.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("nodes", Json::Num(f64::from(self.nodes))),
+            ("seconds", Json::Num(self.seconds)),
+            ("compute_seconds", Json::Num(self.compute_seconds)),
+            ("comm_seconds", Json::Num(self.comm_seconds)),
+            ("efficiency", Json::Num(self.efficiency)),
+        ])
+    }
+
+    /// Parse a point previously rendered by [`ClusterPoint::to_json`].
+    pub fn from_json(doc: &Json) -> Result<ClusterPoint, String> {
+        let num = |field: &str| {
+            doc.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cluster point: missing numeric `{field}`"))
+        };
+        let nodes = num("nodes")?;
+        if nodes < 1.0 || nodes.fract() != 0.0 || nodes > f64::from(u32::MAX) {
+            return Err(format!("cluster point: `nodes` must be a positive integer, got {nodes}"));
+        }
+        Ok(ClusterPoint {
+            nodes: nodes as u32,
+            seconds: num("seconds")?,
+            compute_seconds: num("compute_seconds")?,
+            comm_seconds: num("comm_seconds")?,
+            efficiency: num("efficiency")?,
+        })
+    }
+}
+
+/// Render a whole curve as a JSON array of point objects.
+pub fn curve_to_json(points: &[ClusterPoint]) -> Json {
+    Json::Arr(points.iter().map(ClusterPoint::to_json).collect())
+}
+
+/// Parse a curve rendered by [`curve_to_json`].
+pub fn curve_from_json(doc: &Json) -> Result<Vec<ClusterPoint>, String> {
+    doc.as_arr()
+        .ok_or_else(|| "cluster curve: expected an array of points".to_string())?
+        .iter()
+        .map(ClusterPoint::from_json)
+        .collect()
 }
 
 /// Halo bytes per face for a slab decomposition of the kernel's domain at a
@@ -198,6 +267,33 @@ mod tests {
             assert_eq!(pts[0].comm_seconds, 0.0, "{kernel}");
             assert!((pts[0].efficiency - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn curve_json_round_trip_is_bit_exact() {
+        let net = NetworkKind::InfinibandHdr.network();
+        let pts =
+            strong_scaling(MachineId::Sg2042, &net, KernelName::HEAT_3D, Precision::Fp64, &NODES);
+        let text = curve_to_json(&pts).render();
+        let back = curve_from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.len(), pts.len());
+        for (a, b) in pts.iter().zip(&back) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+            assert_eq!(a.compute_seconds.to_bits(), b.compute_seconds.to_bits());
+            assert_eq!(a.comm_seconds.to_bits(), b.comm_seconds.to_bits());
+            assert_eq!(a.efficiency.to_bits(), b.efficiency.to_bits());
+        }
+    }
+
+    #[test]
+    fn point_parser_rejects_malformed_documents() {
+        assert!(ClusterPoint::from_json(&Json::parse("{}").unwrap()).is_err());
+        let bad =
+            r#"{"nodes":0.5,"seconds":1,"compute_seconds":1,"comm_seconds":0,"efficiency":1}"#;
+        assert!(ClusterPoint::from_json(&Json::parse(bad).unwrap()).is_err());
+        assert!(ScalingMode::from_token("WEAK") == Some(ScalingMode::Weak));
+        assert!(ScalingMode::from_token("diagonal").is_none());
     }
 
     #[test]

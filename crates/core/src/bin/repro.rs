@@ -36,8 +36,28 @@
 //!               [--duration S] [--seed N] [--json <path>]
 //!               [--probe-bad] [--shutdown] [--slo-ms MS]
 //!               [--poll-metrics-ms MS] [--open-loop] [--connections N]
+//!               [--shards N] [--target-list a:p,b:p,...]
 //!                            # drive a running server with N closed-loop
-//!                            # clients; write the SERVE-BENCH artefact
+//!                            # clients; write the SERVE-BENCH artefact;
+//!                            # --shards/--target-list add fleet-router
+//!                            # cross-checks and per-shard attribution
+//! repro fleet --shards N [--addr A] [--port-file <path>]
+//!             [--shards-file <path>] [--seed N]
+//!             [--probe-every-ms MS] [--cooldown-ms MS]
+//!                            # spawn N serve shards behind the
+//!                            # consistent-hash router; respawn dead
+//!                            # shards; drain on SIGTERM or `shutdown`
+//! repro fleet-bench [--shards N] [--clients N] [--requests M]
+//!                   [--seed N] [--kill-shard I] [--json <path>]
+//!                   [--check <path>]
+//!                            # the whole fleet experiment (warm, measure,
+//!                            # kill + recover a shard, serve the cluster
+//!                            # curves); write/validate FLEET-BENCH JSON
+//! repro cluster --machine <m> --kernel <k> --network <net>
+//!               --mode weak|strong [--precision fp32|fp64]
+//!               [--nodes 1,2,...] [--serve ADDR] [--json]
+//!                            # Hockney α–β cluster-scaling curves, from
+//!                            # the library or bit-checked via a server
 //! repro submit --addr A --asm <file> [--env <file>] [--estimate]
 //!                            # submit one kernel through a running
 //!                            # server's lint-gated admission pipeline;
@@ -121,12 +141,40 @@ idle disconnects, and bounded write buffering;\n                          \
 kernel may be granted\n  \
   loadgen --addr <ip:port> [--clients N] [--requests M] [--rps R]\n          \
 [--duration S] [--seed N] [--json <path>] [--probe-bad] [--shutdown]\n          \
-[--slo-ms MS] [--poll-metrics-ms MS] [--open-loop] [--connections N]\n                          \
+[--slo-ms MS] [--poll-metrics-ms MS] [--open-loop] [--connections N]\n          \
+[--shards N] [--target-list a:p,b:p,...]\n                          \
 drive a running server with N closed-loop clients\n                          \
 and verify replies bit-identically against the\n                          \
 local model; --json writes the SERVE-BENCH\n                          \
 artefact; --slo-ms gates the exit code on p99;\n                          \
+--shards cross-checks a fleet router's shard\n                          \
+count, --target-list records per-shard request\n                          \
+and cache attribution in the artefact;\n                          \
 exits 1 on any protocol error or SLO failure\n  \
+  fleet --shards N [--addr <ip:port>] [--port-file <path>]\n        \
+[--shards-file <path>] [--seed N] [--probe-every-ms MS]\n        \
+[--cooldown-ms MS]\n                          \
+spawn N serve shards behind one consistent-hash\n                          \
+router address; per-shard estimate caches stay\n                          \
+hot and disjoint; dead shards are respawned under\n                          \
+the same ring identity; stats/metrics requests\n                          \
+are aggregated fleet-wide; drains on SIGTERM or\n                          \
+a `shutdown` request\n  \
+  fleet-bench [--shards N] [--clients N] [--requests M] [--seed N]\n              \
+[--kill-shard I] [--json <path>] [--check <path>]\n                          \
+spawn a fleet, warm every shard's partition,\n                          \
+measure routing + per-shard hit rates, SIGKILL\n                          \
+one shard mid-run (requests must survive via the\n                          \
+ring successor, bit-identically), respawn it, and\n                          \
+serve the cluster scaling curves; --json writes\n                          \
+the FLEET-BENCH artefact, --check validates one\n                          \
+(exit 1 invalid, exit 2 unknown schema)\n  \
+  cluster --machine <m> --kernel <k> --network <net> --mode weak|strong\n          \
+[--precision fp32|fp64] [--nodes 1,2,...] [--serve <ip:port>] [--json]\n                          \
+weak/strong-scaling curves over the Hockney\n                          \
+\u{3b1}\u{2013}\u{3b2} interconnect models; --serve fetches the\n                          \
+curve from a running server/fleet and requires\n                          \
+bit-identity with the local library computation\n  \
   submit --addr <ip:port> --asm <file> [--env <file>] [--estimate]\n                          \
 submit one RVV kernel to a running server's\n                          \
 lint-gated admission pipeline (`submit_kernel`);\n                          \
@@ -180,6 +228,15 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("loadgen") {
         loadgen(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fleet") {
+        fleet(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fleet-bench") {
+        fleet_bench(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("cluster") {
+        cluster(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("top") {
         top(&args[1..]);
@@ -1188,7 +1245,8 @@ fn loadgen(args: &[String]) -> ! {
     const LOADGEN_USAGE: &str = "usage: repro loadgen --addr <ip:port> [--clients N] \
                                  [--requests M] [--rps R] [--duration S] [--seed N] \
                                  [--json <path>] [--probe-bad] [--shutdown] [--slo-ms MS] \
-                                 [--poll-metrics-ms MS] [--open-loop] [--connections N]";
+                                 [--poll-metrics-ms MS] [--open-loop] [--connections N] \
+                                 [--shards N] [--target-list a:p,b:p,...]";
     let mut cfg = LoadgenConfig::default();
     let mut json_path: Option<String> = None;
     let mut it = args.iter();
@@ -1247,6 +1305,25 @@ fn loadgen(args: &[String]) -> ! {
                 cfg.connections = parse_num("--connections", &value("--connections"));
                 if cfg.connections == 0 {
                     eprintln!("--connections must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--shards" => {
+                cfg.shards = Some(parse_num("--shards", &value("--shards")));
+                if cfg.shards == Some(0) {
+                    eprintln!("--shards must be >= 1");
+                    std::process::exit(2);
+                }
+            }
+            "--target-list" => {
+                cfg.targets = value("--target-list")
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if cfg.targets.is_empty() {
+                    eprintln!("--target-list needs at least one ip:port");
                     std::process::exit(2);
                 }
             }
@@ -1326,6 +1403,20 @@ fn loadgen(args: &[String]) -> ! {
             report.metrics_polls, report.metrics_poll_failures
         );
     }
+    if let Some(shards) = report.shards {
+        println!("fleet: {shards} shard(s)");
+        for s in &report.per_shard {
+            println!(
+                "  shard {}: {} | +{} request(s), +{} hit(s), +{} miss(es), hit rate {:.3}",
+                s.addr,
+                if s.reachable { "reachable" } else { "UNREACHABLE" },
+                s.requests,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_hit_rate
+            );
+        }
+    }
     if let Some(ok) = report.probe_bad_ok {
         println!("probe-bad: {}", if ok { "structured bad_request reply" } else { "FAILED" });
     }
@@ -1354,6 +1445,512 @@ fn loadgen(args: &[String]) -> ! {
         && report.drained_clean.unwrap_or(true)
         && report.slo_passed.unwrap_or(true);
     std::process::exit(if clean { 0 } else { 1 });
+}
+
+/// `repro fleet` — spawn N `rvhpc-serve` shard processes and front them
+/// with the consistent-hash router on one address. The supervisor
+/// respawns shards that die (under the same ring identity, so their key
+/// range is unchanged) and drains everything on SIGTERM or a `shutdown`
+/// request through the router.
+fn fleet(args: &[String]) -> ! {
+    use rvhpc_fleet::{spawn_shard, Router, RouterConfig};
+    use rvhpc_trace::json::Json;
+
+    const FLEET_USAGE: &str = "usage: repro fleet --shards N [--addr <ip:port>] \
+                               [--port-file <path>] [--shards-file <path>] [--seed N] \
+                               [--probe-every-ms MS] [--cooldown-ms MS]";
+    let mut shards = 0usize;
+    let mut config = RouterConfig::default();
+    let mut port_file: Option<String> = None;
+    let mut shards_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{FLEET_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{flag}: cannot parse `{v}`");
+                std::process::exit(2);
+            })
+        }
+        match a.as_str() {
+            "--shards" => shards = parse_num("--shards", &value("--shards")),
+            "--addr" => config.addr = value("--addr"),
+            "--port-file" => port_file = Some(value("--port-file")),
+            "--shards-file" => shards_file = Some(value("--shards-file")),
+            "--seed" => config.seed = parse_num("--seed", &value("--seed")),
+            "--probe-every-ms" => {
+                let ms: u64 = parse_num("--probe-every-ms", &value("--probe-every-ms"));
+                config.probe_every = std::time::Duration::from_millis(ms.max(1));
+            }
+            "--cooldown-ms" => {
+                let ms: u64 = parse_num("--cooldown-ms", &value("--cooldown-ms"));
+                config.cooldown = std::time::Duration::from_millis(ms);
+            }
+            other => {
+                eprintln!("unknown fleet argument `{other}`\n{FLEET_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if shards == 0 {
+        eprintln!("--shards N (>= 1) is required\n{FLEET_USAGE}");
+        std::process::exit(2);
+    }
+
+    rvhpc_serve::signal::install_sigterm_hook();
+    let exe = env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary to spawn shards: {e}");
+        std::process::exit(1);
+    });
+    let mut procs = Vec::new();
+    for index in 0..shards {
+        match spawn_shard(&exe, index, &[]) {
+            Ok(p) => procs.push(p),
+            Err(e) => {
+                eprintln!("cannot spawn shard {index}: {e}");
+                for p in &mut procs {
+                    p.kill();
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+    let addrs: Vec<String> = procs.iter().map(|p| p.addr.clone()).collect();
+    let router = Router::start(config, addrs).unwrap_or_else(|e| {
+        eprintln!("cannot start fleet router: {e}");
+        for p in &mut procs {
+            p.kill();
+        }
+        std::process::exit(1);
+    });
+    let addr = router.local_addr();
+    let state = router.state();
+    let banner = Json::obj(vec![
+        ("event", Json::str("fleet.start")),
+        ("addr", Json::str(addr.to_string())),
+        ("shards", Json::Num(shards as f64)),
+        ("pid", Json::Num(std::process::id() as f64)),
+    ]);
+    eprintln!("{}", banner.render());
+    println!("rvhpc-fleet routing {shards} shard(s) on {addr}");
+    for p in &procs {
+        println!("  shard {}: pid {} on {}", p.index, p.pid(), p.addr);
+    }
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &shards_file {
+        let lines: String =
+            procs.iter().map(|p| format!("{} {} {}\n", p.index, p.pid(), p.addr)).collect();
+        if let Err(e) = std::fs::write(path, lines) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Supervise: respawn any shard whose process died (keeping its ring
+    // identity, so only its own key range rehashes) until a drain starts.
+    while !rvhpc_serve::signal::sigterm_received() && !router.draining() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        for p in &mut procs {
+            if !p.is_alive() && !router.draining() {
+                let index = p.index;
+                match spawn_shard(&exe, index, &[]) {
+                    Ok(fresh) => {
+                        eprintln!(
+                            "fleet: shard {index} died; respawned as pid {} on {}",
+                            fresh.pid(),
+                            fresh.addr
+                        );
+                        state.set_addr(index, fresh.addr.clone());
+                        *p = fresh;
+                    }
+                    Err(e) => eprintln!("fleet: cannot respawn shard {index}: {e}"),
+                }
+            }
+        }
+    }
+
+    // Drain: ask every live shard to shut down through the router (a
+    // `shutdown` request already did this when `draining` tripped first),
+    // then give them a grace period before reaping.
+    if !router.draining() {
+        use std::io::{BufRead, BufReader, Write};
+        if let Ok(stream) = std::net::TcpStream::connect(addr) {
+            let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut w = stream;
+            let _ = w.write_all(b"{\"id\":0,\"op\":\"shutdown\"}\n");
+            let mut ack = String::new();
+            let _ = reader.read_line(&mut ack);
+        }
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    for p in &mut procs {
+        while p.is_alive() && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        p.kill(); // no-op if already exited; reaps either way
+    }
+    router.shutdown();
+    router.join();
+    eprintln!("rvhpc-fleet drained cleanly");
+    std::process::exit(0);
+}
+
+/// `repro fleet-bench` — run the whole fleet experiment (spawn shards,
+/// warm, measure, kill one shard mid-run, respawn it, serve the cluster
+/// scaling curves) and write/validate the `rvhpc-fleet-bench-v1`
+/// artefact. `--check` follows the `bench --check` exit contract: 1 for
+/// an invalid known-schema artefact, 2 for an unknown schema or
+/// unreadable file.
+fn fleet_bench(args: &[String]) -> ! {
+    use rvhpc_fleet::{
+        fleet_artefact, run_fleet_bench, validate_fleet_artefact, FleetBenchConfig, FLEET_SCHEMA,
+    };
+    use rvhpc_trace::json::Json;
+
+    const FB_USAGE: &str = "usage: repro fleet-bench [--shards N] [--clients N] \
+                            [--requests M] [--seed N] [--kill-shard I] [--json <path>] \
+                            [--check <path>]";
+    let mut json_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut overrides: Vec<(String, u64)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{FB_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--json" => json_path = Some(value("--json")),
+            "--check" => check_path = Some(value("--check")),
+            flag @ ("--shards" | "--clients" | "--requests" | "--seed" | "--kill-shard") => {
+                let v = value(flag);
+                let n: u64 = v.parse().unwrap_or_else(|_| {
+                    eprintln!("{flag}: cannot parse `{v}`");
+                    std::process::exit(2);
+                });
+                overrides.push((flag.to_string(), n));
+            }
+            other => {
+                eprintln!("unknown fleet-bench argument `{other}`\n{FB_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let embedded = Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("schema").and_then(|s| s.as_str().map(String::from)));
+        match embedded.as_deref() {
+            Some(s) if s == FLEET_SCHEMA => {}
+            Some(other) => {
+                eprintln!("{path}: unknown schema version `{other}` (expected `{FLEET_SCHEMA}`)");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("{path}: no `schema` tag found (expected `{FLEET_SCHEMA}`)");
+                std::process::exit(2);
+            }
+        }
+        match validate_fleet_artefact(&text) {
+            Ok(()) => {
+                println!("{path}: valid {FLEET_SCHEMA} artefact");
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let exe = env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary to spawn shards: {e}");
+        std::process::exit(1);
+    });
+    let mut cfg = FleetBenchConfig::new(exe);
+    for (flag, n) in overrides {
+        match flag.as_str() {
+            "--shards" => cfg.shards = n as usize,
+            "--clients" => cfg.clients = n as usize,
+            "--requests" => cfg.requests_per_client = n as usize,
+            "--seed" => cfg.seed = n,
+            "--kill-shard" => cfg.kill_shard = n as usize,
+            _ => unreachable!(),
+        }
+    }
+    if cfg.shards < 2 || cfg.kill_shard >= cfg.shards || cfg.clients == 0 {
+        eprintln!("need --shards >= 2, --clients >= 1, --kill-shard < --shards\n{FB_USAGE}");
+        std::process::exit(2);
+    }
+
+    let report = run_fleet_bench(&cfg).unwrap_or_else(|e| {
+        eprintln!("fleet-bench failed: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "fleet-bench: {} shard(s) | warm {}/{} ok in {:.3}s",
+        report.shards, report.warm_ok, report.warm_requests, report.warm_seconds
+    );
+    println!(
+        "measured: {} sent, {} ok, hit rate {:.3}, bit-identical {} | routed {:?}",
+        report.measured.sent,
+        report.measured.ok,
+        report.measured.cache_hit_rate,
+        report.measured.verified_bit_identical,
+        report.routed_measured
+    );
+    for s in &report.measured.per_shard {
+        println!(
+            "  shard {}: +{} request(s), hit rate {:.3}",
+            s.addr, s.requests, s.cache_hit_rate
+        );
+    }
+    let f = &report.failover;
+    println!(
+        "failover: killed shard {} | {} sent, {} ok, {} failed, bit-identical {} | \
+         {} mark-down(s), {} mark-up(s), recovered {}",
+        f.killed_shard,
+        f.report.sent,
+        f.report.ok,
+        f.report.sent - f.report.ok,
+        f.report.verified_bit_identical,
+        f.mark_downs,
+        f.mark_ups,
+        f.recovered
+    );
+    println!(
+        "cluster: {} x {} over {} | served matches library: {}",
+        report.cluster.machine.token(),
+        report.cluster.kernel.label(),
+        report.cluster.network.label(),
+        report.cluster.served_matches_library
+    );
+
+    if let Some(path) = json_path {
+        let doc = fleet_artefact(&cfg, &report);
+        let mut text = doc.pretty();
+        text.push('\n');
+        if let Err(e) = validate_fleet_artefact(&text) {
+            eprintln!("refusing to write an invalid artefact: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+
+    let clean = report.warm_ok == report.warm_requests
+        && report.measured.sent == report.measured.ok
+        && report.measured.protocol_errors == 0
+        && report.measured.verified_bit_identical
+        && f.report.sent == f.report.ok
+        && f.report.protocol_errors == 0
+        && f.report.verified_bit_identical
+        && f.mark_downs >= 1
+        && f.recovered
+        && report.cluster.served_matches_library;
+    std::process::exit(if clean { 0 } else { 1 });
+}
+
+/// `repro cluster` — weak/strong-scaling curves over the Hockney α–β
+/// interconnect models, either straight from the library or served by a
+/// running `rvhpc-serve`/`repro fleet` endpoint via the `cluster` op
+/// (`--serve ADDR`), which must agree with the library bit for bit.
+fn cluster(args: &[String]) -> ! {
+    use rvhpc::cluster::{curve_to_json, scaling_curve, ClusterPoint, NetworkKind, ScalingMode};
+    use rvhpc_trace::json::Json;
+
+    const CLUSTER_USAGE: &str = "usage: repro cluster --machine <m> --kernel <k> \
+                                 --network <net> --mode weak|strong [--precision fp32|fp64] \
+                                 [--nodes 1,2,4,...] [--serve <ip:port>] [--json]";
+    let mut machine_tok: Option<String> = None;
+    let mut kernel_lbl: Option<String> = None;
+    let mut network_lbl: Option<String> = None;
+    let mut mode_tok: Option<String> = None;
+    let mut precision = Precision::Fp64;
+    let mut nodes: Vec<u32> = vec![1, 2, 4, 16, 64];
+    let mut serve_addr: Option<String> = None;
+    let mut as_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value\n{CLUSTER_USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--machine" => machine_tok = Some(value("--machine")),
+            "--kernel" => kernel_lbl = Some(value("--kernel")),
+            "--network" => network_lbl = Some(value("--network")),
+            "--mode" => mode_tok = Some(value("--mode")),
+            "--precision" => {
+                precision = match value("--precision").as_str() {
+                    "fp32" => Precision::Fp32,
+                    "fp64" => Precision::Fp64,
+                    other => {
+                        eprintln!("--precision must be fp32 or fp64, got `{other}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--nodes" => {
+                nodes = value("--nodes")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<u32>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                            eprintln!("--nodes: `{s}` is not a positive node count");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                if nodes.is_empty() || nodes.windows(2).any(|w| w[0] >= w[1]) {
+                    eprintln!("--nodes must be a strictly increasing, non-empty list");
+                    std::process::exit(2);
+                }
+            }
+            "--serve" => serve_addr = Some(value("--serve")),
+            "--json" => as_json = true,
+            other => {
+                eprintln!("unknown cluster argument `{other}`\n{CLUSTER_USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(machine_tok), Some(kernel_lbl), Some(network_lbl), Some(mode_tok)) =
+        (machine_tok, kernel_lbl, network_lbl, mode_tok)
+    else {
+        eprintln!("--machine, --kernel, --network and --mode are required\n{CLUSTER_USAGE}");
+        std::process::exit(2);
+    };
+    let Some(m) = MachineId::from_token(&machine_tok.to_lowercase()) else {
+        eprintln!("unknown machine `{machine_tok}`");
+        std::process::exit(2);
+    };
+    let Some(kernel) = KernelName::from_label(&kernel_lbl) else {
+        eprintln!("unknown kernel `{kernel_lbl}`; labels are e.g. Basic_DAXPY, Stream_TRIAD");
+        std::process::exit(2);
+    };
+    let Some(network) = NetworkKind::from_label(&network_lbl) else {
+        let labels: Vec<&str> = NetworkKind::ALL.iter().map(|n| n.label()).collect();
+        eprintln!("unknown network `{network_lbl}`; known: {}", labels.join(", "));
+        std::process::exit(2);
+    };
+    let Some(mode) = ScalingMode::from_token(&mode_tok) else {
+        eprintln!("--mode must be `weak` or `strong`, got `{mode_tok}`");
+        std::process::exit(2);
+    };
+
+    let net = network.network();
+    let local = scaling_curve(m, &net, kernel, mode, precision, &nodes);
+    let points: Vec<ClusterPoint> = if let Some(addr) = serve_addr {
+        use std::io::{BufRead, BufReader, Write};
+        let request = Json::obj(vec![
+            ("id", Json::Num(1.0)),
+            ("op", Json::str("cluster")),
+            ("machine", Json::str(m.token())),
+            ("kernel", Json::str(kernel.label())),
+            ("network", Json::str(network.label())),
+            ("mode", Json::str(mode.token())),
+            ("precision", Json::str(precision.label())),
+            ("nodes", Json::Arr(nodes.iter().map(|&n| Json::Num(n as f64)).collect())),
+        ])
+        .render();
+        let stream = std::net::TcpStream::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot reach {addr}: {e}");
+            std::process::exit(1);
+        });
+        let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        let mut w = stream;
+        let mut reply = String::new();
+        let io_err = |e| {
+            eprintln!("cluster request to {addr} failed: {e}");
+            std::process::exit(1);
+        };
+        w.write_all(request.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| reader.read_line(&mut reply))
+            .unwrap_or_else(io_err);
+        let served = Json::parse(reply.trim())
+            .ok()
+            .and_then(|doc| {
+                doc.get("result").and_then(|r| r.get("points")).map(|p| {
+                    rvhpc::cluster::curve_from_json(p).unwrap_or_else(|e| {
+                        eprintln!("served curve does not parse: {e}");
+                        std::process::exit(1);
+                    })
+                })
+            })
+            .unwrap_or_else(|| {
+                eprintln!("no result.points in reply: {}", reply.trim());
+                std::process::exit(1);
+            });
+        // The fleet path must be a transparent wrapper around the model.
+        let identical = served.len() == local.len()
+            && served.iter().zip(&local).all(|(a, b)| {
+                a.nodes == b.nodes
+                    && a.seconds.to_bits() == b.seconds.to_bits()
+                    && a.compute_seconds.to_bits() == b.compute_seconds.to_bits()
+                    && a.comm_seconds.to_bits() == b.comm_seconds.to_bits()
+                    && a.efficiency.to_bits() == b.efficiency.to_bits()
+            });
+        if !identical {
+            eprintln!("served curve DIVERGES from the local library computation");
+            std::process::exit(1);
+        }
+        served
+    } else {
+        local
+    };
+
+    if as_json {
+        let doc = Json::obj(vec![
+            ("machine", Json::str(m.token())),
+            ("kernel", Json::str(kernel.label())),
+            ("network", Json::str(network.label())),
+            ("mode", Json::str(mode.token())),
+            ("precision", Json::str(precision.label())),
+            ("points", curve_to_json(&points)),
+        ]);
+        println!("{}", doc.pretty());
+    } else {
+        println!(
+            "# {} scaling: {} x {} over {} ({})",
+            mode.token(),
+            m.token(),
+            kernel.label(),
+            network.label(),
+            precision.label()
+        );
+        println!("| nodes | seconds | compute_s | comm_s | efficiency |");
+        println!("|------:|--------:|----------:|-------:|-----------:|");
+        for p in &points {
+            println!(
+                "| {} | {:.6e} | {:.6e} | {:.6e} | {:.4} |",
+                p.nodes, p.seconds, p.compute_seconds, p.comm_seconds, p.efficiency
+            );
+        }
+    }
+    std::process::exit(0);
 }
 
 /// `repro top` — a live dashboard over a running server's `metrics` op

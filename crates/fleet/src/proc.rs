@@ -1,0 +1,104 @@
+//! Spawning and supervising `repro serve` shard processes.
+//!
+//! Each shard is a child process started with `serve --addr 127.0.0.1:0
+//! --port-file <tmp>`; the supervisor polls the port file to learn the
+//! ephemeral address. Real process isolation is what makes the fleet's
+//! claims honest: every shard has its own estimate cache, its own
+//! observability registry and its own persistent store, so per-shard hit
+//! rates and bit-identity across shard boundaries are measured, not
+//! assumed.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How long to wait for a spawned shard to publish its port.
+const SPAWN_WAIT: Duration = Duration::from_secs(20);
+
+fn unique_port_file(index: usize) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("rvhpc-shard-{}-{index}-{nonce}.port", std::process::id()))
+}
+
+/// One running shard child process.
+#[derive(Debug)]
+pub struct ShardProc {
+    /// Stable shard identity (its ring position).
+    pub index: usize,
+    /// The address the shard bound (from its port file).
+    pub addr: String,
+    child: Child,
+}
+
+impl ShardProc {
+    /// OS process id of the shard.
+    pub fn pid(&self) -> u32 {
+        self.child.id()
+    }
+
+    /// Has the child exited? (Non-blocking.)
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+
+    /// SIGKILL the shard (the failure-injection path) and reap it.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Reap a shard that is expected to exit on its own (after a drain).
+    pub fn wait(&mut self) {
+        let _ = self.child.wait();
+    }
+}
+
+/// Spawn shard `index`: `<exe> serve --addr 127.0.0.1:0 --port-file <tmp>
+/// <extra_args...>`, then poll the port file for the bound address.
+pub fn spawn_shard(exe: &Path, index: usize, extra_args: &[String]) -> std::io::Result<ShardProc> {
+    let port_file = unique_port_file(index);
+    let _ = std::fs::remove_file(&port_file);
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--port-file")
+        .arg(&port_file)
+        .args(extra_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    let mut child = cmd.spawn()?;
+    let deadline = std::time::Instant::now() + SPAWN_WAIT;
+    let addr = loop {
+        let mut text = String::new();
+        if let Ok(mut f) = std::fs::File::open(&port_file) {
+            let _ = f.read_to_string(&mut text);
+            let trimmed = text.trim();
+            if !trimmed.is_empty() {
+                break trimmed.to_string();
+            }
+        }
+        if std::time::Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            let _ = std::fs::remove_file(&port_file);
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("shard {index} did not publish a port within {SPAWN_WAIT:?}"),
+            ));
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            let _ = std::fs::remove_file(&port_file);
+            return Err(std::io::Error::other(format!(
+                "shard {index} exited during startup: {status}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let _ = std::fs::remove_file(&port_file);
+    Ok(ShardProc { index, addr, child })
+}

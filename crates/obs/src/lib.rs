@@ -36,7 +36,7 @@ pub mod window;
 pub use expo::{metrics_json, metrics_prometheus, validate_metrics, METRICS_SCHEMA};
 pub use hist::{HistSnapshot, ShardedHist};
 pub use tail::{SloTracker, SlowRequest};
-pub use window::WindowRing;
+pub use window::{WindowRing, WINDOWS_S};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, Ordering};

@@ -103,6 +103,38 @@ pub fn serve_artefact(cfg: &LoadgenConfig, report: &LoadgenReport) -> Json {
             ]),
         ));
     }
+    if report.shards.is_some() || !report.per_shard.is_empty() {
+        fields.push((
+            "fleet",
+            Json::obj(vec![
+                ("shards", report.shards.map_or(Json::Null, |n| num(n as f64))),
+                (
+                    "per_shard",
+                    Json::Arr(
+                        report
+                            .per_shard
+                            .iter()
+                            .map(|s| {
+                                Json::obj(vec![
+                                    ("addr", Json::str(&s.addr)),
+                                    ("reachable", Json::Bool(s.reachable)),
+                                    ("requests", num(s.requests as f64)),
+                                    (
+                                        "cache",
+                                        Json::obj(vec![
+                                            ("hits", num(s.cache_hits as f64)),
+                                            ("misses", num(s.cache_misses as f64)),
+                                            ("hit_rate", num(s.cache_hit_rate)),
+                                        ]),
+                                    ),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -236,6 +268,49 @@ pub fn validate_serve_artefact(text: &str) -> Result<(), String> {
             return Err(format!("metrics_polls.failures ({failures}) exceeds polls ({n})"));
         }
     }
+    if let Some(fleet) = doc.get("fleet") {
+        validate_fleet_attribution(fleet)?;
+    }
+    Ok(())
+}
+
+/// Validate the optional `fleet` attribution block of a serve-bench
+/// artefact (present when the run addressed a fleet router).
+fn validate_fleet_attribution(fleet: &Json) -> Result<(), String> {
+    if let Some(shards) = fleet.get("shards") {
+        if !matches!(shards, Json::Null) {
+            let n = req_count(fleet, &["shards"])?;
+            if n == 0 {
+                return Err("fleet.shards must be positive".to_string());
+            }
+        }
+    }
+    let Some(Json::Arr(entries)) = fleet.get("per_shard") else {
+        return Err("missing array field `fleet.per_shard`".to_string());
+    };
+    for (i, entry) in entries.iter().enumerate() {
+        if entry.get("addr").and_then(Json::as_str).is_none() {
+            return Err(format!("fleet.per_shard[{i}].addr must be a string"));
+        }
+        let Some(Json::Bool(reachable)) = entry.get("reachable") else {
+            return Err(format!("fleet.per_shard[{i}].reachable must be a boolean"));
+        };
+        let requests = req_count(entry, &["requests"])?;
+        let hits = req_count(entry, &["cache", "hits"])?;
+        let misses = req_count(entry, &["cache", "misses"])?;
+        let hit_rate = req_f64(entry, &["cache", "hit_rate"])?;
+        let total = hits + misses;
+        let expected = if total > 0 { hits as f64 / total as f64 } else { 0.0 };
+        if (hit_rate - expected).abs() > 1e-9 {
+            return Err(format!(
+                "fleet.per_shard[{i}].cache.hit_rate {hit_rate} inconsistent with \
+                 hits={hits} misses={misses}"
+            ));
+        }
+        if !reachable && (requests > 0 || total > 0) {
+            return Err(format!("fleet.per_shard[{i}] is unreachable but has non-zero counters"));
+        }
+    }
     Ok(())
 }
 
@@ -275,6 +350,8 @@ mod tests {
             slo_passed: None,
             metrics_polls: 0,
             metrics_poll_failures: 0,
+            shards: None,
+            per_shard: Vec::new(),
         }
     }
 
@@ -385,5 +462,56 @@ mod tests {
             .replace("\"mode\":\"closed_loop\",", "")
             .replace("\"connections\":4,", "");
         validate_serve_artefact(&text).expect("legacy artefact stays valid");
+    }
+
+    #[test]
+    fn fleet_attribution_block_is_rendered_and_enforced() {
+        use crate::loadgen::ShardAttribution;
+        let mut report = sample_report();
+        report.shards = Some(3);
+        report.per_shard = vec![
+            ShardAttribution {
+                addr: "127.0.0.1:7001".into(),
+                reachable: true,
+                requests: 120,
+                cache_hits: 90,
+                cache_misses: 30,
+                cache_hit_rate: 0.75,
+            },
+            ShardAttribution {
+                addr: "127.0.0.1:7002".into(),
+                reachable: false,
+                requests: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_hit_rate: 0.0,
+            },
+        ];
+        let doc = serve_artefact(&LoadgenConfig::default(), &report);
+        assert_eq!(
+            doc.get("fleet").and_then(|f| f.get("shards")).and_then(Json::as_f64),
+            Some(3.0)
+        );
+        validate_serve_artefact(&doc.render()).expect("valid fleet artefact");
+
+        // A fudged per-shard hit rate is caught.
+        let mut bad = report.clone();
+        bad.per_shard[0].cache_hit_rate = 0.5;
+        let err =
+            validate_serve_artefact(&serve_artefact(&LoadgenConfig::default(), &bad).render())
+                .expect_err("per-shard hit rate mismatch");
+        assert!(err.contains("per_shard[0]"), "{err}");
+
+        // An unreachable shard with non-zero counters is a contradiction.
+        let mut bad = report.clone();
+        bad.per_shard[1].requests = 5;
+        let err =
+            validate_serve_artefact(&serve_artefact(&LoadgenConfig::default(), &bad).render())
+                .expect_err("unreachable with traffic");
+        assert!(err.contains("unreachable"), "{err}");
+
+        // Non-fleet reports render no fleet block at all.
+        let text = serve_artefact(&LoadgenConfig::default(), &sample_report()).render();
+        assert!(!text.contains("\"fleet\""));
     }
 }

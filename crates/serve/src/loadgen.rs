@@ -65,6 +65,14 @@ pub struct LoadgenConfig {
     /// (see `openloop::stagger_offsets`) so ramp-up does not SYN-flood
     /// the listener. Ignored in closed-loop mode.
     pub connections: usize,
+    /// Expected shard count when driving a fleet router. Cross-checked
+    /// against the router's `stats` fleet block (mismatch is a protocol
+    /// error) and recorded in the report.
+    pub shards: Option<usize>,
+    /// Individual shard addresses. When non-empty, per-shard `stats`
+    /// snapshots are taken before and after the run and the report gains
+    /// per-shard request/cache attribution.
+    pub targets: Vec<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -82,8 +90,29 @@ impl Default for LoadgenConfig {
             poll_metrics_ms: None,
             open_loop: false,
             connections: 0,
+            shards: None,
+            targets: Vec::new(),
         }
     }
+}
+
+/// Per-shard attribution from direct `stats` deltas around a fleet run.
+#[derive(Debug, Clone)]
+pub struct ShardAttribution {
+    /// The shard's address.
+    pub addr: String,
+    /// Whether both stats snapshots succeeded; all counters are zero when
+    /// they did not (a shard may legitimately be down mid-failover).
+    pub reachable: bool,
+    /// `server.requests` delta over the run (includes the router's own
+    /// control traffic to that shard).
+    pub requests: u64,
+    /// Estimate-cache hits gained on this shard during the run.
+    pub cache_hits: u64,
+    /// Estimate-cache misses gained on this shard during the run.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` over this shard's delta (0 when idle).
+    pub cache_hit_rate: f64,
 }
 
 /// Everything a run measured; the `rvhpc-serve-bench-v1` artefact is a
@@ -153,19 +182,30 @@ pub struct LoadgenReport {
     pub metrics_polls: u64,
     /// Polls whose reply was missing, unparseable, or schema-invalid.
     pub metrics_poll_failures: u64,
+    /// Fleet shard count, when the run addressed a fleet (from
+    /// [`LoadgenConfig::shards`] / `--target-list`).
+    pub shards: Option<usize>,
+    /// Per-shard attribution, one entry per `--target-list` address.
+    pub per_shard: Vec<ShardAttribution>,
 }
 
-/// One query from the fixed pool.
-#[derive(Clone, Copy)]
-pub(crate) struct Triple {
-    machine: MachineId,
-    kernel: KernelName,
-    precision: Precision,
-    threads: usize,
+/// One query from the fixed pool. Public so fleet tooling can replay the
+/// exact pool (e.g. to warm every shard's cache deterministically).
+#[derive(Debug, Clone, Copy)]
+pub struct Triple {
+    /// Catalog machine.
+    pub machine: MachineId,
+    /// Kernel to estimate.
+    pub kernel: KernelName,
+    /// Element precision.
+    pub precision: Precision,
+    /// Thread count.
+    pub threads: usize,
 }
 
 impl Triple {
-    pub(crate) fn request_line(&self, id: u64) -> String {
+    /// Render this query as an `estimate` request line with the given id.
+    pub fn request_line(&self, id: u64) -> String {
         Json::obj(vec![
             ("id", Json::Num(id as f64)),
             ("op", Json::str("estimate")),
@@ -179,7 +219,7 @@ impl Triple {
 
     /// The exact config the server derives for this request (machine-best
     /// defaults) — the local half of the bit-identity check.
-    fn run_config(&self) -> RunConfig {
+    pub fn run_config(&self) -> RunConfig {
         if self.machine.is_riscv() {
             RunConfig::sg2042_best(self.precision, self.threads)
         } else {
@@ -190,7 +230,7 @@ impl Triple {
 
 /// The reproducible query pool: a slice of the catalog × kernel × config
 /// space, small enough to warm the cache, wide enough to exercise it.
-pub(crate) fn query_pool() -> Vec<Triple> {
+pub fn query_pool() -> Vec<Triple> {
     let machines = [MachineId::Sg2042, MachineId::AmdRome, MachineId::IntelIcelake];
     let kernels: Vec<KernelName> = KernelName::ALL.into_iter().step_by(7).collect();
     let mut pool = Vec::new();
@@ -212,7 +252,7 @@ pub(crate) fn lcg_next(state: &mut u64) -> u64 {
 }
 
 /// The four time fields of an estimate reply, as exact bit patterns.
-pub(crate) type EstimateBits = [u64; 4];
+pub type EstimateBits = [u64; 4];
 
 #[derive(Default)]
 pub(crate) struct ClientOutcome {
@@ -229,7 +269,9 @@ pub(crate) struct ClientOutcome {
     pub(crate) divergent_replies: bool,
 }
 
-pub(crate) fn reply_bits(result: &Json) -> Option<EstimateBits> {
+/// Extract the four time fields of an estimate `result` as bit patterns
+/// (the wire half of the bit-identity check).
+pub fn reply_bits(result: &Json) -> Option<EstimateBits> {
     let mut bits = [0u64; 4];
     for (slot, field) in
         ["seconds", "compute_seconds", "memory_seconds", "overhead_seconds"].iter().enumerate()
@@ -365,6 +407,17 @@ fn cache_counters(stats_reply: &Json) -> Option<(u64, u64)> {
     Some((hits, misses))
 }
 
+/// One shard's `(server.requests, cache hits, cache misses)` over a fresh
+/// direct connection, for per-shard attribution around a fleet run.
+fn shard_snapshot(addr: &str) -> Option<(u64, u64, u64)> {
+    let (mut stream, mut reader) = control_connection(addr)?;
+    let reply = exchange(&mut stream, &mut reader, r#"{"op":"stats"}"#)?;
+    let requests =
+        reply.get("result")?.get("server")?.get("requests").and_then(Json::as_f64)? as u64;
+    let (hits, misses) = cache_counters(&reply)?;
+    Some((requests, hits, misses))
+}
+
 /// Poll the server's `metrics` op on a dedicated connection until `stop`
 /// flips, schema-validating every reply with [`rvhpc_obs::validate_metrics`].
 /// Returns `(polls, failures)`.
@@ -424,9 +477,10 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "cannot reach server")
     })?;
 
-    let stats_before = exchange(&mut control, &mut control_reader, r#"{"op":"stats"}"#)
-        .as_ref()
-        .and_then(cache_counters);
+    let stats_before_reply = exchange(&mut control, &mut control_reader, r#"{"op":"stats"}"#);
+    let stats_before = stats_before_reply.as_ref().and_then(cache_counters);
+    let shard_before: Vec<Option<(u64, u64, u64)>> =
+        cfg.targets.iter().map(|addr| shard_snapshot(addr)).collect();
 
     let started = Instant::now();
     let pool_ref = &pool;
@@ -461,6 +515,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
     let stats_after = exchange(&mut control, &mut control_reader, r#"{"op":"stats"}"#)
         .as_ref()
         .and_then(cache_counters);
+    let shard_after: Vec<Option<(u64, u64, u64)>> =
+        cfg.targets.iter().map(|addr| shard_snapshot(addr)).collect();
 
     // Fold the per-client outcomes.
     let effective_conns = if cfg.open_loop { cfg.connections } else { cfg.clients };
@@ -495,6 +551,8 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         slo_passed: None,
         metrics_polls: 0,
         metrics_poll_failures: 0,
+        shards: None,
+        per_shard: Vec::new(),
     };
     let mut latencies: Vec<f64> = Vec::new();
     let mut replies: HashMap<usize, EstimateBits> = HashMap::new();
@@ -560,6 +618,53 @@ pub fn run_loadgen(cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
         }
     } else {
         report.protocol_errors += 1; // stats op must work
+    }
+
+    // Fleet attribution: per-shard stats deltas and the shard-count
+    // cross-check against the router's fleet block.
+    let observed_shards = stats_before_reply
+        .as_ref()
+        .and_then(|d| d.get("result")?.get("fleet")?.get("shards")?.as_f64())
+        .map(|n| n as usize);
+    report.shards = cfg.shards.or(observed_shards).or(if cfg.targets.is_empty() {
+        None
+    } else {
+        Some(cfg.targets.len())
+    });
+    if let Some(expected) = cfg.shards {
+        if observed_shards.is_some_and(|n| n != expected)
+            || (!cfg.targets.is_empty() && cfg.targets.len() != expected)
+        {
+            // A router reporting a different fleet size than the driver
+            // was pointed at means someone is aiming at the wrong fleet.
+            report.protocol_errors += 1;
+        }
+    }
+    for (i, addr) in cfg.targets.iter().enumerate() {
+        let attribution = match (shard_before[i], shard_after[i]) {
+            (Some((r0, h0, m0)), Some((r1, h1, m1))) => {
+                let hits = h1.saturating_sub(h0);
+                let misses = m1.saturating_sub(m0);
+                let total = hits + misses;
+                ShardAttribution {
+                    addr: addr.clone(),
+                    reachable: true,
+                    requests: r1.saturating_sub(r0),
+                    cache_hits: hits,
+                    cache_misses: misses,
+                    cache_hit_rate: if total > 0 { hits as f64 / total as f64 } else { 0.0 },
+                }
+            }
+            _ => ShardAttribution {
+                addr: addr.clone(),
+                reachable: false,
+                requests: 0,
+                cache_hits: 0,
+                cache_misses: 0,
+                cache_hit_rate: 0.0,
+            },
+        };
+        report.per_shard.push(attribution);
     }
 
     // Bit-identity: every distinct query's server answer must equal a

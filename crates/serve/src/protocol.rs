@@ -18,6 +18,7 @@
 //! `deadline_exceeded` (the request's `deadline_ms` budget expired before
 //! its batch ran) and `shutting_down` (arrived after a drain began).
 
+use rvhpc_cluster::{NetworkKind, ScalingMode};
 use rvhpc_compiler::VectorMode;
 use rvhpc_kernels::{KernelClass, KernelName};
 use rvhpc_machines::{MachineId, PlacementPolicy};
@@ -34,6 +35,17 @@ pub const MAX_SLEEP_MS: u64 = 10_000;
 
 /// `slow_requests` exemplars returned when the client sets no `limit`.
 pub const DEFAULT_SLOW_LIMIT: usize = 16;
+
+/// Largest node count a `cluster` request may ask for. The scaling model
+/// is closed-form, but an absurd count is a config typo, not a cluster.
+pub const MAX_CLUSTER_NODES: u32 = 65_536;
+
+/// Most points one `cluster` request may evaluate, bounding inline work.
+pub const MAX_CLUSTER_POINTS: usize = 32;
+
+/// Node counts used when a `cluster` request sets no `nodes` list: the
+/// power-of-four ladder the `rvhpc-cluster` test suite sweeps.
+pub const DEFAULT_CLUSTER_NODES: [u32; 5] = [1, 2, 4, 16, 64];
 
 /// The error taxonomy of the protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +164,23 @@ pub enum Request {
         /// What-if per-controller bandwidth override (GB/s).
         bw_per_controller_gbs: Option<f64>,
     },
+    /// Project a weak/strong cluster scaling curve over a Hockney α–β
+    /// interconnect preset (answered inline; the projection is pure f64,
+    /// so replies are bit-identical to the library call).
+    Cluster {
+        /// Per-node machine.
+        machine: MachineId,
+        /// Kernel to scale.
+        kernel: KernelName,
+        /// Interconnect preset (matched by display label).
+        network: NetworkKind,
+        /// Weak (constant per-node work) or strong (constant global work).
+        mode: ScalingMode,
+        /// Element precision.
+        precision: Precision,
+        /// Strictly increasing node counts to evaluate.
+        nodes: Vec<u32>,
+    },
     /// Server + estimate-cache statistics snapshot.
     Stats,
     /// Live observability document: every `serve.*` stage histogram,
@@ -192,6 +221,7 @@ impl Request {
             Request::SubmitKernel { .. } => "submit_kernel",
             Request::SubmitMachine { .. } => "submit_machine",
             Request::LintMachine { .. } => "lint_machine",
+            Request::Cluster { .. } => "cluster",
             Request::Stats => "stats",
             Request::Metrics { .. } => "metrics",
             Request::SlowRequests { .. } => "slow_requests",
@@ -222,6 +252,7 @@ fn allowed_fields(op: &str) -> &'static [&'static str] {
         }
         "suite" => &["machine", "precision", "threads", "vectorize", "mode", "placement", "class"],
         "lint_machine" => &["machine", "clock_ghz", "memory_controllers", "bw_per_controller_gbs"],
+        "cluster" => &["machine", "kernel", "network", "mode", "precision", "nodes"],
         "submit_kernel" => &["asm", "env"],
         "submit_machine" => &["descriptor"],
         "sleep" => &["ms"],
@@ -325,6 +356,7 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
                 bw_per_controller_gbs: parse_opt_pos_f64(&doc, "bw_per_controller_gbs")?,
             })
         }),
+        "cluster" => parse_cluster(&doc),
         "stats" => Ok(Request::Stats),
         "metrics" => match doc.get("format").map(|v| (v, v.as_str())) {
             None | Some((_, Some("json"))) => Ok(Request::Metrics { prometheus: false }),
@@ -355,8 +387,8 @@ pub fn parse_request(line: &str) -> (Json, Result<Request, String>) {
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
             "unknown op `{other}` (known: estimate, explain, suite, submit_kernel, \
-             submit_machine, lint_machine, stats, metrics, slow_requests, ping, \
-             sleep, shutdown)"
+             submit_machine, lint_machine, cluster, stats, metrics, slow_requests, \
+             ping, sleep, shutdown)"
         )),
     };
     (id, parsed)
@@ -415,6 +447,63 @@ fn submitted_kernel_cfg(doc: &Json) -> Result<(KernelName, RunConfig), String> {
     let kernel = KernelName::from_label(label)
         .ok_or_else(|| format!("unknown kernel `{label}`; labels are e.g. Basic_DAXPY"))?;
     Ok((kernel, cfg_from(doc, true)?))
+}
+
+/// Lint-style validation of a `cluster` request: every operand is checked
+/// up front and the first problem is reported precisely, mirroring the
+/// descriptor lint — a silently-coerced node list would make the scaling
+/// curve lie.
+fn parse_cluster(doc: &Json) -> Result<Request, String> {
+    let machine = parse_machine(doc)?;
+    let Some(label) = doc.get("kernel").and_then(Json::as_str) else {
+        return Err("missing string field `kernel`".to_string());
+    };
+    let kernel = KernelName::from_label(label)
+        .ok_or_else(|| format!("unknown kernel `{label}`; labels are e.g. Basic_DAXPY"))?;
+    let network = match doc.get("network").map(|v| (v, v.as_str())) {
+        Some((_, Some(name))) => NetworkKind::from_label(name).ok_or_else(|| {
+            let known: Vec<&str> = NetworkKind::ALL.iter().map(|k| k.label()).collect();
+            format!("unknown network `{name}`; known: {}", known.join(", "))
+        })?,
+        Some((v, None)) => return Err(format!("`network` must be a string, got {v:?}")),
+        None => return Err("missing string field `network`".to_string()),
+    };
+    let mode = match doc.get("mode").map(|v| (v, v.as_str())) {
+        Some((_, Some(token))) => ScalingMode::from_token(token)
+            .ok_or_else(|| format!("`mode` must be \"weak\" or \"strong\", got `{token}`"))?,
+        Some((v, None)) => return Err(format!("`mode` must be a string, got {v:?}")),
+        None => return Err("missing string field `mode`".to_string()),
+    };
+    let precision = match doc.get("precision").map(|v| (v, v.as_str())) {
+        None | Some((_, Some("fp64"))) => Precision::Fp64,
+        Some((_, Some("fp32"))) => Precision::Fp32,
+        Some((v, _)) => return Err(format!("`precision` must be \"fp32\" or \"fp64\", got {v:?}")),
+    };
+    let nodes = match doc.get("nodes") {
+        None => DEFAULT_CLUSTER_NODES.to_vec(),
+        Some(Json::Arr(items)) => {
+            if items.is_empty() {
+                return Err("`nodes` must not be empty".to_string());
+            }
+            if items.len() > MAX_CLUSTER_POINTS {
+                return Err(format!("`nodes` capped at {MAX_CLUSTER_POINTS} points"));
+            }
+            let mut out = Vec::with_capacity(items.len());
+            for v in items {
+                let n = parse_count(v, "nodes")?;
+                if n == 0 || n > u64::from(MAX_CLUSTER_NODES) {
+                    return Err(format!("`nodes` entries must be in 1..={MAX_CLUSTER_NODES}"));
+                }
+                if out.last().is_some_and(|&prev| n as u32 <= prev) {
+                    return Err("`nodes` must be strictly increasing".to_string());
+                }
+                out.push(n as u32);
+            }
+            out
+        }
+        Some(v) => return Err(format!("`nodes` must be an array of integers, got {v:?}")),
+    };
+    Ok(Request::Cluster { machine, kernel, network, mode, precision, nodes })
 }
 
 fn parse_machine(doc: &Json) -> Result<MachineId, String> {
@@ -562,6 +651,27 @@ pub fn estimate_json(est: &TimeEstimate) -> Json {
     ])
 }
 
+/// The JSON shape of a `cluster` result: the request's resolved operands
+/// echoed back, plus the curve as rendered by
+/// [`rvhpc_cluster::curve_to_json`] (bit-exact round trip).
+pub fn cluster_json(
+    machine: MachineId,
+    kernel: KernelName,
+    network: NetworkKind,
+    mode: ScalingMode,
+    precision: Precision,
+    points: &[rvhpc_cluster::ClusterPoint],
+) -> Json {
+    Json::obj(vec![
+        ("machine", Json::str(machine.token())),
+        ("kernel", Json::str(kernel.label())),
+        ("network", Json::str(network.label())),
+        ("mode", Json::str(mode.token())),
+        ("precision", Json::str(if precision == Precision::Fp32 { "fp32" } else { "fp64" })),
+        ("points", rvhpc_cluster::curve_to_json(points)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +756,66 @@ mod tests {
         assert_eq!(bw_per_controller_gbs, None);
         assert!(must_fail(r#"{"op":"lint_machine","machine":"sg2042","clock_ghz":-1}"#)
             .contains("positive"));
+    }
+
+    #[test]
+    fn cluster_requests_parse_with_lint_style_validation() {
+        let r = must_parse(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_HEAT_3D","network":"ib-hdr",
+               "mode":"strong","precision":"fp32","nodes":[1,2,4,8]}"#,
+        );
+        let Request::Cluster { machine, kernel, network, mode, precision, nodes } = r else {
+            panic!("wrong variant");
+        };
+        assert_eq!(machine, MachineId::Sg2042);
+        assert_eq!(kernel, KernelName::HEAT_3D);
+        assert_eq!(network, NetworkKind::InfinibandHdr);
+        assert_eq!(mode, ScalingMode::Strong);
+        assert_eq!(precision, Precision::Fp32);
+        assert_eq!(nodes, vec![1, 2, 4, 8]);
+        // Defaults: fp64 and the ladder node list.
+        let r = must_parse(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"1GbE",
+               "mode":"weak"}"#,
+        );
+        let Request::Cluster { precision, nodes, .. } = r else { panic!("wrong variant") };
+        assert_eq!(precision, Precision::Fp64);
+        assert_eq!(nodes, DEFAULT_CLUSTER_NODES.to_vec());
+        // Lint-style rejections, each with a precise message.
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","mode":"weak"}"#
+        )
+        .contains("missing string field `network`"));
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"token-ring",
+                "mode":"weak"}"#
+        )
+        .contains("unknown network"));
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"1GbE",
+                "mode":"diagonal"}"#
+        )
+        .contains("weak"));
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"1GbE",
+                "mode":"weak","nodes":[]}"#
+        )
+        .contains("must not be empty"));
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"1GbE",
+                "mode":"weak","nodes":[4,2]}"#
+        )
+        .contains("strictly increasing"));
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"1GbE",
+                "mode":"weak","nodes":[0]}"#
+        )
+        .contains("1..="));
+        assert!(must_fail(
+            r#"{"op":"cluster","machine":"sg2042","kernel":"Polybench_JACOBI_2D","network":"1GbE",
+                "mode":"weak","threads":4}"#
+        )
+        .contains("unknown field `threads`"));
     }
 
     #[test]

@@ -860,6 +860,16 @@ pub(crate) fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, line: 
             ]);
             ok_response(&id, op, result)
         }
+        Request::Cluster { machine: m, kernel, network, mode, precision, nodes } => {
+            let net = network.network();
+            let points = rvhpc_cluster::scaling_curve(m, &net, kernel, mode, precision, &nodes);
+            rvhpc_trace::counter!("serve.cluster_curves", 1);
+            ok_response(
+                &id,
+                op,
+                crate::protocol::cluster_json(m, kernel, network, mode, precision, &points),
+            )
+        }
         Request::Stats => {
             ok_response(&id, op, shared.stats.json(shared.draining(), &shared.cache_at_start))
         }

@@ -1,0 +1,141 @@
+//! Golden test for the `cluster` serve op: curves served over the wire
+//! must be bit-identical to direct `rvhpc_cluster::scaling_curve` calls,
+//! across machines, kernels, networks, modes and precisions — the server
+//! is a transparent network wrapper around the library, not a lossy one.
+
+use rvhpc_cluster::{curve_from_json, scaling_curve, NetworkKind, ScalingMode};
+use rvhpc_kernels::KernelName;
+use rvhpc_machines::MachineId;
+use rvhpc_perfmodel::Precision;
+use rvhpc_serve::{ServeConfig, Server};
+use rvhpc_trace::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn exchange(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("newline");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("reply readable");
+    assert!(n > 0, "server closed the connection instead of replying");
+    Json::parse(reply.trim_end()).expect("reply is valid JSON")
+}
+
+#[test]
+fn served_cluster_curves_match_the_library_bit_for_bit() {
+    let server = Server::start(ServeConfig::default()).expect("server binds");
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+
+    let cases: Vec<(MachineId, KernelName, NetworkKind, ScalingMode, Precision)> = vec![
+        (
+            MachineId::Sg2042,
+            KernelName::STREAM_TRIAD,
+            NetworkKind::GigabitEthernet,
+            ScalingMode::Weak,
+            Precision::Fp64,
+        ),
+        (
+            MachineId::Sg2042,
+            KernelName::GEMM,
+            NetworkKind::FastEthernet25G,
+            ScalingMode::Strong,
+            Precision::Fp32,
+        ),
+        (
+            MachineId::AmdRome,
+            KernelName::JACOBI_2D,
+            NetworkKind::Slingshot,
+            ScalingMode::Strong,
+            Precision::Fp64,
+        ),
+        (
+            MachineId::IntelIcelake,
+            KernelName::DAXPY,
+            NetworkKind::InfinibandHdr,
+            ScalingMode::Weak,
+            Precision::Fp32,
+        ),
+    ];
+    let nodes: Vec<u32> = vec![1, 2, 4, 16, 64];
+    for (i, &(m, kernel, network, mode, precision)) in cases.iter().enumerate() {
+        let req = Json::obj(vec![
+            ("id", Json::Num(i as f64)),
+            ("op", Json::str("cluster")),
+            ("machine", Json::str(m.token())),
+            ("kernel", Json::str(kernel.label())),
+            ("network", Json::str(network.label())),
+            ("mode", Json::str(mode.token())),
+            ("precision", Json::str(precision.label())),
+            ("nodes", Json::Arr(nodes.iter().map(|&n| Json::Num(n as f64)).collect())),
+        ])
+        .render();
+        let reply = exchange(&mut stream, &mut reader, &req);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+        assert_eq!(reply.get("id").and_then(Json::as_f64), Some(i as f64));
+        let result = reply.get("result").expect("result object");
+        // The reply echoes its resolved operands, so artefacts built from
+        // it are self-describing.
+        assert_eq!(result.get("machine").and_then(Json::as_str), Some(m.token()));
+        assert_eq!(result.get("network").and_then(Json::as_str), Some(network.label()));
+        assert_eq!(result.get("mode").and_then(Json::as_str), Some(mode.token()));
+
+        let served =
+            curve_from_json(result.get("points").expect("points")).expect("served curve parses");
+        let net = network.network();
+        let local = scaling_curve(m, &net, kernel, mode, precision, &nodes);
+        assert_eq!(served.len(), local.len());
+        for (s, l) in served.iter().zip(&local) {
+            assert_eq!(s.nodes, l.nodes);
+            assert_eq!(s.seconds.to_bits(), l.seconds.to_bits(), "{req}");
+            assert_eq!(s.compute_seconds.to_bits(), l.compute_seconds.to_bits(), "{req}");
+            assert_eq!(s.comm_seconds.to_bits(), l.comm_seconds.to_bits(), "{req}");
+            assert_eq!(s.efficiency.to_bits(), l.efficiency.to_bits(), "{req}");
+        }
+    }
+
+    // Defaults: no precision and no nodes resolve server-side to fp64 and
+    // the documented ladder — still bit-identical to the same call.
+    let reply = exchange(
+        &mut stream,
+        &mut reader,
+        r#"{"id":99,"op":"cluster","machine":"sg2042","kernel":"Stream_TRIAD","network":"IB-HDR","mode":"weak"}"#,
+    );
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    let served =
+        curve_from_json(reply.get("result").and_then(|r| r.get("points")).expect("points"))
+            .expect("served curve parses");
+    let net = NetworkKind::InfinibandHdr.network();
+    let local = scaling_curve(
+        MachineId::Sg2042,
+        &net,
+        KernelName::STREAM_TRIAD,
+        ScalingMode::Weak,
+        Precision::Fp64,
+        &[1, 2, 4, 16, 64],
+    );
+    assert_eq!(served.len(), local.len());
+    for (s, l) in served.iter().zip(&local) {
+        assert_eq!(s.seconds.to_bits(), l.seconds.to_bits());
+    }
+
+    // Lint-style validation happens before any computation: a malformed
+    // node ladder is a structured bad_request.
+    let reply = exchange(
+        &mut stream,
+        &mut reader,
+        r#"{"id":100,"op":"cluster","machine":"sg2042","kernel":"Stream_TRIAD","network":"IB-HDR","mode":"weak","nodes":[4,2,1]}"#,
+    );
+    assert_eq!(reply.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        reply.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,112 @@
+//! Failure handling through the router: take a shard down mid-fleet and
+//! require that every request still succeeds — rerouted to the ring
+//! successor with zero bit divergence — and that the aggregator reports
+//! the mark-down in its fleet block.
+
+use rvhpc_fleet::{Router, RouterConfig};
+use rvhpc_machines::machine;
+use rvhpc_perfmodel::estimate_cached;
+use rvhpc_serve::loadgen::{query_pool, reply_bits};
+use rvhpc_serve::{ServeConfig, Server};
+use rvhpc_trace::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn exchange(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("newline");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("reply readable");
+    assert!(n > 0, "router closed the connection instead of replying");
+    Json::parse(reply.trim_end()).expect("reply is valid JSON")
+}
+
+#[test]
+fn killed_shard_requests_land_on_the_successor_bit_identically() {
+    let servers: Vec<Server> =
+        (0..3).map(|_| Server::start(ServeConfig::default()).expect("server binds")).collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    // A long cooldown so the dead shard cannot flap back during the test.
+    let router = Router::start(
+        RouterConfig { cooldown: Duration::from_secs(600), ..RouterConfig::default() },
+        addrs,
+    )
+    .expect("router binds");
+
+    let stream = TcpStream::connect(router.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+
+    // Warm path sanity: everything succeeds with the full fleet up.
+    let pool = query_pool();
+    for (i, t) in pool.iter().enumerate() {
+        let reply = exchange(&mut stream, &mut reader, &t.request_line(i as u64));
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+    }
+
+    // Kill shard 1 for real: its listener closes, so forwards to it fail
+    // with a connection error, which is exactly the failure the router
+    // must absorb.
+    servers[1].shutdown();
+
+    // Every request must still succeed and stay bit-identical to the
+    // local model — the successor computes the same pure function.
+    let mut rerouted_ok = 0u64;
+    for (i, t) in pool.iter().enumerate() {
+        let id = 1_000_000 + i as u64;
+        let reply = exchange(&mut stream, &mut reader, &t.request_line(id));
+        assert_eq!(
+            reply.get("ok"),
+            Some(&Json::Bool(true)),
+            "request must survive the kill: {reply:?}"
+        );
+        let served = reply_bits(reply.get("result").expect("result")).expect("estimate fields");
+        let local = estimate_cached(&machine(t.machine), t.kernel, &t.run_config());
+        let expected = [
+            local.seconds.to_bits(),
+            local.compute_seconds.to_bits(),
+            local.memory_seconds.to_bits(),
+            local.overhead_seconds.to_bits(),
+        ];
+        assert_eq!(served, expected, "bit divergence after failover");
+        rerouted_ok += 1;
+    }
+    assert_eq!(rerouted_ok as usize, pool.len(), "zero failed requests");
+
+    // The aggregator must report the mark-down: 2 of 3 up, and the dead
+    // shard's entry flagged down with a mark_down count.
+    let stats = exchange(&mut stream, &mut reader, r#"{"id":1,"op":"stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)), "{stats:?}");
+    let fleet = stats.get("result").and_then(|r| r.get("fleet")).expect("fleet block");
+    assert_eq!(fleet.get("shards").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(fleet.get("up").and_then(Json::as_f64), Some(2.0), "{fleet:?}");
+    let Some(Json::Arr(per_shard)) = fleet.get("per_shard") else {
+        panic!("fleet.per_shard missing: {fleet:?}");
+    };
+    let dead = per_shard
+        .iter()
+        .find(|s| s.get("up") == Some(&Json::Bool(false)))
+        .expect("one shard reported down");
+    assert!(
+        dead.get("mark_downs").and_then(Json::as_f64).unwrap_or(0.0) >= 1.0,
+        "mark_down count missing: {dead:?}"
+    );
+    assert_eq!(dead.get("index").and_then(Json::as_f64), Some(1.0), "wrong shard blamed");
+
+    // The fleet state object agrees with the wire-level report.
+    let state = router.state();
+    assert!(!state.is_up(1));
+    assert_eq!(state.up_count(), 2);
+
+    router.shutdown();
+    router.join();
+    for s in &servers {
+        s.shutdown();
+    }
+    for s in servers {
+        s.join();
+    }
+}

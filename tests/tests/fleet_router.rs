@@ -1,0 +1,203 @@
+//! Router correctness against real in-process servers: every estimate
+//! key routes to exactly one live shard, fleet-served estimates are
+//! bit-identical to the local model, repeated sends of the same key are
+//! stable, and the fleet-wide `stats`/`metrics` aggregation produces
+//! documents that validate against the single-server schemas.
+//!
+//! (Per-shard cache *disjointness* needs real child processes — the
+//! estimate cache is process-global — and is exercised by the
+//! `fleet-bench` artefact and the ci.sh smoke stage; everything here is
+//! about routing, bit-identity and aggregation.)
+
+use rvhpc_fleet::{ConsistentRing, Router, RouterConfig};
+use rvhpc_kernels::KernelName;
+use rvhpc_machines::{machine, MachineId};
+use rvhpc_perfmodel::{estimate_cached, Precision};
+use rvhpc_serve::loadgen::{query_pool, reply_bits};
+use rvhpc_serve::{ServeConfig, Server};
+use rvhpc_trace::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_fleet(shards: usize) -> (Vec<Server>, Router) {
+    let servers: Vec<Server> =
+        (0..shards).map(|_| Server::start(ServeConfig::default()).expect("server binds")).collect();
+    let addrs = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let router = Router::start(RouterConfig::default(), addrs).expect("router binds");
+    (servers, router)
+}
+
+fn connect(router: &Router) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(router.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn exchange(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> Json {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("newline");
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply).expect("reply readable");
+    assert!(n > 0, "router closed the connection instead of replying");
+    Json::parse(reply.trim_end()).expect("reply is valid JSON")
+}
+
+fn teardown(servers: Vec<Server>, router: Router) {
+    router.shutdown();
+    router.join();
+    for s in &servers {
+        s.shutdown();
+    }
+    for s in servers {
+        s.join();
+    }
+}
+
+/// Property: for any shard count and any up/down pattern with at least
+/// one live shard, every estimate key in the pool routes to exactly one
+/// live shard, and the choice is deterministic.
+#[test]
+fn every_pool_key_routes_to_exactly_one_live_shard() {
+    let mut g = rvhpc_quickprop::Gen::new(rvhpc_quickprop::base_seed());
+    for _ in 0..200 {
+        let shards = g.usize_in(1..=16);
+        let ring = ConsistentRing::new(shards);
+        let mut up: Vec<bool> = (0..shards).map(|_| g.bool_with(0.7)).collect();
+        if !up.iter().any(|&b| b) {
+            up[g.usize_in(0..=shards - 1)] = true;
+        }
+        for t in query_pool() {
+            let key = format!(
+                "{}/{}/{:?}",
+                t.machine.token(),
+                t.kernel.label(),
+                (t.precision, t.threads)
+            );
+            let owner = ring.route(&key, &up).expect("some shard is up");
+            assert!(up[owner], "routed to a down shard");
+            assert_eq!(ring.route(&key, &up), Some(owner), "routing must be deterministic");
+        }
+    }
+}
+
+/// Differential: estimates served through the fleet are bit-identical to
+/// a direct `estimate_cached` call, for every query in the loadgen pool,
+/// and a second send of the same line returns the same bits.
+#[test]
+fn fleet_served_estimates_are_bit_identical_to_the_local_model() {
+    let (servers, router) = start_fleet(3);
+    let (mut stream, mut reader) = connect(&router);
+
+    for (i, t) in query_pool().into_iter().enumerate() {
+        let line = t.request_line(i as u64);
+        let reply = exchange(&mut stream, &mut reader, &line);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)), "{reply:?}");
+        assert_eq!(reply.get("id").and_then(Json::as_f64), Some(i as f64));
+        let served = reply_bits(reply.get("result").expect("result")).expect("estimate fields");
+
+        let local = estimate_cached(&machine(t.machine), t.kernel, &t.run_config());
+        let expected = [
+            local.seconds.to_bits(),
+            local.compute_seconds.to_bits(),
+            local.memory_seconds.to_bits(),
+            local.overhead_seconds.to_bits(),
+        ];
+        assert_eq!(served, expected, "bit divergence for {line}");
+
+        let again = exchange(&mut stream, &mut reader, &line);
+        let again_bits = reply_bits(again.get("result").expect("result")).expect("fields");
+        assert_eq!(again_bits, expected, "re-send diverged for {line}");
+    }
+    teardown(servers, router);
+}
+
+/// The router's merged `stats` reply carries the fleet block and summed
+/// counters; its merged `metrics` reply validates against the
+/// single-server `rvhpc-metrics-v1` schema.
+#[test]
+fn aggregated_stats_and_metrics_validate() {
+    let (servers, router) = start_fleet(3);
+    let (mut stream, mut reader) = connect(&router);
+
+    // Drive a little traffic so the counters are non-trivial.
+    let req = Json::obj(vec![
+        ("id", Json::Num(1.0)),
+        ("op", Json::str("estimate")),
+        ("machine", Json::str(MachineId::Sg2042.token())),
+        ("kernel", Json::str(KernelName::STREAM_TRIAD.label())),
+        ("precision", Json::str(Precision::Fp64.label())),
+        ("threads", Json::Num(16.0)),
+    ])
+    .render();
+    for _ in 0..5 {
+        let reply = exchange(&mut stream, &mut reader, &req);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(true)));
+    }
+
+    let stats = exchange(&mut stream, &mut reader, r#"{"id":2,"op":"stats"}"#);
+    assert_eq!(stats.get("ok"), Some(&Json::Bool(true)), "{stats:?}");
+    let result = stats.get("result").expect("stats result");
+    let fleet = result.get("fleet").expect("fleet block in aggregated stats");
+    assert_eq!(fleet.get("shards").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(fleet.get("up").and_then(Json::as_f64), Some(3.0));
+    let Some(Json::Arr(per_shard)) = fleet.get("per_shard") else {
+        panic!("fleet.per_shard missing: {fleet:?}");
+    };
+    assert_eq!(per_shard.len(), 3);
+    let requests =
+        result.get("server").and_then(|s| s.get("requests")).and_then(Json::as_f64).unwrap();
+    assert!(requests >= 5.0, "summed request counter too small: {requests}");
+    // The merged hit rate must be consistent with the merged counters.
+    let cache = result.get("estimate_cache").expect("cache block");
+    let hits = cache.get("hits").and_then(Json::as_f64).unwrap();
+    let misses = cache.get("misses").and_then(Json::as_f64).unwrap();
+    let rate = cache.get("hit_rate").and_then(Json::as_f64).unwrap();
+    let expected = if hits + misses > 0.0 { hits / (hits + misses) } else { 0.0 };
+    assert!((rate - expected).abs() < 1e-9, "merged hit_rate inconsistent");
+
+    let metrics = exchange(&mut stream, &mut reader, r#"{"id":3,"op":"metrics"}"#);
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)), "{metrics:?}");
+    let doc = metrics.get("result").expect("metrics result").render();
+    rvhpc_obs::validate_metrics(&doc).expect("merged metrics document validates");
+
+    // The prometheus rendering is a documented non-goal through the
+    // router: it must be refused as a structured bad_request, not
+    // silently served from one arbitrary shard.
+    let prom =
+        exchange(&mut stream, &mut reader, r#"{"id":4,"op":"metrics","format":"prometheus"}"#);
+    assert_eq!(prom.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        prom.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    teardown(servers, router);
+}
+
+/// Requests the shards would reject stay rejected through the router
+/// with the same error kind (the router reuses the server's parser, so
+/// rejections never even reach a shard).
+#[test]
+fn malformed_requests_get_structured_rejections_through_the_router() {
+    let (servers, router) = start_fleet(2);
+    let (mut stream, mut reader) = connect(&router);
+    for (line, fragment) in [
+        (r#"{"id":1,"op":"estimate","machine":"sg9999","kernel":"Stream_TRIAD"}"#, "machine"),
+        (r#"{"id":2,"op":"no_such_op"}"#, "unknown op"),
+        (
+            r#"{"id":3,"op":"cluster","machine":"sg2042","kernel":"Stream_TRIAD","network":"token-ring","mode":"weak"}"#,
+            "network",
+        ),
+    ] {
+        let reply = exchange(&mut stream, &mut reader, line);
+        assert_eq!(reply.get("ok"), Some(&Json::Bool(false)), "{line}");
+        let error = reply.get("error").expect("error object");
+        assert_eq!(error.get("kind").and_then(Json::as_str), Some("bad_request"));
+        let msg = error.get("message").and_then(Json::as_str).unwrap_or_default();
+        assert!(msg.contains(fragment), "`{msg}` should mention `{fragment}`");
+    }
+    teardown(servers, router);
+}
